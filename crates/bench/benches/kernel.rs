@@ -1,0 +1,297 @@
+//! Criterion microbenchmarks over the SQL-engine hot path (parse → route →
+//! rewrite → execute → merge) plus ablations for the design choices
+//! DESIGN.md calls out: stream vs memory group merging, atomic vs
+//! incremental connection acquisition, binding vs Cartesian routing, and
+//! index vs full-scan access paths.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use shard_core::config::{DataNode, ShardingRule, TableRule};
+use shard_core::merge::groupby::{group_memory_merge, group_stream_merge, AggPositions};
+use shard_core::merge::SortKey;
+use shard_core::rewrite::AggKind;
+use shard_core::route::{RouteEngine, RouteHint};
+use shard_core::ShardingRuntime;
+use shard_sql::{parse_statement, Value};
+use shard_storage::{ResultSet, StorageEngine};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn paper_rule(binding: bool) -> ShardingRule {
+    let mut sr = ShardingRule::new(vec!["ds_0".into(), "ds_1".into()]);
+    for t in ["t_user", "t_order"] {
+        sr.add_table_rule(TableRule {
+            logic_table: t.to_string(),
+            sharding_column: "uid".to_string(),
+            algorithm: Arc::new(shard_core::algorithm::ModAlgorithm::new(None)),
+            algorithm_type: "mod".to_string(),
+            data_nodes: (0..8)
+                .map(|i| DataNode::new(format!("ds_{}", i % 2), format!("{t}_{i}")))
+                .collect(),
+            props: Default::default(),
+            key_generate_column: None,
+            complex: None,
+        })
+        .unwrap();
+    }
+    if binding {
+        sr.add_binding_group(&["t_user".into(), "t_order".into()])
+            .unwrap();
+    }
+    sr
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parse");
+    g.bench_function("point_select", |b| {
+        b.iter(|| parse_statement("SELECT c FROM sbtest WHERE id = 42").unwrap())
+    });
+    g.bench_function("join_group_order", |b| {
+        b.iter(|| {
+            parse_statement(
+                "SELECT u.name, SUM(o.amount) FROM t_user u JOIN t_order o ON u.uid = o.uid \
+                 WHERE u.uid IN (1, 2, 3) GROUP BY u.name ORDER BY SUM(o.amount) DESC LIMIT 10",
+            )
+            .unwrap()
+        })
+    });
+    g.bench_function("batch_insert_100_rows", |b| {
+        let mut sql = String::from("INSERT INTO t (id, v) VALUES ");
+        for i in 0..100 {
+            if i > 0 {
+                sql.push_str(", ");
+            }
+            sql.push_str(&format!("({i}, {i})"));
+        }
+        b.iter(|| parse_statement(&sql).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_route(c: &mut Criterion) {
+    let mut g = c.benchmark_group("route");
+    let hint = RouteHint::default();
+
+    let rule = paper_rule(true);
+    let point = parse_statement("SELECT * FROM t_user WHERE uid = 5").unwrap();
+    g.bench_function("point_query", |b| {
+        let engine = RouteEngine::new(&rule, &hint);
+        b.iter(|| engine.route(&point, &[]).unwrap())
+    });
+
+    let join = parse_statement(
+        "SELECT * FROM t_user u JOIN t_order o ON u.uid = o.uid WHERE uid IN (1, 2)",
+    )
+    .unwrap();
+    // Ablation: binding route vs Cartesian route on the same join.
+    g.bench_function("join_binding", |b| {
+        let rule = paper_rule(true);
+        let engine = RouteEngine::new(&rule, &hint);
+        b.iter(|| engine.route(&join, &[]).unwrap())
+    });
+    g.bench_function("join_cartesian", |b| {
+        let rule = paper_rule(false);
+        let engine = RouteEngine::new(&rule, &hint);
+        b.iter(|| engine.route(&join, &[]).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let mut g = c.benchmark_group("merge");
+
+    // Per-shard sorted grouped results: name, SUM(v), COUNT(v).
+    let shard = |seed: i64| -> ResultSet {
+        let rows = (0..500)
+            .map(|i| {
+                vec![
+                    Value::Str(format!("g{:04}", (i * 7 + seed) % 300)),
+                    Value::Int(i),
+                    Value::Int(1),
+                ]
+            })
+            .collect::<Vec<_>>();
+        let mut rows = rows;
+        rows.sort_by(|a, b| a[0].total_cmp(&b[0]));
+        ResultSet::new(vec!["g".into(), "s".into(), "c".into()], rows)
+    };
+    let aggs = vec![
+        AggPositions {
+            kind: AggKind::Sum,
+            position: 1,
+            sum_position: None,
+            count_position: None,
+        },
+        AggPositions {
+            kind: AggKind::Count,
+            position: 2,
+            sum_position: None,
+            count_position: None,
+        },
+    ];
+    let keys = vec![SortKey {
+        position: 0,
+        desc: false,
+    }];
+
+    // Ablation: stream vs memory group merging over identical inputs.
+    g.bench_function("group_stream_4x500", |b| {
+        b.iter_batched(
+            || (0..4).map(shard).collect::<Vec<_>>(),
+            |inputs| group_stream_merge(inputs, &keys, &[0], &aggs),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("group_memory_4x500", |b| {
+        b.iter_batched(
+            || (0..4).map(shard).collect::<Vec<_>>(),
+            |inputs| group_memory_merge(inputs, &keys, &[0], &aggs),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_pool(c: &mut Criterion) {
+    use shard_core::datasource::ConnectionPool;
+    let mut g = c.benchmark_group("connection_pool");
+    // Ablation: atomic vs incremental acquisition of 8 permits.
+    g.bench_function("acquire_atomic_8", |b| {
+        let pool = Arc::new(ConnectionPool::new("p", 64));
+        b.iter(|| {
+            let permits = pool.acquire_atomic(8, Duration::from_secs(1)).unwrap();
+            drop(permits);
+        })
+    });
+    g.bench_function("acquire_incremental_8", |b| {
+        let pool = Arc::new(ConnectionPool::new("p", 64));
+        b.iter(|| {
+            let permits = pool.acquire_incremental(8, Duration::from_secs(1)).unwrap();
+            drop(permits);
+        })
+    });
+    g.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(30);
+
+    let runtime = ShardingRuntime::builder()
+        .datasource("ds_0", StorageEngine::new("ds_0"))
+        .datasource("ds_1", StorageEngine::new("ds_1"))
+        .build();
+    let mut session = runtime.session();
+    session
+        .execute_sql(
+            "CREATE SHARDING TABLE RULE t (RESOURCES(ds_0, ds_1), SHARDING_COLUMN=id, \
+             TYPE=mod, PROPERTIES(\"sharding-count\"=8))",
+            &[],
+        )
+        .unwrap();
+    session
+        .execute_sql("CREATE TABLE t (id BIGINT PRIMARY KEY, v INT)", &[])
+        .unwrap();
+    for i in 0..10_000i64 {
+        session
+            .execute_sql(
+                "INSERT INTO t (id, v) VALUES (?, ?)",
+                &[Value::Int(i), Value::Int(i % 100)],
+            )
+            .unwrap();
+    }
+
+    g.bench_function("point_select_sharded", |b| {
+        let mut i = 0i64;
+        b.iter(|| {
+            i = (i + 7919) % 10_000;
+            session
+                .execute_sql("SELECT v FROM t WHERE id = ?", &[Value::Int(i)])
+                .unwrap()
+        })
+    });
+    g.bench_function("cross_shard_aggregate", |b| {
+        b.iter(|| {
+            session
+                .execute_sql("SELECT v, COUNT(*) FROM t GROUP BY v", &[])
+                .unwrap()
+        })
+    });
+    g.bench_function("cross_shard_topk", |b| {
+        b.iter(|| {
+            session
+                .execute_sql("SELECT id FROM t ORDER BY id DESC LIMIT 10", &[])
+                .unwrap()
+        })
+    });
+
+    // Ablation: the same point select on an unsharded single engine
+    // (the kernel's overhead over raw storage).
+    let raw = StorageEngine::new("raw");
+    raw.execute_sql("CREATE TABLE t (id BIGINT PRIMARY KEY, v INT)", &[], None)
+        .unwrap();
+    for i in 0..10_000i64 {
+        raw.execute_sql(
+            "INSERT INTO t (id, v) VALUES (?, ?)",
+            &[Value::Int(i), Value::Int(i % 100)],
+            None,
+        )
+        .unwrap();
+    }
+    g.bench_function("point_select_raw_engine", |b| {
+        let stmt = parse_statement("SELECT v FROM t WHERE id = ?").unwrap();
+        let mut i = 0i64;
+        b.iter(|| {
+            i = (i + 7919) % 10_000;
+            raw.execute(&stmt, &[Value::Int(i)], None).unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_storage(c: &mut Criterion) {
+    let mut g = c.benchmark_group("storage");
+    g.sample_size(30);
+    // Index vs scan: the access-path selection payoff.
+    for rows in [1_000i64, 10_000, 100_000] {
+        let e = StorageEngine::new("s");
+        e.execute_sql("CREATE TABLE t (id BIGINT PRIMARY KEY, v INT)", &[], None)
+            .unwrap();
+        let mut id = 0;
+        while id < rows {
+            let n = (rows - id).min(500);
+            let mut sql = String::from("INSERT INTO t VALUES ");
+            for j in 0..n {
+                if j > 0 {
+                    sql.push_str(", ");
+                }
+                sql.push_str(&format!("({}, {})", id + j, (id + j) % 97));
+            }
+            e.execute_sql(&sql, &[], None).unwrap();
+            id += n;
+        }
+        g.bench_function(format!("pk_lookup_{rows}_rows"), |b| {
+            let stmt = parse_statement("SELECT v FROM t WHERE id = ?").unwrap();
+            let mut i = 0i64;
+            b.iter(|| {
+                i = (i + 7919) % rows;
+                e.execute(&stmt, &[Value::Int(i)], None).unwrap()
+            })
+        });
+        g.bench_function(format!("non_indexed_filter_{rows}_rows"), |b| {
+            let stmt = parse_statement("SELECT COUNT(*) FROM t WHERE v = 13").unwrap();
+            b.iter(|| e.execute(&stmt, &[], None).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_parse,
+    bench_route,
+    bench_merge,
+    bench_pool,
+    bench_end_to_end,
+    bench_storage
+);
+criterion_main!(benches);

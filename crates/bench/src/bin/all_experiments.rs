@@ -1,0 +1,32 @@
+//! Run every paper experiment and append the measured tables to
+//! EXPERIMENTS.md (one `## Measured` section per run).
+use shard_bench::experiments::{self, Scale};
+use std::io::Write;
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("scale: {scale:?}");
+    let results = experiments::all_experiments(&scale);
+    let mut markdown = String::from("\n## Measured results (latest run)\n");
+    markdown.push_str(&format!(
+        "\nScale: {} sbtest rows, {} warehouses, {} sources x {} tables, {} threads, {:?} per cell.\n",
+        scale.sysbench_rows,
+        scale.warehouses,
+        scale.sources,
+        scale.tables_per_source,
+        scale.run.threads,
+        scale.run.duration,
+    ));
+    for r in &results {
+        print!("{}", r.render());
+        markdown.push_str(&r.markdown());
+    }
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open("EXPERIMENTS.md")
+    {
+        let _ = f.write_all(markdown.as_bytes());
+        eprintln!("appended measured tables to EXPERIMENTS.md");
+    }
+}

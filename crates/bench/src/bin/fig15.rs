@@ -1,0 +1,10 @@
+//! Reproduce the paper's fig15. See EXPERIMENTS.md for the scale mapping.
+use shard_bench::experiments::{self, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let results = experiments::fig15_results(&scale);
+    for r in &results {
+        print!("{}", r.render());
+    }
+}

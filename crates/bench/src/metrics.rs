@@ -1,0 +1,163 @@
+//! Benchmark metrics: throughput and latency percentiles, matching the
+//! paper's reporting (TPS, AvgT, 99T for Sysbench, 90T for TPC-C; latencies
+//! in milliseconds).
+
+use std::time::Duration;
+
+/// Latency samples for one benchmark cell.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyRecorder {
+    samples_us: Vec<u64>,
+}
+
+impl LatencyRecorder {
+    pub fn new() -> Self {
+        LatencyRecorder::default()
+    }
+
+    pub fn record(&mut self, latency: Duration) {
+        self.samples_us.push(latency.as_micros() as u64);
+    }
+
+    pub fn merge(&mut self, other: LatencyRecorder) {
+        self.samples_us.extend(other.samples_us);
+    }
+
+    pub fn count(&self) -> usize {
+        self.samples_us.len()
+    }
+
+    /// Finalize into a report.
+    pub fn finish(mut self, elapsed: Duration) -> Metrics {
+        self.samples_us.sort_unstable();
+        let count = self.samples_us.len();
+        let sum: u64 = self.samples_us.iter().sum();
+        let pct = |p: f64| -> f64 {
+            if count == 0 {
+                return 0.0;
+            }
+            let rank = ((p / 100.0) * count as f64).ceil() as usize;
+            self.samples_us[rank.clamp(1, count) - 1] as f64 / 1000.0
+        };
+        Metrics {
+            transactions: count as u64,
+            elapsed,
+            tps: if elapsed.as_secs_f64() > 0.0 {
+                count as f64 / elapsed.as_secs_f64()
+            } else {
+                0.0
+            },
+            avg_ms: if count > 0 {
+                (sum as f64 / count as f64) / 1000.0
+            } else {
+                0.0
+            },
+            p90_ms: pct(90.0),
+            p99_ms: pct(99.0),
+            max_ms: self.samples_us.last().map(|v| *v as f64 / 1000.0).unwrap_or(0.0),
+        }
+    }
+}
+
+/// One benchmark cell's results.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    pub transactions: u64,
+    pub elapsed: Duration,
+    /// Transactions per second.
+    pub tps: f64,
+    /// Average response time (ms).
+    pub avg_ms: f64,
+    /// 90th percentile response time (ms) — TPC-C's default percentile.
+    pub p90_ms: f64,
+    /// 99th percentile response time (ms) — Sysbench's default percentile.
+    pub p99_ms: f64,
+    pub max_ms: f64,
+}
+
+impl Metrics {
+    /// Format like the paper's Sysbench tables: TPS | 99T | AvgT.
+    pub fn sysbench_row(&self) -> String {
+        format!(
+            "{:>10.0} {:>10.2} {:>10.2}",
+            self.tps, self.p99_ms, self.avg_ms
+        )
+    }
+
+    /// Format like the paper's TPC-C figure: tpmC | 90T.
+    pub fn tpcc_row(&self) -> String {
+        format!("{:>10.0} {:>10.2}", self.tps * 60.0, self.p90_ms)
+    }
+}
+
+/// Render an aligned table: header row + one row per (label, metrics).
+pub fn render_table(title: &str, columns: &[&str], rows: &[(String, Vec<String>)]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("\n== {title} ==\n"));
+    let label_width = rows
+        .iter()
+        .map(|(l, _)| l.len())
+        .chain(std::iter::once("System".len()))
+        .max()
+        .unwrap_or(8)
+        + 2;
+    out.push_str(&format!("{:label_width$}", "System"));
+    for c in columns {
+        out.push_str(&format!("{c:>12}"));
+    }
+    out.push('\n');
+    for (label, cells) in rows {
+        out.push_str(&format!("{label:label_width$}"));
+        for c in cells {
+            out.push_str(&format!("{c:>12}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_computed() {
+        let mut r = LatencyRecorder::new();
+        for i in 1..=100u64 {
+            r.record(Duration::from_millis(i));
+        }
+        let m = r.finish(Duration::from_secs(10));
+        assert_eq!(m.transactions, 100);
+        assert!((m.tps - 10.0).abs() < 1e-9);
+        assert!((m.p99_ms - 99.0).abs() < 1e-6);
+        assert!((m.p90_ms - 90.0).abs() < 1e-6);
+        assert!((m.avg_ms - 50.5).abs() < 1e-6);
+        assert!((m.max_ms - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_recorder_is_zeroes() {
+        let m = LatencyRecorder::new().finish(Duration::from_secs(1));
+        assert_eq!(m.transactions, 0);
+        assert_eq!(m.tps, 0.0);
+        assert_eq!(m.p99_ms, 0.0);
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a = LatencyRecorder::new();
+        a.record(Duration::from_millis(1));
+        let mut b = LatencyRecorder::new();
+        b.record(Duration::from_millis(3));
+        a.merge(b);
+        assert_eq!(a.count(), 2);
+    }
+
+    #[test]
+    fn table_rendering() {
+        let rows = vec![("SSJ".to_string(), vec!["100".to_string(), "1.0".to_string()])];
+        let table = render_table("Test", &["TPS", "99T"], &rows);
+        assert!(table.contains("SSJ"));
+        assert!(table.contains("TPS"));
+    }
+}

@@ -1,0 +1,182 @@
+//! Multi-threaded benchmark driver: N client threads × a wall-clock
+//! duration, like `sysbench run --threads=N --time=T`.
+
+use crate::metrics::{LatencyRecorder, Metrics};
+use crate::systems::{Deployment, Sut};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// A benchmark workload: one `transaction` call = one unit of work measured.
+pub trait Workload: Sync {
+    fn transaction(&self, sut: &mut dyn Sut, rng: &mut SmallRng) -> Result<(), String>;
+
+    /// Per-connection setup (e.g. `SET VARIABLE transaction_type = XA`).
+    fn prepare_connection(&self, _sut: &mut dyn Sut) -> Result<(), String> {
+        Ok(())
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    pub threads: usize,
+    pub duration: Duration,
+    pub warmup: Duration,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            threads: 8,
+            duration: Duration::from_secs(3),
+            warmup: Duration::from_millis(300),
+        }
+    }
+}
+
+impl RunConfig {
+    pub fn quick() -> Self {
+        RunConfig {
+            threads: 4,
+            duration: Duration::from_millis(800),
+            warmup: Duration::from_millis(100),
+        }
+    }
+
+    /// Scale from the environment: `BENCH_SECONDS` and `BENCH_THREADS`.
+    pub fn from_env() -> Self {
+        let mut cfg = RunConfig::default();
+        if let Ok(s) = std::env::var("BENCH_SECONDS") {
+            if let Ok(secs) = s.parse::<f64>() {
+                cfg.duration = Duration::from_secs_f64(secs.max(0.1));
+            }
+        }
+        if let Ok(s) = std::env::var("BENCH_THREADS") {
+            if let Ok(t) = s.parse::<usize>() {
+                cfg.threads = t.max(1);
+            }
+        }
+        cfg
+    }
+
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+}
+
+/// Run a workload against a deployment, returning aggregated metrics.
+pub fn run(deployment: &Deployment, workload: &dyn Workload, cfg: &RunConfig) -> Metrics {
+    let stop = AtomicBool::new(false);
+    let measuring = AtomicBool::new(false);
+    let mut recorders: Vec<LatencyRecorder> = Vec::new();
+
+    crossbeam::scope(|scope| {
+        let mut handles = Vec::with_capacity(cfg.threads);
+        for worker in 0..cfg.threads {
+            let stop = &stop;
+            let measuring = &measuring;
+            let mut sut = deployment.client();
+            handles.push(scope.spawn(move |_| {
+                let mut rng = SmallRng::seed_from_u64(0x5eed ^ (worker as u64) << 17);
+                let mut recorder = LatencyRecorder::new();
+                if let Err(e) = workload.prepare_connection(sut.as_mut()) {
+                    panic!("workload connection setup failed: {e}");
+                }
+                let mut failures = 0u32;
+                while !stop.load(Ordering::Relaxed) {
+                    let start = Instant::now();
+                    match workload.transaction(sut.as_mut(), &mut rng) {
+                        Ok(()) => {
+                            if measuring.load(Ordering::Relaxed) {
+                                recorder.record(start.elapsed());
+                            }
+                        }
+                        Err(_) => {
+                            // Lock timeouts / aborts are retried, like
+                            // sysbench does on deadlock errors.
+                            failures += 1;
+                            if failures > 10_000 {
+                                break;
+                            }
+                        }
+                    }
+                }
+                recorder
+            }));
+        }
+
+        std::thread::sleep(cfg.warmup);
+        measuring.store(true, Ordering::SeqCst);
+        let measure_start = Instant::now();
+        std::thread::sleep(cfg.duration);
+        stop.store(true, Ordering::SeqCst);
+        let measured = measure_start.elapsed();
+
+        for h in handles {
+            recorders.push(h.join().expect("worker thread panicked"));
+        }
+        measured
+    })
+    .map(|measured| {
+        let mut all = LatencyRecorder::new();
+        for r in recorders {
+            all.merge(r);
+        }
+        all.finish(measured)
+    })
+    .expect("benchmark scope panicked")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::systems::{Flavor, Mode, TableSpec, Topology};
+    use shard_sql::Value;
+
+    struct PingWorkload;
+    impl Workload for PingWorkload {
+        fn transaction(&self, sut: &mut dyn Sut, rng: &mut SmallRng) -> Result<(), String> {
+            use rand::Rng;
+            let id: i64 = rng.gen_range(0..100);
+            sut.execute("SELECT v FROM t WHERE id = ?", &[Value::Int(id)])
+                .map(|_| ())
+        }
+    }
+
+    #[test]
+    fn runner_produces_metrics() {
+        let mut topo = Topology::new(Flavor::MySql, 2, 2);
+        topo.latency_override = Some(shard_storage::LatencyModel::ZERO);
+        let d = Deployment::build(
+            "SSJ",
+            topo,
+            Mode::Jdbc,
+            &[TableSpec::new(
+                "t",
+                "id",
+                "CREATE TABLE t (id BIGINT PRIMARY KEY, v INT)",
+            )],
+        )
+        .unwrap();
+        let mut loader = d.loader();
+        for i in 0..100i64 {
+            loader
+                .execute(
+                    "INSERT INTO t (id, v) VALUES (?, ?)",
+                    &[Value::Int(i), Value::Int(i)],
+                )
+                .unwrap();
+        }
+        let cfg = RunConfig {
+            threads: 2,
+            duration: Duration::from_millis(200),
+            warmup: Duration::from_millis(50),
+        };
+        let m = run(&d, &PingWorkload, &cfg);
+        assert!(m.transactions > 0, "no transactions completed");
+        assert!(m.tps > 0.0);
+        assert!(m.avg_ms > 0.0);
+    }
+}

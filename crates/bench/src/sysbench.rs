@@ -1,0 +1,310 @@
+//! Sysbench OLTP workload (the paper's primary benchmark, §VIII-A).
+//!
+//! One logical `sbtest` table (id PK, k secondary, c/pad payload); the
+//! paper's scenarios:
+//! - **Point Select** — a single PK lookup per transaction,
+//! - **Read Only** — 10 point selects + 4 range queries,
+//! - **Write Only** — 2 updates + delete+insert inside a transaction,
+//! - **Read Write** — the full classic sysbench transaction.
+
+use crate::runner::Workload;
+use crate::systems::{Deployment, Sut, TableSpec};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use shard_core::TransactionType;
+use shard_sql::Value;
+
+pub const SBTEST_DDL: &str = "CREATE TABLE sbtest (\
+     id BIGINT NOT NULL, \
+     k INT NOT NULL DEFAULT 0, \
+     c VARCHAR(120) NOT NULL DEFAULT '', \
+     pad VARCHAR(60) NOT NULL DEFAULT '', \
+     PRIMARY KEY (id))";
+
+pub fn sbtest_spec() -> Vec<TableSpec> {
+    vec![TableSpec::new("sbtest", "id", SBTEST_DDL)]
+}
+
+/// Bulk-load `rows` rows through the deployment (batched multi-row inserts,
+/// split across shards by the rewriter).
+pub fn load_sbtest(deployment: &Deployment, rows: u64) {
+    let mut conn = deployment.loader();
+    let batch = 200u64;
+    let mut id = 0u64;
+    while id < rows {
+        let n = batch.min(rows - id);
+        let mut sql = String::from("INSERT INTO sbtest (id, k, c, pad) VALUES ");
+        for j in 0..n {
+            if j > 0 {
+                sql.push_str(", ");
+            }
+            let cur = id + j;
+            sql.push_str(&format!(
+                "({cur}, {}, 'c-{cur:016}', 'pad-{:08}')",
+                cur % 1000,
+                cur % 97
+            ));
+        }
+        conn.execute(&sql, &[]).expect("sysbench load failed");
+        id += n;
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    PointSelect,
+    ReadOnly,
+    WriteOnly,
+    ReadWrite,
+}
+
+impl Scenario {
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scenario::PointSelect => "Point Select",
+            Scenario::ReadOnly => "Read Only",
+            Scenario::WriteOnly => "Write Only",
+            Scenario::ReadWrite => "Read Write",
+        }
+    }
+
+    pub fn all() -> [Scenario; 4] {
+        [
+            Scenario::PointSelect,
+            Scenario::ReadOnly,
+            Scenario::WriteOnly,
+            Scenario::ReadWrite,
+        ]
+    }
+}
+
+/// The Sysbench workload driver.
+pub struct Sysbench {
+    pub scenario: Scenario,
+    pub table_rows: u64,
+    /// Range-query span (sysbench default 100).
+    pub range_size: u64,
+    /// Point selects per Read-Only/Read-Write transaction (sysbench: 10).
+    pub point_selects: usize,
+    /// Transaction type set on each connection.
+    pub transaction_type: TransactionType,
+    /// Wrap write scenarios in explicit transactions.
+    pub use_transactions: bool,
+}
+
+impl Sysbench {
+    pub fn new(scenario: Scenario, table_rows: u64) -> Self {
+        Sysbench {
+            scenario,
+            table_rows,
+            range_size: 20,
+            point_selects: 10,
+            transaction_type: TransactionType::Local,
+            use_transactions: true,
+        }
+    }
+
+    pub fn with_transaction_type(mut self, t: TransactionType) -> Self {
+        self.transaction_type = t;
+        self
+    }
+
+    fn rand_id(&self, rng: &mut SmallRng) -> i64 {
+        rng.gen_range(0..self.table_rows as i64)
+    }
+
+    fn point_select(&self, sut: &mut dyn Sut, rng: &mut SmallRng) -> Result<(), String> {
+        sut.execute(
+            "SELECT c FROM sbtest WHERE id = ?",
+            &[Value::Int(self.rand_id(rng))],
+        )?;
+        Ok(())
+    }
+
+    fn range_queries(&self, sut: &mut dyn Sut, rng: &mut SmallRng) -> Result<(), String> {
+        let lo = self.rand_id(rng);
+        let hi = lo + self.range_size as i64;
+        sut.execute(
+            "SELECT c FROM sbtest WHERE id BETWEEN ? AND ?",
+            &[Value::Int(lo), Value::Int(hi)],
+        )?;
+        sut.execute(
+            "SELECT SUM(k) FROM sbtest WHERE id BETWEEN ? AND ?",
+            &[Value::Int(lo), Value::Int(hi)],
+        )?;
+        sut.execute(
+            "SELECT c FROM sbtest WHERE id BETWEEN ? AND ? ORDER BY c",
+            &[Value::Int(lo), Value::Int(hi)],
+        )?;
+        sut.execute(
+            "SELECT DISTINCT c FROM sbtest WHERE id BETWEEN ? AND ? ORDER BY c",
+            &[Value::Int(lo), Value::Int(hi)],
+        )?;
+        Ok(())
+    }
+
+    fn writes(&self, sut: &mut dyn Sut, rng: &mut SmallRng) -> Result<(), String> {
+        // index update
+        sut.execute(
+            "UPDATE sbtest SET k = k + 1 WHERE id = ?",
+            &[Value::Int(self.rand_id(rng))],
+        )?;
+        // non-index update
+        sut.execute(
+            "UPDATE sbtest SET c = ? WHERE id = ?",
+            &[
+                Value::Str(format!("c-updated-{:012}", rng.gen::<u32>())),
+                Value::Int(self.rand_id(rng)),
+            ],
+        )?;
+        // delete + insert of the same row
+        let id = self.rand_id(rng);
+        sut.execute("DELETE FROM sbtest WHERE id = ?", &[Value::Int(id)])?;
+        sut.execute(
+            "INSERT INTO sbtest (id, k, c, pad) VALUES (?, ?, ?, ?)",
+            &[
+                Value::Int(id),
+                Value::Int(id % 1000),
+                Value::Str(format!("c-{id:016}")),
+                Value::Str(format!("pad-{:08}", id % 97)),
+            ],
+        )?;
+        Ok(())
+    }
+}
+
+impl Workload for Sysbench {
+    fn prepare_connection(&self, sut: &mut dyn Sut) -> Result<(), String> {
+        sut.execute(
+            &format!("SET VARIABLE transaction_type = {}", self.transaction_type),
+            &[],
+        )?;
+        Ok(())
+    }
+
+    fn transaction(&self, sut: &mut dyn Sut, rng: &mut SmallRng) -> Result<(), String> {
+        match self.scenario {
+            Scenario::PointSelect => self.point_select(sut, rng),
+            Scenario::ReadOnly => {
+                for _ in 0..self.point_selects {
+                    self.point_select(sut, rng)?;
+                }
+                self.range_queries(sut, rng)
+            }
+            Scenario::WriteOnly => {
+                self.txn_begin(sut)?;
+                let result = self.writes(sut, rng);
+                self.txn_finish(sut, result)
+            }
+            Scenario::ReadWrite => {
+                // classic sysbench txn: reads + ranges + writes, atomically.
+                self.txn_begin(sut)?;
+                let result = (|| {
+                    for _ in 0..self.point_selects {
+                        self.point_select(sut, rng)?;
+                    }
+                    self.range_queries(sut, rng)?;
+                    self.writes(sut, rng)
+                })();
+                self.txn_finish(sut, result)
+            }
+        }
+    }
+}
+
+impl Sysbench {
+    fn txn_begin(&self, sut: &mut dyn Sut) -> Result<(), String> {
+        if self.use_transactions {
+            sut.execute("BEGIN", &[])?;
+        }
+        Ok(())
+    }
+
+    fn txn_finish(&self, sut: &mut dyn Sut, result: Result<(), String>) -> Result<(), String> {
+        if !self.use_transactions {
+            return result;
+        }
+        match result {
+            Ok(()) => {
+                sut.execute("COMMIT", &[])?;
+                Ok(())
+            }
+            Err(e) => {
+                let _ = sut.execute("ROLLBACK", &[]);
+                Err(e)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run, RunConfig};
+    use crate::systems::{Flavor, Mode, Topology};
+    use rand::SeedableRng;
+    use shard_storage::LatencyModel;
+    use std::time::Duration;
+
+    fn deployment() -> Deployment {
+        let mut topo = Topology::new(Flavor::MySql, 2, 2);
+        topo.latency_override = Some(LatencyModel::ZERO);
+        let d = Deployment::build("SSJ", topo, Mode::Jdbc, &sbtest_spec()).unwrap();
+        load_sbtest(&d, 500);
+        d
+    }
+
+    #[test]
+    fn load_distributes_rows() {
+        let d = deployment();
+        let mut total = 0;
+        for i in 0..2 {
+            let ds = d.runtime().datasource(&format!("ds_{i}")).unwrap();
+            for t in ds.engine().table_names() {
+                total += ds.engine().table_row_count(&t).unwrap();
+            }
+        }
+        assert_eq!(total, 500);
+    }
+
+    #[test]
+    fn each_scenario_completes() {
+        let d = deployment();
+        let mut rng = SmallRng::seed_from_u64(1);
+        for scenario in Scenario::all() {
+            let wl = Sysbench::new(scenario, 500);
+            let mut sut = d.client();
+            wl.prepare_connection(sut.as_mut()).unwrap();
+            wl.transaction(sut.as_mut(), &mut rng)
+                .unwrap_or_else(|e| panic!("{}: {e}", scenario.name()));
+        }
+        // Row count preserved by delete+insert pairs.
+        let mut sut = d.client();
+        let r = sut.execute("SELECT COUNT(*) FROM sbtest", &[]).unwrap();
+        assert_eq!(r.query().rows[0][0], Value::Int(500));
+    }
+
+    #[test]
+    fn read_write_under_runner() {
+        let d = deployment();
+        let wl = Sysbench::new(Scenario::ReadWrite, 500);
+        let cfg = RunConfig {
+            threads: 2,
+            duration: Duration::from_millis(300),
+            warmup: Duration::from_millis(50),
+        };
+        let m = run(&d, &wl, &cfg);
+        assert!(m.transactions > 0);
+    }
+
+    #[test]
+    fn xa_transaction_type_flows_through() {
+        let d = deployment();
+        let wl = Sysbench::new(Scenario::WriteOnly, 500)
+            .with_transaction_type(TransactionType::Xa);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut sut = d.client();
+        wl.prepare_connection(sut.as_mut()).unwrap();
+        wl.transaction(sut.as_mut(), &mut rng).unwrap();
+    }
+}

@@ -1,0 +1,577 @@
+//! TPC-C workload (the paper's second benchmark, §VIII-B): the full
+//! nine-table warehouse schema and the five-transaction mix at the native
+//! proportions (NewOrder 45%, Payment 43%, OrderStatus 4%, Delivery 4%,
+//! StockLevel 4%).
+//!
+//! Sharding follows the paper's layout: every warehouse-keyed table shards
+//! by its `*_w_id` over all data sources; `order_line` (the biggest table)
+//! shards 10× deeper; `item` is a broadcast (replicated catalog) table.
+//! Scale is reduced for laptop runs (items, customers per district), which
+//! changes absolute numbers but not system ordering.
+
+use crate::runner::Workload;
+use crate::systems::{Deployment, Sut, TableSpec};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use shard_core::TransactionType;
+use shard_sql::Value;
+
+pub const DISTRICTS_PER_WAREHOUSE: i64 = 10;
+pub const CUSTOMERS_PER_DISTRICT: i64 = 30;
+pub const ITEMS: i64 = 1000;
+pub const STOCK_PER_WAREHOUSE: i64 = 1000;
+
+/// Table definitions; `order_line_shards` is the deeper shard count for the
+/// biggest table (paper: 10 tables per source).
+pub fn tpcc_spec(order_line_shards: usize) -> Vec<TableSpec> {
+    let mut specs = vec![
+        TableSpec::new(
+            "warehouse",
+            "w_id",
+            "CREATE TABLE warehouse (w_id BIGINT PRIMARY KEY, w_name VARCHAR(10), w_ytd DOUBLE)",
+        ),
+        TableSpec::new(
+            "district",
+            "d_w_id",
+            "CREATE TABLE district (d_w_id BIGINT NOT NULL, d_id INT NOT NULL, \
+             d_name VARCHAR(10), d_ytd DOUBLE, d_next_o_id INT, PRIMARY KEY (d_w_id, d_id))",
+        ),
+        TableSpec::new(
+            "customer",
+            "c_w_id",
+            "CREATE TABLE customer (c_w_id BIGINT NOT NULL, c_d_id INT NOT NULL, c_id INT NOT NULL, \
+             c_name VARCHAR(16), c_balance DOUBLE, c_ytd_payment DOUBLE, c_payment_cnt INT, \
+             PRIMARY KEY (c_w_id, c_d_id, c_id))",
+        ),
+        TableSpec::new(
+            "history",
+            "h_w_id",
+            "CREATE TABLE history (h_id BIGINT PRIMARY KEY, h_w_id BIGINT, h_d_id INT, \
+             h_c_id INT, h_amount DOUBLE, h_date BIGINT)",
+        ),
+        TableSpec::new(
+            "new_order",
+            "no_w_id",
+            "CREATE TABLE new_order (no_w_id BIGINT NOT NULL, no_d_id INT NOT NULL, \
+             no_o_id INT NOT NULL, PRIMARY KEY (no_w_id, no_d_id, no_o_id))",
+        ),
+        TableSpec::new(
+            "orders",
+            "o_w_id",
+            "CREATE TABLE orders (o_w_id BIGINT NOT NULL, o_d_id INT NOT NULL, o_id INT NOT NULL, \
+             o_c_id INT, o_carrier_id INT, o_ol_cnt INT, o_entry_d BIGINT, \
+             PRIMARY KEY (o_w_id, o_d_id, o_id))",
+        ),
+        TableSpec::new(
+            "stock",
+            "s_w_id",
+            "CREATE TABLE stock (s_w_id BIGINT NOT NULL, s_i_id INT NOT NULL, s_qty INT, \
+             s_ytd INT, s_order_cnt INT, PRIMARY KEY (s_w_id, s_i_id))",
+        ),
+        TableSpec::broadcast(
+            "item",
+            "CREATE TABLE item (i_id BIGINT PRIMARY KEY, i_name VARCHAR(24), i_price DOUBLE)",
+        ),
+    ];
+    let mut order_line = TableSpec::new(
+        "order_line",
+        "ol_w_id",
+        "CREATE TABLE order_line (ol_w_id BIGINT NOT NULL, ol_d_id INT NOT NULL, \
+         ol_o_id INT NOT NULL, ol_number INT NOT NULL, ol_i_id INT, ol_qty INT, \
+         ol_amount DOUBLE, ol_delivery_d BIGINT, \
+         PRIMARY KEY (ol_w_id, ol_d_id, ol_o_id, ol_number))",
+    );
+    order_line.shards = Some(order_line_shards);
+    specs.push(order_line);
+    specs
+}
+
+/// Populate warehouses, districts, customers, stock and the item catalog.
+pub fn load_tpcc(deployment: &Deployment, warehouses: i64) {
+    let mut conn = deployment.loader();
+    // item catalog (broadcast: inserted once, written everywhere)
+    let mut sql = String::from("INSERT INTO item (i_id, i_name, i_price) VALUES ");
+    for i in 0..ITEMS {
+        if i > 0 {
+            sql.push_str(", ");
+        }
+        sql.push_str(&format!("({i}, 'item-{i}', {:.1})", 1.0 + (i % 100) as f64));
+    }
+    conn.execute(&sql, &[]).expect("load item");
+
+    for w in 0..warehouses {
+        conn.execute(
+            &format!("INSERT INTO warehouse (w_id, w_name, w_ytd) VALUES ({w}, 'wh-{w}', 0.0)"),
+            &[],
+        )
+        .expect("load warehouse");
+        let mut sql = String::from(
+            "INSERT INTO district (d_w_id, d_id, d_name, d_ytd, d_next_o_id) VALUES ",
+        );
+        for d in 1..=DISTRICTS_PER_WAREHOUSE {
+            if d > 1 {
+                sql.push_str(", ");
+            }
+            sql.push_str(&format!("({w}, {d}, 'd-{d}', 0.0, 1)"));
+        }
+        conn.execute(&sql, &[]).expect("load district");
+
+        for d in 1..=DISTRICTS_PER_WAREHOUSE {
+            let mut sql = String::from(
+                "INSERT INTO customer (c_w_id, c_d_id, c_id, c_name, c_balance, c_ytd_payment, c_payment_cnt) VALUES ",
+            );
+            for c in 1..=CUSTOMERS_PER_DISTRICT {
+                if c > 1 {
+                    sql.push_str(", ");
+                }
+                sql.push_str(&format!("({w}, {d}, {c}, 'cust-{c}', -10.0, 10.0, 1)"));
+            }
+            conn.execute(&sql, &[]).expect("load customer");
+        }
+
+        let mut sql =
+            String::from("INSERT INTO stock (s_w_id, s_i_id, s_qty, s_ytd, s_order_cnt) VALUES ");
+        for i in 0..STOCK_PER_WAREHOUSE {
+            if i > 0 {
+                sql.push_str(", ");
+            }
+            sql.push_str(&format!("({w}, {i}, {}, 0, 0)", 50 + (i % 50)));
+        }
+        conn.execute(&sql, &[]).expect("load stock");
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TpccTxn {
+    NewOrder,
+    Payment,
+    OrderStatus,
+    Delivery,
+    StockLevel,
+}
+
+/// TPC-C driver at the native mix.
+pub struct Tpcc {
+    pub warehouses: i64,
+    pub transaction_type: TransactionType,
+}
+
+impl Tpcc {
+    pub fn new(warehouses: i64) -> Self {
+        Tpcc {
+            warehouses,
+            transaction_type: TransactionType::Local,
+        }
+    }
+
+    fn pick(&self, rng: &mut SmallRng) -> TpccTxn {
+        match rng.gen_range(0..100) {
+            0..=44 => TpccTxn::NewOrder,
+            45..=87 => TpccTxn::Payment,
+            88..=91 => TpccTxn::OrderStatus,
+            92..=95 => TpccTxn::Delivery,
+            _ => TpccTxn::StockLevel,
+        }
+    }
+
+    pub fn run_txn(&self, kind: TpccTxn, sut: &mut dyn Sut, rng: &mut SmallRng) -> Result<(), String> {
+        match kind {
+            TpccTxn::NewOrder => self.new_order(sut, rng),
+            TpccTxn::Payment => self.payment(sut, rng),
+            TpccTxn::OrderStatus => self.order_status(sut, rng),
+            TpccTxn::Delivery => self.delivery(sut, rng),
+            TpccTxn::StockLevel => self.stock_level(sut, rng),
+        }
+    }
+
+    fn new_order(&self, sut: &mut dyn Sut, rng: &mut SmallRng) -> Result<(), String> {
+        let w = rng.gen_range(0..self.warehouses);
+        let d = rng.gen_range(1..=DISTRICTS_PER_WAREHOUSE);
+        let c = rng.gen_range(1..=CUSTOMERS_PER_DISTRICT);
+        let ol_cnt = rng.gen_range(5..=15);
+
+        sut.execute("BEGIN", &[])?;
+        let body = (|sut: &mut dyn Sut, rng: &mut SmallRng| -> Result<(), String> {
+            sut.execute(
+                "SELECT w_ytd FROM warehouse WHERE w_id = ?",
+                &[Value::Int(w)],
+            )?;
+            // Allocate the order id under a row lock to serialize per district.
+            let rs = sut
+                .execute(
+                    "SELECT d_next_o_id FROM district WHERE d_w_id = ? AND d_id = ? FOR UPDATE",
+                    &[Value::Int(w), Value::Int(d)],
+                )?
+                .query();
+            let o_id = rs
+                .rows
+                .first()
+                .and_then(|r| r[0].as_int())
+                .ok_or("district missing")?;
+            sut.execute(
+                "UPDATE district SET d_next_o_id = d_next_o_id + 1 WHERE d_w_id = ? AND d_id = ?",
+                &[Value::Int(w), Value::Int(d)],
+            )?;
+            sut.execute(
+                "SELECT c_balance FROM customer WHERE c_w_id = ? AND c_d_id = ? AND c_id = ?",
+                &[Value::Int(w), Value::Int(d), Value::Int(c)],
+            )?;
+            sut.execute(
+                "INSERT INTO orders (o_w_id, o_d_id, o_id, o_c_id, o_carrier_id, o_ol_cnt, o_entry_d) \
+                 VALUES (?, ?, ?, ?, 0, ?, 0)",
+                &[
+                    Value::Int(w),
+                    Value::Int(d),
+                    Value::Int(o_id),
+                    Value::Int(c),
+                    Value::Int(ol_cnt),
+                ],
+            )?;
+            sut.execute(
+                "INSERT INTO new_order (no_w_id, no_d_id, no_o_id) VALUES (?, ?, ?)",
+                &[Value::Int(w), Value::Int(d), Value::Int(o_id)],
+            )?;
+            for number in 1..=ol_cnt {
+                let i_id = rng.gen_range(0..ITEMS);
+                let qty = rng.gen_range(1..=10);
+                let rs = sut
+                    .execute(
+                        "SELECT i_price FROM item WHERE i_id = ?",
+                        &[Value::Int(i_id)],
+                    )?
+                    .query();
+                let price = rs
+                    .rows
+                    .first()
+                    .and_then(|r| r[0].as_float())
+                    .ok_or("item missing")?;
+                sut.execute(
+                    "SELECT s_qty FROM stock WHERE s_w_id = ? AND s_i_id = ?",
+                    &[Value::Int(w), Value::Int(i_id % STOCK_PER_WAREHOUSE)],
+                )?;
+                sut.execute(
+                    "UPDATE stock SET s_qty = s_qty - ?, s_ytd = s_ytd + ?, s_order_cnt = s_order_cnt + 1 \
+                     WHERE s_w_id = ? AND s_i_id = ?",
+                    &[
+                        Value::Int(qty),
+                        Value::Int(qty),
+                        Value::Int(w),
+                        Value::Int(i_id % STOCK_PER_WAREHOUSE),
+                    ],
+                )?;
+                sut.execute(
+                    "INSERT INTO order_line (ol_w_id, ol_d_id, ol_o_id, ol_number, ol_i_id, ol_qty, ol_amount, ol_delivery_d) \
+                     VALUES (?, ?, ?, ?, ?, ?, ?, 0)",
+                    &[
+                        Value::Int(w),
+                        Value::Int(d),
+                        Value::Int(o_id),
+                        Value::Int(number),
+                        Value::Int(i_id),
+                        Value::Int(qty),
+                        Value::Float(price * qty as f64),
+                    ],
+                )?;
+            }
+            Ok(())
+        })(sut, rng);
+        finish(sut, body)
+    }
+
+    fn payment(&self, sut: &mut dyn Sut, rng: &mut SmallRng) -> Result<(), String> {
+        let w = rng.gen_range(0..self.warehouses);
+        let d = rng.gen_range(1..=DISTRICTS_PER_WAREHOUSE);
+        let c = rng.gen_range(1..=CUSTOMERS_PER_DISTRICT);
+        let amount = rng.gen_range(1.0..5000.0);
+        let h_id = rng.gen::<i64>().unsigned_abs() as i64;
+        sut.execute("BEGIN", &[])?;
+        let body = (|sut: &mut dyn Sut| -> Result<(), String> {
+            sut.execute(
+                "UPDATE warehouse SET w_ytd = w_ytd + ? WHERE w_id = ?",
+                &[Value::Float(amount), Value::Int(w)],
+            )?;
+            sut.execute(
+                "UPDATE district SET d_ytd = d_ytd + ? WHERE d_w_id = ? AND d_id = ?",
+                &[Value::Float(amount), Value::Int(w), Value::Int(d)],
+            )?;
+            sut.execute(
+                "SELECT c_balance FROM customer WHERE c_w_id = ? AND c_d_id = ? AND c_id = ?",
+                &[Value::Int(w), Value::Int(d), Value::Int(c)],
+            )?;
+            sut.execute(
+                "UPDATE customer SET c_balance = c_balance - ?, c_ytd_payment = c_ytd_payment + ?, \
+                 c_payment_cnt = c_payment_cnt + 1 WHERE c_w_id = ? AND c_d_id = ? AND c_id = ?",
+                &[
+                    Value::Float(amount),
+                    Value::Float(amount),
+                    Value::Int(w),
+                    Value::Int(d),
+                    Value::Int(c),
+                ],
+            )?;
+            sut.execute(
+                "INSERT INTO history (h_id, h_w_id, h_d_id, h_c_id, h_amount, h_date) \
+                 VALUES (?, ?, ?, ?, ?, 0)",
+                &[
+                    Value::Int(h_id),
+                    Value::Int(w),
+                    Value::Int(d),
+                    Value::Int(c),
+                    Value::Float(amount),
+                ],
+            )?;
+            Ok(())
+        })(sut);
+        finish(sut, body)
+    }
+
+    fn order_status(&self, sut: &mut dyn Sut, rng: &mut SmallRng) -> Result<(), String> {
+        let w = rng.gen_range(0..self.warehouses);
+        let d = rng.gen_range(1..=DISTRICTS_PER_WAREHOUSE);
+        let c = rng.gen_range(1..=CUSTOMERS_PER_DISTRICT);
+        sut.execute(
+            "SELECT c_balance, c_name FROM customer WHERE c_w_id = ? AND c_d_id = ? AND c_id = ?",
+            &[Value::Int(w), Value::Int(d), Value::Int(c)],
+        )?;
+        let rs = sut
+            .execute(
+                "SELECT o_id, o_carrier_id FROM orders WHERE o_w_id = ? AND o_d_id = ? AND o_c_id = ? \
+                 ORDER BY o_id DESC LIMIT 1",
+                &[Value::Int(w), Value::Int(d), Value::Int(c)],
+            )?
+            .query();
+        if let Some(row) = rs.rows.first() {
+            let o_id = row[0].as_int().unwrap_or(0);
+            sut.execute(
+                "SELECT ol_i_id, ol_qty, ol_amount FROM order_line \
+                 WHERE ol_w_id = ? AND ol_d_id = ? AND ol_o_id = ?",
+                &[Value::Int(w), Value::Int(d), Value::Int(o_id)],
+            )?;
+        }
+        Ok(())
+    }
+
+    fn delivery(&self, sut: &mut dyn Sut, rng: &mut SmallRng) -> Result<(), String> {
+        let w = rng.gen_range(0..self.warehouses);
+        sut.execute("BEGIN", &[])?;
+        let body = (|sut: &mut dyn Sut| -> Result<(), String> {
+            for d in 1..=DISTRICTS_PER_WAREHOUSE {
+                let rs = sut
+                    .execute(
+                        "SELECT no_o_id FROM new_order WHERE no_w_id = ? AND no_d_id = ? \
+                         ORDER BY no_o_id LIMIT 1",
+                        &[Value::Int(w), Value::Int(d)],
+                    )?
+                    .query();
+                let Some(row) = rs.rows.first() else {
+                    continue; // no undelivered order in this district
+                };
+                let o_id = row[0].as_int().unwrap_or(0);
+                sut.execute(
+                    "DELETE FROM new_order WHERE no_w_id = ? AND no_d_id = ? AND no_o_id = ?",
+                    &[Value::Int(w), Value::Int(d), Value::Int(o_id)],
+                )?;
+                sut.execute(
+                    "UPDATE orders SET o_carrier_id = ? WHERE o_w_id = ? AND o_d_id = ? AND o_id = ?",
+                    &[Value::Int(1), Value::Int(w), Value::Int(d), Value::Int(o_id)],
+                )?;
+                sut.execute(
+                    "UPDATE order_line SET ol_delivery_d = 1 \
+                     WHERE ol_w_id = ? AND ol_d_id = ? AND ol_o_id = ?",
+                    &[Value::Int(w), Value::Int(d), Value::Int(o_id)],
+                )?;
+                let rs = sut
+                    .execute(
+                        "SELECT SUM(ol_amount) FROM order_line \
+                         WHERE ol_w_id = ? AND ol_d_id = ? AND ol_o_id = ?",
+                        &[Value::Int(w), Value::Int(d), Value::Int(o_id)],
+                    )?
+                    .query();
+                let total = rs
+                    .rows
+                    .first()
+                    .and_then(|r| r[0].as_float())
+                    .unwrap_or(0.0);
+                let rs = sut
+                    .execute(
+                        "SELECT o_c_id FROM orders WHERE o_w_id = ? AND o_d_id = ? AND o_id = ?",
+                        &[Value::Int(w), Value::Int(d), Value::Int(o_id)],
+                    )?
+                    .query();
+                if let Some(c) = rs.rows.first().and_then(|r| r[0].as_int()) {
+                    sut.execute(
+                        "UPDATE customer SET c_balance = c_balance + ? \
+                         WHERE c_w_id = ? AND c_d_id = ? AND c_id = ?",
+                        &[Value::Float(total), Value::Int(w), Value::Int(d), Value::Int(c)],
+                    )?;
+                }
+            }
+            Ok(())
+        })(sut);
+        finish(sut, body)
+    }
+
+    fn stock_level(&self, sut: &mut dyn Sut, rng: &mut SmallRng) -> Result<(), String> {
+        let w = rng.gen_range(0..self.warehouses);
+        let d = rng.gen_range(1..=DISTRICTS_PER_WAREHOUSE);
+        let threshold = rng.gen_range(10..=20);
+        let rs = sut
+            .execute(
+                "SELECT d_next_o_id FROM district WHERE d_w_id = ? AND d_id = ?",
+                &[Value::Int(w), Value::Int(d)],
+            )?
+            .query();
+        let next_o = rs.rows.first().and_then(|r| r[0].as_int()).unwrap_or(1);
+        sut.execute(
+            "SELECT COUNT(DISTINCT ol_i_id) FROM order_line \
+             WHERE ol_w_id = ? AND ol_d_id = ? AND ol_o_id >= ?",
+            &[Value::Int(w), Value::Int(d), Value::Int((next_o - 20).max(0))],
+        )?;
+        sut.execute(
+            "SELECT COUNT(*) FROM stock WHERE s_w_id = ? AND s_qty < ?",
+            &[Value::Int(w), Value::Int(threshold)],
+        )?;
+        Ok(())
+    }
+}
+
+fn finish(sut: &mut dyn Sut, result: Result<(), String>) -> Result<(), String> {
+    match result {
+        Ok(()) => {
+            sut.execute("COMMIT", &[])?;
+            Ok(())
+        }
+        Err(e) => {
+            let _ = sut.execute("ROLLBACK", &[]);
+            Err(e)
+        }
+    }
+}
+
+impl Workload for Tpcc {
+    fn prepare_connection(&self, sut: &mut dyn Sut) -> Result<(), String> {
+        sut.execute(
+            &format!("SET VARIABLE transaction_type = {}", self.transaction_type),
+            &[],
+        )?;
+        Ok(())
+    }
+
+    fn transaction(&self, sut: &mut dyn Sut, rng: &mut SmallRng) -> Result<(), String> {
+        let kind = self.pick(rng);
+        self.run_txn(kind, sut, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::systems::{Flavor, Mode, Topology};
+    use rand::SeedableRng;
+    use shard_storage::LatencyModel;
+
+    fn deployment() -> Deployment {
+        let mut topo = Topology::new(Flavor::MySql, 2, 1);
+        topo.latency_override = Some(LatencyModel::ZERO);
+        let d = Deployment::build("SSJ", topo, Mode::Jdbc, &tpcc_spec(4)).unwrap();
+        load_tpcc(&d, 2);
+        d
+    }
+
+    #[test]
+    fn load_populates_all_tables() {
+        let d = deployment();
+        let mut c = d.client();
+        let mut count = |sql: &str| -> i64 {
+            c.execute(sql, &[]).unwrap().query().rows[0][0]
+                .as_int()
+                .unwrap()
+        };
+        assert_eq!(count("SELECT COUNT(*) FROM warehouse"), 2);
+        assert_eq!(count("SELECT COUNT(*) FROM district"), 20);
+        assert_eq!(
+            count("SELECT COUNT(*) FROM customer"),
+            2 * 10 * CUSTOMERS_PER_DISTRICT
+        );
+        assert_eq!(count("SELECT COUNT(*) FROM item"), ITEMS);
+        assert_eq!(count("SELECT COUNT(*) FROM stock"), 2 * STOCK_PER_WAREHOUSE);
+    }
+
+    #[test]
+    fn every_transaction_type_runs() {
+        let d = deployment();
+        let tpcc = Tpcc::new(2);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut sut = d.client();
+        tpcc.prepare_connection(sut.as_mut()).unwrap();
+        // NewOrder first so later transactions find orders.
+        for kind in [
+            TpccTxn::NewOrder,
+            TpccTxn::NewOrder,
+            TpccTxn::Payment,
+            TpccTxn::OrderStatus,
+            TpccTxn::Delivery,
+            TpccTxn::StockLevel,
+        ] {
+            tpcc.run_txn(kind, sut.as_mut(), &mut rng)
+                .unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+        }
+        // NewOrder left rows behind.
+        let orders = sut
+            .execute("SELECT COUNT(*) FROM orders", &[])
+            .unwrap()
+            .query()
+            .rows[0][0]
+            .as_int()
+            .unwrap();
+        assert_eq!(orders, 2);
+        let lines = sut
+            .execute("SELECT COUNT(*) FROM order_line", &[])
+            .unwrap()
+            .query()
+            .rows[0][0]
+            .as_int()
+            .unwrap();
+        assert!(lines >= 10, "order lines inserted");
+    }
+
+    #[test]
+    fn delivery_consumes_new_orders() {
+        let d = deployment();
+        let tpcc = Tpcc::new(1); // warehouse 0 only, so delivery hits it
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut sut = d.client();
+        tpcc.run_txn(TpccTxn::NewOrder, sut.as_mut(), &mut rng).unwrap();
+        let before = sut
+            .execute("SELECT COUNT(*) FROM new_order", &[])
+            .unwrap()
+            .query()
+            .rows[0][0]
+            .as_int()
+            .unwrap();
+        assert_eq!(before, 1);
+        tpcc.run_txn(TpccTxn::Delivery, sut.as_mut(), &mut rng).unwrap();
+        let after = sut
+            .execute("SELECT COUNT(*) FROM new_order", &[])
+            .unwrap()
+            .query()
+            .rows[0][0]
+            .as_int()
+            .unwrap();
+        assert_eq!(after, 0);
+    }
+
+    #[test]
+    fn mix_proportions_roughly_native() {
+        let tpcc = Tpcc::new(1);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..10_000 {
+            *counts.entry(tpcc.pick(&mut rng)).or_insert(0u32) += 1;
+        }
+        let pct = |k: TpccTxn| *counts.get(&k).unwrap_or(&0) as f64 / 100.0;
+        assert!((pct(TpccTxn::NewOrder) - 45.0).abs() < 3.0);
+        assert!((pct(TpccTxn::Payment) - 43.0).abs() < 3.0);
+        assert!((pct(TpccTxn::Delivery) - 4.0).abs() < 2.0);
+    }
+}

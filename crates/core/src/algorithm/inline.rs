@@ -1,0 +1,220 @@
+//! Inline-expression algorithms: the sharding target is computed by a small
+//! arithmetic expression over the sharding key, e.g.
+//! `algorithm-expression = "uid % 4"`. This mirrors ShardingSphere's
+//! Groovy-based INLINE algorithm with our own SQL-expression evaluator.
+
+use super::{ComplexShardingAlgorithm, Props, ShardingAlgorithm};
+use crate::error::{KernelError, Result};
+use shard_sql::ast::Expr;
+use shard_sql::Value;
+use shard_storage::eval::{eval, EvalContext, Scope};
+use std::collections::HashMap;
+
+fn parse_expression(text: &str) -> Result<Expr> {
+    // Reuse the SQL parser by wrapping the expression in a SELECT.
+    let stmt = shard_sql::parse_statement(&format!("SELECT * FROM t WHERE ({text}) >= 0"))
+        .map_err(|e| KernelError::Config(format!("bad algorithm-expression '{text}': {e}")))?;
+    match stmt {
+        shard_sql::Statement::Select(s) => match s.where_clause {
+            Some(Expr::Binary { left, .. }) => Ok(*left),
+            _ => Err(KernelError::Config("bad algorithm-expression".into())),
+        },
+        _ => unreachable!(),
+    }
+}
+
+fn eval_to_index(expr: &Expr, columns: &[String], values: &[Value], target_count: usize) -> Result<usize> {
+    let scope = Scope::from_columns(columns);
+    let ctx = EvalContext::new(&scope, values, &[]);
+    let v = eval(expr, &ctx).map_err(|e| KernelError::Route(e.to_string()))?;
+    let idx = v.as_int().ok_or_else(|| {
+        KernelError::Route(format!("algorithm expression produced non-integer {v}"))
+    })?;
+    if idx < 0 {
+        return Err(KernelError::Route(format!(
+            "algorithm expression produced negative index {idx}"
+        )));
+    }
+    Ok((idx as usize) % target_count.max(1))
+}
+
+/// Single-column inline expression: `PROPERTIES("algorithm-expression"="uid % 4")`.
+pub struct InlineAlgorithm {
+    column: String,
+    expr: Expr,
+}
+
+impl InlineAlgorithm {
+    pub fn new(column: impl Into<String>, expression: &str) -> Result<Self> {
+        Ok(InlineAlgorithm {
+            column: column.into(),
+            expr: parse_expression(expression)?,
+        })
+    }
+
+    pub fn from_props(props: &Props) -> Result<Self> {
+        let expression = props.get("algorithm-expression").ok_or_else(|| {
+            KernelError::Config("missing property 'algorithm-expression'".into())
+        })?;
+        let expr = parse_expression(expression)?;
+        // The single referenced column is the sharding column.
+        let mut column = None;
+        expr.walk(&mut |e| {
+            if let Expr::Column(c) = e {
+                column = Some(c.column.clone());
+            }
+        });
+        let column = column.ok_or_else(|| {
+            KernelError::Config("algorithm-expression must reference the sharding column".into())
+        })?;
+        Ok(InlineAlgorithm { column, expr })
+    }
+}
+
+impl ShardingAlgorithm for InlineAlgorithm {
+    fn type_name(&self) -> &str {
+        "inline"
+    }
+
+    fn shard_exact(&self, target_count: usize, value: &Value) -> Result<usize> {
+        eval_to_index(
+            &self.expr,
+            std::slice::from_ref(&self.column),
+            std::slice::from_ref(value),
+            target_count,
+        )
+    }
+}
+
+/// Multi-column inline expression for composite sharding keys, e.g.
+/// `"(uid + region_id) % 8"` (the paper's "sharding key with multiple
+/// fields").
+pub struct ComplexInlineAlgorithm {
+    columns: Vec<String>,
+    expr: Expr,
+}
+
+impl ComplexInlineAlgorithm {
+    pub fn new(columns: Vec<String>, expression: &str) -> Result<Self> {
+        Ok(ComplexInlineAlgorithm {
+            columns,
+            expr: parse_expression(expression)?,
+        })
+    }
+}
+
+impl ComplexShardingAlgorithm for ComplexInlineAlgorithm {
+    fn type_name(&self) -> &str {
+        "complex_inline"
+    }
+
+    fn shard(&self, target_count: usize, values: &HashMap<String, Value>) -> Result<Vec<usize>> {
+        let mut row = Vec::with_capacity(self.columns.len());
+        for c in &self.columns {
+            match values.get(c) {
+                Some(v) => row.push(v.clone()),
+                // A missing key value means the query did not constrain this
+                // column: broadcast.
+                None => return Ok((0..target_count).collect()),
+            }
+        }
+        Ok(vec![eval_to_index(&self.expr, &self.columns, &row, target_count)?])
+    }
+}
+
+/// Hint-based inline: ignores the row entirely and routes on an externally
+/// supplied hint value (ShardingSphere's HINT_INLINE; see
+/// [`crate::feature::hint`]).
+pub struct HintInlineAlgorithm {
+    expr: Expr,
+}
+
+impl HintInlineAlgorithm {
+    pub fn new(expression: &str) -> Result<Self> {
+        Ok(HintInlineAlgorithm {
+            expr: parse_expression(expression)?,
+        })
+    }
+
+    pub fn from_props(props: &Props) -> Result<Self> {
+        let expression = props
+            .get("algorithm-expression")
+            .map(String::as_str)
+            .unwrap_or("value");
+        HintInlineAlgorithm::new(expression)
+    }
+}
+
+impl ShardingAlgorithm for HintInlineAlgorithm {
+    fn type_name(&self) -> &str {
+        "hint_inline"
+    }
+
+    /// `value` here is the hint value, not a row value.
+    fn shard_exact(&self, target_count: usize, value: &Value) -> Result<usize> {
+        eval_to_index(
+            &self.expr,
+            &["value".to_string()],
+            std::slice::from_ref(value),
+            target_count,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_mod_expression() {
+        let alg = InlineAlgorithm::new("uid", "uid % 4").unwrap();
+        assert_eq!(alg.shard_exact(4, &Value::Int(6)).unwrap(), 2);
+        assert_eq!(alg.shard_exact(4, &Value::Int(13)).unwrap(), 1);
+    }
+
+    #[test]
+    fn inline_from_props_infers_column() {
+        let mut props = Props::new();
+        props.insert("algorithm-expression".into(), "order_id / 100 % 2".into());
+        let alg = InlineAlgorithm::from_props(&props).unwrap();
+        assert_eq!(alg.shard_exact(2, &Value::Int(250)).unwrap(), 0);
+        assert_eq!(alg.shard_exact(2, &Value::Int(150)).unwrap(), 1);
+    }
+
+    #[test]
+    fn inline_result_wraps_modulo_targets() {
+        let alg = InlineAlgorithm::new("uid", "uid").unwrap();
+        // expression yields 7 but only 4 targets: wraps to 3
+        assert_eq!(alg.shard_exact(4, &Value::Int(7)).unwrap(), 3);
+    }
+
+    #[test]
+    fn bad_expression_rejected() {
+        assert!(InlineAlgorithm::new("uid", "uid %% %").is_err());
+        let mut props = Props::new();
+        props.insert("algorithm-expression".into(), "1 + 1".into());
+        assert!(InlineAlgorithm::from_props(&props).is_err()); // no column
+    }
+
+    #[test]
+    fn complex_inline_multi_key() {
+        let alg = ComplexInlineAlgorithm::new(
+            vec!["uid".into(), "region".into()],
+            "(uid + region) % 3",
+        )
+        .unwrap();
+        let mut vals = HashMap::new();
+        vals.insert("uid".to_string(), Value::Int(4));
+        vals.insert("region".to_string(), Value::Int(2));
+        assert_eq!(alg.shard(3, &vals).unwrap(), vec![0]);
+        // Missing key → broadcast.
+        vals.remove("region");
+        assert_eq!(alg.shard(3, &vals).unwrap(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn hint_inline_routes_on_hint_value() {
+        let alg = HintInlineAlgorithm::new("value % 2").unwrap();
+        assert_eq!(alg.shard_exact(2, &Value::Int(9)).unwrap(), 1);
+    }
+}

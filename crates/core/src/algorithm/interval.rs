@@ -1,0 +1,191 @@
+//! Time-interval algorithms. The BestPay deployment in the paper splits each
+//! database "horizontally by month" — these algorithms implement that
+//! pattern. Keys are epoch timestamps (seconds).
+
+use super::{prop_i64, Props, ShardingAlgorithm};
+use crate::error::{KernelError, Result};
+use shard_sql::Value;
+use std::collections::Bound;
+
+/// `auto_interval`: partitions time uniformly from `datetime-lower` in steps
+/// of `sharding-seconds` (ShardingSphere's AUTO_INTERVAL).
+pub struct AutoIntervalAlgorithm {
+    lower: i64,
+    seconds: i64,
+}
+
+impl AutoIntervalAlgorithm {
+    pub fn new(lower: i64, seconds: i64) -> Result<Self> {
+        if seconds <= 0 {
+            return Err(KernelError::Config("sharding-seconds must be positive".into()));
+        }
+        Ok(AutoIntervalAlgorithm { lower, seconds })
+    }
+
+    pub fn from_props(props: &Props) -> Result<Self> {
+        AutoIntervalAlgorithm::new(
+            prop_i64(props, "datetime-lower")?,
+            prop_i64(props, "sharding-seconds")?,
+        )
+    }
+
+    fn bucket(&self, ts: i64, target_count: usize) -> usize {
+        if ts < self.lower {
+            return 0;
+        }
+        (((ts - self.lower) / self.seconds) as usize).min(target_count.saturating_sub(1))
+    }
+}
+
+impl ShardingAlgorithm for AutoIntervalAlgorithm {
+    fn type_name(&self) -> &str {
+        "auto_interval"
+    }
+
+    fn shard_exact(&self, target_count: usize, value: &Value) -> Result<usize> {
+        let ts = value.as_int().ok_or_else(|| {
+            KernelError::Route(format!("auto_interval requires a timestamp key, got {value}"))
+        })?;
+        Ok(self.bucket(ts, target_count))
+    }
+
+    fn shard_range(
+        &self,
+        target_count: usize,
+        low: Bound<&Value>,
+        high: Bound<&Value>,
+    ) -> Result<Vec<usize>> {
+        let lo = match low {
+            Bound::Included(v) | Bound::Excluded(v) => {
+                v.as_int().map(|t| self.bucket(t, target_count)).unwrap_or(0)
+            }
+            Bound::Unbounded => 0,
+        };
+        let hi = match high {
+            Bound::Included(v) | Bound::Excluded(v) => v
+                .as_int()
+                .map(|t| self.bucket(t, target_count))
+                .unwrap_or(target_count.saturating_sub(1)),
+            Bound::Unbounded => target_count.saturating_sub(1),
+        };
+        Ok((lo..=hi).collect())
+    }
+
+    fn preserves_order(&self) -> bool {
+        true
+    }
+}
+
+/// `interval`: like `auto_interval` but with a fixed human period: month-ish
+/// (30d), week (7d) or day. The BestPay case splits by month.
+pub struct IntervalAlgorithm {
+    lower: i64,
+    period_seconds: i64,
+}
+
+impl IntervalAlgorithm {
+    pub fn new(lower: i64, unit: &str) -> Result<Self> {
+        let period_seconds = match unit.to_lowercase().as_str() {
+            "day" | "days" => 86_400,
+            "week" | "weeks" => 7 * 86_400,
+            "month" | "months" => 30 * 86_400,
+            "year" | "years" => 365 * 86_400,
+            other => {
+                return Err(KernelError::Config(format!(
+                    "unknown interval unit '{other}' (day/week/month/year)"
+                )))
+            }
+        };
+        Ok(IntervalAlgorithm {
+            lower,
+            period_seconds,
+        })
+    }
+
+    pub fn from_props(props: &Props) -> Result<Self> {
+        let unit = props
+            .get("datetime-interval-unit")
+            .map(String::as_str)
+            .unwrap_or("month");
+        IntervalAlgorithm::new(prop_i64(props, "datetime-lower")?, unit)
+    }
+}
+
+impl ShardingAlgorithm for IntervalAlgorithm {
+    fn type_name(&self) -> &str {
+        "interval"
+    }
+
+    fn shard_exact(&self, target_count: usize, value: &Value) -> Result<usize> {
+        let ts = value.as_int().ok_or_else(|| {
+            KernelError::Route(format!("interval requires a timestamp key, got {value}"))
+        })?;
+        if ts < self.lower {
+            return Ok(0);
+        }
+        Ok((((ts - self.lower) / self.period_seconds) as usize)
+            .min(target_count.saturating_sub(1)))
+    }
+
+    fn shard_range(
+        &self,
+        target_count: usize,
+        low: Bound<&Value>,
+        high: Bound<&Value>,
+    ) -> Result<Vec<usize>> {
+        let exact = |v: &Value| self.shard_exact(target_count, v);
+        let lo = match low {
+            Bound::Included(v) | Bound::Excluded(v) => exact(v).unwrap_or(0),
+            Bound::Unbounded => 0,
+        };
+        let hi = match high {
+            Bound::Included(v) | Bound::Excluded(v) => {
+                exact(v).unwrap_or(target_count.saturating_sub(1))
+            }
+            Bound::Unbounded => target_count.saturating_sub(1),
+        };
+        Ok((lo..=hi).collect())
+    }
+
+    fn preserves_order(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_interval_buckets() {
+        let alg = AutoIntervalAlgorithm::new(1000, 100).unwrap();
+        assert_eq!(alg.shard_exact(4, &Value::Int(999)).unwrap(), 0);
+        assert_eq!(alg.shard_exact(4, &Value::Int(1000)).unwrap(), 0);
+        assert_eq!(alg.shard_exact(4, &Value::Int(1150)).unwrap(), 1);
+        assert_eq!(alg.shard_exact(4, &Value::Int(9999)).unwrap(), 3); // clamped
+    }
+
+    #[test]
+    fn auto_interval_range_contiguous() {
+        let alg = AutoIntervalAlgorithm::new(0, 100).unwrap();
+        let t = alg
+            .shard_range(10, Bound::Included(&Value::Int(150)), Bound::Included(&Value::Int(420)))
+            .unwrap();
+        assert_eq!(t, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn monthly_interval() {
+        let month = 30 * 86_400;
+        let alg = IntervalAlgorithm::new(0, "month").unwrap();
+        assert_eq!(alg.shard_exact(12, &Value::Int(month / 2)).unwrap(), 0);
+        assert_eq!(alg.shard_exact(12, &Value::Int(month + 1)).unwrap(), 1);
+        assert_eq!(alg.shard_exact(12, &Value::Int(5 * month + 10)).unwrap(), 5);
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        assert!(AutoIntervalAlgorithm::new(0, 0).is_err());
+        assert!(IntervalAlgorithm::new(0, "fortnight").is_err());
+    }
+}

@@ -1,0 +1,131 @@
+//! `mod` and `hash_mod` — the workhorse algorithms (the paper's running
+//! example `uid % 2` is `mod`; JD Baitiao's production setup uses hash
+//! sharding on user ids).
+
+use super::{prop_usize, Props, ShardingAlgorithm};
+use crate::error::{KernelError, Result};
+use shard_sql::Value;
+
+/// `value % sharding-count`. Requires an integral sharding key.
+pub struct ModAlgorithm {
+    sharding_count: Option<usize>,
+}
+
+impl ModAlgorithm {
+    pub fn new(sharding_count: Option<usize>) -> Self {
+        ModAlgorithm { sharding_count }
+    }
+
+    pub fn from_props(props: &Props) -> Result<Self> {
+        let count = match props.get("sharding-count") {
+            Some(_) => Some(prop_usize(props, "sharding-count")?),
+            None => None,
+        };
+        Ok(ModAlgorithm::new(count))
+    }
+
+    fn count(&self, target_count: usize) -> usize {
+        self.sharding_count.unwrap_or(target_count).max(1)
+    }
+}
+
+impl ShardingAlgorithm for ModAlgorithm {
+    fn type_name(&self) -> &str {
+        "mod"
+    }
+
+    fn shard_exact(&self, target_count: usize, value: &Value) -> Result<usize> {
+        let v = value.as_int().ok_or_else(|| {
+            KernelError::Route(format!("mod sharding requires an integral key, got {value}"))
+        })?;
+        Ok((v.rem_euclid(self.count(target_count) as i64)) as usize)
+    }
+}
+
+/// `hash(value) % sharding-count`. Works for any key type; integers and
+/// integral strings hash identically (see `Value::stable_hash`).
+pub struct HashModAlgorithm {
+    sharding_count: Option<usize>,
+}
+
+impl HashModAlgorithm {
+    pub fn new(sharding_count: Option<usize>) -> Self {
+        HashModAlgorithm { sharding_count }
+    }
+
+    pub fn from_props(props: &Props) -> Result<Self> {
+        let count = match props.get("sharding-count") {
+            Some(_) => Some(prop_usize(props, "sharding-count")?),
+            None => None,
+        };
+        Ok(HashModAlgorithm::new(count))
+    }
+}
+
+impl ShardingAlgorithm for HashModAlgorithm {
+    fn type_name(&self) -> &str {
+        "hash_mod"
+    }
+
+    fn shard_exact(&self, target_count: usize, value: &Value) -> Result<usize> {
+        let n = self.sharding_count.unwrap_or(target_count).max(1) as u64;
+        Ok((value.stable_hash() % n) as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::Bound;
+
+    #[test]
+    fn mod_routes_by_remainder() {
+        let alg = ModAlgorithm::new(None);
+        assert_eq!(alg.shard_exact(2, &Value::Int(4)).unwrap(), 0);
+        assert_eq!(alg.shard_exact(2, &Value::Int(7)).unwrap(), 1);
+        // negative keys stay in range (rem_euclid)
+        assert_eq!(alg.shard_exact(2, &Value::Int(-3)).unwrap(), 1);
+    }
+
+    #[test]
+    fn mod_rejects_non_integral() {
+        let alg = ModAlgorithm::new(None);
+        assert!(alg.shard_exact(2, &Value::Str("abc".into())).is_err());
+        assert!(alg.shard_exact(2, &Value::Null).is_err());
+    }
+
+    #[test]
+    fn mod_explicit_count_overrides_target_count() {
+        let alg = ModAlgorithm::new(Some(4));
+        assert_eq!(alg.shard_exact(999, &Value::Int(6)).unwrap(), 2);
+    }
+
+    #[test]
+    fn hash_mod_stays_in_range_and_is_stable() {
+        let alg = HashModAlgorithm::new(None);
+        for i in 0..100 {
+            let t = alg.shard_exact(5, &Value::Int(i)).unwrap();
+            assert!(t < 5);
+            assert_eq!(t, alg.shard_exact(5, &Value::Int(i)).unwrap());
+        }
+    }
+
+    #[test]
+    fn hash_mod_int_and_string_agree() {
+        let alg = HashModAlgorithm::new(None);
+        assert_eq!(
+            alg.shard_exact(7, &Value::Int(42)).unwrap(),
+            alg.shard_exact(7, &Value::Str("42".into())).unwrap()
+        );
+    }
+
+    #[test]
+    fn range_defaults_to_broadcast() {
+        let alg = ModAlgorithm::new(None);
+        let t = alg
+            .shard_range(3, Bound::Included(&Value::Int(0)), Bound::Included(&Value::Int(1)))
+            .unwrap();
+        assert_eq!(t, vec![0, 1, 2]);
+        assert!(!alg.preserves_order());
+    }
+}

@@ -1,0 +1,247 @@
+//! Range-based algorithms: `volume_range` (fixed-size partitions between a
+//! lower and upper bound) and `boundary_range` (user-provided boundaries).
+//! Both preserve key order, so range queries route to contiguous subsets.
+
+use super::{prop_i64, Props, ShardingAlgorithm};
+use crate::error::{KernelError, Result};
+use shard_sql::Value;
+use std::collections::Bound;
+
+/// Partitions `[lower, upper)` into chunks of `sharding-volume`; keys below
+/// `lower` go to the first target, keys at/above `upper` to the last.
+pub struct VolumeRangeAlgorithm {
+    lower: i64,
+    upper: i64,
+    volume: i64,
+}
+
+impl VolumeRangeAlgorithm {
+    pub fn new(lower: i64, upper: i64, volume: i64) -> Result<Self> {
+        if volume <= 0 || upper <= lower {
+            return Err(KernelError::Config(
+                "volume_range requires upper > lower and volume > 0".into(),
+            ));
+        }
+        Ok(VolumeRangeAlgorithm { lower, upper, volume })
+    }
+
+    pub fn from_props(props: &Props) -> Result<Self> {
+        VolumeRangeAlgorithm::new(
+            prop_i64(props, "range-lower")?,
+            prop_i64(props, "range-upper")?,
+            prop_i64(props, "sharding-volume")?,
+        )
+    }
+
+    /// Total number of partitions this algorithm defines.
+    pub fn partitions(&self) -> usize {
+        // one underflow bucket + interior buckets + one overflow bucket
+        let interior = ((self.upper - self.lower) + self.volume - 1) / self.volume;
+        (interior as usize) + 2
+    }
+
+    fn bucket(&self, v: i64) -> usize {
+        if v < self.lower {
+            0
+        } else if v >= self.upper {
+            self.partitions() - 1
+        } else {
+            1 + ((v - self.lower) / self.volume) as usize
+        }
+    }
+}
+
+impl ShardingAlgorithm for VolumeRangeAlgorithm {
+    fn type_name(&self) -> &str {
+        "volume_range"
+    }
+
+    fn shard_exact(&self, target_count: usize, value: &Value) -> Result<usize> {
+        let v = value.as_int().ok_or_else(|| {
+            KernelError::Route(format!("volume_range requires integral key, got {value}"))
+        })?;
+        Ok(self.bucket(v).min(target_count.saturating_sub(1)))
+    }
+
+    fn shard_range(
+        &self,
+        target_count: usize,
+        low: Bound<&Value>,
+        high: Bound<&Value>,
+    ) -> Result<Vec<usize>> {
+        let lo_bucket = match bound_int(low) {
+            Some(v) => self.bucket(v),
+            None => 0,
+        };
+        let hi_bucket = match bound_int(high) {
+            Some(v) => self.bucket(v),
+            None => self.partitions() - 1,
+        };
+        let cap = target_count.saturating_sub(1);
+        Ok((lo_bucket.min(cap)..=hi_bucket.min(cap)).collect())
+    }
+
+    fn preserves_order(&self) -> bool {
+        true
+    }
+}
+
+/// Boundaries like `"10,20,30"` define 4 partitions:
+/// (-∞,10), [10,20), [20,30), [30,∞).
+pub struct BoundaryRangeAlgorithm {
+    boundaries: Vec<i64>,
+}
+
+impl BoundaryRangeAlgorithm {
+    pub fn new(mut boundaries: Vec<i64>) -> Result<Self> {
+        if boundaries.is_empty() {
+            return Err(KernelError::Config(
+                "boundary_range requires at least one boundary".into(),
+            ));
+        }
+        boundaries.sort_unstable();
+        boundaries.dedup();
+        Ok(BoundaryRangeAlgorithm { boundaries })
+    }
+
+    pub fn from_props(props: &Props) -> Result<Self> {
+        let text = props.get("sharding-ranges").ok_or_else(|| {
+            KernelError::Config("missing property 'sharding-ranges'".into())
+        })?;
+        let boundaries: std::result::Result<Vec<i64>, _> =
+            text.split(',').map(|s| s.trim().parse()).collect();
+        BoundaryRangeAlgorithm::new(boundaries.map_err(|_| {
+            KernelError::Config("'sharding-ranges' must be comma-separated integers".into())
+        })?)
+    }
+
+    pub fn partitions(&self) -> usize {
+        self.boundaries.len() + 1
+    }
+
+    fn bucket(&self, v: i64) -> usize {
+        self.boundaries.partition_point(|b| *b <= v)
+    }
+}
+
+impl ShardingAlgorithm for BoundaryRangeAlgorithm {
+    fn type_name(&self) -> &str {
+        "boundary_range"
+    }
+
+    fn shard_exact(&self, target_count: usize, value: &Value) -> Result<usize> {
+        let v = value.as_int().ok_or_else(|| {
+            KernelError::Route(format!("boundary_range requires integral key, got {value}"))
+        })?;
+        Ok(self.bucket(v).min(target_count.saturating_sub(1)))
+    }
+
+    fn shard_range(
+        &self,
+        target_count: usize,
+        low: Bound<&Value>,
+        high: Bound<&Value>,
+    ) -> Result<Vec<usize>> {
+        let lo_bucket = match bound_int(low) {
+            Some(v) => self.bucket(v),
+            None => 0,
+        };
+        let hi_bucket = match bound_int(high) {
+            Some(v) => self.bucket(v),
+            None => self.partitions() - 1,
+        };
+        let cap = target_count.saturating_sub(1);
+        Ok((lo_bucket.min(cap)..=hi_bucket.min(cap)).collect())
+    }
+
+    fn preserves_order(&self) -> bool {
+        true
+    }
+}
+
+fn bound_int(b: Bound<&Value>) -> Option<i64> {
+    match b {
+        Bound::Included(v) | Bound::Excluded(v) => v.as_int(),
+        Bound::Unbounded => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volume_range_buckets() {
+        // [0, 30) in chunks of 10 → buckets: <0 | [0,10) | [10,20) | [20,30) | >=30
+        let alg = VolumeRangeAlgorithm::new(0, 30, 10).unwrap();
+        assert_eq!(alg.partitions(), 5);
+        assert_eq!(alg.shard_exact(5, &Value::Int(-1)).unwrap(), 0);
+        assert_eq!(alg.shard_exact(5, &Value::Int(0)).unwrap(), 1);
+        assert_eq!(alg.shard_exact(5, &Value::Int(15)).unwrap(), 2);
+        assert_eq!(alg.shard_exact(5, &Value::Int(29)).unwrap(), 3);
+        assert_eq!(alg.shard_exact(5, &Value::Int(30)).unwrap(), 4);
+    }
+
+    #[test]
+    fn volume_range_narrows_range_queries() {
+        let alg = VolumeRangeAlgorithm::new(0, 30, 10).unwrap();
+        let t = alg
+            .shard_range(5, Bound::Included(&Value::Int(5)), Bound::Included(&Value::Int(15)))
+            .unwrap();
+        assert_eq!(t, vec![1, 2]);
+        assert!(alg.preserves_order());
+    }
+
+    #[test]
+    fn volume_range_unbounded_sides() {
+        let alg = VolumeRangeAlgorithm::new(0, 30, 10).unwrap();
+        let t = alg
+            .shard_range(5, Bound::Unbounded, Bound::Included(&Value::Int(5)))
+            .unwrap();
+        assert_eq!(t, vec![0, 1]);
+        let t = alg
+            .shard_range(5, Bound::Included(&Value::Int(25)), Bound::Unbounded)
+            .unwrap();
+        assert_eq!(t, vec![3, 4]);
+    }
+
+    #[test]
+    fn volume_range_validates_config() {
+        assert!(VolumeRangeAlgorithm::new(10, 0, 5).is_err());
+        assert!(VolumeRangeAlgorithm::new(0, 10, 0).is_err());
+    }
+
+    #[test]
+    fn boundary_range_buckets() {
+        let alg = BoundaryRangeAlgorithm::new(vec![10, 20, 30]).unwrap();
+        assert_eq!(alg.partitions(), 4);
+        assert_eq!(alg.shard_exact(4, &Value::Int(5)).unwrap(), 0);
+        assert_eq!(alg.shard_exact(4, &Value::Int(10)).unwrap(), 1);
+        assert_eq!(alg.shard_exact(4, &Value::Int(25)).unwrap(), 2);
+        assert_eq!(alg.shard_exact(4, &Value::Int(99)).unwrap(), 3);
+    }
+
+    #[test]
+    fn boundary_range_from_props() {
+        let mut props = Props::new();
+        props.insert("sharding-ranges".into(), "30, 10,20".into());
+        let alg = BoundaryRangeAlgorithm::from_props(&props).unwrap();
+        assert_eq!(alg.shard_exact(4, &Value::Int(15)).unwrap(), 1);
+    }
+
+    #[test]
+    fn boundary_range_narrows() {
+        let alg = BoundaryRangeAlgorithm::new(vec![10, 20]).unwrap();
+        let t = alg
+            .shard_range(3, Bound::Included(&Value::Int(12)), Bound::Included(&Value::Int(18)))
+            .unwrap();
+        assert_eq!(t, vec![1]);
+    }
+
+    #[test]
+    fn bucket_caps_at_target_count() {
+        let alg = BoundaryRangeAlgorithm::new(vec![10, 20, 30]).unwrap();
+        // only 2 targets available: everything clamps into them
+        assert_eq!(alg.shard_exact(2, &Value::Int(99)).unwrap(), 1);
+    }
+}

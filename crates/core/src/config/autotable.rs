@@ -1,0 +1,125 @@
+//! AutoTable (paper §V-A): users state only the resources and shard count;
+//! the planner computes the data distribution, names the physical tables,
+//! and emits the CREATE TABLE statements to run on each data source.
+
+use super::datanode::DataNode;
+use crate::error::{KernelError, Result};
+use shard_sql::ast::{CreateTableStatement, ObjectName, ShardingRuleSpec, Statement};
+
+/// Plans the physical layout for a `CREATE SHARDING TABLE RULE` statement.
+pub struct AutoTablePlanner;
+
+impl AutoTablePlanner {
+    /// Compute the ordered data-node list: `sharding-count` tables named
+    /// `<logic>_<i>`, assigned round-robin over the resources (this is the
+    /// distribution ShardingSphere's AutoTable computes).
+    pub fn plan_data_nodes(spec: &ShardingRuleSpec) -> Result<Vec<DataNode>> {
+        if spec.resources.is_empty() {
+            return Err(KernelError::Config("AutoTable requires RESOURCES".into()));
+        }
+        let count = Self::sharding_count(spec)?;
+        Ok((0..count)
+            .map(|i| {
+                DataNode::new(
+                    spec.resources[i % spec.resources.len()].clone(),
+                    format!("{}_{}", spec.table, i),
+                )
+            })
+            .collect())
+    }
+
+    /// The shard count: explicit `sharding-count`, else one per resource.
+    pub fn sharding_count(spec: &ShardingRuleSpec) -> Result<usize> {
+        match spec.props.iter().find(|(k, _)| k == "sharding-count") {
+            Some((_, v)) => {
+                let n: usize = v.parse().map_err(|_| {
+                    KernelError::Config("'sharding-count' must be a positive integer".into())
+                })?;
+                if n == 0 {
+                    return Err(KernelError::Config("'sharding-count' must be positive".into()));
+                }
+                Ok(n)
+            }
+            None => Ok(spec.resources.len()),
+        }
+    }
+
+    /// The CREATE TABLE statement for one data node, derived from the logic
+    /// table's schema.
+    pub fn physical_ddl(logic_schema: &CreateTableStatement, node: &DataNode) -> Statement {
+        let mut ddl = logic_schema.clone();
+        ddl.name = ObjectName::new(node.table.clone());
+        ddl.if_not_exists = true;
+        Statement::CreateTable(ddl)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shard_sql::ast::{ColumnDef, DataType};
+
+    fn spec(count: Option<&str>) -> ShardingRuleSpec {
+        let mut props = Vec::new();
+        if let Some(c) = count {
+            props.push(("sharding-count".to_string(), c.to_string()));
+        }
+        ShardingRuleSpec {
+            table: "t_user".into(),
+            resources: vec!["ds0".into(), "ds1".into()],
+            sharding_column: "uid".into(),
+            algorithm_type: "hash_mod".into(),
+            props,
+        }
+    }
+
+    #[test]
+    fn paper_example_two_shards() {
+        // "ShardingSphere will automatically create two physical tables
+        //  t_user_h0 and t_user_h1 in ds0 and ds1, respectively."
+        let nodes = AutoTablePlanner::plan_data_nodes(&spec(Some("2"))).unwrap();
+        assert_eq!(nodes.len(), 2);
+        assert_eq!(nodes[0], DataNode::new("ds0", "t_user_0"));
+        assert_eq!(nodes[1], DataNode::new("ds1", "t_user_1"));
+    }
+
+    #[test]
+    fn round_robin_when_more_shards_than_resources() {
+        let nodes = AutoTablePlanner::plan_data_nodes(&spec(Some("5"))).unwrap();
+        assert_eq!(nodes.len(), 5);
+        assert_eq!(nodes[0].datasource, "ds0");
+        assert_eq!(nodes[1].datasource, "ds1");
+        assert_eq!(nodes[2].datasource, "ds0");
+        assert_eq!(nodes[4].datasource, "ds0");
+    }
+
+    #[test]
+    fn default_count_is_resource_count() {
+        let nodes = AutoTablePlanner::plan_data_nodes(&spec(None)).unwrap();
+        assert_eq!(nodes.len(), 2);
+    }
+
+    #[test]
+    fn bad_count_rejected() {
+        assert!(AutoTablePlanner::plan_data_nodes(&spec(Some("0"))).is_err());
+        assert!(AutoTablePlanner::plan_data_nodes(&spec(Some("x"))).is_err());
+    }
+
+    #[test]
+    fn physical_ddl_renames_table() {
+        let schema = CreateTableStatement {
+            name: ObjectName::new("t_user"),
+            if_not_exists: false,
+            columns: vec![ColumnDef::new("uid", DataType::BigInt)],
+            primary_key: vec!["uid".into()],
+        };
+        let node = DataNode::new("ds0", "t_user_0");
+        match AutoTablePlanner::physical_ddl(&schema, &node) {
+            Statement::CreateTable(c) => {
+                assert_eq!(c.name.as_str(), "t_user_0");
+                assert!(c.if_not_exists);
+            }
+            _ => panic!(),
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Data node: the atomic unit of sharding (paper §IV-A).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A data node maps a logic table to one actual table inside one data source,
+/// e.g. `DS0.t_user_h1`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DataNode {
+    pub datasource: String,
+    pub table: String,
+}
+
+impl DataNode {
+    pub fn new(datasource: impl Into<String>, table: impl Into<String>) -> Self {
+        DataNode {
+            datasource: datasource.into(),
+            table: table.into(),
+        }
+    }
+
+    /// Parse `ds.table` notation.
+    pub fn parse(text: &str) -> Option<Self> {
+        let (ds, table) = text.split_once('.')?;
+        if ds.is_empty() || table.is_empty() {
+            return None;
+        }
+        Some(DataNode::new(ds, table))
+    }
+}
+
+impl fmt::Display for DataNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.datasource, self.table)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip() {
+        let n = DataNode::parse("ds_0.t_user_0").unwrap();
+        assert_eq!(n.datasource, "ds_0");
+        assert_eq!(n.table, "t_user_0");
+        assert_eq!(n.to_string(), "ds_0.t_user_0");
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(DataNode::parse("no_dot").is_none());
+        assert!(DataNode::parse(".t").is_none());
+        assert!(DataNode::parse("ds.").is_none());
+    }
+}

@@ -1,0 +1,9 @@
+//! Sharding configuration: data nodes, table rules, binding/broadcast tables.
+
+mod autotable;
+mod datanode;
+mod rule;
+
+pub use autotable::AutoTablePlanner;
+pub use datanode::DataNode;
+pub use rule::{ComplexStrategy, ShardingRule, TableRule};

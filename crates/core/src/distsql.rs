@@ -1,0 +1,345 @@
+//! DistSQL execution (paper §V-A): RDL creates/alters resources and rules
+//! (including the AutoTable strategy), RQL inspects them, RAL administers
+//! the cluster — all through SQL, "breaking the boundary between
+//! middlewares and databases".
+
+use crate::algorithm::Props;
+use crate::config::{AutoTablePlanner, TableRule};
+use crate::error::{KernelError, Result};
+use crate::rewrite::{rewrite_for_unit, rewrite_statement};
+use crate::route::{RouteEngine, RouteHint};
+use crate::runtime::Session;
+use shard_sql::ast::{DistSqlStatement, ShardingRuleSpec};
+use shard_sql::{format_statement, parse_statement, Dialect, Value};
+use shard_storage::{ExecuteResult, ResultSet, StorageEngine};
+
+pub fn execute(session: &mut Session, stmt: &DistSqlStatement) -> Result<ExecuteResult> {
+    match stmt {
+        // --- RDL ------------------------------------------------------------
+        DistSqlStatement::CreateShardingTableRule { alter, rule } => {
+            create_sharding_rule(session, rule, *alter)
+        }
+        DistSqlStatement::DropShardingTableRule { table } => {
+            let runtime = session.runtime().clone();
+            runtime.rule.write().drop_table_rule(table)?;
+            runtime.registry().delete(&format!("rules/sharding/{table}"));
+            Ok(ExecuteResult::Update { affected: 0 })
+        }
+        DistSqlStatement::CreateBindingTableRule { tables } => {
+            let runtime = session.runtime().clone();
+            runtime.rule.write().add_binding_group(tables)?;
+            runtime
+                .registry()
+                .set(&format!("rules/binding/{}", tables.join(",")), "bound");
+            Ok(ExecuteResult::Update { affected: 0 })
+        }
+        DistSqlStatement::DropBindingTableRule { tables } => {
+            let runtime = session.runtime().clone();
+            runtime.rule.write().drop_binding_group(tables);
+            runtime
+                .registry()
+                .delete(&format!("rules/binding/{}", tables.join(",")));
+            Ok(ExecuteResult::Update { affected: 0 })
+        }
+        DistSqlStatement::CreateBroadcastTableRule { tables } => {
+            let runtime = session.runtime().clone();
+            runtime.rule.write().add_broadcast_tables(tables);
+            for t in tables {
+                runtime.registry().set(&format!("rules/broadcast/{t}"), "on");
+            }
+            Ok(ExecuteResult::Update { affected: 0 })
+        }
+        DistSqlStatement::DropBroadcastTableRule { tables } => {
+            let runtime = session.runtime().clone();
+            runtime.rule.write().drop_broadcast_tables(tables);
+            for t in tables {
+                runtime.registry().delete(&format!("rules/broadcast/{t}"));
+            }
+            Ok(ExecuteResult::Update { affected: 0 })
+        }
+        DistSqlStatement::CreateReadwriteSplittingRule {
+            name,
+            write_resource,
+            read_resources,
+        } => {
+            let runtime = session.runtime().clone();
+            // Validate that the referenced resources exist.
+            for r in std::iter::once(write_resource).chain(read_resources.iter()) {
+                runtime.datasource(r)?;
+            }
+            runtime.add_rw_split(crate::feature::ReadWriteSplitRule::new(
+                name.clone(),
+                write_resource.clone(),
+                read_resources.clone(),
+            ));
+            runtime.registry().set(
+                &format!("rules/readwrite_splitting/{name}"),
+                format!("write={write_resource}, read={}", read_resources.join(",")),
+            );
+            Ok(ExecuteResult::Update { affected: 0 })
+        }
+        DistSqlStatement::ShowReadwriteSplittingRules => {
+            let runtime = session.runtime().clone();
+            let groups = runtime.rw_split.read();
+            let mut rows: Vec<Vec<Value>> = groups
+                .values()
+                .map(|g| {
+                    vec![
+                        Value::Str(g.logical_name.clone()),
+                        Value::Str(g.primary.clone()),
+                        Value::Str(g.replicas.join(", ")),
+                    ]
+                })
+                .collect();
+            rows.sort();
+            Ok(ExecuteResult::Query(ResultSet::new(
+                vec!["name".into(), "write_resource".into(), "read_resources".into()],
+                rows,
+            )))
+        }
+        DistSqlStatement::AddResource { name, props } => {
+            let runtime = session.runtime().clone();
+            // Our resources are embedded engines; HOST/PORT props are
+            // accepted for syntax compatibility and recorded as metadata.
+            let engine = StorageEngine::new(name.clone());
+            runtime.add_datasource(name, engine, 64);
+            for (k, v) in props {
+                runtime
+                    .registry()
+                    .set(&format!("resources/{name}/{k}"), v.clone());
+            }
+            Ok(ExecuteResult::Update { affected: 0 })
+        }
+        DistSqlStatement::DropResource { name } => {
+            session.runtime().drop_datasource(name)?;
+            Ok(ExecuteResult::Update { affected: 0 })
+        }
+
+        // --- RQL ------------------------------------------------------------
+        DistSqlStatement::ShowShardingTableRules { table } => {
+            let runtime = session.runtime().clone();
+            let rule = runtime.rule.read();
+            let mut rows = Vec::new();
+            let mut rules: Vec<&TableRule> = rule.table_rules().collect();
+            rules.sort_by(|a, b| a.logic_table.cmp(&b.logic_table));
+            for r in rules {
+                if let Some(t) = table {
+                    if !r.logic_table.eq_ignore_ascii_case(t) {
+                        continue;
+                    }
+                }
+                rows.push(vec![
+                    Value::Str(r.logic_table.clone()),
+                    Value::Str(r.sharding_column.clone()),
+                    Value::Str(r.algorithm_type.clone()),
+                    Value::Int(r.data_nodes.len() as i64),
+                    Value::Str(
+                        r.data_nodes
+                            .iter()
+                            .map(|n| n.to_string())
+                            .collect::<Vec<_>>()
+                            .join(", "),
+                    ),
+                ]);
+            }
+            Ok(ExecuteResult::Query(ResultSet::new(
+                vec![
+                    "table".into(),
+                    "sharding_column".into(),
+                    "algorithm_type".into(),
+                    "shard_count".into(),
+                    "data_nodes".into(),
+                ],
+                rows,
+            )))
+        }
+        DistSqlStatement::ShowBindingTableRules => {
+            let runtime = session.runtime().clone();
+            let groups = runtime.rule.read().binding_groups();
+            let rows = groups
+                .into_iter()
+                .map(|g| vec![Value::Str(g.join(", "))])
+                .collect();
+            Ok(ExecuteResult::Query(ResultSet::new(
+                vec!["binding_tables".into()],
+                rows,
+            )))
+        }
+        DistSqlStatement::ShowBroadcastTableRules => {
+            let runtime = session.runtime().clone();
+            let rows = runtime
+                .rule
+                .read()
+                .broadcast_tables()
+                .into_iter()
+                .map(|t| vec![Value::Str(t)])
+                .collect();
+            Ok(ExecuteResult::Query(ResultSet::new(
+                vec!["broadcast_table".into()],
+                rows,
+            )))
+        }
+        DistSqlStatement::ShowResources => {
+            let runtime = session.runtime().clone();
+            let rows = runtime
+                .datasource_names()
+                .into_iter()
+                .map(|n| {
+                    let enabled = runtime
+                        .datasource(&n)
+                        .map(|d| d.is_enabled())
+                        .unwrap_or(false);
+                    vec![
+                        Value::Str(n),
+                        Value::Str(if enabled { "enabled" } else { "disabled" }.into()),
+                    ]
+                })
+                .collect();
+            Ok(ExecuteResult::Query(ResultSet::new(
+                vec!["resource".into(), "status".into()],
+                rows,
+            )))
+        }
+        DistSqlStatement::ShowShardingAlgorithms => {
+            let runtime = session.runtime().clone();
+            let rows = runtime
+                .algorithms
+                .read()
+                .type_names()
+                .into_iter()
+                .map(|n| vec![Value::Str(n)])
+                .collect();
+            Ok(ExecuteResult::Query(ResultSet::new(
+                vec!["algorithm_type".into()],
+                rows,
+            )))
+        }
+
+        // --- RAL ------------------------------------------------------------
+        DistSqlStatement::SetVariable { name, value } => {
+            session.set_variable(name, value)?;
+            Ok(ExecuteResult::Update { affected: 0 })
+        }
+        DistSqlStatement::ShowVariable { name } => {
+            let value = session.get_variable(name)?;
+            Ok(ExecuteResult::Query(ResultSet::new(
+                vec!["variable".into(), "value".into()],
+                vec![vec![Value::Str(name.clone()), Value::Str(value)]],
+            )))
+        }
+        DistSqlStatement::Preview { sql } => preview(session, sql),
+    }
+}
+
+/// `CREATE|ALTER SHARDING TABLE RULE` — the AutoTable strategy: compute the
+/// data distribution and (when the logical schema is known) create the
+/// physical tables on the underlying data sources.
+fn create_sharding_rule(
+    session: &mut Session,
+    spec: &ShardingRuleSpec,
+    alter: bool,
+) -> Result<ExecuteResult> {
+    let runtime = session.runtime().clone();
+    {
+        let rule = runtime.rule.read();
+        if !alter && rule.is_sharded(&spec.table) {
+            return Err(KernelError::Config(format!(
+                "sharding rule for '{}' already exists (use ALTER)",
+                spec.table
+            )));
+        }
+    }
+    let data_nodes = AutoTablePlanner::plan_data_nodes(spec)?;
+    let props: Props = spec.props.iter().cloned().collect();
+    let is_complex = spec.sharding_column.contains(',')
+        || spec.algorithm_type.eq_ignore_ascii_case("complex_inline");
+    let algorithm = if is_complex {
+        // Complex rules route through their ComplexStrategy; the standard
+        // algorithm slot is an unused placeholder.
+        std::sync::Arc::new(crate::algorithm::ModAlgorithm::new(None)) as _
+    } else {
+        runtime
+            .algorithms
+            .read()
+            .create(&spec.algorithm_type, &props)?
+    };
+    let key_generate_column = props.get("key-generate-column").cloned();
+    // Multi-column sharding keys (SHARDING_COLUMN=a,b) build a complex
+    // strategy from the algorithm expression.
+    let columns: Vec<String> = spec
+        .sharding_column
+        .split(',')
+        .map(|c| c.trim().to_string())
+        .filter(|c| !c.is_empty())
+        .collect();
+    let complex = if is_complex {
+        let expression = props.get("algorithm-expression").ok_or_else(|| {
+            KernelError::Config(
+                "multi-column sharding requires PROPERTIES(\"algorithm-expression\"=..)".into(),
+            )
+        })?;
+        Some(crate::config::ComplexStrategy {
+            columns: columns.clone(),
+            algorithm: std::sync::Arc::new(
+                crate::algorithm::ComplexInlineAlgorithm::new(columns.clone(), expression)?,
+            ),
+        })
+    } else {
+        None
+    };
+    let table_rule = TableRule {
+        logic_table: spec.table.clone(),
+        sharding_column: columns.first().cloned().unwrap_or_else(|| spec.sharding_column.clone()),
+        algorithm,
+        algorithm_type: spec.algorithm_type.clone(),
+        data_nodes: data_nodes.clone(),
+        props,
+        key_generate_column,
+        complex,
+    };
+    runtime.rule.write().add_table_rule(table_rule)?;
+    runtime.registry().set(
+        &format!("rules/sharding/{}", spec.table),
+        format!(
+            "column={}, type={}, nodes={}",
+            spec.sharding_column,
+            spec.algorithm_type,
+            data_nodes.len()
+        ),
+    );
+
+    // AutoTable: create the physical tables when the logical schema is known.
+    if let Some(schema) = runtime.schemas().get(&spec.table) {
+        for node in &data_nodes {
+            let ddl = AutoTablePlanner::physical_ddl(&schema, node);
+            let ds = runtime.datasource(&node.datasource)?;
+            ds.engine()
+                .execute(&ddl, &[], None)
+                .map_err(KernelError::Storage)?;
+        }
+    }
+    Ok(ExecuteResult::Update { affected: 0 })
+}
+
+/// `PREVIEW <sql>`: show the route + rewrite result without executing.
+fn preview(session: &mut Session, sql: &str) -> Result<ExecuteResult> {
+    let stmt = parse_statement(sql)?;
+    let runtime = session.runtime().clone();
+    let hint = RouteHint::default();
+    let rule = runtime.rule.read();
+    let route = RouteEngine::new(&rule, &hint).route(&stmt, &[])?;
+    drop(rule);
+    let rewrite = rewrite_statement(&stmt, &route, &[])?;
+    let mut rows = Vec::new();
+    for unit in &route.units {
+        let actual = rewrite_for_unit(&rewrite, unit, &route, &[])?;
+        rows.push(vec![
+            Value::Str(unit.datasource.clone()),
+            Value::Str(format_statement(&actual, Dialect::MySql)),
+        ]);
+    }
+    Ok(ExecuteResult::Query(ResultSet::new(
+        vec!["data_source".into(), "actual_sql".into()],
+        rows,
+    )))
+}

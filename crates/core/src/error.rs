@@ -1,0 +1,59 @@
+//! Kernel error type.
+
+use shard_sql::SqlError;
+use shard_storage::StorageError;
+use std::fmt;
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum KernelError {
+    /// SQL front-end failure.
+    Sql(SqlError),
+    /// Failure surfaced by an underlying data source.
+    Storage(StorageError),
+    /// Configuration problems (unknown resource, bad rule, …).
+    Config(String),
+    /// Routing failed (no matching data node, unsupported statement shape).
+    Route(String),
+    /// Rewrite failed.
+    Rewrite(String),
+    /// Execution engine failure (pool exhausted, worker panic, …).
+    Execute(String),
+    /// Result merging failed.
+    Merge(String),
+    /// Distributed transaction failure.
+    Transaction(String),
+    /// A data source is unhealthy / circuit-broken.
+    Unavailable(String),
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::Sql(e) => write!(f, "{e}"),
+            KernelError::Storage(e) => write!(f, "{e}"),
+            KernelError::Config(m) => write!(f, "config error: {m}"),
+            KernelError::Route(m) => write!(f, "route error: {m}"),
+            KernelError::Rewrite(m) => write!(f, "rewrite error: {m}"),
+            KernelError::Execute(m) => write!(f, "execute error: {m}"),
+            KernelError::Merge(m) => write!(f, "merge error: {m}"),
+            KernelError::Transaction(m) => write!(f, "transaction error: {m}"),
+            KernelError::Unavailable(m) => write!(f, "data source unavailable: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+impl From<SqlError> for KernelError {
+    fn from(e: SqlError) -> Self {
+        KernelError::Sql(e)
+    }
+}
+
+impl From<StorageError> for KernelError {
+    fn from(e: StorageError) -> Self {
+        KernelError::Storage(e)
+    }
+}
+
+pub type Result<T> = std::result::Result<T, KernelError>;

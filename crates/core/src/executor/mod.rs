@@ -1,0 +1,456 @@
+//! SQL executor (paper §VI-D, Fig 8): the automatic execution engine.
+//!
+//! **Preparation phase** — group the rewritten statements by data source and
+//! pick each source's connection mode from
+//! `θ = ⌈NumOfSQL / MaxCon⌉`: `θ > 1` forces *connection strictly* mode
+//! (bounded connections, each running a chunk of SQLs serially, results
+//! materialized in memory); otherwise *memory strictly* mode (one connection
+//! per SQL, all running concurrently, results streamable). Connections are
+//! acquired atomically per data source to avoid the deadlock described in
+//! the paper.
+//!
+//! **Execution phase** — execution units run in parallel across data sources
+//! and connections; within one connection the chunk runs serially.
+
+mod pool;
+
+pub use pool::WorkerPool;
+
+use crate::datasource::DataSource;
+use crate::error::{KernelError, Result};
+use crate::route::RouteUnit;
+use shard_sql::{Statement, Value};
+use shard_storage::{ExecuteResult, TxnId};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Connection mode decided per data source per query (paper §VI-D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnectionMode {
+    /// One connection per SQL; prefers stream merging.
+    MemoryStrictly,
+    /// At most MaxCon connections; chunks execute serially; memory merging.
+    ConnectionStrictly,
+}
+
+/// One rewritten statement bound for one route unit.
+#[derive(Debug, Clone)]
+pub struct ExecutionInput {
+    pub unit: RouteUnit,
+    pub stmt: Statement,
+}
+
+/// What the engine decided and did for one query (diagnostics, Fig 15).
+#[derive(Debug, Clone, Default)]
+pub struct ExecutionReport {
+    /// (datasource, chosen mode, number of SQLs, connections used)
+    pub groups: Vec<(String, ConnectionMode, usize, usize)>,
+}
+
+impl ExecutionReport {
+    pub fn used_connection_strictly(&self) -> bool {
+        self.groups
+            .iter()
+            .any(|(_, m, _, _)| *m == ConnectionMode::ConnectionStrictly)
+    }
+}
+
+pub struct ExecutorEngine {
+    /// MaxCon: maximum connections one query may use per data source.
+    pub max_connections_per_query: usize,
+    /// Pool acquisition timeout.
+    pub acquire_timeout: Duration,
+}
+
+impl Default for ExecutorEngine {
+    fn default() -> Self {
+        ExecutorEngine {
+            max_connections_per_query: 8,
+            acquire_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+impl ExecutorEngine {
+    pub fn new(max_connections_per_query: usize) -> Self {
+        ExecutorEngine {
+            max_connections_per_query: max_connections_per_query.max(1),
+            ..Default::default()
+        }
+    }
+
+    /// Execute all inputs; results return in input order.
+    ///
+    /// `txns` binds data sources to open local transactions: statements for
+    /// those sources execute inside the bound transaction, serially per
+    /// source (one transactional connection), preserving the order the
+    /// application issued them.
+    pub fn execute(
+        &self,
+        datasources: &HashMap<String, Arc<DataSource>>,
+        inputs: Vec<ExecutionInput>,
+        params: &[Value],
+        txns: Option<&HashMap<String, TxnId>>,
+    ) -> Result<(Vec<ExecuteResult>, ExecutionReport)> {
+        if inputs.is_empty() {
+            return Ok((Vec::new(), ExecutionReport::default()));
+        }
+
+        // ---- Preparation: group by data source (owned statements, so the
+        // work can move onto pool workers). ----
+        struct Group {
+            ds: Arc<DataSource>,
+            txn: Option<TxnId>,
+            sqls: Vec<(usize, Statement)>,
+        }
+        let total = inputs.len();
+        let mut order: Vec<String> = Vec::new();
+        let mut groups: HashMap<String, Group> = HashMap::new();
+        for (i, input) in inputs.into_iter().enumerate() {
+            let name = input.unit.datasource;
+            if !groups.contains_key(&name) {
+                let ds = datasources
+                    .get(&name)
+                    .ok_or_else(|| {
+                        KernelError::Execute(format!("unknown data source '{name}'"))
+                    })?
+                    .clone();
+                let txn = txns.and_then(|t| t.get(&name).copied());
+                order.push(name.clone());
+                groups.insert(
+                    name.clone(),
+                    Group {
+                        ds,
+                        txn,
+                        sqls: Vec::new(),
+                    },
+                );
+            }
+            groups
+                .get_mut(&name)
+                .expect("inserted above")
+                .sqls
+                .push((i, input.stmt));
+        }
+
+        // ---- Decide modes and build execution units. ----
+        struct Planned {
+            ds: Arc<DataSource>,
+            txn: Option<TxnId>,
+            chunk: Vec<(usize, Statement)>,
+            permits: Vec<crate::datasource::Connection>,
+        }
+        let mut report = ExecutionReport::default();
+        let mut planned: Vec<Planned> = Vec::new();
+        for name in &order {
+            let group = groups.remove(name).expect("grouped above");
+            let num_sql = group.sqls.len();
+            if group.txn.is_some() {
+                // Transactional statements share the transaction's single
+                // connection: strictly serial on this source.
+                let permits = group
+                    .ds
+                    .pool()
+                    .acquire_atomic(1, self.acquire_timeout)?;
+                report
+                    .groups
+                    .push((name.clone(), ConnectionMode::ConnectionStrictly, num_sql, 1));
+                planned.push(Planned {
+                    ds: group.ds,
+                    txn: group.txn,
+                    chunk: group.sqls,
+                    permits,
+                });
+                continue;
+            }
+            let max_con = self.max_connections_per_query;
+            // θ = ⌈NumOfSQL / MaxCon⌉
+            let theta = num_sql.div_ceil(max_con);
+            let (mode, connections) = if theta > 1 {
+                (ConnectionMode::ConnectionStrictly, max_con)
+            } else {
+                (ConnectionMode::MemoryStrictly, num_sql)
+            };
+            // Atomic acquisition avoids the two-queries-waiting deadlock.
+            let mut permits = group
+                .ds
+                .pool()
+                .acquire_atomic(connections, self.acquire_timeout)?;
+            let connections = permits.len().max(1);
+            report
+                .groups
+                .push((name.clone(), mode, num_sql, connections));
+            // Chunk SQLs over connections round-robin to balance sizes.
+            let mut chunks: Vec<Vec<(usize, Statement)>> = (0..connections)
+                .map(|_| Vec::new())
+                .collect();
+            for (j, item) in group.sqls.into_iter().enumerate() {
+                chunks[j % connections].push(item);
+            }
+            for chunk in chunks {
+                if chunk.is_empty() {
+                    continue;
+                }
+                let permit = permits.pop().into_iter().collect();
+                planned.push(Planned {
+                    ds: Arc::clone(&group.ds),
+                    txn: None,
+                    chunk,
+                    permits: permit,
+                });
+            }
+        }
+
+        let mut results: Vec<Option<ExecuteResult>> = (0..total).map(|_| None).collect();
+
+        // ---- Execution ----
+        // Fast path: a single execution unit runs inline — no pool hop (the
+        // common point-query case served by the Single route).
+        if planned.len() == 1 {
+            let unit = planned.pop().expect("len checked");
+            for (idx, stmt) in &unit.chunk {
+                match exec_one(&unit.ds, stmt, params, unit.txn) {
+                    Ok(r) => results[*idx] = Some(r),
+                    Err(e) => return Err(e),
+                }
+            }
+            drop(unit);
+            let collected: Option<Vec<ExecuteResult>> = results.into_iter().collect();
+            return collected
+                .map(|r| (r, report))
+                .ok_or_else(|| KernelError::Execute("missing execution result".into()));
+        }
+
+        // Parallel path: one pool job per execution unit.
+        enum Outcome {
+            Row(usize, ExecuteResult),
+            Err(KernelError),
+            Done,
+        }
+        let (tx, rx) = crossbeam::channel::unbounded::<Outcome>();
+        let shared_params: Arc<Vec<Value>> = Arc::new(params.to_vec());
+        let job_count = planned.len();
+        for unit in planned {
+            let tx = tx.clone();
+            let params = Arc::clone(&shared_params);
+            WorkerPool::global().submit(move || {
+                for (idx, stmt) in &unit.chunk {
+                    match exec_one(&unit.ds, stmt, &params, unit.txn) {
+                        Ok(r) => {
+                            let _ = tx.send(Outcome::Row(*idx, r));
+                        }
+                        Err(e) => {
+                            let _ = tx.send(Outcome::Err(e));
+                            break;
+                        }
+                    }
+                }
+                drop(unit.permits);
+                let _ = tx.send(Outcome::Done);
+            });
+        }
+        drop(tx);
+        let mut first_error: Option<KernelError> = None;
+        let mut done = 0;
+        while done < job_count {
+            match rx.recv() {
+                Ok(Outcome::Row(idx, r)) => results[idx] = Some(r),
+                Ok(Outcome::Err(e)) => {
+                    if first_error.is_none() {
+                        first_error = Some(e);
+                    }
+                }
+                Ok(Outcome::Done) => done += 1,
+                Err(_) => break,
+            }
+        }
+        if let Some(e) = first_error {
+            return Err(e);
+        }
+        let collected: Option<Vec<ExecuteResult>> = results.into_iter().collect();
+        collected
+            .map(|r| (r, report))
+            .ok_or_else(|| KernelError::Execute("missing execution result".into()))
+    }
+}
+
+/// Execute one statement on a data source, honouring its circuit breaker
+/// (sources marked down by health detection fail fast).
+fn exec_one(
+    ds: &DataSource,
+    stmt: &Statement,
+    params: &[Value],
+    txn: Option<TxnId>,
+) -> Result<ExecuteResult> {
+    if !ds.is_enabled() {
+        return Err(KernelError::Unavailable(ds.name.clone()));
+    }
+    ds.engine()
+        .execute(stmt, params, txn)
+        .map_err(KernelError::Storage)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shard_sql::parse_statement;
+    use shard_storage::StorageEngine;
+
+    fn setup(sources: usize, pool: usize) -> HashMap<String, Arc<DataSource>> {
+        let mut map = HashMap::new();
+        for i in 0..sources {
+            let name = format!("ds_{i}");
+            let engine = StorageEngine::new(&name);
+            engine
+                .execute_sql(
+                    "CREATE TABLE t_0 (id BIGINT PRIMARY KEY, v INT)",
+                    &[],
+                    None,
+                )
+                .unwrap();
+            engine
+                .execute_sql("CREATE TABLE t_1 (id BIGINT PRIMARY KEY, v INT)", &[], None)
+                .unwrap();
+            engine
+                .execute_sql("INSERT INTO t_0 VALUES (1, 10)", &[], None)
+                .unwrap();
+            engine
+                .execute_sql("INSERT INTO t_1 VALUES (2, 20)", &[], None)
+                .unwrap();
+            map.insert(name.clone(), Arc::new(DataSource::new(name, engine, pool)));
+        }
+        map
+    }
+
+    fn input(ds: &str, sql: &str) -> ExecutionInput {
+        ExecutionInput {
+            unit: RouteUnit::new(ds),
+            stmt: parse_statement(sql).unwrap(),
+        }
+    }
+
+    #[test]
+    fn memory_strictly_when_fits() {
+        let sources = setup(1, 8);
+        let engine = ExecutorEngine::new(4);
+        let inputs = vec![
+            input("ds_0", "SELECT * FROM t_0"),
+            input("ds_0", "SELECT * FROM t_1"),
+        ];
+        let (results, report) = engine.execute(&sources, inputs, &[], None).unwrap();
+        assert_eq!(results.len(), 2);
+        assert_eq!(report.groups[0].1, ConnectionMode::MemoryStrictly);
+        assert_eq!(report.groups[0].3, 2); // one connection per SQL
+    }
+
+    #[test]
+    fn connection_strictly_when_oversubscribed() {
+        let sources = setup(1, 8);
+        let engine = ExecutorEngine::new(2);
+        let inputs = (0..6)
+            .map(|i| input("ds_0", &format!("SELECT * FROM t_{}", i % 2)))
+            .collect();
+        let (results, report) = engine.execute(&sources, inputs, &[], None).unwrap();
+        assert_eq!(results.len(), 6);
+        assert_eq!(report.groups[0].1, ConnectionMode::ConnectionStrictly);
+        assert_eq!(report.groups[0].3, 2); // capped at MaxCon
+        assert!(report.used_connection_strictly());
+    }
+
+    #[test]
+    fn results_in_input_order() {
+        let sources = setup(2, 8);
+        let engine = ExecutorEngine::new(8);
+        let inputs = vec![
+            input("ds_0", "SELECT v FROM t_0"),
+            input("ds_1", "SELECT v FROM t_1"),
+            input("ds_0", "SELECT v FROM t_1"),
+        ];
+        let (results, _) = engine.execute(&sources, inputs, &[], None).unwrap();
+        assert_eq!(results[0].clone().query().rows[0][0], Value::Int(10));
+        assert_eq!(results[1].clone().query().rows[0][0], Value::Int(20));
+        assert_eq!(results[2].clone().query().rows[0][0], Value::Int(20));
+    }
+
+    #[test]
+    fn unknown_datasource_rejected() {
+        let sources = setup(1, 4);
+        let engine = ExecutorEngine::new(4);
+        let err = engine
+            .execute(&sources, vec![input("ds_9", "SELECT 1")], &[], None)
+            .unwrap_err();
+        assert!(matches!(err, KernelError::Execute(_)));
+    }
+
+    #[test]
+    fn error_from_shard_propagates() {
+        let sources = setup(1, 4);
+        let engine = ExecutorEngine::new(4);
+        let err = engine
+            .execute(
+                &sources,
+                vec![input("ds_0", "SELECT * FROM missing_table")],
+                &[],
+                None,
+            )
+            .unwrap_err();
+        assert!(matches!(err, KernelError::Storage(_)));
+    }
+
+    #[test]
+    fn transactional_statements_serialize_on_bound_txn() {
+        let sources = setup(1, 4);
+        let engine = ExecutorEngine::new(4);
+        let txn = sources["ds_0"].engine().begin();
+        let mut txns = HashMap::new();
+        txns.insert("ds_0".to_string(), txn);
+        let inputs = vec![
+            input("ds_0", "INSERT INTO t_0 VALUES (100, 1)"),
+            input("ds_0", "UPDATE t_0 SET v = 2 WHERE id = 100"),
+        ];
+        let (results, report) = engine
+            .execute(&sources, inputs, &[], Some(&txns))
+            .unwrap();
+        assert_eq!(results[1].affected(), 1);
+        assert_eq!(report.groups[0].3, 1); // single transactional connection
+        sources["ds_0"].engine().rollback(txn).unwrap();
+        // rollback undid both statements
+        let rs = sources["ds_0"]
+            .engine()
+            .execute_sql("SELECT COUNT(*) FROM t_0 WHERE id = 100", &[], None)
+            .unwrap()
+            .query();
+        assert_eq!(rs.rows[0][0], Value::Int(0));
+    }
+
+    #[test]
+    fn parallel_across_datasources() {
+        use std::time::Instant;
+        // Each source charges 20ms per request; 4 sources in parallel should
+        // take ~20ms, not ~80ms.
+        let mut map = HashMap::new();
+        for i in 0..4 {
+            let name = format!("ds_{i}");
+            let engine = StorageEngine::with_latency(
+                &name,
+                shard_storage::LatencyModel::new(Duration::from_millis(20), Duration::ZERO),
+            );
+            engine
+                .execute_sql("CREATE TABLE t_0 (id BIGINT PRIMARY KEY)", &[], None)
+                .unwrap();
+            map.insert(name.clone(), Arc::new(DataSource::new(name, engine, 4)));
+        }
+        let engine = ExecutorEngine::new(4);
+        let inputs = (0..4)
+            .map(|i| input(&format!("ds_{i}"), "SELECT * FROM t_0"))
+            .collect();
+        let start = Instant::now();
+        engine.execute(&map, inputs, &[], None).unwrap();
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed < Duration::from_millis(70),
+            "expected parallel execution, took {elapsed:?}"
+        );
+    }
+}

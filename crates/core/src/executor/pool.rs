@@ -1,0 +1,77 @@
+//! Shared worker pool for the execution phase.
+//!
+//! Real ShardingSphere executes grouped SQL on a reusable executor service;
+//! spawning OS threads per query would dominate point-query latency. One
+//! process-wide pool, sized to the machine, serves every kernel instance.
+
+use crossbeam::channel::{unbounded, Sender};
+use std::sync::OnceLock;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+pub struct WorkerPool {
+    tx: Sender<Job>,
+    pub size: usize,
+}
+
+impl WorkerPool {
+    fn new(size: usize) -> WorkerPool {
+        let (tx, rx) = unbounded::<Job>();
+        for i in 0..size {
+            let rx = rx.clone();
+            std::thread::Builder::new()
+                .name(format!("shard-exec-{i}"))
+                .spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        job();
+                    }
+                })
+                .expect("spawn executor worker");
+        }
+        WorkerPool { tx, size }
+    }
+
+    /// The process-wide pool (lazily created; twice the cores, since workers
+    /// spend most time blocked on simulated I/O).
+    pub fn global() -> &'static WorkerPool {
+        static POOL: OnceLock<WorkerPool> = OnceLock::new();
+        POOL.get_or_init(|| {
+            let cores = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(8);
+            // Workers spend nearly all their time blocked on simulated I/O,
+            // so the pool is sized for concurrency, not cores.
+            WorkerPool::new((cores * 4).clamp(96, 192))
+        })
+    }
+
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
+        self.tx.send(Box::new(job)).expect("executor pool alive");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn jobs_run_concurrently() {
+        let pool = WorkerPool::global();
+        let counter = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = unbounded();
+        for _ in 0..16 {
+            let counter = Arc::clone(&counter);
+            let tx = tx.clone();
+            pool.submit(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+                tx.send(()).unwrap();
+            });
+        }
+        for _ in 0..16 {
+            rx.recv_timeout(std::time::Duration::from_secs(2)).unwrap();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 16);
+    }
+}

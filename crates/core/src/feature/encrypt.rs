@@ -1,0 +1,327 @@
+//! Transparent column encryption: configured columns are encrypted before
+//! they reach any data source and decrypted in results, invisibly to the
+//! application (paper §IV-C "Encrypting").
+
+use crate::error::{KernelError, Result};
+use shard_sql::ast::*;
+use shard_sql::{Statement, Value};
+use shard_storage::ResultSet;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A reversible cipher over SQL values. The built-in implementation is a
+/// keyed substitution standing in for AES (real crypto is out of scope; the
+/// *plumbing* — where values are transformed — is what the feature tests).
+pub trait Encryptor: Send + Sync {
+    fn type_name(&self) -> &str;
+    fn encrypt(&self, v: &Value) -> Value;
+    fn decrypt(&self, v: &Value) -> Value;
+}
+
+/// Keyed reversible cipher: XOR-rotate over the value's text, hex-encoded
+/// with an `enc:` tag so accidental double handling is detectable.
+pub struct XorCipher {
+    key: Vec<u8>,
+}
+
+impl XorCipher {
+    pub fn new(key: &str) -> Self {
+        XorCipher {
+            key: key.as_bytes().to_vec(),
+        }
+    }
+}
+
+impl Encryptor for XorCipher {
+    fn type_name(&self) -> &str {
+        "xor"
+    }
+
+    fn encrypt(&self, v: &Value) -> Value {
+        if v.is_null() {
+            return Value::Null;
+        }
+        let plain = match v {
+            Value::Str(s) => format!("s:{s}"),
+            Value::Int(i) => format!("i:{i}"),
+            Value::Float(f) => format!("f:{f}"),
+            Value::Bool(b) => format!("b:{b}"),
+            Value::Null => unreachable!(),
+        };
+        let bytes: Vec<u8> = plain
+            .bytes()
+            .enumerate()
+            .map(|(i, b)| b ^ self.key[i % self.key.len()])
+            .collect();
+        let hex: String = bytes.iter().map(|b| format!("{b:02x}")).collect();
+        Value::Str(format!("enc:{hex}"))
+    }
+
+    fn decrypt(&self, v: &Value) -> Value {
+        let Value::Str(s) = v else { return v.clone() };
+        let Some(hex) = s.strip_prefix("enc:") else {
+            return v.clone();
+        };
+        let bytes: Option<Vec<u8>> = (0..hex.len() / 2)
+            .map(|i| u8::from_str_radix(&hex[2 * i..2 * i + 2], 16).ok())
+            .collect();
+        let Some(bytes) = bytes else { return v.clone() };
+        let plain: String = bytes
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (b ^ self.key[i % self.key.len()]) as char)
+            .collect();
+        match plain.split_once(':') {
+            Some(("s", rest)) => Value::Str(rest.to_string()),
+            Some(("i", rest)) => rest.parse().map(Value::Int).unwrap_or_else(|_| v.clone()),
+            Some(("f", rest)) => rest.parse().map(Value::Float).unwrap_or_else(|_| v.clone()),
+            Some(("b", rest)) => rest.parse().map(Value::Bool).unwrap_or_else(|_| v.clone()),
+            _ => v.clone(),
+        }
+    }
+}
+
+/// Which columns of which logic tables are encrypted, and with what.
+#[derive(Default, Clone)]
+pub struct EncryptRule {
+    /// (table lower, column lower) → encryptor.
+    columns: HashMap<(String, String), Arc<dyn Encryptor>>,
+}
+
+impl EncryptRule {
+    pub fn new() -> Self {
+        EncryptRule::default()
+    }
+
+    pub fn add_column(
+        &mut self,
+        table: &str,
+        column: &str,
+        encryptor: Arc<dyn Encryptor>,
+    ) -> &mut Self {
+        self.columns
+            .insert((table.to_lowercase(), column.to_lowercase()), encryptor);
+        self
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    fn encryptor_for(&self, table: &str, column: &str) -> Option<&Arc<dyn Encryptor>> {
+        self.columns
+            .get(&(table.to_lowercase(), column.to_lowercase()))
+    }
+
+    /// Encrypt literals/parameters bound for encrypted columns, in place.
+    /// Returns the rewritten params.
+    pub fn encrypt_statement(
+        &self,
+        stmt: &mut Statement,
+        params: &[Value],
+        insert_columns_of: &dyn Fn(&str) -> Option<Vec<String>>,
+    ) -> Result<Vec<Value>> {
+        if self.is_empty() {
+            return Ok(params.to_vec());
+        }
+        let mut params = params.to_vec();
+        match stmt {
+            Statement::Insert(ins) => {
+                let table = ins.table.0.clone();
+                let columns: Vec<String> = if ins.columns.is_empty() {
+                    insert_columns_of(&table).ok_or_else(|| {
+                        KernelError::Config(format!(
+                            "encrypted INSERT into '{table}' requires known schema"
+                        ))
+                    })?
+                } else {
+                    ins.columns.clone()
+                };
+                for row in &mut ins.rows {
+                    for (i, col) in columns.iter().enumerate() {
+                        if let Some(enc) = self.encryptor_for(&table, col) {
+                            if let Some(e) = row.get_mut(i) {
+                                encrypt_expr(e, enc, &mut params);
+                            }
+                        }
+                    }
+                }
+            }
+            Statement::Update(u) => {
+                let table = u.table.0.clone();
+                for a in &mut u.assignments {
+                    if let Some(enc) = self.encryptor_for(&table, &a.column) {
+                        encrypt_expr(&mut a.value, enc, &mut params);
+                    }
+                }
+                if let Some(w) = &mut u.where_clause {
+                    self.encrypt_predicate(w, &table, &mut params);
+                }
+            }
+            Statement::Delete(d) => {
+                let table = d.table.0.clone();
+                if let Some(w) = &mut d.where_clause {
+                    self.encrypt_predicate(w, &table, &mut params);
+                }
+            }
+            Statement::Select(s) => {
+                let tables: Vec<String> = Statement::Select(s.clone()).table_names();
+                if let Some(w) = &mut s.where_clause {
+                    for t in &tables {
+                        self.encrypt_predicate(w, t, &mut params);
+                    }
+                }
+            }
+            _ => {}
+        }
+        Ok(params)
+    }
+
+    /// Encrypt comparison constants against encrypted columns (equality and
+    /// IN only — ciphertexts do not preserve order).
+    fn encrypt_predicate(&self, e: &mut Expr, table: &str, params: &mut Vec<Value>) {
+        e.walk_mut(&mut |x| match x {
+            Expr::Binary {
+                left,
+                op: BinaryOp::Eq,
+                right,
+            } => {
+                if let Expr::Column(c) = left.as_ref() {
+                    if let Some(enc) = self.encryptor_for(table, &c.column) {
+                        encrypt_expr(right, enc, params);
+                    }
+                } else if let Expr::Column(c) = right.as_ref() {
+                    if let Some(enc) = self.encryptor_for(table, &c.column) {
+                        encrypt_expr(left, enc, params);
+                    }
+                }
+            }
+            Expr::InList {
+                expr,
+                negated: _,
+                list,
+            } => {
+                if let Expr::Column(c) = expr.as_ref() {
+                    if let Some(enc) = self.encryptor_for(table, &c.column) {
+                        for item in list {
+                            encrypt_expr(item, enc, params);
+                        }
+                    }
+                }
+            }
+            _ => {}
+        });
+    }
+
+    /// Decrypt encrypted columns in a result set, matching by column name
+    /// across all tables the query touched.
+    pub fn decrypt_result(&self, rs: &mut ResultSet, tables: &[String]) {
+        if self.is_empty() {
+            return;
+        }
+        for (i, col) in rs.columns.iter().enumerate() {
+            let enc = tables.iter().find_map(|t| self.encryptor_for(t, col));
+            if let Some(enc) = enc {
+                for row in &mut rs.rows {
+                    row[i] = enc.decrypt(&row[i]);
+                }
+            }
+        }
+    }
+}
+
+fn encrypt_expr(e: &mut Expr, enc: &Arc<dyn Encryptor>, params: &mut Vec<Value>) {
+    match e {
+        Expr::Literal(v) => *v = enc.encrypt(v),
+        Expr::Param(i) => {
+            if let Some(p) = params.get_mut(*i) {
+                *p = enc.encrypt(p);
+            }
+        }
+        Expr::Nested(inner) => encrypt_expr(inner, enc, params),
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shard_sql::parse_statement;
+
+    fn rule() -> EncryptRule {
+        let mut r = EncryptRule::new();
+        r.add_column("t_user", "phone", Arc::new(XorCipher::new("k3y")));
+        r
+    }
+
+    #[test]
+    fn cipher_roundtrip() {
+        let c = XorCipher::new("secret");
+        for v in [
+            Value::Str("13512345678".into()),
+            Value::Int(42),
+            Value::Float(1.5),
+            Value::Bool(true),
+        ] {
+            let e = c.encrypt(&v);
+            assert_ne!(e, v);
+            assert!(matches!(&e, Value::Str(s) if s.starts_with("enc:")));
+            assert_eq!(c.decrypt(&e), v);
+        }
+        assert_eq!(c.encrypt(&Value::Null), Value::Null);
+    }
+
+    #[test]
+    fn insert_values_encrypted() {
+        let r = rule();
+        let mut stmt =
+            parse_statement("INSERT INTO t_user (uid, phone) VALUES (1, '555')").unwrap();
+        r.encrypt_statement(&mut stmt, &[], &|_| None).unwrap();
+        let text = shard_sql::format_statement(&stmt, shard_sql::Dialect::MySql);
+        assert!(text.contains("enc:"), "{text}");
+        assert!(text.contains("1"), "uid untouched");
+    }
+
+    #[test]
+    fn where_equality_encrypted_params_too() {
+        let r = rule();
+        let mut stmt = parse_statement("SELECT * FROM t_user WHERE phone = ?").unwrap();
+        let params = r
+            .encrypt_statement(&mut stmt, &[Value::Str("555".into())], &|_| None)
+            .unwrap();
+        assert!(matches!(&params[0], Value::Str(s) if s.starts_with("enc:")));
+    }
+
+    #[test]
+    fn update_assignment_encrypted() {
+        let r = rule();
+        let mut stmt =
+            parse_statement("UPDATE t_user SET phone = '999' WHERE phone = '555'").unwrap();
+        r.encrypt_statement(&mut stmt, &[], &|_| None).unwrap();
+        let text = shard_sql::format_statement(&stmt, shard_sql::Dialect::MySql);
+        assert_eq!(text.matches("enc:").count(), 2);
+    }
+
+    #[test]
+    fn result_decrypted_by_column_name() {
+        let r = rule();
+        let cipher = XorCipher::new("k3y");
+        let mut rs = ResultSet::new(
+            vec!["uid".into(), "phone".into()],
+            vec![vec![Value::Int(1), cipher.encrypt(&Value::Str("555".into()))]],
+        );
+        r.decrypt_result(&mut rs, &["t_user".to_string()]);
+        assert_eq!(rs.rows[0][1], Value::Str("555".into()));
+        assert_eq!(rs.rows[0][0], Value::Int(1));
+    }
+
+    #[test]
+    fn unrelated_tables_untouched() {
+        let r = rule();
+        let mut stmt =
+            parse_statement("INSERT INTO t_other (uid, phone) VALUES (1, '555')").unwrap();
+        r.encrypt_statement(&mut stmt, &[], &|_| None).unwrap();
+        let text = shard_sql::format_statement(&stmt, shard_sql::Dialect::MySql);
+        assert!(!text.contains("enc:"));
+    }
+}

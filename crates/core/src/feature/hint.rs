@@ -1,0 +1,102 @@
+//! Hint manager: thread-local routing hints, letting applications force
+//! sharding values or a target data source for SQL that carries no sharding
+//! key (ShardingSphere's `HintManager`).
+//!
+//! ```
+//! use shard_core::feature::HintManager;
+//! use shard_sql::Value;
+//!
+//! let _guard = HintManager::set_sharding_value("t_user", Value::Int(7));
+//! assert!(!HintManager::current().is_empty());
+//! drop(_guard);
+//! assert!(HintManager::current().is_empty());
+//! ```
+
+use crate::route::RouteHint;
+use shard_sql::Value;
+use std::cell::RefCell;
+
+thread_local! {
+    static CURRENT: RefCell<RouteHint> = RefCell::new(RouteHint::default());
+}
+
+pub struct HintManager;
+
+/// Clears the installed hint on drop (RAII, like the Java try-with-resources
+/// usage of HintManager).
+pub struct HintGuard {
+    _private: (),
+}
+
+impl Drop for HintGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| *c.borrow_mut() = RouteHint::default());
+    }
+}
+
+impl HintManager {
+    /// Force a sharding value for one logic table.
+    #[must_use = "the hint is cleared when the guard drops"]
+    pub fn set_sharding_value(table: &str, value: Value) -> HintGuard {
+        CURRENT.with(|c| {
+            c.borrow_mut()
+                .table_values
+                .insert(table.to_lowercase(), value)
+        });
+        HintGuard { _private: () }
+    }
+
+    /// Force every statement on this thread onto one data source.
+    #[must_use = "the hint is cleared when the guard drops"]
+    pub fn set_datasource(datasource: &str) -> HintGuard {
+        CURRENT.with(|c| c.borrow_mut().datasource = Some(datasource.to_string()));
+        HintGuard { _private: () }
+    }
+
+    /// Snapshot of the hint installed on this thread.
+    pub fn current() -> RouteHint {
+        CURRENT.with(|c| c.borrow().clone())
+    }
+
+    /// Explicitly clear (equivalent to dropping all guards).
+    pub fn clear() {
+        CURRENT.with(|c| *c.borrow_mut() = RouteHint::default());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guard_clears_on_drop() {
+        {
+            let _g = HintManager::set_datasource("ds_1");
+            assert_eq!(HintManager::current().datasource.as_deref(), Some("ds_1"));
+        }
+        assert!(HintManager::current().is_empty());
+    }
+
+    #[test]
+    fn sharding_value_hint() {
+        let _g = HintManager::set_sharding_value("T_User", Value::Int(3));
+        let hint = HintManager::current();
+        assert_eq!(hint.table_values.get("t_user"), Some(&Value::Int(3)));
+    }
+
+    #[test]
+    fn hints_are_thread_local() {
+        let _g = HintManager::set_datasource("ds_main");
+        let other = std::thread::spawn(|| HintManager::current().is_empty())
+            .join()
+            .unwrap();
+        assert!(other);
+    }
+
+    #[test]
+    fn explicit_clear() {
+        let _g = HintManager::set_datasource("ds_1");
+        HintManager::clear();
+        assert!(HintManager::current().is_empty());
+    }
+}

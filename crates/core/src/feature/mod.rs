@@ -1,0 +1,19 @@
+//! Pluggable features (paper §IV-C): each is modular and freely combinable
+//! with sharding — read-write splitting, column encryption, shadow DB,
+//! hint-based routing, and distributed key generation.
+
+pub mod encrypt;
+pub mod hint;
+pub mod keygen;
+pub mod rw_split;
+pub mod scaling;
+pub mod shadow;
+pub mod throttle;
+
+pub use encrypt::{EncryptRule, Encryptor};
+pub use hint::HintManager;
+pub use keygen::{KeyGenerator, SnowflakeGenerator};
+pub use rw_split::ReadWriteSplitRule;
+pub use scaling::{reshard, ScalingReport};
+pub use shadow::ShadowRule;
+pub use throttle::Throttle;

@@ -1,0 +1,139 @@
+//! Read-write splitting: a logical data source backed by one primary (all
+//! writes, all transactional reads) and N replicas (load-balanced reads).
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Load-balance algorithm for replica reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LoadBalance {
+    #[default]
+    RoundRobin,
+    /// Always the first healthy replica (useful for tests).
+    First,
+}
+
+/// One read-write split group.
+pub struct ReadWriteSplitRule {
+    /// The logical name queries route to.
+    pub logical_name: String,
+    pub primary: String,
+    pub replicas: Vec<String>,
+    pub load_balance: LoadBalance,
+    counter: AtomicUsize,
+    disabled: Mutex<Vec<String>>,
+}
+
+impl ReadWriteSplitRule {
+    pub fn new(
+        logical_name: impl Into<String>,
+        primary: impl Into<String>,
+        replicas: Vec<String>,
+    ) -> Self {
+        ReadWriteSplitRule {
+            logical_name: logical_name.into(),
+            primary: primary.into(),
+            replicas,
+            load_balance: LoadBalance::RoundRobin,
+            counter: AtomicUsize::new(0),
+            disabled: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The physical source a *write* (or transactional read) goes to.
+    pub fn route_write(&self) -> &str {
+        &self.primary
+    }
+
+    /// The physical source a plain read goes to.
+    pub fn route_read(&self) -> &str {
+        let disabled = self.disabled.lock();
+        let healthy: Vec<&String> = self
+            .replicas
+            .iter()
+            .filter(|r| !disabled.contains(r))
+            .collect();
+        if healthy.is_empty() {
+            return &self.primary;
+        }
+        match self.load_balance {
+            LoadBalance::First => healthy[0],
+            LoadBalance::RoundRobin => {
+                let n = self.counter.fetch_add(1, Ordering::Relaxed);
+                healthy[n % healthy.len()]
+            }
+        }
+    }
+
+    /// Health detection hook: remove/restore a replica.
+    pub fn set_replica_enabled(&self, replica: &str, enabled: bool) {
+        let mut disabled = self.disabled.lock();
+        if enabled {
+            disabled.retain(|r| r != replica);
+        } else if !disabled.iter().any(|r| r == replica) {
+            disabled.push(replica.to_string());
+        }
+    }
+
+    /// Primary failover: promote a replica (governor reconfiguration).
+    pub fn promote(&mut self, replica: &str) -> bool {
+        if let Some(pos) = self.replicas.iter().position(|r| r == replica) {
+            let new_primary = self.replicas.remove(pos);
+            let old_primary = std::mem::replace(&mut self.primary, new_primary);
+            self.replicas.push(old_primary);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rule() -> ReadWriteSplitRule {
+        ReadWriteSplitRule::new("ds", "primary", vec!["r0".into(), "r1".into()])
+    }
+
+    #[test]
+    fn writes_go_to_primary() {
+        let r = rule();
+        assert_eq!(r.route_write(), "primary");
+    }
+
+    #[test]
+    fn reads_round_robin() {
+        let r = rule();
+        let got: Vec<&str> = (0..4).map(|_| r.route_read()).collect();
+        assert_eq!(got, vec!["r0", "r1", "r0", "r1"]);
+    }
+
+    #[test]
+    fn disabled_replica_skipped() {
+        let r = rule();
+        r.set_replica_enabled("r0", false);
+        assert_eq!(r.route_read(), "r1");
+        assert_eq!(r.route_read(), "r1");
+        r.set_replica_enabled("r0", true);
+        let got: Vec<&str> = (0..2).map(|_| r.route_read()).collect();
+        assert!(got.contains(&"r0"));
+    }
+
+    #[test]
+    fn all_replicas_down_falls_back_to_primary() {
+        let r = rule();
+        r.set_replica_enabled("r0", false);
+        r.set_replica_enabled("r1", false);
+        assert_eq!(r.route_read(), "primary");
+    }
+
+    #[test]
+    fn promote_swaps_primary() {
+        let mut r = rule();
+        assert!(r.promote("r1"));
+        assert_eq!(r.route_write(), "r1");
+        assert!(r.replicas.contains(&"primary".to_string()));
+        assert!(!r.promote("nope"));
+    }
+}

@@ -1,0 +1,118 @@
+//! Traffic governance (paper §IV-C "Circuit Breaking and Throttling").
+//!
+//! Circuit breaking lives on [`crate::datasource::DataSource::set_enabled`];
+//! this module adds request throttling: a token-bucket rate limiter the
+//! runtime consults before admitting a statement. Operators cap the QPS of
+//! a runaway application without touching it — the cap is itself governable
+//! through `SET VARIABLE max_requests_per_second`.
+
+use parking_lot::Mutex;
+use std::time::{Duration, Instant};
+
+/// Token-bucket rate limiter.
+pub struct Throttle {
+    state: Mutex<BucketState>,
+    /// Tokens added per second; also the bucket capacity (1-second burst).
+    rate: f64,
+}
+
+struct BucketState {
+    tokens: f64,
+    last_refill: Instant,
+}
+
+impl Throttle {
+    pub fn new(requests_per_second: u64) -> Self {
+        let rate = requests_per_second.max(1) as f64;
+        Throttle {
+            state: Mutex::new(BucketState {
+                tokens: rate,
+                last_refill: Instant::now(),
+            }),
+            rate,
+        }
+    }
+
+    pub fn rate(&self) -> u64 {
+        self.rate as u64
+    }
+
+    /// Try to admit one request immediately.
+    pub fn try_acquire(&self) -> bool {
+        let mut state = self.state.lock();
+        let now = Instant::now();
+        let elapsed = now.duration_since(state.last_refill).as_secs_f64();
+        state.tokens = (state.tokens + elapsed * self.rate).min(self.rate);
+        state.last_refill = now;
+        if state.tokens >= 1.0 {
+            state.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Admit one request, waiting up to `timeout` for a token.
+    pub fn acquire(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.try_acquire() {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            // One token arrives every 1/rate seconds.
+            let wait = Duration::from_secs_f64((1.0 / self.rate).min(0.01));
+            std::thread::sleep(wait);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burst_up_to_rate_then_blocks() {
+        let t = Throttle::new(10);
+        let mut admitted = 0;
+        for _ in 0..50 {
+            if t.try_acquire() {
+                admitted += 1;
+            }
+        }
+        assert_eq!(admitted, 10, "bucket admits exactly its capacity");
+        assert!(!t.try_acquire());
+    }
+
+    #[test]
+    fn tokens_refill_over_time() {
+        let t = Throttle::new(100);
+        while t.try_acquire() {}
+        std::thread::sleep(Duration::from_millis(50));
+        // ~5 tokens refilled
+        let mut admitted = 0;
+        while t.try_acquire() {
+            admitted += 1;
+        }
+        assert!(admitted >= 2, "refill too slow: {admitted}");
+        assert!(admitted <= 20, "refill too fast: {admitted}");
+    }
+
+    #[test]
+    fn acquire_waits_for_token() {
+        let t = Throttle::new(50);
+        while t.try_acquire() {}
+        let start = Instant::now();
+        assert!(t.acquire(Duration::from_millis(500)));
+        assert!(start.elapsed() >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn acquire_times_out() {
+        let t = Throttle::new(1);
+        assert!(t.acquire(Duration::from_millis(5)));
+        assert!(!t.acquire(Duration::from_millis(5)));
+    }
+}

@@ -1,0 +1,177 @@
+//! Primary failover (paper §V-B): when health detection marks a read-write
+//! split group's primary as down, the governor promotes a healthy replica
+//! and publishes the new topology — applications keep working without
+//! reconfiguration.
+
+use super::registry::ConfigRegistry;
+use crate::feature::ReadWriteSplitRule;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One failover decision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailoverEvent {
+    pub group: String,
+    pub old_primary: String,
+    pub new_primary: String,
+}
+
+/// Watches data-source health and rewires read-write split groups.
+pub struct FailoverCoordinator {
+    registry: Arc<ConfigRegistry>,
+    groups: Mutex<HashMap<String, ReadWriteSplitRule>>,
+}
+
+impl FailoverCoordinator {
+    pub fn new(registry: Arc<ConfigRegistry>) -> Self {
+        FailoverCoordinator {
+            registry,
+            groups: Mutex::new(HashMap::new()),
+        }
+    }
+
+    pub fn manage(&self, rule: ReadWriteSplitRule) {
+        self.registry.set(
+            &format!("topology/{}/primary", rule.logical_name),
+            rule.primary.clone(),
+        );
+        self.groups.lock().insert(rule.logical_name.clone(), rule);
+    }
+
+    /// Current primary of a managed group.
+    pub fn primary_of(&self, group: &str) -> Option<String> {
+        self.groups.lock().get(group).map(|g| g.primary.clone())
+    }
+
+    /// Extract the groups (to install into a runtime after rewiring).
+    pub fn snapshot(&self) -> Vec<(String, String, Vec<String>)> {
+        self.groups
+            .lock()
+            .values()
+            .map(|g| (g.logical_name.clone(), g.primary.clone(), g.replicas.clone()))
+            .collect()
+    }
+
+    /// React to one data source becoming unhealthy: if it is a replica,
+    /// stop reading from it; if it is a primary, promote the first healthy
+    /// replica. `healthy` answers liveness for candidate replicas.
+    pub fn on_source_down(
+        &self,
+        source: &str,
+        healthy: &dyn Fn(&str) -> bool,
+    ) -> Vec<FailoverEvent> {
+        let mut events = Vec::new();
+        let mut groups = self.groups.lock();
+        for group in groups.values_mut() {
+            if group.primary == source {
+                let candidate = group
+                    .replicas
+                    .iter()
+                    .find(|r| r.as_str() != source && healthy(r))
+                    .cloned();
+                if let Some(new_primary) = candidate {
+                    let old = group.primary.clone();
+                    group.promote(&new_primary);
+                    self.registry.set(
+                        &format!("topology/{}/primary", group.logical_name),
+                        new_primary.clone(),
+                    );
+                    // The demoted node must not serve reads until it's back.
+                    group.set_replica_enabled(&old, false);
+                    events.push(FailoverEvent {
+                        group: group.logical_name.clone(),
+                        old_primary: old,
+                        new_primary,
+                    });
+                }
+            } else {
+                group.set_replica_enabled(source, false);
+            }
+        }
+        events
+    }
+
+    /// React to a data source recovering: it rejoins its groups as a
+    /// readable replica (it does not automatically reclaim primaryship).
+    pub fn on_source_up(&self, source: &str) {
+        for group in self.groups.lock().values_mut() {
+            group.set_replica_enabled(source, true);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn coordinator() -> FailoverCoordinator {
+        let c = FailoverCoordinator::new(Arc::new(ConfigRegistry::new()));
+        c.manage(ReadWriteSplitRule::new(
+            "billing",
+            "srv_a",
+            vec!["srv_b".into(), "srv_c".into()],
+        ));
+        c
+    }
+
+    #[test]
+    fn primary_failure_promotes_first_healthy_replica() {
+        let c = coordinator();
+        let events = c.on_source_down("srv_a", &|_| true);
+        assert_eq!(
+            events,
+            vec![FailoverEvent {
+                group: "billing".into(),
+                old_primary: "srv_a".into(),
+                new_primary: "srv_b".into(),
+            }]
+        );
+        assert_eq!(c.primary_of("billing").as_deref(), Some("srv_b"));
+        assert_eq!(
+            c.registry.get("topology/billing/primary").as_deref(),
+            Some("srv_b")
+        );
+    }
+
+    #[test]
+    fn unhealthy_replicas_are_skipped_for_promotion() {
+        let c = coordinator();
+        let events = c.on_source_down("srv_a", &|name| name == "srv_c");
+        assert_eq!(events[0].new_primary, "srv_c");
+    }
+
+    #[test]
+    fn replica_failure_only_disables_reads() {
+        let c = coordinator();
+        let events = c.on_source_down("srv_b", &|_| true);
+        assert!(events.is_empty());
+        assert_eq!(c.primary_of("billing").as_deref(), Some("srv_a"));
+        // reads now avoid srv_b
+        let groups = c.groups.lock();
+        let g = groups.get("billing").unwrap();
+        assert_eq!(g.route_read(), "srv_c");
+        assert_eq!(g.route_read(), "srv_c");
+    }
+
+    #[test]
+    fn recovered_source_rejoins_as_replica() {
+        let c = coordinator();
+        c.on_source_down("srv_a", &|_| true); // promote srv_b
+        c.on_source_up("srv_a");
+        let groups = c.groups.lock();
+        let g = groups.get("billing").unwrap();
+        // old primary is back in the read rotation, not primary again.
+        assert_eq!(g.primary, "srv_b");
+        let reads: Vec<&str> = (0..4).map(|_| g.route_read()).collect();
+        assert!(reads.contains(&"srv_a"));
+    }
+
+    #[test]
+    fn no_healthy_candidate_means_no_failover() {
+        let c = coordinator();
+        let events = c.on_source_down("srv_a", &|_| false);
+        assert!(events.is_empty());
+        assert_eq!(c.primary_of("billing").as_deref(), Some("srv_a"));
+    }
+}

@@ -1,0 +1,162 @@
+//! Health detection (paper §V-B): a governor thread periodically probes
+//! every data source; failures flip the source's circuit breaker and are
+//! published to the registry so every kernel instance reacts.
+
+use super::registry::ConfigRegistry;
+use crate::datasource::DataSource;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// One probe outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthEvent {
+    pub datasource: String,
+    pub healthy: bool,
+}
+
+/// Snapshot of the last probe round.
+#[derive(Debug, Clone, Default)]
+pub struct HealthReport {
+    pub statuses: HashMap<String, bool>,
+}
+
+impl HealthReport {
+    pub fn healthy_count(&self) -> usize {
+        self.statuses.values().filter(|h| **h).count()
+    }
+}
+
+/// Periodic health prober.
+pub struct HealthDetector {
+    registry: Arc<ConfigRegistry>,
+    datasources: Vec<Arc<DataSource>>,
+}
+
+impl HealthDetector {
+    pub fn new(registry: Arc<ConfigRegistry>, datasources: Vec<Arc<DataSource>>) -> Self {
+        HealthDetector {
+            registry,
+            datasources,
+        }
+    }
+
+    /// Probe every data source once: update circuit breakers and publish
+    /// status to the registry. Returns the events for sources that changed.
+    pub fn probe_once(&self) -> Vec<HealthEvent> {
+        let mut events = Vec::new();
+        for ds in &self.datasources {
+            let healthy = ds.ping();
+            let key = format!("status/datasource/{}", ds.name);
+            let previous = self.registry.get(&key);
+            let status = if healthy { "up" } else { "down" };
+            if previous.as_deref() != Some(status) {
+                self.registry.set(&key, status);
+                events.push(HealthEvent {
+                    datasource: ds.name.clone(),
+                    healthy,
+                });
+            }
+            // Circuit-break unhealthy sources; re-enable recovered ones.
+            ds.set_enabled(healthy);
+        }
+        events
+    }
+
+    pub fn report(&self) -> HealthReport {
+        let statuses = self
+            .datasources
+            .iter()
+            .map(|ds| (ds.name.clone(), ds.is_enabled()))
+            .collect();
+        HealthReport { statuses }
+    }
+
+    /// Spawn the background probe loop. The returned guard stops the loop
+    /// when dropped.
+    pub fn start(self, interval: Duration) -> HealthLoopGuard {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            while !stop2.load(Ordering::SeqCst) {
+                self.probe_once();
+                std::thread::sleep(interval);
+            }
+        });
+        HealthLoopGuard {
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+/// Stops the health loop on drop.
+pub struct HealthLoopGuard {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Drop for HealthLoopGuard {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shard_storage::StorageEngine;
+
+    fn ds(name: &str) -> Arc<DataSource> {
+        Arc::new(DataSource::new(name, StorageEngine::new(name), 4))
+    }
+
+    #[test]
+    fn probe_publishes_status_once_per_change() {
+        let registry = Arc::new(ConfigRegistry::new());
+        let a = ds("ds_0");
+        let detector = HealthDetector::new(Arc::clone(&registry), vec![Arc::clone(&a)]);
+        let events = detector.probe_once();
+        assert_eq!(
+            events,
+            vec![HealthEvent {
+                datasource: "ds_0".into(),
+                healthy: true
+            }]
+        );
+        assert_eq!(registry.get("status/datasource/ds_0").as_deref(), Some("up"));
+        // No change → no event.
+        assert!(detector.probe_once().is_empty());
+    }
+
+    #[test]
+    fn report_reflects_circuit_state() {
+        let registry = Arc::new(ConfigRegistry::new());
+        let a = ds("ds_0");
+        let b = ds("ds_1");
+        b.set_enabled(false);
+        let detector =
+            HealthDetector::new(registry, vec![Arc::clone(&a), Arc::clone(&b)]);
+        // probe re-enables b because its engine responds.
+        detector.probe_once();
+        let report = detector.report();
+        assert_eq!(report.healthy_count(), 2);
+        assert!(report.statuses["ds_1"]);
+    }
+
+    #[test]
+    fn background_loop_runs_and_stops() {
+        let registry = Arc::new(ConfigRegistry::new());
+        let a = ds("ds_0");
+        let detector = HealthDetector::new(Arc::clone(&registry), vec![a]);
+        let guard = detector.start(Duration::from_millis(5));
+        std::thread::sleep(Duration::from_millis(30));
+        drop(guard); // must join cleanly
+        assert_eq!(registry.get("status/datasource/ds_0").as_deref(), Some("up"));
+    }
+}

@@ -1,0 +1,14 @@
+//! Governor (paper §V): configuration management and health detection.
+//!
+//! The paper stores configuration in ZooKeeper; our in-process
+//! [`ConfigRegistry`] plays the same role — a versioned, watchable key-value
+//! store shared by every kernel instance (JDBC adaptors and proxies can
+//! share one registry, as Fig 4 shows them sharing one Governor).
+
+mod failover;
+mod health;
+mod registry;
+
+pub use failover::{FailoverCoordinator, FailoverEvent};
+pub use health::{HealthDetector, HealthEvent, HealthReport};
+pub use registry::{ConfigRegistry, ConfigVersion, Watcher};

@@ -1,0 +1,180 @@
+//! Versioned configuration registry with watch channels (the ZooKeeper
+//! analogue).
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+pub type ConfigVersion = u64;
+
+/// A change notification delivered to watchers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigChange {
+    pub key: String,
+    pub value: Option<String>,
+    pub version: ConfigVersion,
+}
+
+/// Receives change notifications for one key prefix.
+pub struct Watcher {
+    rx: Receiver<ConfigChange>,
+}
+
+impl Watcher {
+    /// Non-blocking poll for the next change.
+    pub fn try_next(&self) -> Option<ConfigChange> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Block until the next change (tests, governor loops).
+    pub fn next_timeout(&self, timeout: std::time::Duration) -> Option<ConfigChange> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+}
+
+#[derive(Default)]
+struct RegistryState {
+    entries: HashMap<String, (String, ConfigVersion)>,
+    watchers: Vec<(String, Sender<ConfigChange>)>,
+    version: ConfigVersion,
+}
+
+/// Shared versioned key-value store.
+#[derive(Default)]
+pub struct ConfigRegistry {
+    state: Mutex<RegistryState>,
+}
+
+impl ConfigRegistry {
+    pub fn new() -> Self {
+        ConfigRegistry::default()
+    }
+
+    /// Set a key, bumping the global version and notifying watchers.
+    pub fn set(&self, key: &str, value: impl Into<String>) -> ConfigVersion {
+        let value = value.into();
+        let mut state = self.state.lock();
+        state.version += 1;
+        let version = state.version;
+        state.entries.insert(key.to_string(), (value.clone(), version));
+        Self::notify(&mut state, key, Some(value), version);
+        version
+    }
+
+    pub fn delete(&self, key: &str) -> bool {
+        let mut state = self.state.lock();
+        if state.entries.remove(key).is_some() {
+            state.version += 1;
+            let version = state.version;
+            Self::notify(&mut state, key, None, version);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn notify(state: &mut RegistryState, key: &str, value: Option<String>, version: ConfigVersion) {
+        state.watchers.retain(|(prefix, tx)| {
+            if key.starts_with(prefix.as_str()) {
+                tx.send(ConfigChange {
+                    key: key.to_string(),
+                    value: value.clone(),
+                    version,
+                })
+                .is_ok()
+            } else {
+                true
+            }
+        });
+    }
+
+    pub fn get(&self, key: &str) -> Option<String> {
+        self.state.lock().entries.get(key).map(|(v, _)| v.clone())
+    }
+
+    pub fn get_versioned(&self, key: &str) -> Option<(String, ConfigVersion)> {
+        self.state.lock().entries.get(key).cloned()
+    }
+
+    /// All keys under a prefix, sorted.
+    pub fn keys(&self, prefix: &str) -> Vec<String> {
+        let mut keys: Vec<String> = self
+            .state
+            .lock()
+            .entries
+            .keys()
+            .filter(|k| k.starts_with(prefix))
+            .cloned()
+            .collect();
+        keys.sort();
+        keys
+    }
+
+    pub fn version(&self) -> ConfigVersion {
+        self.state.lock().version
+    }
+
+    /// Subscribe to changes under a key prefix.
+    pub fn watch(&self, prefix: &str) -> Watcher {
+        let (tx, rx) = unbounded();
+        self.state.lock().watchers.push((prefix.to_string(), tx));
+        Watcher { rx }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn set_get_delete() {
+        let r = ConfigRegistry::new();
+        r.set("rules/t_user", "mod:2");
+        assert_eq!(r.get("rules/t_user").as_deref(), Some("mod:2"));
+        assert!(r.delete("rules/t_user"));
+        assert!(r.get("rules/t_user").is_none());
+        assert!(!r.delete("rules/t_user"));
+    }
+
+    #[test]
+    fn versions_increase_monotonically() {
+        let r = ConfigRegistry::new();
+        let v1 = r.set("a", "1");
+        let v2 = r.set("b", "2");
+        let v3 = r.set("a", "3");
+        assert!(v1 < v2 && v2 < v3);
+        assert_eq!(r.get_versioned("a").unwrap().1, v3);
+    }
+
+    #[test]
+    fn prefix_listing() {
+        let r = ConfigRegistry::new();
+        r.set("rules/a", "1");
+        r.set("rules/b", "2");
+        r.set("status/x", "up");
+        assert_eq!(r.keys("rules/"), vec!["rules/a", "rules/b"]);
+    }
+
+    #[test]
+    fn watchers_notified_on_prefix() {
+        let r = ConfigRegistry::new();
+        let w = r.watch("rules/");
+        r.set("rules/t", "v");
+        r.set("status/t", "up"); // different prefix: not delivered
+        let change = w.next_timeout(Duration::from_millis(100)).unwrap();
+        assert_eq!(change.key, "rules/t");
+        assert_eq!(change.value.as_deref(), Some("v"));
+        assert!(w.try_next().is_none());
+    }
+
+    #[test]
+    fn delete_notifies_with_none() {
+        let r = ConfigRegistry::new();
+        r.set("k", "v");
+        let w = r.watch("k");
+        r.delete("k");
+        let change = w.next_timeout(Duration::from_millis(100)).unwrap();
+        assert_eq!(change.value, None);
+    }
+}

@@ -1,0 +1,26 @@
+//! # shard-core
+//!
+//! The ShardingSphere-RS kernel: sharding configuration and algorithms,
+//! the SQL engine (router, rewriter, executor, merger), distributed
+//! transactions (Local / XA / BASE), the governor, DistSQL execution, and
+//! pluggable features (read-write splitting, encryption, shadow DB, hints).
+
+pub mod algorithm;
+pub mod config;
+pub mod datasource;
+pub mod distsql;
+pub mod error;
+pub mod executor;
+pub mod feature;
+pub mod governor;
+pub mod merge;
+pub mod metadata;
+pub mod rewrite;
+pub mod route;
+
+pub mod runtime;
+pub mod transaction;
+
+pub use error::{KernelError, Result};
+pub use runtime::{RuntimeBuilder, Session, ShardingRuntime};
+pub use transaction::TransactionType;

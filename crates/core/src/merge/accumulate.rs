@@ -1,0 +1,111 @@
+//! Cross-shard aggregate combination.
+//!
+//! Each shard returns *partial* aggregates; combining them is not the same
+//! operation that produced them: COUNTs add, MINs take the minimum, and AVG
+//! must be recomputed from derived SUM/COUNT columns (an average of
+//! averages would weight shards incorrectly — this is why the rewriter
+//! derives those columns).
+
+use crate::rewrite::AggKind;
+use shard_sql::Value;
+
+/// Combine a partial aggregate value into an accumulator.
+pub fn combine(kind: AggKind, acc: &mut Value, v: &Value) {
+    match kind {
+        AggKind::Count | AggKind::Sum => add_in_place(acc, v),
+        AggKind::Min => {
+            if !v.is_null()
+                && (acc.is_null() || v.total_cmp(acc) == std::cmp::Ordering::Less)
+            {
+                *acc = v.clone();
+            }
+        }
+        AggKind::Max => {
+            if !v.is_null()
+                && (acc.is_null() || v.total_cmp(acc) == std::cmp::Ordering::Greater)
+            {
+                *acc = v.clone();
+            }
+        }
+        // AVG columns are recomputed from their derived SUM/COUNT; the
+        // partial AVG value itself is ignored.
+        AggKind::Avg => {}
+    }
+}
+
+/// Numeric addition treating NULL as identity (SQL SUM semantics).
+pub fn add_in_place(acc: &mut Value, v: &Value) {
+    match (&*acc, v) {
+        (_, Value::Null) => {}
+        (Value::Null, _) => *acc = v.clone(),
+        (Value::Int(a), Value::Int(b)) => *acc = Value::Int(a + b),
+        _ => {
+            let a = acc.as_float().unwrap_or(0.0);
+            let b = v.as_float().unwrap_or(0.0);
+            *acc = Value::Float(a + b);
+        }
+    }
+}
+
+/// Finish an AVG from its merged SUM and COUNT.
+pub fn finish_avg(sum: &Value, count: &Value) -> Value {
+    let n = count.as_int().unwrap_or(0);
+    if n == 0 {
+        return Value::Null;
+    }
+    match sum.as_float() {
+        Some(s) => Value::Float(s / n as f64),
+        None => Value::Null,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_add() {
+        let mut acc = Value::Int(3);
+        combine(AggKind::Count, &mut acc, &Value::Int(4));
+        assert_eq!(acc, Value::Int(7));
+    }
+
+    #[test]
+    fn sum_null_identity() {
+        let mut acc = Value::Null;
+        combine(AggKind::Sum, &mut acc, &Value::Null);
+        assert_eq!(acc, Value::Null);
+        combine(AggKind::Sum, &mut acc, &Value::Int(5));
+        assert_eq!(acc, Value::Int(5));
+        combine(AggKind::Sum, &mut acc, &Value::Float(0.5));
+        assert_eq!(acc, Value::Float(5.5));
+    }
+
+    #[test]
+    fn min_max() {
+        let mut lo = Value::Null;
+        let mut hi = Value::Null;
+        for v in [Value::Int(4), Value::Int(1), Value::Int(9)] {
+            combine(AggKind::Min, &mut lo, &v);
+            combine(AggKind::Max, &mut hi, &v);
+        }
+        assert_eq!(lo, Value::Int(1));
+        assert_eq!(hi, Value::Int(9));
+    }
+
+    #[test]
+    fn avg_recomputed_not_averaged() {
+        // Shard A: sum 10, count 1. Shard B: sum 2, count 3.
+        // AVG must be 12/4 = 3, not (10/1 + 2/3)/2.
+        let mut sum = Value::Int(10);
+        let mut count = Value::Int(1);
+        add_in_place(&mut sum, &Value::Int(2));
+        add_in_place(&mut count, &Value::Int(3));
+        assert_eq!(finish_avg(&sum, &count), Value::Float(3.0));
+    }
+
+    #[test]
+    fn avg_of_empty_is_null() {
+        assert_eq!(finish_avg(&Value::Null, &Value::Int(0)), Value::Null);
+    }
+}

@@ -1,0 +1,404 @@
+//! Result merger (paper §VI-E): combines per-shard result sets into one.
+//!
+//! Merger selection follows the paper: iteration for plain selects,
+//! priority-queue stream merge for ORDER BY, stream group merge when the
+//! shard streams are sorted by the group keys, memory group merge
+//! otherwise; plus decorators for DISTINCT, HAVING and pagination.
+
+pub mod accumulate;
+pub mod groupby;
+pub mod orderby;
+
+pub use groupby::AggPositions;
+pub use orderby::{OrderByStreamMerger, SortKey};
+
+use crate::error::{KernelError, Result};
+use crate::rewrite::DerivedInfo;
+use shard_sql::Value;
+use shard_storage::eval::{eval_predicate, EvalContext, Scope};
+use shard_storage::ResultSet;
+use std::collections::HashMap;
+
+/// Which merge strategy handled the query (diagnostics / tests / benches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergerKind {
+    /// Single shard: pass-through, no merging needed.
+    PassThrough,
+    Iteration,
+    OrderByStream,
+    GroupByStream,
+    GroupByMemory,
+    SingleGroup,
+}
+
+/// Merge shard results according to the rewrite guidance.
+pub fn merge(results: Vec<ResultSet>, info: &DerivedInfo) -> Result<ResultSet> {
+    Ok(merge_explain(results, info)?.0)
+}
+
+/// Like [`merge`] but also reports which strategy was used.
+pub fn merge_explain(
+    mut results: Vec<ResultSet>,
+    info: &DerivedInfo,
+) -> Result<(ResultSet, MergerKind)> {
+    if results.is_empty() {
+        return Ok((ResultSet::empty(), MergerKind::PassThrough));
+    }
+    // Shards that returned nothing still define the column shape.
+    let columns = results
+        .iter()
+        .map(|r| &r.columns)
+        .max_by_key(|c| c.len())
+        .expect("non-empty results")
+        .clone();
+
+    if results.len() == 1 && !info.is_grouped() {
+        // Single-shard SELECT: the shard already ordered AND paginated it
+        // (the single-node optimization leaves LIMIT/OFFSET on the shard
+        // statement), so re-applying the window here would drop rows.
+        // Derived columns only exist on multi-unit rewrites, but stripping
+        // zero of them is harmless.
+        let mut rs = results.pop().expect("one result");
+        strip_derived(&mut rs, info);
+        return Ok((rs, MergerKind::PassThrough));
+    }
+
+    let shape = ResultSet::new(columns.clone(), Vec::new());
+
+    let (mut rows, kind) = if info.is_grouped() {
+        let aggs = AggPositions::resolve(&info.aggregates, &shape).ok_or_else(|| {
+            KernelError::Merge("aggregate columns missing from shard results".into())
+        })?;
+        if info.group_by.is_empty() {
+            (
+                groupby::single_group_merge(results, &aggs),
+                MergerKind::SingleGroup,
+            )
+        } else {
+            let group_positions: Option<Vec<usize>> = info
+                .group_by
+                .iter()
+                .map(|c| shape.column_index(c))
+                .collect();
+            let group_positions = group_positions.ok_or_else(|| {
+                KernelError::Merge("group-by columns missing from shard results".into())
+            })?;
+            let sort_keys = resolve_sort_keys(info, &shape)?;
+            if info.group_streamable {
+                (
+                    groupby::group_stream_merge(results, &sort_keys, &group_positions, &aggs),
+                    MergerKind::GroupByStream,
+                )
+            } else {
+                (
+                    groupby::group_memory_merge(results, &sort_keys, &group_positions, &aggs),
+                    MergerKind::GroupByMemory,
+                )
+            }
+        }
+    } else if !info.order_by.is_empty() {
+        let sort_keys = resolve_sort_keys(info, &shape)?;
+        (
+            OrderByStreamMerger::new(results, sort_keys).collect(),
+            MergerKind::OrderByStream,
+        )
+    } else {
+        // Iteration merger: chain the cursors.
+        let mut rows = Vec::new();
+        for rs in results {
+            rows.extend(rs.rows);
+        }
+        (rows, MergerKind::Iteration)
+    };
+
+    // DISTINCT decorator.
+    if info.distinct {
+        let mut seen = std::collections::HashSet::new();
+        rows.retain(|r| seen.insert(r.clone()));
+    }
+
+    let mut rs = ResultSet::new(columns, rows);
+
+    // HAVING decorator (merged groups only).
+    if let Some(having) = &info.having {
+        apply_having(&mut rs, having, info)?;
+    }
+
+    apply_pagination(&mut rs, info);
+    strip_derived(&mut rs, info);
+    Ok((rs, kind))
+}
+
+fn resolve_sort_keys(info: &DerivedInfo, shape: &ResultSet) -> Result<Vec<SortKey>> {
+    info.order_by
+        .iter()
+        .map(|k| {
+            shape
+                .column_index(&k.column)
+                .map(|position| SortKey {
+                    position,
+                    desc: k.desc,
+                })
+                .ok_or_else(|| {
+                    KernelError::Merge(format!(
+                        "order-by column '{}' missing from shard results",
+                        k.column
+                    ))
+                })
+        })
+        .collect()
+}
+
+fn apply_having(rs: &mut ResultSet, having: &shard_sql::Expr, info: &DerivedInfo) -> Result<()> {
+    let scope = Scope::from_columns(&rs.columns);
+    // Aggregate values for HAVING come from the merged aggregate columns,
+    // keyed by the rendered call text.
+    let agg_positions: Vec<(String, usize)> = info
+        .aggregates
+        .iter()
+        .filter_map(|a| rs.column_index(&a.column).map(|p| (a.call_text.clone(), p)))
+        .collect();
+    let mut kept = Vec::with_capacity(rs.rows.len());
+    for row in rs.rows.drain(..) {
+        let aggs: HashMap<String, Value> = agg_positions
+            .iter()
+            .map(|(text, p)| (text.clone(), row[*p].clone()))
+            .collect();
+        let mut ctx = EvalContext::new(&scope, &row, &[]);
+        ctx.aggregates = Some(&aggs);
+        let keep = eval_predicate(having, &ctx)
+            .map_err(|e| KernelError::Merge(format!("HAVING evaluation failed: {e}")))?;
+        if keep {
+            kept.push(row);
+        }
+    }
+    rs.rows = kept;
+    Ok(())
+}
+
+fn apply_pagination(rs: &mut ResultSet, info: &DerivedInfo) {
+    if let Some((offset, limit)) = info.limit {
+        let offset = offset as usize;
+        if offset >= rs.rows.len() {
+            rs.rows.clear();
+        } else if offset > 0 {
+            rs.rows.drain(..offset);
+        }
+        if let Some(l) = limit {
+            rs.rows.truncate(l as usize);
+        }
+    }
+}
+
+fn strip_derived(rs: &mut ResultSet, info: &DerivedInfo) {
+    if info.derived_columns == 0 {
+        return;
+    }
+    let keep = rs.columns.len().saturating_sub(info.derived_columns);
+    rs.columns.truncate(keep);
+    for row in &mut rs.rows {
+        row.truncate(keep);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rewrite::derive_select;
+    use shard_sql::{parse_statement, Statement};
+
+    fn info_for(sql: &str) -> DerivedInfo {
+        match parse_statement(sql).unwrap() {
+            Statement::Select(s) => derive_select(&s, &[]).unwrap().1,
+            _ => unreachable!(),
+        }
+    }
+
+    fn rs(cols: &[&str], rows: Vec<Vec<Value>>) -> ResultSet {
+        ResultSet::new(cols.iter().map(|c| c.to_string()).collect(), rows)
+    }
+
+    #[test]
+    fn iteration_merge_chains() {
+        let info = info_for("SELECT v FROM t");
+        let (out, kind) = merge_explain(
+            vec![
+                rs(&["v"], vec![vec![Value::Int(1)]]),
+                rs(&["v"], vec![vec![Value::Int(2)]]),
+            ],
+            &info,
+        )
+        .unwrap();
+        assert_eq!(kind, MergerKind::Iteration);
+        assert_eq!(out.rows.len(), 2);
+    }
+
+    #[test]
+    fn order_by_uses_stream_merger() {
+        let info = info_for("SELECT v FROM t ORDER BY v");
+        let (out, kind) = merge_explain(
+            vec![
+                rs(&["v"], vec![vec![Value::Int(1)], vec![Value::Int(3)]]),
+                rs(&["v"], vec![vec![Value::Int(2)]]),
+            ],
+            &info,
+        )
+        .unwrap();
+        assert_eq!(kind, MergerKind::OrderByStream);
+        let got: Vec<i64> = out.rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+        assert_eq!(got, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn group_by_stream_when_optimized() {
+        // GROUP BY without ORDER BY gets the stream optimization.
+        let info = info_for("SELECT name, SUM(score) FROM t GROUP BY name");
+        // shard shape: name, SUM(score) — sorted by name per rewrite.
+        let (out, kind) = merge_explain(
+            vec![
+                rs(
+                    &["name", "SUM(score)"],
+                    vec![
+                        vec![Value::Str("a".into()), Value::Int(1)],
+                        vec![Value::Str("b".into()), Value::Int(2)],
+                    ],
+                ),
+                rs(
+                    &["name", "SUM(score)"],
+                    vec![vec![Value::Str("a".into()), Value::Int(10)]],
+                ),
+            ],
+            &info,
+        )
+        .unwrap();
+        assert_eq!(kind, MergerKind::GroupByStream);
+        assert_eq!(out.rows[0], vec![Value::Str("a".into()), Value::Int(11)]);
+        assert_eq!(out.rows[1], vec![Value::Str("b".into()), Value::Int(2)]);
+    }
+
+    #[test]
+    fn group_by_memory_when_order_differs() {
+        let info = info_for("SELECT name, SUM(score) FROM t GROUP BY name ORDER BY SUM(score) DESC");
+        let (out, kind) = merge_explain(
+            vec![
+                rs(
+                    &["name", "SUM(score)"],
+                    vec![
+                        vec![Value::Str("a".into()), Value::Int(1)],
+                        vec![Value::Str("b".into()), Value::Int(2)],
+                    ],
+                ),
+                rs(
+                    &["name", "SUM(score)"],
+                    vec![vec![Value::Str("a".into()), Value::Int(10)]],
+                ),
+            ],
+            &info,
+        )
+        .unwrap();
+        assert_eq!(kind, MergerKind::GroupByMemory);
+        assert_eq!(out.rows[0], vec![Value::Str("a".into()), Value::Int(11)]);
+    }
+
+    #[test]
+    fn avg_merged_correctly_end_to_end() {
+        let info = info_for("SELECT AVG(score) FROM t");
+        // shard shape: AVG(score), AVG_DERIVED_SUM_0, AVG_DERIVED_COUNT_1
+        let shard = |avg: f64, sum: i64, count: i64| {
+            rs(
+                &["AVG(score)", "AVG_DERIVED_SUM_0", "AVG_DERIVED_COUNT_1"],
+                vec![vec![Value::Float(avg), Value::Int(sum), Value::Int(count)]],
+            )
+        };
+        let (out, kind) = merge_explain(vec![shard(10.0, 10, 1), shard(2.0 / 3.0, 2, 3)], &info).unwrap();
+        assert_eq!(kind, MergerKind::SingleGroup);
+        // derived columns stripped: only AVG remains
+        assert_eq!(out.columns, vec!["AVG(score)"]);
+        assert_eq!(out.rows[0][0], Value::Float(3.0));
+    }
+
+    #[test]
+    fn having_filters_merged_groups() {
+        let info = info_for("SELECT name FROM t GROUP BY name HAVING COUNT(*) > 2");
+        // shard shape: name, HAVING_DERIVED_0 (COUNT(*))
+        let (out, _) = merge_explain(
+            vec![
+                rs(
+                    &["name", "HAVING_DERIVED_0"],
+                    vec![
+                        vec![Value::Str("a".into()), Value::Int(2)],
+                        vec![Value::Str("b".into()), Value::Int(1)],
+                    ],
+                ),
+                rs(
+                    &["name", "HAVING_DERIVED_0"],
+                    vec![vec![Value::Str("a".into()), Value::Int(1)]],
+                ),
+            ],
+            &info,
+        )
+        .unwrap();
+        // a: 3 > 2 kept; b: 1 filtered. Derived column stripped.
+        assert_eq!(out.columns, vec!["name"]);
+        assert_eq!(out.rows, vec![vec![Value::Str("a".into())]]);
+    }
+
+    #[test]
+    fn pagination_applied_after_merge() {
+        let info = info_for("SELECT v FROM t ORDER BY v LIMIT 2, 2");
+        // per-shard rewrite keeps first 4 rows of each; merger re-applies.
+        let (out, _) = merge_explain(
+            vec![
+                rs(&["v"], vec![vec![Value::Int(1)], vec![Value::Int(3)]]),
+                rs(&["v"], vec![vec![Value::Int(2)], vec![Value::Int(4)]]),
+            ],
+            &info,
+        )
+        .unwrap();
+        let got: Vec<i64> = out.rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+        assert_eq!(got, vec![3, 4]);
+    }
+
+    #[test]
+    fn distinct_dedups_across_shards() {
+        let info = info_for("SELECT DISTINCT v FROM t");
+        let (out, _) = merge_explain(
+            vec![
+                rs(&["v"], vec![vec![Value::Int(1)], vec![Value::Int(2)]]),
+                rs(&["v"], vec![vec![Value::Int(1)]]),
+            ],
+            &info,
+        )
+        .unwrap();
+        assert_eq!(out.rows.len(), 2);
+    }
+
+    #[test]
+    fn empty_results() {
+        let info = info_for("SELECT v FROM t");
+        let (out, _) = merge_explain(vec![], &info).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn derived_order_column_stripped() {
+        let info = info_for("SELECT oid FROM t ORDER BY uid");
+        let (out, _) = merge_explain(
+            vec![
+                rs(
+                    &["oid", "ORDER_BY_DERIVED_0"],
+                    vec![vec![Value::Int(100), Value::Int(2)]],
+                ),
+                rs(
+                    &["oid", "ORDER_BY_DERIVED_0"],
+                    vec![vec![Value::Int(200), Value::Int(1)]],
+                ),
+            ],
+            &info,
+        )
+        .unwrap();
+        assert_eq!(out.columns, vec!["oid"]);
+        let got: Vec<i64> = out.rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+        assert_eq!(got, vec![200, 100]); // sorted by hidden uid
+    }
+}

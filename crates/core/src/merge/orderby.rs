@@ -1,0 +1,199 @@
+//! Order-by stream merger: k-way merge of per-shard sorted streams using a
+//! priority queue (the paper §VI-E: "we resort to a priority queue" /
+//! multiway merge).
+
+use shard_storage::{ResultCursor, ResultSet};
+use shard_sql::Value;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Comparison spec: (column position, descending).
+#[derive(Debug, Clone)]
+pub struct SortKey {
+    pub position: usize,
+    pub desc: bool,
+}
+
+pub fn compare_rows(a: &[Value], b: &[Value], keys: &[SortKey]) -> Ordering {
+    for k in keys {
+        let ord = a[k.position].total_cmp(&b[k.position]);
+        let ord = if k.desc { ord.reverse() } else { ord };
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    Ordering::Equal
+}
+
+struct HeapEntry {
+    row: Vec<Value>,
+    source: usize,
+    keys: std::rc::Rc<Vec<SortKey>>,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse for ascending output. Tie-break
+        // on source index for determinism.
+        compare_rows(&self.row, &other.row, &self.keys)
+            .then(self.source.cmp(&other.source))
+            .reverse()
+    }
+}
+
+/// Streaming k-way merge over per-source sorted cursors.
+pub struct OrderByStreamMerger {
+    cursors: Vec<ResultCursor>,
+    heap: BinaryHeap<HeapEntry>,
+    keys: std::rc::Rc<Vec<SortKey>>,
+}
+
+impl OrderByStreamMerger {
+    pub fn new(results: Vec<ResultSet>, keys: Vec<SortKey>) -> Self {
+        let keys = std::rc::Rc::new(keys);
+        let mut cursors: Vec<ResultCursor> =
+            results.into_iter().map(ResultSet::into_cursor).collect();
+        let mut heap = BinaryHeap::with_capacity(cursors.len());
+        for (i, c) in cursors.iter_mut().enumerate() {
+            if let Some(row) = c.next_row() {
+                heap.push(HeapEntry {
+                    row,
+                    source: i,
+                    keys: std::rc::Rc::clone(&keys),
+                });
+            }
+        }
+        OrderByStreamMerger { cursors, heap, keys }
+    }
+}
+
+impl Iterator for OrderByStreamMerger {
+    type Item = Vec<Value>;
+
+    fn next(&mut self) -> Option<Vec<Value>> {
+        let entry = self.heap.pop()?;
+        if let Some(row) = self.cursors[entry.source].next_row() {
+            self.heap.push(HeapEntry {
+                row,
+                source: entry.source,
+                keys: std::rc::Rc::clone(&self.keys),
+            });
+        }
+        Some(entry.row)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rs(vals: &[i64]) -> ResultSet {
+        ResultSet::new(
+            vec!["v".into()],
+            vals.iter().map(|v| vec![Value::Int(*v)]).collect(),
+        )
+    }
+
+    #[test]
+    fn merges_sorted_streams() {
+        let merger = OrderByStreamMerger::new(
+            vec![rs(&[1, 4, 7]), rs(&[2, 5, 8]), rs(&[3, 6, 9])],
+            vec![SortKey {
+                position: 0,
+                desc: false,
+            }],
+        );
+        let got: Vec<i64> = merger.map(|r| r[0].as_int().unwrap()).collect();
+        assert_eq!(got, vec![1, 2, 3, 4, 5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn descending_merge() {
+        let merger = OrderByStreamMerger::new(
+            vec![rs(&[9, 5, 1]), rs(&[8, 4])],
+            vec![SortKey {
+                position: 0,
+                desc: true,
+            }],
+        );
+        let got: Vec<i64> = merger.map(|r| r[0].as_int().unwrap()).collect();
+        assert_eq!(got, vec![9, 8, 5, 4, 1]);
+    }
+
+    #[test]
+    fn empty_and_uneven_sources() {
+        let merger = OrderByStreamMerger::new(
+            vec![rs(&[]), rs(&[2]), rs(&[1, 3])],
+            vec![SortKey {
+                position: 0,
+                desc: false,
+            }],
+        );
+        let got: Vec<i64> = merger.map(|r| r[0].as_int().unwrap()).collect();
+        assert_eq!(got, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn multi_key_sort() {
+        let a = ResultSet::new(
+            vec!["x".into(), "y".into()],
+            vec![
+                vec![Value::Int(1), Value::Int(9)],
+                vec![Value::Int(2), Value::Int(1)],
+            ],
+        );
+        let b = ResultSet::new(
+            vec!["x".into(), "y".into()],
+            vec![
+                vec![Value::Int(1), Value::Int(2)],
+                vec![Value::Int(2), Value::Int(5)],
+            ],
+        );
+        let merger = OrderByStreamMerger::new(
+            vec![a, b],
+            vec![
+                SortKey { position: 0, desc: false },
+                SortKey { position: 1, desc: false },
+            ],
+        );
+        let got: Vec<(i64, i64)> = merger
+            .map(|r| (r[0].as_int().unwrap(), r[1].as_int().unwrap()))
+            .collect();
+        assert_eq!(got, vec![(1, 2), (1, 9), (2, 1), (2, 5)]);
+    }
+
+    #[test]
+    fn paper_figure7_example() {
+        // Fig 7: three sources each sorted by name; merged stream is fully
+        // sorted. Use (name, score) pairs.
+        let s = |rows: Vec<(&str, i64)>| {
+            ResultSet::new(
+                vec!["name".into(), "score".into()],
+                rows.into_iter()
+                    .map(|(n, v)| vec![Value::Str(n.into()), Value::Int(v)])
+                    .collect(),
+            )
+        };
+        let merger = OrderByStreamMerger::new(
+            vec![
+                s(vec![("jerry", 88), ("tom", 95)]),
+                s(vec![("jerry", 90), ("tom", 78)]),
+                s(vec![("lily", 87), ("tom", 85)]),
+            ],
+            vec![SortKey { position: 0, desc: false }],
+        );
+        let names: Vec<String> = merger.map(|r| r[0].to_string()).collect();
+        assert_eq!(names, vec!["jerry", "jerry", "lily", "tom", "tom", "tom"]);
+    }
+}

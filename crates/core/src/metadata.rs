@@ -1,0 +1,90 @@
+//! Logical schema registry: the schemas of logic tables as the application
+//! sees them. The rewriter consults it (derived columns, INSERT column
+//! resolution) and AutoTable uses it to emit physical DDL.
+
+use crate::error::{KernelError, Result};
+use parking_lot::RwLock;
+use shard_sql::ast::CreateTableStatement;
+
+#[derive(Default)]
+pub struct LogicalSchemas {
+    schemas: RwLock<std::collections::HashMap<String, CreateTableStatement>>,
+}
+
+impl LogicalSchemas {
+    pub fn new() -> Self {
+        LogicalSchemas::default()
+    }
+
+    pub fn register(&self, schema: CreateTableStatement) {
+        self.schemas
+            .write()
+            .insert(schema.name.as_str().to_lowercase(), schema);
+    }
+
+    pub fn remove(&self, logic_table: &str) {
+        self.schemas.write().remove(&logic_table.to_lowercase());
+    }
+
+    pub fn get(&self, logic_table: &str) -> Option<CreateTableStatement> {
+        self.schemas.read().get(&logic_table.to_lowercase()).cloned()
+    }
+
+    pub fn require(&self, logic_table: &str) -> Result<CreateTableStatement> {
+        self.get(logic_table).ok_or_else(|| {
+            KernelError::Config(format!("no logical schema registered for '{logic_table}'"))
+        })
+    }
+
+    pub fn columns(&self, logic_table: &str) -> Option<Vec<String>> {
+        self.get(logic_table)
+            .map(|s| s.columns.iter().map(|c| c.name.clone()).collect())
+    }
+
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.schemas.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shard_sql::ast::{ColumnDef, DataType, ObjectName};
+
+    fn schema(name: &str) -> CreateTableStatement {
+        CreateTableStatement {
+            name: ObjectName::new(name),
+            if_not_exists: false,
+            columns: vec![
+                ColumnDef::new("uid", DataType::BigInt),
+                ColumnDef::new("name", DataType::Text),
+            ],
+            primary_key: vec!["uid".into()],
+        }
+    }
+
+    #[test]
+    fn register_and_lookup_case_insensitive() {
+        let m = LogicalSchemas::new();
+        m.register(schema("T_User"));
+        assert!(m.get("t_user").is_some());
+        assert_eq!(m.columns("T_USER").unwrap(), vec!["uid", "name"]);
+    }
+
+    #[test]
+    fn require_errors_when_missing() {
+        let m = LogicalSchemas::new();
+        assert!(m.require("nope").is_err());
+    }
+
+    #[test]
+    fn remove_unregisters() {
+        let m = LogicalSchemas::new();
+        m.register(schema("t"));
+        m.remove("T");
+        assert!(m.get("t").is_none());
+        assert!(m.table_names().is_empty());
+    }
+}

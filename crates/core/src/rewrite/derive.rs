@@ -1,0 +1,451 @@
+//! Column derivation for multi-shard SELECTs.
+//!
+//! The merger needs data that the logical projection may not return: ORDER
+//! BY / GROUP BY key columns, and the SUM+COUNT pair behind every AVG (an
+//! average of averages is wrong). This pass appends derived columns with
+//! reserved aliases — the paper's example:
+//! `SELECT oid FROM t_order ORDER BY uid` becomes
+//! `SELECT oid, uid AS ORDER_BY_DERIVED_0 FROM t_order ORDER BY uid`.
+//! It also removes HAVING from the shard statements (it must run on merged
+//! groups, not partial ones) and rewrites pagination (`LIMIT o, n` →
+//! `LIMIT 0, o+n` per shard).
+
+use super::resolve_limit;
+use crate::error::{KernelError, Result};
+use shard_sql::ast::*;
+use shard_sql::{format_expr, Dialect, Value};
+
+/// How one aggregate column must be combined across shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggKind {
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+/// One aggregate output column in the (derived) projection.
+#[derive(Debug, Clone)]
+pub struct AggSpec {
+    pub kind: AggKind,
+    /// Result column name of the aggregate itself.
+    pub column: String,
+    /// For AVG: result column names of the derived SUM and COUNT.
+    pub sum_column: Option<String>,
+    pub count_column: Option<String>,
+    /// Rendered call text (`SUM(score)`) — the key HAVING evaluation uses.
+    pub call_text: String,
+}
+
+/// Ordering key for the merger.
+#[derive(Debug, Clone)]
+pub struct OrderKey {
+    /// Result column name carrying the key value.
+    pub column: String,
+    pub desc: bool,
+}
+
+/// Everything the merger needs to combine shard results.
+#[derive(Debug, Clone, Default)]
+pub struct DerivedInfo {
+    pub order_by: Vec<OrderKey>,
+    /// Result column names of the GROUP BY keys.
+    pub group_by: Vec<String>,
+    pub aggregates: Vec<AggSpec>,
+    /// Original pagination (offset, limit) to re-apply after merging.
+    pub limit: Option<(u64, Option<u64>)>,
+    pub distinct: bool,
+    /// HAVING predicate to evaluate on merged groups.
+    pub having: Option<Expr>,
+    /// Number of derived columns appended (stripped from the final result).
+    pub derived_columns: usize,
+    /// True when each shard's stream is sorted by the GROUP BY keys, so the
+    /// group merger can stream (paper §VI-E case 3 vs 4).
+    pub group_streamable: bool,
+}
+
+impl DerivedInfo {
+    pub fn has_aggregates(&self) -> bool {
+        !self.aggregates.is_empty()
+    }
+
+    pub fn is_grouped(&self) -> bool {
+        !self.group_by.is_empty() || self.has_aggregates()
+    }
+}
+
+/// Derive a multi-shard SELECT. Returns the statement to send to shards and
+/// the merge guidance.
+pub fn derive_select(select: &SelectStatement, params: &[Value]) -> Result<(SelectStatement, DerivedInfo)> {
+    let mut stmt = select.clone();
+    let mut info = DerivedInfo {
+        distinct: stmt.distinct,
+        ..DerivedInfo::default()
+    };
+    let mut derived_idx = 0usize;
+
+    // Guard: constructs whose partial results cannot be merged correctly.
+    for item in &stmt.projection {
+        if let SelectItem::Expr { expr, .. } = item {
+            if expr.contains_aggregate() && !matches!(expr, Expr::Function(_)) {
+                return Err(KernelError::Rewrite(format!(
+                    "multi-shard queries cannot merge aggregate expressions like '{}'; \
+                     select the aggregate as its own column",
+                    format_expr(expr, Dialect::Standard)
+                )));
+            }
+            if let Expr::Function(f) = expr {
+                if f.is_aggregate() && f.distinct && f.name != "MIN" && f.name != "MAX" {
+                    return Err(KernelError::Rewrite(format!(
+                        "multi-shard {}(DISTINCT ..) is not mergeable; \
+                         rewrite the query or route it to a single shard",
+                        f.name
+                    )));
+                }
+            }
+        }
+    }
+
+    // Stream-merger optimization: GROUP BY without ORDER BY gains an ORDER
+    // BY over the group keys so shard outputs arrive sorted.
+    if !stmt.group_by.is_empty() && stmt.order_by.is_empty() {
+        stmt.order_by = stmt
+            .group_by
+            .iter()
+            .map(|e| OrderByItem {
+                expr: e.clone(),
+                desc: false,
+            })
+            .collect();
+    }
+    info.group_streamable = !stmt.group_by.is_empty()
+        && stmt.order_by.len() >= stmt.group_by.len()
+        && stmt
+            .group_by
+            .iter()
+            .zip(&stmt.order_by)
+            .all(|(g, o)| exprs_equivalent(g, &o.expr));
+
+    // Resolve the output column name of an expression, deriving one when the
+    // projection does not already return it.
+    let mut ensure_column = |stmt: &mut SelectStatement, expr: &Expr, prefix: &str| -> Result<String> {
+        if let Some(name) = projected_name(&stmt.projection, expr) {
+            return Ok(name);
+        }
+        let alias = format!("{prefix}_{derived_idx}");
+        derived_idx += 1;
+        stmt.projection.push(SelectItem::Expr {
+            expr: expr.clone(),
+            alias: Some(alias.clone()),
+        });
+        Ok(alias)
+    };
+
+    // GROUP BY keys.
+    let group_exprs = stmt.group_by.clone();
+    for g in &group_exprs {
+        let name = ensure_column(&mut stmt, g, "GROUP_BY_DERIVED")?;
+        info.group_by.push(name);
+    }
+
+    // ORDER BY keys.
+    let order_items = stmt.order_by.clone();
+    for o in &order_items {
+        let name = ensure_column(&mut stmt, &o.expr, "ORDER_BY_DERIVED")?;
+        info.order_by.push(OrderKey {
+            column: name,
+            desc: o.desc,
+        });
+    }
+
+    // Aggregates: those in the projection, plus any referenced by HAVING.
+    let mut agg_exprs: Vec<(Expr, String)> = Vec::new(); // (call, result column)
+    let projection_snapshot = stmt.projection.clone();
+    for item in &projection_snapshot {
+        if let SelectItem::Expr { expr, alias } = item {
+            if let Expr::Function(f) = expr {
+                if f.is_aggregate() {
+                    let name = alias
+                        .clone()
+                        .unwrap_or_else(|| format_expr(expr, Dialect::Standard));
+                    agg_exprs.push((expr.clone(), name));
+                }
+            }
+        }
+    }
+    if let Some(having) = &stmt.having {
+        let mut having_aggs = Vec::new();
+        having.walk(&mut |e| {
+            if let Expr::Function(f) = e {
+                if f.is_aggregate() {
+                    having_aggs.push(Expr::Function(f.clone()));
+                }
+            }
+        });
+        for agg in having_aggs {
+            let text = format_expr(&agg, Dialect::Standard);
+            if !agg_exprs
+                .iter()
+                .any(|(e, _)| format_expr(e, Dialect::Standard) == text)
+            {
+                let name = ensure_column(&mut stmt, &agg, "HAVING_DERIVED")?;
+                agg_exprs.push((agg, name));
+            }
+        }
+    }
+
+    for (expr, column) in agg_exprs {
+        let Expr::Function(f) = &expr else { unreachable!() };
+        let kind = match f.name.as_str() {
+            "COUNT" => AggKind::Count,
+            "SUM" => AggKind::Sum,
+            "AVG" => AggKind::Avg,
+            "MIN" => AggKind::Min,
+            "MAX" => AggKind::Max,
+            other => {
+                return Err(KernelError::Rewrite(format!(
+                    "unmergeable aggregate '{other}'"
+                )))
+            }
+        };
+        let (sum_column, count_column) = if kind == AggKind::Avg {
+            // AVG(x) → derive SUM(x) and COUNT(x); the merger recomputes.
+            let arg = f.args[0].clone();
+            let sum_call = Expr::Function(FunctionCall {
+                name: "SUM".into(),
+                args: vec![arg.clone()],
+                distinct: false,
+                star: false,
+            });
+            let count_call = Expr::Function(FunctionCall {
+                name: "COUNT".into(),
+                args: vec![arg],
+                distinct: false,
+                star: false,
+            });
+            let s = ensure_column(&mut stmt, &sum_call, "AVG_DERIVED_SUM")?;
+            let c = ensure_column(&mut stmt, &count_call, "AVG_DERIVED_COUNT")?;
+            (Some(s), Some(c))
+        } else {
+            (None, None)
+        };
+        info.aggregates.push(AggSpec {
+            kind,
+            column,
+            sum_column,
+            count_column,
+            call_text: format_expr(&expr, Dialect::Standard),
+        });
+    }
+
+    // HAVING runs on merged groups only.
+    info.having = stmt.having.take();
+
+    // Pagination. For plain selects each shard returns its first
+    // offset+limit rows and the merger re-applies the original window. For
+    // grouped queries the limit must NOT reach the shards at all: a group's
+    // rows live on many shards, and truncating partial groups would corrupt
+    // the combined aggregates — every shard returns all of its groups and
+    // the merger paginates the merged result.
+    info.limit = resolve_limit(stmt.limit.as_ref(), params)?;
+    if info.is_grouped() {
+        stmt.limit = None;
+    } else if let Some((offset, limit)) = info.limit {
+        if offset > 0 || limit.is_some() {
+            stmt.limit = Some(Limit {
+                offset: None,
+                limit: limit.map(|l| LimitValue::Literal(offset + l)),
+            });
+        }
+    }
+
+    info.derived_columns = derived_idx;
+    Ok((stmt, info))
+}
+
+/// The output column name of `expr` if the projection already returns it.
+fn projected_name(projection: &[SelectItem], expr: &Expr) -> Option<String> {
+    // A bare column is covered by a wildcard.
+    if let Expr::Column(c) = expr {
+        for item in projection {
+            match item {
+                SelectItem::Wildcard => return Some(c.column.clone()),
+                SelectItem::QualifiedWildcard(t)
+                    if c.table.as_deref().is_none()
+                        || c.table.as_deref().is_some_and(|ct| ct.eq_ignore_ascii_case(t)) =>
+                {
+                    return Some(c.column.clone());
+                }
+                _ => {}
+            }
+        }
+    }
+    for item in projection {
+        if let SelectItem::Expr { expr: p, alias } = item {
+            if exprs_equivalent(p, expr) {
+                return Some(
+                    alias
+                        .clone()
+                        .unwrap_or_else(|| match p {
+                            Expr::Column(c) => c.column.clone(),
+                            other => format_expr(other, Dialect::Standard),
+                        }),
+                );
+            }
+            // ORDER BY may reference the projection alias.
+            if let (Some(a), Expr::Column(c)) = (alias, expr) {
+                if c.table.is_none() && c.column.eq_ignore_ascii_case(a) {
+                    return Some(a.clone());
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Structural equivalence, ignoring table qualifiers on columns (a shard
+/// result column carries no qualifier).
+fn exprs_equivalent(a: &Expr, b: &Expr) -> bool {
+    match (a, b) {
+        (Expr::Column(x), Expr::Column(y)) => x.column.eq_ignore_ascii_case(&y.column),
+        _ => format_expr(a, Dialect::Standard) == format_expr(b, Dialect::Standard),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shard_sql::{format_statement, parse_statement, Statement};
+
+    fn derive(sql: &str) -> (SelectStatement, DerivedInfo) {
+        match parse_statement(sql).unwrap() {
+            Statement::Select(s) => derive_select(&s, &[]).unwrap(),
+            _ => unreachable!(),
+        }
+    }
+
+    fn text(s: &SelectStatement) -> String {
+        format_statement(&Statement::Select(s.clone()), Dialect::MySql)
+    }
+
+    #[test]
+    fn paper_order_by_derivation_example() {
+        // Paper: "SELECT oid FROM t_order ORDER BY uid" →
+        //        "SELECT oid, uid AS ORDER_BY_DERIVED_0 FROM t_order ORDER BY uid"
+        let (stmt, info) = derive("SELECT oid FROM t_order ORDER BY uid");
+        assert_eq!(
+            text(&stmt),
+            "SELECT oid, uid AS ORDER_BY_DERIVED_0 FROM t_order ORDER BY uid"
+        );
+        assert_eq!(info.order_by[0].column, "ORDER_BY_DERIVED_0");
+        assert_eq!(info.derived_columns, 1);
+    }
+
+    #[test]
+    fn no_derivation_when_projected() {
+        let (stmt, info) = derive("SELECT uid, oid FROM t_order ORDER BY uid");
+        assert_eq!(text(&stmt), "SELECT uid, oid FROM t_order ORDER BY uid");
+        assert_eq!(info.order_by[0].column, "uid");
+        assert_eq!(info.derived_columns, 0);
+    }
+
+    #[test]
+    fn wildcard_covers_order_key() {
+        let (stmt, info) = derive("SELECT * FROM t_user ORDER BY name DESC");
+        assert_eq!(text(&stmt), "SELECT * FROM t_user ORDER BY name DESC");
+        assert_eq!(info.order_by[0].column, "name");
+        assert!(info.order_by[0].desc);
+    }
+
+    #[test]
+    fn group_by_gains_order_by_stream_optimization() {
+        // Paper §VI-C: "adds ORDER BY to the SQL that contains only GROUP
+        // BY, which turns memory merger to stream merger".
+        let (stmt, info) = derive("SELECT name, SUM(score) FROM t_score GROUP BY name");
+        assert!(text(&stmt).contains("ORDER BY name"));
+        assert!(info.group_streamable);
+        assert_eq!(info.group_by, vec!["name"]);
+    }
+
+    #[test]
+    fn group_by_different_order_by_not_streamable() {
+        let (_, info) =
+            derive("SELECT name, SUM(score) FROM t_score GROUP BY name ORDER BY SUM(score)");
+        assert!(!info.group_streamable);
+    }
+
+    #[test]
+    fn avg_decomposed_into_sum_and_count() {
+        let (stmt, info) = derive("SELECT AVG(score) FROM t_score");
+        let t = text(&stmt);
+        assert!(t.contains("SUM(score) AS AVG_DERIVED_SUM_0"));
+        assert!(t.contains("COUNT(score) AS AVG_DERIVED_COUNT_1"));
+        let agg = &info.aggregates[0];
+        assert_eq!(agg.kind, AggKind::Avg);
+        assert_eq!(agg.sum_column.as_deref(), Some("AVG_DERIVED_SUM_0"));
+        assert_eq!(agg.count_column.as_deref(), Some("AVG_DERIVED_COUNT_1"));
+    }
+
+    #[test]
+    fn having_moves_to_merger_and_derives_aggregate() {
+        let (stmt, info) =
+            derive("SELECT name FROM t_score GROUP BY name HAVING COUNT(*) > 1");
+        assert!(stmt.having.is_none());
+        assert!(info.having.is_some());
+        // COUNT(*) not in projection: derived.
+        assert!(text(&stmt).contains("COUNT(*) AS HAVING_DERIVED"));
+        assert_eq!(info.aggregates.len(), 1);
+        assert_eq!(info.aggregates[0].kind, AggKind::Count);
+    }
+
+    #[test]
+    fn pagination_rewritten_per_shard() {
+        // Paper: pagination data from multiple sources differs from a single
+        // source — each shard must return offset+limit rows.
+        let (stmt, info) = derive("SELECT * FROM t ORDER BY a LIMIT 5, 10");
+        assert_eq!(info.limit, Some((5, Some(10))));
+        assert_eq!(
+            stmt.limit,
+            Some(Limit {
+                offset: None,
+                limit: Some(LimitValue::Literal(15))
+            })
+        );
+    }
+
+    #[test]
+    fn count_distinct_rejected_for_multi_shard() {
+        match parse_statement("SELECT COUNT(DISTINCT uid) FROM t").unwrap() {
+            Statement::Select(s) => assert!(derive_select(&s, &[]).is_err()),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn aggregate_inside_expression_rejected() {
+        match parse_statement("SELECT SUM(x) + 1 FROM t").unwrap() {
+            Statement::Select(s) => assert!(derive_select(&s, &[]).is_err()),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn order_by_alias_resolves() {
+        let (stmt, info) = derive("SELECT uid AS id FROM t ORDER BY id");
+        assert_eq!(info.order_by[0].column, "id");
+        assert_eq!(info.derived_columns, 0);
+        assert_eq!(text(&stmt), "SELECT uid AS id FROM t ORDER BY id");
+    }
+
+    #[test]
+    fn simple_aggregates_recorded() {
+        let (_, info) = derive("SELECT COUNT(*), MAX(v), MIN(v), SUM(v) FROM t");
+        let kinds: Vec<_> = info.aggregates.iter().map(|a| a.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![AggKind::Count, AggKind::Max, AggKind::Min, AggKind::Sum]
+        );
+        assert!(info.is_grouped());
+    }
+}

@@ -1,0 +1,242 @@
+//! Identifier (correctness) rewrite: replace logic table names with the
+//! actual table names of one route unit, in table references and in
+//! table-qualified column references.
+
+use crate::route::RouteUnit;
+use shard_sql::ast::*;
+
+/// Rewrite all table identifiers in `stmt` per the unit's mapping.
+pub fn rewrite_identifiers(stmt: &mut Statement, unit: &RouteUnit) {
+    match stmt {
+        Statement::Select(s) => rewrite_select(s, unit),
+        Statement::Insert(s) => rename(&mut s.table, unit),
+        Statement::Update(s) => {
+            // When the statement has no alias, qualified columns may use the
+            // logic table name: rewrite those too.
+            let qualifier_rewrites = s.alias.is_none();
+            let logic = s.table.0.clone();
+            rename(&mut s.table, unit);
+            if qualifier_rewrites {
+                let actual = s.table.0.clone();
+                for a in &mut s.assignments {
+                    rewrite_expr_qualifiers(&mut a.value, &logic, &actual);
+                }
+                if let Some(w) = &mut s.where_clause {
+                    rewrite_expr_qualifiers(w, &logic, &actual);
+                }
+            }
+        }
+        Statement::Delete(s) => {
+            let qualifier_rewrites = s.alias.is_none();
+            let logic = s.table.0.clone();
+            rename(&mut s.table, unit);
+            if qualifier_rewrites {
+                let actual = s.table.0.clone();
+                if let Some(w) = &mut s.where_clause {
+                    rewrite_expr_qualifiers(w, &logic, &actual);
+                }
+            }
+        }
+        Statement::CreateTable(s) => rename(&mut s.name, unit),
+        Statement::DropTable(s) => {
+            for n in &mut s.names {
+                rename(n, unit);
+            }
+        }
+        Statement::TruncateTable(n) => rename(n, unit),
+        Statement::CreateIndex(s) => {
+            // Index names must be unique per data source: suffix with the
+            // actual table to avoid collisions across shards.
+            let logic = s.table.0.clone();
+            rename(&mut s.table, unit);
+            if !s.table.0.eq_ignore_ascii_case(&logic) {
+                s.name = format!("{}_{}", s.name, s.table.0);
+            }
+        }
+        Statement::DropIndex { name, table } => {
+            let logic = table.0.clone();
+            rename(table, unit);
+            if !table.0.eq_ignore_ascii_case(&logic) {
+                *name = format!("{}_{}", name, table.0);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn rename(name: &mut ObjectName, unit: &RouteUnit) {
+    if let Some(actual) = unit.actual_table(name.as_str()) {
+        name.0 = actual.to_string();
+    }
+}
+
+fn rewrite_select(s: &mut SelectStatement, unit: &RouteUnit) {
+    // Table refs without aliases expose the (renamed) table name as the
+    // binding; qualified column references must follow.
+    let mut renames: Vec<(String, String)> = Vec::new(); // (logic, actual)
+    if let Some(from) = &mut s.from {
+        if let Some(actual) = unit.actual_table(from.name.as_str()) {
+            if from.alias.is_none() {
+                renames.push((from.name.0.clone(), actual.to_string()));
+            }
+            from.name.0 = actual.to_string();
+        }
+    }
+    for j in &mut s.joins {
+        if let Some(actual) = unit.actual_table(j.table.name.as_str()) {
+            if j.table.alias.is_none() {
+                renames.push((j.table.name.0.clone(), actual.to_string()));
+            }
+            j.table.name.0 = actual.to_string();
+        }
+    }
+    if renames.is_empty() {
+        return;
+    }
+    let patch = |e: &mut Expr| {
+        for (logic, actual) in &renames {
+            rewrite_expr_qualifiers(e, logic, actual);
+        }
+    };
+    for item in &mut s.projection {
+        match item {
+            SelectItem::Expr { expr, .. } => patch(expr),
+            SelectItem::QualifiedWildcard(q) => {
+                for (logic, actual) in &renames {
+                    if q.eq_ignore_ascii_case(logic) {
+                        *q = actual.clone();
+                    }
+                }
+            }
+            SelectItem::Wildcard => {}
+        }
+    }
+    for j in &mut s.joins {
+        if let Some(on) = &mut j.on {
+            patch(on);
+        }
+    }
+    if let Some(w) = &mut s.where_clause {
+        patch(w);
+    }
+    for g in &mut s.group_by {
+        patch(g);
+    }
+    if let Some(h) = &mut s.having {
+        patch(h);
+    }
+    for o in &mut s.order_by {
+        patch(&mut o.expr);
+    }
+}
+
+fn rewrite_expr_qualifiers(e: &mut Expr, logic: &str, actual: &str) {
+    e.walk_mut(&mut |x| {
+        if let Expr::Column(c) = x {
+            if c.table.as_deref().is_some_and(|t| t.eq_ignore_ascii_case(logic)) {
+                c.table = Some(actual.to_string());
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shard_sql::{format_statement, parse_statement, Dialect};
+
+    fn rewrite(sql: &str, unit: &RouteUnit) -> String {
+        let mut stmt = parse_statement(sql).unwrap();
+        rewrite_identifiers(&mut stmt, unit);
+        format_statement(&stmt, Dialect::MySql)
+    }
+
+    fn unit() -> RouteUnit {
+        RouteUnit::new("ds_0")
+            .with_mapping("t_user", "t_user_h0")
+            .with_mapping("t_order", "t_order_h0")
+    }
+
+    #[test]
+    fn paper_select_rename() {
+        // Paper: SELECT * FROM t_user WHERE uid IN (1, 2) →
+        //        SELECT * FROM t_user_h0 WHERE uid IN (1, 2)
+        assert_eq!(
+            rewrite("SELECT * FROM t_user WHERE uid IN (1, 2)", &unit()),
+            "SELECT * FROM t_user_h0 WHERE uid IN (1, 2)"
+        );
+    }
+
+    #[test]
+    fn aliased_join_keeps_alias_qualifiers() {
+        // Paper: the binding-join example keeps aliases u/o.
+        assert_eq!(
+            rewrite(
+                "SELECT * FROM t_user u JOIN t_order o ON u.uid = o.uid WHERE uid IN (1, 2)",
+                &unit()
+            ),
+            "SELECT * FROM t_user_h0 u JOIN t_order_h0 o ON u.uid = o.uid WHERE uid IN (1, 2)"
+        );
+    }
+
+    #[test]
+    fn unaliased_qualifiers_follow_rename() {
+        assert_eq!(
+            rewrite(
+                "SELECT t_user.name FROM t_user WHERE t_user.uid = 1",
+                &unit()
+            ),
+            "SELECT t_user_h0.name FROM t_user_h0 WHERE t_user_h0.uid = 1"
+        );
+    }
+
+    #[test]
+    fn insert_update_delete_rename() {
+        assert_eq!(
+            rewrite("INSERT INTO t_user (uid) VALUES (1)", &unit()),
+            "INSERT INTO t_user_h0 (uid) VALUES (1)"
+        );
+        assert_eq!(
+            rewrite("UPDATE t_user SET name = 'x' WHERE uid = 1", &unit()),
+            "UPDATE t_user_h0 SET name = 'x' WHERE uid = 1"
+        );
+        assert_eq!(
+            rewrite("DELETE FROM t_user WHERE uid = 1", &unit()),
+            "DELETE FROM t_user_h0 WHERE uid = 1"
+        );
+    }
+
+    #[test]
+    fn unmapped_tables_untouched() {
+        assert_eq!(
+            rewrite("SELECT * FROM t_other WHERE x = 1", &unit()),
+            "SELECT * FROM t_other WHERE x = 1"
+        );
+    }
+
+    #[test]
+    fn create_index_names_disambiguated() {
+        let out = rewrite("CREATE INDEX idx_uid ON t_user (uid)", &unit());
+        assert_eq!(out, "CREATE INDEX idx_uid_t_user_h0 ON t_user_h0 (uid)");
+    }
+
+    #[test]
+    fn qualified_wildcard_renamed() {
+        assert_eq!(
+            rewrite("SELECT t_user.* FROM t_user", &unit()),
+            "SELECT t_user_h0.* FROM t_user_h0"
+        );
+    }
+
+    #[test]
+    fn ddl_rename() {
+        assert_eq!(
+            rewrite("TRUNCATE TABLE t_user", &unit()),
+            "TRUNCATE TABLE t_user_h0"
+        );
+        assert_eq!(
+            rewrite("DROP TABLE t_user", &unit()),
+            "DROP TABLE t_user_h0"
+        );
+    }
+}

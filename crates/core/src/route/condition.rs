@@ -1,0 +1,375 @@
+//! Sharding-condition extraction: find the constraints a WHERE clause puts
+//! on a table's sharding column. Only top-level AND-connected conditions are
+//! usable (an OR branch might escape the shard, so it degrades to full
+//! route, matching ShardingSphere).
+
+use shard_sql::ast::{BinaryOp, Expr};
+use shard_sql::Value;
+use std::collections::Bound;
+
+/// The extracted constraint on one sharding column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShardingCondition {
+    /// `=` or `IN`: a set of exact key values.
+    Exact(Vec<Value>),
+    /// `BETWEEN` / `<` / `>` / `<=` / `>=`: a key range.
+    Range(Bound<Value>, Bound<Value>),
+    /// The column is not usefully constrained: full route.
+    None,
+}
+
+impl ShardingCondition {
+    pub fn is_none(&self) -> bool {
+        matches!(self, ShardingCondition::None)
+    }
+}
+
+/// Extract the condition on `sharding_column` of the table bound as any of
+/// `bindings` (alias and/or table name, compared case-insensitively).
+///
+/// `params` resolves `?` placeholders so prepared statements route exactly
+/// like literal SQL.
+pub fn extract_conditions(
+    where_clause: Option<&Expr>,
+    bindings: &[&str],
+    sharding_column: &str,
+    params: &[Value],
+) -> ShardingCondition {
+    let Some(pred) = where_clause else {
+        return ShardingCondition::None;
+    };
+    let mut conjuncts = Vec::new();
+    collect_conjuncts(pred, &mut conjuncts);
+
+    let mut exact: Option<Vec<Value>> = None;
+    let mut low: Bound<Value> = Bound::Unbounded;
+    let mut high: Bound<Value> = Bound::Unbounded;
+    let mut any_range = false;
+
+    for c in conjuncts {
+        match c {
+            Expr::Binary { left, op, right } if op.is_comparison() => {
+                let (matched, val, op) = match (
+                    is_target_column(left, bindings, sharding_column),
+                    const_of(right, params),
+                ) {
+                    (true, Some(v)) => (true, v, *op),
+                    _ => match (
+                        is_target_column(right, bindings, sharding_column),
+                        const_of(left, params),
+                    ) {
+                        (true, Some(v)) => (true, v, mirror(*op)),
+                        _ => (false, Value::Null, *op),
+                    },
+                };
+                if !matched {
+                    continue;
+                }
+                match op {
+                    BinaryOp::Eq => {
+                        exact = Some(intersect_exact(exact, vec![val]));
+                    }
+                    BinaryOp::Gt => {
+                        low = tighten_low(low, Bound::Excluded(val));
+                        any_range = true;
+                    }
+                    BinaryOp::GtEq => {
+                        low = tighten_low(low, Bound::Included(val));
+                        any_range = true;
+                    }
+                    BinaryOp::Lt => {
+                        high = tighten_high(high, Bound::Excluded(val));
+                        any_range = true;
+                    }
+                    BinaryOp::LtEq => {
+                        high = tighten_high(high, Bound::Included(val));
+                        any_range = true;
+                    }
+                    _ => {}
+                }
+            }
+            Expr::InList {
+                expr,
+                negated: false,
+                list,
+            } if is_target_column(expr, bindings, sharding_column) => {
+                let values: Option<Vec<Value>> = list.iter().map(|e| const_of(e, params)).collect();
+                if let Some(vs) = values {
+                    exact = Some(intersect_exact(exact, vs));
+                }
+            }
+            Expr::Between {
+                expr,
+                negated: false,
+                low: lo,
+                high: hi,
+            } if is_target_column(expr, bindings, sharding_column) => {
+                if let (Some(l), Some(h)) = (const_of(lo, params), const_of(hi, params)) {
+                    low = tighten_low(low, Bound::Included(l));
+                    high = tighten_high(high, Bound::Included(h));
+                    any_range = true;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    if let Some(vals) = exact {
+        // Exact values further constrained by a range keep only in-range ones.
+        let filtered: Vec<Value> = vals
+            .into_iter()
+            .filter(|v| in_bounds(v, &low, &high))
+            .collect();
+        return ShardingCondition::Exact(filtered);
+    }
+    if any_range {
+        return ShardingCondition::Range(low, high);
+    }
+    ShardingCondition::None
+}
+
+fn collect_conjuncts<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+    match e {
+        Expr::Binary {
+            left,
+            op: BinaryOp::And,
+            right,
+        } => {
+            collect_conjuncts(left, out);
+            collect_conjuncts(right, out);
+        }
+        Expr::Nested(inner) => collect_conjuncts(inner, out),
+        other => out.push(other),
+    }
+}
+
+fn is_target_column(e: &Expr, bindings: &[&str], column: &str) -> bool {
+    let Expr::Column(c) = unwrap_nested(e) else {
+        return false;
+    };
+    if !c.column.eq_ignore_ascii_case(column) {
+        return false;
+    }
+    match &c.table {
+        None => true,
+        Some(t) => bindings.iter().any(|b| b.eq_ignore_ascii_case(t)),
+    }
+}
+
+fn const_of(e: &Expr, params: &[Value]) -> Option<Value> {
+    match unwrap_nested(e) {
+        Expr::Literal(v) => Some(v.clone()),
+        Expr::Param(i) => params.get(*i).cloned(),
+        _ => None,
+    }
+}
+
+fn unwrap_nested(e: &Expr) -> &Expr {
+    match e {
+        Expr::Nested(inner) => unwrap_nested(inner),
+        other => other,
+    }
+}
+
+fn mirror(op: BinaryOp) -> BinaryOp {
+    match op {
+        BinaryOp::Lt => BinaryOp::Gt,
+        BinaryOp::LtEq => BinaryOp::GtEq,
+        BinaryOp::Gt => BinaryOp::Lt,
+        BinaryOp::GtEq => BinaryOp::LtEq,
+        other => other,
+    }
+}
+
+fn intersect_exact(prev: Option<Vec<Value>>, new: Vec<Value>) -> Vec<Value> {
+    match prev {
+        None => new,
+        Some(p) => p.into_iter().filter(|v| new.contains(v)).collect(),
+    }
+}
+
+fn tighten_low(a: Bound<Value>, b: Bound<Value>) -> Bound<Value> {
+    match (&a, &b) {
+        (Bound::Unbounded, _) => b,
+        (_, Bound::Unbounded) => a,
+        (Bound::Included(x) | Bound::Excluded(x), Bound::Included(y) | Bound::Excluded(y)) => {
+            match x.total_cmp(y) {
+                std::cmp::Ordering::Less => b,
+                std::cmp::Ordering::Greater => a,
+                std::cmp::Ordering::Equal => {
+                    if matches!(a, Bound::Excluded(_)) {
+                        a
+                    } else {
+                        b
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn tighten_high(a: Bound<Value>, b: Bound<Value>) -> Bound<Value> {
+    match (&a, &b) {
+        (Bound::Unbounded, _) => b,
+        (_, Bound::Unbounded) => a,
+        (Bound::Included(x) | Bound::Excluded(x), Bound::Included(y) | Bound::Excluded(y)) => {
+            match x.total_cmp(y) {
+                std::cmp::Ordering::Greater => b,
+                std::cmp::Ordering::Less => a,
+                std::cmp::Ordering::Equal => {
+                    if matches!(a, Bound::Excluded(_)) {
+                        a
+                    } else {
+                        b
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn in_bounds(v: &Value, low: &Bound<Value>, high: &Bound<Value>) -> bool {
+    let lo_ok = match low {
+        Bound::Unbounded => true,
+        Bound::Included(l) => v.total_cmp(l) != std::cmp::Ordering::Less,
+        Bound::Excluded(l) => v.total_cmp(l) == std::cmp::Ordering::Greater,
+    };
+    let hi_ok = match high {
+        Bound::Unbounded => true,
+        Bound::Included(h) => v.total_cmp(h) != std::cmp::Ordering::Greater,
+        Bound::Excluded(h) => v.total_cmp(h) == std::cmp::Ordering::Less,
+    };
+    lo_ok && hi_ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shard_sql::{parse_statement, Statement};
+
+    fn where_of(sql: &str) -> Expr {
+        match parse_statement(sql).unwrap() {
+            Statement::Select(s) => s.where_clause.unwrap(),
+            _ => unreachable!(),
+        }
+    }
+
+    fn extract(sql: &str, params: &[Value]) -> ShardingCondition {
+        let w = where_of(sql);
+        extract_conditions(Some(&w), &["t_user", "u"], "uid", params)
+    }
+
+    #[test]
+    fn equality() {
+        assert_eq!(
+            extract("SELECT * FROM t_user WHERE uid = 5", &[]),
+            ShardingCondition::Exact(vec![Value::Int(5)])
+        );
+    }
+
+    #[test]
+    fn in_list_paper_example() {
+        assert_eq!(
+            extract("SELECT * FROM t_user WHERE uid IN (1, 2)", &[]),
+            ShardingCondition::Exact(vec![Value::Int(1), Value::Int(2)])
+        );
+    }
+
+    #[test]
+    fn qualified_by_alias() {
+        assert_eq!(
+            extract("SELECT * FROM t_user u WHERE u.uid = 9", &[]),
+            ShardingCondition::Exact(vec![Value::Int(9)])
+        );
+        // A different qualifier is not our column.
+        assert_eq!(
+            extract("SELECT * FROM t_user WHERE o.uid = 9", &[]),
+            ShardingCondition::None
+        );
+    }
+
+    #[test]
+    fn between_becomes_range() {
+        match extract("SELECT * FROM t_user WHERE uid BETWEEN 3 AND 8", &[]) {
+            ShardingCondition::Range(lo, hi) => {
+                assert_eq!(lo, Bound::Included(Value::Int(3)));
+                assert_eq!(hi, Bound::Included(Value::Int(8)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn inequalities_tighten() {
+        match extract("SELECT * FROM t_user WHERE uid > 3 AND uid <= 10 AND uid > 5", &[]) {
+            ShardingCondition::Range(lo, hi) => {
+                assert_eq!(lo, Bound::Excluded(Value::Int(5)));
+                assert_eq!(hi, Bound::Included(Value::Int(10)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn reversed_comparison() {
+        match extract("SELECT * FROM t_user WHERE 5 < uid", &[]) {
+            ShardingCondition::Range(lo, _) => {
+                assert_eq!(lo, Bound::Excluded(Value::Int(5)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn or_degrades_to_none() {
+        assert_eq!(
+            extract("SELECT * FROM t_user WHERE uid = 1 OR uid = 2", &[]),
+            ShardingCondition::None
+        );
+    }
+
+    #[test]
+    fn params_resolve() {
+        assert_eq!(
+            extract("SELECT * FROM t_user WHERE uid = ?", &[Value::Int(7)]),
+            ShardingCondition::Exact(vec![Value::Int(7)])
+        );
+        // Unbound param cannot be used.
+        assert_eq!(
+            extract("SELECT * FROM t_user WHERE uid = ?", &[]),
+            ShardingCondition::None
+        );
+    }
+
+    #[test]
+    fn equality_and_range_intersect() {
+        assert_eq!(
+            extract("SELECT * FROM t_user WHERE uid IN (1, 5, 9) AND uid > 2", &[]),
+            ShardingCondition::Exact(vec![Value::Int(5), Value::Int(9)])
+        );
+    }
+
+    #[test]
+    fn contradictory_equalities_yield_empty() {
+        assert_eq!(
+            extract("SELECT * FROM t_user WHERE uid = 1 AND uid = 2", &[]),
+            ShardingCondition::Exact(vec![])
+        );
+    }
+
+    #[test]
+    fn other_columns_ignored() {
+        assert_eq!(
+            extract("SELECT * FROM t_user WHERE name = 'x' AND age > 3", &[]),
+            ShardingCondition::None
+        );
+    }
+
+    #[test]
+    fn not_in_ignored() {
+        assert_eq!(
+            extract("SELECT * FROM t_user WHERE uid NOT IN (1, 2)", &[]),
+            ShardingCondition::None
+        );
+    }
+}

@@ -1,0 +1,116 @@
+//! SQL router (paper §V-B): matches logical SQL to data nodes.
+//!
+//! Strategies: **broadcast route** for statements without sharding keys /
+//! DDL / DAL, and **sharding route** (standard for single or binding tables,
+//! cartesian for non-binding joins).
+
+mod condition;
+mod engine;
+
+pub use condition::{extract_conditions, ShardingCondition};
+pub use engine::{RouteEngine, RouteHint};
+
+use std::collections::HashMap;
+
+/// One routed execution target: a data source plus the logic→actual table
+/// mapping the rewriter applies for that target.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteUnit {
+    pub datasource: String,
+    /// logic table (lower-cased) → actual table.
+    pub table_mappings: HashMap<String, String>,
+}
+
+impl RouteUnit {
+    pub fn new(datasource: impl Into<String>) -> Self {
+        RouteUnit {
+            datasource: datasource.into(),
+            table_mappings: HashMap::new(),
+        }
+    }
+
+    pub fn with_mapping(mut self, logic: &str, actual: &str) -> Self {
+        self.table_mappings
+            .insert(logic.to_lowercase(), actual.to_string());
+        self
+    }
+
+    pub fn actual_table(&self, logic: &str) -> Option<&str> {
+        self.table_mappings.get(&logic.to_lowercase()).map(String::as_str)
+    }
+}
+
+/// Which strategy produced the route (diagnostics, merger decisions, tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteKind {
+    /// Single data node — the fast path (paper: "the route result will fall
+    /// into a single data node").
+    Single,
+    /// Standard sharding route over one table or a binding group.
+    Standard,
+    /// Cartesian product route between non-binding tables.
+    Cartesian,
+    /// Broadcast to every relevant node (DDL, no sharding key, …).
+    Broadcast,
+}
+
+/// The complete route result for one logical statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouteResult {
+    pub kind: RouteKind,
+    pub units: Vec<RouteUnit>,
+    /// For batched INSERTs: the unit each VALUES row routes to, in row
+    /// order. The rewriter uses this to split the batch per unit.
+    pub insert_row_units: Option<Vec<RouteUnit>>,
+}
+
+impl RouteResult {
+    pub fn new(kind: RouteKind, units: Vec<RouteUnit>) -> Self {
+        RouteResult {
+            kind,
+            units,
+            insert_row_units: None,
+        }
+    }
+
+    pub fn is_single(&self) -> bool {
+        self.units.len() == 1
+    }
+
+    /// Data sources touched, deduplicated in first-seen order.
+    pub fn datasources(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for u in &self.units {
+            if !out.iter().any(|d| d == &u.datasource) {
+                out.push(u.datasource.clone());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn route_unit_mapping_case_insensitive() {
+        let u = RouteUnit::new("ds_0").with_mapping("T_User", "t_user_0");
+        assert_eq!(u.actual_table("t_user"), Some("t_user_0"));
+        assert_eq!(u.actual_table("T_USER"), Some("t_user_0"));
+    }
+
+    #[test]
+    fn datasources_deduplicated() {
+        let r = RouteResult::new(
+            RouteKind::Standard,
+            vec![
+                RouteUnit::new("ds_0"),
+                RouteUnit::new("ds_1"),
+                RouteUnit::new("ds_0"),
+            ],
+        );
+        assert_eq!(r.datasources(), vec!["ds_0", "ds_1"]);
+        assert!(!r.is_single());
+    }
+}

@@ -1,0 +1,713 @@
+//! The sharding runtime: owns the configuration, data sources, governor
+//! registry and transaction services; [`Session`]s execute SQL through it.
+//!
+//! This is the composition point of the paper's Fig 2: adaptors (JDBC,
+//! Proxy) create sessions; sessions drive the SQL engine
+//! (parse → route → rewrite → execute → merge) with features and
+//! distributed transactions plugged in.
+
+use crate::algorithm::AlgorithmRegistry;
+use crate::config::ShardingRule;
+use crate::datasource::DataSource;
+use crate::error::{KernelError, Result};
+use crate::executor::{ExecutionInput, ExecutionReport, ExecutorEngine};
+use crate::feature::{EncryptRule, HintManager, KeyGenerator, ReadWriteSplitRule, ShadowRule, SnowflakeGenerator};
+use crate::governor::ConfigRegistry;
+use crate::merge::{merge_explain, MergerKind};
+use crate::metadata::LogicalSchemas;
+use crate::rewrite::{rewrite_for_unit, rewrite_statement};
+use crate::route::{RouteEngine, RouteResult};
+use crate::transaction::xa::two_phase_commit;
+use crate::transaction::{base, TransactionCoordinator, TransactionType, XaLog, XaRecoveryManager};
+use parking_lot::RwLock;
+use shard_sql::ast::{Expr, Statement, StatementCategory};
+use shard_sql::{parse_statement, Value};
+use shard_storage::{ExecuteResult, ResultSet, StorageEngine, TxnId};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared kernel state.
+pub struct ShardingRuntime {
+    pub(crate) rule: RwLock<ShardingRule>,
+    pub(crate) datasources: RwLock<HashMap<String, Arc<DataSource>>>,
+    pub(crate) schemas: LogicalSchemas,
+    pub(crate) registry: Arc<ConfigRegistry>,
+    pub(crate) algorithms: RwLock<AlgorithmRegistry>,
+    pub(crate) encrypt: RwLock<EncryptRule>,
+    pub(crate) shadow: RwLock<Option<ShadowRule>>,
+    pub(crate) rw_split: RwLock<HashMap<String, ReadWriteSplitRule>>,
+    /// Optional request throttle (paper §IV-C traffic governance).
+    pub(crate) throttle: RwLock<Option<crate::feature::Throttle>>,
+    pub(crate) xa_log: XaLog,
+    pub(crate) tc: TransactionCoordinator,
+    keygen: Arc<dyn KeyGenerator>,
+    next_xid: AtomicU64,
+    /// Default MaxCon for the automatic execution engine.
+    pub(crate) max_connections_per_query: AtomicU64,
+}
+
+impl ShardingRuntime {
+    pub fn builder() -> RuntimeBuilder {
+        RuntimeBuilder::default()
+    }
+
+    pub fn registry(&self) -> &Arc<ConfigRegistry> {
+        &self.registry
+    }
+
+    pub fn schemas(&self) -> &LogicalSchemas {
+        &self.schemas
+    }
+
+    pub fn xa_log(&self) -> &XaLog {
+        &self.xa_log
+    }
+
+    pub fn datasource(&self, name: &str) -> Result<Arc<DataSource>> {
+        self.datasources
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| KernelError::Config(format!("unknown data source '{name}'")))
+    }
+
+    pub fn datasource_names(&self) -> Vec<String> {
+        self.rule.read().datasource_names.clone()
+    }
+
+    pub fn add_datasource(&self, name: &str, engine: Arc<StorageEngine>, pool: usize) {
+        let ds = Arc::new(DataSource::new(name, engine, pool));
+        self.datasources.write().insert(name.to_string(), ds);
+        let mut rule = self.rule.write();
+        if !rule.datasource_names.iter().any(|d| d == name) {
+            rule.datasource_names.push(name.to_string());
+            if rule.default_datasource.is_none() {
+                rule.default_datasource = Some(name.to_string());
+            }
+        }
+        self.registry.set(&format!("resources/{name}"), "registered");
+    }
+
+    pub fn drop_datasource(&self, name: &str) -> Result<()> {
+        let in_use = self
+            .rule
+            .read()
+            .table_rules()
+            .any(|r| r.datasources().iter().any(|d| d == name));
+        if in_use {
+            return Err(KernelError::Config(format!(
+                "resource '{name}' is referenced by sharding rules"
+            )));
+        }
+        self.datasources.write().remove(name);
+        let mut rule = self.rule.write();
+        rule.datasource_names.retain(|d| d != name);
+        if rule.default_datasource.as_deref() == Some(name) {
+            rule.default_datasource = rule.datasource_names.first().cloned();
+        }
+        self.registry.delete(&format!("resources/{name}"));
+        Ok(())
+    }
+
+    /// Set the shadow rule (None disables the feature).
+    pub fn set_shadow(&self, shadow: Option<ShadowRule>) {
+        *self.shadow.write() = shadow;
+    }
+
+    pub fn set_encrypt(&self, encrypt: EncryptRule) {
+        *self.encrypt.write() = encrypt;
+    }
+
+    pub fn add_rw_split(&self, rule: ReadWriteSplitRule) {
+        self.rw_split
+            .write()
+            .insert(rule.logical_name.clone(), rule);
+    }
+
+    /// Cap the runtime's admitted statements per second (0 removes the cap).
+    pub fn set_throttle(&self, requests_per_second: u64) {
+        let mut guard = self.throttle.write();
+        *guard = if requests_per_second == 0 {
+            None
+        } else {
+            Some(crate::feature::Throttle::new(requests_per_second))
+        };
+    }
+
+    pub fn set_max_connections_per_query(&self, n: u64) {
+        self.max_connections_per_query
+            .store(n.max(1), Ordering::SeqCst);
+        self.registry
+            .set("props/max_connections_per_query", n.to_string());
+    }
+
+    pub fn max_connections_per_query(&self) -> u64 {
+        self.max_connections_per_query.load(Ordering::SeqCst)
+    }
+
+    /// Snapshot of a table rule (scaling, diagnostics).
+    pub fn table_rule_snapshot(&self, logic_table: &str) -> Option<crate::config::TableRule> {
+        self.rule.read().table_rule(logic_table).cloned()
+    }
+
+    /// Instantiate a sharding algorithm from the runtime's registry.
+    pub fn create_algorithm(
+        &self,
+        type_name: &str,
+        props: &crate::algorithm::Props,
+    ) -> Result<Arc<dyn crate::algorithm::ShardingAlgorithm>> {
+        self.algorithms.read().create(type_name, props)
+    }
+
+    /// Register a custom sharding algorithm factory (the SPI extension
+    /// point, usable without DistSQL).
+    pub fn register_algorithm(
+        &self,
+        type_name: &str,
+        factory: impl Fn(&crate::algorithm::Props) -> Result<Arc<dyn crate::algorithm::ShardingAlgorithm>>
+            + Send
+            + Sync
+            + 'static,
+    ) {
+        self.algorithms.write().register(type_name, factory);
+    }
+
+    /// Atomically replace a table rule (the scaling switch-over).
+    pub fn replace_table_rule(&self, rule: crate::config::TableRule) -> Result<()> {
+        let logic = rule.logic_table.clone();
+        let nodes = rule.data_nodes.len();
+        let column = rule.sharding_column.clone();
+        let algo = rule.algorithm_type.clone();
+        {
+            let mut guard = self.rule.write();
+            let _ = guard.drop_table_rule(&logic);
+            guard.add_table_rule(rule)?;
+        }
+        self.registry.set(
+            &format!("rules/sharding/{logic}"),
+            format!("column={column}, type={algo}, nodes={nodes}"),
+        );
+        Ok(())
+    }
+
+    pub fn next_xid(&self) -> String {
+        format!("xid-{}", self.next_xid.fetch_add(1, Ordering::SeqCst))
+    }
+
+    /// Run XA recovery over every registered data source (startup /
+    /// periodic job, paper §IV-B).
+    pub fn recover_xa(&self) -> usize {
+        let engines: Vec<Arc<StorageEngine>> = self
+            .datasources
+            .read()
+            .values()
+            .map(|ds| Arc::clone(ds.engine()))
+            .collect();
+        XaRecoveryManager::new(self.xa_log.clone()).recover(&engines)
+    }
+
+    /// Open a session (one application connection).
+    pub fn session(self: &Arc<Self>) -> Session {
+        Session {
+            runtime: Arc::clone(self),
+            txn_type: TransactionType::Local,
+            txn: None,
+            last_report: None,
+            last_merger: None,
+        }
+    }
+}
+
+#[derive(Default)]
+pub struct RuntimeBuilder {
+    datasources: Vec<(String, Arc<StorageEngine>, usize)>,
+    max_connections_per_query: Option<u64>,
+}
+
+impl RuntimeBuilder {
+    /// Register a data source backed by the given engine.
+    pub fn datasource(mut self, name: &str, engine: Arc<StorageEngine>) -> Self {
+        self.datasources.push((name.to_string(), engine, 64));
+        self
+    }
+
+    pub fn datasource_with_pool(
+        mut self,
+        name: &str,
+        engine: Arc<StorageEngine>,
+        pool: usize,
+    ) -> Self {
+        self.datasources.push((name.to_string(), engine, pool));
+        self
+    }
+
+    pub fn max_connections_per_query(mut self, n: u64) -> Self {
+        self.max_connections_per_query = Some(n);
+        self
+    }
+
+    pub fn build(self) -> Arc<ShardingRuntime> {
+        let names: Vec<String> = self.datasources.iter().map(|(n, _, _)| n.clone()).collect();
+        let mut map = HashMap::new();
+        for (name, engine, pool) in self.datasources {
+            map.insert(name.clone(), Arc::new(DataSource::new(name, engine, pool)));
+        }
+        let registry = Arc::new(ConfigRegistry::new());
+        for n in &names {
+            registry.set(&format!("resources/{n}"), "registered");
+        }
+        Arc::new(ShardingRuntime {
+            rule: RwLock::new(ShardingRule::new(names)),
+            datasources: RwLock::new(map),
+            schemas: LogicalSchemas::new(),
+            registry,
+            algorithms: RwLock::new(AlgorithmRegistry::with_builtins()),
+            encrypt: RwLock::new(EncryptRule::new()),
+            shadow: RwLock::new(None),
+            rw_split: RwLock::new(HashMap::new()),
+            throttle: RwLock::new(None),
+            xa_log: XaLog::new(),
+            tc: TransactionCoordinator::new(),
+            keygen: Arc::new(SnowflakeGenerator::new(1)),
+            next_xid: AtomicU64::new(1),
+            max_connections_per_query: AtomicU64::new(self.max_connections_per_query.unwrap_or(8)),
+        })
+    }
+}
+
+/// An open global transaction in a session.
+struct SessionTxn {
+    txn_type: TransactionType,
+    xid: String,
+    /// Local/XA: per-datasource branch transactions.
+    branches: HashMap<String, (Arc<StorageEngine>, TxnId)>,
+}
+
+/// One application connection: executes SQL, owns transaction state and
+/// session variables.
+pub struct Session {
+    runtime: Arc<ShardingRuntime>,
+    txn_type: TransactionType,
+    txn: Option<SessionTxn>,
+    /// Diagnostics from the last statement (tests, Fig 15 bench).
+    last_report: Option<ExecutionReport>,
+    last_merger: Option<MergerKind>,
+}
+
+impl Session {
+    pub fn transaction_type(&self) -> TransactionType {
+        self.txn_type
+    }
+
+    pub fn set_transaction_type(&mut self, t: TransactionType) -> Result<()> {
+        if self.txn.is_some() {
+            return Err(KernelError::Transaction(
+                "cannot switch transaction type inside an open transaction".into(),
+            ));
+        }
+        self.txn_type = t;
+        Ok(())
+    }
+
+    pub fn in_transaction(&self) -> bool {
+        self.txn.is_some()
+    }
+
+    pub fn last_execution_report(&self) -> Option<&ExecutionReport> {
+        self.last_report.as_ref()
+    }
+
+    pub fn last_merger_kind(&self) -> Option<MergerKind> {
+        self.last_merger
+    }
+
+    pub fn runtime(&self) -> &Arc<ShardingRuntime> {
+        &self.runtime
+    }
+
+    /// Parse and execute one SQL statement.
+    pub fn execute_sql(&mut self, sql: &str, params: &[Value]) -> Result<ExecuteResult> {
+        let stmt = parse_statement(sql)?;
+        self.execute(&stmt, params)
+    }
+
+    /// Execute a parsed statement.
+    pub fn execute(&mut self, stmt: &Statement, params: &[Value]) -> Result<ExecuteResult> {
+        match stmt {
+            Statement::DistSql(d) => crate::distsql::execute(self, d),
+            Statement::Begin => {
+                self.begin()?;
+                Ok(ExecuteResult::Update { affected: 0 })
+            }
+            Statement::Commit => {
+                self.commit()?;
+                Ok(ExecuteResult::Update { affected: 0 })
+            }
+            Statement::Rollback => {
+                self.rollback()?;
+                Ok(ExecuteResult::Update { affected: 0 })
+            }
+            Statement::SetVariable { name, value } => {
+                self.set_variable(name, &value.to_string())?;
+                Ok(ExecuteResult::Update { affected: 0 })
+            }
+            Statement::ShowTables => {
+                let rows = self
+                    .runtime
+                    .schemas
+                    .table_names()
+                    .into_iter()
+                    .map(|n| vec![Value::Str(n)])
+                    .collect();
+                Ok(ExecuteResult::Query(ResultSet::new(
+                    vec!["table_name".into()],
+                    rows,
+                )))
+            }
+            _ => self.execute_data_statement(stmt, params),
+        }
+    }
+
+    pub(crate) fn set_variable(&mut self, name: &str, value: &str) -> Result<()> {
+        match name.to_lowercase().as_str() {
+            "transaction_type" => {
+                let t = TransactionType::parse(value).ok_or_else(|| {
+                    KernelError::Config(format!("unknown transaction type '{value}'"))
+                })?;
+                self.set_transaction_type(t)
+            }
+            "max_connections_per_query" | "maxcon" => {
+                let n: u64 = value.parse().map_err(|_| {
+                    KernelError::Config("max_connections_per_query must be an integer".into())
+                })?;
+                self.runtime.set_max_connections_per_query(n);
+                Ok(())
+            }
+            "max_requests_per_second" => {
+                let n: u64 = value.parse().map_err(|_| {
+                    KernelError::Config("max_requests_per_second must be an integer".into())
+                })?;
+                self.runtime.set_throttle(n);
+                Ok(())
+            }
+            // autocommit & friends accepted for driver compatibility.
+            "autocommit" | "sql_mode" | "time_zone" | "character_set_results" => Ok(()),
+            other => Err(KernelError::Config(format!("unknown variable '{other}'"))),
+        }
+    }
+
+    pub(crate) fn get_variable(&self, name: &str) -> Result<String> {
+        match name.to_lowercase().as_str() {
+            "transaction_type" => Ok(self.txn_type.to_string()),
+            "max_connections_per_query" | "maxcon" => {
+                Ok(self.runtime.max_connections_per_query().to_string())
+            }
+            "max_requests_per_second" => Ok(self
+                .runtime
+                .throttle
+                .read()
+                .as_ref()
+                .map(|t| t.rate().to_string())
+                .unwrap_or_else(|| "unlimited".into())),
+            other => Err(KernelError::Config(format!("unknown variable '{other}'"))),
+        }
+    }
+
+    // -- transaction control -------------------------------------------------
+
+    pub fn begin(&mut self) -> Result<()> {
+        if self.txn.is_some() {
+            return Err(KernelError::Transaction("transaction already open".into()));
+        }
+        let xid = match self.txn_type {
+            TransactionType::Base => {
+                tc_rpc(); // acquire a global transaction id from the TC
+                self.runtime.tc.begin_global()
+            }
+            _ => self.runtime.next_xid(),
+        };
+        self.txn = Some(SessionTxn {
+            txn_type: self.txn_type,
+            xid,
+            branches: HashMap::new(),
+        });
+        Ok(())
+    }
+
+    pub fn commit(&mut self) -> Result<()> {
+        let Some(txn) = self.txn.take() else {
+            return Ok(()); // commit outside txn is a no-op, like MySQL
+        };
+        match txn.txn_type {
+            TransactionType::Local => {
+                // 1PC: fire commit at every branch, ignoring failures
+                // (paper Fig 5(d)).
+                for (engine, branch) in txn.branches.values() {
+                    let _ = engine.commit(*branch);
+                }
+                Ok(())
+            }
+            TransactionType::Xa => two_phase_commit(&txn.xid, &self.runtime.xa_log, &txn.branches),
+            TransactionType::Base => {
+                tc_rpc(); // phase 2: check status with the TC
+                self.runtime.tc.commit(&txn.xid)
+            }
+        }
+    }
+
+    pub fn rollback(&mut self) -> Result<()> {
+        let Some(txn) = self.txn.take() else {
+            return Ok(());
+        };
+        match txn.txn_type {
+            TransactionType::Local | TransactionType::Xa => {
+                crate::transaction::xa::rollback_all(&txn.branches);
+                Ok(())
+            }
+            TransactionType::Base => {
+                // Execute compensations, most recent branch first.
+                let undo = self.runtime.tc.rollback(&txn.xid)?;
+                for branch in undo {
+                    let ds = self.runtime.datasource(&branch.datasource)?;
+                    for comp in branch.compensations.iter().rev() {
+                        ds.engine()
+                            .execute(&comp.stmt, &comp.params, None)
+                            .map_err(KernelError::Storage)?;
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    // -- the SQL engine pipeline ----------------------------------------------
+
+    fn execute_data_statement(&mut self, stmt: &Statement, params: &[Value]) -> Result<ExecuteResult> {
+        // Traffic governance: the throttle admits or rejects up front.
+        if let Some(throttle) = &*self.runtime.throttle.read() {
+            if !throttle.acquire(std::time::Duration::from_millis(50)) {
+                return Err(KernelError::Execute(
+                    "request rejected by throttle (max_requests_per_second)".into(),
+                ));
+            }
+        }
+        let category = stmt.category();
+        let is_query = category == StatementCategory::Dql;
+        let tables = stmt.table_names();
+
+        // CREATE TABLE registers the logical schema (AutoTable relies on it).
+        if let Statement::CreateTable(c) = stmt {
+            self.runtime.schemas.register(c.clone());
+        }
+        if let Statement::DropTable(d) = stmt {
+            for n in &d.names {
+                self.runtime.schemas.remove(n.as_str());
+            }
+        }
+
+        // 1. Feature: encryption (clones and patches statement + params).
+        let mut stmt = stmt.clone();
+        let schemas = &self.runtime.schemas;
+        let params = self.runtime.encrypt.read().encrypt_statement(
+            &mut stmt,
+            params,
+            &|table| schemas.columns(table),
+        )?;
+
+        // 2. Feature: distributed key generation for INSERTs.
+        if let Statement::Insert(ins) = &mut stmt {
+            self.generate_keys(ins)?;
+        }
+
+        // 3. Route (with thread-local hints).
+        let hint = HintManager::current();
+        let rule_guard = self.runtime.rule.read();
+        let route_engine = RouteEngine::new(&rule_guard, &hint);
+        let mut route = route_engine.route(&stmt, &params)?;
+        drop(rule_guard);
+
+        // 4. Feature: shadow re-targeting.
+        if let Some(shadow) = &*self.runtime.shadow.read() {
+            if shadow.is_shadow_statement(&stmt, &params) {
+                shadow.apply(&mut route);
+            }
+        }
+
+        // 5. Feature: read-write splitting (reads outside transactions go to
+        // replicas).
+        self.apply_rw_split(&mut route, is_query);
+
+        if route.units.is_empty() {
+            // Contradictory conditions: empty result without touching shards.
+            self.last_merger = Some(MergerKind::PassThrough);
+            return Ok(if is_query {
+                ExecuteResult::Query(ResultSet::empty())
+            } else {
+                ExecuteResult::Update { affected: 0 }
+            });
+        }
+
+        // 6. Rewrite: derive once, then per unit.
+        let rewrite = rewrite_statement(&stmt, &route, &params)?;
+        let mut inputs = Vec::with_capacity(route.units.len());
+        for unit in &route.units {
+            inputs.push(ExecutionInput {
+                unit: unit.clone(),
+                stmt: rewrite_for_unit(&rewrite, unit, &route, &params)?,
+            });
+        }
+
+        // 7. Transactions: bind branches / capture BASE compensation.
+        let txn_bindings = self.prepare_transaction_branches(&route, &inputs, &params)?;
+
+        // 8. Execute.
+        let executor =
+            ExecutorEngine::new(self.runtime.max_connections_per_query() as usize);
+        let datasources = self.runtime.datasources.read().clone();
+        let (results, report) =
+            executor.execute(&datasources, inputs, &params, txn_bindings.as_ref())?;
+        self.last_report = Some(report);
+
+        // 9. Merge.
+        if is_query {
+            let shard_results: Vec<ResultSet> =
+                results.into_iter().map(ExecuteResult::query).collect();
+            let (mut merged, kind) = merge_explain(shard_results, &rewrite.info)?;
+            self.last_merger = Some(kind);
+            // 10. Feature: decrypt result columns.
+            self.runtime.encrypt.read().decrypt_result(&mut merged, &tables);
+            Ok(ExecuteResult::Query(merged))
+        } else {
+            self.last_merger = Some(MergerKind::Iteration);
+            let affected = results.iter().map(ExecuteResult::affected).sum();
+            Ok(ExecuteResult::Update { affected })
+        }
+    }
+
+    /// Fill the key-generate column of sharded INSERTs when absent.
+    fn generate_keys(&self, ins: &mut shard_sql::ast::InsertStatement) -> Result<()> {
+        let rule_guard = self.runtime.rule.read();
+        let Some(table_rule) = rule_guard.table_rule(ins.table.as_str()) else {
+            return Ok(());
+        };
+        let Some(key_col) = table_rule.key_generate_column.clone() else {
+            return Ok(());
+        };
+        drop(rule_guard);
+        if ins.columns.is_empty() {
+            return Ok(()); // positional insert: all columns supplied
+        }
+        if ins
+            .columns
+            .iter()
+            .any(|c| c.eq_ignore_ascii_case(&key_col))
+        {
+            return Ok(());
+        }
+        ins.columns.push(key_col);
+        for row in &mut ins.rows {
+            row.push(Expr::Literal(self.runtime.keygen.next_key()));
+        }
+        Ok(())
+    }
+
+    fn apply_rw_split(&self, route: &mut RouteResult, is_query: bool) {
+        let rw = self.runtime.rw_split.read();
+        if rw.is_empty() {
+            return;
+        }
+        let in_txn = self.txn.is_some();
+        for unit in &mut route.units {
+            if let Some(group) = rw.get(&unit.datasource) {
+                let target = if is_query && !in_txn {
+                    group.route_read()
+                } else {
+                    group.route_write()
+                };
+                unit.datasource = target.to_string();
+            }
+        }
+    }
+
+    /// For Local/XA transactions: lazily begin a branch on every data source
+    /// the statement touches and return the bindings. For BASE: capture
+    /// compensations and register them with the TC (statements then run
+    /// auto-commit).
+    fn prepare_transaction_branches(
+        &mut self,
+        route: &RouteResult,
+        inputs: &[ExecutionInput],
+        params: &[Value],
+    ) -> Result<Option<HashMap<String, TxnId>>> {
+        let Some(txn) = &mut self.txn else {
+            return Ok(None);
+        };
+        match txn.txn_type {
+            TransactionType::Local | TransactionType::Xa => {
+                let mut bindings = HashMap::new();
+                for ds_name in route.datasources() {
+                    let entry = txn.branches.entry(ds_name.clone());
+                    let (engine, branch) = match entry {
+                        std::collections::hash_map::Entry::Occupied(o) => {
+                            let (e, t) = o.get();
+                            (Arc::clone(e), *t)
+                        }
+                        std::collections::hash_map::Entry::Vacant(v) => {
+                            let ds = self.runtime.datasource(&ds_name)?;
+                            let engine = Arc::clone(ds.engine());
+                            let branch = engine.begin();
+                            v.insert((Arc::clone(&engine), branch));
+                            (engine, branch)
+                        }
+                    };
+                    let _ = engine;
+                    bindings.insert(ds_name, branch);
+                }
+                Ok(Some(bindings))
+            }
+            TransactionType::Base => {
+                // AT mode phase 1: capture before-images and register undo,
+                // then let the statement auto-commit locally. Each branch
+                // registration and status report is an RPC to the TC (Fig 6),
+                // charged like any other network round trip.
+                let xid = txn.xid.clone();
+                for input in inputs {
+                    let ds = self.runtime.datasource(&input.unit.datasource)?;
+                    let comps = base::capture_compensation(ds.engine(), &input.stmt, params)?;
+                    if !comps.is_empty() {
+                        // Seata AT persists the undo log as a row in the
+                        // branch database inside the local transaction
+                        // (Fig 6 "save the redo and undo logs") — one more
+                        // write round trip to the data source.
+                        ds.engine().latency().charge(0);
+                        tc_rpc(); // register branch
+                        self.runtime.tc.register_undo(
+                            &xid,
+                            base::BranchUndo {
+                                datasource: input.unit.datasource.clone(),
+                                compensations: comps,
+                            },
+                        )?;
+                        tc_rpc(); // report branch status
+                    }
+                }
+                Ok(None)
+            }
+        }
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        // An abandoned session must not leak branch transactions or locks.
+        let _ = self.rollback();
+    }
+}
+
+/// Simulated RPC to the (remote) Transaction Coordinator used by BASE
+/// transactions. The paper's TC is a separate Seata server; every
+/// interaction with it crosses the network.
+fn tc_rpc() {
+    std::thread::sleep(std::time::Duration::from_micros(120));
+}

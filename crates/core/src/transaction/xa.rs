@@ -1,0 +1,278 @@
+//! XA two-phase commit (paper §IV-B, Fig 5(c)).
+//!
+//! ShardingSphere acts as both AP and TM: on COMMIT it logs the attempt,
+//! runs phase 1 (`prepare` on every resource manager), durably logs the
+//! decision, then runs phase 2. If a resource fails *after* voting OK, the
+//! recovery manager re-drives the logged decision when the resource comes
+//! back — "ShardingSphere will recover the transaction after the server
+//! restarts or re-commit periodically according to the recorded logs".
+
+use crate::error::{KernelError, Result};
+use parking_lot::Mutex;
+use shard_storage::{StorageEngine, TxnId};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Durable coordinator decision per global transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum XaDecision {
+    /// Phase 1 in progress.
+    Preparing,
+    /// All votes OK; commit must eventually happen everywhere.
+    Commit,
+    /// Some vote failed; rollback everywhere.
+    Rollback,
+    /// Phase 2 finished on every branch.
+    Done,
+}
+
+/// The transaction manager's durable log. Like the storage WAL, durability
+/// across "crashes" is modelled by sharing the log between coordinator
+/// incarnations.
+#[derive(Clone, Default)]
+pub struct XaLog {
+    state: Arc<Mutex<HashMap<String, XaDecision>>>,
+}
+
+impl XaLog {
+    pub fn new() -> Self {
+        XaLog::default()
+    }
+
+    pub fn record(&self, xid: &str, decision: XaDecision) {
+        self.state.lock().insert(xid.to_string(), decision);
+    }
+
+    pub fn decision(&self, xid: &str) -> Option<XaDecision> {
+        self.state.lock().get(xid).copied()
+    }
+
+    /// Transactions whose phase 2 never completed.
+    pub fn unfinished(&self) -> Vec<(String, XaDecision)> {
+        self.state
+            .lock()
+            .iter()
+            .filter(|(_, d)| !matches!(d, XaDecision::Done))
+            .map(|(x, d)| (x.clone(), *d))
+            .collect()
+    }
+}
+
+/// Run 2PC over the branches of one global transaction.
+///
+/// `branches` maps data source name → (engine, local txn id).
+pub fn two_phase_commit(
+    xid: &str,
+    log: &XaLog,
+    branches: &HashMap<String, (Arc<StorageEngine>, TxnId)>,
+) -> Result<()> {
+    log.record(xid, XaDecision::Preparing);
+
+    // Phase 1: prepare (vote collection).
+    let mut prepared: Vec<&String> = Vec::new();
+    for (name, (engine, txn)) in branches {
+        match engine.prepare(*txn, xid) {
+            Ok(()) => prepared.push(name),
+            Err(vote_no) => {
+                // A NO vote aborts the global transaction: the refusing
+                // branch already rolled back; roll back the others.
+                log.record(xid, XaDecision::Rollback);
+                for (other, (e, t)) in branches {
+                    if other == name {
+                        continue;
+                    }
+                    let result = if prepared.contains(&other) {
+                        e.rollback_prepared(*t)
+                    } else {
+                        e.rollback(*t)
+                    };
+                    let _ = result; // branch may already be gone; recovery handles it
+                }
+                log.record(xid, XaDecision::Done);
+                return Err(KernelError::Transaction(format!(
+                    "XA transaction {xid} aborted: branch '{name}' voted NO ({vote_no})"
+                )));
+            }
+        }
+    }
+
+    // Decision point: durable before phase 2.
+    log.record(xid, XaDecision::Commit);
+
+    // Phase 2: commit every branch. Failures here do NOT abort the global
+    // transaction — the decision is committed; recovery re-drives stragglers.
+    let mut lagging = Vec::new();
+    for (name, (engine, txn)) in branches {
+        if engine.commit_prepared(*txn).is_err() {
+            lagging.push(name.clone());
+        }
+    }
+    if lagging.is_empty() {
+        log.record(xid, XaDecision::Done);
+    }
+    Ok(())
+}
+
+/// Roll back all branches (explicit ROLLBACK before prepare).
+pub fn rollback_all(branches: &HashMap<String, (Arc<StorageEngine>, TxnId)>) {
+    for (engine, txn) in branches.values() {
+        let _ = engine.rollback(*txn);
+    }
+}
+
+/// Recovery manager: resolves in-doubt branches against the coordinator log
+/// (run at startup or periodically, per the paper).
+pub struct XaRecoveryManager {
+    log: XaLog,
+}
+
+impl XaRecoveryManager {
+    pub fn new(log: XaLog) -> Self {
+        XaRecoveryManager { log }
+    }
+
+    /// Resolve every in-doubt transaction on the given engines. Returns the
+    /// number of branches resolved (committed + rolled back).
+    pub fn recover(&self, engines: &[Arc<StorageEngine>]) -> usize {
+        let mut resolved = 0;
+        for engine in engines {
+            for (txn, xid) in engine.in_doubt() {
+                match self.log.decision(&xid) {
+                    Some(XaDecision::Commit) => {
+                        if engine.commit_prepared(txn).is_ok() {
+                            resolved += 1;
+                        }
+                    }
+                    // No commit decision was logged: presume abort.
+                    Some(XaDecision::Rollback) | Some(XaDecision::Preparing) | None => {
+                        if engine.rollback_prepared(txn).is_ok() {
+                            resolved += 1;
+                        }
+                    }
+                    Some(XaDecision::Done) => {
+                        // Decision says done but the branch is in doubt:
+                        // treat as commit (decision reached Done only after
+                        // commit decision).
+                        if engine.commit_prepared(txn).is_ok() {
+                            resolved += 1;
+                        }
+                    }
+                }
+            }
+        }
+        resolved
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shard_sql::Value;
+
+    fn engine_with_row(name: &str) -> Arc<StorageEngine> {
+        let e = StorageEngine::new(name);
+        e.execute_sql("CREATE TABLE t (id BIGINT PRIMARY KEY, v INT)", &[], None)
+            .unwrap();
+        e.execute_sql("INSERT INTO t VALUES (1, 10)", &[], None).unwrap();
+        e
+    }
+
+    fn start_branch(e: &Arc<StorageEngine>, v: i64) -> TxnId {
+        let txn = e.begin();
+        e.execute_sql(
+            &format!("UPDATE t SET v = {v} WHERE id = 1"),
+            &[],
+            Some(txn),
+        )
+        .unwrap();
+        txn
+    }
+
+    fn value(e: &Arc<StorageEngine>) -> Value {
+        e.execute_sql("SELECT v FROM t WHERE id = 1", &[], None)
+            .unwrap()
+            .query()
+            .rows[0][0]
+            .clone()
+    }
+
+    #[test]
+    fn successful_two_phase_commit() {
+        let a = engine_with_row("a");
+        let b = engine_with_row("b");
+        let mut branches = HashMap::new();
+        branches.insert("a".to_string(), (a.clone(), start_branch(&a, 100)));
+        branches.insert("b".to_string(), (b.clone(), start_branch(&b, 200)));
+        let log = XaLog::new();
+        two_phase_commit("x1", &log, &branches).unwrap();
+        assert_eq!(value(&a), Value::Int(100));
+        assert_eq!(value(&b), Value::Int(200));
+        assert_eq!(log.decision("x1"), Some(XaDecision::Done));
+    }
+
+    #[test]
+    fn no_vote_rolls_back_everything() {
+        let a = engine_with_row("a");
+        let b = engine_with_row("b");
+        let mut branches = HashMap::new();
+        branches.insert("a".to_string(), (a.clone(), start_branch(&a, 100)));
+        branches.insert("b".to_string(), (b.clone(), start_branch(&b, 200)));
+        // b refuses to prepare.
+        b.inject_commit_failure();
+        let log = XaLog::new();
+        let err = two_phase_commit("x2", &log, &branches).unwrap_err();
+        assert!(matches!(err, KernelError::Transaction(_)));
+        assert_eq!(value(&a), Value::Int(10));
+        assert_eq!(value(&b), Value::Int(10));
+    }
+
+    #[test]
+    fn phase2_failure_recovers_via_log() {
+        let a = engine_with_row("a");
+        let b = engine_with_row("b");
+        let txn_a = start_branch(&a, 100);
+        let txn_b = start_branch(&b, 200);
+        let mut branches = HashMap::new();
+        branches.insert("a".to_string(), (a.clone(), txn_a));
+        branches.insert("b".to_string(), (b.clone(), txn_b));
+        let log = XaLog::new();
+
+        // Prepare both manually, then simulate phase-2 failure on b by
+        // injecting after votes: prepare() consumes the injection, so inject
+        // between phases via direct calls.
+        a.prepare(txn_a, "x3").unwrap();
+        b.prepare(txn_b, "x3").unwrap();
+        log.record("x3", XaDecision::Commit);
+        a.commit_prepared(txn_a).unwrap();
+        // b crashes before commit: it stays in doubt.
+        assert_eq!(b.in_doubt().len(), 1);
+
+        // Recovery re-drives the logged commit decision.
+        let recovery = XaRecoveryManager::new(log);
+        let resolved = recovery.recover(&[a.clone(), b.clone()]);
+        assert_eq!(resolved, 1);
+        assert_eq!(value(&b), Value::Int(200));
+        assert!(b.in_doubt().is_empty());
+    }
+
+    #[test]
+    fn recovery_presumes_abort_without_decision() {
+        let a = engine_with_row("a");
+        let txn = start_branch(&a, 99);
+        a.prepare(txn, "x4").unwrap();
+        // Coordinator crashed before logging any decision.
+        let recovery = XaRecoveryManager::new(XaLog::new());
+        let resolved = recovery.recover(std::slice::from_ref(&a));
+        assert_eq!(resolved, 1);
+        assert_eq!(value(&a), Value::Int(10)); // rolled back
+    }
+
+    #[test]
+    fn unfinished_listing() {
+        let log = XaLog::new();
+        log.record("a", XaDecision::Commit);
+        log.record("b", XaDecision::Done);
+        let unfinished = log.unfinished();
+        assert_eq!(unfinished, vec![("a".to_string(), XaDecision::Commit)]);
+    }
+}

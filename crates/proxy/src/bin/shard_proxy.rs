@@ -1,0 +1,119 @@
+//! Standalone ShardingSphere-RS proxy daemon.
+//!
+//! ```text
+//! shard_proxy [--port 3307] [--sources N] [--init path/to/init.sql]
+//! ```
+//!
+//! Boots `N` embedded data sources, applies an optional DistSQL/SQL init
+//! script, and serves the wire protocol until Ctrl-C. Clients use
+//! `shard_proxy::ProxyClient` (or any implementation of the framed
+//! protocol in `shard_proxy::protocol`).
+
+use shard_core::governor::HealthDetector;
+use shard_core::ShardingRuntime;
+use shard_proxy::ProxyServer;
+use shard_storage::StorageEngine;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    let mut port: u16 = 3307;
+    let mut sources: usize = 2;
+    let mut init: Option<String> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--port" => {
+                i += 1;
+                port = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--port needs a number"));
+            }
+            "--sources" => {
+                i += 1;
+                sources = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--sources needs a number"));
+            }
+            "--init" => {
+                i += 1;
+                init = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| usage("--init needs a path")),
+                );
+            }
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument '{other}'")),
+        }
+        i += 1;
+    }
+
+    let mut builder = ShardingRuntime::builder();
+    for i in 0..sources.max(1) {
+        let name = format!("ds_{i}");
+        builder = builder.datasource(&name, StorageEngine::new(&name));
+    }
+    let runtime: Arc<ShardingRuntime> = builder.build();
+
+    if let Some(path) = init {
+        let script = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| usage(&format!("cannot read init script '{path}': {e}")));
+        let mut session = runtime.session();
+        match shard_sql::parse_statements(&script) {
+            Ok(stmts) => {
+                for stmt in stmts {
+                    if let Err(e) = session.execute(&stmt, &[]) {
+                        eprintln!("init statement failed: {e}");
+                        std::process::exit(1);
+                    }
+                }
+                eprintln!("applied init script {path}");
+            }
+            Err(e) => {
+                eprintln!("init script parse error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    // Background health detection, as the governor would run it.
+    let detector = HealthDetector::new(
+        Arc::clone(runtime.registry()),
+        (0..sources)
+            .filter_map(|i| runtime.datasource(&format!("ds_{i}")).ok())
+            .collect(),
+    );
+    let _health = detector.start(Duration::from_secs(5));
+
+    let server = ProxyServer::start(Arc::clone(&runtime), port).unwrap_or_else(|e| {
+        eprintln!("cannot bind port {port}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!(
+        "shard-proxy listening on {} ({} data sources); Ctrl-C to stop",
+        server.addr(),
+        sources
+    );
+    loop {
+        std::thread::sleep(Duration::from_secs(60));
+    }
+}
+
+fn usage(error: &str) -> ! {
+    if !error.is_empty() {
+        eprintln!("error: {error}\n");
+    }
+    eprintln!(
+        "usage: shard_proxy [--port PORT] [--sources N] [--init SCRIPT.sql]\n\
+         \n\
+         Boots N embedded data sources behind a ShardingSphere-RS proxy.\n\
+         The init script may contain DistSQL (CREATE SHARDING TABLE RULE ...)\n\
+         and regular SQL, separated by semicolons."
+    );
+    std::process::exit(if error.is_empty() { 0 } else { 2 });
+}

@@ -1,0 +1,83 @@
+//! Proxy client: the application side of the wire protocol (what a MySQL
+//! driver would be against the real proxy).
+
+use crate::protocol::{
+    decode_response, encode_request, read_frame, write_frame, ProtocolError, Request, Response,
+};
+use shard_sql::Value;
+use shard_storage::{ExecuteResult, ResultSet};
+use std::net::{SocketAddr, TcpStream};
+
+#[derive(Debug)]
+pub enum ClientError {
+    Protocol(ProtocolError),
+    /// The server reported a SQL/kernel error.
+    Server(String),
+    Disconnected,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Protocol(e) => write!(f, "{e}"),
+            ClientError::Server(m) => write!(f, "server error: {m}"),
+            ClientError::Disconnected => write!(f, "server closed the connection"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<ProtocolError> for ClientError {
+    fn from(e: ProtocolError) -> Self {
+        ClientError::Protocol(e)
+    }
+}
+
+/// One client connection to a ShardingSphere-Proxy.
+pub struct ProxyClient {
+    stream: TcpStream,
+}
+
+impl ProxyClient {
+    pub fn connect(addr: SocketAddr) -> std::io::Result<ProxyClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(ProxyClient { stream })
+    }
+
+    /// Execute SQL through the proxy.
+    pub fn execute(&mut self, sql: &str, params: &[Value]) -> Result<ExecuteResult, ClientError> {
+        let req = Request::Query {
+            sql: sql.to_string(),
+            params: params.to_vec(),
+        };
+        write_frame(&mut self.stream, &encode_request(&req))?;
+        let frame = read_frame(&mut self.stream)?.ok_or(ClientError::Disconnected)?;
+        match decode_response(frame)? {
+            Response::Rows(rs) => Ok(ExecuteResult::Query(rs)),
+            Response::Update { affected } => Ok(ExecuteResult::Update { affected }),
+            Response::Error { message } => Err(ClientError::Server(message)),
+        }
+    }
+
+    /// Execute a query, expecting rows.
+    pub fn query(&mut self, sql: &str, params: &[Value]) -> Result<ResultSet, ClientError> {
+        match self.execute(sql, params)? {
+            ExecuteResult::Query(rs) => Ok(rs),
+            ExecuteResult::Update { .. } => {
+                Err(ClientError::Server("expected a result set".into()))
+            }
+        }
+    }
+
+    /// Execute DML, returning the affected-row count.
+    pub fn update(&mut self, sql: &str, params: &[Value]) -> Result<u64, ClientError> {
+        Ok(self.execute(sql, params)?.affected())
+    }
+
+    /// Politely close the connection.
+    pub fn quit(mut self) {
+        let _ = write_frame(&mut self.stream, &encode_request(&Request::Quit));
+    }
+}

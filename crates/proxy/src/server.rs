@@ -1,0 +1,184 @@
+//! ShardingSphere-Proxy server: a TCP daemon fronting a shared
+//! [`ShardingRuntime`]. Each client connection gets its own kernel session
+//! (so transactions are per-connection), and connections are served by a
+//! thread pool sized like the paper's proxy deployments.
+
+use crate::protocol::{decode_request, encode_response, write_frame, Request, Response};
+use bytes::Bytes;
+use shard_core::ShardingRuntime;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A running proxy instance.
+pub struct ProxyServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    connections_served: Arc<AtomicU64>,
+}
+
+impl ProxyServer {
+    /// Start a proxy on `127.0.0.1:port` (`port = 0` picks a free port).
+    pub fn start(runtime: Arc<ShardingRuntime>, port: u16) -> std::io::Result<ProxyServer> {
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let connections_served = Arc::new(AtomicU64::new(0));
+
+        let stop2 = Arc::clone(&stop);
+        let served = Arc::clone(&connections_served);
+        let accept_thread = std::thread::spawn(move || {
+            // Non-blocking accept loop so shutdown is prompt.
+            listener
+                .set_nonblocking(true)
+                .expect("set_nonblocking on listener");
+            let mut workers: Vec<JoinHandle<()>> = Vec::new();
+            while !stop2.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        served.fetch_add(1, Ordering::Relaxed);
+                        let runtime = Arc::clone(&runtime);
+                        let stop = Arc::clone(&stop2);
+                        workers.push(std::thread::spawn(move || {
+                            serve_connection(stream, runtime, stop);
+                        }));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                    }
+                    Err(_) => break,
+                }
+                workers.retain(|w| !w.is_finished());
+            }
+            for w in workers {
+                let _ = w.join();
+            }
+        });
+
+        Ok(ProxyServer {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+            connections_served,
+        })
+    }
+
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    pub fn connections_served(&self) -> u64 {
+        self.connections_served.load(Ordering::Relaxed)
+    }
+
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ProxyServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, runtime: Arc<ShardingRuntime>, stop: Arc<AtomicBool>) {
+    stream.set_nodelay(true).ok();
+    // The timeout exists only so idle connections re-check the stop flag;
+    // once a frame has started arriving we must keep its partial bytes.
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_millis(200)))
+        .ok();
+    let mut session = runtime.session();
+    loop {
+        let frame = match read_frame_patient(&mut stream, &stop) {
+            FrameRead::Frame(f) => f,
+            FrameRead::Closed => return,
+        };
+        let request = match decode_request(frame) {
+            Ok(r) => r,
+            Err(e) => {
+                let resp = Response::Error {
+                    message: e.to_string(),
+                };
+                let _ = write_frame(&mut stream, &encode_response(&resp));
+                return;
+            }
+        };
+        match request {
+            Request::Quit => return,
+            Request::Query { sql, params } => {
+                let response = match session.execute_sql(&sql, &params) {
+                    Ok(result) => Response::from_result(result),
+                    Err(e) => Response::Error {
+                        message: e.to_string(),
+                    },
+                };
+                if write_frame(&mut stream, &encode_response(&response)).is_err() {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+enum FrameRead {
+    Frame(Bytes),
+    /// Client closed, stream error, or server shutdown.
+    Closed,
+}
+
+/// Read one length-prefixed frame, tolerating read timeouts *without losing
+/// partial bytes* (a timeout may fire between a frame's header and payload
+/// under load; discarding the partial read would desynchronize the stream
+/// and hang the client). The stop flag is only honoured between frames.
+fn read_frame_patient(stream: &mut TcpStream, stop: &AtomicBool) -> FrameRead {
+    use std::io::Read;
+
+    // Phase 1: length prefix. Zero-bytes-so-far timeouts are "idle".
+    let mut len_buf = [0u8; 4];
+    let mut got = 0usize;
+    while got < 4 {
+        match stream.read(&mut len_buf[got..]) {
+            Ok(0) => return FrameRead::Closed,
+            Ok(n) => got += n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if got == 0 && stop.load(Ordering::SeqCst) {
+                    return FrameRead::Closed;
+                }
+                // mid-prefix: keep waiting, keep the bytes we have
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return FrameRead::Closed,
+        }
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    const MAX_FRAME: usize = 256 * 1024 * 1024;
+    if len > MAX_FRAME {
+        return FrameRead::Closed;
+    }
+
+    // Phase 2: payload — never abandoned once the header has arrived.
+    let mut payload = vec![0u8; len];
+    let mut got = 0usize;
+    while got < len {
+        match stream.read(&mut payload[got..]) {
+            Ok(0) => return FrameRead::Closed,
+            Ok(n) => got += n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut
+                    || e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return FrameRead::Closed,
+        }
+    }
+    FrameRead::Frame(Bytes::from(payload))
+}

@@ -1,0 +1,827 @@
+//! Abstract syntax tree for the supported SQL dialect and for DistSQL.
+//!
+//! The AST is deliberately owned/cloneable: the sharding rewriter produces one
+//! rewritten AST per routed data node by cloning and patching the parsed
+//! statement (the Java original rewrites SQL text; we rewrite trees and can
+//! render them back to dialect-specific text via [`crate::format`]).
+
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+
+/// Any parsed statement: regular SQL, transaction control, or DistSQL.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Statement {
+    Select(SelectStatement),
+    Insert(InsertStatement),
+    Update(UpdateStatement),
+    Delete(DeleteStatement),
+    CreateTable(CreateTableStatement),
+    DropTable(DropTableStatement),
+    TruncateTable(ObjectName),
+    CreateIndex(CreateIndexStatement),
+    DropIndex { name: String, table: ObjectName },
+    Begin,
+    Commit,
+    Rollback,
+    /// `SET <name> = <value>` session variable assignment.
+    SetVariable { name: String, value: Value },
+    ShowTables,
+    DistSql(DistSqlStatement),
+}
+
+impl Statement {
+    /// Statement category, used by the router to pick broadcast vs sharding
+    /// route (DDL/TCL broadcast; DQL/DML shard when conditions allow).
+    pub fn category(&self) -> StatementCategory {
+        match self {
+            Statement::Select(_) => StatementCategory::Dql,
+            Statement::Insert(_) | Statement::Update(_) | Statement::Delete(_) => {
+                StatementCategory::Dml
+            }
+            Statement::CreateTable(_)
+            | Statement::DropTable(_)
+            | Statement::TruncateTable(_)
+            | Statement::CreateIndex(_)
+            | Statement::DropIndex { .. } => StatementCategory::Ddl,
+            Statement::Begin | Statement::Commit | Statement::Rollback => StatementCategory::Tcl,
+            Statement::SetVariable { .. } | Statement::ShowTables => StatementCategory::Dal,
+            Statement::DistSql(_) => StatementCategory::DistSql,
+        }
+    }
+
+    /// All logic table names referenced by the statement, in first-seen order.
+    pub fn table_names(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut push = |n: &str| {
+            if !out.iter().any(|x: &String| x == n) {
+                out.push(n.to_string());
+            }
+        };
+        match self {
+            Statement::Select(s) => {
+                if let Some(t) = &s.from {
+                    push(&t.name.0);
+                }
+                for j in &s.joins {
+                    push(&j.table.name.0);
+                }
+            }
+            Statement::Insert(s) => push(&s.table.0),
+            Statement::Update(s) => push(&s.table.0),
+            Statement::Delete(s) => push(&s.table.0),
+            Statement::CreateTable(s) => push(&s.name.0),
+            Statement::DropTable(s) => {
+                for n in &s.names {
+                    push(&n.0);
+                }
+            }
+            Statement::TruncateTable(n) => push(&n.0),
+            Statement::CreateIndex(s) => push(&s.table.0),
+            Statement::DropIndex { table, .. } => push(&table.0),
+            _ => {}
+        }
+        out
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StatementCategory {
+    Dql,
+    Dml,
+    Ddl,
+    Tcl,
+    /// Database administration (SET/SHOW).
+    Dal,
+    DistSql,
+}
+
+/// A (possibly qualified in future) object name. Kept as a single segment:
+/// ShardingSphere resolves schemas per data source, and our logical schema is
+/// flat.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ObjectName(pub String);
+
+impl ObjectName {
+    pub fn new(s: impl Into<String>) -> Self {
+        ObjectName(s.into())
+    }
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::fmt::Display for ObjectName {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SELECT
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SelectStatement {
+    pub distinct: bool,
+    pub projection: Vec<SelectItem>,
+    pub from: Option<TableRef>,
+    pub joins: Vec<Join>,
+    pub where_clause: Option<Expr>,
+    pub group_by: Vec<Expr>,
+    pub having: Option<Expr>,
+    pub order_by: Vec<OrderByItem>,
+    pub limit: Option<Limit>,
+    pub for_update: bool,
+}
+
+impl SelectStatement {
+    /// A minimal empty SELECT used as a builder seed in tests.
+    pub fn empty() -> Self {
+        SelectStatement {
+            distinct: false,
+            projection: Vec::new(),
+            from: None,
+            joins: Vec::new(),
+            where_clause: None,
+            group_by: Vec::new(),
+            having: None,
+            order_by: Vec::new(),
+            limit: None,
+            for_update: false,
+        }
+    }
+
+    /// True when any projection item is an aggregate function call.
+    pub fn has_aggregates(&self) -> bool {
+        self.projection.iter().any(|item| match item {
+            SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
+            _ => false,
+        })
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// `t.*`
+    QualifiedWildcard(String),
+    /// Expression with optional alias.
+    Expr { expr: Expr, alias: Option<String> },
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableRef {
+    pub name: ObjectName,
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    pub fn named(name: impl Into<String>) -> Self {
+        TableRef {
+            name: ObjectName::new(name),
+            alias: None,
+        }
+    }
+
+    /// The name this table is referred to by in expressions: its alias when
+    /// present, the table name otherwise.
+    pub fn binding_name(&self) -> &str {
+        self.alias.as_deref().unwrap_or(self.name.as_str())
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Join {
+    pub kind: JoinKind,
+    pub table: TableRef,
+    pub on: Option<Expr>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JoinKind {
+    Inner,
+    Left,
+    Cross,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OrderByItem {
+    pub expr: Expr,
+    pub desc: bool,
+}
+
+/// LIMIT/OFFSET where each bound may be a literal or a `?` parameter (the
+/// pagination rewriter needs to patch these).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Limit {
+    pub offset: Option<LimitValue>,
+    pub limit: Option<LimitValue>,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LimitValue {
+    Literal(u64),
+    Param(usize),
+}
+
+impl LimitValue {
+    /// Resolve against bound parameters.
+    pub fn resolve(&self, params: &[Value]) -> Option<u64> {
+        match self {
+            LimitValue::Literal(n) => Some(*n),
+            LimitValue::Param(idx) => params.get(*idx).and_then(|v| v.as_int()).map(|i| i.max(0) as u64),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DML
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InsertStatement {
+    pub table: ObjectName,
+    /// Empty means "all columns in table order".
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<Expr>>,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UpdateStatement {
+    pub table: ObjectName,
+    pub alias: Option<String>,
+    pub assignments: Vec<Assignment>,
+    pub where_clause: Option<Expr>,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Assignment {
+    pub column: String,
+    pub value: Expr,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeleteStatement {
+    pub table: ObjectName,
+    pub alias: Option<String>,
+    pub where_clause: Option<Expr>,
+}
+
+// ---------------------------------------------------------------------------
+// DDL
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CreateTableStatement {
+    pub name: ObjectName,
+    pub if_not_exists: bool,
+    pub columns: Vec<ColumnDef>,
+    pub primary_key: Vec<String>,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColumnDef {
+    pub name: String,
+    pub data_type: DataType,
+    pub not_null: bool,
+    pub default: Option<Value>,
+    pub auto_increment: bool,
+}
+
+impl ColumnDef {
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        ColumnDef {
+            name: name.into(),
+            data_type,
+            not_null: false,
+            default: None,
+            auto_increment: false,
+        }
+    }
+
+    pub fn not_null(mut self) -> Self {
+        self.not_null = true;
+        self
+    }
+
+    pub fn auto_increment(mut self) -> Self {
+        self.auto_increment = true;
+        self
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DataType {
+    Int,
+    BigInt,
+    Float,
+    Double,
+    Decimal,
+    Varchar(u32),
+    Char(u32),
+    Text,
+    Bool,
+    Timestamp,
+}
+
+impl DataType {
+    /// The value kind this column type stores.
+    pub fn is_numeric(&self) -> bool {
+        matches!(
+            self,
+            DataType::Int | DataType::BigInt | DataType::Float | DataType::Double | DataType::Decimal
+        )
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DropTableStatement {
+    pub names: Vec<ObjectName>,
+    pub if_exists: bool,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CreateIndexStatement {
+    pub name: String,
+    pub table: ObjectName,
+    pub columns: Vec<String>,
+    pub unique: bool,
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// Column reference, optionally qualified: `u.uid` or `uid`.
+    Column(ColumnRef),
+    Literal(Value),
+    /// `?` placeholder; `index` is the zero-based parameter position.
+    Param(usize),
+    Binary {
+        left: Box<Expr>,
+        op: BinaryOp,
+        right: Box<Expr>,
+    },
+    Unary {
+        op: UnaryOp,
+        operand: Box<Expr>,
+    },
+    /// Function call, including aggregates.
+    Function(FunctionCall),
+    Between {
+        expr: Box<Expr>,
+        negated: bool,
+        low: Box<Expr>,
+        high: Box<Expr>,
+    },
+    InList {
+        expr: Box<Expr>,
+        negated: bool,
+        list: Vec<Expr>,
+    },
+    IsNull {
+        expr: Box<Expr>,
+        negated: bool,
+    },
+    Like {
+        expr: Box<Expr>,
+        negated: bool,
+        pattern: Box<Expr>,
+    },
+    /// Parenthesised expression (kept so text round-trips preserve grouping).
+    Nested(Box<Expr>),
+    Case {
+        operand: Option<Box<Expr>>,
+        branches: Vec<(Expr, Expr)>,
+        else_result: Option<Box<Expr>>,
+    },
+}
+
+impl Expr {
+    pub fn col(name: impl Into<String>) -> Expr {
+        Expr::Column(ColumnRef {
+            table: None,
+            column: name.into(),
+        })
+    }
+
+    pub fn qcol(table: impl Into<String>, name: impl Into<String>) -> Expr {
+        Expr::Column(ColumnRef {
+            table: Some(table.into()),
+            column: name.into(),
+        })
+    }
+
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Literal(v.into())
+    }
+
+    pub fn binary(left: Expr, op: BinaryOp, right: Expr) -> Expr {
+        Expr::Binary {
+            left: Box::new(left),
+            op,
+            right: Box::new(right),
+        }
+    }
+
+    pub fn and(left: Expr, right: Expr) -> Expr {
+        Expr::binary(left, BinaryOp::And, right)
+    }
+
+    pub fn eq(left: Expr, right: Expr) -> Expr {
+        Expr::binary(left, BinaryOp::Eq, right)
+    }
+
+    /// Does this expression tree contain an aggregate function call?
+    pub fn contains_aggregate(&self) -> bool {
+        let mut found = false;
+        self.walk(&mut |e| {
+            if let Expr::Function(f) = e {
+                if f.is_aggregate() {
+                    found = true;
+                }
+            }
+        });
+        found
+    }
+
+    /// Pre-order traversal over the expression tree.
+    pub fn walk(&self, f: &mut impl FnMut(&Expr)) {
+        f(self);
+        match self {
+            Expr::Binary { left, right, .. } => {
+                left.walk(f);
+                right.walk(f);
+            }
+            Expr::Unary { operand, .. } => operand.walk(f),
+            Expr::Function(call) => {
+                for a in &call.args {
+                    a.walk(f);
+                }
+            }
+            Expr::Between { expr, low, high, .. } => {
+                expr.walk(f);
+                low.walk(f);
+                high.walk(f);
+            }
+            Expr::InList { expr, list, .. } => {
+                expr.walk(f);
+                for e in list {
+                    e.walk(f);
+                }
+            }
+            Expr::IsNull { expr, .. } => expr.walk(f),
+            Expr::Like { expr, pattern, .. } => {
+                expr.walk(f);
+                pattern.walk(f);
+            }
+            Expr::Nested(e) => e.walk(f),
+            Expr::Case {
+                operand,
+                branches,
+                else_result,
+            } => {
+                if let Some(op) = operand {
+                    op.walk(f);
+                }
+                for (c, r) in branches {
+                    c.walk(f);
+                    r.walk(f);
+                }
+                if let Some(e) = else_result {
+                    e.walk(f);
+                }
+            }
+            Expr::Column(_) | Expr::Literal(_) | Expr::Param(_) => {}
+        }
+    }
+
+    /// Mutable pre-order traversal (used by rewriters to patch column names
+    /// and parameters in place).
+    pub fn walk_mut(&mut self, f: &mut impl FnMut(&mut Expr)) {
+        f(self);
+        match self {
+            Expr::Binary { left, right, .. } => {
+                left.walk_mut(f);
+                right.walk_mut(f);
+            }
+            Expr::Unary { operand, .. } => operand.walk_mut(f),
+            Expr::Function(call) => {
+                for a in &mut call.args {
+                    a.walk_mut(f);
+                }
+            }
+            Expr::Between { expr, low, high, .. } => {
+                expr.walk_mut(f);
+                low.walk_mut(f);
+                high.walk_mut(f);
+            }
+            Expr::InList { expr, list, .. } => {
+                expr.walk_mut(f);
+                for e in list {
+                    e.walk_mut(f);
+                }
+            }
+            Expr::IsNull { expr, .. } => expr.walk_mut(f),
+            Expr::Like { expr, pattern, .. } => {
+                expr.walk_mut(f);
+                pattern.walk_mut(f);
+            }
+            Expr::Nested(e) => e.walk_mut(f),
+            Expr::Case {
+                operand,
+                branches,
+                else_result,
+            } => {
+                if let Some(op) = operand {
+                    op.walk_mut(f);
+                }
+                for (c, r) in branches {
+                    c.walk_mut(f);
+                    r.walk_mut(f);
+                }
+                if let Some(e) = else_result {
+                    e.walk_mut(f);
+                }
+            }
+            Expr::Column(_) | Expr::Literal(_) | Expr::Param(_) => {}
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ColumnRef {
+    pub table: Option<String>,
+    pub column: String,
+}
+
+impl std::fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.table {
+            Some(t) => write!(f, "{t}.{}", self.column),
+            None => write!(f, "{}", self.column),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BinaryOp {
+    And,
+    Or,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    Plus,
+    Minus,
+    Multiply,
+    Divide,
+    Modulo,
+    Concat,
+}
+
+impl BinaryOp {
+    pub fn is_comparison(&self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Eq | BinaryOp::NotEq | BinaryOp::Lt | BinaryOp::LtEq | BinaryOp::Gt | BinaryOp::GtEq
+        )
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UnaryOp {
+    Not,
+    Minus,
+    Plus,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FunctionCall {
+    /// Upper-cased function name.
+    pub name: String,
+    pub args: Vec<Expr>,
+    pub distinct: bool,
+    /// COUNT(*) has `star = true` and empty args.
+    pub star: bool,
+}
+
+impl FunctionCall {
+    pub fn is_aggregate(&self) -> bool {
+        matches!(self.name.as_str(), "COUNT" | "SUM" | "AVG" | "MIN" | "MAX")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DistSQL
+// ---------------------------------------------------------------------------
+
+/// DistSQL statements, split per the paper into RDL (definition), RQL (query)
+/// and RAL (administration).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DistSqlStatement {
+    // --- RDL -------------------------------------------------------------
+    /// `CREATE|ALTER SHARDING TABLE RULE t (RESOURCES(..), SHARDING_COLUMN=..,
+    /// TYPE=.., PROPERTIES(..))` — the AutoTable strategy.
+    CreateShardingTableRule {
+        alter: bool,
+        rule: ShardingRuleSpec,
+    },
+    DropShardingTableRule {
+        table: String,
+    },
+    /// `CREATE SHARDING BINDING TABLE RULES (t_user, t_order)`
+    CreateBindingTableRule {
+        tables: Vec<String>,
+    },
+    DropBindingTableRule {
+        tables: Vec<String>,
+    },
+    /// `CREATE BROADCAST TABLE RULE t_dict`
+    CreateBroadcastTableRule {
+        tables: Vec<String>,
+    },
+    /// `CREATE READWRITE_SPLITTING RULE name (WRITE_RESOURCE=ds0,
+    /// READ_RESOURCES(ds1, ds2))`
+    CreateReadwriteSplittingRule {
+        name: String,
+        write_resource: String,
+        read_resources: Vec<String>,
+    },
+    ShowReadwriteSplittingRules,
+    DropBroadcastTableRule {
+        tables: Vec<String>,
+    },
+    /// `ADD RESOURCE ds_0 (HOST=.., PORT=.., DB=..)` — we model resources as
+    /// named data sources with opaque properties.
+    AddResource {
+        name: String,
+        props: Vec<(String, String)>,
+    },
+    DropResource {
+        name: String,
+    },
+    // --- RQL -------------------------------------------------------------
+    ShowShardingTableRules {
+        table: Option<String>,
+    },
+    ShowBindingTableRules,
+    ShowBroadcastTableRules,
+    ShowResources,
+    ShowShardingAlgorithms,
+    // --- RAL -------------------------------------------------------------
+    /// `SET VARIABLE transaction_type = XA`
+    SetVariable {
+        name: String,
+        value: String,
+    },
+    ShowVariable {
+        name: String,
+    },
+    /// `PREVIEW <sql>` — show route result without executing.
+    Preview {
+        sql: String,
+    },
+}
+
+impl DistSqlStatement {
+    /// Which DistSQL sub-language the statement belongs to.
+    pub fn language(&self) -> DistSqlLanguage {
+        use DistSqlStatement::*;
+        match self {
+            CreateShardingTableRule { .. }
+            | DropShardingTableRule { .. }
+            | CreateBindingTableRule { .. }
+            | DropBindingTableRule { .. }
+            | CreateBroadcastTableRule { .. }
+            | DropBroadcastTableRule { .. }
+            | CreateReadwriteSplittingRule { .. }
+            | AddResource { .. }
+            | DropResource { .. } => DistSqlLanguage::Rdl,
+            ShowShardingTableRules { .. }
+            | ShowBindingTableRules
+            | ShowBroadcastTableRules
+            | ShowReadwriteSplittingRules
+            | ShowResources
+            | ShowShardingAlgorithms => DistSqlLanguage::Rql,
+            SetVariable { .. } | ShowVariable { .. } | Preview { .. } => DistSqlLanguage::Ral,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DistSqlLanguage {
+    Rdl,
+    Rql,
+    Ral,
+}
+
+/// Parsed body of a `CREATE SHARDING TABLE RULE` statement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardingRuleSpec {
+    pub table: String,
+    pub resources: Vec<String>,
+    pub sharding_column: String,
+    pub algorithm_type: String,
+    pub props: Vec<(String, String)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statement_categories() {
+        assert_eq!(Statement::Begin.category(), StatementCategory::Tcl);
+        assert_eq!(
+            Statement::Select(SelectStatement::empty()).category(),
+            StatementCategory::Dql
+        );
+        assert_eq!(
+            Statement::TruncateTable(ObjectName::new("t")).category(),
+            StatementCategory::Ddl
+        );
+    }
+
+    #[test]
+    fn table_names_deduplicated() {
+        let mut sel = SelectStatement::empty();
+        sel.from = Some(TableRef::named("t_user"));
+        sel.joins.push(Join {
+            kind: JoinKind::Inner,
+            table: TableRef::named("t_user"),
+            on: None,
+        });
+        assert_eq!(
+            Statement::Select(sel).table_names(),
+            vec!["t_user".to_string()]
+        );
+    }
+
+    #[test]
+    fn contains_aggregate_detects_nested() {
+        let e = Expr::binary(
+            Expr::lit(1),
+            BinaryOp::Plus,
+            Expr::Function(FunctionCall {
+                name: "SUM".into(),
+                args: vec![Expr::col("x")],
+                distinct: false,
+                star: false,
+            }),
+        );
+        assert!(e.contains_aggregate());
+        assert!(!Expr::col("x").contains_aggregate());
+    }
+
+    #[test]
+    fn walk_mut_patches_columns() {
+        let mut e = Expr::and(
+            Expr::eq(Expr::col("a"), Expr::lit(1)),
+            Expr::eq(Expr::col("b"), Expr::lit(2)),
+        );
+        let mut n = 0;
+        e.walk_mut(&mut |x| {
+            if let Expr::Column(c) = x {
+                c.column = c.column.to_uppercase();
+                n += 1;
+            }
+        });
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn limit_value_resolution() {
+        assert_eq!(LimitValue::Literal(5).resolve(&[]), Some(5));
+        assert_eq!(
+            LimitValue::Param(0).resolve(&[Value::Int(9)]),
+            Some(9)
+        );
+        assert_eq!(LimitValue::Param(3).resolve(&[Value::Int(9)]), None);
+    }
+
+    #[test]
+    fn distsql_language_classification() {
+        assert_eq!(
+            DistSqlStatement::ShowResources.language(),
+            DistSqlLanguage::Rql
+        );
+        assert_eq!(
+            DistSqlStatement::SetVariable {
+                name: "transaction_type".into(),
+                value: "XA".into()
+            }
+            .language(),
+            DistSqlLanguage::Ral
+        );
+        assert_eq!(
+            DistSqlStatement::DropResource { name: "ds".into() }.language(),
+            DistSqlLanguage::Rdl
+        );
+    }
+}

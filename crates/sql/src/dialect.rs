@@ -1,0 +1,100 @@
+//! SQL dialects.
+//!
+//! ShardingSphere supports six databases by carrying per-dialect grammar
+//! dictionaries. Our reproduction keeps one grammar but models the dialect
+//! differences that affect the kernel's rewriter output: identifier quoting
+//! and LIMIT rendering.
+
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Dialect {
+    #[default]
+    MySql,
+    PostgreSql,
+    /// SQL-92 fallback used for any other SQL-92-compliant source.
+    Standard,
+}
+
+impl Dialect {
+    /// Quote an identifier per the dialect's convention.
+    pub fn quote_ident(&self, ident: &str) -> String {
+        match self {
+            Dialect::MySql => format!("`{}`", ident.replace('`', "``")),
+            Dialect::PostgreSql | Dialect::Standard => {
+                format!("\"{}\"", ident.replace('"', "\"\""))
+            }
+        }
+    }
+
+    /// Identifiers only need quoting when they collide with keywords or
+    /// contain unusual characters; plain names render bare for readability.
+    pub fn render_ident(&self, ident: &str) -> String {
+        let plain = !ident.is_empty()
+            && ident
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_')
+            && ident.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+            && !crate::format::is_keywordish(ident);
+        if plain {
+            ident.to_string()
+        } else {
+            self.quote_ident(ident)
+        }
+    }
+
+    /// Render LIMIT/OFFSET. MySQL prefers `LIMIT o, n`; PostgreSQL and the
+    /// standard use `LIMIT n OFFSET o`.
+    pub fn render_limit(&self, offset: Option<&str>, limit: Option<&str>) -> String {
+        match (self, offset, limit) {
+            (_, None, None) => String::new(),
+            (Dialect::MySql, Some(o), Some(n)) => format!(" LIMIT {o}, {n}"),
+            (Dialect::MySql, Some(o), None) => format!(" LIMIT {o}, 18446744073709551615"),
+            (_, Some(o), Some(n)) => format!(" LIMIT {n} OFFSET {o}"),
+            (_, Some(o), None) => format!(" OFFSET {o}"),
+            (_, None, Some(n)) => format!(" LIMIT {n}"),
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            Dialect::MySql => "MySQL",
+            Dialect::PostgreSql => "PostgreSQL",
+            Dialect::Standard => "SQL-92",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quoting_styles() {
+        assert_eq!(Dialect::MySql.quote_ident("order"), "`order`");
+        assert_eq!(Dialect::PostgreSql.quote_ident("order"), "\"order\"");
+        assert_eq!(Dialect::MySql.quote_ident("a`b"), "`a``b`");
+    }
+
+    #[test]
+    fn plain_identifiers_render_bare() {
+        assert_eq!(Dialect::MySql.render_ident("t_user"), "t_user");
+        assert_eq!(Dialect::MySql.render_ident("select"), "`select`");
+        assert_eq!(Dialect::PostgreSql.render_ident("1abc"), "\"1abc\"");
+    }
+
+    #[test]
+    fn limit_rendering() {
+        assert_eq!(
+            Dialect::MySql.render_limit(Some("5"), Some("10")),
+            " LIMIT 5, 10"
+        );
+        assert_eq!(
+            Dialect::PostgreSql.render_limit(Some("5"), Some("10")),
+            " LIMIT 10 OFFSET 5"
+        );
+        assert_eq!(Dialect::Standard.render_limit(None, Some("3")), " LIMIT 3");
+        assert_eq!(Dialect::PostgreSql.render_limit(Some("4"), None), " OFFSET 4");
+        assert_eq!(Dialect::MySql.render_limit(None, None), "");
+    }
+}

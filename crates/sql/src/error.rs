@@ -1,0 +1,58 @@
+//! Error type for lexing and parsing.
+
+use std::fmt;
+
+/// Error produced while lexing or parsing a SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SqlError {
+    pub kind: SqlErrorKind,
+    /// Byte offset into the source where the problem was detected.
+    pub offset: usize,
+    pub message: String,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SqlErrorKind {
+    Lex,
+    Parse,
+    Unsupported,
+}
+
+impl SqlError {
+    pub fn lex(offset: usize, message: impl Into<String>) -> Self {
+        SqlError {
+            kind: SqlErrorKind::Lex,
+            offset,
+            message: message.into(),
+        }
+    }
+
+    pub fn parse(offset: usize, message: impl Into<String>) -> Self {
+        SqlError {
+            kind: SqlErrorKind::Parse,
+            offset,
+            message: message.into(),
+        }
+    }
+
+    pub fn unsupported(offset: usize, message: impl Into<String>) -> Self {
+        SqlError {
+            kind: SqlErrorKind::Unsupported,
+            offset,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let stage = match self.kind {
+            SqlErrorKind::Lex => "lex error",
+            SqlErrorKind::Parse => "parse error",
+            SqlErrorKind::Unsupported => "unsupported SQL",
+        };
+        write!(f, "{stage} at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for SqlError {}

@@ -1,0 +1,662 @@
+//! AST → SQL text rendering.
+//!
+//! The kernel's rewriter patches ASTs; this module renders the patched trees
+//! back into dialect-correct SQL so tests, logs and `PREVIEW` can display the
+//! actual statements sent to each data node (matching the paper's examples).
+
+use crate::ast::*;
+use crate::dialect::Dialect;
+use std::fmt::Write;
+
+/// Render a statement as SQL text in the given dialect.
+pub fn format_statement(stmt: &Statement, dialect: Dialect) -> String {
+    let mut f = Formatter::new(dialect);
+    f.statement(stmt);
+    f.out
+}
+
+/// Render an expression as SQL text in the given dialect.
+pub fn format_expr(expr: &Expr, dialect: Dialect) -> String {
+    let mut f = Formatter::new(dialect);
+    f.expr(expr);
+    f.out
+}
+
+/// Words we always quote when used as identifiers in rendered SQL.
+pub(crate) fn is_keywordish(word: &str) -> bool {
+    const KW: &[&str] = &[
+        "select", "from", "where", "group", "order", "by", "having", "limit", "offset", "insert",
+        "into", "values", "update", "set", "delete", "create", "drop", "table", "index", "join",
+        "inner", "left", "cross", "on", "and", "or", "not", "null", "between", "in", "like", "is",
+        "as", "distinct", "case", "when", "then", "else", "end", "union", "for", "key", "primary",
+        "default", "unique", "begin", "commit", "rollback", "desc", "asc",
+    ];
+    KW.iter().any(|k| word.eq_ignore_ascii_case(k))
+}
+
+struct Formatter {
+    dialect: Dialect,
+    out: String,
+}
+
+impl Formatter {
+    fn new(dialect: Dialect) -> Self {
+        Formatter {
+            dialect,
+            out: String::new(),
+        }
+    }
+
+    fn push(&mut self, s: &str) {
+        self.out.push_str(s);
+    }
+
+    fn ident(&mut self, name: &str) {
+        let rendered = self.dialect.render_ident(name);
+        self.out.push_str(&rendered);
+    }
+
+    fn statement(&mut self, stmt: &Statement) {
+        match stmt {
+            Statement::Select(s) => self.select(s),
+            Statement::Insert(s) => self.insert(s),
+            Statement::Update(s) => self.update(s),
+            Statement::Delete(s) => self.delete(s),
+            Statement::CreateTable(s) => self.create_table(s),
+            Statement::DropTable(s) => {
+                self.push("DROP TABLE ");
+                if s.if_exists {
+                    self.push("IF EXISTS ");
+                }
+                for (i, n) in s.names.iter().enumerate() {
+                    if i > 0 {
+                        self.push(", ");
+                    }
+                    self.ident(n.as_str());
+                }
+            }
+            Statement::TruncateTable(n) => {
+                self.push("TRUNCATE TABLE ");
+                self.ident(n.as_str());
+            }
+            Statement::CreateIndex(s) => {
+                self.push("CREATE ");
+                if s.unique {
+                    self.push("UNIQUE ");
+                }
+                self.push("INDEX ");
+                self.ident(&s.name);
+                self.push(" ON ");
+                self.ident(s.table.as_str());
+                self.push(" (");
+                for (i, c) in s.columns.iter().enumerate() {
+                    if i > 0 {
+                        self.push(", ");
+                    }
+                    self.ident(c);
+                }
+                self.push(")");
+            }
+            Statement::DropIndex { name, table } => {
+                self.push("DROP INDEX ");
+                self.ident(name);
+                self.push(" ON ");
+                self.ident(table.as_str());
+            }
+            Statement::Begin => self.push("BEGIN"),
+            Statement::Commit => self.push("COMMIT"),
+            Statement::Rollback => self.push("ROLLBACK"),
+            Statement::SetVariable { name, value } => {
+                let _ = write!(self.out, "SET {name} = {}", value.to_sql_literal());
+            }
+            Statement::ShowTables => self.push("SHOW TABLES"),
+            Statement::DistSql(d) => self.distsql(d),
+        }
+    }
+
+    fn select(&mut self, s: &SelectStatement) {
+        self.push("SELECT ");
+        if s.distinct {
+            self.push("DISTINCT ");
+        }
+        for (i, item) in s.projection.iter().enumerate() {
+            if i > 0 {
+                self.push(", ");
+            }
+            match item {
+                SelectItem::Wildcard => self.push("*"),
+                SelectItem::QualifiedWildcard(t) => {
+                    self.ident(t);
+                    self.push(".*");
+                }
+                SelectItem::Expr { expr, alias } => {
+                    self.expr(expr);
+                    if let Some(a) = alias {
+                        self.push(" AS ");
+                        self.ident(a);
+                    }
+                }
+            }
+        }
+        if let Some(from) = &s.from {
+            self.push(" FROM ");
+            self.table_ref(from);
+            for j in &s.joins {
+                match j.kind {
+                    JoinKind::Inner => self.push(" JOIN "),
+                    JoinKind::Left => self.push(" LEFT JOIN "),
+                    JoinKind::Cross => self.push(" CROSS JOIN "),
+                }
+                self.table_ref(&j.table);
+                if let Some(on) = &j.on {
+                    self.push(" ON ");
+                    self.expr(on);
+                }
+            }
+        }
+        if let Some(w) = &s.where_clause {
+            self.push(" WHERE ");
+            self.expr(w);
+        }
+        if !s.group_by.is_empty() {
+            self.push(" GROUP BY ");
+            for (i, e) in s.group_by.iter().enumerate() {
+                if i > 0 {
+                    self.push(", ");
+                }
+                self.expr(e);
+            }
+        }
+        if let Some(h) = &s.having {
+            self.push(" HAVING ");
+            self.expr(h);
+        }
+        if !s.order_by.is_empty() {
+            self.push(" ORDER BY ");
+            for (i, o) in s.order_by.iter().enumerate() {
+                if i > 0 {
+                    self.push(", ");
+                }
+                self.expr(&o.expr);
+                if o.desc {
+                    self.push(" DESC");
+                }
+            }
+        }
+        if let Some(lim) = &s.limit {
+            let render = |lv: &LimitValue| match lv {
+                LimitValue::Literal(n) => n.to_string(),
+                LimitValue::Param(_) => "?".to_string(),
+            };
+            let offset = lim.offset.as_ref().map(&render);
+            let limit = lim.limit.as_ref().map(&render);
+            let text = self
+                .dialect
+                .render_limit(offset.as_deref(), limit.as_deref());
+            self.push(&text);
+        }
+        if s.for_update {
+            self.push(" FOR UPDATE");
+        }
+    }
+
+    fn table_ref(&mut self, t: &TableRef) {
+        self.ident(t.name.as_str());
+        if let Some(a) = &t.alias {
+            self.push(" ");
+            self.ident(a);
+        }
+    }
+
+    fn insert(&mut self, s: &InsertStatement) {
+        self.push("INSERT INTO ");
+        self.ident(s.table.as_str());
+        if !s.columns.is_empty() {
+            self.push(" (");
+            for (i, c) in s.columns.iter().enumerate() {
+                if i > 0 {
+                    self.push(", ");
+                }
+                self.ident(c);
+            }
+            self.push(")");
+        }
+        self.push(" VALUES ");
+        for (i, row) in s.rows.iter().enumerate() {
+            if i > 0 {
+                self.push(", ");
+            }
+            self.push("(");
+            for (j, e) in row.iter().enumerate() {
+                if j > 0 {
+                    self.push(", ");
+                }
+                self.expr(e);
+            }
+            self.push(")");
+        }
+    }
+
+    fn update(&mut self, s: &UpdateStatement) {
+        self.push("UPDATE ");
+        self.ident(s.table.as_str());
+        if let Some(a) = &s.alias {
+            self.push(" ");
+            self.ident(a);
+        }
+        self.push(" SET ");
+        for (i, a) in s.assignments.iter().enumerate() {
+            if i > 0 {
+                self.push(", ");
+            }
+            self.ident(&a.column);
+            self.push(" = ");
+            self.expr(&a.value);
+        }
+        if let Some(w) = &s.where_clause {
+            self.push(" WHERE ");
+            self.expr(w);
+        }
+    }
+
+    fn delete(&mut self, s: &DeleteStatement) {
+        self.push("DELETE FROM ");
+        self.ident(s.table.as_str());
+        if let Some(a) = &s.alias {
+            self.push(" ");
+            self.ident(a);
+        }
+        if let Some(w) = &s.where_clause {
+            self.push(" WHERE ");
+            self.expr(w);
+        }
+    }
+
+    fn create_table(&mut self, s: &CreateTableStatement) {
+        self.push("CREATE TABLE ");
+        if s.if_not_exists {
+            self.push("IF NOT EXISTS ");
+        }
+        self.ident(s.name.as_str());
+        self.push(" (");
+        for (i, c) in s.columns.iter().enumerate() {
+            if i > 0 {
+                self.push(", ");
+            }
+            self.ident(&c.name);
+            self.push(" ");
+            self.push(&data_type_name(&c.data_type));
+            if c.not_null {
+                self.push(" NOT NULL");
+            }
+            if c.auto_increment {
+                self.push(" AUTO_INCREMENT");
+            }
+            if let Some(d) = &c.default {
+                let _ = write!(self.out, " DEFAULT {}", d.to_sql_literal());
+            }
+        }
+        if !s.primary_key.is_empty() {
+            self.push(", PRIMARY KEY (");
+            for (i, pk) in s.primary_key.iter().enumerate() {
+                if i > 0 {
+                    self.push(", ");
+                }
+                self.ident(pk);
+            }
+            self.push(")");
+        }
+        self.push(")");
+    }
+
+    fn expr(&mut self, e: &Expr) {
+        match e {
+            Expr::Column(c) => {
+                if let Some(t) = &c.table {
+                    self.ident(t);
+                    self.push(".");
+                }
+                self.ident(&c.column);
+            }
+            Expr::Literal(v) => {
+                let lit = v.to_sql_literal();
+                self.push(&lit);
+            }
+            Expr::Param(_) => self.push("?"),
+            Expr::Binary { left, op, right } => {
+                self.expr(left);
+                let _ = write!(self.out, " {} ", binary_op_text(*op));
+                self.expr(right);
+            }
+            Expr::Unary { op, operand } => {
+                match op {
+                    UnaryOp::Not => self.push("NOT "),
+                    UnaryOp::Minus => self.push("-"),
+                    UnaryOp::Plus => self.push("+"),
+                }
+                self.expr(operand);
+            }
+            Expr::Function(f) => {
+                self.push(&f.name);
+                self.push("(");
+                if f.star {
+                    self.push("*");
+                } else {
+                    if f.distinct {
+                        self.push("DISTINCT ");
+                    }
+                    for (i, a) in f.args.iter().enumerate() {
+                        if i > 0 {
+                            self.push(", ");
+                        }
+                        self.expr(a);
+                    }
+                }
+                self.push(")");
+            }
+            Expr::Between {
+                expr,
+                negated,
+                low,
+                high,
+            } => {
+                self.expr(expr);
+                if *negated {
+                    self.push(" NOT");
+                }
+                self.push(" BETWEEN ");
+                self.expr(low);
+                self.push(" AND ");
+                self.expr(high);
+            }
+            Expr::InList {
+                expr,
+                negated,
+                list,
+            } => {
+                self.expr(expr);
+                if *negated {
+                    self.push(" NOT");
+                }
+                self.push(" IN (");
+                for (i, item) in list.iter().enumerate() {
+                    if i > 0 {
+                        self.push(", ");
+                    }
+                    self.expr(item);
+                }
+                self.push(")");
+            }
+            Expr::IsNull { expr, negated } => {
+                self.expr(expr);
+                self.push(if *negated { " IS NOT NULL" } else { " IS NULL" });
+            }
+            Expr::Like {
+                expr,
+                negated,
+                pattern,
+            } => {
+                self.expr(expr);
+                if *negated {
+                    self.push(" NOT");
+                }
+                self.push(" LIKE ");
+                self.expr(pattern);
+            }
+            Expr::Nested(inner) => {
+                self.push("(");
+                self.expr(inner);
+                self.push(")");
+            }
+            Expr::Case {
+                operand,
+                branches,
+                else_result,
+            } => {
+                self.push("CASE");
+                if let Some(op) = operand {
+                    self.push(" ");
+                    self.expr(op);
+                }
+                for (c, r) in branches {
+                    self.push(" WHEN ");
+                    self.expr(c);
+                    self.push(" THEN ");
+                    self.expr(r);
+                }
+                if let Some(e) = else_result {
+                    self.push(" ELSE ");
+                    self.expr(e);
+                }
+                self.push(" END");
+            }
+        }
+    }
+
+    fn distsql(&mut self, d: &DistSqlStatement) {
+        // DistSQL round-trips are only needed for display; render a compact
+        // canonical form.
+        let text = match d {
+            DistSqlStatement::CreateShardingTableRule { alter, rule } => {
+                let props = rule
+                    .props
+                    .iter()
+                    .map(|(k, v)| format!("\"{k}\"={v}"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                format!(
+                    "{} SHARDING TABLE RULE {} (RESOURCES({}), SHARDING_COLUMN={}, TYPE={}, PROPERTIES({}))",
+                    if *alter { "ALTER" } else { "CREATE" },
+                    rule.table,
+                    rule.resources.join(", "),
+                    rule.sharding_column,
+                    rule.algorithm_type,
+                    props
+                )
+            }
+            DistSqlStatement::DropShardingTableRule { table } => {
+                format!("DROP SHARDING TABLE RULE {table}")
+            }
+            DistSqlStatement::CreateBindingTableRule { tables } => {
+                format!("CREATE SHARDING BINDING TABLE RULES ({})", tables.join(", "))
+            }
+            DistSqlStatement::DropBindingTableRule { tables } => {
+                format!("DROP SHARDING BINDING TABLE RULES ({})", tables.join(", "))
+            }
+            DistSqlStatement::CreateBroadcastTableRule { tables } => {
+                format!("CREATE BROADCAST TABLE RULE {}", tables.join(", "))
+            }
+            DistSqlStatement::DropBroadcastTableRule { tables } => {
+                format!("DROP BROADCAST TABLE RULE {}", tables.join(", "))
+            }
+            DistSqlStatement::CreateReadwriteSplittingRule {
+                name,
+                write_resource,
+                read_resources,
+            } => format!(
+                "CREATE READWRITE_SPLITTING RULE {name} (WRITE_RESOURCE={write_resource}, READ_RESOURCES({}))",
+                read_resources.join(", ")
+            ),
+            DistSqlStatement::ShowReadwriteSplittingRules => {
+                "SHOW READWRITE_SPLITTING RULES".to_string()
+            }
+            DistSqlStatement::AddResource { name, props } => {
+                let props = props
+                    .iter()
+                    .map(|(k, v)| format!("{k}={v}"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                format!("ADD RESOURCE {name} ({props})")
+            }
+            DistSqlStatement::DropResource { name } => format!("DROP RESOURCE {name}"),
+            DistSqlStatement::ShowShardingTableRules { table: None } => {
+                "SHOW SHARDING TABLE RULES".to_string()
+            }
+            DistSqlStatement::ShowShardingTableRules { table: Some(t) } => {
+                format!("SHOW SHARDING TABLE RULE {t}")
+            }
+            DistSqlStatement::ShowBindingTableRules => "SHOW SHARDING BINDING TABLE RULES".into(),
+            DistSqlStatement::ShowBroadcastTableRules => "SHOW BROADCAST TABLE RULES".into(),
+            DistSqlStatement::ShowResources => "SHOW RESOURCES".into(),
+            DistSqlStatement::ShowShardingAlgorithms => "SHOW SHARDING ALGORITHMS".into(),
+            DistSqlStatement::SetVariable { name, value } => {
+                format!("SET VARIABLE {name} = {value}")
+            }
+            DistSqlStatement::ShowVariable { name } => format!("SHOW VARIABLE {name}"),
+            DistSqlStatement::Preview { sql } => format!("PREVIEW {sql}"),
+        };
+        self.push(&text);
+    }
+}
+
+fn binary_op_text(op: BinaryOp) -> &'static str {
+    match op {
+        BinaryOp::And => "AND",
+        BinaryOp::Or => "OR",
+        BinaryOp::Eq => "=",
+        BinaryOp::NotEq => "<>",
+        BinaryOp::Lt => "<",
+        BinaryOp::LtEq => "<=",
+        BinaryOp::Gt => ">",
+        BinaryOp::GtEq => ">=",
+        BinaryOp::Plus => "+",
+        BinaryOp::Minus => "-",
+        BinaryOp::Multiply => "*",
+        BinaryOp::Divide => "/",
+        BinaryOp::Modulo => "%",
+        BinaryOp::Concat => "||",
+    }
+}
+
+fn data_type_name(dt: &DataType) -> String {
+    match dt {
+        DataType::Int => "INT".into(),
+        DataType::BigInt => "BIGINT".into(),
+        DataType::Float => "FLOAT".into(),
+        DataType::Double => "DOUBLE".into(),
+        DataType::Decimal => "DECIMAL".into(),
+        DataType::Varchar(n) => format!("VARCHAR({n})"),
+        DataType::Char(n) => format!("CHAR({n})"),
+        DataType::Text => "TEXT".into(),
+        DataType::Bool => "BOOLEAN".into(),
+        DataType::Timestamp => "TIMESTAMP".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_statement;
+
+    fn roundtrip(sql: &str) -> String {
+        let stmt = parse_statement(sql).unwrap();
+        format_statement(&stmt, Dialect::MySql)
+    }
+
+    #[test]
+    fn select_roundtrip() {
+        let out = roundtrip("SELECT * FROM t_user WHERE uid IN (1, 2)");
+        assert_eq!(out, "SELECT * FROM t_user WHERE uid IN (1, 2)");
+        // idempotent: reparse + reformat is stable
+        assert_eq!(roundtrip(&out), out);
+    }
+
+    #[test]
+    fn join_roundtrip() {
+        let out = roundtrip(
+            "SELECT * FROM t_user u JOIN t_order o ON u.uid = o.uid WHERE uid IN (1, 2)",
+        );
+        assert_eq!(
+            out,
+            "SELECT * FROM t_user u JOIN t_order o ON u.uid = o.uid WHERE uid IN (1, 2)"
+        );
+    }
+
+    #[test]
+    fn mysql_vs_postgres_limit() {
+        let stmt = parse_statement("SELECT * FROM t LIMIT 10 OFFSET 5").unwrap();
+        assert_eq!(
+            format_statement(&stmt, Dialect::MySql),
+            "SELECT * FROM t LIMIT 5, 10"
+        );
+        assert_eq!(
+            format_statement(&stmt, Dialect::PostgreSql),
+            "SELECT * FROM t LIMIT 10 OFFSET 5"
+        );
+    }
+
+    #[test]
+    fn keyword_identifier_quoted_per_dialect() {
+        let stmt = parse_statement("SELECT * FROM `order`").unwrap();
+        assert_eq!(format_statement(&stmt, Dialect::MySql), "SELECT * FROM `order`");
+        assert_eq!(
+            format_statement(&stmt, Dialect::PostgreSql),
+            "SELECT * FROM \"order\""
+        );
+    }
+
+    #[test]
+    fn insert_roundtrip() {
+        let out = roundtrip("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')");
+        assert_eq!(out, "INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')");
+    }
+
+    #[test]
+    fn update_delete_roundtrip() {
+        assert_eq!(
+            roundtrip("UPDATE t SET a = a + 1 WHERE id = 3"),
+            "UPDATE t SET a = a + 1 WHERE id = 3"
+        );
+        assert_eq!(
+            roundtrip("DELETE FROM t WHERE id BETWEEN 1 AND 5"),
+            "DELETE FROM t WHERE id BETWEEN 1 AND 5"
+        );
+    }
+
+    #[test]
+    fn aggregate_rendering() {
+        assert_eq!(
+            roundtrip("SELECT name, SUM(score) FROM t_score GROUP BY name ORDER BY name"),
+            "SELECT name, SUM(score) FROM t_score GROUP BY name ORDER BY name"
+        );
+        assert_eq!(roundtrip("SELECT COUNT(*) FROM t"), "SELECT COUNT(*) FROM t");
+        assert_eq!(
+            roundtrip("SELECT COUNT(DISTINCT uid) FROM t"),
+            "SELECT COUNT(DISTINCT uid) FROM t"
+        );
+    }
+
+    #[test]
+    fn params_render_as_question_marks() {
+        assert_eq!(
+            roundtrip("SELECT * FROM t WHERE a = ? AND b = ?"),
+            "SELECT * FROM t WHERE a = ? AND b = ?"
+        );
+    }
+
+    #[test]
+    fn create_table_roundtrip() {
+        let out = roundtrip("CREATE TABLE t (id BIGINT NOT NULL, v VARCHAR(32), PRIMARY KEY (id))");
+        assert_eq!(
+            out,
+            "CREATE TABLE t (id BIGINT NOT NULL, v VARCHAR(32), PRIMARY KEY (id))"
+        );
+    }
+
+    #[test]
+    fn distsql_rendering() {
+        let out = roundtrip(
+            "CREATE SHARDING TABLE RULE t (RESOURCES(ds0, ds1), SHARDING_COLUMN=uid, TYPE=hash_mod, PROPERTIES(\"sharding-count\"=2))",
+        );
+        assert!(out.contains("SHARDING TABLE RULE t"));
+        assert!(out.contains("TYPE=hash_mod"));
+    }
+
+    #[test]
+    fn nested_parens_roundtrip() {
+        assert_eq!(
+            roundtrip("SELECT * FROM t WHERE (a = 1 OR b = 2) AND c = 3"),
+            "SELECT * FROM t WHERE (a = 1 OR b = 2) AND c = 3"
+        );
+    }
+}

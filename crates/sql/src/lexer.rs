@@ -1,0 +1,399 @@
+//! Hand-written SQL lexer producing a flat token stream.
+//!
+//! The lexer is dialect-agnostic: both MySQL backtick quoting and standard
+//! double-quote quoting are accepted, and `--`/`/* */`/`#` comments are
+//! skipped. Dialect differences that matter to the kernel (LIMIT forms,
+//! identifier rendering) live in [`crate::dialect`].
+
+use crate::error::SqlError;
+use crate::token::{Token, TokenKind};
+
+pub struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    pub fn new(src: &'a str) -> Self {
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    /// Tokenize the entire input, appending a trailing [`TokenKind::Eof`].
+    pub fn tokenize(mut self) -> Result<Vec<Token>, SqlError> {
+        let mut out = Vec::new();
+        loop {
+            let tok = self.next_token()?;
+            let eof = tok.kind.is_eof();
+            out.push(tok);
+            if eof {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.bytes.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    /// Consume and return the full character at the current position
+    /// (caller has checked non-EOF).
+    fn bump_char(&mut self) -> char {
+        let ch = self.src[self.pos..]
+            .chars()
+            .next()
+            .expect("caller checked non-empty");
+        self.pos += ch.len_utf8();
+        ch
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), SqlError> {
+        loop {
+            match self.peek() {
+                Some(b) if b.is_ascii_whitespace() => {
+                    self.pos += 1;
+                }
+                Some(b'-') if self.peek2() == Some(b'-') => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                }
+                Some(b'#') => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let start = self.pos;
+                    self.pos += 2;
+                    loop {
+                        match (self.peek(), self.peek2()) {
+                            (Some(b'*'), Some(b'/')) => {
+                                self.pos += 2;
+                                break;
+                            }
+                            (Some(_), _) => self.pos += 1,
+                            (None, _) => {
+                                return Err(SqlError::lex(start, "unterminated block comment"))
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Token, SqlError> {
+        self.skip_trivia()?;
+        let start = self.pos;
+        let Some(b) = self.peek() else {
+            return Ok(Token {
+                kind: TokenKind::Eof,
+                start,
+                end: start,
+            });
+        };
+        let kind = match b {
+            b'\'' => self.lex_string()?,
+            b'"' => self.lex_quoted_ident(b'"')?,
+            b'`' => self.lex_quoted_ident(b'`')?,
+            b'0'..=b'9' => self.lex_number(),
+            b'.' if self.peek2().is_some_and(|c| c.is_ascii_digit()) => self.lex_number(),
+            b if b.is_ascii_alphabetic() || b == b'_' => self.lex_ident(),
+            _ => self.lex_symbol(start)?,
+        };
+        Ok(Token {
+            kind,
+            start,
+            end: self.pos,
+        })
+    }
+
+    fn lex_string(&mut self) -> Result<TokenKind, SqlError> {
+        let start = self.pos;
+        self.bump(); // opening quote
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                Some(b'\'') => {
+                    // '' escapes a single quote
+                    if self.peek() == Some(b'\'') {
+                        self.bump();
+                        s.push('\'');
+                    } else {
+                        return Ok(TokenKind::String(s));
+                    }
+                }
+                Some(b'\\') => {
+                    // MySQL-style backslash escapes; the escaped character
+                    // may be multi-byte.
+                    match self.peek() {
+                        Some(b'n') => {
+                            self.bump();
+                            s.push('\n');
+                        }
+                        Some(b't') => {
+                            self.bump();
+                            s.push('\t');
+                        }
+                        Some(_) => s.push(self.bump_char()),
+                        None => return Err(SqlError::lex(start, "unterminated string literal")),
+                    }
+                }
+                Some(c) => {
+                    // handle multi-byte UTF-8: copy the full character
+                    if c < 0x80 {
+                        s.push(c as char);
+                    } else {
+                        self.pos -= 1;
+                        s.push(self.bump_char());
+                    }
+                }
+                None => return Err(SqlError::lex(start, "unterminated string literal")),
+            }
+        }
+    }
+
+    fn lex_quoted_ident(&mut self, quote: u8) -> Result<TokenKind, SqlError> {
+        let start = self.pos;
+        self.bump();
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                Some(c) if c == quote => {
+                    if self.peek() == Some(quote) {
+                        self.bump();
+                        s.push(quote as char);
+                    } else {
+                        return Ok(TokenKind::QuotedIdent(s));
+                    }
+                }
+                Some(c) if c < 0x80 => s.push(c as char),
+                Some(_) => {
+                    // multi-byte identifier character
+                    self.pos -= 1;
+                    s.push(self.bump_char());
+                }
+                None => return Err(SqlError::lex(start, "unterminated quoted identifier")),
+            }
+        }
+    }
+
+    fn lex_number(&mut self) -> TokenKind {
+        let start = self.pos;
+        let mut seen_dot = false;
+        let mut seen_exp = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => {}
+                b'.' if !seen_dot && !seen_exp => seen_dot = true,
+                b'e' | b'E' if !seen_exp => {
+                    seen_exp = true;
+                    if matches!(self.peek2(), Some(b'+') | Some(b'-')) {
+                        self.pos += 1;
+                    }
+                }
+                _ => break,
+            }
+            self.pos += 1;
+        }
+        TokenKind::Number(self.src[start..self.pos].to_string())
+    }
+
+    fn lex_ident(&mut self) -> TokenKind {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || b == b'_' || b == b'$' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        TokenKind::Ident(self.src[start..self.pos].to_string())
+    }
+
+    fn lex_symbol(&mut self, start: usize) -> Result<TokenKind, SqlError> {
+        let b = self.bump().expect("caller checked non-empty");
+        let kind = match b {
+            b',' => TokenKind::Comma,
+            b'.' => TokenKind::Dot,
+            b'(' => TokenKind::LParen,
+            b')' => TokenKind::RParen,
+            b';' => TokenKind::Semicolon,
+            b'+' => TokenKind::Plus,
+            b'-' => TokenKind::Minus,
+            b'*' => TokenKind::Star,
+            b'/' => TokenKind::Slash,
+            b'%' => TokenKind::Percent,
+            b'?' => TokenKind::Param,
+            b'=' => {
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                }
+                TokenKind::Eq
+            }
+            b'<' => match self.peek() {
+                Some(b'=') => {
+                    self.bump();
+                    TokenKind::LtEq
+                }
+                Some(b'>') => {
+                    self.bump();
+                    TokenKind::NotEq
+                }
+                _ => TokenKind::Lt,
+            },
+            b'>' => {
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    TokenKind::GtEq
+                } else {
+                    TokenKind::Gt
+                }
+            }
+            b'!' => {
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    TokenKind::NotEq
+                } else {
+                    return Err(SqlError::lex(start, "unexpected '!'"));
+                }
+            }
+            b'|' => {
+                if self.peek() == Some(b'|') {
+                    self.bump();
+                    TokenKind::Concat
+                } else {
+                    return Err(SqlError::lex(start, "unexpected '|'"));
+                }
+            }
+            other => {
+                return Err(SqlError::lex(
+                    start,
+                    format!("unexpected character '{}'", other as char),
+                ))
+            }
+        };
+        Ok(kind)
+    }
+}
+
+/// Convenience: tokenize a full statement.
+pub fn tokenize(src: &str) -> Result<Vec<Token>, SqlError> {
+    Lexer::new(src).tokenize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::TokenKind as T;
+
+    fn kinds(src: &str) -> Vec<T> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn simple_select() {
+        let k = kinds("SELECT * FROM t WHERE id = 1");
+        assert_eq!(
+            k,
+            vec![
+                T::Ident("SELECT".into()),
+                T::Star,
+                T::Ident("FROM".into()),
+                T::Ident("t".into()),
+                T::Ident("WHERE".into()),
+                T::Ident("id".into()),
+                T::Eq,
+                T::Number("1".into()),
+                T::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(
+            kinds("'o''brien'")[0],
+            T::String("o'brien".into())
+        );
+        assert_eq!(kinds(r"'a\nb'")[0], T::String("a\nb".into()));
+    }
+
+    #[test]
+    fn quoted_identifiers_both_dialects() {
+        assert_eq!(kinds("`order`")[0], T::QuotedIdent("order".into()));
+        assert_eq!(kinds("\"order\"")[0], T::QuotedIdent("order".into()));
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(kinds("3.14")[0], T::Number("3.14".into()));
+        assert_eq!(kinds("1e10")[0], T::Number("1e10".into()));
+        assert_eq!(kinds("2.5e-3")[0], T::Number("2.5e-3".into()));
+        assert_eq!(kinds(".5")[0], T::Number(".5".into()));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let k = kinds("SELECT 1 -- trailing\n+ 2 /* block */ # hash\n");
+        assert_eq!(k.len(), 5); // SELECT 1 + 2 <eof>
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let k = kinds("a <= b >= c <> d != e < f > g");
+        assert!(k.contains(&T::LtEq));
+        assert!(k.contains(&T::GtEq));
+        assert_eq!(k.iter().filter(|t| **t == T::NotEq).count(), 2);
+    }
+
+    #[test]
+    fn params() {
+        let k = kinds("INSERT INTO t VALUES (?, ?)");
+        assert_eq!(k.iter().filter(|t| **t == T::Param).count(), 2);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(tokenize("'oops").is_err());
+        assert!(tokenize("`oops").is_err());
+        assert!(tokenize("/* oops").is_err());
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        assert_eq!(kinds("'héllo 世界'")[0], T::String("héllo 世界".into()));
+        // escaped multi-byte characters keep char boundaries intact
+        assert_eq!(kinds(r"'a\ઃb'")[0], T::String("aઃb".into()));
+        assert_eq!(kinds("`名前`")[0], T::QuotedIdent("名前".into()));
+    }
+
+    #[test]
+    fn spans_cover_source() {
+        let toks = tokenize("SELECT id").unwrap();
+        assert_eq!(&"SELECT id"[toks[0].start..toks[0].end], "SELECT");
+        assert_eq!(&"SELECT id"[toks[1].start..toks[1].end], "id");
+    }
+}

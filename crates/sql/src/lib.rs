@@ -1,0 +1,31 @@
+//! # shard-sql
+//!
+//! SQL front-end for ShardingSphere-RS: lexer, recursive-descent parser,
+//! owned AST, dialect-aware formatter, and DistSQL (the paper's RDL/RQL/RAL
+//! configuration language).
+//!
+//! ```
+//! use shard_sql::{parse_statement, format_statement, Dialect};
+//!
+//! let stmt = parse_statement("SELECT * FROM t_user WHERE uid IN (1, 2)").unwrap();
+//! assert_eq!(
+//!     format_statement(&stmt, Dialect::MySql),
+//!     "SELECT * FROM t_user WHERE uid IN (1, 2)",
+//! );
+//! ```
+
+pub mod ast;
+pub mod dialect;
+pub mod error;
+pub mod format;
+pub mod lexer;
+pub mod parser;
+pub mod token;
+pub mod value;
+
+pub use ast::{Expr, Statement};
+pub use dialect::Dialect;
+pub use error::SqlError;
+pub use format::{format_expr, format_statement};
+pub use parser::{parse_statement, parse_statements};
+pub use value::Value;

@@ -1,0 +1,260 @@
+//! CREATE TABLE / CREATE INDEX parsing.
+
+use super::{parse_number, Parser};
+use crate::ast::*;
+use crate::error::SqlError;
+use crate::token::TokenKind;
+use crate::value::Value;
+
+impl Parser {
+    /// Caller has consumed `CREATE`; current token is `TABLE`.
+    pub(crate) fn parse_create_table(&mut self) -> Result<CreateTableStatement, SqlError> {
+        self.expect_kw("TABLE")?;
+        let if_not_exists = if self.at_kw("IF") {
+            self.advance();
+            self.expect_kw("NOT")?;
+            self.expect_kw("EXISTS")?;
+            true
+        } else {
+            false
+        };
+        let name = ObjectName::new(self.expect_ident()?);
+        self.expect(&TokenKind::LParen)?;
+        let mut columns = Vec::new();
+        let mut primary_key: Vec<String> = Vec::new();
+        loop {
+            if self.at_kw("PRIMARY") {
+                self.advance();
+                self.expect_kw("KEY")?;
+                self.expect(&TokenKind::LParen)?;
+                primary_key.push(self.expect_ident()?);
+                while self.eat(&TokenKind::Comma) {
+                    primary_key.push(self.expect_ident()?);
+                }
+                self.expect(&TokenKind::RParen)?;
+            } else {
+                columns.push(self.parse_column_def(&mut primary_key)?);
+            }
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        // Swallow table options like ENGINE=InnoDB.
+        while !self.at_eof() && !self.check(&TokenKind::Semicolon) {
+            self.advance();
+        }
+        if columns.is_empty() {
+            return Err(self.err("CREATE TABLE requires at least one column"));
+        }
+        for pk in &primary_key {
+            if !columns.iter().any(|c| c.name.eq_ignore_ascii_case(pk)) {
+                return Err(self.err(format!("PRIMARY KEY column '{pk}' not defined")));
+            }
+        }
+        Ok(CreateTableStatement {
+            name,
+            if_not_exists,
+            columns,
+            primary_key,
+        })
+    }
+
+    fn parse_column_def(&mut self, primary_key: &mut Vec<String>) -> Result<ColumnDef, SqlError> {
+        let name = self.expect_ident()?;
+        let data_type = self.parse_data_type()?;
+        let mut def = ColumnDef::new(name, data_type);
+        loop {
+            if self.at_kw("NOT") {
+                self.advance();
+                self.expect_kw("NULL")?;
+                def.not_null = true;
+            } else if self.eat_kw("NULL") {
+                def.not_null = false;
+            } else if self.at_kw("DEFAULT") {
+                self.advance();
+                def.default = Some(self.parse_default_value()?);
+            } else if self.at_kw("PRIMARY") {
+                self.advance();
+                self.expect_kw("KEY")?;
+                primary_key.push(def.name.clone());
+                def.not_null = true;
+            } else if self.eat_kw("AUTO_INCREMENT") {
+                def.auto_increment = true;
+            } else if self.eat_kw("UNIQUE") {
+                // accepted but not enforced separately from PK
+            } else {
+                break;
+            }
+        }
+        Ok(def)
+    }
+
+    fn parse_default_value(&mut self) -> Result<Value, SqlError> {
+        match self.advance() {
+            TokenKind::Number(n) => Ok(parse_number(&n)),
+            TokenKind::String(s) => Ok(Value::Str(s)),
+            TokenKind::Ident(w) if w.eq_ignore_ascii_case("NULL") => Ok(Value::Null),
+            TokenKind::Ident(w) if w.eq_ignore_ascii_case("TRUE") => Ok(Value::Bool(true)),
+            TokenKind::Ident(w) if w.eq_ignore_ascii_case("FALSE") => Ok(Value::Bool(false)),
+            TokenKind::Ident(w) if w.eq_ignore_ascii_case("CURRENT_TIMESTAMP") => {
+                Ok(Value::Int(0))
+            }
+            other => Err(self.err(format!("unsupported DEFAULT value '{other}'"))),
+        }
+    }
+
+    fn parse_data_type(&mut self) -> Result<DataType, SqlError> {
+        let name = self.expect_ident()?.to_uppercase();
+        let dt = match name.as_str() {
+            "INT" | "INTEGER" | "SMALLINT" | "TINYINT" | "MEDIUMINT" => DataType::Int,
+            "BIGINT" => DataType::BigInt,
+            "FLOAT" | "REAL" => DataType::Float,
+            "DOUBLE" => DataType::Double,
+            "DECIMAL" | "NUMERIC" => {
+                // DECIMAL(p, s): precision/scale accepted and ignored (we
+                // store decimals as f64, which is enough for the benchmarks).
+                if self.eat(&TokenKind::LParen) {
+                    self.advance();
+                    if self.eat(&TokenKind::Comma) {
+                        self.advance();
+                    }
+                    self.expect(&TokenKind::RParen)?;
+                }
+                return Ok(DataType::Decimal);
+            }
+            "VARCHAR" | "CHARACTER" => DataType::Varchar(self.parse_type_len()? as u32),
+            "CHAR" => DataType::Char(self.parse_type_len()? as u32),
+            "TEXT" | "LONGTEXT" | "MEDIUMTEXT" => DataType::Text,
+            "BOOL" | "BOOLEAN" => DataType::Bool,
+            "TIMESTAMP" | "DATETIME" | "DATE" | "TIME" => DataType::Timestamp,
+            other => return Err(self.err(format!("unsupported data type '{other}'"))),
+        };
+        // INT(11) style display widths.
+        if matches!(dt, DataType::Int | DataType::BigInt) && self.eat(&TokenKind::LParen) {
+            self.advance();
+            self.expect(&TokenKind::RParen)?;
+        }
+        Ok(dt)
+    }
+
+    fn parse_type_len(&mut self) -> Result<u64, SqlError> {
+        if !self.eat(&TokenKind::LParen) {
+            return Ok(255);
+        }
+        let n = match self.advance() {
+            TokenKind::Number(n) => n
+                .parse::<u64>()
+                .map_err(|_| self.err("type length must be an integer"))?,
+            other => return Err(self.err(format!("expected type length, found '{other}'"))),
+        };
+        self.expect(&TokenKind::RParen)?;
+        Ok(n)
+    }
+
+    /// Caller consumed `CREATE`; current token is `UNIQUE` or `INDEX`.
+    pub(crate) fn parse_create_index(&mut self) -> Result<CreateIndexStatement, SqlError> {
+        let unique = self.eat_kw("UNIQUE");
+        self.expect_kw("INDEX")?;
+        let name = self.expect_ident()?;
+        self.expect_kw("ON")?;
+        let table = ObjectName::new(self.expect_ident()?);
+        self.expect(&TokenKind::LParen)?;
+        let mut columns = vec![self.expect_ident()?];
+        while self.eat(&TokenKind::Comma) {
+            columns.push(self.expect_ident()?);
+        }
+        self.expect(&TokenKind::RParen)?;
+        Ok(CreateIndexStatement {
+            name,
+            table,
+            columns,
+            unique,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::ast::*;
+    use crate::parser::parse_statement;
+
+    fn create(src: &str) -> CreateTableStatement {
+        match parse_statement(src).unwrap() {
+            Statement::CreateTable(c) => c,
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn basic_create_table() {
+        let c = create(
+            "CREATE TABLE t_user (uid BIGINT NOT NULL, name VARCHAR(64), age INT, PRIMARY KEY (uid))",
+        );
+        assert_eq!(c.name.as_str(), "t_user");
+        assert_eq!(c.columns.len(), 3);
+        assert_eq!(c.primary_key, vec!["uid"]);
+        assert!(c.columns[0].not_null);
+        assert_eq!(c.columns[1].data_type, DataType::Varchar(64));
+    }
+
+    #[test]
+    fn inline_primary_key() {
+        let c = create("CREATE TABLE t (id INT PRIMARY KEY AUTO_INCREMENT, v TEXT)");
+        assert_eq!(c.primary_key, vec!["id"]);
+        assert!(c.columns[0].auto_increment);
+        assert!(c.columns[0].not_null);
+    }
+
+    #[test]
+    fn if_not_exists() {
+        assert!(create("CREATE TABLE IF NOT EXISTS t (id INT)").if_not_exists);
+    }
+
+    #[test]
+    fn decimal_precision_ignored() {
+        let c = create("CREATE TABLE t (amount DECIMAL(12, 2))");
+        assert_eq!(c.columns[0].data_type, DataType::Decimal);
+    }
+
+    #[test]
+    fn int_display_width() {
+        let c = create("CREATE TABLE t (id INT(11))");
+        assert_eq!(c.columns[0].data_type, DataType::Int);
+    }
+
+    #[test]
+    fn default_values() {
+        let c = create("CREATE TABLE t (a INT DEFAULT 5, b VARCHAR(10) DEFAULT 'x')");
+        assert_eq!(c.columns[0].default, Some(5i64.into()));
+        assert_eq!(c.columns[1].default, Some("x".into()));
+    }
+
+    #[test]
+    fn missing_pk_column_rejected() {
+        assert!(parse_statement("CREATE TABLE t (a INT, PRIMARY KEY (zzz))").is_err());
+    }
+
+    #[test]
+    fn empty_table_rejected() {
+        assert!(parse_statement("CREATE TABLE t ()").is_err());
+    }
+
+    #[test]
+    fn create_index() {
+        match parse_statement("CREATE UNIQUE INDEX idx_uid ON t_user (uid, name)").unwrap() {
+            Statement::CreateIndex(i) => {
+                assert!(i.unique);
+                assert_eq!(i.columns, vec!["uid", "name"]);
+                assert_eq!(i.table.as_str(), "t_user");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn composite_primary_key() {
+        let c = create("CREATE TABLE t (a INT, b INT, PRIMARY KEY (a, b))");
+        assert_eq!(c.primary_key, vec!["a", "b"]);
+    }
+}

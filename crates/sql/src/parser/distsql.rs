@@ -1,0 +1,472 @@
+//! DistSQL parsing (RDL / RQL / RAL), per the paper's Section V-A.
+//!
+//! Grammar examples:
+//!
+//! ```sql
+//! CREATE SHARDING TABLE RULE t_user_h (
+//!     RESOURCES(ds0, ds1),
+//!     SHARDING_COLUMN=uid,
+//!     TYPE=hash_mod,
+//!     PROPERTIES("sharding-count"=2)
+//! );
+//! SHOW SHARDING TABLE RULES;
+//! SET VARIABLE transaction_type = XA;
+//! PREVIEW SELECT * FROM t_user WHERE uid = 1;
+//! ```
+
+use super::Parser;
+use crate::ast::*;
+use crate::error::SqlError;
+use crate::token::TokenKind;
+
+impl Parser {
+    pub(crate) fn parse_distsql(&mut self) -> Result<Statement, SqlError> {
+        if self.at_kw("CREATE") || self.at_kw("ALTER") {
+            let alter = self.at_kw("ALTER");
+            self.advance();
+            if self.at_kw("SHARDING") {
+                self.advance();
+                if self.at_kw("TABLE") {
+                    self.advance();
+                    self.expect_kw("RULE")?;
+                    let rule = self.parse_sharding_rule_spec()?;
+                    return Ok(Statement::DistSql(DistSqlStatement::CreateShardingTableRule {
+                        alter,
+                        rule,
+                    }));
+                }
+                if self.at_kw("BINDING") {
+                    self.advance();
+                    self.expect_kw("TABLE")?;
+                    self.expect_kw("RULES")?;
+                    let tables = self.parse_paren_name_list()?;
+                    return Ok(Statement::DistSql(DistSqlStatement::CreateBindingTableRule {
+                        tables,
+                    }));
+                }
+                return Err(self.err("expected TABLE or BINDING after SHARDING"));
+            }
+            if self.at_kw("BROADCAST") {
+                self.advance();
+                self.expect_kw("TABLE")?;
+                self.expect_kw("RULE")?;
+                let mut tables = vec![self.expect_ident()?];
+                while self.eat(&TokenKind::Comma) {
+                    tables.push(self.expect_ident()?);
+                }
+                return Ok(Statement::DistSql(DistSqlStatement::CreateBroadcastTableRule {
+                    tables,
+                }));
+            }
+            if self.at_kw("READWRITE_SPLITTING") {
+                self.advance();
+                self.expect_kw("RULE")?;
+                let name = self.expect_ident()?;
+                self.expect(&TokenKind::LParen)?;
+                let mut write_resource = None;
+                let mut read_resources = Vec::new();
+                loop {
+                    if self.at_kw("WRITE_RESOURCE") {
+                        self.advance();
+                        self.expect(&TokenKind::Eq)?;
+                        write_resource = Some(self.expect_ident()?);
+                    } else if self.at_kw("READ_RESOURCES") {
+                        self.advance();
+                        read_resources = self.parse_paren_name_list()?;
+                    } else {
+                        return Err(self.err("expected WRITE_RESOURCE or READ_RESOURCES"));
+                    }
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&TokenKind::RParen)?;
+                let write_resource =
+                    write_resource.ok_or_else(|| self.err("rule requires WRITE_RESOURCE"))?;
+                if read_resources.is_empty() {
+                    return Err(self.err("rule requires READ_RESOURCES"));
+                }
+                return Ok(Statement::DistSql(
+                    DistSqlStatement::CreateReadwriteSplittingRule {
+                        name,
+                        write_resource,
+                        read_resources,
+                    },
+                ));
+            }
+            return Err(self.err("expected SHARDING, BROADCAST or READWRITE_SPLITTING"));
+        }
+
+        if self.at_kw("DROP") {
+            self.advance();
+            if self.at_kw("SHARDING") {
+                self.advance();
+                if self.at_kw("TABLE") {
+                    self.advance();
+                    self.expect_kw("RULE")?;
+                    let table = self.expect_ident()?;
+                    return Ok(Statement::DistSql(DistSqlStatement::DropShardingTableRule {
+                        table,
+                    }));
+                }
+                if self.at_kw("BINDING") {
+                    self.advance();
+                    self.expect_kw("TABLE")?;
+                    self.expect_kw("RULES")?;
+                    let tables = self.parse_paren_name_list()?;
+                    return Ok(Statement::DistSql(DistSqlStatement::DropBindingTableRule {
+                        tables,
+                    }));
+                }
+                return Err(self.err("expected TABLE or BINDING after SHARDING"));
+            }
+            if self.at_kw("BROADCAST") {
+                self.advance();
+                self.expect_kw("TABLE")?;
+                self.expect_kw("RULE")?;
+                let mut tables = vec![self.expect_ident()?];
+                while self.eat(&TokenKind::Comma) {
+                    tables.push(self.expect_ident()?);
+                }
+                return Ok(Statement::DistSql(DistSqlStatement::DropBroadcastTableRule {
+                    tables,
+                }));
+            }
+            if self.at_kw("RESOURCE") {
+                self.advance();
+                let name = self.expect_ident()?;
+                return Ok(Statement::DistSql(DistSqlStatement::DropResource { name }));
+            }
+            return Err(self.err("expected SHARDING, BROADCAST or RESOURCE after DROP"));
+        }
+
+        if self.at_kw("ADD") {
+            self.advance();
+            self.expect_kw("RESOURCE")?;
+            let name = self.expect_ident()?;
+            let mut props = Vec::new();
+            if self.eat(&TokenKind::LParen) {
+                if !self.check(&TokenKind::RParen) {
+                    loop {
+                        let key = self.parse_prop_key()?;
+                        self.expect(&TokenKind::Eq)?;
+                        let value = self.parse_variable_value()?;
+                        props.push((key, value));
+                        if !self.eat(&TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&TokenKind::RParen)?;
+            }
+            return Ok(Statement::DistSql(DistSqlStatement::AddResource { name, props }));
+        }
+
+        if self.at_kw("SHOW") {
+            self.advance();
+            if self.at_kw("SHARDING") {
+                self.advance();
+                if self.at_kw("TABLE") {
+                    self.advance();
+                    if self.eat_kw("RULES") {
+                        return Ok(Statement::DistSql(DistSqlStatement::ShowShardingTableRules {
+                            table: None,
+                        }));
+                    }
+                    self.expect_kw("RULE")?;
+                    let table = self.expect_ident()?;
+                    return Ok(Statement::DistSql(DistSqlStatement::ShowShardingTableRules {
+                        table: Some(table),
+                    }));
+                }
+                if self.at_kw("BINDING") {
+                    self.advance();
+                    self.expect_kw("TABLE")?;
+                    self.expect_kw("RULES")?;
+                    return Ok(Statement::DistSql(DistSqlStatement::ShowBindingTableRules));
+                }
+                if self.at_kw("ALGORITHMS") {
+                    self.advance();
+                    return Ok(Statement::DistSql(DistSqlStatement::ShowShardingAlgorithms));
+                }
+                return Err(self.err("expected TABLE, BINDING or ALGORITHMS"));
+            }
+            if self.at_kw("BROADCAST") {
+                self.advance();
+                self.expect_kw("TABLE")?;
+                self.expect_kw("RULES")?;
+                return Ok(Statement::DistSql(DistSqlStatement::ShowBroadcastTableRules));
+            }
+            if self.at_kw("READWRITE_SPLITTING") {
+                self.advance();
+                self.expect_kw("RULES")?;
+                return Ok(Statement::DistSql(
+                    DistSqlStatement::ShowReadwriteSplittingRules,
+                ));
+            }
+            if self.at_kw("RESOURCES") {
+                self.advance();
+                return Ok(Statement::DistSql(DistSqlStatement::ShowResources));
+            }
+            if self.at_kw("VARIABLE") {
+                self.advance();
+                let name = self.expect_ident()?;
+                return Ok(Statement::DistSql(DistSqlStatement::ShowVariable {
+                    name: name.to_lowercase(),
+                }));
+            }
+            return Err(self.err("unsupported SHOW target"));
+        }
+
+        if self.at_kw("PREVIEW") {
+            self.advance();
+            // Capture the rest of the statement verbatim: re-lex from the
+            // current offset to end-of-input.
+            let start = self.offset();
+            let mut end = start;
+            while !self.at_eof() && !self.check(&TokenKind::Semicolon) {
+                end = self.current_end();
+                self.advance();
+            }
+            return Ok(Statement::DistSql(DistSqlStatement::Preview {
+                sql: self.source_slice(start, end),
+            }));
+        }
+
+        Err(self.err("unrecognised DistSQL statement"))
+    }
+
+    fn parse_sharding_rule_spec(&mut self) -> Result<ShardingRuleSpec, SqlError> {
+        let table = self.expect_ident()?;
+        self.expect(&TokenKind::LParen)?;
+        let mut resources = Vec::new();
+        let mut sharding_column = None;
+        let mut algorithm_type = None;
+        let mut props = Vec::new();
+        let mut backtrack;
+        loop {
+            backtrack = false;
+            if self.at_kw("RESOURCES") {
+                self.advance();
+                resources = self.parse_paren_name_list()?;
+            } else if self.at_kw("SHARDING_COLUMN") || self.at_kw("SHARDING_COLUMNS") {
+                self.advance();
+                self.expect(&TokenKind::Eq)?;
+                let mut cols = vec![self.expect_ident()?];
+                while self.eat(&TokenKind::Comma) {
+                    // lookahead: the next clause keyword means the comma
+                    // separated the rule clauses, not column names
+                    if self.at_kw("TYPE")
+                        || self.at_kw("PROPERTIES")
+                        || self.at_kw("RESOURCES")
+                        || self.at_kw("SHARDING_COLUMN")
+                    {
+                        backtrack = true;
+                        break;
+                    }
+                    cols.push(self.expect_ident()?);
+                }
+                sharding_column = Some(cols.join(","));
+            } else if self.at_kw("TYPE") {
+                self.advance();
+                self.expect(&TokenKind::Eq)?;
+                algorithm_type = Some(self.parse_variable_value()?.to_lowercase());
+            } else if self.at_kw("PROPERTIES") {
+                self.advance();
+                self.expect(&TokenKind::LParen)?;
+                if !self.check(&TokenKind::RParen) {
+                    loop {
+                        let key = self.parse_prop_key()?;
+                        self.expect(&TokenKind::Eq)?;
+                        let value = self.parse_variable_value()?;
+                        props.push((key, value));
+                        if !self.eat(&TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&TokenKind::RParen)?;
+            } else {
+                return Err(self.err(format!(
+                    "expected RESOURCES, SHARDING_COLUMN, TYPE or PROPERTIES, found '{}'",
+                    self.peek()
+                )));
+            }
+            if backtrack {
+                continue; // the separating comma was already consumed
+            }
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        let sharding_column =
+            sharding_column.ok_or_else(|| self.err("sharding rule requires SHARDING_COLUMN"))?;
+        let algorithm_type =
+            algorithm_type.ok_or_else(|| self.err("sharding rule requires TYPE"))?;
+        if resources.is_empty() {
+            return Err(self.err("sharding rule requires RESOURCES"));
+        }
+        Ok(ShardingRuleSpec {
+            table,
+            resources,
+            sharding_column,
+            algorithm_type,
+            props,
+        })
+    }
+
+    fn parse_paren_name_list(&mut self) -> Result<Vec<String>, SqlError> {
+        self.expect(&TokenKind::LParen)?;
+        let mut names = vec![self.expect_ident()?];
+        while self.eat(&TokenKind::Comma) {
+            names.push(self.expect_ident()?);
+        }
+        self.expect(&TokenKind::RParen)?;
+        Ok(names)
+    }
+
+    /// Property keys may be quoted strings ("sharding-count") or identifiers.
+    fn parse_prop_key(&mut self) -> Result<String, SqlError> {
+        match self.advance() {
+            TokenKind::String(s) | TokenKind::Ident(s) | TokenKind::QuotedIdent(s) => Ok(s),
+            other => Err(self.err(format!("expected property key, found '{other}'"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::ast::*;
+    use crate::parser::parse_statement;
+
+    fn distsql(src: &str) -> DistSqlStatement {
+        match parse_statement(src).unwrap() {
+            Statement::DistSql(d) => d,
+            other => panic!("expected DistSQL, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn create_sharding_table_rule_paper_example() {
+        let d = distsql(
+            "CREATE SHARDING TABLE RULE t_user_h (RESOURCES(ds0, ds1), \
+             SHARDING_COLUMN=uid, TYPE=hash_mod, PROPERTIES(\"sharding-count\"=2))",
+        );
+        match d {
+            DistSqlStatement::CreateShardingTableRule { alter, rule } => {
+                assert!(!alter);
+                assert_eq!(rule.table, "t_user_h");
+                assert_eq!(rule.resources, vec!["ds0", "ds1"]);
+                assert_eq!(rule.sharding_column, "uid");
+                assert_eq!(rule.algorithm_type, "hash_mod");
+                assert_eq!(rule.props, vec![("sharding-count".to_string(), "2".to_string())]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn alter_sharding_table_rule() {
+        let d = distsql(
+            "ALTER SHARDING TABLE RULE t (RESOURCES(a), SHARDING_COLUMN=x, TYPE=mod)",
+        );
+        assert!(matches!(
+            d,
+            DistSqlStatement::CreateShardingTableRule { alter: true, .. }
+        ));
+    }
+
+    #[test]
+    fn missing_required_clause_rejected() {
+        assert!(parse_statement("CREATE SHARDING TABLE RULE t (RESOURCES(a), TYPE=mod)").is_err());
+        assert!(parse_statement(
+            "CREATE SHARDING TABLE RULE t (SHARDING_COLUMN=x, TYPE=mod)"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn show_statements() {
+        assert_eq!(
+            distsql("SHOW SHARDING TABLE RULES"),
+            DistSqlStatement::ShowShardingTableRules { table: None }
+        );
+        assert_eq!(
+            distsql("SHOW SHARDING TABLE RULE t_user"),
+            DistSqlStatement::ShowShardingTableRules {
+                table: Some("t_user".into())
+            }
+        );
+        assert_eq!(distsql("SHOW RESOURCES"), DistSqlStatement::ShowResources);
+        assert_eq!(
+            distsql("SHOW SHARDING BINDING TABLE RULES"),
+            DistSqlStatement::ShowBindingTableRules
+        );
+        assert_eq!(
+            distsql("SHOW SHARDING ALGORITHMS"),
+            DistSqlStatement::ShowShardingAlgorithms
+        );
+    }
+
+    #[test]
+    fn set_variable_transaction_type() {
+        let d = distsql("SET VARIABLE transaction_type = XA");
+        assert_eq!(
+            d,
+            DistSqlStatement::SetVariable {
+                name: "transaction_type".into(),
+                value: "XA".into()
+            }
+        );
+    }
+
+    #[test]
+    fn binding_rules() {
+        let d = distsql("CREATE SHARDING BINDING TABLE RULES (t_user, t_order)");
+        assert_eq!(
+            d,
+            DistSqlStatement::CreateBindingTableRule {
+                tables: vec!["t_user".into(), "t_order".into()]
+            }
+        );
+    }
+
+    #[test]
+    fn broadcast_rule() {
+        let d = distsql("CREATE BROADCAST TABLE RULE t_dict, t_config");
+        assert_eq!(
+            d,
+            DistSqlStatement::CreateBroadcastTableRule {
+                tables: vec!["t_dict".into(), "t_config".into()]
+            }
+        );
+    }
+
+    #[test]
+    fn add_and_drop_resource() {
+        let d = distsql("ADD RESOURCE ds_2 (HOST=localhost, PORT=3306)");
+        match d {
+            DistSqlStatement::AddResource { name, props } => {
+                assert_eq!(name, "ds_2");
+                assert_eq!(props.len(), 2);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(
+            distsql("DROP RESOURCE ds_2"),
+            DistSqlStatement::DropResource { name: "ds_2".into() }
+        );
+    }
+
+    #[test]
+    fn preview_captures_inner_sql() {
+        let d = distsql("PREVIEW SELECT * FROM t_user WHERE uid = 1");
+        match d {
+            DistSqlStatement::Preview { sql } => {
+                assert_eq!(sql, "SELECT * FROM t_user WHERE uid = 1");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

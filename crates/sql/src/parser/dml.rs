@@ -1,0 +1,171 @@
+//! INSERT / UPDATE / DELETE parsing.
+
+use super::Parser;
+use crate::ast::*;
+use crate::error::SqlError;
+use crate::token::TokenKind;
+
+impl Parser {
+    pub(crate) fn parse_insert(&mut self) -> Result<InsertStatement, SqlError> {
+        self.expect_kw("INSERT")?;
+        self.expect_kw("INTO")?;
+        let table = ObjectName::new(self.expect_ident()?);
+        let mut columns = Vec::new();
+        if self.eat(&TokenKind::LParen) {
+            columns.push(self.expect_ident()?);
+            while self.eat(&TokenKind::Comma) {
+                columns.push(self.expect_ident()?);
+            }
+            self.expect(&TokenKind::RParen)?;
+        }
+        self.expect_kw("VALUES")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect(&TokenKind::LParen)?;
+            let mut row = vec![self.parse_expr()?];
+            while self.eat(&TokenKind::Comma) {
+                row.push(self.parse_expr()?);
+            }
+            self.expect(&TokenKind::RParen)?;
+            if !columns.is_empty() && row.len() != columns.len() {
+                return Err(self.err(format!(
+                    "INSERT row has {} values but {} columns were named",
+                    row.len(),
+                    columns.len()
+                )));
+            }
+            rows.push(row);
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        Ok(InsertStatement { table, columns, rows })
+    }
+
+    pub(crate) fn parse_update(&mut self) -> Result<UpdateStatement, SqlError> {
+        self.expect_kw("UPDATE")?;
+        let table_ref = self.parse_table_ref()?;
+        self.expect_kw("SET")?;
+        let mut assignments = Vec::new();
+        loop {
+            let column = self.expect_ident()?;
+            self.expect(&TokenKind::Eq)?;
+            let value = self.parse_expr()?;
+            assignments.push(Assignment { column, value });
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        let where_clause = if self.eat_kw("WHERE") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        Ok(UpdateStatement {
+            table: table_ref.name,
+            alias: table_ref.alias,
+            assignments,
+            where_clause,
+        })
+    }
+
+    pub(crate) fn parse_delete(&mut self) -> Result<DeleteStatement, SqlError> {
+        self.expect_kw("DELETE")?;
+        self.expect_kw("FROM")?;
+        let table_ref = self.parse_table_ref()?;
+        let where_clause = if self.eat_kw("WHERE") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        Ok(DeleteStatement {
+            table: table_ref.name,
+            alias: table_ref.alias,
+            where_clause,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::ast::*;
+    use crate::parser::parse_statement;
+    use crate::value::Value;
+
+    #[test]
+    fn insert_multi_row() {
+        let s = parse_statement("INSERT INTO t_order (oid, uid) VALUES (1, 10), (2, 20)").unwrap();
+        match s {
+            Statement::Insert(i) => {
+                assert_eq!(i.table.as_str(), "t_order");
+                assert_eq!(i.columns, vec!["oid", "uid"]);
+                assert_eq!(i.rows.len(), 2);
+                assert_eq!(i.rows[1][0], Expr::lit(2));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn insert_without_columns() {
+        let s = parse_statement("INSERT INTO t VALUES (1, 'x')").unwrap();
+        match s {
+            Statement::Insert(i) => {
+                assert!(i.columns.is_empty());
+                assert_eq!(i.rows[0][1], Expr::Literal(Value::Str("x".into())));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn insert_arity_mismatch_rejected() {
+        assert!(parse_statement("INSERT INTO t (a, b) VALUES (1)").is_err());
+    }
+
+    #[test]
+    fn insert_with_params() {
+        let s = parse_statement("INSERT INTO t (a, b) VALUES (?, ?)").unwrap();
+        match s {
+            Statement::Insert(i) => {
+                assert_eq!(i.rows[0][0], Expr::Param(0));
+                assert_eq!(i.rows[0][1], Expr::Param(1));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn update_with_where() {
+        let s = parse_statement("UPDATE t_user SET name = 'bob', age = age + 1 WHERE uid = 5")
+            .unwrap();
+        match s {
+            Statement::Update(u) => {
+                assert_eq!(u.assignments.len(), 2);
+                assert!(u.where_clause.is_some());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn delete_without_where() {
+        let s = parse_statement("DELETE FROM t_user").unwrap();
+        match s {
+            Statement::Delete(d) => {
+                assert_eq!(d.table.as_str(), "t_user");
+                assert!(d.where_clause.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn update_alias() {
+        let s = parse_statement("UPDATE t_user u SET name = 'x' WHERE u.uid = 1").unwrap();
+        match s {
+            Statement::Update(u) => assert_eq!(u.alias.as_deref(), Some("u")),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,429 @@
+//! Pratt-style expression parser with SQL precedence:
+//! OR < AND < NOT < comparison/BETWEEN/IN/LIKE/IS < additive < multiplicative
+//! < unary < primary.
+
+use super::{parse_number, Parser};
+use crate::ast::*;
+use crate::error::SqlError;
+use crate::token::TokenKind;
+use crate::value::Value;
+
+impl Parser {
+    pub(crate) fn parse_expr(&mut self) -> Result<Expr, SqlError> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr, SqlError> {
+        let mut left = self.parse_and()?;
+        while self.eat_kw("OR") {
+            let right = self.parse_and()?;
+            left = Expr::binary(left, BinaryOp::Or, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, SqlError> {
+        let mut left = self.parse_not()?;
+        while self.eat_kw("AND") {
+            let right = self.parse_not()?;
+            left = Expr::binary(left, BinaryOp::And, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> Result<Expr, SqlError> {
+        if self.eat_kw("NOT") {
+            let operand = self.parse_not()?;
+            return Ok(Expr::Unary {
+                op: UnaryOp::Not,
+                operand: Box::new(operand),
+            });
+        }
+        self.parse_comparison()
+    }
+
+    fn parse_comparison(&mut self) -> Result<Expr, SqlError> {
+        let left = self.parse_additive()?;
+
+        // NOT BETWEEN / NOT IN / NOT LIKE
+        let negated = if self.at_kw("NOT")
+            && (self.at_kw_n(1, "BETWEEN") || self.at_kw_n(1, "IN") || self.at_kw_n(1, "LIKE"))
+        {
+            self.advance();
+            true
+        } else {
+            false
+        };
+
+        if self.eat_kw("BETWEEN") {
+            let low = self.parse_additive()?;
+            self.expect_kw("AND")?;
+            let high = self.parse_additive()?;
+            return Ok(Expr::Between {
+                expr: Box::new(left),
+                negated,
+                low: Box::new(low),
+                high: Box::new(high),
+            });
+        }
+        if self.eat_kw("IN") {
+            self.expect(&TokenKind::LParen)?;
+            let mut list = vec![self.parse_expr()?];
+            while self.eat(&TokenKind::Comma) {
+                list.push(self.parse_expr()?);
+            }
+            self.expect(&TokenKind::RParen)?;
+            return Ok(Expr::InList {
+                expr: Box::new(left),
+                negated,
+                list,
+            });
+        }
+        if self.eat_kw("LIKE") {
+            let pattern = self.parse_additive()?;
+            return Ok(Expr::Like {
+                expr: Box::new(left),
+                negated,
+                pattern: Box::new(pattern),
+            });
+        }
+        if negated {
+            return Err(self.err("expected BETWEEN, IN or LIKE after NOT"));
+        }
+        if self.eat_kw("IS") {
+            let negated = self.eat_kw("NOT");
+            self.expect_kw("NULL")?;
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
+        }
+
+        let op = match self.peek() {
+            TokenKind::Eq => BinaryOp::Eq,
+            TokenKind::NotEq => BinaryOp::NotEq,
+            TokenKind::Lt => BinaryOp::Lt,
+            TokenKind::LtEq => BinaryOp::LtEq,
+            TokenKind::Gt => BinaryOp::Gt,
+            TokenKind::GtEq => BinaryOp::GtEq,
+            _ => return Ok(left),
+        };
+        self.advance();
+        let right = self.parse_additive()?;
+        Ok(Expr::binary(left, op, right))
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr, SqlError> {
+        let mut left = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinaryOp::Plus,
+                TokenKind::Minus => BinaryOp::Minus,
+                TokenKind::Concat => BinaryOp::Concat,
+                _ => return Ok(left),
+            };
+            self.advance();
+            let right = self.parse_multiplicative()?;
+            left = Expr::binary(left, op, right);
+        }
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expr, SqlError> {
+        let mut left = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinaryOp::Multiply,
+                TokenKind::Slash => BinaryOp::Divide,
+                TokenKind::Percent => BinaryOp::Modulo,
+                _ => return Ok(left),
+            };
+            self.advance();
+            let right = self.parse_unary()?;
+            left = Expr::binary(left, op, right);
+        }
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, SqlError> {
+        if self.eat(&TokenKind::Minus) {
+            // Fold negative numeric literals immediately.
+            if let TokenKind::Number(n) = self.peek().clone() {
+                self.advance();
+                return Ok(Expr::Literal(match parse_number(&n) {
+                    Value::Int(i) => Value::Int(-i),
+                    Value::Float(f) => Value::Float(-f),
+                    v => v,
+                }));
+            }
+            let operand = self.parse_unary()?;
+            return Ok(Expr::Unary {
+                op: UnaryOp::Minus,
+                operand: Box::new(operand),
+            });
+        }
+        if self.eat(&TokenKind::Plus) {
+            return self.parse_unary();
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, SqlError> {
+        match self.peek().clone() {
+            TokenKind::Number(n) => {
+                self.advance();
+                Ok(Expr::Literal(parse_number(&n)))
+            }
+            TokenKind::String(s) => {
+                self.advance();
+                Ok(Expr::Literal(Value::Str(s)))
+            }
+            TokenKind::Param => {
+                self.advance();
+                let idx = self.next_param();
+                Ok(Expr::Param(idx))
+            }
+            TokenKind::LParen => {
+                self.advance();
+                let inner = self.parse_expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(Expr::Nested(Box::new(inner)))
+            }
+            TokenKind::Ident(word) if word.eq_ignore_ascii_case("NULL") => {
+                self.advance();
+                Ok(Expr::Literal(Value::Null))
+            }
+            TokenKind::Ident(word) if word.eq_ignore_ascii_case("TRUE") => {
+                self.advance();
+                Ok(Expr::Literal(Value::Bool(true)))
+            }
+            TokenKind::Ident(word) if word.eq_ignore_ascii_case("FALSE") => {
+                self.advance();
+                Ok(Expr::Literal(Value::Bool(false)))
+            }
+            TokenKind::Ident(word) if word.eq_ignore_ascii_case("CASE") => self.parse_case(),
+            TokenKind::Ident(_) | TokenKind::QuotedIdent(_) => self.parse_name_or_call(),
+            other => Err(self.err(format!("unexpected token '{other}' in expression"))),
+        }
+    }
+
+    fn parse_case(&mut self) -> Result<Expr, SqlError> {
+        self.expect_kw("CASE")?;
+        let operand = if !self.at_kw("WHEN") {
+            Some(Box::new(self.parse_expr()?))
+        } else {
+            None
+        };
+        let mut branches = Vec::new();
+        while self.eat_kw("WHEN") {
+            let cond = self.parse_expr()?;
+            self.expect_kw("THEN")?;
+            let result = self.parse_expr()?;
+            branches.push((cond, result));
+        }
+        if branches.is_empty() {
+            return Err(self.err("CASE requires at least one WHEN branch"));
+        }
+        let else_result = if self.eat_kw("ELSE") {
+            Some(Box::new(self.parse_expr()?))
+        } else {
+            None
+        };
+        self.expect_kw("END")?;
+        Ok(Expr::Case {
+            operand,
+            branches,
+            else_result,
+        })
+    }
+
+    /// Identifier-led: column ref `a`, qualified `t.a`, qualified star `t.*`
+    /// (only valid in projections; caller filters) or function call `f(..)`.
+    fn parse_name_or_call(&mut self) -> Result<Expr, SqlError> {
+        let first = match self.advance() {
+            TokenKind::Ident(s) | TokenKind::QuotedIdent(s) => s,
+            _ => unreachable!("caller checked identifier"),
+        };
+        if self.check(&TokenKind::LParen) {
+            return self.parse_function(first);
+        }
+        if self.eat(&TokenKind::Dot) {
+            let column = self.expect_ident()?;
+            return Ok(Expr::Column(ColumnRef {
+                table: Some(first),
+                column,
+            }));
+        }
+        Ok(Expr::Column(ColumnRef {
+            table: None,
+            column: first,
+        }))
+    }
+
+    fn parse_function(&mut self, name: String) -> Result<Expr, SqlError> {
+        self.expect(&TokenKind::LParen)?;
+        let name = name.to_uppercase();
+        let mut call = FunctionCall {
+            name,
+            args: Vec::new(),
+            distinct: false,
+            star: false,
+        };
+        if self.eat(&TokenKind::Star) {
+            call.star = true;
+            self.expect(&TokenKind::RParen)?;
+            return Ok(Expr::Function(call));
+        }
+        if self.check(&TokenKind::RParen) {
+            self.advance();
+            return Ok(Expr::Function(call));
+        }
+        if self.eat_kw("DISTINCT") {
+            call.distinct = true;
+        }
+        call.args.push(self.parse_expr()?);
+        while self.eat(&TokenKind::Comma) {
+            call.args.push(self.parse_expr()?);
+        }
+        self.expect(&TokenKind::RParen)?;
+        Ok(Expr::Function(call))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn expr(src: &str) -> Expr {
+        let mut p = Parser::new(src).unwrap();
+        let e = p.parse_expr().unwrap();
+        p.expect_eof().unwrap();
+        e
+    }
+
+    #[test]
+    fn precedence_and_over_or() {
+        // a OR b AND c  =>  a OR (b AND c)
+        let e = expr("a = 1 OR b = 2 AND c = 3");
+        match e {
+            Expr::Binary { op: BinaryOp::Or, right, .. } => match *right {
+                Expr::Binary { op: BinaryOp::And, .. } => {}
+                other => panic!("expected AND on right, got {other:?}"),
+            },
+            other => panic!("expected OR at top, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let e = expr("1 + 2 * 3");
+        match e {
+            Expr::Binary { op: BinaryOp::Plus, right, .. } => {
+                assert!(matches!(*right, Expr::Binary { op: BinaryOp::Multiply, .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn between_and_binds_to_between() {
+        let e = expr("x BETWEEN 1 AND 2 AND y = 3");
+        assert!(matches!(e, Expr::Binary { op: BinaryOp::And, .. }));
+    }
+
+    #[test]
+    fn in_list() {
+        let e = expr("uid IN (1, 2, 3)");
+        match e {
+            Expr::InList { list, negated, .. } => {
+                assert_eq!(list.len(), 3);
+                assert!(!negated);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn not_in() {
+        assert!(matches!(
+            expr("uid NOT IN (1)"),
+            Expr::InList { negated: true, .. }
+        ));
+        assert!(matches!(
+            expr("name NOT LIKE 'a%'"),
+            Expr::Like { negated: true, .. }
+        ));
+    }
+
+    #[test]
+    fn is_null_forms() {
+        assert!(matches!(expr("x IS NULL"), Expr::IsNull { negated: false, .. }));
+        assert!(matches!(expr("x IS NOT NULL"), Expr::IsNull { negated: true, .. }));
+    }
+
+    #[test]
+    fn negative_literal_folded() {
+        assert_eq!(expr("-5"), Expr::Literal(Value::Int(-5)));
+        assert_eq!(expr("-2.5"), Expr::Literal(Value::Float(-2.5)));
+    }
+
+    #[test]
+    fn count_star_and_distinct() {
+        match expr("COUNT(*)") {
+            Expr::Function(f) => {
+                assert!(f.star);
+                assert_eq!(f.name, "COUNT");
+            }
+            other => panic!("{other:?}"),
+        }
+        match expr("count(DISTINCT uid)") {
+            Expr::Function(f) => {
+                assert!(f.distinct);
+                assert_eq!(f.args.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn qualified_column() {
+        assert_eq!(expr("u.uid"), Expr::qcol("u", "uid"));
+    }
+
+    #[test]
+    fn params_get_sequential_indexes() {
+        let mut p = Parser::new("? + ?").unwrap();
+        let e = p.parse_expr().unwrap();
+        match e {
+            Expr::Binary { left, right, .. } => {
+                assert_eq!(*left, Expr::Param(0));
+                assert_eq!(*right, Expr::Param(1));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn case_expression() {
+        let e = expr("CASE WHEN x = 1 THEN 'a' ELSE 'b' END");
+        match e {
+            Expr::Case { operand, branches, else_result } => {
+                assert!(operand.is_none());
+                assert_eq!(branches.len(), 1);
+                assert!(else_result.is_some());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_parens_preserved() {
+        assert!(matches!(expr("(1 + 2)"), Expr::Nested(_)));
+    }
+
+    #[test]
+    fn not_operator() {
+        assert!(matches!(
+            expr("NOT x = 1"),
+            Expr::Unary { op: UnaryOp::Not, .. }
+        ));
+    }
+}

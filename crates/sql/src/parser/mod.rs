@@ -1,0 +1,423 @@
+//! Recursive-descent parser.
+//!
+//! Entry points: [`parse_statement`] for a single statement and
+//! [`parse_statements`] for a `;`-separated script. DistSQL statements are
+//! recognised by their leading keywords and handled in the `distsql`
+//! submodule.
+
+mod ddl;
+mod distsql;
+mod dml;
+mod expr;
+mod select;
+
+use crate::ast::*;
+use crate::error::SqlError;
+use crate::lexer::tokenize;
+use crate::token::{Token, TokenKind};
+use crate::value::Value;
+
+/// Parse exactly one statement (a trailing `;` is permitted).
+pub fn parse_statement(sql: &str) -> Result<Statement, SqlError> {
+    let mut p = Parser::new(sql)?;
+    let stmt = p.parse_statement()?;
+    p.eat(&TokenKind::Semicolon);
+    p.expect_eof()?;
+    Ok(stmt)
+}
+
+/// Parse a `;`-separated script into statements.
+pub fn parse_statements(sql: &str) -> Result<Vec<Statement>, SqlError> {
+    let mut p = Parser::new(sql)?;
+    let mut out = Vec::new();
+    loop {
+        while p.eat(&TokenKind::Semicolon) {}
+        if p.at_eof() {
+            return Ok(out);
+        }
+        out.push(p.parse_statement()?);
+        if !p.at_eof() && !p.check(&TokenKind::Semicolon) {
+            return Err(p.err("expected ';' between statements"));
+        }
+    }
+}
+
+pub(crate) struct Parser {
+    src: String,
+    tokens: Vec<Token>,
+    pos: usize,
+    /// Running count of `?` placeholders, assigning each its index.
+    pub(crate) param_count: usize,
+}
+
+impl Parser {
+    pub(crate) fn new(sql: &str) -> Result<Self, SqlError> {
+        Ok(Parser {
+            src: sql.to_string(),
+            tokens: tokenize(sql)?,
+            pos: 0,
+            param_count: 0,
+        })
+    }
+
+    /// End offset of the current token (for verbatim source capture).
+    pub(crate) fn current_end(&self) -> usize {
+        self.tokens[self.pos.min(self.tokens.len() - 1)].end
+    }
+
+    /// Verbatim source text between two byte offsets.
+    pub(crate) fn source_slice(&self, start: usize, end: usize) -> String {
+        self.src[start..end].to_string()
+    }
+
+    // -- token plumbing ----------------------------------------------------
+
+    pub(crate) fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)].kind
+    }
+
+    pub(crate) fn peek_n(&self, n: usize) -> &TokenKind {
+        &self.tokens[(self.pos + n).min(self.tokens.len() - 1)].kind
+    }
+
+    pub(crate) fn offset(&self) -> usize {
+        self.tokens[self.pos.min(self.tokens.len() - 1)].start
+    }
+
+    pub(crate) fn advance(&mut self) -> TokenKind {
+        let k = self.tokens[self.pos.min(self.tokens.len() - 1)].kind.clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        k
+    }
+
+    pub(crate) fn at_eof(&self) -> bool {
+        self.peek().is_eof()
+    }
+
+    pub(crate) fn check(&self, kind: &TokenKind) -> bool {
+        self.peek() == kind
+    }
+
+    pub(crate) fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.check(kind) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    pub(crate) fn expect(&mut self, kind: &TokenKind) -> Result<(), SqlError> {
+        if self.eat(kind) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{kind}', found '{}'", self.peek())))
+        }
+    }
+
+    pub(crate) fn expect_eof(&self) -> Result<(), SqlError> {
+        if self.at_eof() {
+            Ok(())
+        } else {
+            Err(self.err(format!("unexpected trailing input '{}'", self.peek())))
+        }
+    }
+
+    /// Is the current token the given keyword?
+    pub(crate) fn at_kw(&self, kw: &str) -> bool {
+        self.peek().is_kw(kw)
+    }
+
+    pub(crate) fn at_kw_n(&self, n: usize, kw: &str) -> bool {
+        self.peek_n(n).is_kw(kw)
+    }
+
+    pub(crate) fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.at_kw(kw) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    pub(crate) fn expect_kw(&mut self, kw: &str) -> Result<(), SqlError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{kw}', found '{}'", self.peek())))
+        }
+    }
+
+    /// Consume an identifier (quoted or not); keywords are allowed as
+    /// identifiers only when quoted.
+    pub(crate) fn expect_ident(&mut self) -> Result<String, SqlError> {
+        match self.peek().clone() {
+            TokenKind::Ident(s) => {
+                if is_reserved(&s) {
+                    return Err(self.err(format!("reserved keyword '{s}' used as identifier")));
+                }
+                self.advance();
+                Ok(s)
+            }
+            TokenKind::QuotedIdent(s) => {
+                self.advance();
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected identifier, found '{other}'"))),
+        }
+    }
+
+    pub(crate) fn err(&self, msg: impl Into<String>) -> SqlError {
+        SqlError::parse(self.offset(), msg)
+    }
+
+    // -- statement dispatch -------------------------------------------------
+
+    pub(crate) fn parse_statement(&mut self) -> Result<Statement, SqlError> {
+        if self.at_kw("SELECT") {
+            return Ok(Statement::Select(self.parse_select()?));
+        }
+        if self.at_kw("INSERT") {
+            return Ok(Statement::Insert(self.parse_insert()?));
+        }
+        if self.at_kw("UPDATE") {
+            return Ok(Statement::Update(self.parse_update()?));
+        }
+        if self.at_kw("DELETE") {
+            return Ok(Statement::Delete(self.parse_delete()?));
+        }
+        if self.at_kw("CREATE") || self.at_kw("ALTER") {
+            return self.parse_create_or_alter();
+        }
+        if self.at_kw("DROP") {
+            return self.parse_drop();
+        }
+        if self.at_kw("TRUNCATE") {
+            self.advance();
+            self.eat_kw("TABLE");
+            let name = self.expect_ident()?;
+            return Ok(Statement::TruncateTable(ObjectName::new(name)));
+        }
+        if self.at_kw("BEGIN") {
+            self.advance();
+            return Ok(Statement::Begin);
+        }
+        if self.at_kw("START") {
+            self.advance();
+            self.expect_kw("TRANSACTION")?;
+            return Ok(Statement::Begin);
+        }
+        if self.at_kw("COMMIT") {
+            self.advance();
+            return Ok(Statement::Commit);
+        }
+        if self.at_kw("ROLLBACK") {
+            self.advance();
+            return Ok(Statement::Rollback);
+        }
+        if self.at_kw("SET") {
+            return self.parse_set();
+        }
+        if self.at_kw("SHOW") {
+            return self.parse_show();
+        }
+        if self.at_kw("ADD") || self.at_kw("PREVIEW") {
+            return self.parse_distsql();
+        }
+        Err(self.err(format!("unsupported statement start '{}'", self.peek())))
+    }
+
+    fn parse_set(&mut self) -> Result<Statement, SqlError> {
+        self.expect_kw("SET")?;
+        if self.at_kw("VARIABLE") {
+            self.advance();
+            let name = self.expect_ident()?;
+            self.expect(&TokenKind::Eq)?;
+            let value = self.parse_variable_value()?;
+            return Ok(Statement::DistSql(DistSqlStatement::SetVariable {
+                name: name.to_lowercase(),
+                value,
+            }));
+        }
+        let name = self.expect_ident()?;
+        self.expect(&TokenKind::Eq)?;
+        let value = match self.advance() {
+            TokenKind::Number(n) => parse_number(&n),
+            TokenKind::String(s) => Value::Str(s),
+            TokenKind::Ident(s) => Value::Str(s),
+            other => return Err(self.err(format!("bad SET value '{other}'"))),
+        };
+        Ok(Statement::SetVariable {
+            name: name.to_lowercase(),
+            value,
+        })
+    }
+
+    pub(crate) fn parse_variable_value(&mut self) -> Result<String, SqlError> {
+        match self.advance() {
+            TokenKind::Ident(s) | TokenKind::QuotedIdent(s) | TokenKind::String(s) => Ok(s),
+            TokenKind::Number(n) => Ok(n),
+            other => Err(self.err(format!("bad variable value '{other}'"))),
+        }
+    }
+
+    fn parse_show(&mut self) -> Result<Statement, SqlError> {
+        // Lookahead for DistSQL SHOW forms before plain SHOW TABLES.
+        if self.at_kw_n(1, "SHARDING")
+            || self.at_kw_n(1, "RESOURCES")
+            || self.at_kw_n(1, "VARIABLE")
+            || self.at_kw_n(1, "BROADCAST")
+            || self.at_kw_n(1, "READWRITE_SPLITTING")
+        {
+            return self.parse_distsql();
+        }
+        self.expect_kw("SHOW")?;
+        self.expect_kw("TABLES")?;
+        Ok(Statement::ShowTables)
+    }
+
+    fn parse_create_or_alter(&mut self) -> Result<Statement, SqlError> {
+        // CREATE SHARDING/BROADCAST/READWRITE_SPLITTING ... are DistSQL.
+        if self.at_kw_n(1, "SHARDING")
+            || self.at_kw_n(1, "BROADCAST")
+            || self.at_kw_n(1, "READWRITE_SPLITTING")
+        {
+            return self.parse_distsql();
+        }
+        if self.at_kw("ALTER") {
+            return Err(self.err("ALTER is only supported for DistSQL sharding rules"));
+        }
+        self.expect_kw("CREATE")?;
+        if self.at_kw("TABLE") {
+            return Ok(Statement::CreateTable(self.parse_create_table()?));
+        }
+        if self.at_kw("UNIQUE") || self.at_kw("INDEX") {
+            return Ok(Statement::CreateIndex(self.parse_create_index()?));
+        }
+        Err(self.err("expected TABLE or INDEX after CREATE"))
+    }
+
+    fn parse_drop(&mut self) -> Result<Statement, SqlError> {
+        if self.at_kw_n(1, "SHARDING") || self.at_kw_n(1, "RESOURCE") || self.at_kw_n(1, "BROADCAST") {
+            return self.parse_distsql();
+        }
+        self.expect_kw("DROP")?;
+        if self.at_kw("TABLE") {
+            self.advance();
+            let if_exists = if self.at_kw("IF") {
+                self.advance();
+                self.expect_kw("EXISTS")?;
+                true
+            } else {
+                false
+            };
+            let mut names = vec![ObjectName::new(self.expect_ident()?)];
+            while self.eat(&TokenKind::Comma) {
+                names.push(ObjectName::new(self.expect_ident()?));
+            }
+            return Ok(Statement::DropTable(DropTableStatement { names, if_exists }));
+        }
+        if self.at_kw("INDEX") {
+            self.advance();
+            let name = self.expect_ident()?;
+            self.expect_kw("ON")?;
+            let table = ObjectName::new(self.expect_ident()?);
+            return Ok(Statement::DropIndex { name, table });
+        }
+        Err(self.err("expected TABLE or INDEX after DROP"))
+    }
+
+    /// Next `?` parameter index.
+    pub(crate) fn next_param(&mut self) -> usize {
+        let idx = self.param_count;
+        self.param_count += 1;
+        idx
+    }
+}
+
+/// Words that cannot be used as bare identifiers. Kept minimal: only the
+/// words whose reuse would create grammar ambiguity.
+fn is_reserved(word: &str) -> bool {
+    const RESERVED: &[&str] = &[
+        "SELECT", "FROM", "WHERE", "GROUP", "ORDER", "BY", "HAVING", "LIMIT", "OFFSET", "INSERT",
+        "INTO", "VALUES", "UPDATE", "SET", "DELETE", "CREATE", "DROP", "TABLE", "INDEX", "JOIN",
+        "INNER", "LEFT", "CROSS", "ON", "AND", "OR", "NOT", "NULL", "BETWEEN", "IN", "LIKE", "IS",
+        "AS", "DISTINCT", "CASE", "WHEN", "THEN", "ELSE", "END", "UNION", "FOR",
+    ];
+    RESERVED.iter().any(|r| word.eq_ignore_ascii_case(r))
+}
+
+/// Parse a numeric literal string into a [`Value`].
+pub(crate) fn parse_number(text: &str) -> Value {
+    if let Ok(i) = text.parse::<i64>() {
+        Value::Int(i)
+    } else {
+        Value::Float(text.parse::<f64>().unwrap_or(0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn script_parsing() {
+        let stmts = parse_statements("SELECT 1; SELECT 2;; SELECT 3").unwrap();
+        assert_eq!(stmts.len(), 3);
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse_statement("SELECT 1 SELECT 2").is_err());
+    }
+
+    #[test]
+    fn transaction_control() {
+        assert_eq!(parse_statement("BEGIN").unwrap(), Statement::Begin);
+        assert_eq!(
+            parse_statement("START TRANSACTION").unwrap(),
+            Statement::Begin
+        );
+        assert_eq!(parse_statement("COMMIT;").unwrap(), Statement::Commit);
+        assert_eq!(parse_statement("rollback").unwrap(), Statement::Rollback);
+    }
+
+    #[test]
+    fn set_session_variable() {
+        let s = parse_statement("SET autocommit = 1").unwrap();
+        assert_eq!(
+            s,
+            Statement::SetVariable {
+                name: "autocommit".into(),
+                value: Value::Int(1)
+            }
+        );
+    }
+
+    #[test]
+    fn reserved_words_rejected_unquoted_allowed_quoted() {
+        assert!(parse_statement("SELECT * FROM select").is_err());
+        assert!(parse_statement("SELECT * FROM \"select\"").is_ok());
+    }
+
+    #[test]
+    fn truncate() {
+        let s = parse_statement("TRUNCATE TABLE t_user").unwrap();
+        assert_eq!(s, Statement::TruncateTable(ObjectName::new("t_user")));
+    }
+
+    #[test]
+    fn drop_multiple_tables() {
+        let s = parse_statement("DROP TABLE IF EXISTS a, b").unwrap();
+        match s {
+            Statement::DropTable(d) => {
+                assert!(d.if_exists);
+                assert_eq!(d.names.len(), 2);
+            }
+            _ => panic!(),
+        }
+    }
+}

@@ -1,0 +1,324 @@
+//! SELECT statement parsing: projections, FROM with joins, WHERE, GROUP BY,
+//! HAVING, ORDER BY, LIMIT/OFFSET (both MySQL `LIMIT o, n` and standard
+//! `LIMIT n OFFSET o` forms), and FOR UPDATE.
+
+use super::Parser;
+use crate::ast::*;
+use crate::error::SqlError;
+use crate::token::TokenKind;
+
+impl Parser {
+    pub(crate) fn parse_select(&mut self) -> Result<SelectStatement, SqlError> {
+        self.expect_kw("SELECT")?;
+        let mut stmt = SelectStatement::empty();
+        stmt.distinct = self.eat_kw("DISTINCT");
+        self.eat_kw("ALL");
+
+        stmt.projection.push(self.parse_select_item()?);
+        while self.eat(&TokenKind::Comma) {
+            stmt.projection.push(self.parse_select_item()?);
+        }
+
+        if self.eat_kw("FROM") {
+            stmt.from = Some(self.parse_table_ref()?);
+            loop {
+                let kind = if self.eat_kw("JOIN") {
+                    JoinKind::Inner
+                } else if self.at_kw("INNER") {
+                    self.advance();
+                    self.expect_kw("JOIN")?;
+                    JoinKind::Inner
+                } else if self.at_kw("LEFT") {
+                    self.advance();
+                    self.eat_kw("OUTER");
+                    self.expect_kw("JOIN")?;
+                    JoinKind::Left
+                } else if self.at_kw("CROSS") {
+                    self.advance();
+                    self.expect_kw("JOIN")?;
+                    JoinKind::Cross
+                } else if self.check(&TokenKind::Comma) {
+                    self.advance();
+                    JoinKind::Cross
+                } else {
+                    break;
+                };
+                let table = self.parse_table_ref()?;
+                let on = if self.eat_kw("ON") {
+                    Some(self.parse_expr()?)
+                } else if kind != JoinKind::Cross {
+                    return Err(self.err("JOIN requires an ON condition"));
+                } else {
+                    None
+                };
+                stmt.joins.push(Join { kind, table, on });
+            }
+        }
+
+        if self.eat_kw("WHERE") {
+            stmt.where_clause = Some(self.parse_expr()?);
+        }
+        if self.at_kw("GROUP") {
+            self.advance();
+            self.expect_kw("BY")?;
+            stmt.group_by.push(self.parse_expr()?);
+            while self.eat(&TokenKind::Comma) {
+                stmt.group_by.push(self.parse_expr()?);
+            }
+        }
+        if self.eat_kw("HAVING") {
+            stmt.having = Some(self.parse_expr()?);
+        }
+        if self.at_kw("ORDER") {
+            self.advance();
+            self.expect_kw("BY")?;
+            loop {
+                let expr = self.parse_expr()?;
+                let desc = if self.eat_kw("DESC") {
+                    true
+                } else {
+                    self.eat_kw("ASC");
+                    false
+                };
+                stmt.order_by.push(OrderByItem { expr, desc });
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        stmt.limit = self.parse_limit()?;
+        if self.eat_kw("FOR") {
+            self.expect_kw("UPDATE")?;
+            stmt.for_update = true;
+        }
+        Ok(stmt)
+    }
+
+    fn parse_select_item(&mut self) -> Result<SelectItem, SqlError> {
+        if self.eat(&TokenKind::Star) {
+            return Ok(SelectItem::Wildcard);
+        }
+        // `t.*`
+        if let Some(name) = self.peek().ident().map(str::to_string) {
+            if *self.peek_n(1) == TokenKind::Dot && *self.peek_n(2) == TokenKind::Star {
+                self.advance();
+                self.advance();
+                self.advance();
+                return Ok(SelectItem::QualifiedWildcard(name));
+            }
+        }
+        let expr = self.parse_expr()?;
+        let has_alias =
+            self.eat_kw("AS") || (self.peek().ident().is_some() && !self.at_clause_boundary());
+        let alias = if has_alias {
+            Some(self.expect_ident()?)
+        } else {
+            None
+        };
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    /// Keywords that end a projection/table alias position.
+    pub(crate) fn at_clause_boundary(&self) -> bool {
+        const BOUNDARY: &[&str] = &[
+            "FROM", "WHERE", "GROUP", "ORDER", "HAVING", "LIMIT", "OFFSET", "JOIN", "INNER",
+            "LEFT", "CROSS", "ON", "FOR", "SET", "AND", "OR", "UNION", "VALUES", "AS", "ASC",
+            "DESC", "BETWEEN", "IN", "LIKE", "IS", "NOT",
+        ];
+        BOUNDARY.iter().any(|k| self.at_kw(k))
+    }
+
+    pub(crate) fn parse_table_ref(&mut self) -> Result<TableRef, SqlError> {
+        let name = self.expect_ident()?;
+        let has_alias =
+            self.eat_kw("AS") || (self.peek().ident().is_some() && !self.at_clause_boundary());
+        let alias = if has_alias {
+            Some(self.expect_ident()?)
+        } else {
+            None
+        };
+        Ok(TableRef {
+            name: ObjectName::new(name),
+            alias,
+        })
+    }
+
+    fn parse_limit(&mut self) -> Result<Option<Limit>, SqlError> {
+        if self.eat_kw("LIMIT") {
+            let first = self.parse_limit_value()?;
+            if self.eat(&TokenKind::Comma) {
+                // MySQL: LIMIT offset, count
+                let second = self.parse_limit_value()?;
+                return Ok(Some(Limit {
+                    offset: Some(first),
+                    limit: Some(second),
+                }));
+            }
+            let offset = if self.eat_kw("OFFSET") {
+                Some(self.parse_limit_value()?)
+            } else {
+                None
+            };
+            return Ok(Some(Limit {
+                offset,
+                limit: Some(first),
+            }));
+        }
+        if self.eat_kw("OFFSET") {
+            let offset = self.parse_limit_value()?;
+            return Ok(Some(Limit {
+                offset: Some(offset),
+                limit: None,
+            }));
+        }
+        Ok(None)
+    }
+
+    fn parse_limit_value(&mut self) -> Result<LimitValue, SqlError> {
+        match self.peek().clone() {
+            TokenKind::Number(n) => {
+                self.advance();
+                n.parse::<u64>()
+                    .map(LimitValue::Literal)
+                    .map_err(|_| self.err("LIMIT/OFFSET must be a non-negative integer"))
+            }
+            TokenKind::Param => {
+                self.advance();
+                Ok(LimitValue::Param(self.next_param()))
+            }
+            other => Err(self.err(format!("expected LIMIT value, found '{other}'"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::ast::*;
+    use crate::parser::parse_statement;
+
+    fn select(src: &str) -> SelectStatement {
+        match parse_statement(src).unwrap() {
+            Statement::Select(s) => s,
+            other => panic!("expected select, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn star_select() {
+        let s = select("SELECT * FROM t_user");
+        assert_eq!(s.projection, vec![SelectItem::Wildcard]);
+        assert_eq!(s.from.unwrap().name.as_str(), "t_user");
+    }
+
+    #[test]
+    fn aliases_with_and_without_as() {
+        let s = select("SELECT uid AS id, name n FROM t_user u");
+        match &s.projection[0] {
+            SelectItem::Expr { alias, .. } => assert_eq!(alias.as_deref(), Some("id")),
+            _ => panic!(),
+        }
+        match &s.projection[1] {
+            SelectItem::Expr { alias, .. } => assert_eq!(alias.as_deref(), Some("n")),
+            _ => panic!(),
+        }
+        assert_eq!(s.from.unwrap().alias.as_deref(), Some("u"));
+    }
+
+    #[test]
+    fn qualified_wildcard() {
+        let s = select("SELECT u.*, o.oid FROM t_user u JOIN t_order o ON u.uid = o.uid");
+        assert_eq!(s.projection[0], SelectItem::QualifiedWildcard("u".into()));
+        assert_eq!(s.joins.len(), 1);
+        assert_eq!(s.joins[0].kind, JoinKind::Inner);
+        assert!(s.joins[0].on.is_some());
+    }
+
+    #[test]
+    fn left_join() {
+        let s = select("SELECT * FROM a LEFT OUTER JOIN b ON a.x = b.x");
+        assert_eq!(s.joins[0].kind, JoinKind::Left);
+    }
+
+    #[test]
+    fn comma_join_is_cross() {
+        let s = select("SELECT * FROM a, b WHERE a.x = b.x");
+        assert_eq!(s.joins[0].kind, JoinKind::Cross);
+        assert!(s.where_clause.is_some());
+    }
+
+    #[test]
+    fn join_without_on_rejected() {
+        assert!(parse_statement("SELECT * FROM a JOIN b").is_err());
+    }
+
+    #[test]
+    fn group_by_having_order_by() {
+        let s = select(
+            "SELECT name, SUM(score) FROM t_score GROUP BY name HAVING SUM(score) > 10 ORDER BY name DESC",
+        );
+        assert_eq!(s.group_by.len(), 1);
+        assert!(s.having.is_some());
+        assert!(s.order_by[0].desc);
+    }
+
+    #[test]
+    fn limit_forms() {
+        let s = select("SELECT * FROM t LIMIT 10");
+        assert_eq!(
+            s.limit.unwrap(),
+            Limit {
+                offset: None,
+                limit: Some(LimitValue::Literal(10))
+            }
+        );
+        let s = select("SELECT * FROM t LIMIT 5, 10");
+        assert_eq!(
+            s.limit.unwrap(),
+            Limit {
+                offset: Some(LimitValue::Literal(5)),
+                limit: Some(LimitValue::Literal(10))
+            }
+        );
+        let s = select("SELECT * FROM t LIMIT 10 OFFSET 5");
+        assert_eq!(
+            s.limit.unwrap(),
+            Limit {
+                offset: Some(LimitValue::Literal(5)),
+                limit: Some(LimitValue::Literal(10))
+            }
+        );
+    }
+
+    #[test]
+    fn limit_params() {
+        let s = select("SELECT * FROM t WHERE x = ? LIMIT ?, ?");
+        let lim = s.limit.unwrap();
+        assert_eq!(lim.offset, Some(LimitValue::Param(1)));
+        assert_eq!(lim.limit, Some(LimitValue::Param(2)));
+    }
+
+    #[test]
+    fn for_update() {
+        assert!(select("SELECT * FROM t WHERE id = 1 FOR UPDATE").for_update);
+    }
+
+    #[test]
+    fn distinct() {
+        assert!(select("SELECT DISTINCT c FROM t").distinct);
+    }
+
+    #[test]
+    fn select_without_from() {
+        let s = select("SELECT 1 + 1");
+        assert!(s.from.is_none());
+    }
+
+    #[test]
+    fn multiple_order_by_items() {
+        let s = select("SELECT * FROM t ORDER BY a ASC, b DESC, c");
+        assert_eq!(s.order_by.len(), 3);
+        assert!(!s.order_by[0].desc);
+        assert!(s.order_by[1].desc);
+        assert!(!s.order_by[2].desc);
+    }
+}

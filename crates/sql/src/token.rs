@@ -1,0 +1,116 @@
+//! Token definitions for the SQL lexer.
+
+use std::fmt;
+
+/// A lexical token with its source span (byte offsets), used for error
+/// reporting and for the rewriter's token-level substitutions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub start: usize,
+    pub end: usize,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Unquoted identifier or keyword (keywords are recognised by the parser,
+    /// case-insensitively, so identifiers like `status` never clash).
+    Ident(String),
+    /// Quoted identifier: `` `x` `` (MySQL) or `"x"` (standard/PostgreSQL).
+    QuotedIdent(String),
+    /// Numeric literal without sign; sign is handled as a unary operator.
+    Number(String),
+    /// String literal with quotes already stripped and escapes resolved.
+    String(String),
+    /// `?` positional parameter.
+    Param,
+    Comma,
+    Dot,
+    LParen,
+    RParen,
+    Semicolon,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    /// String concatenation `||`.
+    Concat,
+    Eof,
+}
+
+impl TokenKind {
+    pub fn is_eof(&self) -> bool {
+        matches!(self, TokenKind::Eof)
+    }
+
+    /// Returns the identifier text if this token can serve as an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            TokenKind::Ident(s) | TokenKind::QuotedIdent(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True when the token is the given keyword (case-insensitive). Quoted
+    /// identifiers never match keywords.
+    pub fn is_kw(&self, kw: &str) -> bool {
+        match self {
+            TokenKind::Ident(s) => s.eq_ignore_ascii_case(kw),
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "{s}"),
+            TokenKind::QuotedIdent(s) => write!(f, "\"{s}\""),
+            TokenKind::Number(s) => write!(f, "{s}"),
+            TokenKind::String(s) => write!(f, "'{s}'"),
+            TokenKind::Param => write!(f, "?"),
+            TokenKind::Comma => write!(f, ","),
+            TokenKind::Dot => write!(f, "."),
+            TokenKind::LParen => write!(f, "("),
+            TokenKind::RParen => write!(f, ")"),
+            TokenKind::Semicolon => write!(f, ";"),
+            TokenKind::Eq => write!(f, "="),
+            TokenKind::NotEq => write!(f, "<>"),
+            TokenKind::Lt => write!(f, "<"),
+            TokenKind::LtEq => write!(f, "<="),
+            TokenKind::Gt => write!(f, ">"),
+            TokenKind::GtEq => write!(f, ">="),
+            TokenKind::Plus => write!(f, "+"),
+            TokenKind::Minus => write!(f, "-"),
+            TokenKind::Star => write!(f, "*"),
+            TokenKind::Slash => write!(f, "/"),
+            TokenKind::Percent => write!(f, "%"),
+            TokenKind::Concat => write!(f, "||"),
+            TokenKind::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_match_is_case_insensitive() {
+        assert!(TokenKind::Ident("SeLeCt".into()).is_kw("select"));
+        assert!(!TokenKind::QuotedIdent("select".into()).is_kw("select"));
+    }
+
+    #[test]
+    fn ident_extraction() {
+        assert_eq!(TokenKind::QuotedIdent("t".into()).ident(), Some("t"));
+        assert_eq!(TokenKind::Number("1".into()).ident(), None);
+    }
+}

@@ -1,0 +1,272 @@
+//! Runtime value type shared by the parser (literals), the storage engine
+//! (cell values) and the sharding kernel (sharding-key values, merged rows).
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A dynamically-typed SQL value.
+///
+/// `Value` intentionally keeps the type lattice small: the paper's workloads
+/// (Sysbench, TPC-C) only need integers, decimals (modelled as `Float`),
+/// strings, booleans and NULL.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    Null,
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Bool(bool),
+}
+
+impl Value {
+    /// SQL three-valued logic: NULL compares as "unknown", which this helper
+    /// surfaces as `None`.
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        use Value::*;
+        match (self, other) {
+            (Null, _) | (_, Null) => None,
+            (Int(a), Int(b)) => Some(a.cmp(b)),
+            (Float(a), Float(b)) => a.partial_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).partial_cmp(b),
+            (Float(a), Int(b)) => a.partial_cmp(&(*b as f64)),
+            (Str(a), Str(b)) => Some(a.cmp(b)),
+            (Bool(a), Bool(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+
+    /// Total order used by ORDER BY and index keys: NULLs sort first, and
+    /// heterogeneous types order by a fixed type rank so sorting never panics.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Bool(_) => 1,
+                Value::Int(_) | Value::Float(_) => 2,
+                Value::Str(_) => 3,
+            }
+        }
+        match self.sql_cmp(other) {
+            Some(ord) => ord,
+            None => match (self, other) {
+                (Value::Null, Value::Null) => Ordering::Equal,
+                (Value::Float(a), Value::Float(b)) => a.total_cmp(b),
+                _ => rank(self).cmp(&rank(other)),
+            },
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Coerce to i64 where meaningful (sharding algorithms over numeric keys).
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Float(f) => Some(*f as i64),
+            Value::Bool(b) => Some(*b as i64),
+            Value::Str(s) => s.parse().ok(),
+            Value::Null => None,
+        }
+    }
+
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            Value::Str(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Truthiness for WHERE evaluation (NULL is not true).
+    pub fn is_true(&self) -> bool {
+        match self {
+            Value::Bool(b) => *b,
+            Value::Int(i) => *i != 0,
+            _ => false,
+        }
+    }
+
+    /// Stable 64-bit hash used by hash-based sharding algorithms. Integers
+    /// and integral strings hash identically so `uid = 7` and `uid = '7'`
+    /// land on the same shard, matching ShardingSphere's behaviour.
+    pub fn stable_hash(&self) -> u64 {
+        fn fnv1a(bytes: &[u8]) -> u64 {
+            let mut h: u64 = 0xcbf29ce484222325;
+            for b in bytes {
+                h ^= u64::from(*b);
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            h
+        }
+        match self {
+            Value::Null => 0,
+            Value::Int(i) => fnv1a(&i.to_le_bytes()),
+            Value::Float(f) => {
+                if f.fract() == 0.0 && f.is_finite() {
+                    fnv1a(&(*f as i64).to_le_bytes())
+                } else {
+                    fnv1a(&f.to_bits().to_le_bytes())
+                }
+            }
+            Value::Str(s) => match s.parse::<i64>() {
+                Ok(i) => fnv1a(&i.to_le_bytes()),
+                Err(_) => fnv1a(s.as_bytes()),
+            },
+            Value::Bool(b) => fnv1a(&[*b as u8]),
+        }
+    }
+
+    /// Render as a SQL literal (for the rewriter's textual output).
+    pub fn to_sql_literal(&self) -> String {
+        match self {
+            Value::Null => "NULL".into(),
+            Value::Int(i) => i.to_string(),
+            Value::Float(f) => {
+                if f.fract() == 0.0 && f.is_finite() {
+                    format!("{f:.1}")
+                } else {
+                    f.to_string()
+                }
+            }
+            Value::Str(s) => format!("'{}'", s.replace('\'', "''")),
+            Value::Bool(b) => if *b { "TRUE" } else { "FALSE" }.into(),
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.total_cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.total_cmp(other)
+    }
+}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        state.write_u64(self.stable_hash());
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v.into())
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_comparisons_are_unknown() {
+        assert_eq!(Value::Null.sql_cmp(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Null), None);
+    }
+
+    #[test]
+    fn cross_numeric_comparison() {
+        assert_eq!(
+            Value::Int(2).sql_cmp(&Value::Float(2.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::Float(1.5).sql_cmp(&Value::Int(2)),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn total_order_sorts_nulls_first() {
+        let mut vals = [Value::Int(3), Value::Null, Value::Int(1)];
+        vals.sort();
+        assert_eq!(vals[0], Value::Null);
+        assert_eq!(vals[1], Value::Int(1));
+    }
+
+    #[test]
+    fn stable_hash_int_and_string_agree() {
+        assert_eq!(Value::Int(7).stable_hash(), Value::Str("7".into()).stable_hash());
+        assert_ne!(Value::Int(7).stable_hash(), Value::Int(8).stable_hash());
+    }
+
+    #[test]
+    fn sql_literal_quoting() {
+        assert_eq!(Value::Str("o'brien".into()).to_sql_literal(), "'o''brien'");
+        assert_eq!(Value::Null.to_sql_literal(), "NULL");
+        assert_eq!(Value::Int(42).to_sql_literal(), "42");
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(Value::Bool(true).is_true());
+        assert!(Value::Int(5).is_true());
+        assert!(!Value::Int(0).is_true());
+        assert!(!Value::Null.is_true());
+    }
+
+    #[test]
+    fn as_int_coercions() {
+        assert_eq!(Value::Str("12".into()).as_int(), Some(12));
+        assert_eq!(Value::Float(3.9).as_int(), Some(3));
+        assert_eq!(Value::Null.as_int(), None);
+    }
+}

@@ -1,0 +1,866 @@
+//! The storage engine: one instance models one underlying *data source*
+//! (what the paper would call a MySQL/PostgreSQL server).
+//!
+//! Capabilities:
+//! - catalog of [`Table`]s with DDL,
+//! - local ACID transactions (undo-log rollback, strict write locks, WAL),
+//! - an XA resource-manager interface (`prepare` / `commit_prepared` /
+//!   `rollback_prepared` / `in_doubt`) used by the kernel's 2PC coordinator,
+//! - crash recovery by WAL replay ([`StorageEngine::recover`]),
+//! - a [`LatencyModel`] charging simulated network cost per request,
+//! - fault injection hooks for failure testing.
+
+use crate::error::{Result, StorageError};
+use crate::eval::{eval, eval_predicate, EvalContext, Scope};
+use crate::exec_select::{execute_select, Catalog};
+use crate::index::RowId;
+use crate::latency::LatencyModel;
+use crate::lock::{LockManager, TxnId};
+use crate::result::{ExecuteResult, ResultSet};
+use crate::schema::TableSchema;
+use crate::table::Table;
+use crate::wal::{LogRecord, SharedLog};
+use parking_lot::{Mutex, RwLock};
+use shard_sql::ast::*;
+use shard_sql::{format_statement, parse_statement, Dialect, Value};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Undo-log entry: how to reverse one applied operation.
+#[derive(Debug, Clone)]
+enum UndoOp {
+    Insert { table: String, row_id: RowId },
+    Update { table: String, row_id: RowId, before: Vec<Value> },
+    Delete { table: String, row_id: RowId, before: Vec<Value> },
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum TxnPhase {
+    Active,
+    /// XA phase-1 complete; in-doubt until the coordinator decides.
+    Prepared { xid: String },
+}
+
+struct TxnState {
+    phase: TxnPhase,
+    undo: Vec<UndoOp>,
+}
+
+/// One simulated data source.
+pub struct StorageEngine {
+    name: String,
+    dialect: Dialect,
+    tables: RwLock<HashMap<String, Arc<RwLock<Table>>>>,
+    locks: Arc<LockManager>,
+    wal: SharedLog,
+    next_txn: AtomicU64,
+    txns: Mutex<HashMap<TxnId, TxnState>>,
+    latency: LatencyModel,
+    /// When set, the next `commit`/`commit_prepared` fails once (tests).
+    fail_next_commit: AtomicBool,
+    /// Total statements executed (metrics).
+    statements_executed: AtomicU64,
+    /// Undo images rebuilt during recovery, keyed by txn, consumed while
+    /// re-registering in-doubt transactions.
+    recovered_undo: Mutex<HashMap<u64, Vec<UndoOp>>>,
+    /// Server capacity: how many requests this "server" can process
+    /// concurrently (None = unlimited). Requests beyond it queue, like a
+    /// real database's worker threads — this is what makes adding data
+    /// servers increase cluster throughput (paper Fig 12).
+    server_slots: Option<Arc<ServerSlots>>,
+}
+
+struct ServerSlots {
+    available: Mutex<usize>,
+    freed: parking_lot::Condvar,
+}
+
+struct SlotGuard<'a>(&'a ServerSlots);
+
+impl ServerSlots {
+    fn acquire(&self) -> SlotGuard<'_> {
+        let mut available = self.available.lock();
+        while *available == 0 {
+            self.freed.wait(&mut available);
+        }
+        *available -= 1;
+        SlotGuard(self)
+    }
+}
+
+impl Drop for SlotGuard<'_> {
+    fn drop(&mut self) {
+        let mut available = self.0.available.lock();
+        *available += 1;
+        drop(available);
+        self.0.freed.notify_one();
+    }
+}
+
+impl StorageEngine {
+    pub fn new(name: impl Into<String>) -> Arc<Self> {
+        Self::with_options(name, LatencyModel::ZERO, SharedLog::new())
+    }
+
+    pub fn with_latency(name: impl Into<String>, latency: LatencyModel) -> Arc<Self> {
+        Self::with_options(name, latency, SharedLog::new())
+    }
+
+    pub fn with_options(
+        name: impl Into<String>,
+        latency: LatencyModel,
+        wal: SharedLog,
+    ) -> Arc<Self> {
+        Arc::new(StorageEngine {
+            name: name.into(),
+            dialect: Dialect::MySql,
+            tables: RwLock::new(HashMap::new()),
+            locks: Arc::new(LockManager::new(Duration::from_secs(2))),
+            wal,
+            next_txn: AtomicU64::new(1),
+            txns: Mutex::new(HashMap::new()),
+            latency,
+            fail_next_commit: AtomicBool::new(false),
+            statements_executed: AtomicU64::new(0),
+            recovered_undo: Mutex::new(HashMap::new()),
+            server_slots: None,
+        })
+    }
+
+    /// Limit this data source to `n` concurrently processed requests
+    /// (simulating a server with `n` worker threads). Must be called before
+    /// the engine is shared; typical benchmark value: 8-16.
+    pub fn set_server_capacity(self: &mut Arc<Self>, n: usize) {
+        let slots = Some(Arc::new(ServerSlots {
+            available: Mutex::new(n.max(1)),
+            freed: parking_lot::Condvar::new(),
+        }));
+        match Arc::get_mut(self) {
+            Some(engine) => engine.server_slots = slots,
+            None => panic!("set_server_capacity requires exclusive ownership"),
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn latency(&self) -> LatencyModel {
+        self.latency
+    }
+
+    pub fn wal(&self) -> &SharedLog {
+        &self.wal
+    }
+
+    pub fn statements_executed(&self) -> u64 {
+        self.statements_executed.load(Ordering::Relaxed)
+    }
+
+    /// Arm the fault injector: the next commit on this source fails.
+    pub fn inject_commit_failure(&self) {
+        self.fail_next_commit.store(true, Ordering::SeqCst);
+    }
+
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    pub fn table_row_count(&self, table: &str) -> Result<usize> {
+        Ok(self.table(table)?.read().len())
+    }
+
+    // -- transactions --------------------------------------------------------
+
+    /// Begin an explicit transaction.
+    pub fn begin(&self) -> TxnId {
+        let id = self.next_txn.fetch_add(1, Ordering::SeqCst);
+        self.wal.append(LogRecord::Begin { txn: id });
+        self.txns.lock().insert(
+            id,
+            TxnState {
+                phase: TxnPhase::Active,
+                undo: Vec::new(),
+            },
+        );
+        id
+    }
+
+    pub fn commit(&self, txn: TxnId) -> Result<()> {
+        if self.fail_next_commit.swap(false, Ordering::SeqCst) {
+            // Leave the transaction in place: the coordinator decides what
+            // happens next (retry / recovery).
+            return Err(StorageError::Injected(format!(
+                "commit failure on '{}'",
+                self.name
+            )));
+        }
+        let state = self
+            .txns
+            .lock()
+            .remove(&txn)
+            .ok_or(StorageError::UnknownTransaction(txn))?;
+        // Commit is legal from Active (local/1PC) and Prepared (XA phase 2).
+        drop(state);
+        self.wal.append(LogRecord::Commit { txn });
+        self.locks.release_all(txn);
+        Ok(())
+    }
+
+    pub fn rollback(&self, txn: TxnId) -> Result<()> {
+        let state = self
+            .txns
+            .lock()
+            .remove(&txn)
+            .ok_or(StorageError::UnknownTransaction(txn))?;
+        self.apply_undo(&state.undo)?;
+        self.wal.append(LogRecord::Abort { txn });
+        self.locks.release_all(txn);
+        Ok(())
+    }
+
+    fn apply_undo(&self, undo: &[UndoOp]) -> Result<()> {
+        for op in undo.iter().rev() {
+            match op {
+                UndoOp::Insert { table, row_id } => {
+                    let t = self.table(table)?;
+                    t.write().delete(*row_id)?;
+                }
+                UndoOp::Update { table, row_id, before } => {
+                    let t = self.table(table)?;
+                    t.write().update(*row_id, before.clone())?;
+                }
+                UndoOp::Delete { table, row_id, before } => {
+                    let t = self.table(table)?;
+                    t.write().reinsert(*row_id, before.clone())?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // -- XA resource-manager interface ---------------------------------------
+
+    /// XA phase 1: vote. Persists a prepare marker; the transaction becomes
+    /// in-doubt and survives a crash.
+    pub fn prepare(&self, txn: TxnId, xid: &str) -> Result<()> {
+        // Phase 1 is a synchronous round trip to this resource manager.
+        self.latency.charge(0);
+        if self.fail_next_commit.load(Ordering::SeqCst) {
+            // A source armed to fail votes NO and rolls back, per 2PC.
+            self.fail_next_commit.store(false, Ordering::SeqCst);
+            self.rollback(txn)?;
+            return Err(StorageError::Injected(format!(
+                "prepare refused on '{}'",
+                self.name
+            )));
+        }
+        let mut txns = self.txns.lock();
+        let state = txns
+            .get_mut(&txn)
+            .ok_or(StorageError::UnknownTransaction(txn))?;
+        if state.phase != TxnPhase::Active {
+            return Err(StorageError::IllegalTransactionState {
+                txn,
+                state: format!("{:?}", state.phase),
+                operation: "prepare".into(),
+            });
+        }
+        state.phase = TxnPhase::Prepared { xid: xid.to_string() };
+        drop(txns);
+        self.wal.append(LogRecord::Prepare {
+            txn,
+            xid: xid.to_string(),
+        });
+        Ok(())
+    }
+
+    /// XA phase 2 commit of a prepared transaction.
+    pub fn commit_prepared(&self, txn: TxnId) -> Result<()> {
+        // Phase 2 waits for the resource manager's acknowledgement.
+        self.latency.charge(0);
+        {
+            let txns = self.txns.lock();
+            let state = txns
+                .get(&txn)
+                .ok_or(StorageError::UnknownTransaction(txn))?;
+            if !matches!(state.phase, TxnPhase::Prepared { .. }) {
+                return Err(StorageError::IllegalTransactionState {
+                    txn,
+                    state: format!("{:?}", state.phase),
+                    operation: "commit_prepared".into(),
+                });
+            }
+        }
+        self.commit(txn)
+    }
+
+    /// XA phase 2 rollback of a prepared transaction.
+    pub fn rollback_prepared(&self, txn: TxnId) -> Result<()> {
+        {
+            let txns = self.txns.lock();
+            let state = txns
+                .get(&txn)
+                .ok_or(StorageError::UnknownTransaction(txn))?;
+            if !matches!(state.phase, TxnPhase::Prepared { .. }) {
+                return Err(StorageError::IllegalTransactionState {
+                    txn,
+                    state: format!("{:?}", state.phase),
+                    operation: "rollback_prepared".into(),
+                });
+            }
+        }
+        self.rollback(txn)
+    }
+
+    /// In-doubt transactions: prepared but neither committed nor aborted.
+    /// The recovery manager queries this after a crash.
+    pub fn in_doubt(&self) -> Vec<(TxnId, String)> {
+        self.txns
+            .lock()
+            .iter()
+            .filter_map(|(id, s)| match &s.phase {
+                TxnPhase::Prepared { xid } => Some((*id, xid.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    // -- execution -------------------------------------------------------------
+
+    /// Execute one statement. `txn = None` runs in an implicit (auto-commit)
+    /// transaction. Network latency is charged per request.
+    pub fn execute(
+        &self,
+        stmt: &Statement,
+        params: &[Value],
+        txn: Option<TxnId>,
+    ) -> Result<ExecuteResult> {
+        self.statements_executed.fetch_add(1, Ordering::Relaxed);
+        // Occupy a server worker slot for the whole request (queueing when
+        // the source is saturated).
+        let _slot = self.server_slots.as_ref().map(|s| s.acquire());
+        // Buffer-pool model: touching a table bigger than the pool pays the
+        // disk-miss cost (this is what makes sharded small tables faster
+        // than one big table, per the paper's Table IV discussion).
+        if !self.latency.page_miss.is_zero() {
+            let mut largest = 0u64;
+            for t in stmt.table_names() {
+                if let Ok(table) = self.table(&t) {
+                    largest = largest.max(table.read().len() as u64);
+                }
+            }
+            self.latency.charge_miss(largest);
+        }
+        let result = self.execute_inner(stmt, params, txn);
+        let rows = match &result {
+            Ok(ExecuteResult::Query(rs)) => rs.len(),
+            _ => 0,
+        };
+        self.latency.charge(rows);
+        result
+    }
+
+    /// Parse and execute a SQL string (convenience for tests and examples).
+    pub fn execute_sql(&self, sql: &str, params: &[Value], txn: Option<TxnId>) -> Result<ExecuteResult> {
+        let stmt = parse_statement(sql).map_err(|e| StorageError::Execution(e.to_string()))?;
+        self.execute(&stmt, params, txn)
+    }
+
+    fn execute_inner(
+        &self,
+        stmt: &Statement,
+        params: &[Value],
+        txn: Option<TxnId>,
+    ) -> Result<ExecuteResult> {
+        match stmt {
+            Statement::Select(s) => Ok(ExecuteResult::Query(self.select(s, params, txn)?)),
+            Statement::Insert(s) => self.with_txn(txn, |t| self.insert(s, params, t)),
+            Statement::Update(s) => self.with_txn(txn, |t| self.update(s, params, t)),
+            Statement::Delete(s) => self.with_txn(txn, |t| self.delete(s, params, t)),
+            Statement::CreateTable(s) => self.create_table(s),
+            Statement::DropTable(s) => self.drop_table(s),
+            Statement::TruncateTable(n) => {
+                let t = self.table(n.as_str())?;
+                let affected = t.write().truncate();
+                Ok(ExecuteResult::Update { affected })
+            }
+            Statement::CreateIndex(s) => {
+                let t = self.table(s.table.as_str())?;
+                t.write().create_index(&s.name, &s.columns, s.unique)?;
+                Ok(ExecuteResult::Update { affected: 0 })
+            }
+            Statement::DropIndex { name, table } => {
+                let t = self.table(table.as_str())?;
+                t.write().drop_index(name)?;
+                Ok(ExecuteResult::Update { affected: 0 })
+            }
+            Statement::Begin | Statement::Commit | Statement::Rollback => {
+                Err(StorageError::Execution(
+                    "transaction control must use the engine API (begin/commit/rollback)".into(),
+                ))
+            }
+            Statement::SetVariable { .. } => Ok(ExecuteResult::Update { affected: 0 }),
+            Statement::ShowTables => {
+                let rows = self
+                    .table_names()
+                    .into_iter()
+                    .map(|n| vec![Value::Str(n)])
+                    .collect();
+                Ok(ExecuteResult::Query(ResultSet::new(
+                    vec!["table_name".into()],
+                    rows,
+                )))
+            }
+            Statement::DistSql(_) => Err(StorageError::Execution(
+                "DistSQL is handled by the sharding kernel, not a data source".into(),
+            )),
+        }
+    }
+
+    /// Run a write op inside the given txn, or an implicit one (auto-commit).
+    fn with_txn(
+        &self,
+        txn: Option<TxnId>,
+        f: impl FnOnce(TxnId) -> Result<ExecuteResult>,
+    ) -> Result<ExecuteResult> {
+        match txn {
+            Some(t) => {
+                if !self.txns.lock().contains_key(&t) {
+                    return Err(StorageError::UnknownTransaction(t));
+                }
+                f(t)
+            }
+            None => {
+                let t = self.begin();
+                match f(t) {
+                    Ok(r) => {
+                        self.commit(t)?;
+                        Ok(r)
+                    }
+                    Err(e) => {
+                        // Roll back the implicit transaction; surface the
+                        // original error.
+                        let _ = self.rollback(t);
+                        Err(e)
+                    }
+                }
+            }
+        }
+    }
+
+    fn record_undo_recovered(&self, txn: TxnId, op: UndoOp) {
+        self.recovered_undo.lock().entry(txn).or_default().push(op);
+    }
+
+    fn record_undo(&self, txn: TxnId, op: UndoOp) {
+        if let Some(state) = self.txns.lock().get_mut(&txn) {
+            state.undo.push(op);
+        }
+    }
+
+    fn select(
+        &self,
+        stmt: &SelectStatement,
+        params: &[Value],
+        txn: Option<TxnId>,
+    ) -> Result<ResultSet> {
+        let rs = execute_select(self, stmt, params)?;
+        // SELECT ... FOR UPDATE takes write locks on the matched rows of the
+        // base table when run inside an explicit transaction.
+        if stmt.for_update {
+            if let (Some(t), Some(from)) = (txn, &stmt.from) {
+                let table = self.table(from.name.as_str())?;
+                let guard = table.read();
+                if let Some(pk) = guard.primary_index() {
+                    // Lock via PK lookup of returned rows when the PK columns
+                    // are all present in the result.
+                    let pk_cols: Vec<String> = pk
+                        .columns
+                        .iter()
+                        .map(|&i| guard.schema.columns[i].name.clone())
+                        .collect();
+                    let positions: Option<Vec<usize>> =
+                        pk_cols.iter().map(|c| rs.column_index(c)).collect();
+                    if let Some(pos) = positions {
+                        for row in &rs.rows {
+                            let key: Vec<Value> = pos.iter().map(|&i| row[i].clone()).collect();
+                            for rid in guard.lookup_pk(&key) {
+                                self.locks.lock_row(t, guard.name(), rid)?;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(rs)
+    }
+
+    fn insert(&self, stmt: &InsertStatement, params: &[Value], txn: TxnId) -> Result<ExecuteResult> {
+        let table = self.table(stmt.table.as_str())?;
+        let mut affected = 0u64;
+        let scope = Scope::new();
+        for row_exprs in &stmt.rows {
+            let ctx = EvalContext::new(&scope, &[], params);
+            let values: Result<Vec<Value>> = row_exprs.iter().map(|e| eval(e, &ctx)).collect();
+            let values = values?;
+            let full_row = {
+                let guard = table.read();
+                build_full_row(&guard.schema, &stmt.columns, values)?
+            };
+            let (row_id, stored) = table.write().insert(full_row)?;
+            self.locks.lock_row(txn, stmt.table.as_str(), row_id)?;
+            self.record_undo(
+                txn,
+                UndoOp::Insert {
+                    table: stmt.table.0.clone(),
+                    row_id,
+                },
+            );
+            self.wal.append(LogRecord::Insert {
+                txn,
+                table: stmt.table.0.clone(),
+                row_id,
+                row: stored,
+            });
+            affected += 1;
+        }
+        Ok(ExecuteResult::Update { affected })
+    }
+
+    fn update(&self, stmt: &UpdateStatement, params: &[Value], txn: TxnId) -> Result<ExecuteResult> {
+        let table = self.table(stmt.table.as_str())?;
+        let binding = stmt.alias.clone().unwrap_or_else(|| stmt.table.0.clone());
+        // Plan: find target row ids (index-assisted), then lock and mutate.
+        let (targets, scope) = {
+            let guard = table.read();
+            let scope = Scope::from_table(&binding, &guard.schema.column_names());
+            let ids = self.matching_rows(&guard, &binding, &scope, stmt.where_clause.as_ref(), params)?;
+            (ids, scope)
+        };
+        let mut affected = 0u64;
+        for row_id in targets {
+            self.locks.lock_row(txn, stmt.table.as_str(), row_id)?;
+            let mut guard = table.write();
+            // Re-check the row still matches (it may have changed while we
+            // waited for the lock).
+            let Some(current) = guard.get(row_id).cloned() else {
+                continue;
+            };
+            if let Some(pred) = &stmt.where_clause {
+                let ctx = EvalContext::new(&scope, &current, params);
+                if !eval_predicate(pred, &ctx)? {
+                    continue;
+                }
+            }
+            let mut new_row = current.clone();
+            for assign in &stmt.assignments {
+                let col = guard
+                    .schema
+                    .column_index(&assign.column)
+                    .ok_or_else(|| StorageError::ColumnNotFound(assign.column.clone()))?;
+                let ctx = EvalContext::new(&scope, &current, params);
+                new_row[col] = eval(&assign.value, &ctx)?;
+            }
+            let before = guard.update(row_id, new_row.clone())?;
+            drop(guard);
+            self.record_undo(
+                txn,
+                UndoOp::Update {
+                    table: stmt.table.0.clone(),
+                    row_id,
+                    before: before.clone(),
+                },
+            );
+            self.wal.append(LogRecord::Update {
+                txn,
+                table: stmt.table.0.clone(),
+                row_id,
+                before,
+                after: new_row,
+            });
+            affected += 1;
+        }
+        Ok(ExecuteResult::Update { affected })
+    }
+
+    fn delete(&self, stmt: &DeleteStatement, params: &[Value], txn: TxnId) -> Result<ExecuteResult> {
+        let table = self.table(stmt.table.as_str())?;
+        let binding = stmt.alias.clone().unwrap_or_else(|| stmt.table.0.clone());
+        let (targets, scope) = {
+            let guard = table.read();
+            let scope = Scope::from_table(&binding, &guard.schema.column_names());
+            let ids = self.matching_rows(&guard, &binding, &scope, stmt.where_clause.as_ref(), params)?;
+            (ids, scope)
+        };
+        let mut affected = 0u64;
+        for row_id in targets {
+            self.locks.lock_row(txn, stmt.table.as_str(), row_id)?;
+            let mut guard = table.write();
+            let Some(current) = guard.get(row_id).cloned() else {
+                continue;
+            };
+            if let Some(pred) = &stmt.where_clause {
+                let ctx = EvalContext::new(&scope, &current, params);
+                if !eval_predicate(pred, &ctx)? {
+                    continue;
+                }
+            }
+            let before = guard.delete(row_id)?;
+            drop(guard);
+            self.record_undo(
+                txn,
+                UndoOp::Delete {
+                    table: stmt.table.0.clone(),
+                    row_id,
+                    before: before.clone(),
+                },
+            );
+            self.wal.append(LogRecord::Delete {
+                txn,
+                table: stmt.table.0.clone(),
+                row_id,
+                before,
+            });
+            affected += 1;
+        }
+        Ok(ExecuteResult::Update { affected })
+    }
+
+    /// Row ids matching a WHERE clause, using indexes when possible.
+    fn matching_rows(
+        &self,
+        table: &Table,
+        binding: &str,
+        scope: &Scope,
+        where_clause: Option<&Expr>,
+        params: &[Value],
+    ) -> Result<Vec<RowId>> {
+        // Reuse the SELECT access-path planner so DML gets index speed too.
+        let candidates = crate::exec_select::access_path(table, binding, where_clause, params);
+        let mut out = Vec::new();
+        match candidates {
+            Some(ids) => {
+                for id in ids {
+                    if let Some(row) = table.get(id) {
+                        let keep = match where_clause {
+                            Some(pred) => {
+                                let ctx = EvalContext::new(scope, row, params);
+                                eval_predicate(pred, &ctx)?
+                            }
+                            None => true,
+                        };
+                        if keep {
+                            out.push(id);
+                        }
+                    }
+                }
+            }
+            None => {
+                for (id, row) in table.scan() {
+                    let keep = match where_clause {
+                        Some(pred) => {
+                            let ctx = EvalContext::new(scope, row, params);
+                            eval_predicate(pred, &ctx)?
+                        }
+                        None => true,
+                    };
+                    if keep {
+                        out.push(id);
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    // -- DDL -------------------------------------------------------------------
+
+    fn create_table(&self, stmt: &CreateTableStatement) -> Result<ExecuteResult> {
+        let mut tables = self.tables.write();
+        let key = stmt.name.0.to_lowercase();
+        if tables.contains_key(&key) {
+            if stmt.if_not_exists {
+                return Ok(ExecuteResult::Update { affected: 0 });
+            }
+            return Err(StorageError::TableAlreadyExists(stmt.name.0.clone()));
+        }
+        let schema = TableSchema::new(stmt.name.0.clone(), stmt.columns.clone(), &stmt.primary_key)?;
+        tables.insert(key, Arc::new(RwLock::new(Table::new(schema))));
+        drop(tables);
+        self.wal.append(LogRecord::CreateTable {
+            schema_sql: format_statement(&Statement::CreateTable(stmt.clone()), self.dialect),
+        });
+        Ok(ExecuteResult::Update { affected: 0 })
+    }
+
+    fn drop_table(&self, stmt: &DropTableStatement) -> Result<ExecuteResult> {
+        let mut tables = self.tables.write();
+        for name in &stmt.names {
+            let key = name.0.to_lowercase();
+            if tables.remove(&key).is_none() && !stmt.if_exists {
+                return Err(StorageError::TableNotFound(name.0.clone()));
+            }
+            self.wal.append(LogRecord::DropTable { table: name.0.clone() });
+        }
+        Ok(ExecuteResult::Update { affected: 0 })
+    }
+
+    pub fn table(&self, name: &str) -> Result<Arc<RwLock<Table>>> {
+        self.tables
+            .read()
+            .get(&name.to_lowercase())
+            .cloned()
+            .ok_or_else(|| StorageError::TableNotFound(name.to_string()))
+    }
+
+    // -- recovery ----------------------------------------------------------------
+
+    /// Rebuild an engine from a surviving WAL (crash recovery).
+    ///
+    /// Effects of committed transactions are replayed; transactions that were
+    /// active (no prepare/commit) are discarded; prepared transactions are
+    /// replayed and left in-doubt for the coordinator's recovery pass, per
+    /// the paper's §IV-B.
+    pub fn recover(name: impl Into<String>, latency: LatencyModel, wal: SharedLog) -> Result<Arc<Self>> {
+        let records = wal.snapshot();
+        let engine = StorageEngine::with_options(name, latency, wal);
+
+        // Classify transactions.
+        let mut committed = std::collections::HashSet::new();
+        let mut aborted = std::collections::HashSet::new();
+        let mut prepared: HashMap<u64, String> = HashMap::new();
+        for rec in &records {
+            match rec {
+                LogRecord::Commit { txn } => {
+                    committed.insert(*txn);
+                }
+                LogRecord::Abort { txn } => {
+                    aborted.insert(*txn);
+                }
+                LogRecord::Prepare { txn, xid } => {
+                    prepared.insert(*txn, xid.clone());
+                }
+                _ => {}
+            }
+        }
+
+        let mut max_txn = 0u64;
+        for rec in &records {
+            if let Some(t) = rec.txn() {
+                max_txn = max_txn.max(t);
+            }
+            match rec {
+                LogRecord::CreateTable { schema_sql } => {
+                    let stmt = parse_statement(schema_sql)
+                        .map_err(|e| StorageError::Execution(format!("bad WAL DDL: {e}")))?;
+                    if let Statement::CreateTable(c) = stmt {
+                        engine.create_table(&c)?;
+                    }
+                }
+                LogRecord::DropTable { table } => {
+                    let _ = engine.drop_table(&DropTableStatement {
+                        names: vec![ObjectName::new(table.clone())],
+                        if_exists: true,
+                    });
+                }
+                LogRecord::Insert { txn, table, row_id, row } => {
+                    let replay = committed.contains(txn) || prepared.contains_key(txn);
+                    if replay && !aborted.contains(txn) {
+                        let t = engine.table(table)?;
+                        t.write().reinsert(*row_id, row.clone())?;
+                        if prepared.contains_key(txn) && !committed.contains(txn) {
+                            engine.record_undo_recovered(
+                                *txn,
+                                UndoOp::Insert { table: table.clone(), row_id: *row_id },
+                            );
+                        }
+                    }
+                }
+                LogRecord::Update { txn, table, row_id, before, after } => {
+                    let replay = committed.contains(txn) || prepared.contains_key(txn);
+                    if replay && !aborted.contains(txn) {
+                        let t = engine.table(table)?;
+                        t.write().update(*row_id, after.clone())?;
+                        if prepared.contains_key(txn) && !committed.contains(txn) {
+                            engine.record_undo_recovered(
+                                *txn,
+                                UndoOp::Update {
+                                    table: table.clone(),
+                                    row_id: *row_id,
+                                    before: before.clone(),
+                                },
+                            );
+                        }
+                    }
+                }
+                LogRecord::Delete { txn, table, row_id, before } => {
+                    let replay = committed.contains(txn) || prepared.contains_key(txn);
+                    if replay && !aborted.contains(txn) {
+                        let t = engine.table(table)?;
+                        let _ = t.write().delete(*row_id);
+                        if prepared.contains_key(txn) && !committed.contains(txn) {
+                            engine.record_undo_recovered(
+                                *txn,
+                                UndoOp::Delete {
+                                    table: table.clone(),
+                                    row_id: *row_id,
+                                    before: before.clone(),
+                                },
+                            );
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // Register in-doubt transactions.
+        {
+            let mut txns = engine.txns.lock();
+            for (txn, xid) in &prepared {
+                if !committed.contains(txn) && !aborted.contains(txn) {
+                    let undo = engine.recovered_undo.lock().remove(txn).unwrap_or_default();
+                    txns.insert(
+                        *txn,
+                        TxnState {
+                            phase: TxnPhase::Prepared { xid: xid.clone() },
+                            undo,
+                        },
+                    );
+                }
+            }
+        }
+        engine.next_txn.store(max_txn + 1, Ordering::SeqCst);
+        Ok(engine)
+    }
+}
+
+/// Build a full-width row from named INSERT columns.
+fn build_full_row(
+    schema: &TableSchema,
+    columns: &[String],
+    values: Vec<Value>,
+) -> Result<Vec<Value>> {
+    if columns.is_empty() {
+        return Ok(values);
+    }
+    let mut row = vec![Value::Null; schema.arity()];
+    for (c, v) in columns.iter().zip(values) {
+        let idx = schema
+            .column_index(c)
+            .ok_or_else(|| StorageError::ColumnNotFound(c.clone()))?;
+        row[idx] = v;
+    }
+    Ok(row)
+}
+
+impl Catalog for StorageEngine {
+    fn table(&self, name: &str) -> Result<Arc<RwLock<Table>>> {
+        StorageEngine::table(self, name)
+    }
+}

@@ -1,0 +1,80 @@
+//! Storage engine error type.
+
+use std::fmt;
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum StorageError {
+    TableNotFound(String),
+    TableAlreadyExists(String),
+    ColumnNotFound(String),
+    IndexNotFound(String),
+    IndexAlreadyExists(String),
+    DuplicateKey {
+        table: String,
+        key: String,
+    },
+    NotNullViolation {
+        table: String,
+        column: String,
+    },
+    TypeMismatch {
+        column: String,
+        expected: String,
+        found: String,
+    },
+    /// A row lock could not be acquired within the lock wait timeout.
+    LockTimeout {
+        table: String,
+    },
+    /// Transaction identifiers that the engine does not know about.
+    UnknownTransaction(u64),
+    /// XA: operation illegal in the transaction's current state.
+    IllegalTransactionState {
+        txn: u64,
+        state: String,
+        operation: String,
+    },
+    /// Local SQL execution failure (unsupported construct, arity, …).
+    Execution(String),
+    /// The statement references `?` parameters not supplied by the caller.
+    MissingParameter(usize),
+    /// Fault injection hook fired (used by failure-injection tests).
+    Injected(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::TableNotFound(t) => write!(f, "table '{t}' not found"),
+            StorageError::TableAlreadyExists(t) => write!(f, "table '{t}' already exists"),
+            StorageError::ColumnNotFound(c) => write!(f, "column '{c}' not found"),
+            StorageError::IndexNotFound(i) => write!(f, "index '{i}' not found"),
+            StorageError::IndexAlreadyExists(i) => write!(f, "index '{i}' already exists"),
+            StorageError::DuplicateKey { table, key } => {
+                write!(f, "duplicate key '{key}' in table '{table}'")
+            }
+            StorageError::NotNullViolation { table, column } => {
+                write!(f, "column '{table}.{column}' cannot be NULL")
+            }
+            StorageError::TypeMismatch {
+                column,
+                expected,
+                found,
+            } => write!(f, "column '{column}' expects {expected}, found {found}"),
+            StorageError::LockTimeout { table } => {
+                write!(f, "lock wait timeout on table '{table}'")
+            }
+            StorageError::UnknownTransaction(id) => write!(f, "unknown transaction {id}"),
+            StorageError::IllegalTransactionState { txn, state, operation } => {
+                write!(f, "transaction {txn} in state {state} cannot {operation}")
+            }
+            StorageError::Execution(msg) => write!(f, "execution error: {msg}"),
+            StorageError::MissingParameter(i) => write!(f, "missing parameter at index {i}"),
+            StorageError::Injected(msg) => write!(f, "injected fault: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+pub type Result<T> = std::result::Result<T, StorageError>;

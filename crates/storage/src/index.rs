@@ -1,0 +1,206 @@
+//! B-tree indexes over table rows.
+//!
+//! An index maps a composite key (one `Value` per indexed column) to the set
+//! of row ids holding that key. Unique indexes (the primary key, UNIQUE
+//! indexes) reject duplicate keys at insert time.
+
+use crate::error::{Result, StorageError};
+use shard_sql::Value;
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+pub type RowId = u64;
+
+#[derive(Debug, Clone)]
+pub struct Index {
+    pub name: String,
+    /// Column positions (into the table schema) covered by this index.
+    pub columns: Vec<usize>,
+    pub unique: bool,
+    entries: BTreeMap<Vec<Value>, Vec<RowId>>,
+}
+
+impl Index {
+    pub fn new(name: impl Into<String>, columns: Vec<usize>, unique: bool) -> Self {
+        Index {
+            name: name.into(),
+            columns,
+            unique,
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// Extract this index's key from a full table row.
+    pub fn key_of(&self, row: &[Value]) -> Vec<Value> {
+        self.columns.iter().map(|&i| row[i].clone()).collect()
+    }
+
+    pub fn insert(&mut self, table: &str, key: Vec<Value>, row_id: RowId) -> Result<()> {
+        if self.unique {
+            if let Some(slot) = self.entries.get(&key) {
+                if !slot.is_empty() {
+                    return Err(StorageError::DuplicateKey {
+                        table: table.to_string(),
+                        key: format!("{key:?}"),
+                    });
+                }
+            }
+        }
+        self.entries.entry(key).or_default().push(row_id);
+        Ok(())
+    }
+
+    pub fn remove(&mut self, key: &[Value], row_id: RowId) {
+        if let Some(slot) = self.entries.get_mut(key) {
+            slot.retain(|id| *id != row_id);
+            if slot.is_empty() {
+                self.entries.remove(key);
+            }
+        }
+    }
+
+    /// Row ids for an exact key.
+    pub fn lookup(&self, key: &[Value]) -> Vec<RowId> {
+        self.entries.get(key).cloned().unwrap_or_default()
+    }
+
+    /// True if the exact key exists.
+    pub fn contains(&self, key: &[Value]) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// Row ids for a range over the *first* index column (single-column range
+    /// scans; composite prefixes fall back to full scans in the executor).
+    pub fn range(
+        &self,
+        low: Bound<&Value>,
+        high: Bound<&Value>,
+    ) -> Vec<RowId> {
+        // Seek to the first candidate key; exact low-bound filtering happens
+        // below (composite keys share a first-column prefix).
+        let lo: Bound<Vec<Value>> = match low {
+            Bound::Included(v) | Bound::Excluded(v) => Bound::Included(vec![v.clone()]),
+            Bound::Unbounded => Bound::Unbounded,
+        };
+        let mut out = Vec::new();
+        for (key, ids) in self.entries.range((lo, Bound::Unbounded)) {
+            let first = &key[0];
+            match high {
+                Bound::Included(h) => {
+                    if first.total_cmp(h) == std::cmp::Ordering::Greater {
+                        break;
+                    }
+                }
+                Bound::Excluded(h) => {
+                    if first.total_cmp(h) != std::cmp::Ordering::Less {
+                        break;
+                    }
+                }
+                Bound::Unbounded => {}
+            }
+            // For Excluded low bound the hack above can over-include keys with
+            // composite suffixes; filter exactly.
+            if let Bound::Excluded(l) = low {
+                if first.total_cmp(l) != std::cmp::Ordering::Greater {
+                    continue;
+                }
+            }
+            out.extend_from_slice(ids);
+        }
+        out
+    }
+
+    /// All row ids in key order (used for index-ordered scans).
+    pub fn scan(&self) -> impl Iterator<Item = RowId> + '_ {
+        self.entries.values().flatten().copied()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.values().map(Vec::len).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(i: i64) -> Vec<Value> {
+        vec![Value::Int(i)]
+    }
+
+    #[test]
+    fn unique_rejects_duplicates() {
+        let mut idx = Index::new("pk", vec![0], true);
+        idx.insert("t", key(1), 100).unwrap();
+        let err = idx.insert("t", key(1), 101).unwrap_err();
+        assert!(matches!(err, StorageError::DuplicateKey { .. }));
+        assert_eq!(idx.lookup(&key(1)), vec![100]);
+    }
+
+    #[test]
+    fn non_unique_accumulates() {
+        let mut idx = Index::new("i", vec![1], false);
+        idx.insert("t", key(5), 1).unwrap();
+        idx.insert("t", key(5), 2).unwrap();
+        assert_eq!(idx.lookup(&key(5)), vec![1, 2]);
+    }
+
+    #[test]
+    fn remove_cleans_empty_slots() {
+        let mut idx = Index::new("i", vec![0], false);
+        idx.insert("t", key(5), 1).unwrap();
+        idx.remove(&key(5), 1);
+        assert!(idx.is_empty());
+        assert!(!idx.contains(&key(5)));
+    }
+
+    #[test]
+    fn range_inclusive() {
+        let mut idx = Index::new("i", vec![0], true);
+        for i in 0..10 {
+            idx.insert("t", key(i), i as RowId).unwrap();
+        }
+        let got = idx.range(Bound::Included(&Value::Int(3)), Bound::Included(&Value::Int(6)));
+        assert_eq!(got, vec![3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn range_exclusive_bounds() {
+        let mut idx = Index::new("i", vec![0], true);
+        for i in 0..10 {
+            idx.insert("t", key(i), i as RowId).unwrap();
+        }
+        let got = idx.range(Bound::Excluded(&Value::Int(3)), Bound::Excluded(&Value::Int(6)));
+        assert_eq!(got, vec![4, 5]);
+    }
+
+    #[test]
+    fn range_unbounded() {
+        let mut idx = Index::new("i", vec![0], true);
+        for i in 0..5 {
+            idx.insert("t", key(i), i as RowId).unwrap();
+        }
+        let got = idx.range(Bound::Unbounded, Bound::Excluded(&Value::Int(2)));
+        assert_eq!(got, vec![0, 1]);
+        let got = idx.range(Bound::Included(&Value::Int(3)), Bound::Unbounded);
+        assert_eq!(got, vec![3, 4]);
+    }
+
+    #[test]
+    fn scan_is_key_ordered() {
+        let mut idx = Index::new("i", vec![0], true);
+        for i in [5i64, 1, 3, 2, 4] {
+            idx.insert("t", key(i), i as RowId).unwrap();
+        }
+        let got: Vec<_> = idx.scan().collect();
+        assert_eq!(got, vec![1, 2, 3, 4, 5]);
+    }
+}

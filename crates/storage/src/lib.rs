@@ -1,0 +1,40 @@
+//! # shard-storage
+//!
+//! Embedded relational storage engine — the "data source" substrate for
+//! ShardingSphere-RS. One [`StorageEngine`] models one underlying database
+//! server: tables with B-tree indexes, a local SQL executor, ACID local
+//! transactions with write locks and undo logs, a WAL with crash recovery,
+//! an XA resource-manager interface for the kernel's 2PC coordinator, and a
+//! latency model simulating the network distance to a remote server.
+//!
+//! ```
+//! use shard_storage::StorageEngine;
+//! use shard_sql::Value;
+//!
+//! let ds = StorageEngine::new("ds_0");
+//! ds.execute_sql("CREATE TABLE t_user (uid BIGINT PRIMARY KEY, name VARCHAR(32))", &[], None).unwrap();
+//! ds.execute_sql("INSERT INTO t_user VALUES (1, 'ann')", &[], None).unwrap();
+//! let rs = ds.execute_sql("SELECT name FROM t_user WHERE uid = 1", &[], None).unwrap().query();
+//! assert_eq!(rs.rows[0][0], Value::Str("ann".into()));
+//! ```
+
+pub mod engine;
+pub mod error;
+pub mod eval;
+pub mod exec_select;
+pub mod index;
+pub mod latency;
+pub mod lock;
+pub mod result;
+pub mod schema;
+pub mod table;
+pub mod wal;
+
+pub use engine::StorageEngine;
+pub use error::{Result, StorageError};
+pub use latency::LatencyModel;
+pub use lock::TxnId;
+pub use result::{ExecuteResult, ResultCursor, ResultSet};
+pub use schema::TableSchema;
+pub use table::Table;
+pub use wal::{LogRecord, SharedLog};

@@ -1,0 +1,122 @@
+//! Result-set types shared between the storage engine and the kernel.
+
+use shard_sql::Value;
+
+/// A materialized query result: named columns plus rows.
+///
+/// The kernel's *stream merger* consumes result sets through
+/// [`ResultSet::into_cursor`], which models the database cursor the paper's
+/// stream merger holds per data node; the *memory merger* takes `rows`
+/// wholesale.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ResultSet {
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl ResultSet {
+    pub fn new(columns: Vec<String>, rows: Vec<Vec<Value>>) -> Self {
+        ResultSet { columns, rows }
+    }
+
+    pub fn empty() -> Self {
+        ResultSet::default()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Index of a column by name (case-insensitive), matching SQL semantics.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.eq_ignore_ascii_case(name))
+    }
+
+    /// Turn into a forward-only cursor (the stream-merger interface).
+    pub fn into_cursor(self) -> ResultCursor {
+        ResultCursor {
+            columns: self.columns,
+            rows: self.rows.into_iter(),
+        }
+    }
+}
+
+/// Forward-only cursor over a result set.
+pub struct ResultCursor {
+    pub columns: Vec<String>,
+    rows: std::vec::IntoIter<Vec<Value>>,
+}
+
+impl ResultCursor {
+    pub fn next_row(&mut self) -> Option<Vec<Value>> {
+        self.rows.next()
+    }
+}
+
+impl Iterator for ResultCursor {
+    type Item = Vec<Value>;
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_row()
+    }
+}
+
+/// Outcome of executing one statement against a data source.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecuteResult {
+    /// SELECT/SHOW produced rows.
+    Query(ResultSet),
+    /// DML/DDL produced an affected-row count.
+    Update { affected: u64 },
+}
+
+impl ExecuteResult {
+    pub fn query(self) -> ResultSet {
+        match self {
+            ExecuteResult::Query(rs) => rs,
+            ExecuteResult::Update { .. } => ResultSet::empty(),
+        }
+    }
+
+    pub fn affected(&self) -> u64 {
+        match self {
+            ExecuteResult::Query(rs) => rs.len() as u64,
+            ExecuteResult::Update { affected } => *affected,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_lookup_case_insensitive() {
+        let rs = ResultSet::new(vec!["Uid".into(), "name".into()], vec![]);
+        assert_eq!(rs.column_index("uid"), Some(0));
+        assert_eq!(rs.column_index("NAME"), Some(1));
+        assert_eq!(rs.column_index("zzz"), None);
+    }
+
+    #[test]
+    fn cursor_iterates_in_order() {
+        let rs = ResultSet::new(
+            vec!["a".into()],
+            vec![vec![Value::Int(1)], vec![Value::Int(2)]],
+        );
+        let got: Vec<_> = rs.into_cursor().collect();
+        assert_eq!(got, vec![vec![Value::Int(1)], vec![Value::Int(2)]]);
+    }
+
+    #[test]
+    fn execute_result_affected() {
+        assert_eq!(ExecuteResult::Update { affected: 3 }.affected(), 3);
+        let rs = ResultSet::new(vec!["a".into()], vec![vec![Value::Int(1)]]);
+        assert_eq!(ExecuteResult::Query(rs).affected(), 1);
+    }
+}

@@ -1,0 +1,400 @@
+//! Physical table: row store plus primary and secondary B-tree indexes.
+
+use crate::error::{Result, StorageError};
+use crate::index::{Index, RowId};
+use crate::schema::TableSchema;
+use shard_sql::Value;
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+pub struct Table {
+    pub schema: TableSchema,
+    rows: BTreeMap<RowId, Vec<Value>>,
+    next_row_id: RowId,
+    /// Primary-key index (always present; synthesized on the row id when the
+    /// schema declares no primary key).
+    primary: Option<Index>,
+    secondary: Vec<Index>,
+    next_auto_increment: i64,
+}
+
+impl Table {
+    pub fn new(schema: TableSchema) -> Self {
+        let primary = if schema.primary_key.is_empty() {
+            None
+        } else {
+            Some(Index::new("PRIMARY", schema.primary_key.clone(), true))
+        };
+        Table {
+            schema,
+            rows: BTreeMap::new(),
+            next_row_id: 1,
+            primary,
+            secondary: Vec::new(),
+            next_auto_increment: 1,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    pub fn name(&self) -> &str {
+        &self.schema.name
+    }
+
+    // -- index management ----------------------------------------------------
+
+    pub fn create_index(&mut self, name: &str, columns: &[String], unique: bool) -> Result<()> {
+        if self.secondary.iter().any(|i| i.name.eq_ignore_ascii_case(name)) {
+            return Err(StorageError::IndexAlreadyExists(name.to_string()));
+        }
+        let mut positions = Vec::with_capacity(columns.len());
+        for c in columns {
+            positions.push(
+                self.schema
+                    .column_index(c)
+                    .ok_or_else(|| StorageError::ColumnNotFound(c.clone()))?,
+            );
+        }
+        let mut idx = Index::new(name, positions, unique);
+        for (row_id, row) in &self.rows {
+            let key = idx.key_of(row);
+            idx.insert(self.name(), key, *row_id)?;
+        }
+        self.secondary.push(idx);
+        Ok(())
+    }
+
+    pub fn drop_index(&mut self, name: &str) -> Result<()> {
+        let before = self.secondary.len();
+        self.secondary.retain(|i| !i.name.eq_ignore_ascii_case(name));
+        if self.secondary.len() == before {
+            return Err(StorageError::IndexNotFound(name.to_string()));
+        }
+        Ok(())
+    }
+
+    /// The index (primary or secondary) whose first column is `column`, if
+    /// any — the executor's access-path selection hook.
+    pub fn index_on(&self, column: &str) -> Option<&Index> {
+        let col = self.schema.column_index(column)?;
+        if let Some(pk) = &self.primary {
+            if pk.columns.first() == Some(&col) {
+                return Some(pk);
+            }
+        }
+        self.secondary.iter().find(|i| i.columns.first() == Some(&col))
+    }
+
+    pub fn primary_index(&self) -> Option<&Index> {
+        self.primary.as_ref()
+    }
+
+    // -- row operations -------------------------------------------------------
+
+    /// Insert a validated row; fills auto-increment columns when NULL.
+    /// Returns the new row id and the stored row.
+    pub fn insert(&mut self, row: Vec<Value>) -> Result<(RowId, Vec<Value>)> {
+        let mut row = self.schema.admit_row(row)?;
+        for (i, col) in self.schema.columns.iter().enumerate() {
+            if col.auto_increment && row[i].is_null() {
+                row[i] = Value::Int(self.next_auto_increment);
+                self.next_auto_increment += 1;
+            } else if col.auto_increment {
+                if let Some(v) = row[i].as_int() {
+                    self.next_auto_increment = self.next_auto_increment.max(v + 1);
+                }
+            }
+        }
+        let row_id = self.next_row_id;
+        // Validate uniqueness before mutating any index so a failed insert
+        // leaves the table untouched.
+        if let Some(pk) = &self.primary {
+            let key = pk.key_of(&row);
+            if pk.contains(&key) {
+                return Err(StorageError::DuplicateKey {
+                    table: self.name().to_string(),
+                    key: format!("{key:?}"),
+                });
+            }
+        }
+        for idx in &self.secondary {
+            if idx.unique {
+                let key = idx.key_of(&row);
+                if idx.contains(&key) {
+                    return Err(StorageError::DuplicateKey {
+                        table: self.name().to_string(),
+                        key: format!("{key:?}"),
+                    });
+                }
+            }
+        }
+        let name = self.schema.name.clone();
+        if let Some(pk) = &mut self.primary {
+            let key = pk.key_of(&row);
+            pk.insert(&name, key, row_id)?;
+        }
+        for idx in &mut self.secondary {
+            let key = idx.key_of(&row);
+            idx.insert(&name, key, row_id)?;
+        }
+        self.rows.insert(row_id, row.clone());
+        self.next_row_id += 1;
+        Ok((row_id, row))
+    }
+
+    /// Re-insert a row under a known id (undo of delete / recovery replay).
+    pub fn reinsert(&mut self, row_id: RowId, row: Vec<Value>) -> Result<()> {
+        let name = self.schema.name.clone();
+        if let Some(pk) = &mut self.primary {
+            let key = pk.key_of(&row);
+            pk.insert(&name, key, row_id)?;
+        }
+        for idx in &mut self.secondary {
+            let key = idx.key_of(&row);
+            idx.insert(&name, key, row_id)?;
+        }
+        self.rows.insert(row_id, row);
+        self.next_row_id = self.next_row_id.max(row_id + 1);
+        Ok(())
+    }
+
+    pub fn get(&self, row_id: RowId) -> Option<&Vec<Value>> {
+        self.rows.get(&row_id)
+    }
+
+    /// Replace a row in place, maintaining all indexes. Returns the before
+    /// image.
+    pub fn update(&mut self, row_id: RowId, new_row: Vec<Value>) -> Result<Vec<Value>> {
+        let new_row = self.schema.admit_row(new_row)?;
+        let old_row = self
+            .rows
+            .get(&row_id)
+            .cloned()
+            .ok_or_else(|| StorageError::Execution(format!("row {row_id} vanished")))?;
+        let name = self.schema.name.clone();
+        // Check PK uniqueness if the key changed.
+        if let Some(pk) = &self.primary {
+            let old_key = pk.key_of(&old_row);
+            let new_key = pk.key_of(&new_row);
+            if old_key != new_key && pk.contains(&new_key) {
+                return Err(StorageError::DuplicateKey {
+                    table: name,
+                    key: format!("{new_key:?}"),
+                });
+            }
+        }
+        if let Some(pk) = &mut self.primary {
+            let old_key = pk.key_of(&old_row);
+            let new_key = pk.key_of(&new_row);
+            if old_key != new_key {
+                pk.remove(&old_key, row_id);
+                pk.insert(&name, new_key, row_id)?;
+            }
+        }
+        for idx in &mut self.secondary {
+            let old_key = idx.key_of(&old_row);
+            let new_key = idx.key_of(&new_row);
+            if old_key != new_key {
+                idx.remove(&old_key, row_id);
+                idx.insert(&name, new_key, row_id)?;
+            }
+        }
+        self.rows.insert(row_id, new_row);
+        Ok(old_row)
+    }
+
+    /// Remove a row, returning its before image.
+    pub fn delete(&mut self, row_id: RowId) -> Result<Vec<Value>> {
+        let old_row = self
+            .rows
+            .remove(&row_id)
+            .ok_or_else(|| StorageError::Execution(format!("row {row_id} vanished")))?;
+        if let Some(pk) = &mut self.primary {
+            let key = pk.key_of(&old_row);
+            pk.remove(&key, row_id);
+        }
+        for idx in &mut self.secondary {
+            let key = idx.key_of(&old_row);
+            idx.remove(&key, row_id);
+        }
+        Ok(old_row)
+    }
+
+    pub fn truncate(&mut self) -> u64 {
+        let n = self.rows.len() as u64;
+        self.rows.clear();
+        if let Some(pk) = &mut self.primary {
+            pk.clear();
+        }
+        for idx in &mut self.secondary {
+            idx.clear();
+        }
+        n
+    }
+
+    /// Full scan in row-id (insertion) order.
+    pub fn scan(&self) -> impl Iterator<Item = (RowId, &Vec<Value>)> {
+        self.rows.iter().map(|(id, row)| (*id, row))
+    }
+
+    /// Point lookup via the primary index.
+    pub fn lookup_pk(&self, key: &[Value]) -> Vec<RowId> {
+        self.primary
+            .as_ref()
+            .map(|pk| pk.lookup(key))
+            .unwrap_or_default()
+    }
+
+    /// Range over a single indexed column (primary or secondary).
+    pub fn range_on(
+        &self,
+        column: &str,
+        low: Bound<&Value>,
+        high: Bound<&Value>,
+    ) -> Option<Vec<RowId>> {
+        self.index_on(column).map(|idx| idx.range(low, high))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shard_sql::ast::{ColumnDef, DataType};
+
+    fn table() -> Table {
+        let schema = TableSchema::new(
+            "t_user",
+            vec![
+                ColumnDef::new("uid", DataType::BigInt).not_null(),
+                ColumnDef::new("name", DataType::Varchar(32)),
+                ColumnDef::new("age", DataType::Int),
+            ],
+            &["uid".to_string()],
+        )
+        .unwrap();
+        Table::new(schema)
+    }
+
+    fn row(uid: i64, name: &str, age: i64) -> Vec<Value> {
+        vec![Value::Int(uid), Value::Str(name.into()), Value::Int(age)]
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut t = table();
+        t.insert(row(1, "ann", 30)).unwrap();
+        t.insert(row(2, "bob", 25)).unwrap();
+        let ids = t.lookup_pk(&[Value::Int(2)]);
+        assert_eq!(ids.len(), 1);
+        assert_eq!(t.get(ids[0]).unwrap()[1], Value::Str("bob".into()));
+    }
+
+    #[test]
+    fn duplicate_pk_rejected_without_side_effects() {
+        let mut t = table();
+        t.insert(row(1, "ann", 30)).unwrap();
+        assert!(t.insert(row(1, "dup", 0)).is_err());
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.primary_index().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn update_maintains_indexes() {
+        let mut t = table();
+        let (rid, _) = t.insert(row(1, "ann", 30)).unwrap();
+        t.update(rid, row(9, "ann", 31)).unwrap();
+        assert!(t.lookup_pk(&[Value::Int(1)]).is_empty());
+        assert_eq!(t.lookup_pk(&[Value::Int(9)]), vec![rid]);
+    }
+
+    #[test]
+    fn update_to_existing_pk_rejected() {
+        let mut t = table();
+        let (rid, _) = t.insert(row(1, "ann", 30)).unwrap();
+        t.insert(row(2, "bob", 25)).unwrap();
+        assert!(t.update(rid, row(2, "ann", 30)).is_err());
+        // original row unchanged
+        assert_eq!(t.get(rid).unwrap()[0], Value::Int(1));
+    }
+
+    #[test]
+    fn delete_removes_from_indexes() {
+        let mut t = table();
+        let (rid, _) = t.insert(row(1, "ann", 30)).unwrap();
+        let before = t.delete(rid).unwrap();
+        assert_eq!(before[1], Value::Str("ann".into()));
+        assert!(t.lookup_pk(&[Value::Int(1)]).is_empty());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn secondary_index_backfills_and_tracks() {
+        let mut t = table();
+        t.insert(row(1, "ann", 30)).unwrap();
+        t.insert(row(2, "bob", 30)).unwrap();
+        t.create_index("idx_age", &["age".to_string()], false).unwrap();
+        let idx = t.index_on("age").unwrap();
+        assert_eq!(idx.lookup(&[Value::Int(30)]).len(), 2);
+        t.insert(row(3, "cat", 30)).unwrap();
+        assert_eq!(t.index_on("age").unwrap().lookup(&[Value::Int(30)]).len(), 3);
+    }
+
+    #[test]
+    fn auto_increment_fills_nulls() {
+        let schema = TableSchema::new(
+            "t",
+            vec![
+                ColumnDef::new("id", DataType::BigInt).not_null().auto_increment(),
+                ColumnDef::new("v", DataType::Int),
+            ],
+            &["id".to_string()],
+        )
+        .unwrap();
+        let mut t = Table::new(schema);
+        let (_, r1) = t.insert(vec![Value::Null, Value::Int(10)]).unwrap();
+        let (_, r2) = t.insert(vec![Value::Null, Value::Int(20)]).unwrap();
+        assert_eq!(r1[0], Value::Int(1));
+        assert_eq!(r2[0], Value::Int(2));
+        // Explicit value bumps the counter past it.
+        t.insert(vec![Value::Int(100), Value::Int(30)]).unwrap();
+        let (_, r4) = t.insert(vec![Value::Null, Value::Int(40)]).unwrap();
+        assert_eq!(r4[0], Value::Int(101));
+    }
+
+    #[test]
+    fn range_on_pk() {
+        let mut t = table();
+        for i in 0..10 {
+            t.insert(row(i, "x", 20)).unwrap();
+        }
+        let ids = t
+            .range_on("uid", Bound::Included(&Value::Int(3)), Bound::Included(&Value::Int(5)))
+            .unwrap();
+        assert_eq!(ids.len(), 3);
+    }
+
+    #[test]
+    fn truncate_clears_everything() {
+        let mut t = table();
+        t.insert(row(1, "a", 1)).unwrap();
+        t.insert(row(2, "b", 2)).unwrap();
+        assert_eq!(t.truncate(), 2);
+        assert!(t.is_empty());
+        assert!(t.lookup_pk(&[Value::Int(1)]).is_empty());
+    }
+
+    #[test]
+    fn reinsert_restores_row_under_same_id() {
+        let mut t = table();
+        let (rid, stored) = t.insert(row(1, "ann", 30)).unwrap();
+        t.delete(rid).unwrap();
+        t.reinsert(rid, stored).unwrap();
+        assert_eq!(t.lookup_pk(&[Value::Int(1)]), vec![rid]);
+    }
+}

@@ -1,0 +1,156 @@
+//! Write-ahead log.
+//!
+//! The log is the engine's durability substrate: every transaction appends
+//! redo records before its effects are considered committed, and XA `prepare`
+//! persists a prepare marker so in-doubt transactions survive a crash (the
+//! paper's §IV-B recovery requirement: "ShardingSphere will recover the
+//! transaction after the server restarts ... according to the recorded
+//! logs").
+//!
+//! Durability is modelled by [`SharedLog`], an `Arc`-shared append-only
+//! record list that outlives the engine instance. Crash tests drop the engine
+//! and rebuild it from the same `SharedLog` via
+//! [`crate::engine::StorageEngine::recover`].
+
+use crate::index::RowId;
+use parking_lot::Mutex;
+use shard_sql::Value;
+use std::sync::Arc;
+
+/// One WAL record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogRecord {
+    /// Table created (schema DDL is logged so recovery can rebuild catalogs).
+    CreateTable {
+        schema_sql: String,
+    },
+    DropTable {
+        table: String,
+    },
+    Begin {
+        txn: u64,
+    },
+    Insert {
+        txn: u64,
+        table: String,
+        row_id: RowId,
+        row: Vec<Value>,
+    },
+    Update {
+        txn: u64,
+        table: String,
+        row_id: RowId,
+        before: Vec<Value>,
+        after: Vec<Value>,
+    },
+    Delete {
+        txn: u64,
+        table: String,
+        row_id: RowId,
+        before: Vec<Value>,
+    },
+    /// XA phase-1 vote: the transaction is in-doubt until Commit/Abort.
+    Prepare {
+        txn: u64,
+        /// Global distributed-transaction id assigned by the coordinator.
+        xid: String,
+    },
+    Commit {
+        txn: u64,
+    },
+    Abort {
+        txn: u64,
+    },
+    /// Checkpoint marker (all earlier effects are in the materialized state).
+    Checkpoint,
+}
+
+impl LogRecord {
+    pub fn txn(&self) -> Option<u64> {
+        match self {
+            LogRecord::Begin { txn }
+            | LogRecord::Insert { txn, .. }
+            | LogRecord::Update { txn, .. }
+            | LogRecord::Delete { txn, .. }
+            | LogRecord::Prepare { txn, .. }
+            | LogRecord::Commit { txn }
+            | LogRecord::Abort { txn } => Some(*txn),
+            _ => None,
+        }
+    }
+}
+
+/// An append-only durable log shared between engine incarnations.
+#[derive(Clone, Default)]
+pub struct SharedLog {
+    records: Arc<Mutex<Vec<LogRecord>>>,
+}
+
+impl SharedLog {
+    pub fn new() -> Self {
+        SharedLog::default()
+    }
+
+    pub fn append(&self, rec: LogRecord) {
+        self.records.lock().push(rec);
+    }
+
+    pub fn len(&self) -> usize {
+        self.records.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.lock().is_empty()
+    }
+
+    /// Snapshot of all records (recovery replay input).
+    pub fn snapshot(&self) -> Vec<LogRecord> {
+        self.records.lock().clone()
+    }
+
+    /// Truncate the log after installing a checkpoint (space reclamation).
+    pub fn truncate_to_checkpoint(&self) {
+        let mut recs = self.records.lock();
+        if let Some(pos) = recs.iter().rposition(|r| matches!(r, LogRecord::Checkpoint)) {
+            recs.drain(..=pos);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_and_snapshot() {
+        let log = SharedLog::new();
+        log.append(LogRecord::Begin { txn: 1 });
+        log.append(LogRecord::Commit { txn: 1 });
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.snapshot()[1], LogRecord::Commit { txn: 1 });
+    }
+
+    #[test]
+    fn shared_log_survives_clone() {
+        let log = SharedLog::new();
+        let alias = log.clone();
+        alias.append(LogRecord::Checkpoint);
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn truncate_to_checkpoint() {
+        let log = SharedLog::new();
+        log.append(LogRecord::Begin { txn: 1 });
+        log.append(LogRecord::Checkpoint);
+        log.append(LogRecord::Begin { txn: 2 });
+        log.truncate_to_checkpoint();
+        assert_eq!(log.snapshot(), vec![LogRecord::Begin { txn: 2 }]);
+    }
+
+    #[test]
+    fn txn_extraction() {
+        assert_eq!(LogRecord::Commit { txn: 9 }.txn(), Some(9));
+        assert_eq!(LogRecord::Checkpoint.txn(), None);
+    }
+}

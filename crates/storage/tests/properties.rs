@@ -1,0 +1,227 @@
+//! Property tests for the storage engine: the B-tree index against a model,
+//! transactional undo, and LIKE matching against a reference implementation.
+#![allow(clippy::map_entry)] // the model checks pre-state before inserting
+
+use proptest::prelude::*;
+use shard_sql::Value;
+use shard_storage::{StorageEngine, StorageError};
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(i64, i64),
+    Update(i64, i64),
+    Delete(i64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0i64..200, -1000i64..1000).prop_map(|(k, v)| Op::Insert(k, v)),
+        (0i64..200, -1000i64..1000).prop_map(|(k, v)| Op::Update(k, v)),
+        (0i64..200).prop_map(Op::Delete),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The engine's table+index must agree with a BTreeMap model under any
+    /// interleaving of inserts, updates and deletes.
+    #[test]
+    fn table_matches_btreemap_model(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let engine = StorageEngine::new("model");
+        engine
+            .execute_sql("CREATE TABLE t (k BIGINT PRIMARY KEY, v BIGINT)", &[], None)
+            .unwrap();
+        let mut model: BTreeMap<i64, i64> = BTreeMap::new();
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => {
+                    let result = engine.execute_sql(
+                        &format!("INSERT INTO t VALUES ({k}, {v})"), &[], None);
+                    if model.contains_key(&k) {
+                        let dup = matches!(result, Err(StorageError::DuplicateKey { .. }));
+                        prop_assert!(dup, "expected duplicate-key error");
+                    } else {
+                        prop_assert!(result.is_ok());
+                        model.insert(k, v);
+                    }
+                }
+                Op::Update(k, v) => {
+                    let affected = engine.execute_sql(
+                        &format!("UPDATE t SET v = {v} WHERE k = {k}"), &[], None)
+                        .unwrap().affected();
+                    if model.contains_key(&k) {
+                        prop_assert_eq!(affected, 1);
+                        model.insert(k, v);
+                    } else {
+                        prop_assert_eq!(affected, 0);
+                    }
+                }
+                Op::Delete(k) => {
+                    let affected = engine.execute_sql(
+                        &format!("DELETE FROM t WHERE k = {k}"), &[], None)
+                        .unwrap().affected();
+                    prop_assert_eq!(affected as usize, usize::from(model.remove(&k).is_some()));
+                }
+            }
+        }
+        // Full-state comparison, in key order.
+        let rs = engine
+            .execute_sql("SELECT k, v FROM t ORDER BY k", &[], None)
+            .unwrap()
+            .query();
+        let got: Vec<(i64, i64)> = rs.rows.iter()
+            .map(|r| (r[0].as_int().unwrap(), r[1].as_int().unwrap()))
+            .collect();
+        let want: Vec<(i64, i64)> = model.into_iter().collect();
+        prop_assert_eq!(got, want);
+        // Range queries agree with the model too (spot-check through PK index).
+        let rs = engine
+            .execute_sql("SELECT COUNT(*) FROM t WHERE k BETWEEN 50 AND 150", &[], None)
+            .unwrap()
+            .query();
+        prop_assert!(rs.rows[0][0].as_int().is_some());
+    }
+
+    /// Any transaction that rolls back leaves the table byte-identical.
+    #[test]
+    fn rollback_is_identity(
+        seed in proptest::collection::vec((0i64..100, -50i64..50), 1..30),
+        ops in proptest::collection::vec(op_strategy(), 1..40),
+    ) {
+        let engine = StorageEngine::new("undo");
+        engine
+            .execute_sql("CREATE TABLE t (k BIGINT PRIMARY KEY, v BIGINT)", &[], None)
+            .unwrap();
+        let mut inserted = std::collections::HashSet::new();
+        for (k, v) in seed {
+            if inserted.insert(k) {
+                engine
+                    .execute_sql(&format!("INSERT INTO t VALUES ({k}, {v})"), &[], None)
+                    .unwrap();
+            }
+        }
+        let before = engine
+            .execute_sql("SELECT * FROM t ORDER BY k", &[], None)
+            .unwrap()
+            .query();
+        let txn = engine.begin();
+        for op in ops {
+            let _ = match op {
+                Op::Insert(k, v) => engine.execute_sql(
+                    &format!("INSERT INTO t VALUES ({k}, {v})"), &[], Some(txn)),
+                Op::Update(k, v) => engine.execute_sql(
+                    &format!("UPDATE t SET v = {v} WHERE k = {k}"), &[], Some(txn)),
+                Op::Delete(k) => engine.execute_sql(
+                    &format!("DELETE FROM t WHERE k = {k}"), &[], Some(txn)),
+            };
+        }
+        engine.rollback(txn).unwrap();
+        let after = engine
+            .execute_sql("SELECT * FROM t ORDER BY k", &[], None)
+            .unwrap()
+            .query();
+        prop_assert_eq!(before.rows, after.rows);
+    }
+
+    /// WAL recovery reproduces exactly the committed state.
+    #[test]
+    fn recovery_reproduces_committed_state(
+        committed in proptest::collection::vec((0i64..60, -50i64..50), 1..25),
+        uncommitted in proptest::collection::vec((100i64..160, -50i64..50), 0..10),
+    ) {
+        let wal = shard_storage::SharedLog::new();
+        let before = {
+            let engine = StorageEngine::with_options(
+                "crashme", shard_storage::LatencyModel::ZERO, wal.clone());
+            engine
+                .execute_sql("CREATE TABLE t (k BIGINT PRIMARY KEY, v BIGINT)", &[], None)
+                .unwrap();
+            let mut seen = std::collections::HashSet::new();
+            for (k, v) in &committed {
+                if seen.insert(*k) {
+                    engine
+                        .execute_sql(&format!("INSERT INTO t VALUES ({k}, {v})"), &[], None)
+                        .unwrap();
+                }
+            }
+            // An open transaction dies with the crash.
+            let txn = engine.begin();
+            let mut seen2 = std::collections::HashSet::new();
+            for (k, v) in &uncommitted {
+                if seen2.insert(*k) {
+                    engine
+                        .execute_sql(&format!("INSERT INTO t VALUES ({k}, {v})"), &[], Some(txn))
+                        .unwrap();
+                }
+            }
+            engine
+                .execute_sql("SELECT * FROM t ORDER BY k", &[], None)
+                .unwrap()
+                .query()
+        };
+        let _ = before; // pre-crash state includes uncommitted rows
+        let engine = StorageEngine::recover(
+            "crashme", shard_storage::LatencyModel::ZERO, wal).unwrap();
+        let after = engine
+            .execute_sql("SELECT k FROM t ORDER BY k", &[], None)
+            .unwrap()
+            .query();
+        // Only committed keys survive.
+        let mut want: Vec<i64> = committed.iter().map(|(k, _)| *k)
+            .collect::<std::collections::HashSet<_>>().into_iter().collect();
+        want.sort_unstable();
+        let got: Vec<i64> = after.rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// LIKE agrees with a simple reference matcher.
+    #[test]
+    fn like_matches_reference(text in "[ab%_]{0,8}", pattern in "[ab%_]{0,6}") {
+        fn reference(t: &str, p: &str) -> bool {
+            // classic DP
+            let t: Vec<char> = t.chars().collect();
+            let p: Vec<char> = p.chars().collect();
+            let mut dp = vec![vec![false; p.len() + 1]; t.len() + 1];
+            dp[0][0] = true;
+            for j in 1..=p.len() {
+                dp[0][j] = p[j - 1] == '%' && dp[0][j - 1];
+            }
+            for i in 1..=t.len() {
+                for j in 1..=p.len() {
+                    dp[i][j] = match p[j - 1] {
+                        '%' => dp[i - 1][j] || dp[i][j - 1],
+                        '_' => dp[i - 1][j - 1],
+                        c => dp[i - 1][j - 1] && t[i - 1] == c,
+                    };
+                }
+            }
+            dp[t.len()][p.len()]
+        }
+        prop_assert_eq!(
+            shard_storage::eval::like_match(&text, &pattern),
+            reference(&text, &pattern)
+        );
+    }
+
+    /// Value total order is antisymmetric and transitive on random triples.
+    #[test]
+    fn value_order_is_lawful(a in value_strategy(), b in value_strategy(), c in value_strategy()) {
+        use std::cmp::Ordering;
+        prop_assert_eq!(a.total_cmp(&b), b.total_cmp(&a).reverse());
+        if a.total_cmp(&b) != Ordering::Greater && b.total_cmp(&c) != Ordering::Greater {
+            prop_assert_ne!(a.total_cmp(&c), Ordering::Greater);
+        }
+    }
+}
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<i64>().prop_map(Value::Int),
+        (-1e6f64..1e6).prop_map(Value::Float),
+        "[a-c]{0,4}".prop_map(Value::Str),
+        any::<bool>().prop_map(Value::Bool),
+    ]
+}

@@ -1,0 +1,133 @@
+//! Day-2 operations: the governance features the paper lists beyond query
+//! processing — online re-sharding (Scaling), request throttling, health
+//! detection with circuit breaking, and primary failover.
+//!
+//! Run with: `cargo run --example operations`
+
+use shardingsphere_rs::core::feature::{reshard, ReadWriteSplitRule};
+use shardingsphere_rs::core::governor::{FailoverCoordinator, HealthDetector};
+use shardingsphere_rs::core::ShardingRuntime;
+use shardingsphere_rs::sql::ast::ShardingRuleSpec;
+use shardingsphere_rs::sql::Value;
+use shardingsphere_rs::storage::StorageEngine;
+use std::sync::Arc;
+
+fn main() {
+    let runtime: Arc<ShardingRuntime> = ShardingRuntime::builder()
+        .datasource("ds_0", StorageEngine::new("ds_0"))
+        .datasource("ds_1", StorageEngine::new("ds_1"))
+        .build();
+    let mut s = runtime.session();
+
+    // Start small: 2 shards on one source.
+    s.execute_sql(
+        "CREATE SHARDING TABLE RULE t_event (RESOURCES(ds_0), SHARDING_COLUMN=eid, \
+         TYPE=mod, PROPERTIES(\"sharding-count\"=2))",
+        &[],
+    )
+    .unwrap();
+    s.execute_sql(
+        "CREATE TABLE t_event (eid BIGINT PRIMARY KEY, kind VARCHAR(16), payload VARCHAR(64))",
+        &[],
+    )
+    .unwrap();
+    for eid in 0..500i64 {
+        s.execute_sql(
+            "INSERT INTO t_event (eid, kind, payload) VALUES (?, ?, ?)",
+            &[
+                Value::Int(eid),
+                Value::Str(format!("kind{}", eid % 3)),
+                Value::Str(format!("payload-{eid}")),
+            ],
+        )
+        .unwrap();
+    }
+    println!("loaded 500 events on 2 shards in ds_0");
+
+    // --- Scaling: the table outgrew one server; re-shard onto both. -------
+    let report = reshard(
+        &runtime,
+        &ShardingRuleSpec {
+            table: "t_event".into(),
+            resources: vec!["ds_0".into(), "ds_1".into()],
+            sharding_column: "eid".into(),
+            algorithm_type: "hash_mod".into(),
+            props: vec![("sharding-count".into(), "8".into())],
+        },
+    )
+    .unwrap();
+    println!(
+        "re-sharded {}: {} rows migrated, {} -> {} shards",
+        report.table, report.rows_migrated, report.old_nodes, report.new_nodes
+    );
+    let rs = s
+        .execute_sql("SELECT COUNT(*), MIN(eid), MAX(eid) FROM t_event", &[])
+        .unwrap()
+        .query();
+    println!("post-scaling check: {:?}", rs.rows[0]);
+    assert_eq!(rs.rows[0][0], Value::Int(500));
+
+    // --- Throttling: cap the cluster at 50 requests/second. ----------------
+    s.execute_sql("SET VARIABLE max_requests_per_second = 50", &[])
+        .unwrap();
+    let start = std::time::Instant::now();
+    let mut ok = 0;
+    let mut rejected = 0;
+    for eid in 0..120i64 {
+        match s.execute_sql(
+            "SELECT kind FROM t_event WHERE eid = ?",
+            &[Value::Int(eid % 500)],
+        ) {
+            Ok(_) => ok += 1,
+            Err(_) => rejected += 1,
+        }
+    }
+    println!(
+        "throttle at 50 rps: {ok} admitted, {rejected} rejected in {:?}",
+        start.elapsed()
+    );
+    s.execute_sql("SET VARIABLE max_requests_per_second = 0", &[])
+        .unwrap();
+
+    // --- Health detection + failover. --------------------------------------
+    let detector = HealthDetector::new(
+        Arc::clone(runtime.registry()),
+        vec![
+            runtime.datasource("ds_0").unwrap(),
+            runtime.datasource("ds_1").unwrap(),
+        ],
+    );
+    detector.probe_once();
+    println!(
+        "health: {} sources up",
+        detector.report().healthy_count()
+    );
+
+    let failover = FailoverCoordinator::new(Arc::clone(runtime.registry()));
+    failover.manage(ReadWriteSplitRule::new(
+        "reporting",
+        "ds_0",
+        vec!["ds_1".into()],
+    ));
+    println!(
+        "reporting group primary: {:?}",
+        failover.primary_of("reporting")
+    );
+    // ds_0 "goes down": the governor promotes ds_1 and records it.
+    let events = failover.on_source_down("ds_0", &|_| true);
+    for e in &events {
+        println!(
+            "failover: group '{}' primary {} -> {}",
+            e.group, e.old_primary, e.new_primary
+        );
+    }
+    assert_eq!(failover.primary_of("reporting").as_deref(), Some("ds_1"));
+    println!(
+        "registry now says: topology/reporting/primary = {}",
+        runtime
+            .registry()
+            .get("topology/reporting/primary")
+            .unwrap()
+    );
+    println!("done.");
+}

@@ -1,0 +1,6 @@
+//! ShardingSphere-RS umbrella crate: re-exports the public API.
+pub use shard_core as core;
+pub use shard_jdbc as jdbc;
+pub use shard_proxy as proxy;
+pub use shard_sql as sql;
+pub use shard_storage as storage;
