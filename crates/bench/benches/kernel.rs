@@ -248,6 +248,65 @@ fn bench_end_to_end(c: &mut Criterion) {
     g.finish();
 }
 
+/// Ablation for the two-level plan cache: the same sharded point select
+/// with the cache warm (parse + route-plan hits) vs disabled
+/// (`SET sql_plan_cache_size = 0`: full parse + condition extraction every
+/// statement).
+fn bench_plan_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("plan_cache");
+    g.sample_size(30);
+
+    let setup = || {
+        let runtime = ShardingRuntime::builder()
+            .datasource("ds_0", StorageEngine::new("ds_0"))
+            .datasource("ds_1", StorageEngine::new("ds_1"))
+            .build();
+        let mut session = runtime.session();
+        session
+            .execute_sql(
+                "CREATE SHARDING TABLE RULE t (RESOURCES(ds_0, ds_1), SHARDING_COLUMN=id, \
+                 TYPE=mod, PROPERTIES(\"sharding-count\"=8))",
+                &[],
+            )
+            .unwrap();
+        session
+            .execute_sql("CREATE TABLE t (id BIGINT PRIMARY KEY, v INT)", &[])
+            .unwrap();
+        for i in 0..10_000i64 {
+            session
+                .execute_sql(
+                    "INSERT INTO t (id, v) VALUES (?, ?)",
+                    &[Value::Int(i), Value::Int(i % 100)],
+                )
+                .unwrap();
+        }
+        (runtime, session)
+    };
+
+    let (_runtime, mut warm) = setup();
+    g.bench_function("point_select_warm", |b| {
+        let mut i = 0i64;
+        b.iter(|| {
+            i = (i + 7919) % 10_000;
+            warm.execute_sql("SELECT v FROM t WHERE id = ?", &[Value::Int(i)])
+                .unwrap()
+        })
+    });
+
+    let (_runtime, mut cold) = setup();
+    cold.execute_sql("SET sql_plan_cache_size = 0", &[])
+        .unwrap();
+    g.bench_function("point_select_cold", |b| {
+        let mut i = 0i64;
+        b.iter(|| {
+            i = (i + 7919) % 10_000;
+            cold.execute_sql("SELECT v FROM t WHERE id = ?", &[Value::Int(i)])
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
 fn bench_storage(c: &mut Criterion) {
     let mut g = c.benchmark_group("storage");
     g.sample_size(30);
@@ -292,6 +351,7 @@ criterion_group!(
     bench_merge,
     bench_pool,
     bench_end_to_end,
+    bench_plan_cache,
     bench_storage
 );
 criterion_main!(benches);

@@ -281,7 +281,14 @@ pub fn table3(scale: &Scale) -> Vec<ExperimentResult> {
 
 pub fn table4(scale: &Scale) -> ExperimentResult {
     let systems = [
-        "MS", "SSJ_MS(1)", "SSP_MS(1)", "AuroraMS", "PG", "SSJ_PG(1)", "SSP_PG(1)", "AuroraPG",
+        "MS",
+        "SSJ_MS(1)",
+        "SSP_MS(1)",
+        "AuroraMS",
+        "PG",
+        "SSJ_PG(1)",
+        "SSP_PG(1)",
+        "AuroraPG",
     ];
     // The paper loads 20M rows here (half the usual 40M).
     let rows_scaled = scale.sysbench_rows / 2;
@@ -338,8 +345,8 @@ pub fn fig9(scale: &Scale) -> ExperimentResult {
         // Paper: 5 data sources; order_line 10 tables per source.
         let topo = Topology::new(*flavor, 5, 1);
         let ol_shards = 5 * 10;
-        let d = Deployment::build(name, topo, *mode, &tpcc_spec(ol_shards))
-            .expect("tpcc deployment");
+        let d =
+            Deployment::build(name, topo, *mode, &tpcc_spec(ol_shards)).expect("tpcc deployment");
         load_tpcc(&d, scale.warehouses);
         let wl = Tpcc::new(scale.warehouses);
         let m = run(&d, &wl, &scale.run);
@@ -368,12 +375,7 @@ pub fn fig10(scale: &Scale) -> ExperimentResult {
     // Paper sweeps 20M..200M rows; we sweep the same 1:200k-relative shape.
     let sizes: Vec<(String, u64)> = [20u64, 60, 100, 200]
         .iter()
-        .map(|m| {
-            (
-                format!("{m}M(scaled)"),
-                m * scale.sysbench_rows / 100,
-            )
-        })
+        .map(|m| (format!("{m}M(scaled)"), m * scale.sysbench_rows / 100))
         .collect();
     let mut rows = Vec::new();
     for system in ["SSJ_MS", "SSP_MS", "TiDB"] {
@@ -485,8 +487,7 @@ pub fn fig13(scale: &Scale) -> ExperimentResult {
         TransactionType::Base,
     ] {
         eprintln!("[fig13] {t} ...");
-        let wl = Sysbench::new(Scenario::ReadWrite, scale.sysbench_rows)
-            .with_transaction_type(t);
+        let wl = Sysbench::new(Scenario::ReadWrite, scale.sysbench_rows).with_transaction_type(t);
         let m = run(&d, &wl, &cfg);
         rows.push((t.to_string(), sysbench_cells(&m)));
     }
@@ -617,10 +618,7 @@ pub fn fig15(scale: &Scale) -> ExperimentResult {
             let lo = rng.gen_range(0..(self.rows as i64 - 200).max(1));
             sut.execute(
                 "SELECT SUM(k) FROM sbtest WHERE id BETWEEN ? AND ?",
-                &[
-                    shard_sql::Value::Int(lo),
-                    shard_sql::Value::Int(lo + 200),
-                ],
+                &[shard_sql::Value::Int(lo), shard_sql::Value::Int(lo + 200)],
             )?;
             Ok(())
         }

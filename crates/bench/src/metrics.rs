@@ -54,7 +54,11 @@ impl LatencyRecorder {
             },
             p90_ms: pct(90.0),
             p99_ms: pct(99.0),
-            max_ms: self.samples_us.last().map(|v| *v as f64 / 1000.0).unwrap_or(0.0),
+            max_ms: self
+                .samples_us
+                .last()
+                .map(|v| *v as f64 / 1000.0)
+                .unwrap_or(0.0),
         }
     }
 }
@@ -155,7 +159,10 @@ mod tests {
 
     #[test]
     fn table_rendering() {
-        let rows = vec![("SSJ".to_string(), vec!["100".to_string(), "1.0".to_string()])];
+        let rows = vec![(
+            "SSJ".to_string(),
+            vec!["100".to_string(), "1.0".to_string()],
+        )];
         let table = render_table("Test", &["TPS", "99T"], &rows);
         assert!(table.contains("SSJ"));
         assert!(table.contains("TPS"));

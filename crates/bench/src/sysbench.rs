@@ -300,8 +300,7 @@ mod tests {
     #[test]
     fn xa_transaction_type_flows_through() {
         let d = deployment();
-        let wl = Sysbench::new(Scenario::WriteOnly, 500)
-            .with_transaction_type(TransactionType::Xa);
+        let wl = Sysbench::new(Scenario::WriteOnly, 500).with_transaction_type(TransactionType::Xa);
         let mut rng = SmallRng::seed_from_u64(2);
         let mut sut = d.client();
         wl.prepare_connection(sut.as_mut()).unwrap();

@@ -35,8 +35,10 @@ impl Flavor {
         match self {
             // PG is modelled slightly faster per request but costlier per
             // row, echoing Table IV (PG standalone beats MS standalone).
-            Flavor::MySql => LatencyModel::new(Duration::from_micros(110), Duration::from_nanos(250))
-                .with_buffer_pool(Duration::from_micros(450), 25_000),
+            Flavor::MySql => {
+                LatencyModel::new(Duration::from_micros(110), Duration::from_nanos(250))
+                    .with_buffer_pool(Duration::from_micros(450), 25_000)
+            }
             Flavor::PostgreSql => {
                 LatencyModel::new(Duration::from_micros(90), Duration::from_nanos(300))
                     .with_buffer_pool(Duration::from_micros(380), 25_000)
@@ -82,7 +84,8 @@ impl Topology {
     }
 
     fn latency(&self) -> LatencyModel {
-        self.latency_override.unwrap_or_else(|| self.flavor.latency())
+        self.latency_override
+            .unwrap_or_else(|| self.flavor.latency())
     }
 
     pub fn shard_count(&self) -> usize {
@@ -137,10 +140,7 @@ impl Deployment {
         let mut conn = datasource.connection();
         for spec in tables {
             if spec.broadcast {
-                conn.execute(
-                    &format!("CREATE BROADCAST TABLE RULE {}", spec.name),
-                    &[],
-                )?;
+                conn.execute(&format!("CREATE BROADCAST TABLE RULE {}", spec.name), &[])?;
                 conn.execute(spec.ddl, &[])?;
                 continue;
             }
@@ -241,11 +241,7 @@ pub struct TableSpec {
 }
 
 impl TableSpec {
-    pub fn new(
-        name: &'static str,
-        sharding_column: &'static str,
-        ddl: &'static str,
-    ) -> TableSpec {
+    pub fn new(name: &'static str, sharding_column: &'static str, ddl: &'static str) -> TableSpec {
         TableSpec {
             name,
             sharding_column,
@@ -271,7 +267,11 @@ impl TableSpec {
 /// A benchmark client: the system-under-test interface the workload drivers
 /// use.
 pub trait Sut: Send {
-    fn execute(&mut self, sql: &str, params: &[Value]) -> std::result::Result<ExecuteResult, String>;
+    fn execute(
+        &mut self,
+        sql: &str,
+        params: &[Value],
+    ) -> std::result::Result<ExecuteResult, String>;
 }
 
 struct JdbcSut {
@@ -279,7 +279,11 @@ struct JdbcSut {
 }
 
 impl Sut for JdbcSut {
-    fn execute(&mut self, sql: &str, params: &[Value]) -> std::result::Result<ExecuteResult, String> {
+    fn execute(
+        &mut self,
+        sql: &str,
+        params: &[Value],
+    ) -> std::result::Result<ExecuteResult, String> {
         self.conn.execute(sql, params).map_err(|e| e.to_string())
     }
 }
@@ -291,7 +295,11 @@ struct ProxySut {
 }
 
 impl Sut for ProxySut {
-    fn execute(&mut self, sql: &str, params: &[Value]) -> std::result::Result<ExecuteResult, String> {
+    fn execute(
+        &mut self,
+        sql: &str,
+        params: &[Value],
+    ) -> std::result::Result<ExecuteResult, String> {
         if !self.overhead.is_zero() {
             spin_for(self.overhead);
         }
@@ -305,7 +313,11 @@ struct ConsensusSut {
 }
 
 impl Sut for ConsensusSut {
-    fn execute(&mut self, sql: &str, params: &[Value]) -> std::result::Result<ExecuteResult, String> {
+    fn execute(
+        &mut self,
+        sql: &str,
+        params: &[Value],
+    ) -> std::result::Result<ExecuteResult, String> {
         let result = self.conn.execute(sql, params).map_err(|e| e.to_string())?;
         let head = sql.trim_start().get(..6).unwrap_or("").to_uppercase();
         match head.as_str() {
@@ -349,7 +361,8 @@ mod tests {
         )
         .unwrap();
         let mut c = d.client();
-        c.execute("INSERT INTO t (id, v) VALUES (1, 10)", &[]).unwrap();
+        c.execute("INSERT INTO t (id, v) VALUES (1, 10)", &[])
+            .unwrap();
         let r = c.execute("SELECT v FROM t WHERE id = 1", &[]).unwrap();
         assert_eq!(r.query().rows[0][0], Value::Int(10));
         // 2 sources × 2 shards
@@ -366,7 +379,8 @@ mod tests {
         )
         .unwrap();
         let mut c = d.client();
-        c.execute("INSERT INTO t (id, v) VALUES (3, 30)", &[]).unwrap();
+        c.execute("INSERT INTO t (id, v) VALUES (3, 30)", &[])
+            .unwrap();
         let r = c.execute("SELECT v FROM t WHERE id = 3", &[]).unwrap();
         assert_eq!(r.query().rows[0][0], Value::Int(30));
     }
@@ -375,15 +389,11 @@ mod tests {
     fn standalone_deployment_is_unsharded() {
         let mut specs = spec();
         specs[0].sharded = false;
-        let d = Deployment::build(
-            "MS",
-            Topology::new(Flavor::MySql, 1, 1),
-            Mode::Jdbc,
-            &specs,
-        )
-        .unwrap();
+        let d = Deployment::build("MS", Topology::new(Flavor::MySql, 1, 1), Mode::Jdbc, &specs)
+            .unwrap();
         let mut c = d.client();
-        c.execute("INSERT INTO t (id, v) VALUES (1, 1)", &[]).unwrap();
+        c.execute("INSERT INTO t (id, v) VALUES (1, 1)", &[])
+            .unwrap();
         // Physical table name is the logic name (no sharding suffix).
         let ds = d.runtime().datasource("ds_0").unwrap();
         assert!(ds.engine().table_names().contains(&"t".to_string()));
@@ -406,7 +416,8 @@ mod tests {
         .unwrap();
         let mut c = d.client();
         let start = std::time::Instant::now();
-        c.execute("INSERT INTO t (id, v) VALUES (1, 1)", &[]).unwrap();
+        c.execute("INSERT INTO t (id, v) VALUES (1, 1)", &[])
+            .unwrap();
         assert!(start.elapsed() >= Duration::from_millis(3));
     }
 }

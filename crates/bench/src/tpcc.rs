@@ -105,9 +105,8 @@ pub fn load_tpcc(deployment: &Deployment, warehouses: i64) {
             &[],
         )
         .expect("load warehouse");
-        let mut sql = String::from(
-            "INSERT INTO district (d_w_id, d_id, d_name, d_ytd, d_next_o_id) VALUES ",
-        );
+        let mut sql =
+            String::from("INSERT INTO district (d_w_id, d_id, d_name, d_ytd, d_next_o_id) VALUES ");
         for d in 1..=DISTRICTS_PER_WAREHOUSE {
             if d > 1 {
                 sql.push_str(", ");
@@ -174,7 +173,12 @@ impl Tpcc {
         }
     }
 
-    pub fn run_txn(&self, kind: TpccTxn, sut: &mut dyn Sut, rng: &mut SmallRng) -> Result<(), String> {
+    pub fn run_txn(
+        &self,
+        kind: TpccTxn,
+        sut: &mut dyn Sut,
+        rng: &mut SmallRng,
+    ) -> Result<(), String> {
         match kind {
             TpccTxn::NewOrder => self.new_order(sut, rng),
             TpccTxn::Payment => self.payment(sut, rng),
@@ -387,11 +391,7 @@ impl Tpcc {
                         &[Value::Int(w), Value::Int(d), Value::Int(o_id)],
                     )?
                     .query();
-                let total = rs
-                    .rows
-                    .first()
-                    .and_then(|r| r[0].as_float())
-                    .unwrap_or(0.0);
+                let total = rs.rows.first().and_then(|r| r[0].as_float()).unwrap_or(0.0);
                 let rs = sut
                     .execute(
                         "SELECT o_c_id FROM orders WHERE o_w_id = ? AND o_d_id = ? AND o_id = ?",
@@ -402,7 +402,12 @@ impl Tpcc {
                     sut.execute(
                         "UPDATE customer SET c_balance = c_balance + ? \
                          WHERE c_w_id = ? AND c_d_id = ? AND c_id = ?",
-                        &[Value::Float(total), Value::Int(w), Value::Int(d), Value::Int(c)],
+                        &[
+                            Value::Float(total),
+                            Value::Int(w),
+                            Value::Int(d),
+                            Value::Int(c),
+                        ],
                     )?;
                 }
             }
@@ -425,7 +430,11 @@ impl Tpcc {
         sut.execute(
             "SELECT COUNT(DISTINCT ol_i_id) FROM order_line \
              WHERE ol_w_id = ? AND ol_d_id = ? AND ol_o_id >= ?",
-            &[Value::Int(w), Value::Int(d), Value::Int((next_o - 20).max(0))],
+            &[
+                Value::Int(w),
+                Value::Int(d),
+                Value::Int((next_o - 20).max(0)),
+            ],
         )?;
         sut.execute(
             "SELECT COUNT(*) FROM stock WHERE s_w_id = ? AND s_qty < ?",
@@ -541,7 +550,8 @@ mod tests {
         let tpcc = Tpcc::new(1); // warehouse 0 only, so delivery hits it
         let mut rng = SmallRng::seed_from_u64(9);
         let mut sut = d.client();
-        tpcc.run_txn(TpccTxn::NewOrder, sut.as_mut(), &mut rng).unwrap();
+        tpcc.run_txn(TpccTxn::NewOrder, sut.as_mut(), &mut rng)
+            .unwrap();
         let before = sut
             .execute("SELECT COUNT(*) FROM new_order", &[])
             .unwrap()
@@ -550,7 +560,8 @@ mod tests {
             .as_int()
             .unwrap();
         assert_eq!(before, 1);
-        tpcc.run_txn(TpccTxn::Delivery, sut.as_mut(), &mut rng).unwrap();
+        tpcc.run_txn(TpccTxn::Delivery, sut.as_mut(), &mut rng)
+            .unwrap();
         let after = sut
             .execute("SELECT COUNT(*) FROM new_order", &[])
             .unwrap()

@@ -23,7 +23,12 @@ fn parse_expression(text: &str) -> Result<Expr> {
     }
 }
 
-fn eval_to_index(expr: &Expr, columns: &[String], values: &[Value], target_count: usize) -> Result<usize> {
+fn eval_to_index(
+    expr: &Expr,
+    columns: &[String],
+    values: &[Value],
+    target_count: usize,
+) -> Result<usize> {
     let scope = Scope::from_columns(columns);
     let ctx = EvalContext::new(&scope, values, &[]);
     let v = eval(expr, &ctx).map_err(|e| KernelError::Route(e.to_string()))?;
@@ -53,9 +58,9 @@ impl InlineAlgorithm {
     }
 
     pub fn from_props(props: &Props) -> Result<Self> {
-        let expression = props.get("algorithm-expression").ok_or_else(|| {
-            KernelError::Config("missing property 'algorithm-expression'".into())
-        })?;
+        let expression = props
+            .get("algorithm-expression")
+            .ok_or_else(|| KernelError::Config("missing property 'algorithm-expression'".into()))?;
         let expr = parse_expression(expression)?;
         // The single referenced column is the sharding column.
         let mut column = None;
@@ -118,7 +123,12 @@ impl ComplexShardingAlgorithm for ComplexInlineAlgorithm {
                 None => return Ok((0..target_count).collect()),
             }
         }
-        Ok(vec![eval_to_index(&self.expr, &self.columns, &row, target_count)?])
+        Ok(vec![eval_to_index(
+            &self.expr,
+            &self.columns,
+            &row,
+            target_count,
+        )?])
     }
 }
 
@@ -198,11 +208,9 @@ mod tests {
 
     #[test]
     fn complex_inline_multi_key() {
-        let alg = ComplexInlineAlgorithm::new(
-            vec!["uid".into(), "region".into()],
-            "(uid + region) % 3",
-        )
-        .unwrap();
+        let alg =
+            ComplexInlineAlgorithm::new(vec!["uid".into(), "region".into()], "(uid + region) % 3")
+                .unwrap();
         let mut vals = HashMap::new();
         vals.insert("uid".to_string(), Value::Int(4));
         vals.insert("region".to_string(), Value::Int(2));

@@ -17,7 +17,9 @@ pub struct AutoIntervalAlgorithm {
 impl AutoIntervalAlgorithm {
     pub fn new(lower: i64, seconds: i64) -> Result<Self> {
         if seconds <= 0 {
-            return Err(KernelError::Config("sharding-seconds must be positive".into()));
+            return Err(KernelError::Config(
+                "sharding-seconds must be positive".into(),
+            ));
         }
         Ok(AutoIntervalAlgorithm { lower, seconds })
     }
@@ -44,7 +46,9 @@ impl ShardingAlgorithm for AutoIntervalAlgorithm {
 
     fn shard_exact(&self, target_count: usize, value: &Value) -> Result<usize> {
         let ts = value.as_int().ok_or_else(|| {
-            KernelError::Route(format!("auto_interval requires a timestamp key, got {value}"))
+            KernelError::Route(format!(
+                "auto_interval requires a timestamp key, got {value}"
+            ))
         })?;
         Ok(self.bucket(ts, target_count))
     }
@@ -56,9 +60,10 @@ impl ShardingAlgorithm for AutoIntervalAlgorithm {
         high: Bound<&Value>,
     ) -> Result<Vec<usize>> {
         let lo = match low {
-            Bound::Included(v) | Bound::Excluded(v) => {
-                v.as_int().map(|t| self.bucket(t, target_count)).unwrap_or(0)
-            }
+            Bound::Included(v) | Bound::Excluded(v) => v
+                .as_int()
+                .map(|t| self.bucket(t, target_count))
+                .unwrap_or(0),
             Bound::Unbounded => 0,
         };
         let hi = match high {
@@ -123,8 +128,10 @@ impl ShardingAlgorithm for IntervalAlgorithm {
         if ts < self.lower {
             return Ok(0);
         }
-        Ok((((ts - self.lower) / self.period_seconds) as usize)
-            .min(target_count.saturating_sub(1)))
+        Ok(
+            (((ts - self.lower) / self.period_seconds) as usize)
+                .min(target_count.saturating_sub(1)),
+        )
     }
 
     fn shard_range(
@@ -169,7 +176,11 @@ mod tests {
     fn auto_interval_range_contiguous() {
         let alg = AutoIntervalAlgorithm::new(0, 100).unwrap();
         let t = alg
-            .shard_range(10, Bound::Included(&Value::Int(150)), Bound::Included(&Value::Int(420)))
+            .shard_range(
+                10,
+                Bound::Included(&Value::Int(150)),
+                Bound::Included(&Value::Int(420)),
+            )
             .unwrap();
         assert_eq!(t, vec![1, 2, 3, 4]);
     }

@@ -77,7 +77,9 @@ impl AlgorithmRegistry {
             factories: HashMap::new(),
         };
         r.register("mod", |p| Ok(Arc::new(ModAlgorithm::from_props(p)?)));
-        r.register("hash_mod", |p| Ok(Arc::new(HashModAlgorithm::from_props(p)?)));
+        r.register("hash_mod", |p| {
+            Ok(Arc::new(HashModAlgorithm::from_props(p)?))
+        });
         r.register("volume_range", |p| {
             Ok(Arc::new(VolumeRangeAlgorithm::from_props(p)?))
         });
@@ -87,7 +89,9 @@ impl AlgorithmRegistry {
         r.register("auto_interval", |p| {
             Ok(Arc::new(AutoIntervalAlgorithm::from_props(p)?))
         });
-        r.register("interval", |p| Ok(Arc::new(IntervalAlgorithm::from_props(p)?)));
+        r.register("interval", |p| {
+            Ok(Arc::new(IntervalAlgorithm::from_props(p)?))
+        });
         r.register("inline", |p| Ok(Arc::new(InlineAlgorithm::from_props(p)?)));
         r.register("hint_inline", |p| {
             Ok(Arc::new(HintInlineAlgorithm::from_props(p)?))
@@ -108,9 +112,12 @@ impl AlgorithmRegistry {
 
     /// Instantiate an algorithm by type name.
     pub fn create(&self, type_name: &str, props: &Props) -> Result<Arc<dyn ShardingAlgorithm>> {
-        let factory = self.factories.get(&type_name.to_lowercase()).ok_or_else(|| {
-            KernelError::Config(format!("unknown sharding algorithm type '{type_name}'"))
-        })?;
+        let factory = self
+            .factories
+            .get(&type_name.to_lowercase())
+            .ok_or_else(|| {
+                KernelError::Config(format!("unknown sharding algorithm type '{type_name}'"))
+            })?;
         factory(props)
     }
 

@@ -36,7 +36,9 @@ impl ShardingAlgorithm for ModAlgorithm {
 
     fn shard_exact(&self, target_count: usize, value: &Value) -> Result<usize> {
         let v = value.as_int().ok_or_else(|| {
-            KernelError::Route(format!("mod sharding requires an integral key, got {value}"))
+            KernelError::Route(format!(
+                "mod sharding requires an integral key, got {value}"
+            ))
         })?;
         Ok((v.rem_euclid(self.count(target_count) as i64)) as usize)
     }
@@ -123,7 +125,11 @@ mod tests {
     fn range_defaults_to_broadcast() {
         let alg = ModAlgorithm::new(None);
         let t = alg
-            .shard_range(3, Bound::Included(&Value::Int(0)), Bound::Included(&Value::Int(1)))
+            .shard_range(
+                3,
+                Bound::Included(&Value::Int(0)),
+                Bound::Included(&Value::Int(1)),
+            )
             .unwrap();
         assert_eq!(t, vec![0, 1, 2]);
         assert!(!alg.preserves_order());

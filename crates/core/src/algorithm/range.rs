@@ -22,7 +22,11 @@ impl VolumeRangeAlgorithm {
                 "volume_range requires upper > lower and volume > 0".into(),
             ));
         }
-        Ok(VolumeRangeAlgorithm { lower, upper, volume })
+        Ok(VolumeRangeAlgorithm {
+            lower,
+            upper,
+            volume,
+        })
     }
 
     pub fn from_props(props: &Props) -> Result<Self> {
@@ -105,9 +109,9 @@ impl BoundaryRangeAlgorithm {
     }
 
     pub fn from_props(props: &Props) -> Result<Self> {
-        let text = props.get("sharding-ranges").ok_or_else(|| {
-            KernelError::Config("missing property 'sharding-ranges'".into())
-        })?;
+        let text = props
+            .get("sharding-ranges")
+            .ok_or_else(|| KernelError::Config("missing property 'sharding-ranges'".into()))?;
         let boundaries: std::result::Result<Vec<i64>, _> =
             text.split(',').map(|s| s.trim().parse()).collect();
         BoundaryRangeAlgorithm::new(boundaries.map_err(|_| {
@@ -186,7 +190,11 @@ mod tests {
     fn volume_range_narrows_range_queries() {
         let alg = VolumeRangeAlgorithm::new(0, 30, 10).unwrap();
         let t = alg
-            .shard_range(5, Bound::Included(&Value::Int(5)), Bound::Included(&Value::Int(15)))
+            .shard_range(
+                5,
+                Bound::Included(&Value::Int(5)),
+                Bound::Included(&Value::Int(15)),
+            )
             .unwrap();
         assert_eq!(t, vec![1, 2]);
         assert!(alg.preserves_order());
@@ -233,7 +241,11 @@ mod tests {
     fn boundary_range_narrows() {
         let alg = BoundaryRangeAlgorithm::new(vec![10, 20]).unwrap();
         let t = alg
-            .shard_range(3, Bound::Included(&Value::Int(12)), Bound::Included(&Value::Int(18)))
+            .shard_range(
+                3,
+                Bound::Included(&Value::Int(12)),
+                Bound::Included(&Value::Int(18)),
+            )
             .unwrap();
         assert_eq!(t, vec![1]);
     }

@@ -1,0 +1,646 @@
+//! Two-level SQL plan cache for the kernel hot path.
+//!
+//! Production ShardingSphere keeps a parse-tree cache so OLTP point queries
+//! skip the parser entirely; this module reproduces that idea and goes one
+//! step further for the router:
+//!
+//! * **Level 1 — parse cache:** SQL text → `Arc<Statement>`. A sharded
+//!   (hash-partitioned) LRU so concurrent sessions do not serialize on one
+//!   lock. Hits mean zero parsing.
+//! * **Level 2 — route-plan cache:** AST fingerprint → routing skeleton.
+//!   Statements whose sharding conditions come only from constants and `?`
+//!   placeholders cache either a finished [`RouteResult`] (no parameters
+//!   influence routing) or a [`ConditionTemplate`] that is resolved against
+//!   each execution's parameters — no AST re-walk on the warm path.
+//!
+//! Plans are validated against a **generation counter** that every rule or
+//! resource mutation bumps (`CREATE SHARDING TABLE RULE`, `DROP RESOURCE`,
+//! `replace_table_rule`, encrypt/shadow/rw-split changes, …). A cached plan
+//! whose generation is stale is discarded and rebuilt, so mutations can never
+//! serve stale data nodes. Writers mutate first and bump after, which makes
+//! the race window harmless: a plan built from the old rule under an old
+//! generation is rejected on its next lookup.
+
+use crate::config::ShardingRule;
+use crate::error::{KernelError, Result};
+use crate::route::{
+    nodes_for_condition, ConditionTemplate, RouteEngine, RouteHint, RouteKind, RouteResult,
+    RouteUnit,
+};
+use parking_lot::Mutex;
+use shard_sql::ast::Statement;
+use shard_sql::parse_statement;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Default total entry cap for each cache level.
+pub const DEFAULT_CAPACITY: usize = 2048;
+
+/// Number of independent LRU partitions; keys are hash-distributed so eight
+/// concurrent sessions rarely contend on the same shard lock.
+const SHARDS: usize = 8;
+
+// ---------------------------------------------------------------------------
+// Sharded LRU
+// ---------------------------------------------------------------------------
+
+struct Entry<V> {
+    value: V,
+    last_used: u64,
+}
+
+struct LruShard<K, V> {
+    map: HashMap<K, Entry<V>>,
+    tick: u64,
+}
+
+impl<K: Hash + Eq, V> LruShard<K, V> {
+    fn new() -> Self {
+        LruShard {
+            map: HashMap::new(),
+            tick: 0,
+        }
+    }
+}
+
+/// An N-way sharded LRU map. Recency is tracked with a per-shard logical
+/// clock (exact LRU within a shard, approximate across shards — the standard
+/// trade for lock-free-ish concurrency without a global list).
+pub struct ShardedLru<K, V> {
+    shards: Vec<Mutex<LruShard<K, V>>>,
+    capacity: AtomicUsize,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> ShardedLru<K, V> {
+    pub fn new(capacity: usize) -> Self {
+        ShardedLru {
+            shards: (0..SHARDS).map(|_| Mutex::new(LruShard::new())).collect(),
+            capacity: AtomicUsize::new(capacity),
+        }
+    }
+
+    fn shard_index(&self, key: &K) -> usize {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() as usize) % SHARDS
+    }
+
+    fn shard_of(&self, key: &K) -> &Mutex<LruShard<K, V>> {
+        &self.shards[self.shard_index(key)]
+    }
+
+    /// Per-shard entry budget, at least 1 while the cache is enabled.
+    fn shard_capacity(&self) -> usize {
+        let cap = self.capacity.load(Ordering::Relaxed);
+        if cap == 0 {
+            0
+        } else {
+            cap.div_ceil(SHARDS).max(1)
+        }
+    }
+
+    pub fn get(&self, key: &K) -> Option<V> {
+        let mut shard = self.shard_of(key).lock();
+        shard.tick += 1;
+        let tick = shard.tick;
+        let entry = shard.map.get_mut(key)?;
+        entry.last_used = tick;
+        Some(entry.value.clone())
+    }
+
+    /// Insert a value, evicting least-recently-used entries as needed.
+    /// Returns how many entries were evicted. A zero-capacity cache stores
+    /// nothing.
+    pub fn insert(&self, key: K, value: V) -> u64 {
+        let per_shard = self.shard_capacity();
+        if per_shard == 0 {
+            return 0;
+        }
+        let mut shard = self.shard_of(&key).lock();
+        shard.tick += 1;
+        let tick = shard.tick;
+        shard.map.insert(
+            key,
+            Entry {
+                value,
+                last_used: tick,
+            },
+        );
+        let mut evicted = 0;
+        while shard.map.len() > per_shard {
+            let oldest = shard
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone());
+            match oldest {
+                Some(k) => {
+                    shard.map.remove(&k);
+                    evicted += 1;
+                }
+                None => break,
+            }
+        }
+        evicted
+    }
+
+    pub fn remove(&self, key: &K) {
+        self.shard_of(key).lock().map.remove(key);
+    }
+
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().map.clear();
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity.load(Ordering::Relaxed)
+    }
+
+    /// Resize the cache. Shrinking (including to zero) drops entries
+    /// immediately so memory is released right away.
+    pub fn set_capacity(&self, capacity: usize) {
+        self.capacity.store(capacity, Ordering::Relaxed);
+        if capacity == 0 {
+            self.clear();
+            return;
+        }
+        let per_shard = self.shard_capacity();
+        for shard in &self.shards {
+            let mut shard = shard.lock();
+            while shard.map.len() > per_shard {
+                let oldest = shard
+                    .map
+                    .iter()
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(k, _)| k.clone());
+                match oldest {
+                    Some(k) => {
+                        shard.map.remove(&k);
+                    }
+                    None => break,
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stats
+// ---------------------------------------------------------------------------
+
+/// Hit/miss/eviction counters for one cache level.
+#[derive(Default)]
+pub struct CacheStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl CacheStats {
+    fn hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+    fn miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+    fn evicted(&self, n: u64) {
+        if n > 0 {
+            self.evictions.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+}
+
+/// Snapshot of one cache level for `SHOW SQL_PLAN_CACHE STATUS`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheLevelStatus {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    pub size: usize,
+    pub capacity: usize,
+}
+
+/// Snapshot of both cache levels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanCacheStatus {
+    pub parse: CacheLevelStatus,
+    pub plan: CacheLevelStatus,
+}
+
+// ---------------------------------------------------------------------------
+// Cached plans
+// ---------------------------------------------------------------------------
+
+/// The cacheable routing skeleton of one statement shape.
+#[derive(Debug, Clone)]
+pub enum PlanKind {
+    /// Parameters cannot change the route: the finished result is reusable
+    /// verbatim (point queries with literal keys, unsharded statements,
+    /// full-route scans of a sharded table, …).
+    Static(RouteResult),
+    /// Single sharded table whose condition slots resolve per execution.
+    Sharded {
+        logic_table: String,
+        template: ConditionTemplate,
+    },
+    /// Routing is statement-shape-dependent in a way we do not replay
+    /// (multi-table joins with parameters, complex strategies, …).
+    /// Cached so repeat executions skip re-deciding, but they route fully.
+    Uncacheable,
+}
+
+/// A plan plus the rule generation it was built under.
+pub struct CachedPlan {
+    pub generation: u64,
+    pub kind: PlanKind,
+}
+
+/// Build the route-plan skeleton for a statement under the current rule.
+/// `stmt` must be the logical statement as parsed — before any encrypt or
+/// key-generation rewrite (callers gate on that).
+pub fn build_plan(stmt: &Statement, rule: &ShardingRule) -> PlanKind {
+    match stmt {
+        Statement::Select(_) | Statement::Update(_) | Statement::Delete(_) => {}
+        // INSERT routes per VALUES row (and key generation mutates the
+        // statement before routing); DDL/TCL are not hot-path. Never cached.
+        _ => return PlanKind::Uncacheable,
+    }
+
+    let hint = RouteHint::default();
+    if !stmt.has_params() {
+        // Parameters cannot alter the route; snapshot the whole result.
+        return match RouteEngine::new(rule, &hint).route(stmt, &[]) {
+            Ok(result) => PlanKind::Static(result),
+            Err(_) => PlanKind::Uncacheable,
+        };
+    }
+
+    // Parameterized: only the single-sharded-table shape is replayable.
+    let (logic, alias, where_clause) = match stmt {
+        Statement::Select(s) => {
+            let Some(from) = &s.from else {
+                return PlanKind::Uncacheable;
+            };
+            if !s.joins.is_empty() {
+                return PlanKind::Uncacheable;
+            }
+            (
+                from.name.as_str(),
+                from.alias.as_deref(),
+                s.where_clause.as_ref(),
+            )
+        }
+        Statement::Update(u) => (
+            u.table.as_str(),
+            u.alias.as_deref(),
+            u.where_clause.as_ref(),
+        ),
+        Statement::Delete(d) => (
+            d.table.as_str(),
+            d.alias.as_deref(),
+            d.where_clause.as_ref(),
+        ),
+        _ => unreachable!(),
+    };
+
+    let Some(table_rule) = rule.table_rule(logic) else {
+        // Broadcast or single table: the route does not depend on params.
+        return match RouteEngine::new(rule, &hint).route(stmt, &[]) {
+            Ok(result) => PlanKind::Static(result),
+            Err(_) => PlanKind::Uncacheable,
+        };
+    };
+    if table_rule.complex.is_some() {
+        return PlanKind::Uncacheable;
+    }
+
+    let mut bindings: Vec<&str> = vec![logic];
+    if let Some(a) = alias {
+        bindings.push(a);
+    }
+    match crate::route::extract_condition_template(
+        where_clause,
+        &bindings,
+        &table_rule.sharding_column,
+    ) {
+        Some(template) => PlanKind::Sharded {
+            logic_table: logic.to_string(),
+            template,
+        },
+        None => PlanKind::Uncacheable,
+    }
+}
+
+/// Replay a [`PlanKind::Sharded`] skeleton against this execution's
+/// parameters: resolve the condition template and map it to data nodes.
+pub fn execute_sharded_plan(
+    rule: &ShardingRule,
+    logic_table: &str,
+    template: &ConditionTemplate,
+    params: &[shard_sql::Value],
+) -> Result<RouteResult> {
+    let table_rule = rule.table_rule(logic_table).ok_or_else(|| {
+        KernelError::Route(format!(
+            "cached plan references unknown table '{logic_table}'"
+        ))
+    })?;
+    let condition = template.resolve(params);
+    let nodes = nodes_for_condition(table_rule, &condition)?;
+    let units: Vec<RouteUnit> = nodes
+        .into_iter()
+        .map(|n| RouteUnit::new(n.datasource.clone()).with_mapping(logic_table, &n.table))
+        .collect();
+    let kind = if units.len() == 1 {
+        RouteKind::Single
+    } else {
+        RouteKind::Standard
+    };
+    Ok(RouteResult::new(kind, units))
+}
+
+// ---------------------------------------------------------------------------
+// The two-level cache
+// ---------------------------------------------------------------------------
+
+/// Process-shared two-level plan cache owned by a `ShardingRuntime`.
+pub struct SqlPlanCache {
+    parse: ShardedLru<String, Arc<Statement>>,
+    plans: ShardedLru<u64, Arc<CachedPlan>>,
+    /// Bumped by every rule/resource/feature mutation; plans built under an
+    /// older generation are discarded on lookup.
+    generation: AtomicU64,
+    parse_stats: CacheStats,
+    plan_stats: CacheStats,
+}
+
+impl Default for SqlPlanCache {
+    fn default() -> Self {
+        SqlPlanCache::new(DEFAULT_CAPACITY)
+    }
+}
+
+impl SqlPlanCache {
+    pub fn new(capacity: usize) -> Self {
+        SqlPlanCache {
+            parse: ShardedLru::new(capacity),
+            plans: ShardedLru::new(capacity),
+            generation: AtomicU64::new(0),
+            parse_stats: CacheStats::default(),
+            plan_stats: CacheStats::default(),
+        }
+    }
+
+    /// Whether any caching is active (`SET sql_plan_cache_size = 0` disables).
+    pub fn enabled(&self) -> bool {
+        self.parse.capacity() > 0
+    }
+
+    /// Parse through the level-1 cache.
+    pub fn parse(&self, sql: &str) -> std::result::Result<Arc<Statement>, shard_sql::SqlError> {
+        if !self.enabled() {
+            return parse_statement(sql).map(Arc::new);
+        }
+        let key = sql.to_string();
+        if let Some(stmt) = self.parse.get(&key) {
+            self.parse_stats.hit();
+            return Ok(stmt);
+        }
+        self.parse_stats.miss();
+        let stmt = Arc::new(parse_statement(sql)?);
+        self.parse_stats
+            .evicted(self.parse.insert(key, stmt.clone()));
+        Ok(stmt)
+    }
+
+    /// Current rule generation. Read while holding the rule read guard so a
+    /// plan built from that snapshot is stored under the matching generation.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Invalidate all cached plans (rule/resource/feature mutation).
+    pub fn bump_generation(&self) {
+        self.generation.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Look up a plan by AST fingerprint; stale-generation entries are
+    /// dropped and counted as misses.
+    pub fn lookup_plan(&self, fingerprint: u64, generation: u64) -> Option<Arc<CachedPlan>> {
+        if !self.enabled() {
+            return None;
+        }
+        match self.plans.get(&fingerprint) {
+            Some(plan) if plan.generation == generation => {
+                self.plan_stats.hit();
+                Some(plan)
+            }
+            Some(_) => {
+                self.plans.remove(&fingerprint);
+                self.plan_stats.miss();
+                None
+            }
+            None => {
+                self.plan_stats.miss();
+                None
+            }
+        }
+    }
+
+    pub fn store_plan(&self, fingerprint: u64, plan: Arc<CachedPlan>) {
+        if !self.enabled() {
+            return;
+        }
+        self.plan_stats
+            .evicted(self.plans.insert(fingerprint, plan));
+    }
+
+    /// Resize both levels; zero disables caching and drops all entries.
+    pub fn set_capacity(&self, capacity: usize) {
+        self.parse.set_capacity(capacity);
+        self.plans.set_capacity(capacity);
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.parse.capacity()
+    }
+
+    pub fn status(&self) -> PlanCacheStatus {
+        PlanCacheStatus {
+            parse: CacheLevelStatus {
+                hits: self.parse_stats.hits(),
+                misses: self.parse_stats.misses(),
+                evictions: self.parse_stats.evictions(),
+                size: self.parse.len(),
+                capacity: self.parse.capacity(),
+            },
+            plan: CacheLevelStatus {
+                hits: self.plan_stats.hits(),
+                misses: self.plan_stats.misses(),
+                evictions: self.plan_stats.evictions(),
+                size: self.plans.len(),
+                capacity: self.plans.capacity(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::{ModAlgorithm, Props};
+    use crate::config::{DataNode, TableRule};
+
+    #[test]
+    fn lru_evicts_least_recently_used_within_shard() {
+        let lru: ShardedLru<u64, u64> = ShardedLru::new(SHARDS); // 1 per shard
+                                                                 // Two keys in the same shard: inserting the second evicts the first.
+        let a = 0u64;
+        let b = (1..1024u64)
+            .find(|k| lru.shard_index(k) == lru.shard_index(&a))
+            .expect("some key shares shard 0's partition");
+        assert_eq!(lru.insert(a, 1), 0);
+        assert_eq!(lru.insert(b, 2), 1);
+        assert!(lru.get(&a).is_none());
+        assert_eq!(lru.get(&b), Some(2));
+    }
+
+    #[test]
+    fn zero_capacity_stores_nothing() {
+        let lru: ShardedLru<String, u64> = ShardedLru::new(0);
+        assert_eq!(lru.insert("k".into(), 1), 0);
+        assert!(lru.get(&"k".to_string()).is_none());
+        assert_eq!(lru.len(), 0);
+    }
+
+    #[test]
+    fn shrink_drops_entries() {
+        let lru: ShardedLru<u64, u64> = ShardedLru::new(64);
+        for i in 0..64 {
+            lru.insert(i, i);
+        }
+        assert!(lru.len() > 8);
+        lru.set_capacity(8);
+        assert!(lru.len() <= 8);
+        lru.set_capacity(0);
+        assert_eq!(lru.len(), 0);
+    }
+
+    #[test]
+    fn parse_cache_counts_hits() {
+        let cache = SqlPlanCache::default();
+        let a = cache.parse("SELECT v FROM t WHERE id = ?").unwrap();
+        let b = cache.parse("SELECT v FROM t WHERE id = ?").unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        let s = cache.status();
+        assert_eq!(s.parse.hits, 1);
+        assert_eq!(s.parse.misses, 1);
+        assert_eq!(s.parse.size, 1);
+    }
+
+    #[test]
+    fn stale_generation_rejected() {
+        let cache = SqlPlanCache::default();
+        let generation = cache.generation();
+        cache.store_plan(
+            42,
+            Arc::new(CachedPlan {
+                generation,
+                kind: PlanKind::Uncacheable,
+            }),
+        );
+        assert!(cache.lookup_plan(42, generation).is_some());
+        cache.bump_generation();
+        assert!(cache.lookup_plan(42, cache.generation()).is_none());
+    }
+
+    fn sharded_rule() -> ShardingRule {
+        let mut sr = ShardingRule::new(vec!["ds_0".into(), "ds_1".into()]);
+        sr.add_table_rule(TableRule {
+            logic_table: "t_user".into(),
+            sharding_column: "uid".into(),
+            algorithm: std::sync::Arc::new(ModAlgorithm::new(None)),
+            algorithm_type: "mod".into(),
+            data_nodes: vec![
+                DataNode::new("ds_0", "t_user_0"),
+                DataNode::new("ds_1", "t_user_1"),
+            ],
+            props: Props::new(),
+            key_generate_column: None,
+            complex: None,
+        })
+        .unwrap();
+        sr
+    }
+
+    #[test]
+    fn plan_replay_matches_fresh_route() {
+        let rule = sharded_rule();
+        let stmt = parse_statement("SELECT * FROM t_user WHERE uid = ?").unwrap();
+        let PlanKind::Sharded {
+            logic_table,
+            template,
+        } = build_plan(&stmt, &rule)
+        else {
+            panic!("expected a sharded template plan");
+        };
+        for uid in 0..8i64 {
+            let params = [shard_sql::Value::Int(uid)];
+            let replayed = execute_sharded_plan(&rule, &logic_table, &template, &params).unwrap();
+            let hint = RouteHint::default();
+            let fresh = RouteEngine::new(&rule, &hint)
+                .route(&stmt, &params)
+                .unwrap();
+            assert_eq!(replayed, fresh);
+        }
+    }
+
+    #[test]
+    fn literal_statement_gets_static_plan() {
+        let rule = sharded_rule();
+        let stmt = parse_statement("SELECT * FROM t_user WHERE uid = 5").unwrap();
+        match build_plan(&stmt, &rule) {
+            PlanKind::Static(r) => {
+                assert_eq!(r.units.len(), 1);
+                assert_eq!(r.units[0].actual_table("t_user"), Some("t_user_1"));
+            }
+            other => panic!("expected static plan, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parameterized_join_is_uncacheable() {
+        let rule = sharded_rule();
+        let stmt =
+            parse_statement("SELECT * FROM t_user u JOIN t_o o ON u.uid = o.uid WHERE u.uid = ?")
+                .unwrap();
+        assert!(matches!(build_plan(&stmt, &rule), PlanKind::Uncacheable));
+    }
+
+    #[test]
+    fn insert_is_never_cached() {
+        let rule = sharded_rule();
+        let stmt = parse_statement("INSERT INTO t_user (uid) VALUES (1)").unwrap();
+        assert!(matches!(build_plan(&stmt, &rule), PlanKind::Uncacheable));
+    }
+}

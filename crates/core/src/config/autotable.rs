@@ -36,7 +36,9 @@ impl AutoTablePlanner {
                     KernelError::Config("'sharding-count' must be a positive integer".into())
                 })?;
                 if n == 0 {
-                    return Err(KernelError::Config("'sharding-count' must be positive".into()));
+                    return Err(KernelError::Config(
+                        "'sharding-count' must be positive".into(),
+                    ));
                 }
                 Ok(n)
             }

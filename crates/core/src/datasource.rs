@@ -33,7 +33,11 @@ pub struct DataSource {
 }
 
 impl DataSource {
-    pub fn new(name: impl Into<String>, engine: Arc<StorageEngine>, max_connections: usize) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        engine: Arc<StorageEngine>,
+        max_connections: usize,
+    ) -> Self {
         let name = name.into();
         DataSource {
             pool: Arc::new(ConnectionPool::new(&name, max_connections)),
@@ -68,9 +72,7 @@ impl DataSource {
 
     /// Health probe: can the source answer a trivial query?
     pub fn ping(&self) -> bool {
-        self.engine
-            .execute_sql("SHOW TABLES", &[], None)
-            .is_ok()
+        self.engine.execute_sql("SHOW TABLES", &[], None).is_ok()
     }
 
     /// Execute through an already-acquired connection permit.
@@ -135,7 +137,11 @@ impl ConnectionPool {
     /// Acquire `n` connections atomically: wait until the pool can satisfy
     /// the whole request, then take all permits under one lock — the paper's
     /// deadlock-avoidance strategy.
-    pub fn acquire_atomic(self: &Arc<Self>, n: usize, timeout: Duration) -> Result<Vec<Connection>> {
+    pub fn acquire_atomic(
+        self: &Arc<Self>,
+        n: usize,
+        timeout: Duration,
+    ) -> Result<Vec<Connection>> {
         let n = n.min(self.capacity);
         let deadline = Instant::now() + timeout;
         let mut available = self.available.lock();
@@ -150,7 +156,9 @@ impl ConnectionPool {
         *available -= n;
         drop(available);
         Ok((0..n)
-            .map(|_| Connection { pool: Arc::clone(self) })
+            .map(|_| Connection {
+                pool: Arc::clone(self),
+            })
             .collect())
     }
 
@@ -179,7 +187,9 @@ impl ConnectionPool {
             }
             *available -= 1;
             drop(available);
-            out.push(Connection { pool: Arc::clone(self) });
+            out.push(Connection {
+                pool: Arc::clone(self),
+            });
         }
         Ok(out)
     }
@@ -209,7 +219,9 @@ mod tests {
     fn atomic_acquire_times_out_when_oversubscribed() {
         let pool = Arc::new(ConnectionPool::new("p", 2));
         let _held = pool.acquire_atomic(2, Duration::from_millis(20)).unwrap();
-        let err = pool.acquire_atomic(1, Duration::from_millis(20)).unwrap_err();
+        let err = pool
+            .acquire_atomic(1, Duration::from_millis(20))
+            .unwrap_err();
         assert!(matches!(err, KernelError::Execute(_)));
     }
 
@@ -237,10 +249,16 @@ mod tests {
         // incremental acquisition one of them can end up starved and must
         // back off — exactly the deadlock scenario in §VI-D.
         let pool = Arc::new(ConnectionPool::new("p", 2));
-        let a = pool.acquire_incremental(1, Duration::from_millis(10)).unwrap();
-        let b = pool.acquire_incremental(1, Duration::from_millis(10)).unwrap();
+        let a = pool
+            .acquire_incremental(1, Duration::from_millis(10))
+            .unwrap();
+        let b = pool
+            .acquire_incremental(1, Duration::from_millis(10))
+            .unwrap();
         // Both hold 1 and want 1 more: next incremental acquire times out.
-        let err = pool.acquire_incremental(1, Duration::from_millis(30)).unwrap_err();
+        let err = pool
+            .acquire_incremental(1, Duration::from_millis(30))
+            .unwrap_err();
         assert!(matches!(err, KernelError::Execute(_)));
         drop(a);
         drop(b);
@@ -253,7 +271,10 @@ mod tests {
         assert!(ds.is_enabled());
         assert!(ds.ping());
         ds.set_enabled(false);
-        let conn = ds.pool().acquire_atomic(1, Duration::from_millis(10)).unwrap();
+        let conn = ds
+            .pool()
+            .acquire_atomic(1, Duration::from_millis(10))
+            .unwrap();
         let stmt = shard_sql::parse_statement("SHOW TABLES").unwrap();
         let err = ds.execute_on(&conn[0], &stmt, &[], None).unwrap_err();
         assert!(matches!(err, KernelError::Unavailable(_)));

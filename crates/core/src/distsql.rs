@@ -22,12 +22,16 @@ pub fn execute(session: &mut Session, stmt: &DistSqlStatement) -> Result<Execute
         DistSqlStatement::DropShardingTableRule { table } => {
             let runtime = session.runtime().clone();
             runtime.rule.write().drop_table_rule(table)?;
-            runtime.registry().delete(&format!("rules/sharding/{table}"));
+            runtime.plan_cache().bump_generation();
+            runtime
+                .registry()
+                .delete(&format!("rules/sharding/{table}"));
             Ok(ExecuteResult::Update { affected: 0 })
         }
         DistSqlStatement::CreateBindingTableRule { tables } => {
             let runtime = session.runtime().clone();
             runtime.rule.write().add_binding_group(tables)?;
+            runtime.plan_cache().bump_generation();
             runtime
                 .registry()
                 .set(&format!("rules/binding/{}", tables.join(",")), "bound");
@@ -36,6 +40,7 @@ pub fn execute(session: &mut Session, stmt: &DistSqlStatement) -> Result<Execute
         DistSqlStatement::DropBindingTableRule { tables } => {
             let runtime = session.runtime().clone();
             runtime.rule.write().drop_binding_group(tables);
+            runtime.plan_cache().bump_generation();
             runtime
                 .registry()
                 .delete(&format!("rules/binding/{}", tables.join(",")));
@@ -44,14 +49,18 @@ pub fn execute(session: &mut Session, stmt: &DistSqlStatement) -> Result<Execute
         DistSqlStatement::CreateBroadcastTableRule { tables } => {
             let runtime = session.runtime().clone();
             runtime.rule.write().add_broadcast_tables(tables);
+            runtime.plan_cache().bump_generation();
             for t in tables {
-                runtime.registry().set(&format!("rules/broadcast/{t}"), "on");
+                runtime
+                    .registry()
+                    .set(&format!("rules/broadcast/{t}"), "on");
             }
             Ok(ExecuteResult::Update { affected: 0 })
         }
         DistSqlStatement::DropBroadcastTableRule { tables } => {
             let runtime = session.runtime().clone();
             runtime.rule.write().drop_broadcast_tables(tables);
+            runtime.plan_cache().bump_generation();
             for t in tables {
                 runtime.registry().delete(&format!("rules/broadcast/{t}"));
             }
@@ -93,7 +102,11 @@ pub fn execute(session: &mut Session, stmt: &DistSqlStatement) -> Result<Execute
                 .collect();
             rows.sort();
             Ok(ExecuteResult::Query(ResultSet::new(
-                vec!["name".into(), "write_resource".into(), "read_resources".into()],
+                vec![
+                    "name".into(),
+                    "write_resource".into(),
+                    "read_resources".into(),
+                ],
                 rows,
             )))
         }
@@ -227,6 +240,30 @@ pub fn execute(session: &mut Session, stmt: &DistSqlStatement) -> Result<Execute
                 vec![vec![Value::Str(name.clone()), Value::Str(value)]],
             )))
         }
+        DistSqlStatement::ShowSqlPlanCacheStatus => {
+            let status = session.runtime().plan_cache().status();
+            let row = |level: &str, s: &crate::cache::CacheLevelStatus| {
+                vec![
+                    Value::Str(level.into()),
+                    Value::Int(s.hits as i64),
+                    Value::Int(s.misses as i64),
+                    Value::Int(s.evictions as i64),
+                    Value::Int(s.size as i64),
+                    Value::Int(s.capacity as i64),
+                ]
+            };
+            Ok(ExecuteResult::Query(ResultSet::new(
+                vec![
+                    "level".into(),
+                    "hits".into(),
+                    "misses".into(),
+                    "evictions".into(),
+                    "size".into(),
+                    "capacity".into(),
+                ],
+                vec![row("parse", &status.parse), row("plan", &status.plan)],
+            )))
+        }
         DistSqlStatement::Preview { sql } => preview(session, sql),
     }
 }
@@ -280,16 +317,20 @@ fn create_sharding_rule(
         })?;
         Some(crate::config::ComplexStrategy {
             columns: columns.clone(),
-            algorithm: std::sync::Arc::new(
-                crate::algorithm::ComplexInlineAlgorithm::new(columns.clone(), expression)?,
-            ),
+            algorithm: std::sync::Arc::new(crate::algorithm::ComplexInlineAlgorithm::new(
+                columns.clone(),
+                expression,
+            )?),
         })
     } else {
         None
     };
     let table_rule = TableRule {
         logic_table: spec.table.clone(),
-        sharding_column: columns.first().cloned().unwrap_or_else(|| spec.sharding_column.clone()),
+        sharding_column: columns
+            .first()
+            .cloned()
+            .unwrap_or_else(|| spec.sharding_column.clone()),
         algorithm,
         algorithm_type: spec.algorithm_type.clone(),
         data_nodes: data_nodes.clone(),
@@ -298,6 +339,9 @@ fn create_sharding_rule(
         complex,
     };
     runtime.rule.write().add_table_rule(table_rule)?;
+    // Mutate first, bump after: a plan raced in under the old generation is
+    // rejected on its next lookup.
+    runtime.plan_cache().bump_generation();
     runtime.registry().set(
         &format!("rules/sharding/{}", spec.table),
         format!(

@@ -58,7 +58,9 @@ impl ExecutionReport {
 
 pub struct ExecutorEngine {
     /// MaxCon: maximum connections one query may use per data source.
-    pub max_connections_per_query: usize,
+    /// Atomic so one engine can live on the runtime for its whole lifetime
+    /// and still pick up live `max_connections_per_query` updates.
+    max_connections_per_query: std::sync::atomic::AtomicUsize,
     /// Pool acquisition timeout.
     pub acquire_timeout: Duration,
 }
@@ -66,7 +68,7 @@ pub struct ExecutorEngine {
 impl Default for ExecutorEngine {
     fn default() -> Self {
         ExecutorEngine {
-            max_connections_per_query: 8,
+            max_connections_per_query: std::sync::atomic::AtomicUsize::new(8),
             acquire_timeout: Duration::from_secs(5),
         }
     }
@@ -75,9 +77,21 @@ impl Default for ExecutorEngine {
 impl ExecutorEngine {
     pub fn new(max_connections_per_query: usize) -> Self {
         ExecutorEngine {
-            max_connections_per_query: max_connections_per_query.max(1),
+            max_connections_per_query: std::sync::atomic::AtomicUsize::new(
+                max_connections_per_query.max(1),
+            ),
             ..Default::default()
         }
+    }
+
+    pub fn set_max_connections(&self, n: usize) {
+        self.max_connections_per_query
+            .store(n.max(1), std::sync::atomic::Ordering::SeqCst);
+    }
+
+    pub fn max_connections(&self) -> usize {
+        self.max_connections_per_query
+            .load(std::sync::atomic::Ordering::SeqCst)
     }
 
     /// Execute all inputs; results return in input order.
@@ -112,9 +126,7 @@ impl ExecutorEngine {
             if !groups.contains_key(&name) {
                 let ds = datasources
                     .get(&name)
-                    .ok_or_else(|| {
-                        KernelError::Execute(format!("unknown data source '{name}'"))
-                    })?
+                    .ok_or_else(|| KernelError::Execute(format!("unknown data source '{name}'")))?
                     .clone();
                 let txn = txns.and_then(|t| t.get(&name).copied());
                 order.push(name.clone());
@@ -149,10 +161,7 @@ impl ExecutorEngine {
             if group.txn.is_some() {
                 // Transactional statements share the transaction's single
                 // connection: strictly serial on this source.
-                let permits = group
-                    .ds
-                    .pool()
-                    .acquire_atomic(1, self.acquire_timeout)?;
+                let permits = group.ds.pool().acquire_atomic(1, self.acquire_timeout)?;
                 report
                     .groups
                     .push((name.clone(), ConnectionMode::ConnectionStrictly, num_sql, 1));
@@ -164,7 +173,7 @@ impl ExecutorEngine {
                 });
                 continue;
             }
-            let max_con = self.max_connections_per_query;
+            let max_con = self.max_connections();
             // θ = ⌈NumOfSQL / MaxCon⌉
             let theta = num_sql.div_ceil(max_con);
             let (mode, connections) = if theta > 1 {
@@ -182,9 +191,8 @@ impl ExecutorEngine {
                 .groups
                 .push((name.clone(), mode, num_sql, connections));
             // Chunk SQLs over connections round-robin to balance sizes.
-            let mut chunks: Vec<Vec<(usize, Statement)>> = (0..connections)
-                .map(|_| Vec::new())
-                .collect();
+            let mut chunks: Vec<Vec<(usize, Statement)>> =
+                (0..connections).map(|_| Vec::new()).collect();
             for (j, item) in group.sqls.into_iter().enumerate() {
                 chunks[j % connections].push(item);
             }
@@ -303,11 +311,7 @@ mod tests {
             let name = format!("ds_{i}");
             let engine = StorageEngine::new(&name);
             engine
-                .execute_sql(
-                    "CREATE TABLE t_0 (id BIGINT PRIMARY KEY, v INT)",
-                    &[],
-                    None,
-                )
+                .execute_sql("CREATE TABLE t_0 (id BIGINT PRIMARY KEY, v INT)", &[], None)
                 .unwrap();
             engine
                 .execute_sql("CREATE TABLE t_1 (id BIGINT PRIMARY KEY, v INT)", &[], None)
@@ -409,9 +413,7 @@ mod tests {
             input("ds_0", "INSERT INTO t_0 VALUES (100, 1)"),
             input("ds_0", "UPDATE t_0 SET v = 2 WHERE id = 100"),
         ];
-        let (results, report) = engine
-            .execute(&sources, inputs, &[], Some(&txns))
-            .unwrap();
+        let (results, report) = engine.execute(&sources, inputs, &[], Some(&txns)).unwrap();
         assert_eq!(results[1].affected(), 1);
         assert_eq!(report.groups[0].3, 1); // single transactional connection
         sources["ds_0"].engine().rollback(txn).unwrap();

@@ -308,7 +308,10 @@ mod tests {
         let cipher = XorCipher::new("k3y");
         let mut rs = ResultSet::new(
             vec!["uid".into(), "phone".into()],
-            vec![vec![Value::Int(1), cipher.encrypt(&Value::Str("555".into()))]],
+            vec![vec![
+                Value::Int(1),
+                cipher.encrypt(&Value::Str("555".into())),
+            ]],
         );
         r.decrypt_result(&mut rs, &["t_user".to_string()]);
         assert_eq!(rs.rows[0][1], Value::Str("555".into()));

@@ -252,7 +252,10 @@ mod tests {
             .unwrap()
             .query();
         assert_eq!(rs.rows[0][0], Value::Int(40));
-        assert_eq!(rs.rows[0][1], Value::Int((0..40).map(|i| i * 2).sum::<i64>()));
+        assert_eq!(
+            rs.rows[0][1],
+            Value::Int((0..40).map(|i| i * 2).sum::<i64>())
+        );
         let rs = s
             .execute_sql("SELECT v FROM t WHERE id = 17", &[])
             .unwrap()
@@ -263,11 +266,7 @@ mod tests {
         let ds0 = runtime.datasource("ds_0").unwrap();
         assert!(!ds0.engine().table_names().contains(&"t_0".to_string()));
         let ds1 = runtime.datasource("ds_1").unwrap();
-        assert!(ds1
-            .engine()
-            .table_names()
-            .iter()
-            .any(|t| t.contains("_g1")));
+        assert!(ds1.engine().table_names().iter().any(|t| t.contains("_g1")));
     }
 
     #[test]
@@ -277,11 +276,7 @@ mod tests {
         let report = reshard(&runtime, &spec(vec!["ds_0".into()], 2)).unwrap();
         assert_eq!(report.rows_migrated, 40);
         let ds0 = runtime.datasource("ds_0").unwrap();
-        assert!(ds0
-            .engine()
-            .table_names()
-            .iter()
-            .any(|t| t.contains("_g2")));
+        assert!(ds0.engine().table_names().iter().any(|t| t.contains("_g2")));
         // Still consistent.
         let mut s = runtime.session();
         let rs = s

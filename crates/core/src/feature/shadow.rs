@@ -118,8 +118,7 @@ mod tests {
     #[test]
     fn insert_with_marker_detected() {
         let r = rule();
-        let stmt =
-            parse_statement("INSERT INTO t (uid, is_shadow) VALUES (1, TRUE)").unwrap();
+        let stmt = parse_statement("INSERT INTO t (uid, is_shadow) VALUES (1, TRUE)").unwrap();
         assert!(r.is_shadow_statement(&stmt, &[]));
         let stmt = parse_statement("INSERT INTO t (uid, is_shadow) VALUES (1, FALSE)").unwrap();
         assert!(!r.is_shadow_statement(&stmt, &[]));

@@ -49,7 +49,13 @@ impl FailoverCoordinator {
         self.groups
             .lock()
             .values()
-            .map(|g| (g.logical_name.clone(), g.primary.clone(), g.replicas.clone()))
+            .map(|g| {
+                (
+                    g.logical_name.clone(),
+                    g.primary.clone(),
+                    g.replicas.clone(),
+                )
+            })
             .collect()
     }
 

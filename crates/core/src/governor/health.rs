@@ -129,7 +129,10 @@ mod tests {
                 healthy: true
             }]
         );
-        assert_eq!(registry.get("status/datasource/ds_0").as_deref(), Some("up"));
+        assert_eq!(
+            registry.get("status/datasource/ds_0").as_deref(),
+            Some("up")
+        );
         // No change → no event.
         assert!(detector.probe_once().is_empty());
     }
@@ -140,8 +143,7 @@ mod tests {
         let a = ds("ds_0");
         let b = ds("ds_1");
         b.set_enabled(false);
-        let detector =
-            HealthDetector::new(registry, vec![Arc::clone(&a), Arc::clone(&b)]);
+        let detector = HealthDetector::new(registry, vec![Arc::clone(&a), Arc::clone(&b)]);
         // probe re-enables b because its engine responds.
         detector.probe_once();
         let report = detector.report();
@@ -157,6 +159,9 @@ mod tests {
         let guard = detector.start(Duration::from_millis(5));
         std::thread::sleep(Duration::from_millis(30));
         drop(guard); // must join cleanly
-        assert_eq!(registry.get("status/datasource/ds_0").as_deref(), Some("up"));
+        assert_eq!(
+            registry.get("status/datasource/ds_0").as_deref(),
+            Some("up")
+        );
     }
 }

@@ -56,7 +56,9 @@ impl ConfigRegistry {
         let mut state = self.state.lock();
         state.version += 1;
         let version = state.version;
-        state.entries.insert(key.to_string(), (value.clone(), version));
+        state
+            .entries
+            .insert(key.to_string(), (value.clone(), version));
         Self::notify(&mut state, key, Some(value), version);
         version
     }

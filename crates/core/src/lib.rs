@@ -6,6 +6,7 @@
 //! pluggable features (read-write splitting, encryption, shadow DB, hints).
 
 pub mod algorithm;
+pub mod cache;
 pub mod config;
 pub mod datasource;
 pub mod distsql;

@@ -14,16 +14,12 @@ pub fn combine(kind: AggKind, acc: &mut Value, v: &Value) {
     match kind {
         AggKind::Count | AggKind::Sum => add_in_place(acc, v),
         AggKind::Min => {
-            if !v.is_null()
-                && (acc.is_null() || v.total_cmp(acc) == std::cmp::Ordering::Less)
-            {
+            if !v.is_null() && (acc.is_null() || v.total_cmp(acc) == std::cmp::Ordering::Less) {
                 *acc = v.clone();
             }
         }
         AggKind::Max => {
-            if !v.is_null()
-                && (acc.is_null() || v.total_cmp(acc) == std::cmp::Ordering::Greater)
-            {
+            if !v.is_null() && (acc.is_null() || v.total_cmp(acc) == std::cmp::Ordering::Greater) {
                 *acc = v.clone();
             }
         }

@@ -218,9 +218,18 @@ mod tests {
         let r3 = score_rs(vec![("lily", 87, 1), ("tom", 85, 1)]);
         let out = group_stream_merge(vec![r1, r2, r3], &keys(), &[0], &aggs());
         assert_eq!(out.len(), 3);
-        assert_eq!(out[0], vec![Value::Str("jerry".into()), Value::Int(178), Value::Int(2)]);
-        assert_eq!(out[1], vec![Value::Str("lily".into()), Value::Int(87), Value::Int(1)]);
-        assert_eq!(out[2], vec![Value::Str("tom".into()), Value::Int(258), Value::Int(3)]);
+        assert_eq!(
+            out[0],
+            vec![Value::Str("jerry".into()), Value::Int(178), Value::Int(2)]
+        );
+        assert_eq!(
+            out[1],
+            vec![Value::Str("lily".into()), Value::Int(87), Value::Int(1)]
+        );
+        assert_eq!(
+            out[2],
+            vec![Value::Str("tom".into()), Value::Int(258), Value::Int(3)]
+        );
     }
 
     #[test]
@@ -290,6 +299,9 @@ mod tests {
         }];
         let out = group_memory_merge(vec![r1, r2], &sort, &[0], &aggs());
         assert_eq!(out[0][0], Value::Str("b".into()));
-        assert_eq!(out[1], vec![Value::Str("a".into()), Value::Int(15), Value::Int(2)]);
+        assert_eq!(
+            out[1],
+            vec![Value::Str("a".into()), Value::Int(15), Value::Int(2)]
+        );
     }
 }

@@ -278,7 +278,8 @@ mod tests {
 
     #[test]
     fn group_by_memory_when_order_differs() {
-        let info = info_for("SELECT name, SUM(score) FROM t GROUP BY name ORDER BY SUM(score) DESC");
+        let info =
+            info_for("SELECT name, SUM(score) FROM t GROUP BY name ORDER BY SUM(score) DESC");
         let (out, kind) = merge_explain(
             vec![
                 rs(
@@ -310,7 +311,8 @@ mod tests {
                 vec![vec![Value::Float(avg), Value::Int(sum), Value::Int(count)]],
             )
         };
-        let (out, kind) = merge_explain(vec![shard(10.0, 10, 1), shard(2.0 / 3.0, 2, 3)], &info).unwrap();
+        let (out, kind) =
+            merge_explain(vec![shard(10.0, 10, 1), shard(2.0 / 3.0, 2, 3)], &info).unwrap();
         assert_eq!(kind, MergerKind::SingleGroup);
         // derived columns stripped: only AVG remains
         assert_eq!(out.columns, vec!["AVG(score)"]);

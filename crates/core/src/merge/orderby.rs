@@ -2,8 +2,8 @@
 //! priority queue (the paper §VI-E: "we resort to a priority queue" /
 //! multiway merge).
 
-use shard_storage::{ResultCursor, ResultSet};
 use shard_sql::Value;
+use shard_storage::{ResultCursor, ResultSet};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -74,7 +74,11 @@ impl OrderByStreamMerger {
                 });
             }
         }
-        OrderByStreamMerger { cursors, heap, keys }
+        OrderByStreamMerger {
+            cursors,
+            heap,
+            keys,
+        }
     }
 }
 
@@ -163,8 +167,14 @@ mod tests {
         let merger = OrderByStreamMerger::new(
             vec![a, b],
             vec![
-                SortKey { position: 0, desc: false },
-                SortKey { position: 1, desc: false },
+                SortKey {
+                    position: 0,
+                    desc: false,
+                },
+                SortKey {
+                    position: 1,
+                    desc: false,
+                },
             ],
         );
         let got: Vec<(i64, i64)> = merger
@@ -191,7 +201,10 @@ mod tests {
                 s(vec![("jerry", 90), ("tom", 78)]),
                 s(vec![("lily", 87), ("tom", 85)]),
             ],
-            vec![SortKey { position: 0, desc: false }],
+            vec![SortKey {
+                position: 0,
+                desc: false,
+            }],
         );
         let names: Vec<String> = merger.map(|r| r[0].to_string()).collect();
         assert_eq!(names, vec!["jerry", "jerry", "lily", "tom", "tom", "tom"]);

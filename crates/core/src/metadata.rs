@@ -27,7 +27,10 @@ impl LogicalSchemas {
     }
 
     pub fn get(&self, logic_table: &str) -> Option<CreateTableStatement> {
-        self.schemas.read().get(&logic_table.to_lowercase()).cloned()
+        self.schemas
+            .read()
+            .get(&logic_table.to_lowercase())
+            .cloned()
     }
 
     pub fn require(&self, logic_table: &str) -> Result<CreateTableStatement> {

@@ -77,7 +77,10 @@ impl DerivedInfo {
 
 /// Derive a multi-shard SELECT. Returns the statement to send to shards and
 /// the merge guidance.
-pub fn derive_select(select: &SelectStatement, params: &[Value]) -> Result<(SelectStatement, DerivedInfo)> {
+pub fn derive_select(
+    select: &SelectStatement,
+    params: &[Value],
+) -> Result<(SelectStatement, DerivedInfo)> {
     let mut stmt = select.clone();
     let mut info = DerivedInfo {
         distinct: stmt.distinct,
@@ -129,18 +132,19 @@ pub fn derive_select(select: &SelectStatement, params: &[Value]) -> Result<(Sele
 
     // Resolve the output column name of an expression, deriving one when the
     // projection does not already return it.
-    let mut ensure_column = |stmt: &mut SelectStatement, expr: &Expr, prefix: &str| -> Result<String> {
-        if let Some(name) = projected_name(&stmt.projection, expr) {
-            return Ok(name);
-        }
-        let alias = format!("{prefix}_{derived_idx}");
-        derived_idx += 1;
-        stmt.projection.push(SelectItem::Expr {
-            expr: expr.clone(),
-            alias: Some(alias.clone()),
-        });
-        Ok(alias)
-    };
+    let mut ensure_column =
+        |stmt: &mut SelectStatement, expr: &Expr, prefix: &str| -> Result<String> {
+            if let Some(name) = projected_name(&stmt.projection, expr) {
+                return Ok(name);
+            }
+            let alias = format!("{prefix}_{derived_idx}");
+            derived_idx += 1;
+            stmt.projection.push(SelectItem::Expr {
+                expr: expr.clone(),
+                alias: Some(alias.clone()),
+            });
+            Ok(alias)
+        };
 
     // GROUP BY keys.
     let group_exprs = stmt.group_by.clone();
@@ -196,7 +200,9 @@ pub fn derive_select(select: &SelectStatement, params: &[Value]) -> Result<(Sele
     }
 
     for (expr, column) in agg_exprs {
-        let Expr::Function(f) = &expr else { unreachable!() };
+        let Expr::Function(f) = &expr else {
+            unreachable!()
+        };
         let kind = match f.name.as_str() {
             "COUNT" => AggKind::Count,
             "SUM" => AggKind::Sum,
@@ -273,7 +279,9 @@ fn projected_name(projection: &[SelectItem], expr: &Expr) -> Option<String> {
                 SelectItem::Wildcard => return Some(c.column.clone()),
                 SelectItem::QualifiedWildcard(t)
                     if c.table.as_deref().is_none()
-                        || c.table.as_deref().is_some_and(|ct| ct.eq_ignore_ascii_case(t)) =>
+                        || c.table
+                            .as_deref()
+                            .is_some_and(|ct| ct.eq_ignore_ascii_case(t)) =>
                 {
                     return Some(c.column.clone());
                 }
@@ -284,14 +292,10 @@ fn projected_name(projection: &[SelectItem], expr: &Expr) -> Option<String> {
     for item in projection {
         if let SelectItem::Expr { expr: p, alias } = item {
             if exprs_equivalent(p, expr) {
-                return Some(
-                    alias
-                        .clone()
-                        .unwrap_or_else(|| match p {
-                            Expr::Column(c) => c.column.clone(),
-                            other => format_expr(other, Dialect::Standard),
-                        }),
-                );
+                return Some(alias.clone().unwrap_or_else(|| match p {
+                    Expr::Column(c) => c.column.clone(),
+                    other => format_expr(other, Dialect::Standard),
+                }));
             }
             // ORDER BY may reference the projection alias.
             if let (Some(a), Expr::Column(c)) = (alias, expr) {
@@ -389,8 +393,7 @@ mod tests {
 
     #[test]
     fn having_moves_to_merger_and_derives_aggregate() {
-        let (stmt, info) =
-            derive("SELECT name FROM t_score GROUP BY name HAVING COUNT(*) > 1");
+        let (stmt, info) = derive("SELECT name FROM t_score GROUP BY name HAVING COUNT(*) > 1");
         assert!(stmt.having.is_none());
         assert!(info.having.is_some());
         // COUNT(*) not in projection: derived.

@@ -133,7 +133,10 @@ fn rewrite_select(s: &mut SelectStatement, unit: &RouteUnit) {
 fn rewrite_expr_qualifiers(e: &mut Expr, logic: &str, actual: &str) {
     e.walk_mut(&mut |x| {
         if let Expr::Column(c) = x {
-            if c.table.as_deref().is_some_and(|t| t.eq_ignore_ascii_case(logic)) {
+            if c.table
+                .as_deref()
+                .is_some_and(|t| t.eq_ignore_ascii_case(logic))
+            {
                 c.table = Some(actual.to_string());
             }
         }

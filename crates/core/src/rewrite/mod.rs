@@ -21,28 +21,30 @@ use crate::route::{RouteResult, RouteUnit};
 use shard_sql::ast::*;
 use shard_sql::Value;
 use shard_storage::eval::{eval, EvalContext, Scope};
+use std::borrow::Cow;
 
 /// Rewrite engine output for one logical statement: the shared derived
-/// statement plus merger guidance.
-pub struct RewriteOutput {
+/// statement plus merger guidance. Statements that need no derivation are
+/// borrowed, not cloned (the single-node hot path).
+pub struct RewriteOutput<'a> {
     /// The statement after derivation (before per-unit identifier rewrite).
-    pub derived: Statement,
+    pub derived: Cow<'a, Statement>,
     /// Merger guidance (aggregates, order keys, pagination).
     pub info: DerivedInfo,
 }
 
 /// Run the route-independent rewrites once per logical statement.
-pub fn rewrite_statement(
-    stmt: &Statement,
+pub fn rewrite_statement<'a>(
+    stmt: &'a Statement,
     route: &RouteResult,
     params: &[Value],
-) -> Result<RewriteOutput> {
+) -> Result<RewriteOutput<'a>> {
     let multi_unit = route.units.len() > 1;
     match stmt {
         Statement::Select(select) if multi_unit => {
             let (derived, info) = derive_select(select, params)?;
             Ok(RewriteOutput {
-                derived: Statement::Select(derived),
+                derived: Cow::Owned(Statement::Select(derived)),
                 info,
             })
         }
@@ -53,12 +55,12 @@ pub fn rewrite_statement(
                 ..DerivedInfo::default()
             };
             Ok(RewriteOutput {
-                derived: stmt.clone(),
+                derived: Cow::Borrowed(stmt),
                 info,
             })
         }
         _ => Ok(RewriteOutput {
-            derived: stmt.clone(),
+            derived: Cow::Borrowed(stmt),
             info: DerivedInfo::default(),
         }),
     }
@@ -66,12 +68,12 @@ pub fn rewrite_statement(
 
 /// Produce the executable statement for one route unit.
 pub fn rewrite_for_unit(
-    output: &RewriteOutput,
+    output: &RewriteOutput<'_>,
     unit: &RouteUnit,
     route: &RouteResult,
     params: &[Value],
 ) -> Result<Statement> {
-    let mut stmt = output.derived.clone();
+    let mut stmt = output.derived.as_ref().clone();
     // Batched INSERT split: keep only the rows that belong to this unit.
     if let Statement::Insert(insert) = &mut stmt {
         split_insert_rows(insert, unit, route, params)?;
@@ -131,11 +133,7 @@ fn split_insert_rows(
         .rows
         .iter()
         .enumerate()
-        .filter(|(i, _)| {
-            assignments
-                .get(*i)
-                .is_some_and(|assigned| assigned == unit)
-        })
+        .filter(|(i, _)| assignments.get(*i).is_some_and(|assigned| assigned == unit))
         .map(|(_, r)| r.clone())
         .collect();
     insert.rows = keep;

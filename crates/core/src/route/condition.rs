@@ -128,6 +128,171 @@ pub fn extract_conditions(
     ShardingCondition::None
 }
 
+// ---------------------------------------------------------------------------
+// Condition templates (route-plan cache support)
+// ---------------------------------------------------------------------------
+
+/// Where a sharding value comes from when a cached plan is replayed: either a
+/// constant baked into the SQL text or a `?` placeholder position.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValueSource {
+    Const(Value),
+    Param(usize),
+}
+
+impl ValueSource {
+    fn resolve(&self, params: &[Value]) -> Option<Value> {
+        match self {
+            ValueSource::Const(v) => Some(v.clone()),
+            ValueSource::Param(i) => params.get(*i).cloned(),
+        }
+    }
+}
+
+/// A pre-extracted sharding condition whose value slots are resolved against
+/// each execution's parameters — the cacheable part of condition extraction.
+/// Resolving a template is equivalent to re-running [`extract_conditions`] on
+/// the same WHERE clause, without walking the AST.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConditionTemplate {
+    /// The column is not constrained: always a full route.
+    None,
+    /// `=` or `IN`.
+    Exact(Vec<ValueSource>),
+    /// A single range conjunct (`BETWEEN` or one inequality).
+    Range {
+        low: Bound<ValueSource>,
+        high: Bound<ValueSource>,
+    },
+}
+
+impl ConditionTemplate {
+    /// Resolve the template against bound parameters. Any unresolvable slot
+    /// (unbound `?`) degrades to a full route, exactly as extraction would.
+    pub fn resolve(&self, params: &[Value]) -> ShardingCondition {
+        match self {
+            ConditionTemplate::None => ShardingCondition::None,
+            ConditionTemplate::Exact(sources) => {
+                let vals: Option<Vec<Value>> = sources.iter().map(|s| s.resolve(params)).collect();
+                match vals {
+                    Some(v) => ShardingCondition::Exact(v),
+                    None => ShardingCondition::None,
+                }
+            }
+            ConditionTemplate::Range { low, high } => {
+                match (resolve_bound(low, params), resolve_bound(high, params)) {
+                    (Some(l), Some(h)) => ShardingCondition::Range(l, h),
+                    _ => ShardingCondition::None,
+                }
+            }
+        }
+    }
+}
+
+fn resolve_bound(b: &Bound<ValueSource>, params: &[Value]) -> Option<Bound<Value>> {
+    match b {
+        Bound::Unbounded => Some(Bound::Unbounded),
+        Bound::Included(s) => s.resolve(params).map(Bound::Included),
+        Bound::Excluded(s) => s.resolve(params).map(Bound::Excluded),
+    }
+}
+
+/// Extract a [`ConditionTemplate`] from a WHERE clause, or `None` when the
+/// statement is not templatable. Templates are only built when at most one
+/// top-level conjunct constrains the sharding column: intersecting several
+/// conjuncts (`uid = ? AND uid > 5`) needs the actual values, which only
+/// exist at execution time.
+pub fn extract_condition_template(
+    where_clause: Option<&Expr>,
+    bindings: &[&str],
+    sharding_column: &str,
+) -> Option<ConditionTemplate> {
+    let Some(pred) = where_clause else {
+        return Some(ConditionTemplate::None);
+    };
+    let mut conjuncts = Vec::new();
+    collect_conjuncts(pred, &mut conjuncts);
+
+    let mut template: Option<ConditionTemplate> = None;
+    for c in conjuncts {
+        let t = match c {
+            Expr::Binary { left, op, right } if op.is_comparison() => {
+                let (src, op) = match (
+                    is_target_column(left, bindings, sharding_column),
+                    source_of(right),
+                ) {
+                    (true, Some(s)) => (Some(s), *op),
+                    _ => match (
+                        is_target_column(right, bindings, sharding_column),
+                        source_of(left),
+                    ) {
+                        (true, Some(s)) => (Some(s), mirror(*op)),
+                        _ => (None, *op),
+                    },
+                };
+                match (src, op) {
+                    (Some(s), BinaryOp::Eq) => Some(ConditionTemplate::Exact(vec![s])),
+                    (Some(s), BinaryOp::Gt) => Some(ConditionTemplate::Range {
+                        low: Bound::Excluded(s),
+                        high: Bound::Unbounded,
+                    }),
+                    (Some(s), BinaryOp::GtEq) => Some(ConditionTemplate::Range {
+                        low: Bound::Included(s),
+                        high: Bound::Unbounded,
+                    }),
+                    (Some(s), BinaryOp::Lt) => Some(ConditionTemplate::Range {
+                        low: Bound::Unbounded,
+                        high: Bound::Excluded(s),
+                    }),
+                    (Some(s), BinaryOp::LtEq) => Some(ConditionTemplate::Range {
+                        low: Bound::Unbounded,
+                        high: Bound::Included(s),
+                    }),
+                    _ => None,
+                }
+            }
+            Expr::InList {
+                expr,
+                negated: false,
+                list,
+            } if is_target_column(expr, bindings, sharding_column) => {
+                let sources: Option<Vec<ValueSource>> = list.iter().map(source_of).collect();
+                sources.map(ConditionTemplate::Exact)
+            }
+            Expr::Between {
+                expr,
+                negated: false,
+                low,
+                high,
+            } if is_target_column(expr, bindings, sharding_column) => {
+                match (source_of(low), source_of(high)) {
+                    (Some(l), Some(h)) => Some(ConditionTemplate::Range {
+                        low: Bound::Included(l),
+                        high: Bound::Included(h),
+                    }),
+                    _ => None,
+                }
+            }
+            _ => None,
+        };
+        if let Some(t) = t {
+            if template.is_some() {
+                return None;
+            }
+            template = Some(t);
+        }
+    }
+    Some(template.unwrap_or(ConditionTemplate::None))
+}
+
+fn source_of(e: &Expr) -> Option<ValueSource> {
+    match unwrap_nested(e) {
+        Expr::Literal(v) => Some(ValueSource::Const(v.clone())),
+        Expr::Param(i) => Some(ValueSource::Param(*i)),
+        _ => None,
+    }
+}
+
 fn collect_conjuncts<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
     match e {
         Expr::Binary {
@@ -301,7 +466,10 @@ mod tests {
 
     #[test]
     fn inequalities_tighten() {
-        match extract("SELECT * FROM t_user WHERE uid > 3 AND uid <= 10 AND uid > 5", &[]) {
+        match extract(
+            "SELECT * FROM t_user WHERE uid > 3 AND uid <= 10 AND uid > 5",
+            &[],
+        ) {
             ShardingCondition::Range(lo, hi) => {
                 assert_eq!(lo, Bound::Excluded(Value::Int(5)));
                 assert_eq!(hi, Bound::Included(Value::Int(10)));
@@ -344,7 +512,10 @@ mod tests {
     #[test]
     fn equality_and_range_intersect() {
         assert_eq!(
-            extract("SELECT * FROM t_user WHERE uid IN (1, 5, 9) AND uid > 2", &[]),
+            extract(
+                "SELECT * FROM t_user WHERE uid IN (1, 5, 9) AND uid > 2",
+                &[]
+            ),
             ShardingCondition::Exact(vec![Value::Int(5), Value::Int(9)])
         );
     }
@@ -371,5 +542,51 @@ mod tests {
             extract("SELECT * FROM t_user WHERE uid NOT IN (1, 2)", &[]),
             ShardingCondition::None
         );
+    }
+
+    fn template_of(sql: &str) -> Option<ConditionTemplate> {
+        let w = where_of(sql);
+        extract_condition_template(Some(&w), &["t_user", "u"], "uid")
+    }
+
+    #[test]
+    fn template_resolves_like_extraction() {
+        for (sql, params) in [
+            ("SELECT * FROM t_user WHERE uid = ?", vec![Value::Int(7)]),
+            (
+                "SELECT * FROM t_user WHERE uid IN (?, 5, ?)",
+                vec![Value::Int(1), Value::Int(9)],
+            ),
+            (
+                "SELECT * FROM t_user WHERE uid BETWEEN ? AND ?",
+                vec![Value::Int(3), Value::Int(8)],
+            ),
+            ("SELECT * FROM t_user WHERE uid > ?", vec![Value::Int(4)]),
+            ("SELECT * FROM t_user WHERE name = ?", vec![Value::Int(1)]),
+            ("SELECT * FROM t_user WHERE uid = ?", vec![]),
+        ] {
+            let w = where_of(sql);
+            let direct = extract_conditions(Some(&w), &["t_user", "u"], "uid", &params);
+            let template = template_of(sql).unwrap_or_else(|| panic!("untemplatable: {sql}"));
+            assert_eq!(template.resolve(&params), direct, "{sql}");
+        }
+    }
+
+    #[test]
+    fn multi_conjunct_on_column_is_untemplatable() {
+        assert!(template_of("SELECT * FROM t_user WHERE uid = ? AND uid > 5").is_none());
+        assert!(template_of("SELECT * FROM t_user WHERE uid > ? AND uid < ?").is_none());
+    }
+
+    #[test]
+    fn no_where_clause_is_full_route_template() {
+        let t = extract_condition_template(None, &["t_user"], "uid").unwrap();
+        assert_eq!(t.resolve(&[]), ShardingCondition::None);
+    }
+
+    #[test]
+    fn or_template_degrades_to_none() {
+        let t = template_of("SELECT * FROM t_user WHERE uid = 1 OR uid = 2").unwrap();
+        assert_eq!(t.resolve(&[]), ShardingCondition::None);
     }
 }

@@ -98,18 +98,22 @@ impl<'a> RouteEngine<'a> {
 
     fn apply_datasource_hint(&self, mut result: RouteResult) -> RouteResult {
         if let Some(forced) = &self.hint.datasource {
-            result.units.retain(|u| u.datasource.eq_ignore_ascii_case(forced));
+            result
+                .units
+                .retain(|u| u.datasource.eq_ignore_ascii_case(forced));
         }
         result
     }
 
     fn broadcast_all_datasources(&self) -> RouteResult {
-        RouteResult::new(RouteKind::Broadcast, self
-                .rule
+        RouteResult::new(
+            RouteKind::Broadcast,
+            self.rule
                 .datasource_names
                 .iter()
                 .map(|d| RouteUnit::new(d.clone()))
-                .collect())
+                .collect(),
+        )
     }
 
     // -- DDL ---------------------------------------------------------------
@@ -165,8 +169,7 @@ impl<'a> RouteEngine<'a> {
             if let Some(a) = alias {
                 bindings.push(a);
             }
-            let nodes =
-                self.nodes_for_statement(logic, rule, where_clause, &bindings, params)?;
+            let nodes = self.nodes_for_statement(logic, rule, where_clause, &bindings, params)?;
             let kind = if nodes.len() == 1 {
                 RouteKind::Single
             } else {
@@ -268,38 +271,7 @@ impl<'a> RouteEngine<'a> {
         rule: &'r TableRule,
         condition: &ShardingCondition,
     ) -> Result<Vec<&'r DataNode>> {
-        let nodes = self.nodes_for_inner(rule, condition)?;
-        if nodes.is_empty() {
-            // Contradictory conditions (uid = 1 AND uid = 2) match nothing;
-            // unicast to one node so the client still gets a correctly
-            // shaped (empty) result, as ShardingSphere does.
-            return Ok(rule.all_nodes().first().into_iter().collect());
-        }
-        Ok(nodes)
-    }
-
-    fn nodes_for_inner<'r>(
-        &self,
-        rule: &'r TableRule,
-        condition: &ShardingCondition,
-    ) -> Result<Vec<&'r DataNode>> {
-        let mut nodes: Vec<&DataNode> = match condition {
-            ShardingCondition::Exact(values) => {
-                let mut out = Vec::new();
-                for v in values {
-                    out.push(rule.route_exact(v)?);
-                }
-                out
-            }
-            ShardingCondition::Range(lo, hi) => {
-                rule.route_range(bound_ref(lo), bound_ref(hi))?
-            }
-            ShardingCondition::None => rule.all_nodes().iter().collect(),
-        };
-        // Dedup while preserving data-node order.
-        let mut seen = std::collections::HashSet::new();
-        nodes.retain(|n| seen.insert((*n).clone()));
-        Ok(nodes)
+        nodes_for_condition(rule, condition)
     }
 
     // -- INSERT ---------------------------------------------------------------
@@ -371,8 +343,7 @@ impl<'a> RouteEngine<'a> {
                     let value = eval_insert_value(&row[col_idx], params)?;
                     rule.route_exact(&value)?
                 };
-                let unit =
-                    RouteUnit::new(node.datasource.clone()).with_mapping(logic, &node.table);
+                let unit = RouteUnit::new(node.datasource.clone()).with_mapping(logic, &node.table);
                 if !units.contains(&unit) {
                     units.push(unit.clone());
                 }
@@ -418,13 +389,18 @@ impl<'a> RouteEngine<'a> {
         if refs.is_empty() {
             // SELECT without FROM: run on any one data source.
             let ds = self.default_datasource()?;
-            return Ok(RouteResult::new(RouteKind::Single, vec![RouteUnit::new(ds)]));
+            return Ok(RouteResult::new(
+                RouteKind::Single,
+                vec![RouteUnit::new(ds)],
+            ));
         }
 
         let sharded: Vec<&str> = {
             let mut out = Vec::new();
             for (_, logic) in &refs {
-                if self.rule.is_sharded(logic) && !out.iter().any(|t: &&str| t.eq_ignore_ascii_case(logic)) {
+                if self.rule.is_sharded(logic)
+                    && !out.iter().any(|t: &&str| t.eq_ignore_ascii_case(logic))
+                {
                     out.push(*logic);
                 }
             }
@@ -587,6 +563,36 @@ impl<'a> RouteEngine<'a> {
     }
 }
 
+/// The data nodes a resolved sharding condition selects from a table rule.
+/// Shared by the route engine and the route-plan cache (which replays a
+/// cached [`super::condition::ConditionTemplate`] without re-walking the AST).
+pub(crate) fn nodes_for_condition<'r>(
+    rule: &'r TableRule,
+    condition: &ShardingCondition,
+) -> Result<Vec<&'r DataNode>> {
+    let mut nodes: Vec<&DataNode> = match condition {
+        ShardingCondition::Exact(values) => {
+            let mut out = Vec::new();
+            for v in values {
+                out.push(rule.route_exact(v)?);
+            }
+            out
+        }
+        ShardingCondition::Range(lo, hi) => rule.route_range(bound_ref(lo), bound_ref(hi))?,
+        ShardingCondition::None => rule.all_nodes().iter().collect(),
+    };
+    // Dedup while preserving data-node order.
+    let mut seen = std::collections::HashSet::new();
+    nodes.retain(|n| seen.insert((*n).clone()));
+    if nodes.is_empty() {
+        // Contradictory conditions (uid = 1 AND uid = 2) match nothing;
+        // unicast to one node so the client still gets a correctly
+        // shaped (empty) result, as ShardingSphere does.
+        return Ok(rule.all_nodes().first().into_iter().collect());
+    }
+    Ok(nodes)
+}
+
 /// All names a logic table is referenced by in this statement (its own name
 /// plus any aliases).
 fn bindings_of<'a>(refs: &'a [(&TableRef, &'a str)], logic: &'a str) -> Vec<&'a str> {
@@ -663,9 +669,7 @@ mod tests {
     fn route(sr: &ShardingRule, sql: &str) -> RouteResult {
         let hint = RouteHint::default();
         let engine = RouteEngine::new(sr, &hint);
-        engine
-            .route(&parse_statement(sql).unwrap(), &[])
-            .unwrap()
+        engine.route(&parse_statement(sql).unwrap(), &[]).unwrap()
     }
 
     #[test]
@@ -762,9 +766,15 @@ mod tests {
     #[test]
     fn insert_routes_per_row() {
         let sr = paper_rule(false);
-        let r = route(&sr, "INSERT INTO t_user (uid, name) VALUES (2, 'a'), (3, 'b')");
+        let r = route(
+            &sr,
+            "INSERT INTO t_user (uid, name) VALUES (2, 'a'), (3, 'b')",
+        );
         assert_eq!(r.units.len(), 2);
-        let r = route(&sr, "INSERT INTO t_user (uid, name) VALUES (2, 'a'), (4, 'b')");
+        let r = route(
+            &sr,
+            "INSERT INTO t_user (uid, name) VALUES (2, 'a'), (4, 'b')",
+        );
         assert_eq!(r.kind, RouteKind::Single);
         assert_eq!(r.units.len(), 1);
         assert_eq!(r.units[0].datasource, "ds_0");
@@ -950,7 +960,10 @@ mod complex_tests {
     #[test]
     fn complex_update_uses_both_keys() {
         let sr = complex_rule();
-        let r = route(&sr, "UPDATE t_log SET msg = 'x' WHERE uid = 1 AND region = 1");
+        let r = route(
+            &sr,
+            "UPDATE t_log SET msg = 'x' WHERE uid = 1 AND region = 1",
+        );
         assert_eq!(r.kind, RouteKind::Single);
         assert_eq!(r.units[0].actual_table("t_log"), Some("t_log_2"));
     }

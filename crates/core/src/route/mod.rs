@@ -7,7 +7,11 @@
 mod condition;
 mod engine;
 
-pub use condition::{extract_conditions, ShardingCondition};
+pub use condition::{
+    extract_condition_template, extract_conditions, ConditionTemplate, ShardingCondition,
+    ValueSource,
+};
+pub(crate) use engine::nodes_for_condition;
 pub use engine::{RouteEngine, RouteHint};
 
 use std::collections::HashMap;
@@ -36,7 +40,9 @@ impl RouteUnit {
     }
 
     pub fn actual_table(&self, logic: &str) -> Option<&str> {
-        self.table_mappings.get(&logic.to_lowercase()).map(String::as_str)
+        self.table_mappings
+            .get(&logic.to_lowercase())
+            .map(String::as_str)
     }
 }
 

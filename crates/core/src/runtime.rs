@@ -7,11 +7,14 @@
 //! distributed transactions plugged in.
 
 use crate::algorithm::AlgorithmRegistry;
+use crate::cache::{build_plan, execute_sharded_plan, CachedPlan, PlanKind, SqlPlanCache};
 use crate::config::ShardingRule;
 use crate::datasource::DataSource;
 use crate::error::{KernelError, Result};
 use crate::executor::{ExecutionInput, ExecutionReport, ExecutorEngine};
-use crate::feature::{EncryptRule, HintManager, KeyGenerator, ReadWriteSplitRule, ShadowRule, SnowflakeGenerator};
+use crate::feature::{
+    EncryptRule, HintManager, KeyGenerator, ReadWriteSplitRule, ShadowRule, SnowflakeGenerator,
+};
 use crate::governor::ConfigRegistry;
 use crate::merge::{merge_explain, MergerKind};
 use crate::metadata::LogicalSchemas;
@@ -21,7 +24,7 @@ use crate::transaction::xa::two_phase_commit;
 use crate::transaction::{base, TransactionCoordinator, TransactionType, XaLog, XaRecoveryManager};
 use parking_lot::RwLock;
 use shard_sql::ast::{Expr, Statement, StatementCategory};
-use shard_sql::{parse_statement, Value};
+use shard_sql::Value;
 use shard_storage::{ExecuteResult, ResultSet, StorageEngine, TxnId};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -30,7 +33,9 @@ use std::sync::Arc;
 /// Shared kernel state.
 pub struct ShardingRuntime {
     pub(crate) rule: RwLock<ShardingRule>,
-    pub(crate) datasources: RwLock<HashMap<String, Arc<DataSource>>>,
+    /// Copy-on-write snapshot: readers clone the `Arc` (no map clone per
+    /// statement); topology changes build a new map and swap the `Arc`.
+    pub(crate) datasources: RwLock<Arc<HashMap<String, Arc<DataSource>>>>,
     pub(crate) schemas: LogicalSchemas,
     pub(crate) registry: Arc<ConfigRegistry>,
     pub(crate) algorithms: RwLock<AlgorithmRegistry>,
@@ -43,8 +48,10 @@ pub struct ShardingRuntime {
     pub(crate) tc: TransactionCoordinator,
     keygen: Arc<dyn KeyGenerator>,
     next_xid: AtomicU64,
-    /// Default MaxCon for the automatic execution engine.
-    pub(crate) max_connections_per_query: AtomicU64,
+    /// Two-level parse + route-plan cache shared by every session.
+    pub(crate) plan_cache: SqlPlanCache,
+    /// The long-lived automatic execution engine (MaxCon updates apply live).
+    pub(crate) executor: ExecutorEngine,
 }
 
 impl ShardingRuntime {
@@ -64,6 +71,11 @@ impl ShardingRuntime {
         &self.xa_log
     }
 
+    /// The two-level SQL plan cache (stats, sizing, invalidation).
+    pub fn plan_cache(&self) -> &SqlPlanCache {
+        &self.plan_cache
+    }
+
     pub fn datasource(&self, name: &str) -> Result<Arc<DataSource>> {
         self.datasources
             .read()
@@ -72,21 +84,38 @@ impl ShardingRuntime {
             .ok_or_else(|| KernelError::Config(format!("unknown data source '{name}'")))
     }
 
+    /// Cheap per-statement snapshot of the data source topology: clones one
+    /// `Arc`, never the map.
+    pub(crate) fn datasource_snapshot(&self) -> Arc<HashMap<String, Arc<DataSource>>> {
+        Arc::clone(&self.datasources.read())
+    }
+
     pub fn datasource_names(&self) -> Vec<String> {
         self.rule.read().datasource_names.clone()
     }
 
     pub fn add_datasource(&self, name: &str, engine: Arc<StorageEngine>, pool: usize) {
         let ds = Arc::new(DataSource::new(name, engine, pool));
-        self.datasources.write().insert(name.to_string(), ds);
-        let mut rule = self.rule.write();
-        if !rule.datasource_names.iter().any(|d| d == name) {
-            rule.datasource_names.push(name.to_string());
-            if rule.default_datasource.is_none() {
-                rule.default_datasource = Some(name.to_string());
+        {
+            // Copy-on-write: topology changes are rare, reads are per
+            // statement.
+            let mut guard = self.datasources.write();
+            let mut map = HashMap::clone(&guard);
+            map.insert(name.to_string(), ds);
+            *guard = Arc::new(map);
+        }
+        {
+            let mut rule = self.rule.write();
+            if !rule.datasource_names.iter().any(|d| d == name) {
+                rule.datasource_names.push(name.to_string());
+                if rule.default_datasource.is_none() {
+                    rule.default_datasource = Some(name.to_string());
+                }
             }
         }
-        self.registry.set(&format!("resources/{name}"), "registered");
+        self.plan_cache.bump_generation();
+        self.registry
+            .set(&format!("resources/{name}"), "registered");
     }
 
     pub fn drop_datasource(&self, name: &str) -> Result<()> {
@@ -100,12 +129,20 @@ impl ShardingRuntime {
                 "resource '{name}' is referenced by sharding rules"
             )));
         }
-        self.datasources.write().remove(name);
-        let mut rule = self.rule.write();
-        rule.datasource_names.retain(|d| d != name);
-        if rule.default_datasource.as_deref() == Some(name) {
-            rule.default_datasource = rule.datasource_names.first().cloned();
+        {
+            let mut guard = self.datasources.write();
+            let mut map = HashMap::clone(&guard);
+            map.remove(name);
+            *guard = Arc::new(map);
         }
+        {
+            let mut rule = self.rule.write();
+            rule.datasource_names.retain(|d| d != name);
+            if rule.default_datasource.as_deref() == Some(name) {
+                rule.default_datasource = rule.datasource_names.first().cloned();
+            }
+        }
+        self.plan_cache.bump_generation();
         self.registry.delete(&format!("resources/{name}"));
         Ok(())
     }
@@ -113,16 +150,19 @@ impl ShardingRuntime {
     /// Set the shadow rule (None disables the feature).
     pub fn set_shadow(&self, shadow: Option<ShadowRule>) {
         *self.shadow.write() = shadow;
+        self.plan_cache.bump_generation();
     }
 
     pub fn set_encrypt(&self, encrypt: EncryptRule) {
         *self.encrypt.write() = encrypt;
+        self.plan_cache.bump_generation();
     }
 
     pub fn add_rw_split(&self, rule: ReadWriteSplitRule) {
         self.rw_split
             .write()
             .insert(rule.logical_name.clone(), rule);
+        self.plan_cache.bump_generation();
     }
 
     /// Cap the runtime's admitted statements per second (0 removes the cap).
@@ -136,14 +176,13 @@ impl ShardingRuntime {
     }
 
     pub fn set_max_connections_per_query(&self, n: u64) {
-        self.max_connections_per_query
-            .store(n.max(1), Ordering::SeqCst);
+        self.executor.set_max_connections(n.max(1) as usize);
         self.registry
             .set("props/max_connections_per_query", n.to_string());
     }
 
     pub fn max_connections_per_query(&self) -> u64 {
-        self.max_connections_per_query.load(Ordering::SeqCst)
+        self.executor.max_connections() as u64
     }
 
     /// Snapshot of a table rule (scaling, diagnostics).
@@ -184,6 +223,9 @@ impl ShardingRuntime {
             let _ = guard.drop_table_rule(&logic);
             guard.add_table_rule(rule)?;
         }
+        // Mutate-then-bump: plans built from the old rule under the old
+        // generation are rejected on their next lookup.
+        self.plan_cache.bump_generation();
         self.registry.set(
             &format!("rules/sharding/{logic}"),
             format!("column={column}, type={algo}, nodes={nodes}"),
@@ -259,7 +301,7 @@ impl RuntimeBuilder {
         }
         Arc::new(ShardingRuntime {
             rule: RwLock::new(ShardingRule::new(names)),
-            datasources: RwLock::new(map),
+            datasources: RwLock::new(Arc::new(map)),
             schemas: LogicalSchemas::new(),
             registry,
             algorithms: RwLock::new(AlgorithmRegistry::with_builtins()),
@@ -271,7 +313,8 @@ impl RuntimeBuilder {
             tc: TransactionCoordinator::new(),
             keygen: Arc::new(SnowflakeGenerator::new(1)),
             next_xid: AtomicU64::new(1),
-            max_connections_per_query: AtomicU64::new(self.max_connections_per_query.unwrap_or(8)),
+            plan_cache: SqlPlanCache::default(),
+            executor: ExecutorEngine::new(self.max_connections_per_query.unwrap_or(8) as usize),
         })
     }
 }
@@ -326,9 +369,10 @@ impl Session {
         &self.runtime
     }
 
-    /// Parse and execute one SQL statement.
+    /// Parse and execute one SQL statement. Parsing goes through the
+    /// runtime's level-1 cache: repeat SQL text skips the parser entirely.
     pub fn execute_sql(&mut self, sql: &str, params: &[Value]) -> Result<ExecuteResult> {
-        let stmt = parse_statement(sql)?;
+        let stmt = self.runtime.plan_cache.parse(sql)?;
         self.execute(&stmt, params)
     }
 
@@ -391,6 +435,13 @@ impl Session {
                 self.runtime.set_throttle(n);
                 Ok(())
             }
+            "sql_plan_cache_size" => {
+                let n: usize = value.parse().map_err(|_| {
+                    KernelError::Config("sql_plan_cache_size must be an integer".into())
+                })?;
+                self.runtime.plan_cache.set_capacity(n);
+                Ok(())
+            }
             // autocommit & friends accepted for driver compatibility.
             "autocommit" | "sql_mode" | "time_zone" | "character_set_results" => Ok(()),
             other => Err(KernelError::Config(format!("unknown variable '{other}'"))),
@@ -410,6 +461,7 @@ impl Session {
                 .as_ref()
                 .map(|t| t.rate().to_string())
                 .unwrap_or_else(|| "unlimited".into())),
+            "sql_plan_cache_size" => Ok(self.runtime.plan_cache.capacity().to_string()),
             other => Err(KernelError::Config(format!("unknown variable '{other}'"))),
         }
     }
@@ -483,7 +535,11 @@ impl Session {
 
     // -- the SQL engine pipeline ----------------------------------------------
 
-    fn execute_data_statement(&mut self, stmt: &Statement, params: &[Value]) -> Result<ExecuteResult> {
+    fn execute_data_statement(
+        &mut self,
+        stmt: &Statement,
+        params: &[Value],
+    ) -> Result<ExecuteResult> {
         // Traffic governance: the throttle admits or rejects up front.
         if let Some(throttle) = &*self.runtime.throttle.read() {
             if !throttle.acquire(std::time::Duration::from_millis(50)) {
@@ -506,30 +562,94 @@ impl Session {
             }
         }
 
-        // 1. Feature: encryption (clones and patches statement + params).
-        let mut stmt = stmt.clone();
-        let schemas = &self.runtime.schemas;
-        let params = self.runtime.encrypt.read().encrypt_statement(
-            &mut stmt,
-            params,
-            &|table| schemas.columns(table),
-        )?;
-
-        // 2. Feature: distributed key generation for INSERTs.
-        if let Statement::Insert(ins) = &mut stmt {
-            self.generate_keys(ins)?;
+        // 1. Feature: encryption. Only clones the statement when an encrypt
+        // rule is actually configured — the hot path executes the parsed AST
+        // as-is.
+        let mut owned_stmt: Option<Statement> = None;
+        let mut owned_params: Option<Vec<Value>> = None;
+        {
+            let encrypt = self.runtime.encrypt.read();
+            if !encrypt.is_empty() {
+                let schemas = &self.runtime.schemas;
+                let mut patched = stmt.clone();
+                let patched_params = encrypt
+                    .encrypt_statement(&mut patched, params, &|table| schemas.columns(table))?;
+                owned_stmt = Some(patched);
+                owned_params = Some(patched_params);
+            }
         }
 
-        // 3. Route (with thread-local hints).
-        let hint = HintManager::current();
-        let rule_guard = self.runtime.rule.read();
-        let route_engine = RouteEngine::new(&rule_guard, &hint);
-        let mut route = route_engine.route(&stmt, &params)?;
-        drop(rule_guard);
+        // 2. Feature: distributed key generation for INSERTs (clones only
+        // when a key column actually needs filling).
+        let keygen_col = match owned_stmt.as_ref().unwrap_or(stmt) {
+            Statement::Insert(ins) => self.keygen_column_for(ins),
+            _ => None,
+        };
+        if let Some(key_col) = keygen_col {
+            let patched = owned_stmt.get_or_insert_with(|| stmt.clone());
+            if let Statement::Insert(ins) = patched {
+                ins.columns.push(key_col);
+                for row in &mut ins.rows {
+                    row.push(Expr::Literal(self.runtime.keygen.next_key()));
+                }
+            }
+        }
+        let stmt: &Statement = owned_stmt.as_ref().unwrap_or(stmt);
+        let params: &[Value] = owned_params.as_deref().unwrap_or(params);
 
-        // 4. Feature: shadow re-targeting.
+        // 3. Route (with thread-local hints), through the route-plan cache.
+        // Hint-routed statements and feature-rewritten statements
+        // (encryption, key generation) bypass the cache; everything else
+        // looks up a plan by AST fingerprint and replays it, skipping
+        // condition extraction entirely on a hit.
+        let hint = HintManager::current();
+        let cache = &self.runtime.plan_cache;
+        let cacheable = cache.enabled()
+            && hint.is_empty()
+            && owned_stmt.is_none()
+            && matches!(
+                stmt,
+                Statement::Select(_) | Statement::Update(_) | Statement::Delete(_)
+            );
+        let mut route = {
+            let rule_guard = self.runtime.rule.read();
+            if cacheable {
+                let fingerprint = stmt.fingerprint();
+                // Generation is read under the rule guard so the plan we
+                // build from this snapshot is stored under a generation no
+                // newer than the snapshot (stale plans get rebuilt, never
+                // wrongly retained).
+                let generation = cache.generation();
+                let plan = match cache.lookup_plan(fingerprint, generation) {
+                    Some(plan) => plan,
+                    None => {
+                        let plan = Arc::new(CachedPlan {
+                            generation,
+                            kind: build_plan(stmt, &rule_guard),
+                        });
+                        cache.store_plan(fingerprint, Arc::clone(&plan));
+                        plan
+                    }
+                };
+                match &plan.kind {
+                    PlanKind::Static(result) => result.clone(),
+                    PlanKind::Sharded {
+                        logic_table,
+                        template,
+                    } => execute_sharded_plan(&rule_guard, logic_table, template, params)?,
+                    PlanKind::Uncacheable => {
+                        RouteEngine::new(&rule_guard, &hint).route(stmt, params)?
+                    }
+                }
+            } else {
+                RouteEngine::new(&rule_guard, &hint).route(stmt, params)?
+            }
+        };
+
+        // 4. Feature: shadow re-targeting (applied per execution, on the
+        // cloned route, so cached plans stay shadow-correct).
         if let Some(shadow) = &*self.runtime.shadow.read() {
-            if shadow.is_shadow_statement(&stmt, &params) {
+            if shadow.is_shadow_statement(stmt, params) {
                 shadow.apply(&mut route);
             }
         }
@@ -549,24 +669,25 @@ impl Session {
         }
 
         // 6. Rewrite: derive once, then per unit.
-        let rewrite = rewrite_statement(&stmt, &route, &params)?;
+        let rewrite = rewrite_statement(stmt, &route, params)?;
         let mut inputs = Vec::with_capacity(route.units.len());
         for unit in &route.units {
             inputs.push(ExecutionInput {
                 unit: unit.clone(),
-                stmt: rewrite_for_unit(&rewrite, unit, &route, &params)?,
+                stmt: rewrite_for_unit(&rewrite, unit, &route, params)?,
             });
         }
 
         // 7. Transactions: bind branches / capture BASE compensation.
-        let txn_bindings = self.prepare_transaction_branches(&route, &inputs, &params)?;
+        let txn_bindings = self.prepare_transaction_branches(&route, &inputs, params)?;
 
-        // 8. Execute.
-        let executor =
-            ExecutorEngine::new(self.runtime.max_connections_per_query() as usize);
-        let datasources = self.runtime.datasources.read().clone();
+        // 8. Execute on the runtime's long-lived engine against an Arc
+        // snapshot of the topology (no per-statement map clone).
+        let datasources = self.runtime.datasource_snapshot();
         let (results, report) =
-            executor.execute(&datasources, inputs, &params, txn_bindings.as_ref())?;
+            self.runtime
+                .executor
+                .execute(&datasources, inputs, params, txn_bindings.as_ref())?;
         self.last_report = Some(report);
 
         // 9. Merge.
@@ -576,7 +697,10 @@ impl Session {
             let (mut merged, kind) = merge_explain(shard_results, &rewrite.info)?;
             self.last_merger = Some(kind);
             // 10. Feature: decrypt result columns.
-            self.runtime.encrypt.read().decrypt_result(&mut merged, &tables);
+            self.runtime
+                .encrypt
+                .read()
+                .decrypt_result(&mut merged, &tables);
             Ok(ExecuteResult::Query(merged))
         } else {
             self.last_merger = Some(MergerKind::Iteration);
@@ -585,31 +709,19 @@ impl Session {
         }
     }
 
-    /// Fill the key-generate column of sharded INSERTs when absent.
-    fn generate_keys(&self, ins: &mut shard_sql::ast::InsertStatement) -> Result<()> {
+    /// The key-generate column an INSERT still needs filled, if any.
+    fn keygen_column_for(&self, ins: &shard_sql::ast::InsertStatement) -> Option<String> {
         let rule_guard = self.runtime.rule.read();
-        let Some(table_rule) = rule_guard.table_rule(ins.table.as_str()) else {
-            return Ok(());
-        };
-        let Some(key_col) = table_rule.key_generate_column.clone() else {
-            return Ok(());
-        };
+        let table_rule = rule_guard.table_rule(ins.table.as_str())?;
+        let key_col = table_rule.key_generate_column.clone()?;
         drop(rule_guard);
         if ins.columns.is_empty() {
-            return Ok(()); // positional insert: all columns supplied
+            return None; // positional insert: all columns supplied
         }
-        if ins
-            .columns
-            .iter()
-            .any(|c| c.eq_ignore_ascii_case(&key_col))
-        {
-            return Ok(());
+        if ins.columns.iter().any(|c| c.eq_ignore_ascii_case(&key_col)) {
+            return None;
         }
-        ins.columns.push(key_col);
-        for row in &mut ins.rows {
-            row.push(Expr::Literal(self.runtime.keygen.next_key()));
-        }
-        Ok(())
+        Some(key_col)
     }
 
     fn apply_rw_split(&self, route: &mut RouteResult, is_query: bool) {

@@ -252,7 +252,10 @@ fn select_before_images(
     Ok(rs.rows)
 }
 
-fn table_shape(engine: &Arc<StorageEngine>, table: &ObjectName) -> Result<(Vec<String>, Vec<String>)> {
+fn table_shape(
+    engine: &Arc<StorageEngine>,
+    table: &ObjectName,
+) -> Result<(Vec<String>, Vec<String>)> {
     let t = engine.table(table.as_str()).map_err(KernelError::Storage)?;
     let guard = t.read();
     let columns = guard.schema.column_names();

@@ -48,7 +48,11 @@ mod tests {
 
     #[test]
     fn parse_roundtrip() {
-        for t in [TransactionType::Local, TransactionType::Xa, TransactionType::Base] {
+        for t in [
+            TransactionType::Local,
+            TransactionType::Xa,
+            TransactionType::Base,
+        ] {
             assert_eq!(TransactionType::parse(&t.to_string()), Some(t));
         }
         assert_eq!(TransactionType::parse("xa"), Some(TransactionType::Xa));

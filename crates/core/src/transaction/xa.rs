@@ -173,7 +173,8 @@ mod tests {
         let e = StorageEngine::new(name);
         e.execute_sql("CREATE TABLE t (id BIGINT PRIMARY KEY, v INT)", &[], None)
             .unwrap();
-        e.execute_sql("INSERT INTO t VALUES (1, 10)", &[], None).unwrap();
+        e.execute_sql("INSERT INTO t VALUES (1, 10)", &[], None)
+            .unwrap();
         e
     }
 

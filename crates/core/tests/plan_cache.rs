@@ -1,0 +1,312 @@
+//! SQL plan cache end-to-end tests: warm-path counters (no re-parse, no
+//! AST re-walk), generation-based invalidation across every mutation path,
+//! concurrency under rule churn, and disablement equivalence.
+
+use shard_core::algorithm::{ModAlgorithm, Props};
+use shard_core::config::{DataNode, TableRule};
+use shard_core::{Session, ShardingRuntime};
+use shard_sql::Value;
+use shard_storage::{ExecuteResult, StorageEngine};
+use std::sync::Arc;
+
+fn runtime() -> Arc<ShardingRuntime> {
+    ShardingRuntime::builder()
+        .datasource("ds_0", StorageEngine::new("ds_0"))
+        .datasource("ds_1", StorageEngine::new("ds_1"))
+        .build()
+}
+
+/// Two sources, t_user sharded 4 ways by uid (mod), schema registered so
+/// AutoTable creates the physical tables.
+fn sharded_runtime() -> Arc<ShardingRuntime> {
+    let runtime = runtime();
+    let mut s = runtime.session();
+    for sql in [
+        "CREATE SHARDING TABLE RULE t_user (RESOURCES(ds_0, ds_1), SHARDING_COLUMN=uid, TYPE=mod, PROPERTIES(\"sharding-count\"=4))",
+        "CREATE TABLE t_user (uid BIGINT PRIMARY KEY, name VARCHAR(32))",
+    ] {
+        s.execute_sql(sql, &[]).unwrap();
+    }
+    runtime
+}
+
+fn load_users(s: &mut Session, n: i64) {
+    for uid in 0..n {
+        s.execute_sql(
+            "INSERT INTO t_user (uid, name) VALUES (?, ?)",
+            &[Value::Int(uid), Value::Str(format!("user{uid}"))],
+        )
+        .unwrap();
+    }
+}
+
+fn query_rows(s: &mut Session, sql: &str, params: &[Value]) -> Vec<Vec<Value>> {
+    match s.execute_sql(sql, params).unwrap() {
+        ExecuteResult::Query(rs) => rs.rows,
+        ExecuteResult::Update { .. } => panic!("expected a result set"),
+    }
+}
+
+#[test]
+fn warm_point_query_skips_parse_and_condition_extraction() {
+    let runtime = sharded_runtime();
+    let mut s = runtime.session();
+    load_users(&mut s, 8);
+
+    let sql = "SELECT name FROM t_user WHERE uid = ?";
+    let cold = query_rows(&mut s, sql, &[Value::Int(3)]);
+    assert_eq!(cold, vec![vec![Value::Str("user3".into())]]);
+
+    let before = runtime.plan_cache().status();
+    const WARM_RUNS: u64 = 16;
+    for uid in 0..WARM_RUNS as i64 {
+        let rows = query_rows(&mut s, sql, &[Value::Int(uid % 8)]);
+        assert_eq!(rows, vec![vec![Value::Str(format!("user{}", uid % 8))]]);
+    }
+    let after = runtime.plan_cache().status();
+
+    // Zero SQL parsing on the warm path: every run was a parse-cache hit.
+    assert_eq!(after.parse.hits - before.parse.hits, WARM_RUNS);
+    assert_eq!(after.parse.misses, before.parse.misses);
+    // Zero AST re-walk for sharding conditions: every run replayed the
+    // cached condition template (a plan-cache hit).
+    assert_eq!(after.plan.hits - before.plan.hits, WARM_RUNS);
+    assert_eq!(after.plan.misses, before.plan.misses);
+}
+
+#[test]
+fn create_sharding_rule_invalidates_plans() {
+    let runtime = runtime();
+    let mut s = runtime.session();
+    // t_user starts unsharded: single table on the default source.
+    s.execute_sql(
+        "CREATE TABLE t_user (uid BIGINT PRIMARY KEY, name VARCHAR(32))",
+        &[],
+    )
+    .unwrap();
+    let sql = "SELECT name FROM t_user WHERE uid = ?";
+    // Warm a (static, single-node) plan for the unsharded layout.
+    assert!(query_rows(&mut s, sql, &[Value::Int(5)]).is_empty());
+    assert!(query_rows(&mut s, sql, &[Value::Int(5)]).is_empty());
+
+    // Re-create sharded; the cached plan must not keep routing to the old
+    // single table.
+    s.execute_sql("DROP TABLE t_user", &[]).unwrap();
+    s.execute_sql(
+        "CREATE TABLE t_user (uid BIGINT PRIMARY KEY, name VARCHAR(32))",
+        &[],
+    )
+    .unwrap();
+    s.execute_sql(
+        "CREATE SHARDING TABLE RULE t_user (RESOURCES(ds_0, ds_1), SHARDING_COLUMN=uid, TYPE=mod, PROPERTIES(\"sharding-count\"=4))",
+        &[],
+    )
+    .unwrap();
+    s.execute_sql(
+        "INSERT INTO t_user (uid, name) VALUES (?, ?)",
+        &[Value::Int(5), Value::Str("ann".into())],
+    )
+    .unwrap();
+    assert_eq!(
+        query_rows(&mut s, sql, &[Value::Int(5)]),
+        vec![vec![Value::Str("ann".into())]]
+    );
+}
+
+#[test]
+fn replace_table_rule_invalidates_plans() {
+    let runtime = sharded_runtime();
+    let mut s = runtime.session();
+    load_users(&mut s, 8);
+
+    let sql = "SELECT name FROM t_user WHERE uid = ?";
+    // Warm the sharded template plan; uid=1 lives in t_user_1.
+    for _ in 0..3 {
+        assert_eq!(
+            query_rows(&mut s, sql, &[Value::Int(1)]),
+            vec![vec![Value::Str("user1".into())]]
+        );
+    }
+
+    // Switch-over: all uids now map to the single node ds_0.t_user_0.
+    runtime
+        .replace_table_rule(TableRule {
+            logic_table: "t_user".into(),
+            sharding_column: "uid".into(),
+            algorithm: Arc::new(ModAlgorithm::new(None)),
+            algorithm_type: "mod".into(),
+            data_nodes: vec![DataNode::new("ds_0", "t_user_0")],
+            props: Props::new(),
+            key_generate_column: None,
+            complex: None,
+        })
+        .unwrap();
+
+    // A stale plan would still hit ds_1.t_user_1 and find user1; the
+    // rebuilt plan routes to t_user_0, which only holds uid % 4 == 0 rows.
+    assert!(query_rows(&mut s, sql, &[Value::Int(1)]).is_empty());
+    assert_eq!(
+        query_rows(&mut s, sql, &[Value::Int(4)]),
+        vec![vec![Value::Str("user4".into())]]
+    );
+}
+
+#[test]
+fn drop_resource_invalidates_plans() {
+    let runtime = runtime();
+    let mut s = runtime.session();
+    // Unsharded table on the default source (ds_0).
+    s.execute_sql(
+        "CREATE TABLE t_cfg (k VARCHAR(32) PRIMARY KEY, v VARCHAR(32))",
+        &[],
+    )
+    .unwrap();
+    let sql = "SELECT v FROM t_cfg WHERE k = ?";
+    // Warm a static plan pointing at ds_0.
+    assert!(query_rows(&mut s, sql, &[Value::Str("a".into())]).is_empty());
+    assert!(query_rows(&mut s, sql, &[Value::Str("a".into())]).is_empty());
+
+    // Dropping ds_0 promotes ds_1 to default. A stale plan would reference
+    // the vanished source and fail; the rebuilt plan routes to ds_1.
+    s.execute_sql("DROP RESOURCE ds_0", &[]).unwrap();
+    s.execute_sql(
+        "CREATE TABLE t_cfg (k VARCHAR(32) PRIMARY KEY, v VARCHAR(32))",
+        &[],
+    )
+    .unwrap();
+    s.execute_sql(
+        "INSERT INTO t_cfg (k, v) VALUES (?, ?)",
+        &[Value::Str("a".into()), Value::Str("1".into())],
+    )
+    .unwrap();
+    assert_eq!(
+        query_rows(&mut s, sql, &[Value::Str("a".into())]),
+        vec![vec![Value::Str("1".into())]]
+    );
+}
+
+#[test]
+fn concurrent_queries_survive_rule_churn() {
+    let runtime = sharded_runtime();
+    let mut s = runtime.session();
+    load_users(&mut s, 8);
+
+    let equivalent_rule = || TableRule {
+        logic_table: "t_user".into(),
+        sharding_column: "uid".into(),
+        algorithm: Arc::new(ModAlgorithm::new(Some(4))),
+        algorithm_type: "mod".into(),
+        data_nodes: vec![
+            DataNode::new("ds_0", "t_user_0"),
+            DataNode::new("ds_1", "t_user_1"),
+            DataNode::new("ds_0", "t_user_2"),
+            DataNode::new("ds_1", "t_user_3"),
+        ],
+        props: Props::new(),
+        key_generate_column: None,
+        complex: None,
+    };
+
+    let mut handles = Vec::new();
+    for t in 0..8u64 {
+        let runtime = Arc::clone(&runtime);
+        handles.push(std::thread::spawn(move || {
+            let mut s = runtime.session();
+            for i in 0..200u64 {
+                let uid = ((t + i) % 8) as i64;
+                let rows = match s
+                    .execute_sql("SELECT name FROM t_user WHERE uid = ?", &[Value::Int(uid)])
+                    .unwrap()
+                {
+                    ExecuteResult::Query(rs) => rs.rows,
+                    _ => panic!("expected rows"),
+                };
+                assert_eq!(rows, vec![vec![Value::Str(format!("user{uid}"))]]);
+            }
+        }));
+    }
+    // Churn the rule (routing-equivalent replacement) while readers hammer
+    // the cache: every replacement bumps the generation.
+    for _ in 0..50 {
+        runtime.replace_table_rule(equivalent_rule()).unwrap();
+        std::thread::yield_now();
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+#[test]
+fn disabled_cache_yields_identical_results() {
+    let cached = sharded_runtime();
+    let uncached = sharded_runtime();
+    let mut cs = cached.session();
+    let mut us = uncached.session();
+    us.execute_sql("SET sql_plan_cache_size = 0", &[]).unwrap();
+    load_users(&mut cs, 8);
+    load_users(&mut us, 8);
+
+    let queries: [(&str, Vec<Value>); 5] = [
+        ("SELECT name FROM t_user WHERE uid = ?", vec![Value::Int(3)]),
+        (
+            "SELECT name FROM t_user WHERE uid IN (?, ?)",
+            vec![Value::Int(1), Value::Int(2)],
+        ),
+        (
+            "SELECT name FROM t_user WHERE uid BETWEEN ? AND ? ORDER BY uid",
+            vec![Value::Int(2), Value::Int(5)],
+        ),
+        ("SELECT COUNT(*) FROM t_user", vec![]),
+        ("SELECT name FROM t_user ORDER BY uid", vec![]),
+    ];
+    for (sql, params) in queries {
+        // Run twice on each runtime so the cached one exercises its warm path.
+        for _ in 0..2 {
+            let a = query_rows(&mut cs, sql, &params);
+            let b = query_rows(&mut us, sql, &params);
+            assert_eq!(a, b, "results diverged for {sql}");
+        }
+    }
+    let status = uncached.plan_cache().status();
+    assert_eq!(status.parse.size, 0);
+    assert_eq!(status.plan.size, 0);
+    assert_eq!(status.parse.hits, 0);
+}
+
+#[test]
+fn show_sql_plan_cache_status_reports_counters() {
+    let runtime = sharded_runtime();
+    let mut s = runtime.session();
+    load_users(&mut s, 4);
+    let sql = "SELECT name FROM t_user WHERE uid = ?";
+    for _ in 0..3 {
+        query_rows(&mut s, sql, &[Value::Int(1)]);
+    }
+
+    let rows = query_rows(&mut s, "SHOW SQL_PLAN_CACHE STATUS", &[]);
+    assert_eq!(rows.len(), 2);
+    assert_eq!(rows[0][0], Value::Str("parse".into()));
+    assert_eq!(rows[1][0], Value::Str("plan".into()));
+    let Value::Int(parse_hits) = &rows[0][1] else {
+        panic!("hits must be an integer");
+    };
+    let Value::Int(plan_hits) = &rows[1][1] else {
+        panic!("hits must be an integer");
+    };
+    assert!(*parse_hits >= 2, "repeated SQL must hit the parse cache");
+    assert!(*plan_hits >= 2, "repeated SQL must hit the plan cache");
+    // Sizes and capacities are reported.
+    let Value::Int(size) = &rows[1][4] else {
+        panic!()
+    };
+    let Value::Int(cap) = &rows[1][5] else {
+        panic!()
+    };
+    assert!(*size >= 1);
+    assert!(cap >= size);
+
+    // SET resizes live; SHOW VARIABLE reads it back.
+    s.execute_sql("SET sql_plan_cache_size = 64", &[]).unwrap();
+    let rows = query_rows(&mut s, "SHOW VARIABLE sql_plan_cache_size", &[]);
+    assert_eq!(rows[0][1], Value::Str("64".into()));
+}

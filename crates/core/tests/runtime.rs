@@ -310,7 +310,8 @@ fn base_transaction_compensates_on_rollback() {
     s.begin().unwrap();
     s.execute_sql("UPDATE t_user SET age = 77 WHERE uid = 1", &[])
         .unwrap();
-    s.execute_sql("DELETE FROM t_user WHERE uid = 2", &[]).unwrap();
+    s.execute_sql("DELETE FROM t_user WHERE uid = 2", &[])
+        .unwrap();
     s.execute_sql(
         "INSERT INTO t_user (uid, name, age) VALUES (100, 'new', 1)",
         &[],
@@ -399,7 +400,10 @@ fn hint_routing_forces_shard() {
     load_users(&mut s, 8);
     let guard = HintManager::set_sharding_value("t_user", Value::Int(3));
     // Full-table SELECT, but the hint pins it to shard 3.
-    let rs = s.execute_sql("SELECT uid FROM t_user", &[]).unwrap().query();
+    let rs = s
+        .execute_sql("SELECT uid FROM t_user", &[])
+        .unwrap()
+        .query();
     drop(guard);
     let got: Vec<i64> = rs.rows.iter().map(|r| r[0].as_int().unwrap()).collect();
     assert_eq!(got, vec![3, 7]);
@@ -451,17 +455,18 @@ fn shadow_traffic_redirected() {
         .build();
     runtime.set_shadow(Some(ShadowRule::new("is_test").map("prod", "shadow")));
     let mut s = runtime.session();
-    s.execute_sql(
-        "CREATE TABLE t (id BIGINT PRIMARY KEY, is_test BOOL)",
-        &[],
-    )
-    .unwrap();
+    s.execute_sql("CREATE TABLE t (id BIGINT PRIMARY KEY, is_test BOOL)", &[])
+        .unwrap();
     // DDL broadcast put t on prod; create it on shadow too.
     runtime
         .datasource("shadow")
         .unwrap()
         .engine()
-        .execute_sql("CREATE TABLE IF NOT EXISTS t (id BIGINT PRIMARY KEY, is_test BOOL)", &[], None)
+        .execute_sql(
+            "CREATE TABLE IF NOT EXISTS t (id BIGINT PRIMARY KEY, is_test BOOL)",
+            &[],
+            None,
+        )
         .unwrap();
     s.execute_sql("INSERT INTO t (id, is_test) VALUES (1, FALSE)", &[])
         .unwrap();
@@ -491,10 +496,18 @@ fn rw_split_reads_from_replica_writes_to_primary() {
         .ok();
     // writes go to primary
     primary
-        .execute_sql("CREATE TABLE IF NOT EXISTS t (id BIGINT PRIMARY KEY, v INT)", &[], None)
+        .execute_sql(
+            "CREATE TABLE IF NOT EXISTS t (id BIGINT PRIMARY KEY, v INT)",
+            &[],
+            None,
+        )
         .unwrap();
     replica
-        .execute_sql("CREATE TABLE IF NOT EXISTS t (id BIGINT PRIMARY KEY, v INT)", &[], None)
+        .execute_sql(
+            "CREATE TABLE IF NOT EXISTS t (id BIGINT PRIMARY KEY, v INT)",
+            &[],
+            None,
+        )
         .unwrap();
     // Simulate replication lag: replica has stale data.
     primary
@@ -534,7 +547,10 @@ fn sharded_vs_unsharded_answers_match() {
     let runtime = sharded_runtime();
     let mut s = runtime.session();
     for uid in 0..50i64 {
-        let sql = format!("INSERT INTO t_user (uid, name, age) VALUES ({uid}, 'u{uid}', {})", uid % 7);
+        let sql = format!(
+            "INSERT INTO t_user (uid, name, age) VALUES ({uid}, 'u{uid}', {})",
+            uid % 7
+        );
         s.execute_sql(&sql, &[]).unwrap();
         single.execute_sql(&sql, &[], None).unwrap();
     }
@@ -572,7 +588,10 @@ fn contradictory_where_returns_empty_with_shape() {
     let mut s = runtime.session();
     load_users(&mut s, 4);
     let rs = s
-        .execute_sql("SELECT uid, name FROM t_user WHERE uid = 1 AND uid = 2", &[])
+        .execute_sql(
+            "SELECT uid, name FROM t_user WHERE uid = 1 AND uid = 2",
+            &[],
+        )
         .unwrap()
         .query();
     assert!(rs.rows.is_empty());
@@ -583,7 +602,8 @@ fn contradictory_where_returns_empty_with_shape() {
 fn drop_sharding_rule_via_distsql() {
     let runtime = sharded_runtime();
     let mut s = runtime.session();
-    s.execute_sql("DROP SHARDING TABLE RULE t_order", &[]).unwrap();
+    s.execute_sql("DROP SHARDING TABLE RULE t_order", &[])
+        .unwrap();
     let rs = s
         .execute_sql("SHOW SHARDING TABLE RULES", &[])
         .unwrap()
@@ -758,7 +778,8 @@ fn custom_algorithm_via_spi_registry() {
     .unwrap();
     s.execute_sql("CREATE TABLE t (id BIGINT PRIMARY KEY)", &[])
         .unwrap();
-    s.execute_sql("INSERT INTO t (id) VALUES (4), (7)", &[]).unwrap();
+    s.execute_sql("INSERT INTO t (id) VALUES (4), (7)", &[])
+        .unwrap();
     // id 4 → shard 0 (ds_0), id 7 → shard 1 (ds_1).
     assert_eq!(
         runtime
@@ -809,10 +830,7 @@ fn complex_sharding_via_distsql() {
     }
     // Fully keyed query routes to exactly one shard.
     let rs = s
-        .execute_sql(
-            "SELECT msg FROM t_log WHERE uid = 2 AND region = 3",
-            &[],
-        )
+        .execute_sql("SELECT msg FROM t_log WHERE uid = 2 AND region = 3", &[])
         .unwrap()
         .query();
     assert_eq!(rs.rows.len(), 1);

@@ -68,7 +68,11 @@ impl Harness {
     fn both(&mut self, sql: &str) {
         let mut s = self.runtime.session();
         let a = s.execute_sql(sql, &[]).unwrap().affected();
-        let b = self.reference.execute_sql(sql, &[], None).unwrap().affected();
+        let b = self
+            .reference
+            .execute_sql(sql, &[], None)
+            .unwrap()
+            .affected();
         assert_eq!(a, b, "affected rows differ for: {sql}");
     }
 
@@ -185,10 +189,7 @@ fn join_shapes() {
 #[test]
 fn parameterized_shapes() {
     let h = Harness::new();
-    h.check(
-        "SELECT name FROM t_user WHERE uid = ?",
-        &[Value::Int(21)],
-    );
+    h.check("SELECT name FROM t_user WHERE uid = ?", &[Value::Int(21)]);
     h.check(
         "SELECT uid FROM t_user WHERE age BETWEEN ? AND ? ORDER BY uid",
         &[Value::Int(20), Value::Int(23)],

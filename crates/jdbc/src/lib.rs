@@ -73,7 +73,12 @@ impl ShardingDataSourceBuilder {
         self
     }
 
-    pub fn resource_with_pool(mut self, name: &str, engine: Arc<StorageEngine>, pool: usize) -> Self {
+    pub fn resource_with_pool(
+        mut self,
+        name: &str,
+        engine: Arc<StorageEngine>,
+        pool: usize,
+    ) -> Self {
         self.resources.push((name.to_string(), engine, pool));
         self
     }
@@ -110,7 +115,11 @@ impl Connection {
 
     /// Execute a parsed statement (prepared-statement reuse: parse once,
     /// bind many).
-    pub fn execute_statement(&mut self, stmt: &Statement, params: &[Value]) -> Result<ExecuteResult> {
+    pub fn execute_statement(
+        &mut self,
+        stmt: &Statement,
+        params: &[Value],
+    ) -> Result<ExecuteResult> {
         self.session.execute(stmt, params)
     }
 
@@ -129,10 +138,12 @@ impl Connection {
         Ok(self.execute(sql, params)?.affected())
     }
 
-    /// Prepare a statement for repeated execution.
+    /// Prepare a statement for repeated execution. Goes through the
+    /// runtime's parse cache, so preparing the same SQL on many connections
+    /// shares one parsed AST.
     pub fn prepare(&self, sql: &str) -> Result<PreparedStatement> {
         Ok(PreparedStatement {
-            stmt: shard_sql::parse_statement(sql)?,
+            stmt: self.session.runtime().plan_cache().parse(sql)?,
         })
     }
 
@@ -187,8 +198,9 @@ impl Connection {
 
 /// A parsed statement bound to no particular connection (JDBC
 /// PreparedStatement analogue: parse once, execute many with fresh params).
+/// Holds an `Arc` into the runtime's parse cache.
 pub struct PreparedStatement {
-    stmt: Statement,
+    stmt: Arc<Statement>,
 }
 
 impl PreparedStatement {
@@ -264,10 +276,12 @@ mod tests {
         let ds = data_source();
         let mut c = ds.connection();
         c.set_auto_commit(false).unwrap();
-        c.update("INSERT INTO t (id, v) VALUES (1, 1)", &[]).unwrap();
+        c.update("INSERT INTO t (id, v) VALUES (1, 1)", &[])
+            .unwrap();
         c.rollback().unwrap();
         // still in a (new) transaction; insert and commit this time
-        c.update("INSERT INTO t (id, v) VALUES (2, 2)", &[]).unwrap();
+        c.update("INSERT INTO t (id, v) VALUES (2, 2)", &[])
+            .unwrap();
         c.commit().unwrap();
         c.set_auto_commit(true).unwrap();
         let rs = c.query("SELECT id FROM t", &[]).unwrap();
@@ -280,7 +294,8 @@ mod tests {
         let ds = data_source();
         let mut a = ds.connection();
         let mut b = ds.connection();
-        a.update("INSERT INTO t (id, v) VALUES (5, 50)", &[]).unwrap();
+        a.update("INSERT INTO t (id, v) VALUES (5, 50)", &[])
+            .unwrap();
         let rs = b.query("SELECT v FROM t WHERE id = 5", &[]).unwrap();
         assert_eq!(rs.rows[0][0], Value::Int(50));
     }

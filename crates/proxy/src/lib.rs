@@ -44,7 +44,10 @@ mod tests {
         let mut client = ProxyClient::connect(server.addr()).unwrap();
         assert_eq!(
             client
-                .update("INSERT INTO t (id, v) VALUES (?, ?)", &[Value::Int(1), Value::Int(10)])
+                .update(
+                    "INSERT INTO t (id, v) VALUES (?, ?)",
+                    &[Value::Int(1), Value::Int(10)]
+                )
                 .unwrap(),
             1
         );
@@ -72,14 +75,16 @@ mod tests {
         let mut a = ProxyClient::connect(server.addr()).unwrap();
         let mut b = ProxyClient::connect(server.addr()).unwrap();
         a.execute("BEGIN", &[]).unwrap();
-        a.update("INSERT INTO t (id, v) VALUES (1, 1)", &[]).unwrap();
+        a.update("INSERT INTO t (id, v) VALUES (1, 1)", &[])
+            .unwrap();
         // a's uncommitted row is not yet durable for b after rollback.
         a.execute("ROLLBACK", &[]).unwrap();
         let rs = b.query("SELECT COUNT(*) FROM t", &[]).unwrap();
         assert_eq!(rs.rows[0][0], Value::Int(0));
         // commit path
         a.execute("BEGIN", &[]).unwrap();
-        a.update("INSERT INTO t (id, v) VALUES (2, 2)", &[]).unwrap();
+        a.update("INSERT INTO t (id, v) VALUES (2, 2)", &[])
+            .unwrap();
         a.execute("COMMIT", &[]).unwrap();
         let rs = b.query("SELECT COUNT(*) FROM t", &[]).unwrap();
         assert_eq!(rs.rows[0][0], Value::Int(1));

@@ -126,8 +126,7 @@ fn get_str(buf: &mut Bytes) -> Result<String, ProtocolError> {
     let len = buf.get_u32() as usize;
     check(buf, len)?;
     let bytes = buf.split_to(len);
-    String::from_utf8(bytes.to_vec())
-        .map_err(|_| ProtocolError::Malformed("invalid utf8".into()))
+    String::from_utf8(bytes.to_vec()).map_err(|_| ProtocolError::Malformed("invalid utf8".into()))
 }
 
 fn check(buf: &Bytes, need: usize) -> Result<(), ProtocolError> {
@@ -176,7 +175,9 @@ pub fn decode_request(mut buf: Bytes) -> Result<Request, ProtocolError> {
             Ok(Request::Query { sql, params })
         }
         MSG_QUIT => Ok(Request::Quit),
-        t => Err(ProtocolError::Malformed(format!("unknown request type {t}"))),
+        t => Err(ProtocolError::Malformed(format!(
+            "unknown request type {t}"
+        ))),
     }
 }
 
@@ -239,7 +240,9 @@ pub fn decode_response(mut buf: Bytes) -> Result<Response, ProtocolError> {
         MSG_ERROR => Ok(Response::Error {
             message: get_str(&mut buf)?,
         }),
-        t => Err(ProtocolError::Malformed(format!("unknown response type {t}"))),
+        t => Err(ProtocolError::Malformed(format!(
+            "unknown response type {t}"
+        ))),
     }
 }
 

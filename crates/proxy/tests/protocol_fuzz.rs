@@ -14,7 +14,9 @@ fn value_strategy() -> impl Strategy<Value = Value> {
     prop_oneof![
         Just(Value::Null),
         any::<i64>().prop_map(Value::Int),
-        any::<f64>().prop_filter("finite", |f| f.is_finite()).prop_map(Value::Float),
+        any::<f64>()
+            .prop_filter("finite", |f| f.is_finite())
+            .prop_map(Value::Float),
         "\\PC{0,24}".prop_map(Value::Str),
         any::<bool>().prop_map(Value::Bool),
     ]

@@ -19,12 +19,18 @@ pub enum Statement {
     DropTable(DropTableStatement),
     TruncateTable(ObjectName),
     CreateIndex(CreateIndexStatement),
-    DropIndex { name: String, table: ObjectName },
+    DropIndex {
+        name: String,
+        table: ObjectName,
+    },
     Begin,
     Commit,
     Rollback,
     /// `SET <name> = <value>` session variable assignment.
-    SetVariable { name: String, value: Value },
+    SetVariable {
+        name: String,
+        value: Value,
+    },
     ShowTables,
     DistSql(DistSqlStatement),
 }
@@ -81,6 +87,99 @@ impl Statement {
             _ => {}
         }
         out
+    }
+
+    /// Structural fingerprint of the statement, used as the route-plan cache
+    /// key. Two ASTs that parse identically (whatever the original whitespace
+    /// or letter case of keywords) hash equal; parameter *positions* are part
+    /// of the hash but parameter *values* are not, so every execution of a
+    /// prepared statement shares one plan entry.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::Hasher;
+        struct FmtHasher(std::collections::hash_map::DefaultHasher);
+        impl std::fmt::Write for FmtHasher {
+            fn write_str(&mut self, s: &str) -> std::fmt::Result {
+                self.0.write(s.as_bytes());
+                Ok(())
+            }
+        }
+        let mut h = FmtHasher(std::collections::hash_map::DefaultHasher::new());
+        let _ = std::fmt::write(&mut h, format_args!("{self:?}"));
+        h.0.finish()
+    }
+
+    /// Does the statement reference any `?` placeholder?
+    pub fn has_params(&self) -> bool {
+        let mut found = false;
+        self.walk_exprs(&mut |e| {
+            if matches!(e, Expr::Param(_)) {
+                found = true;
+            }
+        });
+        if let Statement::Select(s) = self {
+            if let Some(limit) = &s.limit {
+                for v in [&limit.offset, &limit.limit].into_iter().flatten() {
+                    if matches!(v, LimitValue::Param(_)) {
+                        found = true;
+                    }
+                }
+            }
+        }
+        found
+    }
+
+    /// Pre-order traversal over every expression tree the statement owns
+    /// (projection, join conditions, WHERE/HAVING, GROUP/ORDER BY, insert
+    /// rows, update assignments). LIMIT bounds are not expressions and are
+    /// not visited.
+    pub fn walk_exprs(&self, f: &mut impl FnMut(&Expr)) {
+        match self {
+            Statement::Select(s) => {
+                for item in &s.projection {
+                    if let SelectItem::Expr { expr, .. } = item {
+                        expr.walk(f);
+                    }
+                }
+                for j in &s.joins {
+                    if let Some(on) = &j.on {
+                        on.walk(f);
+                    }
+                }
+                if let Some(w) = &s.where_clause {
+                    w.walk(f);
+                }
+                for g in &s.group_by {
+                    g.walk(f);
+                }
+                if let Some(h) = &s.having {
+                    h.walk(f);
+                }
+                for o in &s.order_by {
+                    o.expr.walk(f);
+                }
+            }
+            Statement::Insert(s) => {
+                for row in &s.rows {
+                    for e in row {
+                        e.walk(f);
+                    }
+                }
+            }
+            Statement::Update(s) => {
+                for a in &s.assignments {
+                    a.value.walk(f);
+                }
+                if let Some(w) = &s.where_clause {
+                    w.walk(f);
+                }
+            }
+            Statement::Delete(s) => {
+                if let Some(w) = &s.where_clause {
+                    w.walk(f);
+                }
+            }
+            _ => {}
+        }
     }
 }
 
@@ -230,7 +329,10 @@ impl LimitValue {
     pub fn resolve(&self, params: &[Value]) -> Option<u64> {
         match self {
             LimitValue::Literal(n) => Some(*n),
-            LimitValue::Param(idx) => params.get(*idx).and_then(|v| v.as_int()).map(|i| i.max(0) as u64),
+            LimitValue::Param(idx) => params
+                .get(*idx)
+                .and_then(|v| v.as_int())
+                .map(|i| i.max(0) as u64),
         }
     }
 }
@@ -330,7 +432,11 @@ impl DataType {
     pub fn is_numeric(&self) -> bool {
         matches!(
             self,
-            DataType::Int | DataType::BigInt | DataType::Float | DataType::Double | DataType::Decimal
+            DataType::Int
+                | DataType::BigInt
+                | DataType::Float
+                | DataType::Double
+                | DataType::Decimal
         )
     }
 }
@@ -462,7 +568,9 @@ impl Expr {
                     a.walk(f);
                 }
             }
-            Expr::Between { expr, low, high, .. } => {
+            Expr::Between {
+                expr, low, high, ..
+            } => {
                 expr.walk(f);
                 low.walk(f);
                 high.walk(f);
@@ -514,7 +622,9 @@ impl Expr {
                     a.walk_mut(f);
                 }
             }
-            Expr::Between { expr, low, high, .. } => {
+            Expr::Between {
+                expr, low, high, ..
+            } => {
                 expr.walk_mut(f);
                 low.walk_mut(f);
                 high.walk_mut(f);
@@ -589,7 +699,12 @@ impl BinaryOp {
     pub fn is_comparison(&self) -> bool {
         matches!(
             self,
-            BinaryOp::Eq | BinaryOp::NotEq | BinaryOp::Lt | BinaryOp::LtEq | BinaryOp::Gt | BinaryOp::GtEq
+            BinaryOp::Eq
+                | BinaryOp::NotEq
+                | BinaryOp::Lt
+                | BinaryOp::LtEq
+                | BinaryOp::Gt
+                | BinaryOp::GtEq
         )
     }
 }
@@ -683,6 +798,9 @@ pub enum DistSqlStatement {
     ShowVariable {
         name: String,
     },
+    /// `SHOW SQL_PLAN_CACHE STATUS` — parse/plan cache hit, miss, eviction
+    /// and occupancy counters.
+    ShowSqlPlanCacheStatus,
     /// `PREVIEW <sql>` — show route result without executing.
     Preview {
         sql: String,
@@ -709,7 +827,9 @@ impl DistSqlStatement {
             | ShowReadwriteSplittingRules
             | ShowResources
             | ShowShardingAlgorithms => DistSqlLanguage::Rql,
-            SetVariable { .. } | ShowVariable { .. } | Preview { .. } => DistSqlLanguage::Ral,
+            SetVariable { .. } | ShowVariable { .. } | ShowSqlPlanCacheStatus | Preview { .. } => {
+                DistSqlLanguage::Ral
+            }
         }
     }
 }
@@ -746,6 +866,25 @@ mod tests {
             Statement::TruncateTable(ObjectName::new("t")).category(),
             StatementCategory::Ddl
         );
+    }
+
+    #[test]
+    fn fingerprint_ignores_text_shape_but_not_structure() {
+        let a = crate::parse_statement("SELECT v FROM t WHERE id = ?").unwrap();
+        let b = crate::parse_statement("select  v from t where id=?").unwrap();
+        let c = crate::parse_statement("SELECT v FROM t WHERE id = ? AND v = 1").unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn has_params_sees_limit_placeholders() {
+        let plain = crate::parse_statement("SELECT v FROM t WHERE id = 1").unwrap();
+        let p_where = crate::parse_statement("SELECT v FROM t WHERE id = ?").unwrap();
+        let p_limit = crate::parse_statement("SELECT v FROM t LIMIT ?").unwrap();
+        assert!(!plain.has_params());
+        assert!(p_where.has_params());
+        assert!(p_limit.has_params());
     }
 
     #[test]
@@ -798,10 +937,7 @@ mod tests {
     #[test]
     fn limit_value_resolution() {
         assert_eq!(LimitValue::Literal(5).resolve(&[]), Some(5));
-        assert_eq!(
-            LimitValue::Param(0).resolve(&[Value::Int(9)]),
-            Some(9)
-        );
+        assert_eq!(LimitValue::Param(0).resolve(&[Value::Int(9)]), Some(9));
         assert_eq!(LimitValue::Param(3).resolve(&[Value::Int(9)]), None);
     }
 

@@ -31,10 +31,11 @@ impl Dialect {
     /// contain unusual characters; plain names render bare for readability.
     pub fn render_ident(&self, ident: &str) -> String {
         let plain = !ident.is_empty()
+            && ident.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
             && ident
                 .chars()
-                .all(|c| c.is_ascii_alphanumeric() || c == '_')
-            && ident.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+                .next()
+                .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
             && !crate::format::is_keywordish(ident);
         if plain {
             ident.to_string()
@@ -94,7 +95,10 @@ mod tests {
             " LIMIT 10 OFFSET 5"
         );
         assert_eq!(Dialect::Standard.render_limit(None, Some("3")), " LIMIT 3");
-        assert_eq!(Dialect::PostgreSql.render_limit(Some("4"), None), " OFFSET 4");
+        assert_eq!(
+            Dialect::PostgreSql.render_limit(Some("4"), None),
+            " OFFSET 4"
+        );
         assert_eq!(Dialect::MySql.render_limit(None, None), "");
     }
 }

@@ -503,6 +503,7 @@ impl Formatter {
                 format!("SET VARIABLE {name} = {value}")
             }
             DistSqlStatement::ShowVariable { name } => format!("SHOW VARIABLE {name}"),
+            DistSqlStatement::ShowSqlPlanCacheStatus => "SHOW SQL_PLAN_CACHE STATUS".into(),
             DistSqlStatement::Preview { sql } => format!("PREVIEW {sql}"),
         };
         self.push(&text);
@@ -563,9 +564,8 @@ mod tests {
 
     #[test]
     fn join_roundtrip() {
-        let out = roundtrip(
-            "SELECT * FROM t_user u JOIN t_order o ON u.uid = o.uid WHERE uid IN (1, 2)",
-        );
+        let out =
+            roundtrip("SELECT * FROM t_user u JOIN t_order o ON u.uid = o.uid WHERE uid IN (1, 2)");
         assert_eq!(
             out,
             "SELECT * FROM t_user u JOIN t_order o ON u.uid = o.uid WHERE uid IN (1, 2)"
@@ -588,7 +588,10 @@ mod tests {
     #[test]
     fn keyword_identifier_quoted_per_dialect() {
         let stmt = parse_statement("SELECT * FROM `order`").unwrap();
-        assert_eq!(format_statement(&stmt, Dialect::MySql), "SELECT * FROM `order`");
+        assert_eq!(
+            format_statement(&stmt, Dialect::MySql),
+            "SELECT * FROM `order`"
+        );
         assert_eq!(
             format_statement(&stmt, Dialect::PostgreSql),
             "SELECT * FROM \"order\""
@@ -619,7 +622,10 @@ mod tests {
             roundtrip("SELECT name, SUM(score) FROM t_score GROUP BY name ORDER BY name"),
             "SELECT name, SUM(score) FROM t_score GROUP BY name ORDER BY name"
         );
-        assert_eq!(roundtrip("SELECT COUNT(*) FROM t"), "SELECT COUNT(*) FROM t");
+        assert_eq!(
+            roundtrip("SELECT COUNT(*) FROM t"),
+            "SELECT COUNT(*) FROM t"
+        );
         assert_eq!(
             roundtrip("SELECT COUNT(DISTINCT uid) FROM t"),
             "SELECT COUNT(DISTINCT uid) FROM t"

@@ -334,10 +334,7 @@ mod tests {
 
     #[test]
     fn string_escapes() {
-        assert_eq!(
-            kinds("'o''brien'")[0],
-            T::String("o'brien".into())
-        );
+        assert_eq!(kinds("'o''brien'")[0], T::String("o'brien".into()));
         assert_eq!(kinds(r"'a\nb'")[0], T::String("a\nb".into()));
     }
 

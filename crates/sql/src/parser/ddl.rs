@@ -97,9 +97,7 @@ impl Parser {
             TokenKind::Ident(w) if w.eq_ignore_ascii_case("NULL") => Ok(Value::Null),
             TokenKind::Ident(w) if w.eq_ignore_ascii_case("TRUE") => Ok(Value::Bool(true)),
             TokenKind::Ident(w) if w.eq_ignore_ascii_case("FALSE") => Ok(Value::Bool(false)),
-            TokenKind::Ident(w) if w.eq_ignore_ascii_case("CURRENT_TIMESTAMP") => {
-                Ok(Value::Int(0))
-            }
+            TokenKind::Ident(w) if w.eq_ignore_ascii_case("CURRENT_TIMESTAMP") => Ok(Value::Int(0)),
             other => Err(self.err(format!("unsupported DEFAULT value '{other}'"))),
         }
     }

@@ -30,19 +30,18 @@ impl Parser {
                     self.advance();
                     self.expect_kw("RULE")?;
                     let rule = self.parse_sharding_rule_spec()?;
-                    return Ok(Statement::DistSql(DistSqlStatement::CreateShardingTableRule {
-                        alter,
-                        rule,
-                    }));
+                    return Ok(Statement::DistSql(
+                        DistSqlStatement::CreateShardingTableRule { alter, rule },
+                    ));
                 }
                 if self.at_kw("BINDING") {
                     self.advance();
                     self.expect_kw("TABLE")?;
                     self.expect_kw("RULES")?;
                     let tables = self.parse_paren_name_list()?;
-                    return Ok(Statement::DistSql(DistSqlStatement::CreateBindingTableRule {
-                        tables,
-                    }));
+                    return Ok(Statement::DistSql(
+                        DistSqlStatement::CreateBindingTableRule { tables },
+                    ));
                 }
                 return Err(self.err("expected TABLE or BINDING after SHARDING"));
             }
@@ -54,9 +53,9 @@ impl Parser {
                 while self.eat(&TokenKind::Comma) {
                     tables.push(self.expect_ident()?);
                 }
-                return Ok(Statement::DistSql(DistSqlStatement::CreateBroadcastTableRule {
-                    tables,
-                }));
+                return Ok(Statement::DistSql(
+                    DistSqlStatement::CreateBroadcastTableRule { tables },
+                ));
             }
             if self.at_kw("READWRITE_SPLITTING") {
                 self.advance();
@@ -105,9 +104,9 @@ impl Parser {
                     self.advance();
                     self.expect_kw("RULE")?;
                     let table = self.expect_ident()?;
-                    return Ok(Statement::DistSql(DistSqlStatement::DropShardingTableRule {
-                        table,
-                    }));
+                    return Ok(Statement::DistSql(
+                        DistSqlStatement::DropShardingTableRule { table },
+                    ));
                 }
                 if self.at_kw("BINDING") {
                     self.advance();
@@ -128,9 +127,9 @@ impl Parser {
                 while self.eat(&TokenKind::Comma) {
                     tables.push(self.expect_ident()?);
                 }
-                return Ok(Statement::DistSql(DistSqlStatement::DropBroadcastTableRule {
-                    tables,
-                }));
+                return Ok(Statement::DistSql(
+                    DistSqlStatement::DropBroadcastTableRule { tables },
+                ));
             }
             if self.at_kw("RESOURCE") {
                 self.advance();
@@ -159,7 +158,10 @@ impl Parser {
                 }
                 self.expect(&TokenKind::RParen)?;
             }
-            return Ok(Statement::DistSql(DistSqlStatement::AddResource { name, props }));
+            return Ok(Statement::DistSql(DistSqlStatement::AddResource {
+                name,
+                props,
+            }));
         }
 
         if self.at_kw("SHOW") {
@@ -169,15 +171,15 @@ impl Parser {
                 if self.at_kw("TABLE") {
                     self.advance();
                     if self.eat_kw("RULES") {
-                        return Ok(Statement::DistSql(DistSqlStatement::ShowShardingTableRules {
-                            table: None,
-                        }));
+                        return Ok(Statement::DistSql(
+                            DistSqlStatement::ShowShardingTableRules { table: None },
+                        ));
                     }
                     self.expect_kw("RULE")?;
                     let table = self.expect_ident()?;
-                    return Ok(Statement::DistSql(DistSqlStatement::ShowShardingTableRules {
-                        table: Some(table),
-                    }));
+                    return Ok(Statement::DistSql(
+                        DistSqlStatement::ShowShardingTableRules { table: Some(table) },
+                    ));
                 }
                 if self.at_kw("BINDING") {
                     self.advance();
@@ -195,7 +197,9 @@ impl Parser {
                 self.advance();
                 self.expect_kw("TABLE")?;
                 self.expect_kw("RULES")?;
-                return Ok(Statement::DistSql(DistSqlStatement::ShowBroadcastTableRules));
+                return Ok(Statement::DistSql(
+                    DistSqlStatement::ShowBroadcastTableRules,
+                ));
             }
             if self.at_kw("READWRITE_SPLITTING") {
                 self.advance();
@@ -214,6 +218,11 @@ impl Parser {
                 return Ok(Statement::DistSql(DistSqlStatement::ShowVariable {
                     name: name.to_lowercase(),
                 }));
+            }
+            if self.at_kw("SQL_PLAN_CACHE") {
+                self.advance();
+                self.expect_kw("STATUS")?;
+                return Ok(Statement::DistSql(DistSqlStatement::ShowSqlPlanCacheStatus));
             }
             return Err(self.err("unsupported SHOW target"));
         }
@@ -360,7 +369,10 @@ mod tests {
                 assert_eq!(rule.resources, vec!["ds0", "ds1"]);
                 assert_eq!(rule.sharding_column, "uid");
                 assert_eq!(rule.algorithm_type, "hash_mod");
-                assert_eq!(rule.props, vec![("sharding-count".to_string(), "2".to_string())]);
+                assert_eq!(
+                    rule.props,
+                    vec![("sharding-count".to_string(), "2".to_string())]
+                );
             }
             other => panic!("{other:?}"),
         }
@@ -368,9 +380,7 @@ mod tests {
 
     #[test]
     fn alter_sharding_table_rule() {
-        let d = distsql(
-            "ALTER SHARDING TABLE RULE t (RESOURCES(a), SHARDING_COLUMN=x, TYPE=mod)",
-        );
+        let d = distsql("ALTER SHARDING TABLE RULE t (RESOURCES(a), SHARDING_COLUMN=x, TYPE=mod)");
         assert!(matches!(
             d,
             DistSqlStatement::CreateShardingTableRule { alter: true, .. }
@@ -380,10 +390,9 @@ mod tests {
     #[test]
     fn missing_required_clause_rejected() {
         assert!(parse_statement("CREATE SHARDING TABLE RULE t (RESOURCES(a), TYPE=mod)").is_err());
-        assert!(parse_statement(
-            "CREATE SHARDING TABLE RULE t (SHARDING_COLUMN=x, TYPE=mod)"
-        )
-        .is_err());
+        assert!(
+            parse_statement("CREATE SHARDING TABLE RULE t (SHARDING_COLUMN=x, TYPE=mod)").is_err()
+        );
     }
 
     #[test]
@@ -455,7 +464,9 @@ mod tests {
         }
         assert_eq!(
             distsql("DROP RESOURCE ds_2"),
-            DistSqlStatement::DropResource { name: "ds_2".into() }
+            DistSqlStatement::DropResource {
+                name: "ds_2".into()
+            }
         );
     }
 

@@ -39,7 +39,11 @@ impl Parser {
                 break;
             }
         }
-        Ok(InsertStatement { table, columns, rows })
+        Ok(InsertStatement {
+            table,
+            columns,
+            rows,
+        })
     }
 
     pub(crate) fn parse_update(&mut self) -> Result<UpdateStatement, SqlError> {
@@ -137,8 +141,8 @@ mod tests {
 
     #[test]
     fn update_with_where() {
-        let s = parse_statement("UPDATE t_user SET name = 'bob', age = age + 1 WHERE uid = 5")
-            .unwrap();
+        let s =
+            parse_statement("UPDATE t_user SET name = 'bob', age = age + 1 WHERE uid = 5").unwrap();
         match s {
             Statement::Update(u) => {
                 assert_eq!(u.assignments.len(), 2);

@@ -304,8 +304,14 @@ mod tests {
         // a OR b AND c  =>  a OR (b AND c)
         let e = expr("a = 1 OR b = 2 AND c = 3");
         match e {
-            Expr::Binary { op: BinaryOp::Or, right, .. } => match *right {
-                Expr::Binary { op: BinaryOp::And, .. } => {}
+            Expr::Binary {
+                op: BinaryOp::Or,
+                right,
+                ..
+            } => match *right {
+                Expr::Binary {
+                    op: BinaryOp::And, ..
+                } => {}
                 other => panic!("expected AND on right, got {other:?}"),
             },
             other => panic!("expected OR at top, got {other:?}"),
@@ -316,8 +322,18 @@ mod tests {
     fn precedence_mul_over_add() {
         let e = expr("1 + 2 * 3");
         match e {
-            Expr::Binary { op: BinaryOp::Plus, right, .. } => {
-                assert!(matches!(*right, Expr::Binary { op: BinaryOp::Multiply, .. }));
+            Expr::Binary {
+                op: BinaryOp::Plus,
+                right,
+                ..
+            } => {
+                assert!(matches!(
+                    *right,
+                    Expr::Binary {
+                        op: BinaryOp::Multiply,
+                        ..
+                    }
+                ));
             }
             other => panic!("{other:?}"),
         }
@@ -326,7 +342,13 @@ mod tests {
     #[test]
     fn between_and_binds_to_between() {
         let e = expr("x BETWEEN 1 AND 2 AND y = 3");
-        assert!(matches!(e, Expr::Binary { op: BinaryOp::And, .. }));
+        assert!(matches!(
+            e,
+            Expr::Binary {
+                op: BinaryOp::And,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -355,8 +377,14 @@ mod tests {
 
     #[test]
     fn is_null_forms() {
-        assert!(matches!(expr("x IS NULL"), Expr::IsNull { negated: false, .. }));
-        assert!(matches!(expr("x IS NOT NULL"), Expr::IsNull { negated: true, .. }));
+        assert!(matches!(
+            expr("x IS NULL"),
+            Expr::IsNull { negated: false, .. }
+        ));
+        assert!(matches!(
+            expr("x IS NOT NULL"),
+            Expr::IsNull { negated: true, .. }
+        ));
     }
 
     #[test]
@@ -405,7 +433,11 @@ mod tests {
     fn case_expression() {
         let e = expr("CASE WHEN x = 1 THEN 'a' ELSE 'b' END");
         match e {
-            Expr::Case { operand, branches, else_result } => {
+            Expr::Case {
+                operand,
+                branches,
+                else_result,
+            } => {
                 assert!(operand.is_none());
                 assert_eq!(branches.len(), 1);
                 assert!(else_result.is_some());
@@ -423,7 +455,10 @@ mod tests {
     fn not_operator() {
         assert!(matches!(
             expr("NOT x = 1"),
-            Expr::Unary { op: UnaryOp::Not, .. }
+            Expr::Unary {
+                op: UnaryOp::Not,
+                ..
+            }
         ));
     }
 }

@@ -85,7 +85,9 @@ impl Parser {
     }
 
     pub(crate) fn advance(&mut self) -> TokenKind {
-        let k = self.tokens[self.pos.min(self.tokens.len() - 1)].kind.clone();
+        let k = self.tokens[self.pos.min(self.tokens.len() - 1)]
+            .kind
+            .clone();
         if self.pos < self.tokens.len() - 1 {
             self.pos += 1;
         }
@@ -271,6 +273,7 @@ impl Parser {
             || self.at_kw_n(1, "VARIABLE")
             || self.at_kw_n(1, "BROADCAST")
             || self.at_kw_n(1, "READWRITE_SPLITTING")
+            || self.at_kw_n(1, "SQL_PLAN_CACHE")
         {
             return self.parse_distsql();
         }
@@ -301,7 +304,10 @@ impl Parser {
     }
 
     fn parse_drop(&mut self) -> Result<Statement, SqlError> {
-        if self.at_kw_n(1, "SHARDING") || self.at_kw_n(1, "RESOURCE") || self.at_kw_n(1, "BROADCAST") {
+        if self.at_kw_n(1, "SHARDING")
+            || self.at_kw_n(1, "RESOURCE")
+            || self.at_kw_n(1, "BROADCAST")
+        {
             return self.parse_distsql();
         }
         self.expect_kw("DROP")?;
@@ -318,7 +324,10 @@ impl Parser {
             while self.eat(&TokenKind::Comma) {
                 names.push(ObjectName::new(self.expect_ident()?));
             }
-            return Ok(Statement::DropTable(DropTableStatement { names, if_exists }));
+            return Ok(Statement::DropTable(DropTableStatement {
+                names,
+                if_exists,
+            }));
         }
         if self.at_kw("INDEX") {
             self.advance();

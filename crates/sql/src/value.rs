@@ -244,7 +244,10 @@ mod tests {
 
     #[test]
     fn stable_hash_int_and_string_agree() {
-        assert_eq!(Value::Int(7).stable_hash(), Value::Str("7".into()).stable_hash());
+        assert_eq!(
+            Value::Int(7).stable_hash(),
+            Value::Str("7".into()).stable_hash()
+        );
         assert_ne!(Value::Int(7).stable_hash(), Value::Int(8).stable_hash());
     }
 

@@ -31,16 +31,29 @@ use std::time::Duration;
 /// Undo-log entry: how to reverse one applied operation.
 #[derive(Debug, Clone)]
 enum UndoOp {
-    Insert { table: String, row_id: RowId },
-    Update { table: String, row_id: RowId, before: Vec<Value> },
-    Delete { table: String, row_id: RowId, before: Vec<Value> },
+    Insert {
+        table: String,
+        row_id: RowId,
+    },
+    Update {
+        table: String,
+        row_id: RowId,
+        before: Vec<Value>,
+    },
+    Delete {
+        table: String,
+        row_id: RowId,
+        before: Vec<Value>,
+    },
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum TxnPhase {
     Active,
     /// XA phase-1 complete; in-doubt until the coordinator decides.
-    Prepared { xid: String },
+    Prepared {
+        xid: String,
+    },
 }
 
 struct TxnState {
@@ -230,11 +243,19 @@ impl StorageEngine {
                     let t = self.table(table)?;
                     t.write().delete(*row_id)?;
                 }
-                UndoOp::Update { table, row_id, before } => {
+                UndoOp::Update {
+                    table,
+                    row_id,
+                    before,
+                } => {
                     let t = self.table(table)?;
                     t.write().update(*row_id, before.clone())?;
                 }
-                UndoOp::Delete { table, row_id, before } => {
+                UndoOp::Delete {
+                    table,
+                    row_id,
+                    before,
+                } => {
                     let t = self.table(table)?;
                     t.write().reinsert(*row_id, before.clone())?;
                 }
@@ -270,7 +291,9 @@ impl StorageEngine {
                 operation: "prepare".into(),
             });
         }
-        state.phase = TxnPhase::Prepared { xid: xid.to_string() };
+        state.phase = TxnPhase::Prepared {
+            xid: xid.to_string(),
+        };
         drop(txns);
         self.wal.append(LogRecord::Prepare {
             txn,
@@ -366,7 +389,12 @@ impl StorageEngine {
     }
 
     /// Parse and execute a SQL string (convenience for tests and examples).
-    pub fn execute_sql(&self, sql: &str, params: &[Value], txn: Option<TxnId>) -> Result<ExecuteResult> {
+    pub fn execute_sql(
+        &self,
+        sql: &str,
+        params: &[Value],
+        txn: Option<TxnId>,
+    ) -> Result<ExecuteResult> {
         let stmt = parse_statement(sql).map_err(|e| StorageError::Execution(e.to_string()))?;
         self.execute(&stmt, params, txn)
     }
@@ -500,7 +528,12 @@ impl StorageEngine {
         Ok(rs)
     }
 
-    fn insert(&self, stmt: &InsertStatement, params: &[Value], txn: TxnId) -> Result<ExecuteResult> {
+    fn insert(
+        &self,
+        stmt: &InsertStatement,
+        params: &[Value],
+        txn: TxnId,
+    ) -> Result<ExecuteResult> {
         let table = self.table(stmt.table.as_str())?;
         let mut affected = 0u64;
         let scope = Scope::new();
@@ -532,14 +565,20 @@ impl StorageEngine {
         Ok(ExecuteResult::Update { affected })
     }
 
-    fn update(&self, stmt: &UpdateStatement, params: &[Value], txn: TxnId) -> Result<ExecuteResult> {
+    fn update(
+        &self,
+        stmt: &UpdateStatement,
+        params: &[Value],
+        txn: TxnId,
+    ) -> Result<ExecuteResult> {
         let table = self.table(stmt.table.as_str())?;
         let binding = stmt.alias.clone().unwrap_or_else(|| stmt.table.0.clone());
         // Plan: find target row ids (index-assisted), then lock and mutate.
         let (targets, scope) = {
             let guard = table.read();
             let scope = Scope::from_table(&binding, &guard.schema.column_names());
-            let ids = self.matching_rows(&guard, &binding, &scope, stmt.where_clause.as_ref(), params)?;
+            let ids =
+                self.matching_rows(&guard, &binding, &scope, stmt.where_clause.as_ref(), params)?;
             (ids, scope)
         };
         let mut affected = 0u64;
@@ -588,13 +627,19 @@ impl StorageEngine {
         Ok(ExecuteResult::Update { affected })
     }
 
-    fn delete(&self, stmt: &DeleteStatement, params: &[Value], txn: TxnId) -> Result<ExecuteResult> {
+    fn delete(
+        &self,
+        stmt: &DeleteStatement,
+        params: &[Value],
+        txn: TxnId,
+    ) -> Result<ExecuteResult> {
         let table = self.table(stmt.table.as_str())?;
         let binding = stmt.alias.clone().unwrap_or_else(|| stmt.table.0.clone());
         let (targets, scope) = {
             let guard = table.read();
             let scope = Scope::from_table(&binding, &guard.schema.column_names());
-            let ids = self.matching_rows(&guard, &binding, &scope, stmt.where_clause.as_ref(), params)?;
+            let ids =
+                self.matching_rows(&guard, &binding, &scope, stmt.where_clause.as_ref(), params)?;
             (ids, scope)
         };
         let mut affected = 0u64;
@@ -689,7 +734,8 @@ impl StorageEngine {
             }
             return Err(StorageError::TableAlreadyExists(stmt.name.0.clone()));
         }
-        let schema = TableSchema::new(stmt.name.0.clone(), stmt.columns.clone(), &stmt.primary_key)?;
+        let schema =
+            TableSchema::new(stmt.name.0.clone(), stmt.columns.clone(), &stmt.primary_key)?;
         tables.insert(key, Arc::new(RwLock::new(Table::new(schema))));
         drop(tables);
         self.wal.append(LogRecord::CreateTable {
@@ -705,7 +751,9 @@ impl StorageEngine {
             if tables.remove(&key).is_none() && !stmt.if_exists {
                 return Err(StorageError::TableNotFound(name.0.clone()));
             }
-            self.wal.append(LogRecord::DropTable { table: name.0.clone() });
+            self.wal.append(LogRecord::DropTable {
+                table: name.0.clone(),
+            });
         }
         Ok(ExecuteResult::Update { affected: 0 })
     }
@@ -726,7 +774,11 @@ impl StorageEngine {
     /// active (no prepare/commit) are discarded; prepared transactions are
     /// replayed and left in-doubt for the coordinator's recovery pass, per
     /// the paper's §IV-B.
-    pub fn recover(name: impl Into<String>, latency: LatencyModel, wal: SharedLog) -> Result<Arc<Self>> {
+    pub fn recover(
+        name: impl Into<String>,
+        latency: LatencyModel,
+        wal: SharedLog,
+    ) -> Result<Arc<Self>> {
         let records = wal.snapshot();
         let engine = StorageEngine::with_options(name, latency, wal);
 
@@ -768,7 +820,12 @@ impl StorageEngine {
                         if_exists: true,
                     });
                 }
-                LogRecord::Insert { txn, table, row_id, row } => {
+                LogRecord::Insert {
+                    txn,
+                    table,
+                    row_id,
+                    row,
+                } => {
                     let replay = committed.contains(txn) || prepared.contains_key(txn);
                     if replay && !aborted.contains(txn) {
                         let t = engine.table(table)?;
@@ -776,12 +833,21 @@ impl StorageEngine {
                         if prepared.contains_key(txn) && !committed.contains(txn) {
                             engine.record_undo_recovered(
                                 *txn,
-                                UndoOp::Insert { table: table.clone(), row_id: *row_id },
+                                UndoOp::Insert {
+                                    table: table.clone(),
+                                    row_id: *row_id,
+                                },
                             );
                         }
                     }
                 }
-                LogRecord::Update { txn, table, row_id, before, after } => {
+                LogRecord::Update {
+                    txn,
+                    table,
+                    row_id,
+                    before,
+                    after,
+                } => {
                     let replay = committed.contains(txn) || prepared.contains_key(txn);
                     if replay && !aborted.contains(txn) {
                         let t = engine.table(table)?;
@@ -798,7 +864,12 @@ impl StorageEngine {
                         }
                     }
                 }
-                LogRecord::Delete { txn, table, row_id, before } => {
+                LogRecord::Delete {
+                    txn,
+                    table,
+                    row_id,
+                    before,
+                } => {
                     let replay = committed.contains(txn) || prepared.contains_key(txn);
                     if replay && !aborted.contains(txn) {
                         let t = engine.table(table)?;

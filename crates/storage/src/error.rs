@@ -65,7 +65,11 @@ impl fmt::Display for StorageError {
                 write!(f, "lock wait timeout on table '{table}'")
             }
             StorageError::UnknownTransaction(id) => write!(f, "unknown transaction {id}"),
-            StorageError::IllegalTransactionState { txn, state, operation } => {
+            StorageError::IllegalTransactionState {
+                txn,
+                state,
+                operation,
+            } => {
                 write!(f, "transaction {txn} in state {state} cannot {operation}")
             }
             StorageError::Execution(msg) => write!(f, "execution error: {msg}"),

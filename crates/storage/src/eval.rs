@@ -54,7 +54,10 @@ impl Scope {
                 continue;
             }
             if let Some(want) = &col.table {
-                if qual.as_deref().is_some_and(|q| q.eq_ignore_ascii_case(want)) {
+                if qual
+                    .as_deref()
+                    .is_some_and(|q| q.eq_ignore_ascii_case(want))
+                {
                     return Ok(i);
                 }
             } else {
@@ -276,9 +279,11 @@ fn eval_binary(left: &Expr, op: BinaryOp, right: &Expr, ctx: &EvalContext<'_>) -
     }
     match op {
         BinaryOp::Concat => Ok(Value::Str(format!("{l}{r}"))),
-        BinaryOp::Plus | BinaryOp::Minus | BinaryOp::Multiply | BinaryOp::Divide | BinaryOp::Modulo => {
-            arithmetic(&l, op, &r)
-        }
+        BinaryOp::Plus
+        | BinaryOp::Minus
+        | BinaryOp::Multiply
+        | BinaryOp::Divide
+        | BinaryOp::Modulo => arithmetic(&l, op, &r),
         _ => unreachable!("comparison handled above"),
     }
 }
@@ -415,7 +420,10 @@ fn eval_function(call: &FunctionCall, ctx: &EvalContext<'_>) -> Result<Value> {
             };
             // SQL is 1-based.
             let start = arg(1)?.as_int().unwrap_or(1).max(1) as usize - 1;
-            let len = args.get(2).and_then(|v| v.as_int()).map(|l| l.max(0) as usize);
+            let len = args
+                .get(2)
+                .and_then(|v| v.as_int())
+                .map(|l| l.max(0) as usize);
             let chars: Vec<char> = s.chars().collect();
             let end = match len {
                 Some(l) => (start + l).min(chars.len()),
@@ -508,13 +516,28 @@ mod tests {
 
     #[test]
     fn arithmetic_semantics() {
-        assert_eq!(eval_with("a + 2 = 5", &["a"], &[Value::Int(3)]), Value::Bool(true));
-        assert_eq!(eval_with("7 / 2 = 3.5", &["a"], &[Value::Null]), Value::Bool(true));
-        assert_eq!(eval_with("6 / 2 = 3", &["a"], &[Value::Null]), Value::Bool(true));
-        assert_eq!(eval_with("1 / 0 IS NULL", &["a"], &[Value::Null]), Value::Bool(true));
+        assert_eq!(
+            eval_with("a + 2 = 5", &["a"], &[Value::Int(3)]),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval_with("7 / 2 = 3.5", &["a"], &[Value::Null]),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval_with("6 / 2 = 3", &["a"], &[Value::Null]),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval_with("1 / 0 IS NULL", &["a"], &[Value::Null]),
+            Value::Bool(true)
+        );
         // rem_euclid: negative dividend stays non-negative, matching our
         // sharding algorithms.
-        assert_eq!(eval_with("-7 % 3 = 2", &["a"], &[Value::Null]), Value::Bool(true));
+        assert_eq!(
+            eval_with("-7 % 3 = 2", &["a"], &[Value::Null]),
+            Value::Bool(true)
+        );
     }
 
     #[test]
@@ -564,7 +587,11 @@ mod tests {
             Value::Bool(true)
         );
         assert_eq!(
-            eval_with("SUBSTR(a, 2, 2) = 'bc'", &["a"], &[Value::Str("abcd".into())]),
+            eval_with(
+                "SUBSTR(a, 2, 2) = 'bc'",
+                &["a"],
+                &[Value::Str("abcd".into())]
+            ),
             Value::Bool(true)
         );
         assert_eq!(
@@ -615,10 +642,7 @@ mod tests {
     fn params_resolve() {
         let scope = Scope::from_table("t", &["a".into()]);
         let ctx = EvalContext::new(&scope, &[Value::Int(10)], &[Value::Int(10)]);
-        assert_eq!(
-            eval(&expr_of("a = ?"), &ctx).unwrap(),
-            Value::Bool(true)
-        );
+        assert_eq!(eval(&expr_of("a = ?"), &ctx).unwrap(), Value::Bool(true));
     }
 
     #[test]

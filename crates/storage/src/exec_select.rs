@@ -55,7 +55,12 @@ pub fn execute_select(
     let base_guard = base.read();
     let mut scope = Scope::from_table(from.binding_name(), &base_guard.schema.column_names());
     let mut rows: Vec<Vec<Value>> = {
-        let candidates = access_path(&base_guard, from.binding_name(), stmt.where_clause.as_ref(), params);
+        let candidates = access_path(
+            &base_guard,
+            from.binding_name(),
+            stmt.where_clause.as_ref(),
+            params,
+        );
         match candidates {
             Some(ids) => ids
                 .into_iter()
@@ -194,12 +199,25 @@ pub(crate) fn access_path(
                         }
                         // Composite PK: equality on the first column becomes
                         // a range over that prefix.
-                        merge_range(&mut ranges, &col, Bound::Included(val.clone()), Bound::Included(val));
+                        merge_range(
+                            &mut ranges,
+                            &col,
+                            Bound::Included(val.clone()),
+                            Bound::Included(val),
+                        );
                     }
-                    BinaryOp::Gt => merge_range(&mut ranges, &col, Bound::Excluded(val), Bound::Unbounded),
-                    BinaryOp::GtEq => merge_range(&mut ranges, &col, Bound::Included(val), Bound::Unbounded),
-                    BinaryOp::Lt => merge_range(&mut ranges, &col, Bound::Unbounded, Bound::Excluded(val)),
-                    BinaryOp::LtEq => merge_range(&mut ranges, &col, Bound::Unbounded, Bound::Included(val)),
+                    BinaryOp::Gt => {
+                        merge_range(&mut ranges, &col, Bound::Excluded(val), Bound::Unbounded)
+                    }
+                    BinaryOp::GtEq => {
+                        merge_range(&mut ranges, &col, Bound::Included(val), Bound::Unbounded)
+                    }
+                    BinaryOp::Lt => {
+                        merge_range(&mut ranges, &col, Bound::Unbounded, Bound::Excluded(val))
+                    }
+                    BinaryOp::LtEq => {
+                        merge_range(&mut ranges, &col, Bound::Unbounded, Bound::Included(val))
+                    }
                     _ => {}
                 }
             }
@@ -422,7 +440,9 @@ fn execute_join(
                 right: r,
             } = c
             {
-                if let (Expr::Column(lc), Expr::Column(rc)) = (unwrap_nested(left), unwrap_nested(r)) {
+                if let (Expr::Column(lc), Expr::Column(rc)) =
+                    (unwrap_nested(left), unwrap_nested(r))
+                {
                     let l_in_left = left_scope.resolve(lc).is_ok();
                     let r_is_right = rc
                         .table
@@ -642,7 +662,9 @@ fn projection_columns(projection: &[SelectItem], scope: &Scope) -> Result<Vec<St
                     }
                 }
                 if !any {
-                    return Err(StorageError::Execution(format!("unknown table '{t}' in {t}.*")));
+                    return Err(StorageError::Execution(format!(
+                        "unknown table '{t}' in {t}.*"
+                    )));
                 }
             }
             SelectItem::Expr { expr, alias } => {
@@ -701,9 +723,16 @@ enum Accumulator {
     CountStar(i64),
     Count(i64),
     CountDistinct(std::collections::HashSet<Value>),
-    Sum { total: f64, any: bool, all_int: bool },
+    Sum {
+        total: f64,
+        any: bool,
+        all_int: bool,
+    },
     SumDistinct(std::collections::HashSet<Value>),
-    Avg { total: f64, n: i64 },
+    Avg {
+        total: f64,
+        n: i64,
+    },
     Min(Option<Value>),
     Max(Option<Value>),
 }
@@ -742,7 +771,11 @@ impl Accumulator {
                     }
                 }
             }
-            Accumulator::Sum { total, any, all_int } => {
+            Accumulator::Sum {
+                total,
+                any,
+                all_int,
+            } => {
                 if let Some(v) = v {
                     if let Some(f) = v.as_float() {
                         *total += f;
@@ -801,7 +834,11 @@ impl Accumulator {
         match self {
             Accumulator::CountStar(n) | Accumulator::Count(n) => Value::Int(n),
             Accumulator::CountDistinct(set) => Value::Int(set.len() as i64),
-            Accumulator::Sum { total, any, all_int } => {
+            Accumulator::Sum {
+                total,
+                any,
+                all_int,
+            } => {
                 if !any {
                     Value::Null
                 } else if all_int && total.fract() == 0.0 {
@@ -973,7 +1010,13 @@ fn execute_grouped(
     let columns = projection_columns(&stmt.projection, scope)?;
     let mut out_rows = Vec::with_capacity(group_rows.len());
     for (row, aggs) in group_rows.iter().zip(&group_aggs) {
-        out_rows.push(project_row(&stmt.projection, scope, row, params, Some(aggs))?);
+        out_rows.push(project_row(
+            &stmt.projection,
+            scope,
+            row,
+            params,
+            Some(aggs),
+        )?);
     }
     Ok(ResultSet::new(columns, out_rows))
 }

@@ -71,11 +71,7 @@ impl Index {
 
     /// Row ids for a range over the *first* index column (single-column range
     /// scans; composite prefixes fall back to full scans in the executor).
-    pub fn range(
-        &self,
-        low: Bound<&Value>,
-        high: Bound<&Value>,
-    ) -> Vec<RowId> {
+    pub fn range(&self, low: Bound<&Value>, high: Bound<&Value>) -> Vec<RowId> {
         // Seek to the first candidate key; exact low-bound filtering happens
         // below (composite keys share a first-column prefix).
         let lo: Bound<Vec<Value>> = match low {
@@ -168,7 +164,10 @@ mod tests {
         for i in 0..10 {
             idx.insert("t", key(i), i as RowId).unwrap();
         }
-        let got = idx.range(Bound::Included(&Value::Int(3)), Bound::Included(&Value::Int(6)));
+        let got = idx.range(
+            Bound::Included(&Value::Int(3)),
+            Bound::Included(&Value::Int(6)),
+        );
         assert_eq!(got, vec![3, 4, 5, 6]);
     }
 
@@ -178,7 +177,10 @@ mod tests {
         for i in 0..10 {
             idx.insert("t", key(i), i as RowId).unwrap();
         }
-        let got = idx.range(Bound::Excluded(&Value::Int(3)), Bound::Excluded(&Value::Int(6)));
+        let got = idx.range(
+            Bound::Excluded(&Value::Int(3)),
+            Bound::Excluded(&Value::Int(6)),
+        );
         assert_eq!(got, vec![4, 5]);
     }
 

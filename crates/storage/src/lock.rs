@@ -58,11 +58,7 @@ impl LockManager {
                             table: table.to_string(),
                         });
                     }
-                    if self
-                        .released
-                        .wait_until(&mut state, deadline)
-                        .timed_out()
-                    {
+                    if self.released.wait_until(&mut state, deadline).timed_out() {
                         return Err(StorageError::LockTimeout {
                             table: table.to_string(),
                         });

@@ -14,7 +14,11 @@ pub struct TableSchema {
 }
 
 impl TableSchema {
-    pub fn new(name: impl Into<String>, columns: Vec<ColumnDef>, primary_key: &[String]) -> Result<Self> {
+    pub fn new(
+        name: impl Into<String>,
+        columns: Vec<ColumnDef>,
+        primary_key: &[String],
+    ) -> Result<Self> {
         let name = name.into();
         let mut pk = Vec::with_capacity(primary_key.len());
         for pk_col in primary_key {

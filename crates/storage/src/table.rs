@@ -50,7 +50,11 @@ impl Table {
     // -- index management ----------------------------------------------------
 
     pub fn create_index(&mut self, name: &str, columns: &[String], unique: bool) -> Result<()> {
-        if self.secondary.iter().any(|i| i.name.eq_ignore_ascii_case(name)) {
+        if self
+            .secondary
+            .iter()
+            .any(|i| i.name.eq_ignore_ascii_case(name))
+        {
             return Err(StorageError::IndexAlreadyExists(name.to_string()));
         }
         let mut positions = Vec::with_capacity(columns.len());
@@ -72,7 +76,8 @@ impl Table {
 
     pub fn drop_index(&mut self, name: &str) -> Result<()> {
         let before = self.secondary.len();
-        self.secondary.retain(|i| !i.name.eq_ignore_ascii_case(name));
+        self.secondary
+            .retain(|i| !i.name.eq_ignore_ascii_case(name));
         if self.secondary.len() == before {
             return Err(StorageError::IndexNotFound(name.to_string()));
         }
@@ -88,7 +93,9 @@ impl Table {
                 return Some(pk);
             }
         }
-        self.secondary.iter().find(|i| i.columns.first() == Some(&col))
+        self.secondary
+            .iter()
+            .find(|i| i.columns.first() == Some(&col))
     }
 
     pub fn primary_index(&self) -> Option<&Index> {
@@ -338,11 +345,15 @@ mod tests {
         let mut t = table();
         t.insert(row(1, "ann", 30)).unwrap();
         t.insert(row(2, "bob", 30)).unwrap();
-        t.create_index("idx_age", &["age".to_string()], false).unwrap();
+        t.create_index("idx_age", &["age".to_string()], false)
+            .unwrap();
         let idx = t.index_on("age").unwrap();
         assert_eq!(idx.lookup(&[Value::Int(30)]).len(), 2);
         t.insert(row(3, "cat", 30)).unwrap();
-        assert_eq!(t.index_on("age").unwrap().lookup(&[Value::Int(30)]).len(), 3);
+        assert_eq!(
+            t.index_on("age").unwrap().lookup(&[Value::Int(30)]).len(),
+            3
+        );
     }
 
     #[test]
@@ -350,7 +361,9 @@ mod tests {
         let schema = TableSchema::new(
             "t",
             vec![
-                ColumnDef::new("id", DataType::BigInt).not_null().auto_increment(),
+                ColumnDef::new("id", DataType::BigInt)
+                    .not_null()
+                    .auto_increment(),
                 ColumnDef::new("v", DataType::Int),
             ],
             &["id".to_string()],
@@ -374,7 +387,11 @@ mod tests {
             t.insert(row(i, "x", 20)).unwrap();
         }
         let ids = t
-            .range_on("uid", Bound::Included(&Value::Int(3)), Bound::Included(&Value::Int(5)))
+            .range_on(
+                "uid",
+                Bound::Included(&Value::Int(3)),
+                Bound::Included(&Value::Int(5)),
+            )
             .unwrap();
         assert_eq!(ids.len(), 3);
     }

@@ -111,7 +111,10 @@ impl SharedLog {
     /// Truncate the log after installing a checkpoint (space reclamation).
     pub fn truncate_to_checkpoint(&self) {
         let mut recs = self.records.lock();
-        if let Some(pos) = recs.iter().rposition(|r| matches!(r, LogRecord::Checkpoint)) {
+        if let Some(pos) = recs
+            .iter()
+            .rposition(|r| matches!(r, LogRecord::Checkpoint))
+        {
             recs.drain(..=pos);
         }
     }

@@ -8,8 +8,12 @@ use std::sync::Arc;
 
 fn engine_with_rows(n: i64) -> Arc<StorageEngine> {
     let e = StorageEngine::new("conc");
-    e.execute_sql("CREATE TABLE t (id BIGINT PRIMARY KEY, v BIGINT)", &[], None)
-        .unwrap();
+    e.execute_sql(
+        "CREATE TABLE t (id BIGINT PRIMARY KEY, v BIGINT)",
+        &[],
+        None,
+    )
+    .unwrap();
     for id in 0..n {
         e.execute_sql(
             "INSERT INTO t VALUES (?, ?)",
@@ -67,11 +71,7 @@ fn conflicting_increments_serialize() {
             for _ in 0..10 {
                 let txn = e.begin();
                 let ok = e
-                    .execute_sql(
-                        "UPDATE t SET v = v + 1 WHERE id = 0",
-                        &[],
-                        Some(txn),
-                    )
+                    .execute_sql("UPDATE t SET v = v + 1 WHERE id = 0", &[], Some(txn))
                     .is_ok();
                 if ok && e.commit(txn).is_ok() {
                     successes.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
@@ -127,8 +127,12 @@ fn crash_recovery_under_concurrent_history() {
     let wal = shard_storage::SharedLog::new();
     {
         let e = StorageEngine::with_options("conc", shard_storage::LatencyModel::ZERO, wal.clone());
-        e.execute_sql("CREATE TABLE t (id BIGINT PRIMARY KEY, v BIGINT)", &[], None)
-            .unwrap();
+        e.execute_sql(
+            "CREATE TABLE t (id BIGINT PRIMARY KEY, v BIGINT)",
+            &[],
+            None,
+        )
+        .unwrap();
         let e = e;
         let mut handles = Vec::new();
         for worker in 0..4i64 {
@@ -155,8 +159,7 @@ fn crash_recovery_under_concurrent_history() {
             h.join().unwrap();
         }
     }
-    let recovered =
-        StorageEngine::recover("conc", shard_storage::LatencyModel::ZERO, wal).unwrap();
+    let recovered = StorageEngine::recover("conc", shard_storage::LatencyModel::ZERO, wal).unwrap();
     let rs = recovered
         .execute_sql("SELECT COUNT(*), SUM(id) FROM t", &[], None)
         .unwrap()
@@ -164,6 +167,8 @@ fn crash_recovery_under_concurrent_history() {
     // 4 workers × 5 committed inserts each.
     assert_eq!(rs.rows[0][0], Value::Int(20));
     // Committed ids: worker*100 + {0,2,4,6,8}.
-    let expected: i64 = (0..4).map(|w| (0..10).step_by(2).map(|i| w * 100 + i).sum::<i64>()).sum();
+    let expected: i64 = (0..4)
+        .map(|w| (0..10).step_by(2).map(|i| w * 100 + i).sum::<i64>())
+        .sum();
     assert_eq!(rs.rows[0][1], Value::Int(expected));
 }

@@ -42,12 +42,20 @@ fn point_select_uses_index() {
 fn range_and_in_selects() {
     let ds = engine_with_users();
     let rs = ds
-        .execute_sql("SELECT uid FROM t_user WHERE uid BETWEEN 2 AND 3 ORDER BY uid", &[], None)
+        .execute_sql(
+            "SELECT uid FROM t_user WHERE uid BETWEEN 2 AND 3 ORDER BY uid",
+            &[],
+            None,
+        )
         .unwrap()
         .query();
     assert_eq!(rs.rows, vec![vec![Value::Int(2)], vec![Value::Int(3)]]);
     let rs = ds
-        .execute_sql("SELECT uid FROM t_user WHERE uid IN (1, 4) ORDER BY uid DESC", &[], None)
+        .execute_sql(
+            "SELECT uid FROM t_user WHERE uid IN (1, 4) ORDER BY uid DESC",
+            &[],
+            None,
+        )
         .unwrap()
         .query();
     assert_eq!(rs.rows, vec![vec![Value::Int(4)], vec![Value::Int(1)]]);
@@ -66,7 +74,10 @@ fn group_by_with_aggregates() {
         .query();
     assert_eq!(rs.rows.len(), 3);
     // age 25 has bob and dan.
-    assert_eq!(rs.rows[0], vec![Value::Int(25), Value::Int(2), Value::Str("bob".into())]);
+    assert_eq!(
+        rs.rows[0],
+        vec![Value::Int(25), Value::Int(2), Value::Str("bob".into())]
+    );
 }
 
 #[test]
@@ -120,14 +131,21 @@ fn join_on_key() {
         .unwrap()
         .query();
     assert_eq!(rs.rows.len(), 2);
-    assert_eq!(rs.rows[0], vec![Value::Str("ann".into()), Value::Float(1.5)]);
+    assert_eq!(
+        rs.rows[0],
+        vec![Value::Str("ann".into()), Value::Float(1.5)]
+    );
 }
 
 #[test]
 fn left_join_null_extends() {
     let ds = engine_with_users();
-    ds.execute_sql("CREATE TABLE t_order (oid BIGINT PRIMARY KEY, uid BIGINT)", &[], None)
-        .unwrap();
+    ds.execute_sql(
+        "CREATE TABLE t_order (oid BIGINT PRIMARY KEY, uid BIGINT)",
+        &[],
+        None,
+    )
+    .unwrap();
     ds.execute_sql("INSERT INTO t_order VALUES (100, 1)", &[], None)
         .unwrap();
     let rs = ds
@@ -147,7 +165,11 @@ fn left_join_null_extends() {
 fn update_and_delete_with_params() {
     let ds = engine_with_users();
     let r = ds
-        .execute_sql("UPDATE t_user SET age = ? WHERE uid = ?", &[Value::Int(40), Value::Int(1)], None)
+        .execute_sql(
+            "UPDATE t_user SET age = ? WHERE uid = ?",
+            &[Value::Int(40), Value::Int(1)],
+            None,
+        )
         .unwrap();
     assert_eq!(r.affected(), 1);
     let r = ds
@@ -188,7 +210,11 @@ fn implicit_transaction_rolls_back_on_error() {
     // Multi-row insert where the second row violates the PK: the whole
     // statement must roll back.
     let err = ds
-        .execute_sql("INSERT INTO t_user VALUES (10, 'x', 1), (1, 'dup', 2)", &[], None)
+        .execute_sql(
+            "INSERT INTO t_user VALUES (10, 'x', 1), (1, 'dup', 2)",
+            &[],
+            None,
+        )
         .unwrap_err();
     assert!(matches!(err, StorageError::DuplicateKey { .. }));
     let rs = ds
@@ -270,7 +296,8 @@ fn recovery_replays_committed_discards_active() {
         let ds = StorageEngine::with_options("ds_0", LatencyModel::ZERO, wal.clone());
         ds.execute_sql("CREATE TABLE t (id BIGINT PRIMARY KEY, v INT)", &[], None)
             .unwrap();
-        ds.execute_sql("INSERT INTO t VALUES (1, 10)", &[], None).unwrap();
+        ds.execute_sql("INSERT INTO t VALUES (1, 10)", &[], None)
+            .unwrap();
         // An active transaction that never commits (crash victim).
         let txn = ds.begin();
         ds.execute_sql("INSERT INTO t VALUES (2, 20)", &[], Some(txn))
@@ -292,7 +319,8 @@ fn recovery_keeps_prepared_in_doubt_and_can_resolve() {
         let ds = StorageEngine::with_options("ds_0", LatencyModel::ZERO, wal.clone());
         ds.execute_sql("CREATE TABLE t (id BIGINT PRIMARY KEY, v INT)", &[], None)
             .unwrap();
-        ds.execute_sql("INSERT INTO t VALUES (1, 10)", &[], None).unwrap();
+        ds.execute_sql("INSERT INTO t VALUES (1, 10)", &[], None)
+            .unwrap();
         let txn = ds.begin();
         ds.execute_sql("UPDATE t SET v = 99 WHERE id = 1", &[], Some(txn))
             .unwrap();
@@ -329,7 +357,10 @@ fn recovery_commit_in_doubt() {
     };
     let ds = StorageEngine::recover("ds_0", LatencyModel::ZERO, wal).unwrap();
     ds.commit_prepared(txn_id).unwrap();
-    let rs = ds.execute_sql("SELECT v FROM t WHERE id = 5", &[], None).unwrap().query();
+    let rs = ds
+        .execute_sql("SELECT v FROM t WHERE id = 5", &[], None)
+        .unwrap()
+        .query();
     assert_eq!(rs.rows[0][0], Value::Int(50));
 }
 
@@ -355,7 +386,10 @@ fn injected_commit_failure_surfaces() {
 fn latency_model_charges_per_request() {
     let ds = StorageEngine::with_latency(
         "remote",
-        LatencyModel::new(std::time::Duration::from_millis(2), std::time::Duration::ZERO),
+        LatencyModel::new(
+            std::time::Duration::from_millis(2),
+            std::time::Duration::ZERO,
+        ),
     );
     ds.execute_sql("CREATE TABLE t (id BIGINT PRIMARY KEY)", &[], None)
         .unwrap();
@@ -368,8 +402,12 @@ fn latency_model_charges_per_request() {
 fn select_for_update_locks_rows() {
     let ds = engine_with_users();
     let t1 = ds.begin();
-    ds.execute_sql("SELECT * FROM t_user WHERE uid = 1 FOR UPDATE", &[], Some(t1))
-        .unwrap();
+    ds.execute_sql(
+        "SELECT * FROM t_user WHERE uid = 1 FOR UPDATE",
+        &[],
+        Some(t1),
+    )
+    .unwrap();
     let t2 = ds.begin();
     let err = ds
         .execute_sql("UPDATE t_user SET age = 0 WHERE uid = 1", &[], Some(t2))
@@ -397,7 +435,11 @@ fn secondary_index_accelerates_and_stays_correct() {
     ds.execute_sql("CREATE INDEX idx_age ON t_user (age)", &[], None)
         .unwrap();
     let rs = ds
-        .execute_sql("SELECT uid FROM t_user WHERE age = 25 ORDER BY uid", &[], None)
+        .execute_sql(
+            "SELECT uid FROM t_user WHERE age = 25 ORDER BY uid",
+            &[],
+            None,
+        )
         .unwrap()
         .query();
     assert_eq!(rs.rows, vec![vec![Value::Int(2)], vec![Value::Int(4)]]);
@@ -415,7 +457,11 @@ fn secondary_index_accelerates_and_stays_correct() {
 fn pagination() {
     let ds = engine_with_users();
     let rs = ds
-        .execute_sql("SELECT uid FROM t_user ORDER BY uid LIMIT 2 OFFSET 1", &[], None)
+        .execute_sql(
+            "SELECT uid FROM t_user ORDER BY uid LIMIT 2 OFFSET 1",
+            &[],
+            None,
+        )
         .unwrap()
         .query();
     assert_eq!(rs.rows, vec![vec![Value::Int(2)], vec![Value::Int(3)]]);

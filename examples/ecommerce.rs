@@ -119,12 +119,8 @@ fn main() {
     }
 
     // Money conservation check across every shard.
-    let balances = conn
-        .query("SELECT SUM(balance) FROM t_user", &[])
-        .unwrap();
-    let spent = conn
-        .query("SELECT SUM(amount) FROM t_order", &[])
-        .unwrap();
+    let balances = conn.query("SELECT SUM(balance) FROM t_user", &[]).unwrap();
+    let spent = conn.query("SELECT SUM(amount) FROM t_order", &[]).unwrap();
     let total = balances.rows[0][0].as_float().unwrap() + spent.rows[0][0].as_float().unwrap();
     println!("\nconservation: balances + order amounts = {total} (expected 2000)");
     assert!((total - 2000.0).abs() < 1e-6);

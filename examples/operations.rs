@@ -98,10 +98,7 @@ fn main() {
         ],
     );
     detector.probe_once();
-    println!(
-        "health: {} sources up",
-        detector.report().healthy_count()
-    );
+    println!("health: {} sources up", detector.report().healthy_count());
 
     let failover = FailoverCoordinator::new(Arc::clone(runtime.registry()));
     failover.manage(ReadWriteSplitRule::new(

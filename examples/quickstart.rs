@@ -57,9 +57,15 @@ fn main() {
     }
 
     let rs = conn
-        .query("SELECT name, age FROM t_user WHERE uid = ?", &[Value::Int(7)])
+        .query(
+            "SELECT name, age FROM t_user WHERE uid = ?",
+            &[Value::Int(7)],
+        )
         .unwrap();
-    println!("\npoint query (routed to exactly one shard): {:?}", rs.rows[0]);
+    println!(
+        "\npoint query (routed to exactly one shard): {:?}",
+        rs.rows[0]
+    );
 
     // PREVIEW shows where a statement would go without executing it.
     let preview = conn

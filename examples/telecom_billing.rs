@@ -46,7 +46,11 @@ fn main() {
 
     // Phone numbers are PII: encrypt them transparently (paper §IV-C).
     let mut encrypt = EncryptRule::new();
-    encrypt.add_column("t_payment", "phone", Arc::new(XorCipher::new("bestpay-key")));
+    encrypt.add_column(
+        "t_payment",
+        "phone",
+        Arc::new(XorCipher::new("bestpay-key")),
+    );
     ds.runtime().set_encrypt(encrypt);
 
     // A year of payments: ids increase; pay_time walks through 12 months.
@@ -97,7 +101,10 @@ fn main() {
         .query();
     println!(
         "stored ciphertext sample: {}",
-        raw.rows.first().map(|r| r[0].to_string()).unwrap_or_default()
+        raw.rows
+            .first()
+            .map(|r| r[0].to_string())
+            .unwrap_or_default()
     );
     assert!(raw
         .rows
@@ -114,7 +121,8 @@ fn main() {
     assert_eq!(rs.rows.len(), 1);
 
     // Reporting reads go to the replica via read-write splitting.
-    ds.runtime().add_datasource("srv_a_replica", replica_a.clone(), 16);
+    ds.runtime()
+        .add_datasource("srv_a_replica", replica_a.clone(), 16);
     ds.runtime().add_rw_split(ReadWriteSplitRule::new(
         "srv_a",
         "srv_a",

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Repo-wide lint gate: clippy clean (warnings are errors) and rustfmt clean.
+# Run before sending a PR; CI runs the same two commands.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo fmt --all -- --check"
+cargo fmt --all -- --check
+
+echo "OK"

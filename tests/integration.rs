@@ -48,10 +48,9 @@ fn jdbc_and_proxy_share_one_cluster() {
     assert_eq!(rs.rows[0][0], Value::Int(20));
 
     // And the reverse: JDBC writes visible over the wire.
-    conn.update("UPDATE t SET v = -1 WHERE id = 7", &[]).unwrap();
-    let rs = wire
-        .query("SELECT v FROM t WHERE id = 7", &[])
+    conn.update("UPDATE t SET v = -1 WHERE id = 7", &[])
         .unwrap();
+    let rs = wire.query("SELECT v FROM t WHERE id = 7", &[]).unwrap();
     assert_eq!(rs.rows[0][0], Value::Int(-1));
     wire.quit();
 }
@@ -81,11 +80,8 @@ fn xa_recovery_end_to_end_through_adaptors() {
     let mut conn = jdbc.connection();
     conn.set_transaction_type(TransactionType::Xa).unwrap();
     for id in 0..4i64 {
-        conn.update(
-            "INSERT INTO t (id, v) VALUES (?, 0)",
-            &[Value::Int(id)],
-        )
-        .unwrap();
+        conn.update("INSERT INTO t (id, v) VALUES (?, 0)", &[Value::Int(id)])
+            .unwrap();
     }
 
     // Simulate a crash between phase 1 and 2 on ds_1, then recover.
@@ -99,15 +95,14 @@ fn xa_recovery_end_to_end_through_adaptors() {
         .unwrap();
     e0.prepare(t0, "g-int").unwrap();
     e1.prepare(t1, "g-int").unwrap();
-    runtime
-        .xa_log()
-        .record("g-int", shardingsphere_rs::core::transaction::XaDecision::Commit);
+    runtime.xa_log().record(
+        "g-int",
+        shardingsphere_rs::core::transaction::XaDecision::Commit,
+    );
     e0.commit_prepared(t0).unwrap();
     assert_eq!(runtime.recover_xa(), 1);
 
-    let rs = conn
-        .query("SELECT v FROM t WHERE id = 1", &[])
-        .unwrap();
+    let rs = conn.query("SELECT v FROM t WHERE id = 1", &[]).unwrap();
     assert_eq!(rs.rows[0][0], Value::Int(5));
 }
 
@@ -163,7 +158,8 @@ fn base_transaction_through_jdbc_adaptor() {
         .unwrap();
     conn.set_transaction_type(TransactionType::Base).unwrap();
     conn.set_auto_commit(false).unwrap();
-    conn.update("UPDATE t SET v = 99 WHERE id = 1", &[]).unwrap();
+    conn.update("UPDATE t SET v = 99 WHERE id = 1", &[])
+        .unwrap();
     conn.update("DELETE FROM t WHERE id = 2", &[]).unwrap();
     conn.rollback().unwrap();
     conn.set_auto_commit(true).unwrap();
@@ -182,7 +178,8 @@ fn scaling_out_with_distsql_resources() {
     // Add a resource at runtime, re-rule a new table onto all three sources.
     let runtime = runtime();
     let mut s = runtime.session();
-    s.execute_sql("ADD RESOURCE ds_2 (HOST=node3)", &[]).unwrap();
+    s.execute_sql("ADD RESOURCE ds_2 (HOST=node3)", &[])
+        .unwrap();
     s.execute_sql(
         "CREATE SHARDING TABLE RULE t_wide (RESOURCES(ds_0, ds_1, ds_2), \
          SHARDING_COLUMN=id, TYPE=mod, PROPERTIES(\"sharding-count\"=6))",
@@ -192,11 +189,8 @@ fn scaling_out_with_distsql_resources() {
     s.execute_sql("CREATE TABLE t_wide (id BIGINT PRIMARY KEY)", &[])
         .unwrap();
     for id in 0..12i64 {
-        s.execute_sql(
-            "INSERT INTO t_wide (id) VALUES (?)",
-            &[Value::Int(id)],
-        )
-        .unwrap();
+        s.execute_sql("INSERT INTO t_wide (id) VALUES (?)", &[Value::Int(id)])
+            .unwrap();
     }
     // Every source holds a slice.
     for i in 0..3 {

@@ -74,9 +74,11 @@ fn section_5b_standard_route_in_list() {
         .unwrap();
     assert_eq!(rs.rows.len(), 2, "routes to both shards");
     let sqls: Vec<String> = rs.rows.iter().map(|r| r[1].to_string()).collect();
-    assert!(sqls
-        .iter()
-        .any(|s| s == "SELECT * FROM t_user_0 WHERE uid IN (1, 2)"), "{sqls:?}");
+    assert!(
+        sqls.iter()
+            .any(|s| s == "SELECT * FROM t_user_0 WHERE uid IN (1, 2)"),
+        "{sqls:?}"
+    );
     assert!(sqls
         .iter()
         .any(|s| s == "SELECT * FROM t_user_1 WHERE uid IN (1, 2)"));
@@ -100,7 +102,13 @@ fn section_5b_binding_join_routes_pairwise() {
         let sql = row[1].to_string();
         // u and o suffixes must match: ..._0 with ..._0, ..._1 with ..._1
         let user_shard = sql.split("t_user_").nth(1).unwrap().chars().next().unwrap();
-        let order_shard = sql.split("t_order_").nth(1).unwrap().chars().next().unwrap();
+        let order_shard = sql
+            .split("t_order_")
+            .nth(1)
+            .unwrap()
+            .chars()
+            .next()
+            .unwrap();
         assert_eq!(user_shard, order_shard, "{sql}");
     }
 }

@@ -73,11 +73,13 @@ fn query_strategy() -> impl Strategy<Value = String> {
         Just("SELECT COUNT(*), SUM(val), MIN(val), MAX(val), AVG(val) FROM t".to_string()),
         Just("SELECT grp, COUNT(*), SUM(val) FROM t GROUP BY grp ORDER BY grp".to_string()),
         Just("SELECT grp, AVG(val) FROM t GROUP BY grp ORDER BY grp".to_string()),
-        Just("SELECT name, COUNT(*) FROM t GROUP BY name HAVING COUNT(*) > 2 ORDER BY name".to_string()),
+        Just(
+            "SELECT name, COUNT(*) FROM t GROUP BY name HAVING COUNT(*) > 2 ORDER BY name"
+                .to_string()
+        ),
         Just("SELECT DISTINCT grp FROM t ORDER BY grp".to_string()),
-        (0i64..5).prop_map(|g| format!(
-            "SELECT id FROM t WHERE grp = {g} ORDER BY id DESC LIMIT 7"
-        )),
+        (0i64..5)
+            .prop_map(|g| format!("SELECT id FROM t WHERE grp = {g} ORDER BY id DESC LIMIT 7")),
         (0i64..400).prop_map(|lo| format!(
             "SELECT val FROM t WHERE id > {lo} ORDER BY val, id LIMIT 3, 5"
         )),
