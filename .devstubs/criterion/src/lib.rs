@@ -1,0 +1,191 @@
+//! Local criterion-compatible shim for offline builds: real timing (median
+//! of samples), text output only, supports the subset of the API this
+//! workspace uses (`benchmark_group`, `bench_function`, `iter`,
+//! `iter_batched`, `sample_size`, CLI substring filter).
+
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[derive(Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench <filter>` passes the filter as a free argument; flags
+        // (e.g. --bench) are ignored.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            name: name.to_string(),
+            filter: self.filter.clone(),
+            sample_size: 60,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher), S: AsRef<str>>(
+        &mut self,
+        id: S,
+        mut f: F,
+    ) -> &mut Self {
+        let filter = self.filter.clone();
+        run_bench("", id.as_ref(), &filter, 60, &mut f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _c: &'a Criterion,
+    name: String,
+    filter: Option<String>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(10);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher), S: AsRef<str>>(
+        &mut self,
+        id: S,
+        mut f: F,
+    ) -> &mut Self {
+        run_bench(
+            &self.name,
+            id.as_ref(),
+            &self.filter,
+            self.sample_size,
+            &mut f,
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    group: &str,
+    id: &str,
+    filter: &Option<String>,
+    sample_size: usize,
+    f: &mut F,
+) {
+    let full = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    if let Some(flt) = filter {
+        if !full.contains(flt.as_str()) {
+            return;
+        }
+    }
+    let mut b = Bencher {
+        samples: Vec::new(),
+        sample_size,
+    };
+    f(&mut b);
+    b.samples.sort_unstable();
+    if b.samples.is_empty() {
+        println!("{full:<44} (no samples)");
+        return;
+    }
+    let median = b.samples[b.samples.len() / 2];
+    let lo = b.samples[b.samples.len() / 20];
+    let hi = b.samples[b.samples.len() - 1 - b.samples.len() / 20];
+    println!(
+        "{full:<44} median {:>12} [{} .. {}]",
+        fmt_ns(median),
+        fmt_ns(lo),
+        fmt_ns(hi)
+    );
+}
+
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+pub struct Bencher {
+    samples: Vec<u128>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and per-sample iteration count calibration (aim for
+        // samples of at least ~200µs so cheap ops are resolvable).
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(20));
+        let iters = (Duration::from_micros(200).as_nanos() / once.as_nanos()).clamp(1, 100_000);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            self.samples.push(t.elapsed().as_nanos() / iters);
+        }
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t.elapsed().as_nanos());
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

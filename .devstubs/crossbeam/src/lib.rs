@@ -1,0 +1,196 @@
+//! Local API-compatible shim for offline builds (MPMC channels over
+//! `std::sync`, scoped threads over `std::thread::scope`).
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct Chan<T> {
+        q: Mutex<VecDeque<T>>,
+        cap: Option<usize>,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    pub struct Sender<T>(Arc<Chan<T>>);
+    pub struct Receiver<T>(Arc<Chan<T>>);
+
+    pub struct SendError<T>(pub T);
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        Timeout,
+        Disconnected,
+    }
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "SendError(..)")
+        }
+    }
+
+    fn chan<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Chan {
+            q: Mutex::new(VecDeque::new()),
+            // A zero-capacity rendezvous channel is not modelled; give it
+            // one slot so sends cannot deadlock.
+            cap: cap.map(|c| c.max(1)),
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (Sender(Arc::clone(&inner)), Receiver(inner))
+    }
+
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        chan(None)
+    }
+
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        chan(Some(cap))
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.0.senders.fetch_add(1, Ordering::SeqCst);
+            Sender(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.0.receivers.fetch_add(1, Ordering::SeqCst);
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.0.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+                self.0.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            if self.0.receivers.fetch_sub(1, Ordering::SeqCst) == 1 {
+                self.0.not_full.notify_all();
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, t: T) -> Result<(), SendError<T>> {
+            let mut q = self.0.q.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if self.0.receivers.load(Ordering::SeqCst) == 0 {
+                    return Err(SendError(t));
+                }
+                match self.0.cap {
+                    Some(cap) if q.len() >= cap => {
+                        q = self.0.not_full.wait(q).unwrap_or_else(|e| e.into_inner());
+                    }
+                    _ => {
+                        q.push_back(t);
+                        self.0.not_empty.notify_one();
+                        return Ok(());
+                    }
+                }
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut q = self.0.q.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(t) = q.pop_front() {
+                    self.0.not_full.notify_one();
+                    return Ok(t);
+                }
+                if self.0.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvError);
+                }
+                q = self.0.not_empty.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut q = self.0.q.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(t) = q.pop_front() {
+                    self.0.not_full.notify_one();
+                    return Ok(t);
+                }
+                if self.0.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let left = deadline.saturating_duration_since(Instant::now());
+                if left.is_zero() {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (g, res) = self
+                    .0
+                    .not_empty
+                    .wait_timeout(q, left)
+                    .unwrap_or_else(|e| e.into_inner());
+                q = g;
+                if res.timed_out() && q.is_empty() {
+                    if self.0.senders.load(Ordering::SeqCst) == 0 {
+                        return Err(RecvTimeoutError::Disconnected);
+                    }
+                    return Err(RecvTimeoutError::Timeout);
+                }
+            }
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut q = self.0.q.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(t) = q.pop_front() {
+                self.0.not_full.notify_one();
+                return Ok(t);
+            }
+            if self.0.senders.load(Ordering::SeqCst) == 0 {
+                return Err(TryRecvError::Disconnected);
+            }
+            Err(TryRecvError::Empty)
+        }
+    }
+}
+
+/// Scoped threads over `std::thread::scope`. The spawn closure's argument is
+/// unused by this workspace, so it is a unit placeholder.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&()) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        self.inner.spawn(move || f(&()))
+    }
+}
+
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: for<'scope> FnOnce(Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(Scope { inner: s })))
+}

@@ -1,0 +1,526 @@
+//! Local mini-proptest for offline builds: deterministic random generation,
+//! no shrinking. Supports the subset used by this workspace — range / tuple
+//! / `Just` / boxed-union strategies, `prop_map`, `prop_filter`, a small
+//! regex-string subset (`[class]{m,n}` and `\PC`), `proptest::collection::
+//! vec`, `any::<T>()`, and the `proptest!` / `prop_assert*` macros.
+
+use std::fmt::Debug;
+use std::rc::Rc;
+
+pub mod test_runner {
+    /// splitmix64; deterministic per-process so failures are reproducible.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn deterministic() -> Self {
+            TestRng {
+                state: 0x8664_5341_A5A5_0F0F,
+            }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        pub fn below(&mut self, n: u64) -> u64 {
+            if n == 0 {
+                0
+            } else {
+                self.next_u64() % n
+            }
+        }
+    }
+
+    #[derive(Debug)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+    }
+
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+pub trait Strategy {
+    type Value: Debug;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { strat: self, f }
+    }
+
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(self, reason: &str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            strat: self,
+            pred,
+            reason: reason.to_string(),
+        }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+pub struct Map<S, F> {
+    strat: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.strat.generate(rng))
+    }
+}
+
+pub struct Filter<S, F> {
+    strat: S,
+    pred: F,
+    reason: String,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..10_000 {
+            let v = self.strat.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter '{}' rejected 10000 candidates", self.reason);
+    }
+}
+
+#[derive(Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// Uniform choice between boxed arms (weights unsupported).
+pub struct Union<T> {
+    pub arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].generate(rng)
+    }
+}
+
+// -- primitive strategies ---------------------------------------------------
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let span = (self.end as i128 - self.start as i128) as u128;
+                if span == 0 { return self.start; }
+                self.start.wrapping_add((rng.next_u64() as u128 % span) as $t)
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                lo.wrapping_add((rng.next_u64() as u128 % span) as $t)
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident $v:ident $i:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$i.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (S0 v0 0)
+    (S0 v0 0, S1 v1 1)
+    (S0 v0 0, S1 v1 1, S2 v2 2)
+    (S0 v0 0, S1 v1 1, S2 v2 2, S3 v3 3)
+    (S0 v0 0, S1 v1 1, S2 v2 2, S3 v3 3, S4 v4 4)
+    (S0 v0 0, S1 v1 1, S2 v2 2, S3 v3 3, S4 v4 4, S5 v5 5)
+}
+
+/// String strategy from a regex subset: literal chars, `[a-z_0-9]` classes
+/// (with ranges), `\PC` (printable), each optionally followed by `{m}`,
+/// `{m,}`, or `{m,n}`.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for (atom, lo, hi) in atoms {
+            let n = lo + rng.below((hi - lo + 1) as u64) as usize;
+            for _ in 0..n {
+                out.push(atom.pick(rng));
+            }
+        }
+        out
+    }
+}
+
+enum Atom {
+    Class(Vec<char>),
+    Printable,
+}
+
+impl Atom {
+    fn pick(&self, rng: &mut TestRng) -> char {
+        match self {
+            Atom::Class(chars) => chars[rng.below(chars.len() as u64) as usize],
+            Atom::Printable => {
+                // ASCII printable, biased toward letters.
+                let c = 0x20 + rng.below(0x5f) as u32;
+                char::from_u32(c).expect("printable ascii")
+            }
+        }
+    }
+}
+
+fn parse_pattern(pat: &str) -> Vec<(Atom, usize, usize)> {
+    let mut chars = pat.chars().peekable();
+    let mut out: Vec<(Atom, usize, usize)> = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '\\' => match chars.next() {
+                Some('P') => {
+                    // `\PC` — consume the class letter.
+                    chars.next();
+                    Atom::Printable
+                }
+                Some(esc) => Atom::Class(vec![esc]),
+                None => break,
+            },
+            '[' => {
+                let mut set = Vec::new();
+                let mut prev: Option<char> = None;
+                for cc in chars.by_ref() {
+                    match cc {
+                        ']' => break,
+                        '-' => {
+                            prev = Some('-');
+                            continue;
+                        }
+                        _ => {
+                            if prev == Some('-') && !set.is_empty() {
+                                let lo = *set.last().expect("range start") as u32 + 1;
+                                for code in lo..=(cc as u32) {
+                                    if let Some(ch) = char::from_u32(code) {
+                                        set.push(ch);
+                                    }
+                                }
+                            } else {
+                                set.push(cc);
+                            }
+                            prev = Some(cc);
+                        }
+                    }
+                }
+                Atom::Class(set)
+            }
+            lit => Atom::Class(vec![lit]),
+        };
+        // Optional repetition.
+        let (lo, hi) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            for cc in chars.by_ref() {
+                if cc == '}' {
+                    break;
+                }
+                spec.push(cc);
+            }
+            match spec.split_once(',') {
+                Some((a, "")) => {
+                    let lo = a.parse().unwrap_or(0);
+                    (lo, lo + 16)
+                }
+                Some((a, b)) => (a.parse().unwrap_or(0), b.parse().unwrap_or(0)),
+                None => {
+                    let n = spec.parse().unwrap_or(1);
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        out.push((atom, lo, hi.max(lo)));
+    }
+    out
+}
+
+// -- any --------------------------------------------------------------------
+
+pub trait Arbitrary: Debug + Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self { rng.next_u64() as $t }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+// -- collections ------------------------------------------------------------
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::fmt::Debug;
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        lo: usize,
+        hi: usize,
+    }
+
+    pub trait SizeRange {
+        fn bounds(self) -> (usize, usize);
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn bounds(self) -> (usize, usize) {
+            (self.start, self.end.saturating_sub(1))
+        }
+    }
+
+    impl SizeRange for std::ops::RangeInclusive<usize> {
+        fn bounds(self) -> (usize, usize) {
+            self.into_inner()
+        }
+    }
+
+    impl SizeRange for usize {
+        fn bounds(self) -> (usize, usize) {
+            (self, self)
+        }
+    }
+
+    pub fn vec<S: Strategy>(elem: S, size: impl SizeRange) -> VecStrategy<S> {
+        let (lo, hi) = size.bounds();
+        VecStrategy { elem, lo, hi }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Debug,
+    {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.lo + rng.below((self.hi - self.lo + 1) as u64) as usize;
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just, Strategy,
+    };
+}
+
+// -- macros -----------------------------------------------------------------
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union { arms: vec![$($crate::Strategy::boxed($arm)),+] }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($a), stringify!($b), a, b
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        if *a == *b {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($a),
+                stringify!($b),
+                a
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr) $( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg = $cfg;
+                let mut rng = $crate::test_runner::TestRng::deterministic();
+                for case in 0..cfg.cases {
+                    $(let $arg = $crate::Strategy::generate(&$strat, &mut rng);)+
+                    let dbg = format!("{:?}", ($(&$arg),+ ,));
+                    let result = (move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        Ok(())
+                    })();
+                    if let Err(e) = result {
+                        panic!("proptest case {case} failed: {}\ninputs: {}", e.0, dbg);
+                    }
+                }
+            }
+        )*
+    };
+}

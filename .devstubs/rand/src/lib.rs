@@ -1,0 +1,136 @@
+//! Local API-compatible shim (splitmix64-based) for offline builds.
+
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        pub(crate) state: u64,
+    }
+
+    impl super::RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            // splitmix64
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl super::SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            SmallRng {
+                state: seed ^ 0x6A09_E667_F3BC_C909,
+            }
+        }
+    }
+}
+
+/// Types producible by `Rng::gen`.
+pub trait Standard: Sized {
+    fn from_bits(bits: u64) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn from_bits(bits: u64) -> Self { bits as $t }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn from_bits(bits: u64) -> Self {
+        bits & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn from_bits(bits: u64) -> Self {
+        (bits >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Types usable as `gen_range` bounds.
+pub trait SampleUniform: Copy + PartialOrd {
+    fn sample_between(rng_bits: u64, lo: Self, hi_exclusive: Self) -> Self;
+    fn successor(self) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between(bits: u64, lo: Self, hi: Self) -> Self {
+                let span = (hi as i128 - lo as i128) as u128;
+                if span == 0 { return lo; }
+                lo.wrapping_add((bits as u128 % span) as $t)
+            }
+            fn successor(self) -> Self { self + 1 }
+        }
+    )*};
+}
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_between(bits: u64, lo: Self, hi: Self) -> Self {
+        let unit = (bits >> 11) as f64 / (1u64 << 53) as f64;
+        lo + unit * (hi - lo)
+    }
+    fn successor(self) -> Self {
+        self
+    }
+}
+
+pub trait SampleRange<T: SampleUniform> {
+    /// Half-open bounds `[lo, hi)`.
+    fn bounds(self) -> (T, T);
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn bounds(self) -> (T, T) {
+        (self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn bounds(self) -> (T, T) {
+        let (lo, hi) = self.into_inner();
+        (lo, hi.successor())
+    }
+}
+
+pub trait Rng: RngCore {
+    fn gen_range<T: SampleUniform, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        let (lo, hi) = range.bounds();
+        T::sample_between(self.next_u64(), lo, hi)
+    }
+
+    #[allow(clippy::should_implement_trait)]
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_bits(self.next_u64())
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        <f64 as Standard>::from_bits(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}

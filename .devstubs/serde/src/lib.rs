@@ -1,0 +1,9 @@
+//! Local serde shim for offline builds: the workspace only derives
+//! `Serialize`/`Deserialize` (nothing serializes without serde_json), so
+//! the derives are no-ops and the traits are markers.
+
+pub use serde_stub_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+
+pub trait Deserialize<'de>: Sized {}

@@ -344,6 +344,64 @@ fn bench_storage(c: &mut Criterion) {
     g.finish();
 }
 
+/// Streamed vs materialized execute→merge: a cross-shard ORDER BY … LIMIT
+/// where the streamed path pulls O(offset + limit) rows per shard through
+/// bounded channels and cancels the scans once the window is filled, while
+/// the materialized path drains every shard before merging.
+fn bench_streaming(c: &mut Criterion) {
+    let mut g = c.benchmark_group("streaming");
+    g.sample_size(30);
+
+    let mut b = ShardingRuntime::builder();
+    for i in 0..4 {
+        b = b.datasource(&format!("ds_{i}"), StorageEngine::new(format!("ds_{i}")));
+    }
+    let runtime = b.build();
+    let mut session = runtime.session();
+    session
+        .execute_sql(
+            "CREATE SHARDING TABLE RULE t (RESOURCES(ds_0, ds_1, ds_2, ds_3), \
+             SHARDING_COLUMN=id, TYPE=mod, PROPERTIES(\"sharding-count\"=4))",
+            &[],
+        )
+        .unwrap();
+    session
+        .execute_sql("CREATE TABLE t (id BIGINT PRIMARY KEY, v INT)", &[])
+        .unwrap();
+    for i in 0..8_000i64 {
+        session
+            .execute_sql(
+                "INSERT INTO t (id, v) VALUES (?, ?)",
+                &[Value::Int(i), Value::Int(i % 100)],
+            )
+            .unwrap();
+    }
+    let sql = "SELECT id, v FROM t ORDER BY id DESC LIMIT 10";
+
+    g.bench_function("orderby_limit_materialized", |b| {
+        b.iter(|| session.execute_sql(sql, &[]).unwrap())
+    });
+    g.bench_function("orderby_limit_streamed", |b| {
+        b.iter(|| {
+            let stream = session.query_stream(sql, &[]).unwrap();
+            stream.collect::<Result<Vec<_>, _>>().unwrap()
+        })
+    });
+    // Full-table drain through both paths: measures the per-row overhead of
+    // the channel hop when no early termination is possible.
+    let scan = "SELECT id, v FROM t ORDER BY id";
+    g.bench_function("orderby_scan_materialized", |b| {
+        b.iter(|| session.execute_sql(scan, &[]).unwrap())
+    });
+    g.bench_function("orderby_scan_streamed", |b| {
+        b.iter(|| {
+            let stream = session.query_stream(scan, &[]).unwrap();
+            stream.collect::<Result<Vec<_>, _>>().unwrap()
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_parse,
@@ -352,6 +410,7 @@ criterion_group!(
     bench_pool,
     bench_end_to_end,
     bench_plan_cache,
-    bench_storage
+    bench_storage,
+    bench_streaming
 );
 criterion_main!(benches);

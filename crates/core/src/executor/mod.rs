@@ -13,8 +13,10 @@
 //! and connections; within one connection the chunk runs serially.
 
 mod pool;
+pub mod stream;
 
 pub use pool::WorkerPool;
+pub use stream::{CancelToken, RowStream, StreamedQuery};
 
 use crate::datasource::DataSource;
 use crate::error::{KernelError, Result};
@@ -22,8 +24,20 @@ use crate::route::RouteUnit;
 use shard_sql::{Statement, Value};
 use shard_storage::{ExecuteResult, TxnId};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
+
+/// Share parameters across execution units without re-allocating: the empty
+/// case (the overwhelmingly common one for routed DML/DQL after rewrite)
+/// reuses one static allocation.
+pub fn shared_params(params: &[Value]) -> Arc<[Value]> {
+    static EMPTY: OnceLock<Arc<[Value]>> = OnceLock::new();
+    if params.is_empty() {
+        Arc::clone(EMPTY.get_or_init(|| Arc::from([])))
+    } else {
+        Arc::from(params)
+    }
+}
 
 /// Connection mode decided per data source per query (paper §VI-D).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -104,7 +118,7 @@ impl ExecutorEngine {
         &self,
         datasources: &HashMap<String, Arc<DataSource>>,
         inputs: Vec<ExecutionInput>,
-        params: &[Value],
+        params: Arc<[Value]>,
         txns: Option<&HashMap<String, TxnId>>,
     ) -> Result<(Vec<ExecuteResult>, ExecutionReport)> {
         if inputs.is_empty() {
@@ -218,7 +232,7 @@ impl ExecutorEngine {
         if planned.len() == 1 {
             let unit = planned.pop().expect("len checked");
             for (idx, stmt) in &unit.chunk {
-                match exec_one(&unit.ds, stmt, params, unit.txn) {
+                match exec_one(&unit.ds, stmt, &params, unit.txn) {
                     Ok(r) => results[*idx] = Some(r),
                     Err(e) => return Err(e),
                 }
@@ -230,25 +244,32 @@ impl ExecutorEngine {
                 .ok_or_else(|| KernelError::Execute("missing execution result".into()));
         }
 
-        // Parallel path: one pool job per execution unit.
+        // Parallel path: one pool job per execution unit. A shared token
+        // cancels sibling units as soon as any unit errors, instead of
+        // letting them run their chunks to completion.
         enum Outcome {
             Row(usize, ExecuteResult),
             Err(KernelError),
             Done,
         }
         let (tx, rx) = crossbeam::channel::unbounded::<Outcome>();
-        let shared_params: Arc<Vec<Value>> = Arc::new(params.to_vec());
+        let cancel = CancelToken::new();
         let job_count = planned.len();
         for unit in planned {
             let tx = tx.clone();
-            let params = Arc::clone(&shared_params);
+            let params = Arc::clone(&params);
+            let cancel = cancel.clone();
             WorkerPool::global().submit(move || {
                 for (idx, stmt) in &unit.chunk {
+                    if cancel.is_cancelled() {
+                        break;
+                    }
                     match exec_one(&unit.ds, stmt, &params, unit.txn) {
                         Ok(r) => {
                             let _ = tx.send(Outcome::Row(*idx, r));
                         }
                         Err(e) => {
+                            cancel.cancel();
                             let _ = tx.send(Outcome::Err(e));
                             break;
                         }
@@ -342,7 +363,9 @@ mod tests {
             input("ds_0", "SELECT * FROM t_0"),
             input("ds_0", "SELECT * FROM t_1"),
         ];
-        let (results, report) = engine.execute(&sources, inputs, &[], None).unwrap();
+        let (results, report) = engine
+            .execute(&sources, inputs, shared_params(&[]), None)
+            .unwrap();
         assert_eq!(results.len(), 2);
         assert_eq!(report.groups[0].1, ConnectionMode::MemoryStrictly);
         assert_eq!(report.groups[0].3, 2); // one connection per SQL
@@ -355,7 +378,9 @@ mod tests {
         let inputs = (0..6)
             .map(|i| input("ds_0", &format!("SELECT * FROM t_{}", i % 2)))
             .collect();
-        let (results, report) = engine.execute(&sources, inputs, &[], None).unwrap();
+        let (results, report) = engine
+            .execute(&sources, inputs, shared_params(&[]), None)
+            .unwrap();
         assert_eq!(results.len(), 6);
         assert_eq!(report.groups[0].1, ConnectionMode::ConnectionStrictly);
         assert_eq!(report.groups[0].3, 2); // capped at MaxCon
@@ -371,7 +396,9 @@ mod tests {
             input("ds_1", "SELECT v FROM t_1"),
             input("ds_0", "SELECT v FROM t_1"),
         ];
-        let (results, _) = engine.execute(&sources, inputs, &[], None).unwrap();
+        let (results, _) = engine
+            .execute(&sources, inputs, shared_params(&[]), None)
+            .unwrap();
         assert_eq!(results[0].clone().query().rows[0][0], Value::Int(10));
         assert_eq!(results[1].clone().query().rows[0][0], Value::Int(20));
         assert_eq!(results[2].clone().query().rows[0][0], Value::Int(20));
@@ -382,7 +409,12 @@ mod tests {
         let sources = setup(1, 4);
         let engine = ExecutorEngine::new(4);
         let err = engine
-            .execute(&sources, vec![input("ds_9", "SELECT 1")], &[], None)
+            .execute(
+                &sources,
+                vec![input("ds_9", "SELECT 1")],
+                shared_params(&[]),
+                None,
+            )
             .unwrap_err();
         assert!(matches!(err, KernelError::Execute(_)));
     }
@@ -395,7 +427,7 @@ mod tests {
             .execute(
                 &sources,
                 vec![input("ds_0", "SELECT * FROM missing_table")],
-                &[],
+                shared_params(&[]),
                 None,
             )
             .unwrap_err();
@@ -413,7 +445,9 @@ mod tests {
             input("ds_0", "INSERT INTO t_0 VALUES (100, 1)"),
             input("ds_0", "UPDATE t_0 SET v = 2 WHERE id = 100"),
         ];
-        let (results, report) = engine.execute(&sources, inputs, &[], Some(&txns)).unwrap();
+        let (results, report) = engine
+            .execute(&sources, inputs, shared_params(&[]), Some(&txns))
+            .unwrap();
         assert_eq!(results[1].affected(), 1);
         assert_eq!(report.groups[0].3, 1); // single transactional connection
         sources["ds_0"].engine().rollback(txn).unwrap();
@@ -448,7 +482,9 @@ mod tests {
             .map(|i| input(&format!("ds_{i}"), "SELECT * FROM t_0"))
             .collect();
         let start = Instant::now();
-        engine.execute(&map, inputs, &[], None).unwrap();
+        engine
+            .execute(&map, inputs, shared_params(&[]), None)
+            .unwrap();
         let elapsed = start.elapsed();
         assert!(
             elapsed < Duration::from_millis(70),

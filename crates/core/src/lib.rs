@@ -23,5 +23,5 @@ pub mod runtime;
 pub mod transaction;
 
 pub use error::{KernelError, Result};
-pub use runtime::{RuntimeBuilder, Session, ShardingRuntime};
+pub use runtime::{QueryStream, RuntimeBuilder, Session, ShardingRuntime, StreamOutcome};
 pub use transaction::TransactionType;

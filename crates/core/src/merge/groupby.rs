@@ -50,7 +50,7 @@ impl AggPositions {
 /// A column may be referenced by several specs (e.g. `SELECT SUM(v), AVG(v)`
 /// reuses the projected SUM as AVG's derived sum) — each result column must
 /// be combined exactly once.
-fn combine_row(dst: &mut [Value], src: &[Value], aggs: &[AggPositions]) {
+pub(crate) fn combine_row(dst: &mut [Value], src: &[Value], aggs: &[AggPositions]) {
     let mut combined: Vec<usize> = Vec::with_capacity(aggs.len() * 2);
     let mut once = |pos: usize, kind: AggKind, dst: &mut [Value]| {
         if !combined.contains(&pos) {
@@ -68,7 +68,7 @@ fn combine_row(dst: &mut [Value], src: &[Value], aggs: &[AggPositions]) {
 }
 
 /// Recompute every AVG column from its merged SUM/COUNT.
-fn finish_row(row: &mut [Value], aggs: &[AggPositions]) {
+pub(crate) fn finish_row(row: &mut [Value], aggs: &[AggPositions]) {
     for a in aggs {
         if a.kind == AggKind::Avg {
             if let (Some(s), Some(c)) = (a.sum_position, a.count_position) {

@@ -8,9 +8,11 @@
 pub mod accumulate;
 pub mod groupby;
 pub mod orderby;
+pub mod stream;
 
 pub use groupby::AggPositions;
 pub use orderby::{OrderByStreamMerger, SortKey};
+pub use stream::{merge_stream, MergedStream};
 
 use crate::error::{KernelError, Result};
 use crate::rewrite::DerivedInfo;
@@ -129,7 +131,7 @@ pub fn merge_explain(
     Ok((rs, kind))
 }
 
-fn resolve_sort_keys(info: &DerivedInfo, shape: &ResultSet) -> Result<Vec<SortKey>> {
+pub(crate) fn resolve_sort_keys(info: &DerivedInfo, shape: &ResultSet) -> Result<Vec<SortKey>> {
     info.order_by
         .iter()
         .map(|k| {

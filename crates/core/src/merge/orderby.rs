@@ -1,11 +1,18 @@
 //! Order-by stream merger: k-way merge of per-shard sorted streams using a
 //! priority queue (the paper §VI-E: "we resort to a priority queue" /
 //! multiway merge).
+//!
+//! The merger is generic over its source cursors so the same priority-queue
+//! core drives both the materialized path (`ResultCursor` over buffered
+//! shard results) and the streaming path (live per-shard row channels). Sort
+//! keys are shared via `Arc`, keeping the merger `Send` so merging can run
+//! off the session thread.
 
 use shard_sql::Value;
 use shard_storage::{ResultCursor, ResultSet};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 /// Comparison spec: (column position, descending).
 #[derive(Debug, Clone)]
@@ -28,7 +35,7 @@ pub fn compare_rows(a: &[Value], b: &[Value], keys: &[SortKey]) -> Ordering {
 struct HeapEntry {
     row: Vec<Value>,
     source: usize,
-    keys: std::rc::Rc<Vec<SortKey>>,
+    keys: Arc<Vec<SortKey>>,
 }
 
 impl PartialEq for HeapEntry {
@@ -53,24 +60,39 @@ impl Ord for HeapEntry {
 }
 
 /// Streaming k-way merge over per-source sorted cursors.
-pub struct OrderByStreamMerger {
-    cursors: Vec<ResultCursor>,
+pub struct OrderByStreamMerger<C = ResultCursor>
+where
+    C: Iterator<Item = Vec<Value>>,
+{
+    cursors: Vec<C>,
     heap: BinaryHeap<HeapEntry>,
-    keys: std::rc::Rc<Vec<SortKey>>,
+    keys: Arc<Vec<SortKey>>,
 }
 
-impl OrderByStreamMerger {
+impl OrderByStreamMerger<ResultCursor> {
     pub fn new(results: Vec<ResultSet>, keys: Vec<SortKey>) -> Self {
-        let keys = std::rc::Rc::new(keys);
-        let mut cursors: Vec<ResultCursor> =
-            results.into_iter().map(ResultSet::into_cursor).collect();
+        Self::from_cursors(
+            results.into_iter().map(ResultSet::into_cursor).collect(),
+            keys,
+        )
+    }
+}
+
+impl<C> OrderByStreamMerger<C>
+where
+    C: Iterator<Item = Vec<Value>>,
+{
+    /// Build the merger over arbitrary row cursors. Each cursor must yield
+    /// rows already sorted by `keys`.
+    pub fn from_cursors(mut cursors: Vec<C>, keys: Vec<SortKey>) -> Self {
+        let keys = Arc::new(keys);
         let mut heap = BinaryHeap::with_capacity(cursors.len());
         for (i, c) in cursors.iter_mut().enumerate() {
-            if let Some(row) = c.next_row() {
+            if let Some(row) = c.next() {
                 heap.push(HeapEntry {
                     row,
                     source: i,
-                    keys: std::rc::Rc::clone(&keys),
+                    keys: Arc::clone(&keys),
                 });
             }
         }
@@ -82,16 +104,19 @@ impl OrderByStreamMerger {
     }
 }
 
-impl Iterator for OrderByStreamMerger {
+impl<C> Iterator for OrderByStreamMerger<C>
+where
+    C: Iterator<Item = Vec<Value>>,
+{
     type Item = Vec<Value>;
 
     fn next(&mut self) -> Option<Vec<Value>> {
         let entry = self.heap.pop()?;
-        if let Some(row) = self.cursors[entry.source].next_row() {
+        if let Some(row) = self.cursors[entry.source].next() {
             self.heap.push(HeapEntry {
                 row,
                 source: entry.source,
-                keys: std::rc::Rc::clone(&self.keys),
+                keys: Arc::clone(&self.keys),
             });
         }
         Some(entry.row)
@@ -208,5 +233,18 @@ mod tests {
         );
         let names: Vec<String> = merger.map(|r| r[0].to_string()).collect();
         assert_eq!(names, vec!["jerry", "jerry", "lily", "tom", "tom", "tom"]);
+    }
+
+    #[test]
+    fn merger_is_send() {
+        fn assert_send<T: Send>(_: &T) {}
+        let merger = OrderByStreamMerger::new(
+            vec![rs(&[1])],
+            vec![SortKey {
+                position: 0,
+                desc: false,
+            }],
+        );
+        assert_send(&merger);
     }
 }

@@ -1,0 +1,392 @@
+//! Streaming merge: drives the §VI-E mergers directly off live shard row
+//! streams instead of buffered `ResultSet`s.
+//!
+//! Strategy selection mirrors [`merge_explain`](super::merge_explain)
+//! exactly — pass-through, iteration, priority-queue order-by merge, stream
+//! group merge — except that the sorted strategies consume
+//! [`RowStream`]s as they arrive, so merging starts with the first shard
+//! row. Memory-bound strategies (single-group and hash group merge) still
+//! materialize, because they cannot emit anything before every shard
+//! finishes.
+//!
+//! The merged stream re-applies the original `LIMIT offset, n` window. Once
+//! the window is filled it drops its sources (closing every bounded shard
+//! channel) and fires the shared [`CancelToken`], stopping in-flight shard
+//! scans early. Shard errors surface through a shared slot: the adapters
+//! feeding the merger cannot carry a `Result` per row, so the first error is
+//! parked, the token is fired, and the next pull from [`MergedStream`]
+//! reports it.
+
+use crate::error::{KernelError, Result};
+use crate::executor::{CancelToken, RowStream};
+use crate::merge::groupby::{self, AggPositions};
+use crate::merge::orderby::OrderByStreamMerger;
+use crate::merge::{resolve_sort_keys, MergerKind};
+use crate::rewrite::DerivedInfo;
+use parking_lot::Mutex;
+use shard_sql::{Expr, Value};
+use shard_storage::eval::{eval_predicate, EvalContext, Scope};
+use shard_storage::ResultSet;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+type ErrorSlot = Arc<Mutex<Option<KernelError>>>;
+
+/// Adapts one shard's [`RowStream`] to the plain-row iterator the mergers
+/// expect: the first error is parked in the shared slot (and cancels the
+/// siblings), then the stream reports exhaustion.
+struct SourceAdapter {
+    stream: RowStream,
+    error: ErrorSlot,
+    cancel: CancelToken,
+}
+
+impl Iterator for SourceAdapter {
+    type Item = Vec<Value>;
+
+    fn next(&mut self) -> Option<Vec<Value>> {
+        match self.stream.next_row() {
+            Some(Ok(row)) => Some(row),
+            Some(Err(e)) => {
+                self.cancel.cancel();
+                let mut slot = self.error.lock();
+                if slot.is_none() {
+                    *slot = Some(e);
+                }
+                None
+            }
+            None => None,
+        }
+    }
+}
+
+/// Stream group merge as an iterator: adjacent merged rows with equal group
+/// keys combine in O(1) state; a group is emitted when the next group key
+/// arrives (or at end of input).
+struct GroupStreamIter {
+    merger: OrderByStreamMerger<SourceAdapter>,
+    group_positions: Vec<usize>,
+    aggs: Vec<AggPositions>,
+    current: Option<Vec<Value>>,
+}
+
+impl Iterator for GroupStreamIter {
+    type Item = Vec<Value>;
+
+    fn next(&mut self) -> Option<Vec<Value>> {
+        loop {
+            let Some(row) = self.merger.next() else {
+                let mut last = self.current.take()?;
+                groupby::finish_row(&mut last, &self.aggs);
+                return Some(last);
+            };
+            match &mut self.current {
+                Some(cur)
+                    if self
+                        .group_positions
+                        .iter()
+                        .all(|&p| cur[p].total_cmp(&row[p]) == std::cmp::Ordering::Equal) =>
+                {
+                    groupby::combine_row(cur, &row, &self.aggs);
+                }
+                _ => {
+                    if let Some(mut done) = self.current.replace(row) {
+                        groupby::finish_row(&mut done, &self.aggs);
+                        return Some(done);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Per-row HAVING decorator (merged groups only), mirroring the
+/// materialized `apply_having`.
+struct HavingFilter {
+    expr: Expr,
+    scope: Scope,
+    agg_positions: Vec<(String, usize)>,
+}
+
+impl HavingFilter {
+    fn keep(&self, row: &[Value]) -> Result<bool> {
+        let aggs: HashMap<String, Value> = self
+            .agg_positions
+            .iter()
+            .map(|(text, p)| (text.clone(), row[*p].clone()))
+            .collect();
+        let mut ctx = EvalContext::new(&self.scope, row, &[]);
+        ctx.aggregates = Some(&aggs);
+        eval_predicate(&self.expr, &ctx)
+            .map_err(|e| KernelError::Merge(format!("HAVING evaluation failed: {e}")))
+    }
+}
+
+/// The merged, decorated output stream of one query.
+pub struct MergedStream {
+    columns: Vec<String>,
+    kind: MergerKind,
+    inner: Option<Box<dyn Iterator<Item = Vec<Value>> + Send>>,
+    error: ErrorSlot,
+    cancel: CancelToken,
+    distinct: Option<HashSet<Vec<Value>>>,
+    having: Option<HavingFilter>,
+    offset_left: u64,
+    limit_left: Option<u64>,
+    /// Result width after stripping derived columns (`usize::MAX` = keep all).
+    keep: usize,
+}
+
+impl MergedStream {
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    pub fn kind(&self) -> MergerKind {
+        self.kind
+    }
+
+    /// Pull the next merged row. The first shard error is terminal; once the
+    /// LIMIT window is filled the sources are dropped and the shared token
+    /// cancels every in-flight shard scan.
+    pub fn next_row(&mut self) -> Result<Option<Vec<Value>>> {
+        loop {
+            if let Some(e) = self.error.lock().take() {
+                self.inner = None;
+                return Err(e);
+            }
+            if self.limit_left == Some(0) {
+                if self.inner.take().is_some() {
+                    self.cancel.cancel();
+                }
+                return Ok(None);
+            }
+            let Some(inner) = self.inner.as_mut() else {
+                return Ok(None);
+            };
+            let Some(mut row) = inner.next() else {
+                // The sources may have parked an error while draining.
+                self.inner = None;
+                if let Some(e) = self.error.lock().take() {
+                    return Err(e);
+                }
+                return Ok(None);
+            };
+            if let Some(seen) = &mut self.distinct {
+                if !seen.insert(row.clone()) {
+                    continue;
+                }
+            }
+            if let Some(h) = &self.having {
+                if !h.keep(&row)? {
+                    continue;
+                }
+            }
+            if self.offset_left > 0 {
+                self.offset_left -= 1;
+                continue;
+            }
+            if let Some(left) = &mut self.limit_left {
+                *left -= 1;
+                if *left == 0 {
+                    // Final row of the window: stop shard scans now.
+                    self.inner = None;
+                    self.cancel.cancel();
+                }
+            }
+            row.truncate(self.keep);
+            return Ok(Some(row));
+        }
+    }
+
+    /// Drain into a materialized result set.
+    pub fn into_result_set(mut self) -> Result<ResultSet> {
+        let mut rows = Vec::new();
+        while let Some(row) = self.next_row()? {
+            rows.push(row);
+        }
+        Ok(ResultSet::new(std::mem::take(&mut self.columns), rows))
+    }
+}
+
+impl Iterator for MergedStream {
+    type Item = Result<Vec<Value>>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_row().transpose()
+    }
+}
+
+impl Drop for MergedStream {
+    fn drop(&mut self) {
+        // An abandoned stream must not leave shard scans running.
+        if self.inner.take().is_some() {
+            self.cancel.cancel();
+        }
+    }
+}
+
+/// Build the merged stream for live shard streams, using the same strategy
+/// selection as the materialized [`merge_explain`](super::merge_explain).
+pub fn merge_stream(
+    streams: Vec<RowStream>,
+    info: &DerivedInfo,
+    cancel: CancelToken,
+) -> Result<MergedStream> {
+    let error: ErrorSlot = Arc::new(Mutex::new(None));
+    if streams.is_empty() {
+        return Ok(MergedStream {
+            columns: Vec::new(),
+            kind: MergerKind::PassThrough,
+            inner: None,
+            error,
+            cancel,
+            distinct: None,
+            having: None,
+            offset_left: 0,
+            limit_left: None,
+            keep: usize::MAX,
+        });
+    }
+
+    // Shards that return nothing still define the column shape.
+    let columns = streams
+        .iter()
+        .map(|s| s.columns().to_vec())
+        .max_by_key(|c| c.len())
+        .expect("non-empty streams");
+    let shape = ResultSet::new(columns.clone(), Vec::new());
+    let keep = if info.derived_columns == 0 {
+        usize::MAX
+    } else {
+        columns.len().saturating_sub(info.derived_columns)
+    };
+    let stripped_columns: Vec<String> = match keep {
+        usize::MAX => columns.clone(),
+        k => columns.iter().take(k).cloned().collect(),
+    };
+
+    let mut adapters: Vec<SourceAdapter> = streams
+        .into_iter()
+        .map(|stream| SourceAdapter {
+            stream,
+            error: Arc::clone(&error),
+            cancel: cancel.clone(),
+        })
+        .collect();
+
+    // Single-shard SELECT: the shard already ordered AND paginated it (the
+    // single-node optimization), so no decorator may run here.
+    if adapters.len() == 1 && !info.is_grouped() {
+        let adapter = adapters.pop().expect("one adapter");
+        return Ok(MergedStream {
+            columns: stripped_columns,
+            kind: MergerKind::PassThrough,
+            inner: Some(Box::new(adapter)),
+            error,
+            cancel,
+            distinct: None,
+            having: None,
+            offset_left: 0,
+            limit_left: None,
+            keep,
+        });
+    }
+
+    let (inner, kind): (Box<dyn Iterator<Item = Vec<Value>> + Send>, MergerKind) =
+        if info.is_grouped() {
+            let aggs = AggPositions::resolve(&info.aggregates, &shape).ok_or_else(|| {
+                KernelError::Merge("aggregate columns missing from shard results".into())
+            })?;
+            if info.group_by.is_empty() {
+                let results = drain_adapters(adapters, &error)?;
+                let rows = groupby::single_group_merge(results, &aggs);
+                (Box::new(rows.into_iter()), MergerKind::SingleGroup)
+            } else {
+                let group_positions: Option<Vec<usize>> = info
+                    .group_by
+                    .iter()
+                    .map(|c| shape.column_index(c))
+                    .collect();
+                let group_positions = group_positions.ok_or_else(|| {
+                    KernelError::Merge("group-by columns missing from shard results".into())
+                })?;
+                let sort_keys = resolve_sort_keys(info, &shape)?;
+                if info.group_streamable {
+                    let merger = OrderByStreamMerger::from_cursors(adapters, sort_keys);
+                    (
+                        Box::new(GroupStreamIter {
+                            merger,
+                            group_positions,
+                            aggs,
+                            current: None,
+                        }),
+                        MergerKind::GroupByStream,
+                    )
+                } else {
+                    let results = drain_adapters(adapters, &error)?;
+                    let rows =
+                        groupby::group_memory_merge(results, &sort_keys, &group_positions, &aggs);
+                    (Box::new(rows.into_iter()), MergerKind::GroupByMemory)
+                }
+            }
+        } else if !info.order_by.is_empty() {
+            let sort_keys = resolve_sort_keys(info, &shape)?;
+            (
+                Box::new(OrderByStreamMerger::from_cursors(adapters, sort_keys)),
+                MergerKind::OrderByStream,
+            )
+        } else {
+            (
+                Box::new(adapters.into_iter().flatten()),
+                MergerKind::Iteration,
+            )
+        };
+
+    // HAVING evaluates over the full (pre-strip) column shape, like the
+    // materialized decorator which filters before `strip_derived`.
+    let having = info.having.as_ref().map(|expr| HavingFilter {
+        expr: expr.clone(),
+        scope: Scope::from_columns(&columns),
+        agg_positions: info
+            .aggregates
+            .iter()
+            .filter_map(|a| {
+                shape
+                    .column_index(&a.column)
+                    .map(|p| (a.call_text.clone(), p))
+            })
+            .collect(),
+    });
+    let (offset_left, limit_left) = match info.limit {
+        Some((offset, limit)) => (offset, limit),
+        None => (0, None),
+    };
+
+    Ok(MergedStream {
+        columns: stripped_columns,
+        kind,
+        inner: Some(inner),
+        error,
+        cancel,
+        distinct: info.distinct.then(HashSet::new),
+        having,
+        offset_left,
+        limit_left,
+        keep,
+    })
+}
+
+/// Materialize every adapter (memory-merge strategies). A parked shard error
+/// aborts the merge immediately.
+fn drain_adapters(adapters: Vec<SourceAdapter>, error: &ErrorSlot) -> Result<Vec<ResultSet>> {
+    let mut results = Vec::with_capacity(adapters.len());
+    for adapter in adapters {
+        let rows: Vec<Vec<Value>> = adapter.collect();
+        if let Some(e) = error.lock().take() {
+            return Err(e);
+        }
+        results.push(ResultSet::new(Vec::new(), rows));
+    }
+    Ok(results)
+}

@@ -11,14 +11,14 @@ use crate::cache::{build_plan, execute_sharded_plan, CachedPlan, PlanKind, SqlPl
 use crate::config::ShardingRule;
 use crate::datasource::DataSource;
 use crate::error::{KernelError, Result};
-use crate::executor::{ExecutionInput, ExecutionReport, ExecutorEngine};
+use crate::executor::{shared_params, ExecutionInput, ExecutionReport, ExecutorEngine};
 use crate::feature::{
     EncryptRule, HintManager, KeyGenerator, ReadWriteSplitRule, ShadowRule, SnowflakeGenerator,
 };
 use crate::governor::ConfigRegistry;
-use crate::merge::{merge_explain, MergerKind};
+use crate::merge::{merge_explain, merge_stream, MergedStream, MergerKind};
 use crate::metadata::LogicalSchemas;
-use crate::rewrite::{rewrite_for_unit, rewrite_statement};
+use crate::rewrite::{rewrite_for_unit, rewrite_statement, DerivedInfo};
 use crate::route::{RouteEngine, RouteResult};
 use crate::transaction::xa::two_phase_commit;
 use crate::transaction::{base, TransactionCoordinator, TransactionType, XaLog, XaRecoveryManager};
@@ -327,6 +327,107 @@ struct SessionTxn {
     branches: HashMap<String, (Arc<StorageEngine>, TxnId)>,
 }
 
+/// A data statement after planning (steps 1–7): either resolved without
+/// touching shards, or ready to fan out.
+enum DataPlan {
+    Immediate(ExecuteResult),
+    Execute(Box<PlannedExecution>),
+}
+
+/// Everything the execute + merge stages need, detached from the planning
+/// borrows so the streaming path can hold it across row pulls.
+struct PlannedExecution {
+    inputs: Vec<ExecutionInput>,
+    info: DerivedInfo,
+    txn_bindings: Option<HashMap<String, TxnId>>,
+    params: Arc<[Value]>,
+    is_query: bool,
+    tables: Vec<String>,
+}
+
+/// Incremental row cursor over a query's merged output.
+///
+/// On the streaming path rows are pulled from live shard channels through
+/// the merge engine; dropping the stream (or exhausting its LIMIT window)
+/// cancels in-flight shard scans. Queries that cannot stream (transactions,
+/// encryption, memory-bound merge strategies, oversized fan-out) are served
+/// from a buffered result set behind the same interface.
+pub struct QueryStream {
+    columns: Vec<String>,
+    inner: QueryStreamInner,
+}
+
+enum QueryStreamInner {
+    Streamed(Box<MergedStream>),
+    Materialized(std::vec::IntoIter<Vec<Value>>),
+}
+
+impl QueryStream {
+    fn streamed(merged: MergedStream) -> Self {
+        QueryStream {
+            columns: merged.columns().to_vec(),
+            inner: QueryStreamInner::Streamed(Box::new(merged)),
+        }
+    }
+
+    /// Wrap an already-buffered result set.
+    pub fn materialized(rs: ResultSet) -> Self {
+        QueryStream {
+            columns: rs.columns,
+            inner: QueryStreamInner::Materialized(rs.rows.into_iter()),
+        }
+    }
+
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// True when rows are still being pulled from live shard cursors.
+    pub fn is_streaming(&self) -> bool {
+        matches!(self.inner, QueryStreamInner::Streamed(_))
+    }
+
+    /// Pull the next merged row; `None` ends the stream.
+    pub fn next_row(&mut self) -> Result<Option<Vec<Value>>> {
+        match &mut self.inner {
+            QueryStreamInner::Streamed(m) => m.next_row(),
+            QueryStreamInner::Materialized(it) => Ok(it.next()),
+        }
+    }
+
+    /// Drain the remaining rows into a buffered result set.
+    pub fn into_result_set(mut self) -> Result<ResultSet> {
+        let mut rows = Vec::new();
+        while let Some(row) = self.next_row()? {
+            rows.push(row);
+        }
+        Ok(ResultSet::new(self.columns, rows))
+    }
+}
+
+impl Iterator for QueryStream {
+    type Item = Result<Vec<Value>>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_row().transpose()
+    }
+}
+
+/// What a statement produced on the streaming entry point.
+pub enum StreamOutcome {
+    Rows(QueryStream),
+    Update { affected: u64 },
+}
+
+impl StreamOutcome {
+    fn from_result(result: ExecuteResult) -> Self {
+        match result {
+            ExecuteResult::Query(rs) => StreamOutcome::Rows(QueryStream::materialized(rs)),
+            ExecuteResult::Update { affected } => StreamOutcome::Update { affected },
+        }
+    }
+}
+
 /// One application connection: executes SQL, owns transaction state and
 /// session variables.
 pub struct Session {
@@ -410,6 +511,61 @@ impl Session {
                 )))
             }
             _ => self.execute_data_statement(stmt, params),
+        }
+    }
+
+    /// Parse and execute one SQL statement, returning rows incrementally
+    /// when the statement qualifies for the streaming pipeline.
+    pub fn execute_sql_stream(&mut self, sql: &str, params: &[Value]) -> Result<StreamOutcome> {
+        let stmt = self.runtime.plan_cache.parse(sql)?;
+        self.execute_stream(&stmt, params)
+    }
+
+    /// Parse and run a query, returning its incremental row cursor. Errors
+    /// if the statement does not produce rows.
+    pub fn query_stream(&mut self, sql: &str, params: &[Value]) -> Result<QueryStream> {
+        match self.execute_sql_stream(sql, params)? {
+            StreamOutcome::Rows(stream) => Ok(stream),
+            StreamOutcome::Update { .. } => Err(KernelError::Execute(
+                "statement did not produce a result set".into(),
+            )),
+        }
+    }
+
+    /// Execute a parsed statement on the streaming pipeline when possible.
+    ///
+    /// A SELECT streams when no transaction is open, no encrypt rule needs
+    /// to rewrite result columns, and the executor admits the fan-out
+    /// ([`ExecutorEngine::can_stream`]). Everything else takes the
+    /// materialized path and is wrapped behind the same cursor interface.
+    pub fn execute_stream(&mut self, stmt: &Statement, params: &[Value]) -> Result<StreamOutcome> {
+        let streamable_shape = matches!(stmt, Statement::Select(_))
+            && self.txn.is_none()
+            && self.runtime.encrypt.read().is_empty();
+        if !streamable_shape {
+            return Ok(StreamOutcome::from_result(self.execute(stmt, params)?));
+        }
+        match self.plan_data_statement(stmt, params)? {
+            DataPlan::Immediate(result) => Ok(StreamOutcome::from_result(result)),
+            DataPlan::Execute(plan) => {
+                if !self
+                    .runtime
+                    .executor
+                    .can_stream(&plan.inputs, plan.txn_bindings.as_ref())
+                {
+                    return Ok(StreamOutcome::from_result(self.run_materialized(*plan)?));
+                }
+                let datasources = self.runtime.datasource_snapshot();
+                let streamed = self.runtime.executor.execute_query_stream(
+                    &datasources,
+                    plan.inputs,
+                    plan.params,
+                )?;
+                self.last_report = Some(streamed.report);
+                let merged = merge_stream(streamed.streams, &plan.info, streamed.cancel)?;
+                self.last_merger = Some(merged.kind());
+                Ok(StreamOutcome::Rows(QueryStream::streamed(merged)))
+            }
         }
     }
 
@@ -540,6 +696,15 @@ impl Session {
         stmt: &Statement,
         params: &[Value],
     ) -> Result<ExecuteResult> {
+        match self.plan_data_statement(stmt, params)? {
+            DataPlan::Immediate(result) => Ok(result),
+            DataPlan::Execute(plan) => self.run_materialized(*plan),
+        }
+    }
+
+    /// Steps 1–7 of the pipeline (features, route, rewrite, transaction
+    /// binding) — shared by the materialized and streaming execution paths.
+    fn plan_data_statement(&mut self, stmt: &Statement, params: &[Value]) -> Result<DataPlan> {
         // Traffic governance: the throttle admits or rejects up front.
         if let Some(throttle) = &*self.runtime.throttle.read() {
             if !throttle.acquire(std::time::Duration::from_millis(50)) {
@@ -661,11 +826,11 @@ impl Session {
         if route.units.is_empty() {
             // Contradictory conditions: empty result without touching shards.
             self.last_merger = Some(MergerKind::PassThrough);
-            return Ok(if is_query {
+            return Ok(DataPlan::Immediate(if is_query {
                 ExecuteResult::Query(ResultSet::empty())
             } else {
                 ExecuteResult::Update { affected: 0 }
-            });
+            }));
         }
 
         // 6. Rewrite: derive once, then per unit.
@@ -681,26 +846,41 @@ impl Session {
         // 7. Transactions: bind branches / capture BASE compensation.
         let txn_bindings = self.prepare_transaction_branches(&route, &inputs, params)?;
 
+        Ok(DataPlan::Execute(Box::new(PlannedExecution {
+            inputs,
+            info: rewrite.info,
+            txn_bindings,
+            params: shared_params(params),
+            is_query,
+            tables,
+        })))
+    }
+
+    /// Steps 8–10 on the materialized path: fan out, buffer every shard
+    /// result, merge, decrypt.
+    fn run_materialized(&mut self, plan: PlannedExecution) -> Result<ExecuteResult> {
         // 8. Execute on the runtime's long-lived engine against an Arc
         // snapshot of the topology (no per-statement map clone).
         let datasources = self.runtime.datasource_snapshot();
-        let (results, report) =
-            self.runtime
-                .executor
-                .execute(&datasources, inputs, params, txn_bindings.as_ref())?;
+        let (results, report) = self.runtime.executor.execute(
+            &datasources,
+            plan.inputs,
+            plan.params,
+            plan.txn_bindings.as_ref(),
+        )?;
         self.last_report = Some(report);
 
         // 9. Merge.
-        if is_query {
+        if plan.is_query {
             let shard_results: Vec<ResultSet> =
                 results.into_iter().map(ExecuteResult::query).collect();
-            let (mut merged, kind) = merge_explain(shard_results, &rewrite.info)?;
+            let (mut merged, kind) = merge_explain(shard_results, &plan.info)?;
             self.last_merger = Some(kind);
             // 10. Feature: decrypt result columns.
             self.runtime
                 .encrypt
                 .read()
-                .decrypt_result(&mut merged, &tables);
+                .decrypt_result(&mut merged, &plan.tables);
             Ok(ExecuteResult::Query(merged))
         } else {
             self.last_merger = Some(MergerKind::Iteration);

@@ -26,6 +26,7 @@
 //! ```
 
 use shard_core::{KernelError, Result, Session, ShardingRuntime, TransactionType};
+pub use shard_core::{QueryStream, StreamOutcome};
 use shard_sql::{Statement, Value};
 use shard_storage::{ExecuteResult, ResultSet, StorageEngine};
 use std::sync::Arc;
@@ -136,6 +137,19 @@ impl Connection {
     /// Execute DML and return the affected-row count.
     pub fn update(&mut self, sql: &str, params: &[Value]) -> Result<u64> {
         Ok(self.execute(sql, params)?.affected())
+    }
+
+    /// Execute a query and return an incremental row cursor (JDBC
+    /// `ResultSet.next()` analogue). Rows are pulled from the shards on
+    /// demand; dropping the stream early cancels in-flight shard scans.
+    pub fn query_stream(&mut self, sql: &str, params: &[Value]) -> Result<QueryStream> {
+        self.session.query_stream(sql, params)
+    }
+
+    /// Execute any statement through the streaming path; queries yield a
+    /// [`QueryStream`], DML yields the affected-row count.
+    pub fn execute_stream(&mut self, sql: &str, params: &[Value]) -> Result<StreamOutcome> {
+        self.session.execute_sql_stream(sql, params)
     }
 
     /// Prepare a statement for repeated execution. Goes through the
@@ -287,6 +301,35 @@ mod tests {
         let rs = c.query("SELECT id FROM t", &[]).unwrap();
         assert_eq!(rs.rows.len(), 1);
         assert_eq!(rs.rows[0][0], Value::Int(2));
+    }
+
+    #[test]
+    fn query_stream_yields_rows_incrementally() {
+        let ds = data_source();
+        let mut c = ds.connection();
+        for i in 0..20 {
+            c.update(
+                "INSERT INTO t (id, v) VALUES (?, ?)",
+                &[Value::Int(i), Value::Int(i * 2)],
+            )
+            .unwrap();
+        }
+        let mut stream = c
+            .query_stream("SELECT id, v FROM t ORDER BY id", &[])
+            .unwrap();
+        assert_eq!(stream.columns(), &["id".to_string(), "v".to_string()]);
+        let mut seen = Vec::new();
+        while let Some(row) = stream.next_row().unwrap() {
+            seen.push(row);
+        }
+        assert_eq!(seen.len(), 20);
+        assert_eq!(seen[0], vec![Value::Int(0), Value::Int(0)]);
+        assert_eq!(seen[19], vec![Value::Int(19), Value::Int(38)]);
+        // DML through the streaming entry point reports affected rows.
+        match c.execute_stream("DELETE FROM t WHERE id = 0", &[]).unwrap() {
+            StreamOutcome::Update { affected } => assert_eq!(affected, 1),
+            StreamOutcome::Rows(_) => panic!("DELETE produced rows"),
+        }
     }
 
     #[test]

@@ -58,6 +58,28 @@ impl ProxyClient {
             Response::Rows(rs) => Ok(ExecuteResult::Query(rs)),
             Response::Update { affected } => Ok(ExecuteResult::Update { affected }),
             Response::Error { message } => Err(ClientError::Server(message)),
+            Response::RowsHeader { columns } => {
+                // Streamed result: accumulate RowBatch frames until RowsEnd.
+                let mut rows = Vec::new();
+                loop {
+                    let frame = read_frame(&mut self.stream)?.ok_or(ClientError::Disconnected)?;
+                    match decode_response(frame)? {
+                        Response::RowBatch { rows: batch } => rows.extend(batch),
+                        Response::RowsEnd => {
+                            return Ok(ExecuteResult::Query(ResultSet::new(columns, rows)))
+                        }
+                        Response::Error { message } => return Err(ClientError::Server(message)),
+                        other => {
+                            return Err(ClientError::Protocol(ProtocolError::Malformed(format!(
+                                "unexpected frame mid-stream: {other:?}"
+                            ))))
+                        }
+                    }
+                }
+            }
+            Response::RowBatch { .. } | Response::RowsEnd => Err(ClientError::Protocol(
+                ProtocolError::Malformed("stream frame outside a streamed result".into()),
+            )),
         }
     }
 

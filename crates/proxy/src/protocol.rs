@@ -24,11 +24,19 @@ pub enum Request {
 }
 
 /// Server → client message.
+///
+/// A result set is delivered either as one materialized `Rows` frame or as a
+/// streamed sequence `RowsHeader (RowBatch)* RowsEnd`, encoded shard-side as
+/// rows arrive so the proxy never buffers the full merged result. An `Error`
+/// frame after `RowsHeader` aborts the stream.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
     Rows(ResultSet),
     Update { affected: u64 },
     Error { message: String },
+    RowsHeader { columns: Vec<String> },
+    RowBatch { rows: Vec<Vec<Value>> },
+    RowsEnd,
 }
 
 impl Response {
@@ -144,6 +152,9 @@ const MSG_QUIT: u8 = 2;
 const MSG_ROWS: u8 = 10;
 const MSG_UPDATE: u8 = 11;
 const MSG_ERROR: u8 = 12;
+const MSG_ROWS_HEADER: u8 = 13;
+const MSG_ROW_BATCH: u8 = 14;
+const MSG_ROWS_END: u8 = 15;
 
 pub fn encode_request(req: &Request) -> BytesMut {
     let mut buf = BytesMut::new();
@@ -205,6 +216,25 @@ pub fn encode_response(resp: &Response) -> BytesMut {
             buf.put_u8(MSG_ERROR);
             put_str(&mut buf, message);
         }
+        Response::RowsHeader { columns } => {
+            buf.put_u8(MSG_ROWS_HEADER);
+            buf.put_u32(columns.len() as u32);
+            for c in columns {
+                put_str(&mut buf, c);
+            }
+        }
+        Response::RowBatch { rows } => {
+            buf.put_u8(MSG_ROW_BATCH);
+            buf.put_u32(rows.len() as u32);
+            let ncols = rows.first().map_or(0, |r| r.len());
+            buf.put_u32(ncols as u32);
+            for row in rows {
+                for v in row {
+                    put_value(&mut buf, v);
+                }
+            }
+        }
+        Response::RowsEnd => buf.put_u8(MSG_ROWS_END),
     }
     buf
 }
@@ -240,6 +270,30 @@ pub fn decode_response(mut buf: Bytes) -> Result<Response, ProtocolError> {
         MSG_ERROR => Ok(Response::Error {
             message: get_str(&mut buf)?,
         }),
+        MSG_ROWS_HEADER => {
+            check(&buf, 4)?;
+            let ncols = buf.get_u32() as usize;
+            let mut columns = Vec::with_capacity(ncols.min(4096));
+            for _ in 0..ncols {
+                columns.push(get_str(&mut buf)?);
+            }
+            Ok(Response::RowsHeader { columns })
+        }
+        MSG_ROW_BATCH => {
+            check(&buf, 8)?;
+            let nrows = buf.get_u32() as usize;
+            let ncols = buf.get_u32() as usize;
+            let mut rows = Vec::with_capacity(nrows.min(1 << 20));
+            for _ in 0..nrows {
+                let mut row = Vec::with_capacity(ncols);
+                for _ in 0..ncols {
+                    row.push(get_value(&mut buf)?);
+                }
+                rows.push(row);
+            }
+            Ok(Response::RowBatch { rows })
+        }
+        MSG_ROWS_END => Ok(Response::RowsEnd),
         t => Err(ProtocolError::Malformed(format!(
             "unknown response type {t}"
         ))),
@@ -315,6 +369,37 @@ mod tests {
         let resp = Response::Error {
             message: "boom".into(),
         };
+        assert_eq!(
+            decode_response(encode_response(&resp).freeze()).unwrap(),
+            resp
+        );
+    }
+
+    #[test]
+    fn streamed_response_roundtrip() {
+        let resp = Response::RowsHeader {
+            columns: vec!["id".into(), "v".into()],
+        };
+        assert_eq!(
+            decode_response(encode_response(&resp).freeze()).unwrap(),
+            resp
+        );
+        let resp = Response::RowBatch {
+            rows: vec![
+                vec![Value::Int(1), Value::Str("a".into())],
+                vec![Value::Int(2), Value::Null],
+            ],
+        };
+        assert_eq!(
+            decode_response(encode_response(&resp).freeze()).unwrap(),
+            resp
+        );
+        assert_eq!(
+            decode_response(encode_response(&Response::RowsEnd).freeze()).unwrap(),
+            Response::RowsEnd
+        );
+        // empty batch (no rows) still round-trips
+        let resp = Response::RowBatch { rows: vec![] };
         assert_eq!(
             decode_response(encode_response(&resp).freeze()).unwrap(),
             resp

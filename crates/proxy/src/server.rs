@@ -113,16 +113,82 @@ fn serve_connection(mut stream: TcpStream, runtime: Arc<ShardingRuntime>, stop: 
         match request {
             Request::Quit => return,
             Request::Query { sql, params } => {
-                let response = match session.execute_sql(&sql, &params) {
-                    Ok(result) => Response::from_result(result),
-                    Err(e) => Response::Error {
-                        message: e.to_string(),
-                    },
-                };
-                if write_frame(&mut stream, &encode_response(&response)).is_err() {
+                if !respond_query(&mut stream, &mut session, &sql, &params) {
                     return;
                 }
             }
+        }
+    }
+}
+
+/// Rows the proxy buffers per streamed frame. Small enough that the first
+/// row reaches the client while shards are still scanning, large enough to
+/// amortize the frame header.
+const ROW_BATCH_SIZE: usize = 128;
+
+/// Execute one query and write its response frames. Queries go through the
+/// kernel's streaming path: rows are encoded and flushed batch-by-batch as
+/// the merge engine yields them, so the proxy never materializes the full
+/// result. Returns `false` when the connection should close.
+fn respond_query(
+    stream: &mut TcpStream,
+    session: &mut shard_core::Session,
+    sql: &str,
+    params: &[shard_sql::Value],
+) -> bool {
+    let outcome = match session.execute_sql_stream(sql, params) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            let resp = Response::Error {
+                message: e.to_string(),
+            };
+            return write_frame(stream, &encode_response(&resp)).is_ok();
+        }
+    };
+    match outcome {
+        shard_core::StreamOutcome::Update { affected } => {
+            write_frame(stream, &encode_response(&Response::Update { affected })).is_ok()
+        }
+        shard_core::StreamOutcome::Rows(mut rows) => {
+            let header = Response::RowsHeader {
+                columns: rows.columns().to_vec(),
+            };
+            if write_frame(stream, &encode_response(&header)).is_err() {
+                return false;
+            }
+            let mut batch = Vec::with_capacity(ROW_BATCH_SIZE);
+            loop {
+                match rows.next_row() {
+                    Ok(Some(row)) => {
+                        batch.push(row);
+                        if batch.len() == ROW_BATCH_SIZE {
+                            let frame = Response::RowBatch {
+                                rows: std::mem::take(&mut batch),
+                            };
+                            if write_frame(stream, &encode_response(&frame)).is_err() {
+                                return false;
+                            }
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(e) => {
+                        // Mid-stream failure: the header is already on the
+                        // wire, so abort the stream with an error frame
+                        // (dropping `rows` cancels in-flight shard scans).
+                        let resp = Response::Error {
+                            message: e.to_string(),
+                        };
+                        return write_frame(stream, &encode_response(&resp)).is_ok();
+                    }
+                }
+            }
+            if !batch.is_empty() {
+                let frame = Response::RowBatch { rows: batch };
+                if write_frame(stream, &encode_response(&frame)).is_err() {
+                    return false;
+                }
+            }
+            write_frame(stream, &encode_response(&Response::RowsEnd)).is_ok()
         }
     }
 }

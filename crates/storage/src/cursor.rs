@@ -1,0 +1,339 @@
+//! Pull-based SELECT cursors: rows leave the engine one at a time instead of
+//! being collected into a [`ResultSet`] first.
+//!
+//! A [`QueryCursor`] is what the sharding kernel's streaming executor pulls
+//! from. Two shapes exist behind it:
+//!
+//! - **Scan** — a true incremental cursor over one base table. Row ids are
+//!   snapshotted at open (in index-key order when an index satisfies the
+//!   ORDER BY, otherwise in access-path order); each pull fetches, filters,
+//!   and projects exactly one row. The table lock is taken per pull and
+//!   never held across pulls, so a slow consumer cannot block writers.
+//! - **Materialized** — a fallback wrapping the classic `execute_select`
+//!   output for statement shapes the incremental path cannot stream (joins,
+//!   grouping, aggregates, DISTINCT, un-indexed ORDER BY).
+//!
+//! The per-engine `rows_pulled` counter only counts rows fetched by the Scan
+//! shape, so tests asserting early LIMIT termination cannot pass by accident
+//! through the materialized fallback.
+
+use crate::error::{Result, StorageError};
+use crate::eval::{eval_predicate, EvalContext, Scope};
+use crate::exec_select::{access_path, column_of, project_row, projection_columns, Catalog};
+use crate::index::RowId;
+use crate::latency::LatencyModel;
+use crate::result::ResultSet;
+use crate::table::Table;
+use parking_lot::RwLock;
+use shard_sql::ast::*;
+use shard_sql::Value;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// An open cursor over one SELECT's result rows.
+pub struct QueryCursor {
+    columns: Vec<String>,
+    inner: CursorInner,
+}
+
+enum CursorInner {
+    Materialized(std::vec::IntoIter<Vec<Value>>),
+    Scan(Box<ScanCursor>),
+}
+
+impl QueryCursor {
+    /// Wrap an already-computed result set (the non-streamable fallback).
+    pub fn materialized(rs: ResultSet) -> Self {
+        QueryCursor {
+            columns: rs.columns,
+            inner: CursorInner::Materialized(rs.rows.into_iter()),
+        }
+    }
+
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// True when rows are produced incrementally from the table (not from a
+    /// pre-materialized result set).
+    pub fn is_streaming(&self) -> bool {
+        matches!(self.inner, CursorInner::Scan(_))
+    }
+
+    /// Pull the next row, or `None` when the cursor is exhausted.
+    pub fn next_row(&mut self) -> Result<Option<Vec<Value>>> {
+        match &mut self.inner {
+            CursorInner::Materialized(it) => Ok(it.next()),
+            CursorInner::Scan(scan) => scan.next_row(),
+        }
+    }
+}
+
+impl Iterator for QueryCursor {
+    type Item = Result<Vec<Value>>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_row().transpose()
+    }
+}
+
+/// Incremental scan over one table: row ids snapshotted at open, everything
+/// else (fetch, WHERE, OFFSET skip, projection, LIMIT countdown) per pull.
+struct ScanCursor {
+    table: Arc<RwLock<Table>>,
+    ids: std::vec::IntoIter<RowId>,
+    scope: Scope,
+    projection: Vec<SelectItem>,
+    where_clause: Option<Expr>,
+    params: Vec<Value>,
+    /// Rows still to skip for OFFSET (counted post-WHERE).
+    to_skip: u64,
+    /// Rows still to emit for LIMIT (`None` = unlimited).
+    remaining: Option<u64>,
+    pulled: Arc<AtomicU64>,
+    latency: LatencyModel,
+}
+
+impl ScanCursor {
+    fn next_row(&mut self) -> Result<Option<Vec<Value>>> {
+        if self.remaining == Some(0) {
+            return Ok(None);
+        }
+        loop {
+            let Some(id) = self.ids.next() else {
+                return Ok(None);
+            };
+            // Lock scope is one fetch: the guard must never live across
+            // pulls (the consumer paces us and may hold a row for long).
+            let row = { self.table.read().get(id).cloned() };
+            let Some(row) = row else { continue };
+            self.pulled.fetch_add(1, Ordering::Relaxed);
+            self.latency.charge_rows(1);
+            if let Some(pred) = &self.where_clause {
+                let ctx = EvalContext::new(&self.scope, &row, &self.params);
+                if !eval_predicate(pred, &ctx)? {
+                    continue;
+                }
+            }
+            if self.to_skip > 0 {
+                self.to_skip -= 1;
+                continue;
+            }
+            let out = project_row(&self.projection, &self.scope, &row, &self.params, None)?;
+            if let Some(rem) = &mut self.remaining {
+                *rem -= 1;
+            }
+            return Ok(Some(out));
+        }
+    }
+}
+
+fn resolve_limit_value(
+    v: Option<&LimitValue>,
+    params: &[Value],
+    what: &str,
+) -> Result<Option<u64>> {
+    v.map(|v| {
+        v.resolve(params)
+            .ok_or_else(|| StorageError::Execution(format!("unresolvable {what}")))
+    })
+    .transpose()
+}
+
+/// Try to open a true streaming cursor for `stmt`. Returns `Ok(None)` when
+/// the statement shape needs the materialized path (joins, grouping,
+/// aggregates, DISTINCT, or an ORDER BY no index can satisfy).
+pub(crate) fn try_open_streaming(
+    catalog: &dyn Catalog,
+    stmt: &SelectStatement,
+    params: &[Value],
+    pulled: Arc<AtomicU64>,
+    latency: LatencyModel,
+) -> Result<Option<QueryCursor>> {
+    let Some(from) = &stmt.from else {
+        return Ok(None);
+    };
+    if !stmt.joins.is_empty()
+        || !stmt.group_by.is_empty()
+        || stmt.distinct
+        || stmt.has_aggregates()
+        || stmt.having.is_some()
+    {
+        return Ok(None);
+    }
+
+    let (offset, limit) = match &stmt.limit {
+        Some(lim) => (
+            resolve_limit_value(lim.offset.as_ref(), params, "OFFSET")?.unwrap_or(0),
+            resolve_limit_value(lim.limit.as_ref(), params, "LIMIT")?,
+        ),
+        None => (0, None),
+    };
+
+    let table = catalog.table(from.name.as_str())?;
+    let guard = table.read();
+    let scope = Scope::from_table(from.binding_name(), &guard.schema.column_names());
+    let columns = projection_columns(&stmt.projection, &scope)?;
+
+    let ids: Vec<RowId> = if stmt.order_by.is_empty() {
+        match access_path(
+            &guard,
+            from.binding_name(),
+            stmt.where_clause.as_ref(),
+            params,
+        ) {
+            Some(ids) => ids,
+            None => guard.scan().map(|(id, _)| id).collect(),
+        }
+    } else {
+        // An index can satisfy the ORDER BY when every key is a bare column
+        // of this table, all keys share one direction, and some index's
+        // column list starts with exactly those columns.
+        let desc = stmt.order_by[0].desc;
+        if !stmt.order_by.iter().all(|o| o.desc == desc) {
+            return Ok(None);
+        }
+        let mut cols = Vec::with_capacity(stmt.order_by.len());
+        for item in &stmt.order_by {
+            match column_of(&item.expr, from.binding_name(), &guard) {
+                Some(c) => cols.push(c),
+                None => return Ok(None),
+            }
+        }
+        let positions: Option<Vec<usize>> =
+            cols.iter().map(|c| guard.schema.column_index(c)).collect();
+        let Some(positions) = positions else {
+            return Ok(None);
+        };
+        let Some(idx) = guard.index_on(&cols[0]) else {
+            return Ok(None);
+        };
+        if idx.columns.len() < positions.len() || idx.columns[..positions.len()] != positions[..] {
+            return Ok(None);
+        }
+        if desc {
+            idx.scan_rev().collect()
+        } else {
+            idx.scan().collect()
+        }
+    };
+    drop(guard);
+
+    Ok(Some(QueryCursor {
+        columns,
+        inner: CursorInner::Scan(Box::new(ScanCursor {
+            table,
+            ids: ids.into_iter(),
+            scope,
+            projection: stmt.projection.clone(),
+            where_clause: stmt.where_clause.clone(),
+            params: params.to_vec(),
+            to_skip: offset,
+            remaining: limit,
+            pulled,
+            latency,
+        })),
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::engine::StorageEngine;
+    use shard_sql::{parse_statement, Statement, Value};
+
+    fn engine_with_rows(n: i64) -> std::sync::Arc<StorageEngine> {
+        let e = StorageEngine::new("ds");
+        e.execute_sql("CREATE TABLE t (id BIGINT PRIMARY KEY, v INT)", &[], None)
+            .unwrap();
+        for i in 0..n {
+            e.execute_sql(
+                "INSERT INTO t (id, v) VALUES (?, ?)",
+                &[Value::Int(i), Value::Int(i % 7)],
+                None,
+            )
+            .unwrap();
+        }
+        e
+    }
+
+    fn select(sql: &str) -> shard_sql::ast::SelectStatement {
+        match parse_statement(sql).unwrap() {
+            Statement::Select(s) => s,
+            other => panic!("not a select: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shard_shaped_order_by_limit_streams() {
+        let e = engine_with_rows(50);
+        let stmt = select("SELECT id, v FROM t ORDER BY id DESC LIMIT 5");
+        let cursor = e.open_cursor(&stmt, &[], None).unwrap();
+        assert!(cursor.is_streaming());
+        let rows: Vec<_> = cursor.map(|r| r.unwrap()).collect();
+        let materialized = e
+            .execute(&Statement::Select(stmt), &[], None)
+            .unwrap()
+            .query();
+        assert_eq!(rows, materialized.rows);
+        assert_eq!(rows[0][0], Value::Int(49));
+    }
+
+    #[test]
+    fn streaming_matches_materialized_with_where_and_offset() {
+        let e = engine_with_rows(60);
+        let stmt = select("SELECT id FROM t WHERE v = 3 ORDER BY id LIMIT 2, 4");
+        let cursor = e.open_cursor(&stmt, &[], None).unwrap();
+        assert!(cursor.is_streaming());
+        let rows: Vec<_> = cursor.map(|r| r.unwrap()).collect();
+        let materialized = e
+            .execute(&Statement::Select(stmt), &[], None)
+            .unwrap()
+            .query();
+        assert_eq!(rows, materialized.rows);
+    }
+
+    #[test]
+    fn limit_stops_pulling_early() {
+        let e = engine_with_rows(200);
+        let before = e.rows_pulled();
+        let stmt = select("SELECT id FROM t ORDER BY id LIMIT 3, 5");
+        let mut cursor = e.open_cursor(&stmt, &[], None).unwrap();
+        assert!(cursor.is_streaming());
+        let mut n = 0;
+        while cursor.next_row().unwrap().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 5);
+        let pulled = e.rows_pulled() - before;
+        assert!(pulled <= 8, "pulled {pulled} rows for LIMIT 3, 5");
+    }
+
+    #[test]
+    fn aggregates_fall_back_to_materialized() {
+        let e = engine_with_rows(10);
+        let stmt = select("SELECT COUNT(*) FROM t");
+        let cursor = e.open_cursor(&stmt, &[], None).unwrap();
+        assert!(!cursor.is_streaming());
+        let rows: Vec<_> = cursor.map(|r| r.unwrap()).collect();
+        assert_eq!(rows, vec![vec![Value::Int(10)]]);
+    }
+
+    #[test]
+    fn unindexed_order_by_falls_back() {
+        let e = engine_with_rows(10);
+        let stmt = select("SELECT id FROM t ORDER BY v");
+        let cursor = e.open_cursor(&stmt, &[], None).unwrap();
+        assert!(!cursor.is_streaming());
+    }
+
+    #[test]
+    fn deleted_rows_are_skipped_mid_scan() {
+        let e = engine_with_rows(10);
+        let stmt = select("SELECT id FROM t ORDER BY id");
+        let mut cursor = e.open_cursor(&stmt, &[], None).unwrap();
+        assert_eq!(cursor.next_row().unwrap(), Some(vec![Value::Int(0)]));
+        e.execute_sql("DELETE FROM t WHERE id = 1", &[], None)
+            .unwrap();
+        assert_eq!(cursor.next_row().unwrap(), Some(vec![Value::Int(2)]));
+    }
+}

@@ -10,6 +10,7 @@
 //! - a [`LatencyModel`] charging simulated network cost per request,
 //! - fault injection hooks for failure testing.
 
+use crate::cursor::{self, QueryCursor};
 use crate::error::{Result, StorageError};
 use crate::eval::{eval, eval_predicate, EvalContext, Scope};
 use crate::exec_select::{execute_select, Catalog};
@@ -75,6 +76,9 @@ pub struct StorageEngine {
     fail_next_commit: AtomicBool,
     /// Total statements executed (metrics).
     statements_executed: AtomicU64,
+    /// Rows fetched by streaming scan cursors (metrics; shared with the
+    /// cursors so early-termination tests can observe per-source pulls).
+    rows_pulled: Arc<AtomicU64>,
     /// Undo images rebuilt during recovery, keyed by txn, consumed while
     /// re-registering in-doubt transactions.
     recovered_undo: Mutex<HashMap<u64, Vec<UndoOp>>>,
@@ -137,6 +141,7 @@ impl StorageEngine {
             latency,
             fail_next_commit: AtomicBool::new(false),
             statements_executed: AtomicU64::new(0),
+            rows_pulled: Arc::new(AtomicU64::new(0)),
             recovered_undo: Mutex::new(HashMap::new()),
             server_slots: None,
         })
@@ -170,6 +175,11 @@ impl StorageEngine {
 
     pub fn statements_executed(&self) -> u64 {
         self.statements_executed.load(Ordering::Relaxed)
+    }
+
+    /// Rows fetched from tables by streaming scan cursors so far.
+    pub fn rows_pulled(&self) -> u64 {
+        self.rows_pulled.load(Ordering::Relaxed)
     }
 
     /// Arm the fault injector: the next commit on this source fails.
@@ -386,6 +396,55 @@ impl StorageEngine {
         };
         self.latency.charge(rows);
         result
+    }
+
+    /// Open a pull-based cursor for a SELECT. Streams straight from the
+    /// table when the statement shape allows it (single table, no grouping,
+    /// ORDER BY satisfied by an index); otherwise falls back to a cursor
+    /// over the materialized result. The per-request latency is charged at
+    /// open; streaming pulls charge the per-row cost incrementally.
+    pub fn open_cursor(
+        &self,
+        stmt: &SelectStatement,
+        params: &[Value],
+        txn: Option<TxnId>,
+    ) -> Result<QueryCursor> {
+        self.statements_executed.fetch_add(1, Ordering::Relaxed);
+        // The server slot covers only cursor open: a streaming cursor is
+        // consumer-paced and must not occupy a worker for its lifetime.
+        let _slot = self.server_slots.as_ref().map(|s| s.acquire());
+        if !self.latency.page_miss.is_zero() {
+            let mut largest = 0u64;
+            let mut touch = |name: &str| {
+                if let Ok(table) = self.table(name) {
+                    largest = largest.max(table.read().len() as u64);
+                }
+            };
+            if let Some(from) = &stmt.from {
+                touch(from.name.as_str());
+            }
+            for join in &stmt.joins {
+                touch(join.table.name.as_str());
+            }
+            self.latency.charge_miss(largest);
+        }
+        // FOR UPDATE inside an explicit transaction needs the materialized
+        // path's row-locking side effects.
+        if !(stmt.for_update && txn.is_some()) {
+            if let Some(cursor) = cursor::try_open_streaming(
+                self,
+                stmt,
+                params,
+                self.rows_pulled.clone(),
+                self.latency,
+            )? {
+                self.latency.charge(0);
+                return Ok(cursor);
+            }
+        }
+        let rs = self.select(stmt, params, txn)?;
+        self.latency.charge(rs.len());
+        Ok(QueryCursor::materialized(rs))
     }
 
     /// Parse and execute a SQL string (convenience for tests and examples).

@@ -382,7 +382,7 @@ fn collect_conjuncts<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
 
 /// Resolve an expression to a column of the given table binding, if it is a
 /// bare (optionally qualified) column reference.
-fn column_of(e: &Expr, binding: &str, table: &Table) -> Option<String> {
+pub(crate) fn column_of(e: &Expr, binding: &str, table: &Table) -> Option<String> {
     let e = unwrap_nested(e);
     let Expr::Column(c) = e else { return None };
     if let Some(t) = &c.table {
@@ -643,7 +643,7 @@ fn sort_rows(
     Ok(keyed.into_iter().map(|(_, r)| r).collect())
 }
 
-fn projection_columns(projection: &[SelectItem], scope: &Scope) -> Result<Vec<String>> {
+pub(crate) fn projection_columns(projection: &[SelectItem], scope: &Scope) -> Result<Vec<String>> {
     let mut out = Vec::new();
     for item in projection {
         match item {
@@ -685,7 +685,7 @@ pub(crate) fn projection_name(expr: &Expr, alias: Option<&str>) -> String {
     }
 }
 
-fn project_row(
+pub(crate) fn project_row(
     projection: &[SelectItem],
     scope: &Scope,
     row: &[Value],

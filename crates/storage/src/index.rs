@@ -111,6 +111,11 @@ impl Index {
         self.entries.values().flatten().copied()
     }
 
+    /// All row ids in reverse key order (index-ordered DESC scans).
+    pub fn scan_rev(&self) -> impl Iterator<Item = RowId> + '_ {
+        self.entries.values().rev().flatten().copied()
+    }
+
     pub fn len(&self) -> usize {
         self.entries.values().map(Vec::len).sum()
     }

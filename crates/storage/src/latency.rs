@@ -87,6 +87,16 @@ impl LatencyModel {
             spin_or_sleep(cost);
         }
     }
+
+    /// Per-row transfer cost only (no per-request component). Streaming
+    /// cursors pay `charge(0)` once at open and this per pulled row, so the
+    /// total matches the materialized path's `charge(n)`.
+    pub fn charge_rows(&self, rows: usize) {
+        let cost = self.per_row * (rows as u32);
+        if !cost.is_zero() {
+            spin_or_sleep(cost);
+        }
+    }
 }
 
 /// Simulated waits must not burn CPU: a real network/disk wait leaves the

@@ -18,6 +18,7 @@
 //! assert_eq!(rs.rows[0][0], Value::Str("ann".into()));
 //! ```
 
+pub mod cursor;
 pub mod engine;
 pub mod error;
 pub mod eval;
@@ -30,6 +31,7 @@ pub mod schema;
 pub mod table;
 pub mod wal;
 
+pub use cursor::QueryCursor;
 pub use engine::StorageEngine;
 pub use error::{Result, StorageError};
 pub use latency::LatencyModel;
