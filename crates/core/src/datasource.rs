@@ -9,6 +9,7 @@
 //! benchmark to demonstrate the deadlock the paper describes.
 
 use crate::error::{KernelError, Result};
+use crate::governor::CircuitBreaker;
 use parking_lot::{Condvar, Mutex};
 use shard_sql::{Statement, Value};
 use shard_storage::{ExecuteResult, StorageEngine, TxnId};
@@ -29,6 +30,9 @@ pub struct DataSource {
     engine: Arc<StorageEngine>,
     pool: Arc<ConnectionPool>,
     enabled: AtomicBool,
+    /// Closed → open on consecutive infrastructure failures → half-open
+    /// probe; consulted by the executor before every dispatch.
+    breaker: CircuitBreaker,
     pub role: Role,
 }
 
@@ -44,6 +48,7 @@ impl DataSource {
             name,
             engine,
             enabled: AtomicBool::new(true),
+            breaker: CircuitBreaker::default(),
             role: Role::Primary,
         }
     }
@@ -70,9 +75,20 @@ impl DataSource {
         self.enabled.store(enabled, Ordering::SeqCst);
     }
 
-    /// Health probe: can the source answer a trivial query?
+    /// This source's circuit breaker.
+    pub fn breaker(&self) -> &CircuitBreaker {
+        &self.breaker
+    }
+
+    /// True when a request may be dispatched: the source is enabled and its
+    /// breaker admits the request (possibly as a half-open probe).
+    pub fn is_routable(&self) -> bool {
+        self.is_enabled() && self.breaker.allow_request()
+    }
+
+    /// Health probe: one round trip that honours the engine's ping faults.
     pub fn ping(&self) -> bool {
-        self.engine.execute_sql("SHOW TABLES", &[], None).is_ok()
+        self.engine.ping().is_ok()
     }
 
     /// Execute through an already-acquired connection permit.

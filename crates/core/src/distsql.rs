@@ -11,7 +11,9 @@ use crate::route::{RouteEngine, RouteHint};
 use crate::runtime::Session;
 use shard_sql::ast::{DistSqlStatement, ShardingRuleSpec};
 use shard_sql::{format_statement, parse_statement, Dialect, Value};
-use shard_storage::{ExecuteResult, ResultSet, StorageEngine};
+use shard_storage::{
+    ExecuteResult, FaultKind, FaultOp, FaultPlan, FaultTrigger, ResultSet, StorageEngine,
+};
 
 pub fn execute(session: &mut Session, stmt: &DistSqlStatement) -> Result<ExecuteResult> {
     match stmt {
@@ -264,8 +266,122 @@ pub fn execute(session: &mut Session, stmt: &DistSqlStatement) -> Result<Execute
                 vec![row("parse", &status.parse), row("plan", &status.plan)],
             )))
         }
+        DistSqlStatement::ShowDataSourceHealth => {
+            let runtime = session.runtime().clone();
+            let mut names = runtime.datasource_names();
+            names.sort();
+            let rows = names
+                .into_iter()
+                .filter_map(|n| runtime.datasource(&n).ok())
+                .map(|ds| {
+                    let breaker = ds.breaker();
+                    vec![
+                        Value::Str(ds.name.clone()),
+                        Value::Str(
+                            if ds.is_enabled() {
+                                "enabled"
+                            } else {
+                                "disabled"
+                            }
+                            .into(),
+                        ),
+                        Value::Str(breaker.state().as_str().into()),
+                        Value::Int(breaker.consecutive_failures() as i64),
+                        breaker
+                            .last_probe_ms()
+                            .map(|ms| Value::Int(ms as i64))
+                            .unwrap_or(Value::Null),
+                        Value::Int(ds.engine().fault_injector().active_plans() as i64),
+                    ]
+                })
+                .collect();
+            Ok(ExecuteResult::Query(ResultSet::new(
+                vec![
+                    "resource".into(),
+                    "status".into(),
+                    "breaker_state".into(),
+                    "consecutive_failures".into(),
+                    "last_probe_ms_ago".into(),
+                    "active_faults".into(),
+                ],
+                rows,
+            )))
+        }
+        DistSqlStatement::InjectFault { datasource, spec } => {
+            let ds = session.runtime().datasource(datasource)?;
+            let plan = fault_plan_from_spec(spec)?;
+            ds.engine().fault_injector().inject(plan);
+            Ok(ExecuteResult::Update { affected: 0 })
+        }
+        DistSqlStatement::ClearFaults { datasource } => {
+            let runtime = session.runtime().clone();
+            let targets = match datasource {
+                Some(name) => vec![runtime.datasource(name)?],
+                None => runtime
+                    .datasource_names()
+                    .into_iter()
+                    .filter_map(|n| runtime.datasource(&n).ok())
+                    .collect(),
+            };
+            let mut cleared = 0u64;
+            for ds in targets {
+                cleared += ds.engine().fault_injector().active_plans() as u64;
+                ds.engine().clear_faults();
+            }
+            Ok(ExecuteResult::Update { affected: cleared })
+        }
         DistSqlStatement::Preview { sql } => preview(session, sql),
     }
+}
+
+/// Interpret a parsed `INJECT FAULT` body against the storage fault model.
+fn fault_plan_from_spec(spec: &shard_sql::ast::FaultSpec) -> Result<FaultPlan> {
+    let op = FaultOp::parse(&spec.operation).ok_or_else(|| {
+        KernelError::Config(format!(
+            "unknown fault OPERATION '{}' (expected scan_open, row_pull, write, \
+             prepare, commit, commit_prepared or ping)",
+            spec.operation
+        ))
+    })?;
+    let kind = match spec.action.as_str() {
+        "error" => FaultKind::Error(
+            spec.message
+                .clone()
+                .unwrap_or_else(|| "injected fault".into()),
+        ),
+        "latency" => FaultKind::Latency(std::time::Duration::from_millis(
+            spec.millis
+                .ok_or_else(|| KernelError::Config("ACTION=latency requires MILLIS".into()))?,
+        )),
+        "hang" => FaultKind::Hang {
+            max: std::time::Duration::from_millis(spec.millis.unwrap_or(30_000)),
+        },
+        other => {
+            return Err(KernelError::Config(format!(
+                "unknown fault ACTION '{other}' (expected error, latency or hang)"
+            )))
+        }
+    };
+    let trigger = match spec.trigger.as_str() {
+        "once" => FaultTrigger::Once,
+        "every" => FaultTrigger::EveryNth(
+            spec.every
+                .filter(|n| *n > 0)
+                .ok_or_else(|| KernelError::Config("TRIGGER=every requires EVERY >= 1".into()))?,
+        ),
+        "probability" => FaultTrigger::Probability {
+            p: spec.probability.ok_or_else(|| {
+                KernelError::Config("TRIGGER=probability requires PROBABILITY".into())
+            })?,
+            seed: spec.seed.unwrap_or(0),
+        },
+        other => {
+            return Err(KernelError::Config(format!(
+                "unknown fault TRIGGER '{other}' (expected once, every or probability)"
+            )))
+        }
+    };
+    Ok(FaultPlan::new(op, kind, trigger))
 }
 
 /// `CREATE|ALTER SHARDING TABLE RULE` — the AutoTable strategy: compute the

@@ -24,6 +24,53 @@ pub enum KernelError {
     Transaction(String),
     /// A data source is unhealthy / circuit-broken.
     Unavailable(String),
+    /// The statement's deadline elapsed; in-flight shard work was cancelled.
+    Timeout(String),
+}
+
+/// Coarse failure classification surfaced to adaptors (proxy error frames)
+/// and used by the executor's retry policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorClass {
+    /// Worth retrying: the failure is about the data source's health, not
+    /// the statement (injected faults, lock timeouts, disabled sources).
+    Transient,
+    /// Retrying cannot help (semantic errors, bad SQL, config problems).
+    Fatal,
+    /// The per-statement deadline fired.
+    Timeout,
+}
+
+impl ErrorClass {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ErrorClass::Transient => "transient",
+            ErrorClass::Fatal => "fatal",
+            ErrorClass::Timeout => "timeout",
+        }
+    }
+}
+
+impl KernelError {
+    /// Classify this error as transient / fatal / timeout.
+    pub fn class(&self) -> ErrorClass {
+        match self {
+            KernelError::Timeout(_) => ErrorClass::Timeout,
+            KernelError::Unavailable(_) => ErrorClass::Transient,
+            KernelError::Storage(e) if e.is_transient() => ErrorClass::Transient,
+            _ => ErrorClass::Fatal,
+        }
+    }
+
+    /// True when the failure counts against the data source's circuit
+    /// breaker (the source itself misbehaved, not the statement).
+    pub fn is_infrastructure(&self) -> bool {
+        match self {
+            KernelError::Storage(e) => e.is_infrastructure(),
+            KernelError::Timeout(_) => true,
+            _ => false,
+        }
+    }
 }
 
 impl fmt::Display for KernelError {
@@ -38,6 +85,7 @@ impl fmt::Display for KernelError {
             KernelError::Merge(m) => write!(f, "merge error: {m}"),
             KernelError::Transaction(m) => write!(f, "transaction error: {m}"),
             KernelError::Unavailable(m) => write!(f, "data source unavailable: {m}"),
+            KernelError::Timeout(m) => write!(f, "statement timeout: {m}"),
         }
     }
 }

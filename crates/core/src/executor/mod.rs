@@ -25,7 +25,7 @@ use shard_sql::{Statement, Value};
 use shard_storage::{ExecuteResult, TxnId};
 use std::collections::HashMap;
 use std::sync::{Arc, OnceLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Share parameters across execution units without re-allocating: the empty
 /// case (the overwhelmingly common one for routed DML/DQL after rewrite)
@@ -120,6 +120,21 @@ impl ExecutorEngine {
         inputs: Vec<ExecutionInput>,
         params: Arc<[Value]>,
         txns: Option<&HashMap<String, TxnId>>,
+    ) -> Result<(Vec<ExecuteResult>, ExecutionReport)> {
+        self.execute_with_deadline(datasources, inputs, params, txns, None)
+    }
+
+    /// [`ExecutorEngine::execute`] with a per-statement deadline: when the
+    /// deadline elapses before every unit reports back, siblings are
+    /// cancelled and the statement fails fast with [`KernelError::Timeout`]
+    /// instead of hanging on a stuck shard.
+    pub fn execute_with_deadline(
+        &self,
+        datasources: &HashMap<String, Arc<DataSource>>,
+        inputs: Vec<ExecutionInput>,
+        params: Arc<[Value]>,
+        txns: Option<&HashMap<String, TxnId>>,
+        deadline: Option<Instant>,
     ) -> Result<(Vec<ExecuteResult>, ExecutionReport)> {
         if inputs.is_empty() {
             return Ok((Vec::new(), ExecutionReport::default()));
@@ -228,8 +243,10 @@ impl ExecutorEngine {
 
         // ---- Execution ----
         // Fast path: a single execution unit runs inline — no pool hop (the
-        // common point-query case served by the Single route).
-        if planned.len() == 1 {
+        // common point-query case served by the Single route). With a
+        // deadline the unit must run on a worker so a hung shard can be
+        // abandoned, so the fast path only applies without one.
+        if planned.len() == 1 && deadline.is_none() {
             let unit = planned.pop().expect("len checked");
             for (idx, stmt) in &unit.chunk {
                 match exec_one(&unit.ds, stmt, &params, unit.txn) {
@@ -283,7 +300,16 @@ impl ExecutorEngine {
         let mut first_error: Option<KernelError> = None;
         let mut done = 0;
         while done < job_count {
-            match rx.recv() {
+            let received = match deadline {
+                None => rx.recv().map_err(|_| None),
+                Some(d) => {
+                    let remaining = d.saturating_duration_since(Instant::now());
+                    rx.recv_timeout(remaining).map_err(|e| {
+                        Some(matches!(e, crossbeam::channel::RecvTimeoutError::Timeout))
+                    })
+                }
+            };
+            match received {
                 Ok(Outcome::Row(idx, r)) => results[idx] = Some(r),
                 Ok(Outcome::Err(e)) => {
                     if first_error.is_none() {
@@ -291,6 +317,15 @@ impl ExecutorEngine {
                     }
                 }
                 Ok(Outcome::Done) => done += 1,
+                Err(Some(true)) => {
+                    // Deadline elapsed: abandon stuck units, cancel siblings,
+                    // fail fast. Workers still drain their permits on exit.
+                    cancel.cancel();
+                    return Err(KernelError::Timeout(format!(
+                        "statement deadline elapsed with {} of {job_count} unit(s) outstanding",
+                        job_count - done
+                    )));
+                }
                 Err(_) => break,
             }
         }
@@ -305,7 +340,8 @@ impl ExecutorEngine {
 }
 
 /// Execute one statement on a data source, honouring its circuit breaker
-/// (sources marked down by health detection fail fast).
+/// (sources marked down by health detection fail fast) and feeding real
+/// execution outcomes back into the breaker.
 fn exec_one(
     ds: &DataSource,
     stmt: &Statement,
@@ -313,11 +349,30 @@ fn exec_one(
     txn: Option<TxnId>,
 ) -> Result<ExecuteResult> {
     if !ds.is_enabled() {
-        return Err(KernelError::Unavailable(ds.name.clone()));
+        return Err(KernelError::Unavailable(format!("{} is disabled", ds.name)));
     }
-    ds.engine()
-        .execute(stmt, params, txn)
-        .map_err(KernelError::Storage)
+    if !ds.breaker().allow_request() {
+        return Err(KernelError::Unavailable(format!(
+            "{} circuit breaker is open",
+            ds.name
+        )));
+    }
+    match ds.engine().execute(stmt, params, txn) {
+        Ok(r) => {
+            ds.breaker().record_success();
+            Ok(r)
+        }
+        Err(e) => {
+            let e = KernelError::Storage(e);
+            // Only infrastructure failures count against the breaker —
+            // semantic errors (missing table, bad SQL) say nothing about
+            // the data source's health.
+            if e.is_infrastructure() {
+                ds.breaker().record_failure();
+            }
+            Err(e)
+        }
+    }
 }
 
 #[cfg(test)]

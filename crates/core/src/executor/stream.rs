@@ -20,13 +20,14 @@ use crate::error::{KernelError, Result};
 use crate::executor::{
     ConnectionMode, ExecutionInput, ExecutionReport, ExecutorEngine, WorkerPool,
 };
-use crossbeam::channel::{bounded, Receiver};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError};
 use shard_sql::ast::SelectStatement;
 use shard_sql::{Statement, Value};
 use shard_storage::{QueryCursor, TxnId};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Rows buffered per shard channel before the producer blocks. Small enough
 /// to bound middleware memory per unit, large enough to ride out merge
@@ -77,6 +78,9 @@ pub struct RowStream {
     inner: RowStreamInner,
     /// Rows from a received batch not yet handed to the merger.
     buffered: std::collections::VecDeque<Vec<Value>>,
+    /// Per-statement deadline: a pull past it cancels the whole query and
+    /// surfaces [`KernelError::Timeout`] instead of blocking on a hung shard.
+    deadline: Option<(Instant, CancelToken)>,
     /// Keeps the unit's pool connection occupied for the stream's lifetime
     /// on the direct (single-unit) path; channel producers own theirs.
     _permits: Vec<Connection>,
@@ -93,15 +97,46 @@ impl RowStream {
         &self.columns
     }
 
+    /// Arm a per-statement deadline on this stream. The token is the query's
+    /// shared [`CancelToken`], so a timed-out pull also stops every sibling
+    /// producer still scanning.
+    pub fn set_deadline(&mut self, deadline: Instant, cancel: CancelToken) {
+        self.deadline = Some((deadline, cancel));
+    }
+
+    fn deadline_expired(&mut self) -> Option<Result<Vec<Value>>> {
+        let (deadline, cancel) = self.deadline.as_ref()?;
+        if Instant::now() < *deadline {
+            return None;
+        }
+        cancel.cancel();
+        self.inner = RowStreamInner::Done;
+        Some(Err(KernelError::Timeout(
+            "statement deadline elapsed while pulling shard rows".into(),
+        )))
+    }
+
     /// Pull the next row; `None` ends the stream. An `Err` is terminal.
     #[allow(clippy::should_implement_trait)]
     pub fn next_row(&mut self) -> Option<Result<Vec<Value>>> {
         if let Some(row) = self.buffered.pop_front() {
             return Some(Ok(row));
         }
+        if let Some(timeout) = self.deadline_expired() {
+            return Some(timeout);
+        }
+        let deadline = self.deadline.clone();
         match &mut self.inner {
             RowStreamInner::Channel(rx) => loop {
-                match rx.recv() {
+                let received = match &deadline {
+                    None => rx.recv().map_err(|_| None),
+                    Some((d, _)) => {
+                        let remaining = d.saturating_duration_since(Instant::now());
+                        rx.recv_timeout(remaining)
+                            .map_err(|e| Some(matches!(e, RecvTimeoutError::Timeout)))
+                    }
+                };
+                match received {
                     Ok(RowMsg::Row(row)) => return Some(Ok(row)),
                     Ok(RowMsg::Batch(rows)) => {
                         self.buffered.extend(rows);
@@ -114,9 +149,20 @@ impl RowStream {
                         self.inner = RowStreamInner::Done;
                         return Some(Err(e));
                     }
-                    Ok(RowMsg::End) | Err(_) => {
+                    Ok(RowMsg::End) | Err(None) | Err(Some(false)) => {
                         self.inner = RowStreamInner::Done;
                         return None;
+                    }
+                    Err(Some(true)) => {
+                        // Hung producer: abandon it, cancel siblings, fail
+                        // the statement with a structured timeout.
+                        if let Some((_, cancel)) = &deadline {
+                            cancel.cancel();
+                        }
+                        self.inner = RowStreamInner::Done;
+                        return Some(Err(KernelError::Timeout(
+                            "statement deadline elapsed while pulling shard rows".into(),
+                        )));
                     }
                 }
             },
@@ -231,6 +277,7 @@ impl ExecutorEngine {
                 columns: cursor.columns().to_vec(),
                 inner: RowStreamInner::Direct(Box::new(cursor)),
                 buffered: std::collections::VecDeque::new(),
+                deadline: None,
                 _permits: permits.remove(&name).unwrap_or_default(),
             };
             return Ok(StreamedQuery {
@@ -331,6 +378,7 @@ impl ExecutorEngine {
                 columns,
                 inner: RowStreamInner::Channel(rx),
                 buffered: std::collections::VecDeque::new(),
+                deadline: None,
                 _permits: Vec::new(),
             });
         }
@@ -342,16 +390,33 @@ impl ExecutorEngine {
     }
 }
 
-/// Open one unit's cursor, honouring the source's circuit breaker.
+/// Open one unit's cursor, honouring the source's circuit breaker and
+/// feeding the open's outcome back into it.
 fn open_unit_cursor(
     ds: &DataSource,
     stmt: &SelectStatement,
     params: &[Value],
 ) -> Result<QueryCursor> {
     if !ds.is_enabled() {
-        return Err(KernelError::Unavailable(ds.name.clone()));
+        return Err(KernelError::Unavailable(format!("{} is disabled", ds.name)));
     }
-    ds.engine()
-        .open_cursor(stmt, params, None)
-        .map_err(KernelError::Storage)
+    if !ds.breaker().allow_request() {
+        return Err(KernelError::Unavailable(format!(
+            "{} circuit breaker is open",
+            ds.name
+        )));
+    }
+    match ds.engine().open_cursor(stmt, params, None) {
+        Ok(c) => {
+            ds.breaker().record_success();
+            Ok(c)
+        }
+        Err(e) => {
+            let e = KernelError::Storage(e);
+            if e.is_infrastructure() {
+                ds.breaker().record_failure();
+            }
+            Err(e)
+        }
+    }
 }

@@ -45,24 +45,37 @@ impl ReadWriteSplitRule {
         &self.primary
     }
 
-    /// The physical source a plain read goes to.
-    pub fn route_read(&self) -> &str {
+    /// The physical source a plain read goes to. `None` when every replica
+    /// *and* the primary are disabled — the caller must surface a clear
+    /// "datasource disabled" error instead of routing to a dead node.
+    pub fn route_read(&self) -> Option<&str> {
+        self.route_read_where(|_| true)
+    }
+
+    /// Like [`ReadWriteSplitRule::route_read`], but also skips sources the
+    /// caller vetoes (open circuit breakers, mid-failover nodes).
+    pub fn route_read_where(&self, routable: impl Fn(&str) -> bool) -> Option<&str> {
         let disabled = self.disabled.lock();
         let healthy: Vec<&String> = self
             .replicas
             .iter()
-            .filter(|r| !disabled.contains(r))
+            .filter(|r| !disabled.contains(r) && routable(r))
             .collect();
         if healthy.is_empty() {
-            return &self.primary;
+            // Falling back to the primary is only legal while the primary
+            // itself is up.
+            if disabled.contains(&self.primary) || !routable(&self.primary) {
+                return None;
+            }
+            return Some(&self.primary);
         }
-        match self.load_balance {
+        Some(match self.load_balance {
             LoadBalance::First => healthy[0],
             LoadBalance::RoundRobin => {
                 let n = self.counter.fetch_add(1, Ordering::Relaxed);
                 healthy[n % healthy.len()]
             }
-        }
+        })
     }
 
     /// Health detection hook: remove/restore a replica.
@@ -105,7 +118,7 @@ mod tests {
     #[test]
     fn reads_round_robin() {
         let r = rule();
-        let got: Vec<&str> = (0..4).map(|_| r.route_read()).collect();
+        let got: Vec<&str> = (0..4).map(|_| r.route_read().unwrap()).collect();
         assert_eq!(got, vec!["r0", "r1", "r0", "r1"]);
     }
 
@@ -113,10 +126,10 @@ mod tests {
     fn disabled_replica_skipped() {
         let r = rule();
         r.set_replica_enabled("r0", false);
-        assert_eq!(r.route_read(), "r1");
-        assert_eq!(r.route_read(), "r1");
+        assert_eq!(r.route_read(), Some("r1"));
+        assert_eq!(r.route_read(), Some("r1"));
         r.set_replica_enabled("r0", true);
-        let got: Vec<&str> = (0..2).map(|_| r.route_read()).collect();
+        let got: Vec<&str> = (0..2).map(|_| r.route_read().unwrap()).collect();
         assert!(got.contains(&"r0"));
     }
 
@@ -125,7 +138,28 @@ mod tests {
         let r = rule();
         r.set_replica_enabled("r0", false);
         r.set_replica_enabled("r1", false);
-        assert_eq!(r.route_read(), "primary");
+        assert_eq!(r.route_read(), Some("primary"));
+    }
+
+    #[test]
+    fn disabled_primary_is_not_a_fallback() {
+        let r = rule();
+        r.set_replica_enabled("r0", false);
+        r.set_replica_enabled("r1", false);
+        r.set_replica_enabled("primary", false);
+        assert_eq!(r.route_read(), None);
+        r.set_replica_enabled("r1", true);
+        assert_eq!(r.route_read(), Some("r1"));
+    }
+
+    #[test]
+    fn route_read_where_vetoes_sources() {
+        let r = rule();
+        assert_eq!(r.route_read_where(|s| s != "r0"), Some("r1"));
+        // All replicas vetoed → healthy primary.
+        assert_eq!(r.route_read_where(|s| s == "primary"), Some("primary"));
+        // Everything vetoed → no route.
+        assert_eq!(r.route_read_where(|_| false), None);
     }
 
     #[test]

@@ -1,0 +1,226 @@
+//! Per-datasource circuit breaker: closed → open on consecutive
+//! infrastructure failures → half-open probe after a cooldown → closed on
+//! the first success.
+//!
+//! The executor consults [`CircuitBreaker::allow_request`] before every
+//! dispatch and feeds back results; health-detector events force the breaker
+//! open ([`CircuitBreaker::trip`]) or closed ([`CircuitBreaker::reset`]).
+//! Only infrastructure-class failures count — a semantic error (missing
+//! table, duplicate key) proves the source is alive.
+
+use parking_lot::Mutex;
+use std::time::{Duration, Instant};
+
+/// Breaker state machine position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: all requests pass.
+    Closed,
+    /// Tripped: requests fail fast until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed: requests are admitted as probes; the first result
+    /// decides (success closes, failure re-opens).
+    HalfOpen,
+}
+
+impl BreakerState {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    state: BreakerState,
+    consecutive_failures: u32,
+    failure_threshold: u32,
+    cooldown: Duration,
+    /// When the breaker last moved to Open (drives the half-open timer).
+    opened_at: Option<Instant>,
+    /// Last time a request or probe outcome was recorded.
+    last_probe: Option<Instant>,
+}
+
+/// Thread-safe circuit breaker; one lives on every [`crate::DataSource`].
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    inner: Mutex<Inner>,
+}
+
+impl Default for CircuitBreaker {
+    fn default() -> Self {
+        Self::new(3, Duration::from_millis(250))
+    }
+}
+
+impl CircuitBreaker {
+    pub fn new(failure_threshold: u32, cooldown: Duration) -> Self {
+        CircuitBreaker {
+            inner: Mutex::new(Inner {
+                state: BreakerState::Closed,
+                consecutive_failures: 0,
+                failure_threshold: failure_threshold.max(1),
+                cooldown,
+                opened_at: None,
+                last_probe: None,
+            }),
+        }
+    }
+
+    /// Re-tune thresholds live (chaos tests shorten the cooldown).
+    pub fn configure(&self, failure_threshold: u32, cooldown: Duration) {
+        let mut inner = self.inner.lock();
+        inner.failure_threshold = failure_threshold.max(1);
+        inner.cooldown = cooldown;
+    }
+
+    /// May a request be dispatched now? Open breakers admit a request again
+    /// once the cooldown has elapsed — that request is the half-open probe.
+    pub fn allow_request(&self) -> bool {
+        let mut inner = self.inner.lock();
+        match inner.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open => {
+                let elapsed = inner
+                    .opened_at
+                    .map(|t| t.elapsed() >= inner.cooldown)
+                    .unwrap_or(true);
+                if elapsed {
+                    inner.state = BreakerState::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// A dispatched request succeeded: close the breaker.
+    pub fn record_success(&self) {
+        let mut inner = self.inner.lock();
+        inner.last_probe = Some(Instant::now());
+        inner.consecutive_failures = 0;
+        inner.state = BreakerState::Closed;
+        inner.opened_at = None;
+    }
+
+    /// A dispatched request failed for infrastructure reasons: count it and
+    /// open the breaker at the threshold (a half-open probe failure re-opens
+    /// immediately).
+    pub fn record_failure(&self) {
+        let mut inner = self.inner.lock();
+        inner.last_probe = Some(Instant::now());
+        inner.consecutive_failures = inner.consecutive_failures.saturating_add(1);
+        let tripped = inner.state == BreakerState::HalfOpen
+            || inner.consecutive_failures >= inner.failure_threshold;
+        if tripped {
+            inner.state = BreakerState::Open;
+            inner.opened_at = Some(Instant::now());
+        }
+    }
+
+    /// Force the breaker open (health detector saw the source down).
+    pub fn trip(&self) {
+        let mut inner = self.inner.lock();
+        inner.last_probe = Some(Instant::now());
+        inner.consecutive_failures = inner.consecutive_failures.max(inner.failure_threshold);
+        inner.state = BreakerState::Open;
+        inner.opened_at = Some(Instant::now());
+    }
+
+    /// Force the breaker closed (health detector saw the source recover).
+    pub fn reset(&self) {
+        let mut inner = self.inner.lock();
+        inner.last_probe = Some(Instant::now());
+        inner.consecutive_failures = 0;
+        inner.state = BreakerState::Closed;
+        inner.opened_at = None;
+    }
+
+    /// Current state without side effects (`SHOW DATA_SOURCE HEALTH`).
+    pub fn state(&self) -> BreakerState {
+        self.inner.lock().state
+    }
+
+    pub fn consecutive_failures(&self) -> u32 {
+        self.inner.lock().consecutive_failures
+    }
+
+    /// Milliseconds since the last recorded outcome, if any.
+    pub fn last_probe_ms(&self) -> Option<u128> {
+        self.inner
+            .lock()
+            .last_probe
+            .map(|t| t.elapsed().as_millis())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opens_after_consecutive_failures() {
+        let b = CircuitBreaker::new(3, Duration::from_millis(50));
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.record_failure();
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allow_request());
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let b = CircuitBreaker::new(3, Duration::from_millis(50));
+        b.record_failure();
+        b.record_failure();
+        b.record_success();
+        b.record_failure();
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.consecutive_failures(), 2);
+    }
+
+    #[test]
+    fn half_open_probe_closes_on_success() {
+        let b = CircuitBreaker::new(1, Duration::from_millis(10));
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allow_request());
+        std::thread::sleep(Duration::from_millis(15));
+        assert!(b.allow_request());
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn half_open_probe_reopens_on_failure() {
+        let b = CircuitBreaker::new(2, Duration::from_millis(10));
+        b.record_failure();
+        b.record_failure();
+        std::thread::sleep(Duration::from_millis(15));
+        assert!(b.allow_request());
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allow_request());
+    }
+
+    #[test]
+    fn trip_and_reset_are_immediate() {
+        let b = CircuitBreaker::default();
+        b.trip();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(b.consecutive_failures() >= 3);
+        b.reset();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.allow_request());
+        assert!(b.last_probe_ms().is_some());
+    }
+}

@@ -5,9 +5,14 @@
 
 use super::registry::ConfigRegistry;
 use crate::feature::ReadWriteSplitRule;
-use parking_lot::Mutex;
+use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// The rw-split group map a coordinator rewires. Shared with
+/// [`crate::ShardingRuntime`], so a promotion *is* the live installation —
+/// the next routed read sees the new primary without any copy step.
+pub type SharedGroups = Arc<RwLock<HashMap<String, ReadWriteSplitRule>>>;
 
 /// One failover decision.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -20,15 +25,18 @@ pub struct FailoverEvent {
 /// Watches data-source health and rewires read-write split groups.
 pub struct FailoverCoordinator {
     registry: Arc<ConfigRegistry>,
-    groups: Mutex<HashMap<String, ReadWriteSplitRule>>,
+    groups: SharedGroups,
 }
 
 impl FailoverCoordinator {
     pub fn new(registry: Arc<ConfigRegistry>) -> Self {
-        FailoverCoordinator {
-            registry,
-            groups: Mutex::new(HashMap::new()),
-        }
+        Self::with_groups(registry, Arc::new(RwLock::new(HashMap::new())))
+    }
+
+    /// Coordinate over an existing (live) group map instead of a private
+    /// copy — the runtime wires its own rw-split map in here.
+    pub fn with_groups(registry: Arc<ConfigRegistry>, groups: SharedGroups) -> Self {
+        FailoverCoordinator { registry, groups }
     }
 
     pub fn manage(&self, rule: ReadWriteSplitRule) {
@@ -36,18 +44,18 @@ impl FailoverCoordinator {
             &format!("topology/{}/primary", rule.logical_name),
             rule.primary.clone(),
         );
-        self.groups.lock().insert(rule.logical_name.clone(), rule);
+        self.groups.write().insert(rule.logical_name.clone(), rule);
     }
 
     /// Current primary of a managed group.
     pub fn primary_of(&self, group: &str) -> Option<String> {
-        self.groups.lock().get(group).map(|g| g.primary.clone())
+        self.groups.read().get(group).map(|g| g.primary.clone())
     }
 
     /// Extract the groups (to install into a runtime after rewiring).
     pub fn snapshot(&self) -> Vec<(String, String, Vec<String>)> {
         self.groups
-            .lock()
+            .read()
             .values()
             .map(|g| {
                 (
@@ -68,7 +76,7 @@ impl FailoverCoordinator {
         healthy: &dyn Fn(&str) -> bool,
     ) -> Vec<FailoverEvent> {
         let mut events = Vec::new();
-        let mut groups = self.groups.lock();
+        let mut groups = self.groups.write();
         for group in groups.values_mut() {
             if group.primary == source {
                 let candidate = group
@@ -90,6 +98,10 @@ impl FailoverCoordinator {
                         old_primary: old,
                         new_primary,
                     });
+                } else {
+                    // No healthy candidate: mark the dead primary so reads
+                    // fail fast instead of routing to it.
+                    group.set_replica_enabled(source, false);
                 }
             } else {
                 group.set_replica_enabled(source, false);
@@ -101,7 +113,7 @@ impl FailoverCoordinator {
     /// React to a data source recovering: it rejoins its groups as a
     /// readable replica (it does not automatically reclaim primaryship).
     pub fn on_source_up(&self, source: &str) {
-        for group in self.groups.lock().values_mut() {
+        for group in self.groups.write().values_mut() {
             group.set_replica_enabled(source, true);
         }
     }
@@ -154,10 +166,10 @@ mod tests {
         assert!(events.is_empty());
         assert_eq!(c.primary_of("billing").as_deref(), Some("srv_a"));
         // reads now avoid srv_b
-        let groups = c.groups.lock();
+        let groups = c.groups.read();
         let g = groups.get("billing").unwrap();
-        assert_eq!(g.route_read(), "srv_c");
-        assert_eq!(g.route_read(), "srv_c");
+        assert_eq!(g.route_read(), Some("srv_c"));
+        assert_eq!(g.route_read(), Some("srv_c"));
     }
 
     #[test]
@@ -165,11 +177,11 @@ mod tests {
         let c = coordinator();
         c.on_source_down("srv_a", &|_| true); // promote srv_b
         c.on_source_up("srv_a");
-        let groups = c.groups.lock();
+        let groups = c.groups.read();
         let g = groups.get("billing").unwrap();
         // old primary is back in the read rotation, not primary again.
         assert_eq!(g.primary, "srv_b");
-        let reads: Vec<&str> = (0..4).map(|_| g.route_read()).collect();
+        let reads: Vec<&str> = (0..4).map(|_| g.route_read().unwrap()).collect();
         assert!(reads.contains(&"srv_a"));
     }
 
@@ -179,5 +191,35 @@ mod tests {
         let events = c.on_source_down("srv_a", &|_| false);
         assert!(events.is_empty());
         assert_eq!(c.primary_of("billing").as_deref(), Some("srv_a"));
+        // ... but the dead primary no longer serves reads; the replicas
+        // (not yet reported down themselves) still do until their own
+        // down events arrive.
+        {
+            let groups = c.groups.read();
+            let g = groups.get("billing").unwrap();
+            for _ in 0..4 {
+                assert_ne!(g.route_read(), Some("srv_a"));
+            }
+        }
+        c.on_source_down("srv_b", &|_| false);
+        c.on_source_down("srv_c", &|_| false);
+        // Every member down → no read route at all.
+        let groups = c.groups.read();
+        assert_eq!(groups.get("billing").unwrap().route_read(), None);
+    }
+
+    #[test]
+    fn shared_groups_see_promotions_live() {
+        let groups: SharedGroups = Arc::new(RwLock::new(HashMap::new()));
+        let c =
+            FailoverCoordinator::with_groups(Arc::new(ConfigRegistry::new()), Arc::clone(&groups));
+        c.manage(ReadWriteSplitRule::new(
+            "billing",
+            "srv_a",
+            vec!["srv_b".into()],
+        ));
+        c.on_source_down("srv_a", &|_| true);
+        // The externally-held map observed the promotion with no install step.
+        assert_eq!(groups.read().get("billing").unwrap().primary, "srv_b");
     }
 }

@@ -4,11 +4,15 @@
 
 use super::registry::ConfigRegistry;
 use crate::datasource::DataSource;
+use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Status-change callback (failover wiring, tests). Runs on the probe
+/// thread.
+type EventListener = Box<dyn Fn(&HealthEvent) + Send + Sync>;
 
 /// One probe outcome.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -33,6 +37,8 @@ impl HealthReport {
 pub struct HealthDetector {
     registry: Arc<ConfigRegistry>,
     datasources: Vec<Arc<DataSource>>,
+    /// Called for every status *change*.
+    listeners: Vec<EventListener>,
 }
 
 impl HealthDetector {
@@ -40,7 +46,14 @@ impl HealthDetector {
         HealthDetector {
             registry,
             datasources,
+            listeners: Vec::new(),
         }
+    }
+
+    /// Register a status-change listener (runs on the probe thread).
+    pub fn on_event(mut self, f: impl Fn(&HealthEvent) + Send + Sync + 'static) -> Self {
+        self.listeners.push(Box::new(f));
+        self
     }
 
     /// Probe every data source once: update circuit breakers and publish
@@ -59,8 +72,19 @@ impl HealthDetector {
                     healthy,
                 });
             }
-            // Circuit-break unhealthy sources; re-enable recovered ones.
+            // Feed the circuit breaker and the enabled flag: a probe is
+            // first-class evidence, same as a real request outcome.
+            if healthy {
+                ds.breaker().record_success();
+            } else {
+                ds.breaker().trip();
+            }
             ds.set_enabled(healthy);
+        }
+        for event in &events {
+            for listener in &self.listeners {
+                listener(event);
+            }
         }
         events
     }
@@ -75,14 +99,20 @@ impl HealthDetector {
     }
 
     /// Spawn the background probe loop. The returned guard stops the loop
-    /// when dropped.
+    /// when dropped; the interval wait is a condvar, so dropping the guard
+    /// returns promptly instead of blocking up to a full interval.
     pub fn start(self, interval: Duration) -> HealthLoopGuard {
-        let stop = Arc::new(AtomicBool::new(false));
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
         let stop2 = Arc::clone(&stop);
-        let handle = std::thread::spawn(move || {
-            while !stop2.load(Ordering::SeqCst) {
-                self.probe_once();
-                std::thread::sleep(interval);
+        let handle = std::thread::spawn(move || loop {
+            self.probe_once();
+            let (stopped, wake) = &*stop2;
+            let mut stopped = stopped.lock();
+            if !*stopped {
+                wake.wait_until(&mut stopped, Instant::now() + interval);
+            }
+            if *stopped {
+                break;
             }
         });
         HealthLoopGuard {
@@ -94,13 +124,15 @@ impl HealthDetector {
 
 /// Stops the health loop on drop.
 pub struct HealthLoopGuard {
-    stop: Arc<AtomicBool>,
+    stop: Arc<(Mutex<bool>, Condvar)>,
     handle: Option<JoinHandle<()>>,
 }
 
 impl Drop for HealthLoopGuard {
     fn drop(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
+        let (stopped, wake) = &*self.stop;
+        *stopped.lock() = true;
+        wake.notify_all();
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }
@@ -110,7 +142,9 @@ impl Drop for HealthLoopGuard {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use shard_storage::StorageEngine;
+    use crate::governor::BreakerState;
+    use shard_storage::{FaultKind, FaultOp, FaultPlan, FaultTrigger, StorageEngine};
+    use std::time::Instant;
 
     fn ds(name: &str) -> Arc<DataSource> {
         Arc::new(DataSource::new(name, StorageEngine::new(name), 4))
@@ -152,6 +186,36 @@ mod tests {
     }
 
     #[test]
+    fn failed_probe_trips_breaker_and_fires_listener() {
+        let registry = Arc::new(ConfigRegistry::new());
+        let a = ds("ds_0");
+        a.engine().fault_injector().inject(FaultPlan::new(
+            FaultOp::Ping,
+            FaultKind::Error("dead".into()),
+            FaultTrigger::EveryNth(1),
+        ));
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let seen2 = Arc::clone(&seen);
+        let detector = HealthDetector::new(registry, vec![Arc::clone(&a)])
+            .on_event(move |e| seen2.lock().push(e.clone()));
+        detector.probe_once();
+        assert_eq!(a.breaker().state(), BreakerState::Open);
+        assert!(!a.is_enabled());
+        assert_eq!(
+            seen.lock().as_slice(),
+            &[HealthEvent {
+                datasource: "ds_0".into(),
+                healthy: false
+            }]
+        );
+        // Recovery closes the breaker and re-enables the source.
+        a.engine().clear_faults();
+        detector.probe_once();
+        assert_eq!(a.breaker().state(), BreakerState::Closed);
+        assert!(a.is_enabled());
+    }
+
+    #[test]
     fn background_loop_runs_and_stops() {
         let registry = Arc::new(ConfigRegistry::new());
         let a = ds("ds_0");
@@ -162,6 +226,21 @@ mod tests {
         assert_eq!(
             registry.get("status/datasource/ds_0").as_deref(),
             Some("up")
+        );
+    }
+
+    #[test]
+    fn guard_drop_returns_promptly_despite_long_interval() {
+        let registry = Arc::new(ConfigRegistry::new());
+        let detector = HealthDetector::new(registry, vec![ds("ds_0")]);
+        let guard = detector.start(Duration::from_secs(60));
+        std::thread::sleep(Duration::from_millis(10));
+        let start = Instant::now();
+        drop(guard);
+        assert!(
+            start.elapsed() < Duration::from_millis(500),
+            "drop blocked for {:?}",
+            start.elapsed()
         );
     }
 }

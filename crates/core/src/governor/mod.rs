@@ -5,10 +5,12 @@
 //! store shared by every kernel instance (JDBC adaptors and proxies can
 //! share one registry, as Fig 4 shows them sharing one Governor).
 
+mod breaker;
 mod failover;
 mod health;
 mod registry;
 
-pub use failover::{FailoverCoordinator, FailoverEvent};
-pub use health::{HealthDetector, HealthEvent, HealthReport};
+pub use breaker::{BreakerState, CircuitBreaker};
+pub use failover::{FailoverCoordinator, FailoverEvent, SharedGroups};
+pub use health::{HealthDetector, HealthEvent, HealthLoopGuard, HealthReport};
 pub use registry::{ConfigRegistry, ConfigVersion, Watcher};

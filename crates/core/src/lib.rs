@@ -22,6 +22,6 @@ pub mod route;
 pub mod runtime;
 pub mod transaction;
 
-pub use error::{KernelError, Result};
+pub use error::{ErrorClass, KernelError, Result};
 pub use runtime::{QueryStream, RuntimeBuilder, Session, ShardingRuntime, StreamOutcome};
 pub use transaction::TransactionType;

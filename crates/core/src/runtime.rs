@@ -10,12 +10,14 @@ use crate::algorithm::AlgorithmRegistry;
 use crate::cache::{build_plan, execute_sharded_plan, CachedPlan, PlanKind, SqlPlanCache};
 use crate::config::ShardingRule;
 use crate::datasource::DataSource;
-use crate::error::{KernelError, Result};
+use crate::error::{ErrorClass, KernelError, Result};
 use crate::executor::{shared_params, ExecutionInput, ExecutionReport, ExecutorEngine};
 use crate::feature::{
     EncryptRule, HintManager, KeyGenerator, ReadWriteSplitRule, ShadowRule, SnowflakeGenerator,
 };
-use crate::governor::ConfigRegistry;
+use crate::governor::{
+    ConfigRegistry, FailoverCoordinator, HealthDetector, HealthLoopGuard, SharedGroups,
+};
 use crate::merge::{merge_explain, merge_stream, MergedStream, MergerKind};
 use crate::metadata::LogicalSchemas;
 use crate::rewrite::{rewrite_for_unit, rewrite_statement, DerivedInfo};
@@ -29,6 +31,7 @@ use shard_storage::{ExecuteResult, ResultSet, StorageEngine, TxnId};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Shared kernel state.
 pub struct ShardingRuntime {
@@ -41,7 +44,9 @@ pub struct ShardingRuntime {
     pub(crate) algorithms: RwLock<AlgorithmRegistry>,
     pub(crate) encrypt: RwLock<EncryptRule>,
     pub(crate) shadow: RwLock<Option<ShadowRule>>,
-    pub(crate) rw_split: RwLock<HashMap<String, ReadWriteSplitRule>>,
+    /// Shared with any [`FailoverCoordinator`] the governor wires up, so a
+    /// promotion is live for the very next routed read.
+    pub(crate) rw_split: SharedGroups,
     /// Optional request throttle (paper §IV-C traffic governance).
     pub(crate) throttle: RwLock<Option<crate::feature::Throttle>>,
     pub(crate) xa_log: XaLog,
@@ -237,6 +242,41 @@ impl ShardingRuntime {
         format!("xid-{}", self.next_xid.fetch_add(1, Ordering::SeqCst))
     }
 
+    /// The live read-write-split group map (shared with failover wiring).
+    pub fn rw_split_groups(&self) -> SharedGroups {
+        Arc::clone(&self.rw_split)
+    }
+
+    /// Build the resilience governor: a [`HealthDetector`] over every
+    /// registered data source whose status changes drive a
+    /// [`FailoverCoordinator`] over the runtime's *live* rw-split groups —
+    /// a broken primary is promoted away and the rewired topology is what
+    /// the very next statement routes against. Chaos tests drive
+    /// [`HealthDetector::probe_once`] manually; production callers use
+    /// [`ShardingRuntime::start_health_governor`].
+    pub fn health_detector(self: &Arc<Self>) -> HealthDetector {
+        let snapshot = self.datasource_snapshot();
+        let datasources: Vec<Arc<DataSource>> = snapshot.values().cloned().collect();
+        let coordinator = FailoverCoordinator::with_groups(
+            Arc::clone(&self.registry),
+            Arc::clone(&self.rw_split),
+        );
+        HealthDetector::new(Arc::clone(&self.registry), datasources).on_event(move |event| {
+            if event.healthy {
+                coordinator.on_source_up(&event.datasource);
+            } else {
+                coordinator.on_source_down(&event.datasource, &|name| {
+                    snapshot.get(name).is_some_and(|ds| ds.ping())
+                });
+            }
+        })
+    }
+
+    /// Start the background health/failover loop.
+    pub fn start_health_governor(self: &Arc<Self>, interval: Duration) -> HealthLoopGuard {
+        self.health_detector().start(interval)
+    }
+
     /// Run XA recovery over every registered data source (startup /
     /// periodic job, paper §IV-B).
     pub fn recover_xa(&self) -> usize {
@@ -255,6 +295,7 @@ impl ShardingRuntime {
             runtime: Arc::clone(self),
             txn_type: TransactionType::Local,
             txn: None,
+            statement_timeout: None,
             last_report: None,
             last_merger: None,
         }
@@ -307,7 +348,7 @@ impl RuntimeBuilder {
             algorithms: RwLock::new(AlgorithmRegistry::with_builtins()),
             encrypt: RwLock::new(EncryptRule::new()),
             shadow: RwLock::new(None),
-            rw_split: RwLock::new(HashMap::new()),
+            rw_split: Arc::new(RwLock::new(HashMap::new())),
             throttle: RwLock::new(None),
             xa_log: XaLog::new(),
             tc: TransactionCoordinator::new(),
@@ -434,9 +475,33 @@ pub struct Session {
     runtime: Arc<ShardingRuntime>,
     txn_type: TransactionType,
     txn: Option<SessionTxn>,
+    /// Per-statement deadline (`SET statement_timeout_ms = …`; None = no
+    /// deadline). Flows into the executor so hung shards are abandoned.
+    statement_timeout: Option<Duration>,
     /// Diagnostics from the last statement (tests, Fig 15 bench).
     last_report: Option<ExecutionReport>,
     last_merger: Option<MergerKind>,
+}
+
+/// Maximum transparent retries of a read-only statement on transient errors.
+const READ_RETRY_LIMIT: u32 = 3;
+
+/// Base backoff doubled per attempt (plus deterministic jitter).
+const RETRY_BACKOFF_BASE_MS: u64 = 5;
+
+/// Bounded exponential backoff with jitter. The jitter is seeded from a
+/// process-wide counter (not wall clock / OS randomness) so chaos runs are
+/// reproducible.
+fn retry_backoff(attempt: u32) -> Duration {
+    static SALT: AtomicU64 = AtomicU64::new(0x9E37_79B9_7F4A_7C15);
+    let base = RETRY_BACKOFF_BASE_MS << attempt.min(6);
+    let mut z = SALT
+        .fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed)
+        .wrapping_add(u64::from(attempt));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    let jitter = (z ^ (z >> 31)) % (base / 2 + 1);
+    Duration::from_millis(base + jitter)
 }
 
 impl Session {
@@ -545,6 +610,7 @@ impl Session {
         if !streamable_shape {
             return Ok(StreamOutcome::from_result(self.execute(stmt, params)?));
         }
+        let deadline = self.statement_timeout.map(|t| Instant::now() + t);
         match self.plan_data_statement(stmt, params)? {
             DataPlan::Immediate(result) => Ok(StreamOutcome::from_result(result)),
             DataPlan::Execute(plan) => {
@@ -553,14 +619,21 @@ impl Session {
                     .executor
                     .can_stream(&plan.inputs, plan.txn_bindings.as_ref())
                 {
-                    return Ok(StreamOutcome::from_result(self.run_materialized(*plan)?));
+                    return Ok(StreamOutcome::from_result(
+                        self.run_materialized(*plan, deadline)?,
+                    ));
                 }
                 let datasources = self.runtime.datasource_snapshot();
-                let streamed = self.runtime.executor.execute_query_stream(
+                let mut streamed = self.runtime.executor.execute_query_stream(
                     &datasources,
                     plan.inputs,
                     plan.params,
                 )?;
+                if let Some(d) = deadline {
+                    for stream in &mut streamed.streams {
+                        stream.set_deadline(d, streamed.cancel.clone());
+                    }
+                }
                 self.last_report = Some(streamed.report);
                 let merged = merge_stream(streamed.streams, &plan.info, streamed.cancel)?;
                 self.last_merger = Some(merged.kind());
@@ -598,6 +671,13 @@ impl Session {
                 self.runtime.plan_cache.set_capacity(n);
                 Ok(())
             }
+            "statement_timeout_ms" | "statement_timeout" => {
+                let n: u64 = value.parse().map_err(|_| {
+                    KernelError::Config("statement_timeout_ms must be an integer".into())
+                })?;
+                self.statement_timeout = (n > 0).then(|| Duration::from_millis(n));
+                Ok(())
+            }
             // autocommit & friends accepted for driver compatibility.
             "autocommit" | "sql_mode" | "time_zone" | "character_set_results" => Ok(()),
             other => Err(KernelError::Config(format!("unknown variable '{other}'"))),
@@ -618,6 +698,10 @@ impl Session {
                 .map(|t| t.rate().to_string())
                 .unwrap_or_else(|| "unlimited".into())),
             "sql_plan_cache_size" => Ok(self.runtime.plan_cache.capacity().to_string()),
+            "statement_timeout_ms" | "statement_timeout" => Ok(self
+                .statement_timeout
+                .map(|t| t.as_millis().to_string())
+                .unwrap_or_else(|| "0".into())),
             other => Err(KernelError::Config(format!("unknown variable '{other}'"))),
         }
     }
@@ -696,9 +780,42 @@ impl Session {
         stmt: &Statement,
         params: &[Value],
     ) -> Result<ExecuteResult> {
-        match self.plan_data_statement(stmt, params)? {
-            DataPlan::Immediate(result) => Ok(result),
-            DataPlan::Execute(plan) => self.run_materialized(*plan),
+        let deadline = self.statement_timeout.map(|t| Instant::now() + t);
+        // Only read-only statements outside transactions retry: a write (or
+        // any in-transaction statement) may have partially applied, so it is
+        // never silently re-executed.
+        let retryable = stmt.category() == StatementCategory::Dql && self.txn.is_none();
+        let mut attempt = 0u32;
+        loop {
+            // Re-plan on every attempt: routing re-runs, so rw-split picks a
+            // healthy replica once breakers/health marked the failed one.
+            let outcome = match self.plan_data_statement(stmt, params) {
+                Ok(DataPlan::Immediate(result)) => return Ok(result),
+                Ok(DataPlan::Execute(plan)) => self.run_materialized(*plan, deadline),
+                Err(e) => Err(e),
+            };
+            match outcome {
+                Ok(result) => return Ok(result),
+                Err(e) => {
+                    if !retryable || e.class() != ErrorClass::Transient {
+                        return Err(e);
+                    }
+                    if attempt >= READ_RETRY_LIMIT {
+                        return Err(e);
+                    }
+                    let backoff = retry_backoff(attempt);
+                    if let Some(d) = deadline {
+                        if Instant::now() + backoff >= d {
+                            return Err(KernelError::Timeout(format!(
+                                "deadline elapsed after {} attempt(s); last error: {e}",
+                                attempt + 1
+                            )));
+                        }
+                    }
+                    std::thread::sleep(backoff);
+                    attempt += 1;
+                }
+            }
         }
     }
 
@@ -820,8 +937,8 @@ impl Session {
         }
 
         // 5. Feature: read-write splitting (reads outside transactions go to
-        // replicas).
-        self.apply_rw_split(&mut route, is_query);
+        // replicas; reads route around open circuit breakers).
+        self.apply_rw_split(&mut route, is_query)?;
 
         if route.units.is_empty() {
             // Contradictory conditions: empty result without touching shards.
@@ -858,15 +975,20 @@ impl Session {
 
     /// Steps 8–10 on the materialized path: fan out, buffer every shard
     /// result, merge, decrypt.
-    fn run_materialized(&mut self, plan: PlannedExecution) -> Result<ExecuteResult> {
+    fn run_materialized(
+        &mut self,
+        plan: PlannedExecution,
+        deadline: Option<Instant>,
+    ) -> Result<ExecuteResult> {
         // 8. Execute on the runtime's long-lived engine against an Arc
         // snapshot of the topology (no per-statement map clone).
         let datasources = self.runtime.datasource_snapshot();
-        let (results, report) = self.runtime.executor.execute(
+        let (results, report) = self.runtime.executor.execute_with_deadline(
             &datasources,
             plan.inputs,
             plan.params,
             plan.txn_bindings.as_ref(),
+            deadline,
         )?;
         self.last_report = Some(report);
 
@@ -904,22 +1026,35 @@ impl Session {
         Some(key_col)
     }
 
-    fn apply_rw_split(&self, route: &mut RouteResult, is_query: bool) {
+    fn apply_rw_split(&self, route: &mut RouteResult, is_query: bool) -> Result<()> {
         let rw = self.runtime.rw_split.read();
         if rw.is_empty() {
-            return;
+            return Ok(());
         }
         let in_txn = self.txn.is_some();
+        let datasources = self.runtime.datasource_snapshot();
         for unit in &mut route.units {
             if let Some(group) = rw.get(&unit.datasource) {
                 let target = if is_query && !in_txn {
-                    group.route_read()
+                    // Route around disabled sources and open breakers; an
+                    // unknown name is left for the executor to reject.
+                    group
+                        .route_read_where(|name| {
+                            datasources.get(name).is_none_or(|ds| ds.is_routable())
+                        })
+                        .ok_or_else(|| {
+                            KernelError::Unavailable(format!(
+                                "every data source of group '{}' is disabled or circuit-open",
+                                group.logical_name
+                            ))
+                        })?
                 } else {
                     group.route_write()
                 };
                 unit.datasource = target.to_string();
             }
         }
+        Ok(())
     }
 
     /// For Local/XA transactions: lazily begin a branch on every data source

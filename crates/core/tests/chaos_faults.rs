@@ -1,0 +1,273 @@
+//! Fault-injection integration tests: the chaos-ready kernel under scripted
+//! storage faults — XA prepare-phase failures, mid-stream shard errors,
+//! hung shards against statement deadlines, and transparent read retries.
+
+use shard_core::{
+    ErrorClass, KernelError, Session, ShardingRuntime, StreamOutcome, TransactionType,
+};
+use shard_sql::Value;
+use shard_storage::{FaultKind, FaultOp, FaultPlan, FaultTrigger, StorageEngine};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn sharded_runtime() -> Arc<ShardingRuntime> {
+    let runtime = ShardingRuntime::builder()
+        .datasource("ds_0", StorageEngine::new("ds_0"))
+        .datasource("ds_1", StorageEngine::new("ds_1"))
+        .build();
+    let mut s = runtime.session();
+    for sql in [
+        "CREATE SHARDING TABLE RULE t_user (RESOURCES(ds_0, ds_1), SHARDING_COLUMN=uid, TYPE=mod, PROPERTIES(\"sharding-count\"=4))",
+        "CREATE TABLE t_user (uid BIGINT PRIMARY KEY, name VARCHAR(32), age INT)",
+    ] {
+        s.execute_sql(sql, &[]).unwrap();
+    }
+    runtime
+}
+
+fn load_users(s: &mut Session, n: i64) {
+    for uid in 0..n {
+        s.execute_sql(
+            "INSERT INTO t_user (uid, name, age) VALUES (?, ?, ?)",
+            &[
+                Value::Int(uid),
+                Value::Str(format!("user{uid}")),
+                Value::Int(20 + (uid % 10)),
+            ],
+        )
+        .unwrap();
+    }
+}
+
+fn count_users(s: &mut Session) -> i64 {
+    let rs = s
+        .execute_sql("SELECT COUNT(*) FROM t_user", &[])
+        .unwrap()
+        .query();
+    match rs.rows[0][0] {
+        Value::Int(n) => n,
+        ref other => panic!("unexpected count value {other:?}"),
+    }
+}
+
+fn inject(runtime: &Arc<ShardingRuntime>, ds: &str, plan: FaultPlan) {
+    runtime
+        .datasource(ds)
+        .unwrap()
+        .engine()
+        .fault_injector()
+        .inject(plan);
+}
+
+/// XA satellite: a prepare-phase fault on one branch makes the TM roll back
+/// the siblings that already voted OK — no partial commit, nothing left
+/// in doubt for recovery to chew on.
+#[test]
+fn xa_prepare_fault_rolls_back_prepared_siblings() {
+    let runtime = sharded_runtime();
+    let mut s = runtime.session();
+    load_users(&mut s, 4);
+    s.set_transaction_type(TransactionType::Xa).unwrap();
+
+    s.begin().unwrap();
+    // Touch both data sources so the global transaction has two branches.
+    s.execute_sql(
+        "INSERT INTO t_user (uid, name, age) VALUES (10, 'a', 1), (11, 'b', 2), (12, 'c', 3), (13, 'd', 4)",
+        &[],
+    )
+    .unwrap();
+    inject(
+        &runtime,
+        "ds_1",
+        FaultPlan::new(
+            FaultOp::Prepare,
+            FaultKind::Error("prepare refused".into()),
+            FaultTrigger::Once,
+        ),
+    );
+
+    let err = s.commit().unwrap_err();
+    assert!(matches!(err, KernelError::Transaction(_)), "{err}");
+    assert!(err.to_string().contains("voted NO"), "{err}");
+
+    // The sibling that prepared successfully was rolled back: no branch is
+    // left in doubt and the insert is not visible anywhere.
+    for ds in ["ds_0", "ds_1"] {
+        let engine = runtime.datasource(ds).unwrap().engine().clone();
+        assert!(engine.in_doubt().is_empty(), "{ds} left a branch in doubt");
+    }
+    assert_eq!(count_users(&mut s), 4, "no partial commit");
+
+    // The session is usable again and a clean XA commit goes through.
+    s.begin().unwrap();
+    s.execute_sql(
+        "INSERT INTO t_user (uid, name, age) VALUES (20, 'ok', 5)",
+        &[],
+    )
+    .unwrap();
+    s.commit().unwrap();
+    assert_eq!(count_users(&mut s), 5);
+}
+
+/// Streaming satellite: a shard that fails mid-stream surfaces exactly one
+/// structured (transient-classified) error and the stream terminates —
+/// sibling cursors are cancelled rather than left producing rows.
+#[test]
+fn mid_stream_fault_cancels_siblings_with_one_error() {
+    let runtime = sharded_runtime();
+    let mut s = runtime.session();
+    load_users(&mut s, 64);
+
+    // Every row pull on ds_1 fails once the stream is up.
+    inject(
+        &runtime,
+        "ds_1",
+        FaultPlan::new(
+            FaultOp::RowPull,
+            FaultKind::Error("disk gone".into()),
+            FaultTrigger::EveryNth(1),
+        ),
+    );
+
+    let outcome = s
+        .execute_sql_stream("SELECT uid FROM t_user ORDER BY uid", &[])
+        .unwrap();
+    let mut rows = match outcome {
+        StreamOutcome::Rows(rows) => rows,
+        StreamOutcome::Update { .. } => panic!("expected a row stream"),
+    };
+    let mut yielded = 0usize;
+    let mut errors = Vec::new();
+    loop {
+        match rows.next_row() {
+            Ok(Some(_)) => yielded += 1,
+            Ok(None) => break,
+            Err(e) => errors.push(e),
+        }
+    }
+    assert_eq!(errors.len(), 1, "exactly one structured error: {errors:?}");
+    let err = &errors[0];
+    assert_eq!(err.class(), ErrorClass::Transient, "{err}");
+    assert!(err.to_string().contains("row_pull fault"), "{err}");
+    // ds_0 shards may have yielded some rows before the failure, but the
+    // failure must terminate the stream well short of the full result.
+    assert!(yielded < 64, "stream kept going after shard failure");
+}
+
+/// Deadline satellite: a shard that hangs (not errors) is abandoned when the
+/// per-statement deadline elapses; the caller gets a structured timeout, not
+/// a hang, and clearing faults releases the stuck storage thread.
+#[test]
+fn hung_shard_times_out_against_statement_deadline() {
+    let runtime = sharded_runtime();
+    let mut s = runtime.session();
+    load_users(&mut s, 8);
+    s.execute_sql("SET VARIABLE statement_timeout_ms = 150", &[])
+        .unwrap();
+
+    inject(
+        &runtime,
+        "ds_0",
+        FaultPlan::new(
+            FaultOp::ScanOpen,
+            FaultKind::Hang {
+                max: Duration::from_secs(10),
+            },
+            FaultTrigger::Once,
+        ),
+    );
+
+    let start = std::time::Instant::now();
+    let err = s
+        .execute_sql("SELECT COUNT(*) FROM t_user", &[])
+        .unwrap_err();
+    assert!(matches!(err, KernelError::Timeout(_)), "{err}");
+    assert_eq!(err.class(), ErrorClass::Timeout);
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "deadline did not abandon the hung shard"
+    );
+
+    // Release the hung storage thread and verify the runtime recovered.
+    runtime
+        .datasource("ds_0")
+        .unwrap()
+        .engine()
+        .fault_injector()
+        .clear();
+    s.execute_sql("SET VARIABLE statement_timeout_ms = 0", &[])
+        .unwrap();
+    assert_eq!(count_users(&mut s), 8);
+}
+
+/// Retry satellite: a transient read failure is retried transparently (the
+/// statement is re-planned and re-routed), while writes are never silently
+/// retried — the first injected failure surfaces to the caller.
+#[test]
+fn transient_read_retries_but_writes_never_do() {
+    let runtime = sharded_runtime();
+    let mut s = runtime.session();
+    load_users(&mut s, 8);
+
+    // One transient scan failure: the read-only retry loop absorbs it.
+    inject(
+        &runtime,
+        "ds_0",
+        FaultPlan::new(
+            FaultOp::ScanOpen,
+            FaultKind::Error("transient blip".into()),
+            FaultTrigger::Once,
+        ),
+    );
+    assert_eq!(count_users(&mut s), 8, "read retry should absorb the blip");
+
+    // The same style of fault on the write path must surface immediately.
+    inject(
+        &runtime,
+        "ds_0",
+        FaultPlan::new(
+            FaultOp::Write,
+            FaultKind::Error("write refused".into()),
+            FaultTrigger::Once,
+        ),
+    );
+    let err = s
+        .execute_sql(
+            "INSERT INTO t_user (uid, name, age) VALUES (100, 'w', 1)",
+            &[],
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("write fault"), "{err}");
+    // Second attempt (fault disarmed) succeeds: nothing was double-applied.
+    s.execute_sql(
+        "INSERT INTO t_user (uid, name, age) VALUES (100, 'w', 1)",
+        &[],
+    )
+    .unwrap();
+    assert_eq!(count_users(&mut s), 9);
+}
+
+/// In a transaction even reads are not retried: retry would re-route across
+/// branch boundaries and widen the transaction's footprint silently.
+#[test]
+fn reads_inside_transactions_are_not_retried() {
+    let runtime = sharded_runtime();
+    let mut s = runtime.session();
+    load_users(&mut s, 4);
+
+    s.begin().unwrap();
+    inject(
+        &runtime,
+        "ds_0",
+        FaultPlan::new(
+            FaultOp::ScanOpen,
+            FaultKind::Error("blip".into()),
+            FaultTrigger::Once,
+        ),
+    );
+    let err = s
+        .execute_sql("SELECT COUNT(*) FROM t_user", &[])
+        .unwrap_err();
+    assert!(err.to_string().contains("scan_open fault"), "{err}");
+    s.rollback().unwrap();
+}

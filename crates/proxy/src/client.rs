@@ -11,16 +11,34 @@ use std::net::{SocketAddr, TcpStream};
 #[derive(Debug)]
 pub enum ClientError {
     Protocol(ProtocolError),
-    /// The server reported a SQL/kernel error.
-    Server(String),
+    /// The server reported a SQL/kernel error. `class` is the server's
+    /// classification (`transient` / `fatal` / `timeout`) so callers can
+    /// decide whether a retry on a fresh connection is worthwhile.
+    Server {
+        message: String,
+        class: String,
+    },
     Disconnected,
+}
+
+impl ClientError {
+    fn server(message: String, class: String) -> ClientError {
+        ClientError::Server { message, class }
+    }
+
+    /// True when the server classified the failure as safe to retry.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, ClientError::Server { class, .. } if class == "transient")
+    }
 }
 
 impl std::fmt::Display for ClientError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ClientError::Protocol(e) => write!(f, "{e}"),
-            ClientError::Server(m) => write!(f, "server error: {m}"),
+            ClientError::Server { message, class } => {
+                write!(f, "server error ({class}): {message}")
+            }
             ClientError::Disconnected => write!(f, "server closed the connection"),
         }
     }
@@ -57,7 +75,7 @@ impl ProxyClient {
         match decode_response(frame)? {
             Response::Rows(rs) => Ok(ExecuteResult::Query(rs)),
             Response::Update { affected } => Ok(ExecuteResult::Update { affected }),
-            Response::Error { message } => Err(ClientError::Server(message)),
+            Response::Error { message, class } => Err(ClientError::server(message, class)),
             Response::RowsHeader { columns } => {
                 // Streamed result: accumulate RowBatch frames until RowsEnd.
                 let mut rows = Vec::new();
@@ -68,7 +86,9 @@ impl ProxyClient {
                         Response::RowsEnd => {
                             return Ok(ExecuteResult::Query(ResultSet::new(columns, rows)))
                         }
-                        Response::Error { message } => return Err(ClientError::Server(message)),
+                        Response::Error { message, class } => {
+                            return Err(ClientError::server(message, class))
+                        }
                         other => {
                             return Err(ClientError::Protocol(ProtocolError::Malformed(format!(
                                 "unexpected frame mid-stream: {other:?}"
@@ -87,9 +107,10 @@ impl ProxyClient {
     pub fn query(&mut self, sql: &str, params: &[Value]) -> Result<ResultSet, ClientError> {
         match self.execute(sql, params)? {
             ExecuteResult::Query(rs) => Ok(rs),
-            ExecuteResult::Update { .. } => {
-                Err(ClientError::Server("expected a result set".into()))
-            }
+            ExecuteResult::Update { .. } => Err(ClientError::server(
+                "expected a result set".into(),
+                "fatal".into(),
+            )),
         }
     }
 

@@ -63,10 +63,59 @@ mod tests {
         let server = ProxyServer::start(runtime(), 0).unwrap();
         let mut client = ProxyClient::connect(server.addr()).unwrap();
         let err = client.query("SELECT * FROM missing", &[]).unwrap_err();
-        assert!(matches!(err, ClientError::Server(_)));
+        assert!(matches!(err, ClientError::Server { .. }));
         // connection still usable afterwards
         let rs = client.query("SELECT COUNT(*) FROM t", &[]).unwrap();
         assert_eq!(rs.rows[0][0], Value::Int(0));
+    }
+
+    /// A shard failing mid-stream (after the RowsHeader frame is on the
+    /// wire) reaches the client as one structured error frame carrying the
+    /// kernel's transient/fatal/timeout classification, and the connection
+    /// survives for the next query.
+    #[test]
+    fn mid_stream_fault_surfaces_one_classified_error_frame() {
+        let runtime = runtime();
+        let server = ProxyServer::start(Arc::clone(&runtime), 0).unwrap();
+        let mut client = ProxyClient::connect(server.addr()).unwrap();
+        for id in 0..32i64 {
+            client
+                .update(
+                    "INSERT INTO t (id, v) VALUES (?, ?)",
+                    &[Value::Int(id), Value::Int(id)],
+                )
+                .unwrap();
+        }
+        runtime
+            .datasource("ds_1")
+            .unwrap()
+            .engine()
+            .fault_injector()
+            .inject(shard_storage::FaultPlan::new(
+                shard_storage::FaultOp::RowPull,
+                shard_storage::FaultKind::Error("disk gone".into()),
+                shard_storage::FaultTrigger::EveryNth(1),
+            ));
+        let err = client
+            .query("SELECT id FROM t ORDER BY id", &[])
+            .unwrap_err();
+        match &err {
+            ClientError::Server { message, class } => {
+                assert_eq!(class, "transient", "{message}");
+                assert!(message.contains("row_pull fault"), "{message}");
+            }
+            other => panic!("expected a classified server error, got {other:?}"),
+        }
+        assert!(err.is_transient());
+        // Faults cleared, the same connection serves the retry cleanly.
+        runtime
+            .datasource("ds_1")
+            .unwrap()
+            .engine()
+            .fault_injector()
+            .clear();
+        let rs = client.query("SELECT COUNT(*) FROM t", &[]).unwrap();
+        assert_eq!(rs.rows[0][0], Value::Int(32));
     }
 
     #[test]

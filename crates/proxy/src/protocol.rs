@@ -32,10 +32,21 @@ pub enum Request {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
     Rows(ResultSet),
-    Update { affected: u64 },
-    Error { message: String },
-    RowsHeader { columns: Vec<String> },
-    RowBatch { rows: Vec<Vec<Value>> },
+    Update {
+        affected: u64,
+    },
+    Error {
+        message: String,
+        /// Failure classification (`transient`, `fatal`, `timeout`) so
+        /// drivers can decide whether a retry is worthwhile.
+        class: String,
+    },
+    RowsHeader {
+        columns: Vec<String>,
+    },
+    RowBatch {
+        rows: Vec<Vec<Value>>,
+    },
     RowsEnd,
 }
 
@@ -212,9 +223,10 @@ pub fn encode_response(resp: &Response) -> BytesMut {
             buf.put_u8(MSG_UPDATE);
             buf.put_u64(*affected);
         }
-        Response::Error { message } => {
+        Response::Error { message, class } => {
             buf.put_u8(MSG_ERROR);
             put_str(&mut buf, message);
+            put_str(&mut buf, class);
         }
         Response::RowsHeader { columns } => {
             buf.put_u8(MSG_ROWS_HEADER);
@@ -269,6 +281,7 @@ pub fn decode_response(mut buf: Bytes) -> Result<Response, ProtocolError> {
         }
         MSG_ERROR => Ok(Response::Error {
             message: get_str(&mut buf)?,
+            class: get_str(&mut buf)?,
         }),
         MSG_ROWS_HEADER => {
             check(&buf, 4)?;
@@ -368,6 +381,7 @@ mod tests {
         );
         let resp = Response::Error {
             message: "boom".into(),
+            class: "transient".into(),
         };
         assert_eq!(
             decode_response(encode_response(&resp).freeze()).unwrap(),

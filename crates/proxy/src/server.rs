@@ -105,6 +105,7 @@ fn serve_connection(mut stream: TcpStream, runtime: Arc<ShardingRuntime>, stop: 
             Err(e) => {
                 let resp = Response::Error {
                     message: e.to_string(),
+                    class: "fatal".into(),
                 };
                 let _ = write_frame(&mut stream, &encode_response(&resp));
                 return;
@@ -141,6 +142,7 @@ fn respond_query(
         Err(e) => {
             let resp = Response::Error {
                 message: e.to_string(),
+                class: e.class().as_str().into(),
             };
             return write_frame(stream, &encode_response(&resp)).is_ok();
         }
@@ -177,6 +179,7 @@ fn respond_query(
                         // (dropping `rows` cancels in-flight shard scans).
                         let resp = Response::Error {
                             message: e.to_string(),
+                            class: e.class().as_str().into(),
                         };
                         return write_frame(stream, &encode_response(&resp)).is_ok();
                     }

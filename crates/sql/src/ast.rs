@@ -801,10 +801,47 @@ pub enum DistSqlStatement {
     /// `SHOW SQL_PLAN_CACHE STATUS` — parse/plan cache hit, miss, eviction
     /// and occupancy counters.
     ShowSqlPlanCacheStatus,
+    /// `SHOW DATA_SOURCE HEALTH` — per-source breaker state, consecutive
+    /// failures and last probe age.
+    ShowDataSourceHealth,
+    /// `INJECT FAULT ON ds_0 (OPERATION=commit, ACTION=error, ...)` — arm a
+    /// scripted fault on one data source's fault injector (chaos testing).
+    InjectFault {
+        datasource: String,
+        spec: FaultSpec,
+    },
+    /// `CLEAR FAULTS [ON ds_0]` — disarm fault plans (everywhere when no
+    /// data source is named).
+    ClearFaults {
+        datasource: Option<String>,
+    },
     /// `PREVIEW <sql>` — show route result without executing.
     Preview {
         sql: String,
     },
+}
+
+/// Parsed body of an `INJECT FAULT` statement; interpreted by the kernel
+/// against the storage fault injector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// Target operation (`scan_open`, `row_pull`, `write`, `prepare`,
+    /// `commit`, `commit_prepared`, `ping`).
+    pub operation: String,
+    /// `error`, `latency` or `hang`.
+    pub action: String,
+    /// Error message (ACTION=error) — optional.
+    pub message: Option<String>,
+    /// Milliseconds for ACTION=latency (added delay) or ACTION=hang (cap).
+    pub millis: Option<u64>,
+    /// `once` (default), `every <n>` or `probability <p>`.
+    pub trigger: String,
+    /// N for TRIGGER=every.
+    pub every: Option<u64>,
+    /// p for TRIGGER=probability.
+    pub probability: Option<f64>,
+    /// Deterministic seed for TRIGGER=probability.
+    pub seed: Option<u64>,
 }
 
 impl DistSqlStatement {
@@ -827,9 +864,13 @@ impl DistSqlStatement {
             | ShowReadwriteSplittingRules
             | ShowResources
             | ShowShardingAlgorithms => DistSqlLanguage::Rql,
-            SetVariable { .. } | ShowVariable { .. } | ShowSqlPlanCacheStatus | Preview { .. } => {
-                DistSqlLanguage::Ral
-            }
+            SetVariable { .. }
+            | ShowVariable { .. }
+            | ShowSqlPlanCacheStatus
+            | ShowDataSourceHealth
+            | InjectFault { .. }
+            | ClearFaults { .. }
+            | Preview { .. } => DistSqlLanguage::Ral,
         }
     }
 }

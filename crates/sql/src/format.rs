@@ -504,6 +504,34 @@ impl Formatter {
             }
             DistSqlStatement::ShowVariable { name } => format!("SHOW VARIABLE {name}"),
             DistSqlStatement::ShowSqlPlanCacheStatus => "SHOW SQL_PLAN_CACHE STATUS".into(),
+            DistSqlStatement::ShowDataSourceHealth => "SHOW DATA_SOURCE HEALTH".into(),
+            DistSqlStatement::InjectFault { datasource, spec } => {
+                let mut parts = vec![
+                    format!("OPERATION={}", spec.operation),
+                    format!("ACTION={}", spec.action),
+                ];
+                if let Some(m) = &spec.message {
+                    parts.push(format!("MESSAGE=\"{m}\""));
+                }
+                if let Some(ms) = spec.millis {
+                    parts.push(format!("MILLIS={ms}"));
+                }
+                parts.push(format!("TRIGGER={}", spec.trigger));
+                if let Some(n) = spec.every {
+                    parts.push(format!("EVERY={n}"));
+                }
+                if let Some(p) = spec.probability {
+                    parts.push(format!("PROBABILITY={p}"));
+                }
+                if let Some(s) = spec.seed {
+                    parts.push(format!("SEED={s}"));
+                }
+                format!("INJECT FAULT ON {datasource} ({})", parts.join(", "))
+            }
+            DistSqlStatement::ClearFaults { datasource: None } => "CLEAR FAULTS".into(),
+            DistSqlStatement::ClearFaults {
+                datasource: Some(ds),
+            } => format!("CLEAR FAULTS ON {ds}"),
             DistSqlStatement::Preview { sql } => format!("PREVIEW {sql}"),
         };
         self.push(&text);

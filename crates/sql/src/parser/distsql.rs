@@ -224,7 +224,37 @@ impl Parser {
                 self.expect_kw("STATUS")?;
                 return Ok(Statement::DistSql(DistSqlStatement::ShowSqlPlanCacheStatus));
             }
+            if self.at_kw("DATA_SOURCE") {
+                self.advance();
+                self.expect_kw("HEALTH")?;
+                return Ok(Statement::DistSql(DistSqlStatement::ShowDataSourceHealth));
+            }
             return Err(self.err("unsupported SHOW target"));
+        }
+
+        if self.at_kw("INJECT") {
+            self.advance();
+            self.expect_kw("FAULT")?;
+            self.expect_kw("ON")?;
+            let datasource = self.expect_ident()?;
+            let spec = self.parse_fault_spec()?;
+            return Ok(Statement::DistSql(DistSqlStatement::InjectFault {
+                datasource,
+                spec,
+            }));
+        }
+
+        if self.at_kw("CLEAR") {
+            self.advance();
+            self.expect_kw("FAULTS")?;
+            let datasource = if self.eat_kw("ON") {
+                Some(self.expect_ident()?)
+            } else {
+                None
+            };
+            return Ok(Statement::DistSql(DistSqlStatement::ClearFaults {
+                datasource,
+            }));
         }
 
         if self.at_kw("PREVIEW") {
@@ -323,6 +353,76 @@ impl Parser {
             algorithm_type,
             props,
         })
+    }
+
+    /// `(OPERATION=commit, ACTION=error, MESSAGE="boom", TRIGGER=once)` —
+    /// a generic key=value list validated here for known keys; value
+    /// semantics are enforced by the kernel when the plan is armed.
+    fn parse_fault_spec(&mut self) -> Result<FaultSpec, SqlError> {
+        self.expect(&TokenKind::LParen)?;
+        let mut spec = FaultSpec {
+            operation: String::new(),
+            action: String::new(),
+            message: None,
+            millis: None,
+            trigger: "once".to_string(),
+            every: None,
+            probability: None,
+            seed: None,
+        };
+        loop {
+            let key = self.parse_prop_key()?.to_lowercase();
+            self.expect(&TokenKind::Eq)?;
+            let value = self.parse_variable_value()?;
+            match key.as_str() {
+                "operation" => spec.operation = value.to_lowercase(),
+                "action" => spec.action = value.to_lowercase(),
+                "message" => spec.message = Some(value),
+                "millis" => {
+                    spec.millis = Some(
+                        value
+                            .parse()
+                            .map_err(|_| self.err("MILLIS must be an integer"))?,
+                    )
+                }
+                "trigger" => spec.trigger = value.to_lowercase(),
+                "every" => {
+                    spec.every = Some(
+                        value
+                            .parse()
+                            .map_err(|_| self.err("EVERY must be an integer"))?,
+                    )
+                }
+                "probability" => {
+                    spec.probability = Some(
+                        value
+                            .parse()
+                            .map_err(|_| self.err("PROBABILITY must be a number"))?,
+                    )
+                }
+                "seed" => {
+                    spec.seed = Some(
+                        value
+                            .parse()
+                            .map_err(|_| self.err("SEED must be an integer"))?,
+                    )
+                }
+                other => {
+                    return Err(self.err(format!("unknown INJECT FAULT property '{other}'")));
+                }
+            }
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        if spec.operation.is_empty() {
+            return Err(self.err("INJECT FAULT requires OPERATION"));
+        }
+        if spec.action.is_empty() {
+            return Err(self.err("INJECT FAULT requires ACTION"));
+        }
+        Ok(spec)
     }
 
     fn parse_paren_name_list(&mut self) -> Result<Vec<String>, SqlError> {
@@ -466,6 +566,71 @@ mod tests {
             distsql("DROP RESOURCE ds_2"),
             DistSqlStatement::DropResource {
                 name: "ds_2".into()
+            }
+        );
+    }
+
+    #[test]
+    fn show_data_source_health() {
+        assert_eq!(
+            distsql("SHOW DATA_SOURCE HEALTH"),
+            DistSqlStatement::ShowDataSourceHealth
+        );
+    }
+
+    #[test]
+    fn inject_fault_error_plan() {
+        let d = distsql(
+            "INJECT FAULT ON ds_0 (OPERATION=commit, ACTION=error, \
+             MESSAGE=\"disk full\", TRIGGER=once)",
+        );
+        match d {
+            DistSqlStatement::InjectFault { datasource, spec } => {
+                assert_eq!(datasource, "ds_0");
+                assert_eq!(spec.operation, "commit");
+                assert_eq!(spec.action, "error");
+                assert_eq!(spec.message.as_deref(), Some("disk full"));
+                assert_eq!(spec.trigger, "once");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn inject_fault_probabilistic_latency() {
+        let d = distsql(
+            "INJECT FAULT ON ds_1 (OPERATION=row_pull, ACTION=latency, MILLIS=25, \
+             TRIGGER=probability, PROBABILITY=0.5, SEED=42)",
+        );
+        match d {
+            DistSqlStatement::InjectFault { spec, .. } => {
+                assert_eq!(spec.action, "latency");
+                assert_eq!(spec.millis, Some(25));
+                assert_eq!(spec.trigger, "probability");
+                assert_eq!(spec.probability, Some(0.5));
+                assert_eq!(spec.seed, Some(42));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn inject_fault_requires_operation_and_action() {
+        assert!(parse_statement("INJECT FAULT ON ds_0 (ACTION=error)").is_err());
+        assert!(parse_statement("INJECT FAULT ON ds_0 (OPERATION=commit)").is_err());
+        assert!(parse_statement("INJECT FAULT ON ds_0 (OPERATION=commit, BOGUS=1)").is_err());
+    }
+
+    #[test]
+    fn clear_faults_forms() {
+        assert_eq!(
+            distsql("CLEAR FAULTS"),
+            DistSqlStatement::ClearFaults { datasource: None }
+        );
+        assert_eq!(
+            distsql("CLEAR FAULTS ON ds_0"),
+            DistSqlStatement::ClearFaults {
+                datasource: Some("ds_0".into())
             }
         );
     }

@@ -226,7 +226,8 @@ impl Parser {
         if self.at_kw("SHOW") {
             return self.parse_show();
         }
-        if self.at_kw("ADD") || self.at_kw("PREVIEW") {
+        if self.at_kw("ADD") || self.at_kw("PREVIEW") || self.at_kw("INJECT") || self.at_kw("CLEAR")
+        {
             return self.parse_distsql();
         }
         Err(self.err(format!("unsupported statement start '{}'", self.peek())))
@@ -274,6 +275,7 @@ impl Parser {
             || self.at_kw_n(1, "BROADCAST")
             || self.at_kw_n(1, "READWRITE_SPLITTING")
             || self.at_kw_n(1, "SQL_PLAN_CACHE")
+            || self.at_kw_n(1, "DATA_SOURCE")
         {
             return self.parse_distsql();
         }

@@ -20,6 +20,7 @@
 use crate::error::{Result, StorageError};
 use crate::eval::{eval_predicate, EvalContext, Scope};
 use crate::exec_select::{access_path, column_of, project_row, projection_columns, Catalog};
+use crate::fault::{FaultInjector, FaultOp};
 use crate::index::RowId;
 use crate::latency::LatencyModel;
 use crate::result::ResultSet;
@@ -92,6 +93,7 @@ struct ScanCursor {
     remaining: Option<u64>,
     pulled: Arc<AtomicU64>,
     latency: LatencyModel,
+    faults: Arc<FaultInjector>,
 }
 
 impl ScanCursor {
@@ -99,6 +101,9 @@ impl ScanCursor {
         if self.remaining == Some(0) {
             return Ok(None);
         }
+        // Mid-stream fault point: fires after the header handshake, which is
+        // what the kernel's sibling-cancel tests exercise.
+        self.faults.check(FaultOp::RowPull)?;
         loop {
             let Some(id) = self.ids.next() else {
                 return Ok(None);
@@ -149,6 +154,7 @@ pub(crate) fn try_open_streaming(
     params: &[Value],
     pulled: Arc<AtomicU64>,
     latency: LatencyModel,
+    faults: Arc<FaultInjector>,
 ) -> Result<Option<QueryCursor>> {
     let Some(from) = &stmt.from else {
         return Ok(None);
@@ -232,6 +238,7 @@ pub(crate) fn try_open_streaming(
             remaining: limit,
             pulled,
             latency,
+            faults,
         })),
     }))
 }

@@ -14,6 +14,7 @@ use crate::cursor::{self, QueryCursor};
 use crate::error::{Result, StorageError};
 use crate::eval::{eval, eval_predicate, EvalContext, Scope};
 use crate::exec_select::{execute_select, Catalog};
+use crate::fault::{FaultInjector, FaultKind, FaultOp, FaultPlan, FaultTrigger};
 use crate::index::RowId;
 use crate::latency::LatencyModel;
 use crate::lock::{LockManager, TxnId};
@@ -25,7 +26,7 @@ use parking_lot::{Mutex, RwLock};
 use shard_sql::ast::*;
 use shard_sql::{format_statement, parse_statement, Dialect, Value};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -72,8 +73,10 @@ pub struct StorageEngine {
     next_txn: AtomicU64,
     txns: Mutex<HashMap<TxnId, TxnState>>,
     latency: LatencyModel,
-    /// When set, the next `commit`/`commit_prepared` fails once (tests).
-    fail_next_commit: AtomicBool,
+    /// Scriptable fault injection: chaos tests arm plans targeting
+    /// individual operations; `Arc` so streaming cursors can keep checking
+    /// row-pull faults after the open call returns.
+    faults: Arc<FaultInjector>,
     /// Total statements executed (metrics).
     statements_executed: AtomicU64,
     /// Rows fetched by streaming scan cursors (metrics; shared with the
@@ -130,8 +133,10 @@ impl StorageEngine {
         latency: LatencyModel,
         wal: SharedLog,
     ) -> Arc<Self> {
+        let name = name.into();
         Arc::new(StorageEngine {
-            name: name.into(),
+            faults: Arc::new(FaultInjector::new(&name)),
+            name,
             dialect: Dialect::MySql,
             tables: RwLock::new(HashMap::new()),
             locks: Arc::new(LockManager::new(Duration::from_secs(2))),
@@ -139,7 +144,6 @@ impl StorageEngine {
             next_txn: AtomicU64::new(1),
             txns: Mutex::new(HashMap::new()),
             latency,
-            fail_next_commit: AtomicBool::new(false),
             statements_executed: AtomicU64::new(0),
             rows_pulled: Arc::new(AtomicU64::new(0)),
             recovered_undo: Mutex::new(HashMap::new()),
@@ -182,9 +186,32 @@ impl StorageEngine {
         self.rows_pulled.load(Ordering::Relaxed)
     }
 
-    /// Arm the fault injector: the next commit on this source fails.
+    /// This source's fault injector (chaos tests, `INJECT FAULT` RAL).
+    pub fn fault_injector(&self) -> &Arc<FaultInjector> {
+        &self.faults
+    }
+
+    /// Disarm every fault plan and release hung operations.
+    pub fn clear_faults(&self) {
+        self.faults.clear();
+    }
+
+    /// Arm the fault injector: the next commit on this source fails. A 2PC
+    /// prepare consumes the same one-shot plan (the source votes NO), so XA
+    /// tests see the refusal at phase 1 — the pre-injector behaviour.
     pub fn inject_commit_failure(&self) {
-        self.fail_next_commit.store(true, Ordering::SeqCst);
+        self.faults.inject(FaultPlan::on_ops(
+            vec![FaultOp::Prepare, FaultOp::Commit],
+            FaultKind::Error("commit refused".into()),
+            FaultTrigger::Once,
+        ));
+    }
+
+    /// Health probe: one round trip that fails only when a ping fault is
+    /// armed (a real server would answer a trivial query).
+    pub fn ping(&self) -> Result<()> {
+        self.latency.charge(0);
+        self.faults.check(FaultOp::Ping)
     }
 
     pub fn table_names(&self) -> Vec<String> {
@@ -214,14 +241,9 @@ impl StorageEngine {
     }
 
     pub fn commit(&self, txn: TxnId) -> Result<()> {
-        if self.fail_next_commit.swap(false, Ordering::SeqCst) {
-            // Leave the transaction in place: the coordinator decides what
-            // happens next (retry / recovery).
-            return Err(StorageError::Injected(format!(
-                "commit failure on '{}'",
-                self.name
-            )));
-        }
+        // A commit fault leaves the transaction in place: the coordinator
+        // decides what happens next (retry / recovery).
+        self.faults.check(FaultOp::Commit)?;
         let state = self
             .txns
             .lock()
@@ -281,14 +303,10 @@ impl StorageEngine {
     pub fn prepare(&self, txn: TxnId, xid: &str) -> Result<()> {
         // Phase 1 is a synchronous round trip to this resource manager.
         self.latency.charge(0);
-        if self.fail_next_commit.load(Ordering::SeqCst) {
+        if let Err(e) = self.faults.check(FaultOp::Prepare) {
             // A source armed to fail votes NO and rolls back, per 2PC.
-            self.fail_next_commit.store(false, Ordering::SeqCst);
             self.rollback(txn)?;
-            return Err(StorageError::Injected(format!(
-                "prepare refused on '{}'",
-                self.name
-            )));
+            return Err(e);
         }
         let mut txns = self.txns.lock();
         let state = txns
@@ -314,7 +332,9 @@ impl StorageEngine {
 
     /// XA phase 2 commit of a prepared transaction.
     pub fn commit_prepared(&self, txn: TxnId) -> Result<()> {
-        // Phase 2 waits for the resource manager's acknowledgement.
+        // Phase 2 waits for the resource manager's acknowledgement. A fault
+        // here leaves the transaction in-doubt for the recovery manager.
+        self.faults.check(FaultOp::CommitPrepared)?;
         self.latency.charge(0);
         {
             let txns = self.txns.lock();
@@ -413,6 +433,7 @@ impl StorageEngine {
         // The server slot covers only cursor open: a streaming cursor is
         // consumer-paced and must not occupy a worker for its lifetime.
         let _slot = self.server_slots.as_ref().map(|s| s.acquire());
+        self.faults.check(FaultOp::ScanOpen)?;
         if !self.latency.page_miss.is_zero() {
             let mut largest = 0u64;
             let mut touch = |name: &str| {
@@ -437,6 +458,7 @@ impl StorageEngine {
                 params,
                 self.rows_pulled.clone(),
                 self.latency,
+                Arc::clone(&self.faults),
             )? {
                 self.latency.charge(0);
                 return Ok(cursor);
@@ -465,10 +487,22 @@ impl StorageEngine {
         txn: Option<TxnId>,
     ) -> Result<ExecuteResult> {
         match stmt {
-            Statement::Select(s) => Ok(ExecuteResult::Query(self.select(s, params, txn)?)),
-            Statement::Insert(s) => self.with_txn(txn, |t| self.insert(s, params, t)),
-            Statement::Update(s) => self.with_txn(txn, |t| self.update(s, params, t)),
-            Statement::Delete(s) => self.with_txn(txn, |t| self.delete(s, params, t)),
+            Statement::Select(s) => {
+                self.faults.check(FaultOp::ScanOpen)?;
+                Ok(ExecuteResult::Query(self.select(s, params, txn)?))
+            }
+            Statement::Insert(s) => {
+                self.faults.check(FaultOp::Write)?;
+                self.with_txn(txn, |t| self.insert(s, params, t))
+            }
+            Statement::Update(s) => {
+                self.faults.check(FaultOp::Write)?;
+                self.with_txn(txn, |t| self.update(s, params, t))
+            }
+            Statement::Delete(s) => {
+                self.faults.check(FaultOp::Write)?;
+                self.with_txn(txn, |t| self.delete(s, params, t))
+            }
             Statement::CreateTable(s) => self.create_table(s),
             Statement::DropTable(s) => self.drop_table(s),
             Statement::TruncateTable(n) => {

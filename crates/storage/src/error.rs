@@ -79,6 +79,24 @@ impl fmt::Display for StorageError {
     }
 }
 
+impl StorageError {
+    /// True for failures that indicate the data source *itself* is unhealthy
+    /// (injected faults, hangs). These feed circuit breakers; semantic
+    /// errors (missing table, duplicate key, …) must not.
+    pub fn is_infrastructure(&self) -> bool {
+        matches!(self, StorageError::Injected(_))
+    }
+
+    /// True for failures a read-only statement may safely retry: the
+    /// infrastructure class plus lock-wait timeouts (the classic retryable).
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            StorageError::Injected(_) | StorageError::LockTimeout { .. }
+        )
+    }
+}
+
 impl std::error::Error for StorageError {}
 
 pub type Result<T> = std::result::Result<T, StorageError>;

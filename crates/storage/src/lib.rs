@@ -23,6 +23,7 @@ pub mod engine;
 pub mod error;
 pub mod eval;
 pub mod exec_select;
+pub mod fault;
 pub mod index;
 pub mod latency;
 pub mod lock;
@@ -34,6 +35,7 @@ pub mod wal;
 pub use cursor::QueryCursor;
 pub use engine::StorageEngine;
 pub use error::{Result, StorageError};
+pub use fault::{FaultInjector, FaultKind, FaultOp, FaultPlan, FaultTrigger};
 pub use latency::LatencyModel;
 pub use lock::TxnId;
 pub use result::{ExecuteResult, ResultCursor, ResultSet};

@@ -13,4 +13,11 @@ cargo fmt --all -- --check
 echo "==> cargo bench --workspace --no-run"
 cargo bench --workspace --no-run
 
+# Chaos gate: the deterministic fault-matrix run (fixed seed baked into the
+# tests). The scenario has its own in-test watchdog, so a hung thread fails
+# the step instead of wedging CI; `timeout` is a second line of defence.
+echo "==> chaos: seeded fault-matrix integration tests"
+timeout 600 cargo test --test chaos -q
+timeout 600 cargo test -p shard-core --test chaos_faults -q
+
 echo "OK"

@@ -1,0 +1,234 @@
+//! Deterministic chaos run (fixed seed): a read-write split group loses one
+//! replica and then its primary mid-workload. Reads must complete with zero
+//! application-visible failures (retries, breakers, and failover absorb
+//! both outages), writes during the primary outage must fail with a
+//! structured error — never hang — and `SHOW DATA_SOURCE HEALTH` must show
+//! the breaker walking open → half-open → closed once faults are cleared.
+//!
+//! Everything is driven through DistSQL (`INJECT FAULT`, `CLEAR FAULTS`,
+//! `SHOW DATA_SOURCE HEALTH`) and the whole scenario runs under a watchdog
+//! so a hung thread fails the test instead of wedging CI.
+
+use shardingsphere_rs::core::feature::ReadWriteSplitRule;
+use shardingsphere_rs::core::{KernelError, Session, ShardingRuntime};
+use shardingsphere_rs::sql::Value;
+use shardingsphere_rs::storage::StorageEngine;
+use std::time::{Duration, Instant};
+
+/// Seed for the probabilistic latency fault: the run is reproducible.
+const CHAOS_SEED: u64 = 42;
+const SEED_ROWS: i64 = 32;
+
+#[test]
+fn chaos_rw_split_survives_replica_and_primary_loss() {
+    let scenario = std::thread::spawn(chaos_scenario);
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while !scenario.is_finished() {
+        assert!(
+            Instant::now() < deadline,
+            "chaos scenario hung (watchdog fired after 120s)"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    if let Err(panic) = scenario.join() {
+        std::panic::resume_unwind(panic);
+    }
+}
+
+fn chaos_scenario() {
+    // Topology: logical source "ds" = primary "ds" + replicas rep_0, rep_1.
+    let prim = StorageEngine::new("ds");
+    let rep0 = StorageEngine::new("rep_0");
+    let rep1 = StorageEngine::new("rep_1");
+    let runtime = ShardingRuntime::builder()
+        .datasource("ds", prim.clone())
+        .build();
+    runtime.add_datasource("rep_0", rep0.clone(), 8);
+    runtime.add_datasource("rep_1", rep1.clone(), 8);
+    runtime.add_rw_split(ReadWriteSplitRule::new(
+        "ds",
+        "ds",
+        vec!["rep_0".into(), "rep_1".into()],
+    ));
+    // Short cooldown so the half-open transition is observable quickly.
+    for name in ["ds", "rep_0", "rep_1"] {
+        runtime
+            .datasource(name)
+            .unwrap()
+            .breaker()
+            .configure(3, Duration::from_millis(100));
+    }
+
+    let mut s = runtime.session();
+    s.execute_sql("CREATE TABLE t (id BIGINT PRIMARY KEY, v INT)", &[])
+        .unwrap();
+    // "Replication": identical schema and seed rows on every member.
+    for engine in [&prim, &rep0, &rep1] {
+        engine
+            .execute_sql(
+                "CREATE TABLE IF NOT EXISTS t (id BIGINT PRIMARY KEY, v INT)",
+                &[],
+                None,
+            )
+            .unwrap();
+        for id in 0..SEED_ROWS {
+            engine
+                .execute_sql(&format!("INSERT INTO t VALUES ({id}, {id})"), &[], None)
+                .unwrap();
+        }
+    }
+
+    // Live governance: health events feed breakers and drive failover on
+    // the runtime's own rw-split map.
+    let detector = runtime.health_detector();
+    detector.probe_once();
+
+    // Background noise for the whole run: seeded probabilistic row-pull
+    // latency on rep_1 — jitter, never failure, reproducible.
+    s.execute_sql(
+        &format!(
+            "INJECT FAULT ON rep_1 (OPERATION=row_pull, ACTION=latency, MILLIS=1, \
+             TRIGGER=probability, PROBABILITY=0.3, SEED={CHAOS_SEED})"
+        ),
+        &[],
+    )
+    .unwrap();
+
+    // Phase A — healthy baseline.
+    run_reads(&mut s, 8);
+    s.execute_sql("INSERT INTO t (id, v) VALUES (100, 100)", &[])
+        .unwrap();
+
+    // Phase B — kill replica rep_0 (probes and scans fail).
+    for op in ["ping", "scan_open"] {
+        s.execute_sql(
+            &format!(
+                "INJECT FAULT ON rep_0 (OPERATION={op}, ACTION=error, \
+                 MESSAGE=\"replica down\", TRIGGER=every, EVERY=1)"
+            ),
+            &[],
+        )
+        .unwrap();
+    }
+    // Mid-outage reads: transparent retries re-route around the dead
+    // replica before health detection has even noticed.
+    run_reads(&mut s, 12);
+    let events = detector.probe_once();
+    assert!(
+        events.iter().any(|e| e.datasource == "rep_0" && !e.healthy),
+        "probe must report rep_0 down: {events:?}"
+    );
+    assert_eq!(
+        health_row(&mut s, "rep_0"),
+        ("disabled".into(), "open".into())
+    );
+    run_reads(&mut s, 8);
+
+    // Phase C — kill the primary mid-workload: probes fail and writes hang.
+    for spec in [
+        "OPERATION=ping, ACTION=error, MESSAGE=\"primary down\", TRIGGER=every, EVERY=1",
+        "OPERATION=write, ACTION=hang, MILLIS=5000, TRIGGER=every, EVERY=1",
+    ] {
+        s.execute_sql(&format!("INJECT FAULT ON ds ({spec})"), &[])
+            .unwrap();
+    }
+    // A write during the outage fails fast with a structured timeout — the
+    // hung shard is abandoned at the statement deadline, never hangs.
+    s.execute_sql("SET VARIABLE statement_timeout_ms = 200", &[])
+        .unwrap();
+    let started = Instant::now();
+    let err = s
+        .execute_sql("INSERT INTO t (id, v) VALUES (101, 101)", &[])
+        .unwrap_err();
+    assert!(matches!(err, KernelError::Timeout(_)), "{err}");
+    assert!(
+        started.elapsed() < Duration::from_secs(3),
+        "write against the hung primary did not fail fast: {:?}",
+        started.elapsed()
+    );
+    s.execute_sql("SET VARIABLE statement_timeout_ms = 0", &[])
+        .unwrap();
+    // Reads still see zero failures (replica rep_1 keeps serving).
+    run_reads(&mut s, 8);
+
+    // Health detection notices, trips the primary's breaker, and promotes
+    // the surviving replica — installed live into the runtime.
+    let events = detector.probe_once();
+    assert!(
+        events.iter().any(|e| e.datasource == "ds" && !e.healthy),
+        "probe must report the primary down: {events:?}"
+    );
+    assert_eq!(health_row(&mut s, "ds"), ("disabled".into(), "open".into()));
+    // Writes keep working without reconfiguration: they now reach rep_1.
+    s.execute_sql("INSERT INTO t (id, v) VALUES (102, 102)", &[])
+        .unwrap();
+    let on_new_primary = rep1
+        .execute_sql("SELECT v FROM t WHERE id = 102", &[], None)
+        .unwrap()
+        .query();
+    assert_eq!(on_new_primary.rows[0][0], Value::Int(102));
+    run_reads(&mut s, 8);
+
+    // Phase D — heal everything and watch the breakers recover.
+    s.execute_sql("CLEAR FAULTS", &[]).unwrap();
+    assert_eq!(health_row(&mut s, "rep_0").1, "open");
+    // Past the cooldown, the next admitted request is the half-open probe.
+    std::thread::sleep(Duration::from_millis(120));
+    assert!(runtime
+        .datasource("rep_0")
+        .unwrap()
+        .breaker()
+        .allow_request());
+    assert_eq!(health_row(&mut s, "rep_0").1, "half_open");
+    let events = detector.probe_once();
+    assert!(
+        events.iter().any(|e| e.datasource == "rep_0" && e.healthy),
+        "probe must report rep_0 back up: {events:?}"
+    );
+    for name in ["ds", "rep_0", "rep_1"] {
+        assert_eq!(
+            health_row(&mut s, name),
+            ("enabled".into(), "closed".into()),
+            "{name} did not recover"
+        );
+    }
+    run_reads(&mut s, 8);
+    s.execute_sql("INSERT INTO t (id, v) VALUES (103, 103)", &[])
+        .unwrap();
+}
+
+/// One read mix: the full-range count plus a few point lookups, all over
+/// the seed rows every member carries. Any error is an application-visible
+/// read failure — the chaos run allows none.
+fn run_reads(s: &mut Session, rounds: usize) {
+    for round in 0..rounds {
+        let rs = s
+            .execute_sql(
+                &format!("SELECT COUNT(*) FROM t WHERE id < {SEED_ROWS}"),
+                &[],
+            )
+            .unwrap_or_else(|e| panic!("visible read failure in round {round}: {e}"))
+            .query();
+        assert_eq!(rs.rows[0][0], Value::Int(SEED_ROWS));
+        let id = (round as i64 * 7) % SEED_ROWS;
+        let rs = s
+            .execute_sql("SELECT v FROM t WHERE id = ?", &[Value::Int(id)])
+            .unwrap_or_else(|e| panic!("visible point-read failure in round {round}: {e}"))
+            .query();
+        assert_eq!(rs.rows[0][0], Value::Int(id));
+    }
+}
+
+/// (status, breaker_state) for one resource, read through the RAL surface.
+fn health_row(s: &mut Session, name: &str) -> (String, String) {
+    let rs = s
+        .execute_sql("SHOW DATA_SOURCE HEALTH", &[])
+        .unwrap()
+        .query();
+    let row = rs
+        .rows
+        .iter()
+        .find(|r| r[0] == Value::Str(name.into()))
+        .unwrap_or_else(|| panic!("no health row for {name}"));
+    (row[1].to_string(), row[2].to_string())
+}
