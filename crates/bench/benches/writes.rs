@@ -1,0 +1,199 @@
+//! Write-path benchmarks: batched multi-shard INSERT vs the per-row path,
+//! parallel vs serial 2PC fan-out, XA commit scaling with branch count, and
+//! WAL group-commit flush amortization.
+//!
+//! Both ablation arms run through the same kernel; the pre-PR behaviour is
+//! reproduced with the session knobs (`SET batch_writes = 0`,
+//! `SET xa_fanout = serial`). Data sources pay a cloud-network round trip
+//! (~300µs per request — the paper's cluster runs one source per cloud VM)
+//! so fan-out parallelism is visible the same way it would be against
+//! networked MySQL backends.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use shard_core::{Session, ShardingRuntime, TransactionType};
+use shard_sql::Value;
+use shard_storage::{LatencyModel, StorageEngine};
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Monotonic uid source so every benchmark iteration inserts fresh keys.
+static NEXT_UID: AtomicI64 = AtomicI64::new(0);
+
+/// Inter-VM round trip in the paper's cloud deployment (§VIII).
+fn cloud_rtt() -> LatencyModel {
+    LatencyModel::new(Duration::from_micros(300), Duration::from_nanos(200))
+}
+
+fn cloud_runtime(shards: usize) -> Arc<ShardingRuntime> {
+    let mut b = ShardingRuntime::builder();
+    for i in 0..shards {
+        let name = format!("ds_{i}");
+        b = b.datasource(&name, StorageEngine::with_latency(&name, cloud_rtt()));
+    }
+    let runtime = b.build();
+    let mut s = runtime.session();
+    let resources = (0..shards)
+        .map(|i| format!("ds_{i}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    s.execute_sql(
+        &format!(
+            "CREATE SHARDING TABLE RULE t_write (RESOURCES({resources}), \
+             SHARDING_COLUMN=uid, TYPE=mod, PROPERTIES(\"sharding-count\"={shards}))"
+        ),
+        &[],
+    )
+    .unwrap();
+    s.execute_sql("CREATE TABLE t_write (uid BIGINT PRIMARY KEY, v INT)", &[])
+        .unwrap();
+    runtime
+}
+
+/// One parameterized INSERT with `rows` value tuples `(?, 1)`.
+fn insert_sql(rows: usize) -> String {
+    let mut sql = String::from("INSERT INTO t_write (uid, v) VALUES ");
+    for i in 0..rows {
+        if i > 0 {
+            sql.push_str(", ");
+        }
+        sql.push_str("(?, 1)");
+    }
+    sql
+}
+
+/// Reserve a contiguous uid block; consecutive uids mod-route one row to
+/// every shard, so an N-row insert fans out evenly.
+fn uid_params(rows: usize) -> Vec<Value> {
+    let base = NEXT_UID.fetch_add(rows as i64, Ordering::Relaxed);
+    (0..rows as i64).map(|i| Value::Int(base + i)).collect()
+}
+
+fn xa_session(runtime: &Arc<ShardingRuntime>) -> Session {
+    let mut s = runtime.session();
+    s.set_transaction_type(TransactionType::Xa).unwrap();
+    s
+}
+
+/// Tentpole number: 256-row INSERT spanning 4 shards inside an XA
+/// transaction — the full post-PR write path (batched storage writes,
+/// parallel statement fan-out, parallel 2PC) against the pre-PR
+/// serial/per-row arm.
+fn bench_insert_256(c: &mut Criterion) {
+    let runtime = cloud_runtime(4);
+    let sql = insert_sql(256);
+    let mut g = c.benchmark_group("insert_256x4");
+    g.sample_size(20);
+
+    let mut s = xa_session(&runtime);
+    g.bench_function("batched_parallel", |b| {
+        b.iter(|| {
+            s.begin().unwrap();
+            s.execute_sql(&sql, &uid_params(256)).unwrap();
+            s.commit().unwrap();
+        })
+    });
+
+    let mut s = xa_session(&runtime);
+    s.execute_sql("SET batch_writes = 0", &[]).unwrap();
+    s.execute_sql("SET xa_fanout = serial", &[]).unwrap();
+    g.bench_function("serial_per_row", |b| {
+        b.iter(|| {
+            s.begin().unwrap();
+            s.execute_sql(&sql, &uid_params(256)).unwrap();
+            s.commit().unwrap();
+        })
+    });
+    s.execute_sql("SET batch_writes = 1", &[]).unwrap();
+    g.finish();
+}
+
+/// XA commit latency as the branch count grows: with parallel phase fan-out
+/// an 8-branch commit should cost close to a 1-branch commit (acceptance:
+/// ≤1.5×), not 8 sequential round trips.
+fn bench_commit_scaling(c: &mut Criterion) {
+    let runtime = cloud_runtime(8);
+    let mut g = c.benchmark_group("xa_commit");
+    g.sample_size(20);
+
+    // 1 branch: all rows of the block land on shard 0 (uids ≡ 0 mod 8).
+    g.bench_function("1_branch", |b| {
+        b.iter_batched(
+            || {
+                let mut s = xa_session(&runtime);
+                let base = NEXT_UID.fetch_add(8, Ordering::Relaxed) * 8;
+                s.begin().unwrap();
+                s.execute_sql(&insert_sql(1), &[Value::Int(base)]).unwrap();
+                s
+            },
+            |mut s| s.commit().unwrap(),
+            BatchSize::PerIteration,
+        )
+    });
+
+    // 8 branches: one row per shard.
+    g.bench_function("8_branches", |b| {
+        b.iter_batched(
+            || {
+                let mut s = xa_session(&runtime);
+                s.begin().unwrap();
+                s.execute_sql(&insert_sql(8), &uid_params(8)).unwrap();
+                s
+            },
+            |mut s| s.commit().unwrap(),
+            BatchSize::PerIteration,
+        )
+    });
+    g.finish();
+}
+
+/// Group commit: 8 concurrent single-row committers against one shard, with
+/// the coalescing window off and on. The window amortizes durability
+/// flushes across committers (the flush counters are the observable — the
+/// simulated flush sleeps concurrently, so wall time mostly shows the
+/// window's added latency).
+fn bench_group_commit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("group_commit_8_writers");
+    g.sample_size(10);
+    for (label, window_us) in [("window_0", 0u64), ("window_200us", 200u64)] {
+        let runtime = cloud_runtime(1);
+        let mut s = runtime.session();
+        s.execute_sql(&format!("SET group_commit_window_us = {window_us}"), &[])
+            .unwrap();
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let handles: Vec<_> = (0..8)
+                    .map(|_| {
+                        let runtime = Arc::clone(&runtime);
+                        std::thread::spawn(move || {
+                            let mut s = runtime.session();
+                            s.begin().unwrap();
+                            s.execute_sql(&insert_sql(1), &uid_params(1)).unwrap();
+                            s.commit().unwrap();
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    h.join().unwrap();
+                }
+            })
+        });
+        let engine = runtime.datasource("ds_0").unwrap().engine().clone();
+        let gc = engine.group_committer();
+        println!(
+            "group_commit[{label}]: {} commits, {} flushes ({:.2} commits/flush)",
+            gc.commits(),
+            gc.flushes(),
+            gc.commits() as f64 / gc.flushes().max(1) as f64
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_insert_256,
+    bench_commit_scaling,
+    bench_group_commit
+);
+criterion_main!(benches);

@@ -12,7 +12,7 @@
 //! **Execution phase** — execution units run in parallel across data sources
 //! and connections; within one connection the chunk runs serially.
 
-mod pool;
+pub(crate) mod pool;
 pub mod stream;
 
 pub use pool::WorkerPool;
@@ -545,5 +545,43 @@ mod tests {
             elapsed < Duration::from_millis(70),
             "expected parallel execution, took {elapsed:?}"
         );
+    }
+
+    #[test]
+    fn in_transaction_statements_parallel_across_distinct_sources() {
+        use std::time::Instant;
+        // The connection-mode contract serializes statements *within* one
+        // bound source, but distinct bound sources must still overlap: a
+        // 4-branch transactional write should cost ~1 round trip, not 4.
+        let mut map = HashMap::new();
+        let mut txns = HashMap::new();
+        for i in 0..4 {
+            let name = format!("ds_{i}");
+            let engine = StorageEngine::with_latency(
+                &name,
+                shard_storage::LatencyModel::new(Duration::from_millis(20), Duration::ZERO),
+            );
+            engine
+                .execute_sql("CREATE TABLE t_0 (id BIGINT PRIMARY KEY)", &[], None)
+                .unwrap();
+            txns.insert(name.clone(), engine.begin());
+            map.insert(name.clone(), Arc::new(DataSource::new(name, engine, 4)));
+        }
+        let engine = ExecutorEngine::new(4);
+        let inputs = (0..4)
+            .map(|i| input(&format!("ds_{i}"), &format!("INSERT INTO t_0 VALUES ({i})")))
+            .collect();
+        let start = Instant::now();
+        engine
+            .execute(&map, inputs, shared_params(&[]), Some(&txns))
+            .unwrap();
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed < Duration::from_millis(70),
+            "expected in-transaction parallel execution across sources, took {elapsed:?}"
+        );
+        for (name, ds) in &map {
+            ds.engine().rollback(txns[name]).unwrap();
+        }
     }
 }

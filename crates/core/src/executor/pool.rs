@@ -36,6 +36,15 @@ impl WorkerPool {
     pub fn global() -> &'static WorkerPool {
         static POOL: OnceLock<WorkerPool> = OnceLock::new();
         POOL.get_or_init(|| {
+            // `SHARD_EXEC_THREADS` overrides the sizing heuristic so small
+            // CI boxes aren't forced to the 96-thread floor.
+            if let Some(n) = std::env::var("SHARD_EXEC_THREADS")
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .filter(|&n| n > 0)
+            {
+                return WorkerPool::new(n);
+            }
             let cores = std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(8);

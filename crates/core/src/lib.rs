@@ -24,4 +24,4 @@ pub mod transaction;
 
 pub use error::{ErrorClass, KernelError, Result};
 pub use runtime::{QueryStream, RuntimeBuilder, Session, ShardingRuntime, StreamOutcome};
-pub use transaction::TransactionType;
+pub use transaction::{TransactionType, XaFanOut};

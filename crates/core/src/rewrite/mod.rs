@@ -89,6 +89,45 @@ pub fn rewrite_for_unit(
     Ok(stmt)
 }
 
+/// One-pass partition of a multi-unit batched INSERT: each row is cloned
+/// exactly once, straight into the statement of the unit the route assigned
+/// it to. [`rewrite_for_unit`] would instead clone the *full* N-row
+/// statement per unit and filter it down — N × units row clones for N kept
+/// rows. Returns `None` when the statement is not a row-split multi-unit
+/// INSERT (callers fall back to the per-unit path).
+pub fn rewrite_insert_per_unit(
+    output: &RewriteOutput<'_>,
+    route: &RouteResult,
+) -> Option<Vec<Statement>> {
+    let Statement::Insert(insert) = output.derived.as_ref() else {
+        return None;
+    };
+    if route.units.len() <= 1 {
+        return None;
+    }
+    let assignments = route.insert_row_units.as_ref()?;
+    let mut per_unit_rows: Vec<Vec<Vec<Expr>>> = route.units.iter().map(|_| Vec::new()).collect();
+    for (i, row) in insert.rows.iter().enumerate() {
+        let Some(assigned) = assignments.get(i) else {
+            continue;
+        };
+        if let Some(pos) = route.units.iter().position(|u| u == assigned) {
+            per_unit_rows[pos].push(row.clone());
+        }
+    }
+    let mut stmts = Vec::with_capacity(route.units.len());
+    for (unit, rows) in route.units.iter().zip(per_unit_rows) {
+        let mut stmt = Statement::Insert(InsertStatement {
+            table: insert.table.clone(),
+            columns: insert.columns.clone(),
+            rows,
+        });
+        rewrite_identifiers(&mut stmt, unit);
+        stmts.push(stmt);
+    }
+    Some(stmts)
+}
+
 /// Resolve a LIMIT clause into concrete numbers using bound parameters.
 pub(crate) fn resolve_limit(
     limit: Option<&Limit>,

@@ -20,10 +20,12 @@ use crate::governor::{
 };
 use crate::merge::{merge_explain, merge_stream, MergedStream, MergerKind};
 use crate::metadata::LogicalSchemas;
-use crate::rewrite::{rewrite_for_unit, rewrite_statement, DerivedInfo};
+use crate::rewrite::{rewrite_for_unit, rewrite_insert_per_unit, rewrite_statement, DerivedInfo};
 use crate::route::{RouteEngine, RouteResult};
-use crate::transaction::xa::two_phase_commit;
-use crate::transaction::{base, TransactionCoordinator, TransactionType, XaLog, XaRecoveryManager};
+use crate::transaction::xa::{commit_all, two_phase_commit_with};
+use crate::transaction::{
+    base, TransactionCoordinator, TransactionType, XaFanOut, XaLog, XaRecoveryManager,
+};
 use parking_lot::RwLock;
 use shard_sql::ast::{Expr, Statement, StatementCategory};
 use shard_sql::Value;
@@ -57,6 +59,13 @@ pub struct ShardingRuntime {
     pub(crate) plan_cache: SqlPlanCache,
     /// The long-lived automatic execution engine (MaxCon updates apply live).
     pub(crate) executor: ExecutorEngine,
+    /// Desired batched-write mode, applied to every engine (including ones
+    /// registered later). `SET batch_writes = 0` restores the per-row
+    /// storage write path for ablation.
+    batch_writes: std::sync::atomic::AtomicBool,
+    /// Desired group-commit window (µs), applied to every engine
+    /// (`SET group_commit_window_us`).
+    group_commit_window_us: AtomicU64,
 }
 
 impl ShardingRuntime {
@@ -100,6 +109,9 @@ impl ShardingRuntime {
     }
 
     pub fn add_datasource(&self, name: &str, engine: Arc<StorageEngine>, pool: usize) {
+        // Late-joining sources inherit the runtime's write-path settings.
+        engine.set_batch_writes(self.batch_writes.load(Ordering::Relaxed));
+        engine.set_group_commit_window(self.group_commit_window_us.load(Ordering::Relaxed));
         let ds = Arc::new(DataSource::new(name, engine, pool));
         {
             // Copy-on-write: topology changes are rare, reads are per
@@ -188,6 +200,32 @@ impl ShardingRuntime {
 
     pub fn max_connections_per_query(&self) -> u64 {
         self.executor.max_connections() as u64
+    }
+
+    /// Toggle the batched multi-row write path on every registered engine
+    /// (`SET batch_writes`; on by default, off = per-row ablation arm).
+    pub fn set_batch_writes(&self, enabled: bool) {
+        self.batch_writes.store(enabled, Ordering::Relaxed);
+        for ds in self.datasource_snapshot().values() {
+            ds.engine().set_batch_writes(enabled);
+        }
+    }
+
+    pub fn batch_writes(&self) -> bool {
+        self.batch_writes.load(Ordering::Relaxed)
+    }
+
+    /// Group-commit coalescing window in microseconds on every registered
+    /// engine (`SET group_commit_window_us`; 0 = flush per commit).
+    pub fn set_group_commit_window_us(&self, micros: u64) {
+        self.group_commit_window_us.store(micros, Ordering::Relaxed);
+        for ds in self.datasource_snapshot().values() {
+            ds.engine().set_group_commit_window(micros);
+        }
+    }
+
+    pub fn group_commit_window_us(&self) -> u64 {
+        self.group_commit_window_us.load(Ordering::Relaxed)
     }
 
     /// Snapshot of a table rule (scaling, diagnostics).
@@ -296,6 +334,7 @@ impl ShardingRuntime {
             txn_type: TransactionType::Local,
             txn: None,
             statement_timeout: None,
+            xa_fanout: XaFanOut::default(),
             last_report: None,
             last_merger: None,
         }
@@ -356,6 +395,8 @@ impl RuntimeBuilder {
             next_xid: AtomicU64::new(1),
             plan_cache: SqlPlanCache::default(),
             executor: ExecutorEngine::new(self.max_connections_per_query.unwrap_or(8) as usize),
+            batch_writes: std::sync::atomic::AtomicBool::new(true),
+            group_commit_window_us: AtomicU64::new(0),
         })
     }
 }
@@ -478,6 +519,9 @@ pub struct Session {
     /// Per-statement deadline (`SET statement_timeout_ms = …`; None = no
     /// deadline). Flows into the executor so hung shards are abandoned.
     statement_timeout: Option<Duration>,
+    /// 2PC phase fan-out (`SET xa_fanout = serial | parallel`); serial is
+    /// the pre-fan-out coordinator, kept for ablation.
+    xa_fanout: XaFanOut,
     /// Diagnostics from the last statement (tests, Fig 15 bench).
     last_report: Option<ExecutionReport>,
     last_merger: Option<MergerKind>,
@@ -678,6 +722,38 @@ impl Session {
                 self.statement_timeout = (n > 0).then(|| Duration::from_millis(n));
                 Ok(())
             }
+            "batch_writes" => {
+                let enabled = match value.to_lowercase().as_str() {
+                    "1" | "on" | "true" => true,
+                    "0" | "off" | "false" => false,
+                    _ => {
+                        return Err(KernelError::Config(
+                            "batch_writes must be 0/1, on/off or true/false".into(),
+                        ))
+                    }
+                };
+                self.runtime.set_batch_writes(enabled);
+                Ok(())
+            }
+            "group_commit_window_us" => {
+                let n: u64 = value.parse().map_err(|_| {
+                    KernelError::Config("group_commit_window_us must be an integer".into())
+                })?;
+                self.runtime.set_group_commit_window_us(n);
+                Ok(())
+            }
+            "xa_fanout" => {
+                self.xa_fanout = match value.to_lowercase().as_str() {
+                    "serial" => XaFanOut::Serial,
+                    "parallel" => XaFanOut::Parallel,
+                    _ => {
+                        return Err(KernelError::Config(
+                            "xa_fanout must be 'serial' or 'parallel'".into(),
+                        ))
+                    }
+                };
+                Ok(())
+            }
             // autocommit & friends accepted for driver compatibility.
             "autocommit" | "sql_mode" | "time_zone" | "character_set_results" => Ok(()),
             other => Err(KernelError::Config(format!("unknown variable '{other}'"))),
@@ -702,6 +778,17 @@ impl Session {
                 .statement_timeout
                 .map(|t| t.as_millis().to_string())
                 .unwrap_or_else(|| "0".into())),
+            "batch_writes" => Ok(if self.runtime.batch_writes() {
+                "1"
+            } else {
+                "0"
+            }
+            .into()),
+            "group_commit_window_us" => Ok(self.runtime.group_commit_window_us().to_string()),
+            "xa_fanout" => Ok(match self.xa_fanout {
+                XaFanOut::Serial => "serial".into(),
+                XaFanOut::Parallel => "parallel".into(),
+            }),
             other => Err(KernelError::Config(format!("unknown variable '{other}'"))),
         }
     }
@@ -734,13 +821,16 @@ impl Session {
         match txn.txn_type {
             TransactionType::Local => {
                 // 1PC: fire commit at every branch, ignoring failures
-                // (paper Fig 5(d)).
-                for (engine, branch) in txn.branches.values() {
-                    let _ = engine.commit(*branch);
-                }
+                // (paper Fig 5(d)), with the round trips overlapped.
+                commit_all(&txn.branches);
                 Ok(())
             }
-            TransactionType::Xa => two_phase_commit(&txn.xid, &self.runtime.xa_log, &txn.branches),
+            TransactionType::Xa => two_phase_commit_with(
+                &txn.xid,
+                &self.runtime.xa_log,
+                &txn.branches,
+                self.xa_fanout,
+            ),
             TransactionType::Base => {
                 tc_rpc(); // phase 2: check status with the TC
                 self.runtime.tc.commit(&txn.xid)
@@ -871,8 +961,11 @@ impl Session {
             let patched = owned_stmt.get_or_insert_with(|| stmt.clone());
             if let Statement::Insert(ins) = patched {
                 ins.columns.push(key_col);
-                for row in &mut ins.rows {
-                    row.push(Expr::Literal(self.runtime.keygen.next_key()));
+                // One contiguous key block per statement: a single keygen
+                // reservation instead of one lock round trip per row.
+                let keys = self.runtime.keygen.next_keys(ins.rows.len());
+                for (row, key) in ins.rows.iter_mut().zip(keys) {
+                    row.push(Expr::Literal(key));
                 }
             }
         }
@@ -950,14 +1043,26 @@ impl Session {
             }));
         }
 
-        // 6. Rewrite: derive once, then per unit.
+        // 6. Rewrite: derive once, then per unit. A row-split batched INSERT
+        // partitions its rows across units in one pass (each row cloned
+        // once, into its own unit's statement) instead of cloning the full
+        // statement per unit and filtering.
         let rewrite = rewrite_statement(stmt, &route, params)?;
         let mut inputs = Vec::with_capacity(route.units.len());
-        for unit in &route.units {
-            inputs.push(ExecutionInput {
-                unit: unit.clone(),
-                stmt: rewrite_for_unit(&rewrite, unit, &route, params)?,
-            });
+        if let Some(per_unit) = rewrite_insert_per_unit(&rewrite, &route) {
+            for (unit, stmt) in route.units.iter().zip(per_unit) {
+                inputs.push(ExecutionInput {
+                    unit: unit.clone(),
+                    stmt,
+                });
+            }
+        } else {
+            for unit in &route.units {
+                inputs.push(ExecutionInput {
+                    unit: unit.clone(),
+                    stmt: rewrite_for_unit(&rewrite, unit, &route, params)?,
+                });
+            }
         }
 
         // 7. Transactions: bind branches / capture BASE compensation.

@@ -6,7 +6,7 @@ pub mod base;
 pub mod xa;
 
 pub use base::{BranchUndo, Compensation, TransactionCoordinator};
-pub use xa::{XaDecision, XaLog, XaRecoveryManager};
+pub use xa::{XaDecision, XaFanOut, XaLog, XaRecoveryManager};
 
 use serde::{Deserialize, Serialize};
 use std::fmt;

@@ -8,10 +8,25 @@
 //! restarts or re-commit periodically according to the recorded logs".
 
 use crate::error::{KernelError, Result};
+use crate::executor::pool::WorkerPool;
 use parking_lot::Mutex;
 use shard_storage::{StorageEngine, TxnId};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
+
+/// How the coordinator drives each 2PC phase across branches.
+///
+/// `Parallel` (the default) fans `prepare` / `commit_prepared` /
+/// `rollback_prepared` out on the shared [`WorkerPool`], so the phase costs
+/// one branch round trip instead of the sum of all of them — the
+/// coordinator-fan-out bottleneck of arXiv 2602.19440. `Serial` is the
+/// pre-fan-out behaviour, kept for ablation (`SET xa_fanout = serial`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum XaFanOut {
+    Serial,
+    #[default]
+    Parallel,
+}
 
 /// Durable coordinator decision per global transaction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,7 +73,37 @@ impl XaLog {
     }
 }
 
-/// Run 2PC over the branches of one global transaction.
+type BranchVec = Vec<(String, Arc<StorageEngine>, TxnId)>;
+type FanJob = Box<dyn FnOnce() -> shard_storage::Result<()> + Send>;
+
+/// Run one job per branch, in parallel on the shared [`WorkerPool`] when
+/// requested (and worth it), collecting results in submission order so the
+/// caller sees a deterministic view regardless of completion order.
+fn fan_out(jobs: Vec<FanJob>, parallel: bool) -> Vec<shard_storage::Result<()>> {
+    if !parallel || jobs.len() <= 1 {
+        return jobs.into_iter().map(|job| job()).collect();
+    }
+    let n = jobs.len();
+    let (tx, rx) = crossbeam::channel::bounded(n);
+    for (i, job) in jobs.into_iter().enumerate() {
+        let tx = tx.clone();
+        WorkerPool::global().submit(move || {
+            let _ = tx.send((i, job()));
+        });
+    }
+    drop(tx);
+    let mut out: Vec<Option<shard_storage::Result<()>>> = (0..n).map(|_| None).collect();
+    for _ in 0..n {
+        let (i, r) = rx.recv().expect("xa fan-out worker exited");
+        out[i] = Some(r);
+    }
+    out.into_iter()
+        .map(|r| r.expect("every fan-out job reports once"))
+        .collect()
+}
+
+/// Run 2PC over the branches of one global transaction with the default
+/// (parallel) fan-out.
 ///
 /// `branches` maps data source name → (engine, local txn id).
 pub fn two_phase_commit(
@@ -66,34 +111,95 @@ pub fn two_phase_commit(
     log: &XaLog,
     branches: &HashMap<String, (Arc<StorageEngine>, TxnId)>,
 ) -> Result<()> {
-    log.record(xid, XaDecision::Preparing);
+    two_phase_commit_with(xid, log, branches, XaFanOut::default())
+}
 
-    // Phase 1: prepare (vote collection).
-    let mut prepared: Vec<&String> = Vec::new();
-    for (name, (engine, txn)) in branches {
-        match engine.prepare(*txn, xid) {
-            Ok(()) => prepared.push(name),
-            Err(vote_no) => {
-                // A NO vote aborts the global transaction: the refusing
-                // branch already rolled back; roll back the others.
-                log.record(xid, XaDecision::Rollback);
-                for (other, (e, t)) in branches {
-                    if other == name {
-                        continue;
-                    }
-                    let result = if prepared.contains(&other) {
-                        e.rollback_prepared(*t)
-                    } else {
-                        e.rollback(*t)
-                    };
-                    let _ = result; // branch may already be gone; recovery handles it
-                }
-                log.record(xid, XaDecision::Done);
-                return Err(KernelError::Transaction(format!(
-                    "XA transaction {xid} aborted: branch '{name}' voted NO ({vote_no})"
-                )));
+/// Run 2PC over the branches of one global transaction.
+pub fn two_phase_commit_with(
+    xid: &str,
+    log: &XaLog,
+    branches: &HashMap<String, (Arc<StorageEngine>, TxnId)>,
+    fanout: XaFanOut,
+) -> Result<()> {
+    log.record(xid, XaDecision::Preparing);
+    let parallel = fanout == XaFanOut::Parallel;
+    // Branches in name order: "first error" selection is deterministic no
+    // matter which branch answers first.
+    let mut ordered: BranchVec = branches
+        .iter()
+        .map(|(n, (e, t))| (n.clone(), Arc::clone(e), *t))
+        .collect();
+    ordered.sort_by(|a, b| a.0.cmp(&b.0));
+
+    // Phase 1: prepare (vote collection). `None` = never attempted (the
+    // serial path stops at the first NO vote; the parallel path asks every
+    // branch).
+    let votes: Vec<Option<shard_storage::Result<()>>> = if parallel && ordered.len() > 1 {
+        let jobs: Vec<FanJob> = ordered
+            .iter()
+            .map(|(_, engine, txn)| {
+                let engine = Arc::clone(engine);
+                let txn = *txn;
+                let xid = xid.to_string();
+                Box::new(move || engine.prepare(txn, &xid)) as FanJob
+            })
+            .collect();
+        fan_out(jobs, true).into_iter().map(Some).collect()
+    } else {
+        let mut votes: Vec<Option<shard_storage::Result<()>>> =
+            (0..ordered.len()).map(|_| None).collect();
+        for (i, (_, engine, txn)) in ordered.iter().enumerate() {
+            let vote = engine.prepare(*txn, xid);
+            let no = vote.is_err();
+            votes[i] = Some(vote);
+            if no {
+                break;
             }
         }
+        votes
+    };
+
+    let prepared: HashSet<usize> = votes
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| matches!(v, Some(Ok(()))))
+        .map(|(i, _)| i)
+        .collect();
+    if let Some(no_idx) = votes.iter().position(|v| matches!(v, Some(Err(_)))) {
+        // A NO vote aborts the global transaction. Refusing branches already
+        // rolled back inside `prepare`; roll the survivors back in the same
+        // fan-out — prepared siblings via `rollback_prepared`, branches the
+        // serial path never reached via plain `rollback`.
+        log.record(xid, XaDecision::Rollback);
+        let jobs: Vec<FanJob> = ordered
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !matches!(votes[*i], Some(Err(_))))
+            .map(|(i, (_, engine, txn))| {
+                let engine = Arc::clone(engine);
+                let txn = *txn;
+                let was_prepared = prepared.contains(&i);
+                Box::new(move || {
+                    let result = if was_prepared {
+                        engine.rollback_prepared(txn)
+                    } else {
+                        engine.rollback(txn)
+                    };
+                    let _ = result; // branch may already be gone; recovery handles it
+                    Ok(())
+                }) as FanJob
+            })
+            .collect();
+        let _ = fan_out(jobs, parallel);
+        log.record(xid, XaDecision::Done);
+        let (name, _, _) = &ordered[no_idx];
+        let vote_no = match &votes[no_idx] {
+            Some(Err(e)) => e,
+            _ => unreachable!("no_idx indexes a NO vote"),
+        };
+        return Err(KernelError::Transaction(format!(
+            "XA transaction {xid} aborted: branch '{name}' voted NO ({vote_no})"
+        )));
     }
 
     // Decision point: durable before phase 2.
@@ -101,23 +207,61 @@ pub fn two_phase_commit(
 
     // Phase 2: commit every branch. Failures here do NOT abort the global
     // transaction — the decision is committed; recovery re-drives stragglers.
-    let mut lagging = Vec::new();
-    for (name, (engine, txn)) in branches {
-        if engine.commit_prepared(*txn).is_err() {
-            lagging.push(name.clone());
-        }
-    }
+    let jobs: Vec<FanJob> = ordered
+        .iter()
+        .map(|(_, engine, txn)| {
+            let engine = Arc::clone(engine);
+            let txn = *txn;
+            Box::new(move || engine.commit_prepared(txn)) as FanJob
+        })
+        .collect();
+    let results = fan_out(jobs, parallel);
+    let lagging: Vec<String> = results
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.is_err())
+        .map(|(i, _)| ordered[i].0.clone())
+        .collect();
     if lagging.is_empty() {
         log.record(xid, XaDecision::Done);
     }
     Ok(())
 }
 
-/// Roll back all branches (explicit ROLLBACK before prepare).
+/// Fire 1PC commit at every branch in parallel, ignoring failures (the
+/// Local transaction type, paper Fig 5(d)): each branch's durability flush
+/// overlaps instead of queueing behind the previous branch's round trip.
+pub fn commit_all(branches: &HashMap<String, (Arc<StorageEngine>, TxnId)>) {
+    let jobs: Vec<FanJob> = branches
+        .values()
+        .map(|(engine, txn)| {
+            let engine = Arc::clone(engine);
+            let txn = *txn;
+            Box::new(move || {
+                let _ = engine.commit(txn);
+                Ok(())
+            }) as FanJob
+        })
+        .collect();
+    let _ = fan_out(jobs, true);
+}
+
+/// Roll back all branches (explicit ROLLBACK before prepare), fanned out in
+/// parallel — an abort of a wide transaction should not pay one round trip
+/// per branch either.
 pub fn rollback_all(branches: &HashMap<String, (Arc<StorageEngine>, TxnId)>) {
-    for (engine, txn) in branches.values() {
-        let _ = engine.rollback(*txn);
-    }
+    let jobs: Vec<FanJob> = branches
+        .values()
+        .map(|(engine, txn)| {
+            let engine = Arc::clone(engine);
+            let txn = *txn;
+            Box::new(move || {
+                let _ = engine.rollback(txn);
+                Ok(())
+            }) as FanJob
+        })
+        .collect();
+    let _ = fan_out(jobs, true);
 }
 
 /// Recovery manager: resolves in-doubt branches against the coordinator log
@@ -266,6 +410,78 @@ mod tests {
         let resolved = recovery.recover(std::slice::from_ref(&a));
         assert_eq!(resolved, 1);
         assert_eq!(value(&a), Value::Int(10)); // rolled back
+    }
+
+    #[test]
+    fn serial_fanout_preserves_abort_semantics() {
+        let a = engine_with_row("a");
+        let b = engine_with_row("b");
+        let mut branches = HashMap::new();
+        branches.insert("a".to_string(), (a.clone(), start_branch(&a, 100)));
+        branches.insert("b".to_string(), (b.clone(), start_branch(&b, 200)));
+        b.inject_commit_failure();
+        let log = XaLog::new();
+        let err = two_phase_commit_with("x5", &log, &branches, XaFanOut::Serial).unwrap_err();
+        assert!(err.to_string().contains("voted NO"), "{err}");
+        assert_eq!(value(&a), Value::Int(10));
+        assert_eq!(value(&b), Value::Int(10));
+        assert!(a.in_doubt().is_empty() && b.in_doubt().is_empty());
+        assert_eq!(log.decision("x5"), Some(XaDecision::Done));
+    }
+
+    #[test]
+    fn parallel_abort_names_first_branch_in_name_order() {
+        // Two branches vote NO; regardless of which one answers first, the
+        // surfaced error must name the lexicographically first NO-voter.
+        let names = ["d", "b", "c", "a"];
+        let engines: Vec<_> = names.iter().map(|n| engine_with_row(n)).collect();
+        let mut branches = HashMap::new();
+        for (n, e) in names.iter().zip(&engines) {
+            branches.insert(n.to_string(), (e.clone(), start_branch(e, 77)));
+        }
+        // "d" and "b" refuse to prepare.
+        engines[0].inject_commit_failure();
+        engines[1].inject_commit_failure();
+        let log = XaLog::new();
+        let err = two_phase_commit("x6", &log, &branches).unwrap_err();
+        assert!(err.to_string().contains("branch 'b'"), "{err}");
+        for e in &engines {
+            assert_eq!(value(e), Value::Int(10), "{} not rolled back", e.name());
+            assert!(e.in_doubt().is_empty());
+        }
+    }
+
+    #[test]
+    fn parallel_fanout_overlaps_branch_round_trips() {
+        use shard_storage::LatencyModel;
+        use std::time::Duration;
+        // 8 branches, 5ms per round trip: the serial coordinator pays
+        // 8 × (prepare + commit flush) = ~80ms; the parallel fan-out pays
+        // roughly two round trips. Generous bound to stay robust on slow CI.
+        let mut branches = HashMap::new();
+        let mut engines = Vec::new();
+        for i in 0..8 {
+            let e = StorageEngine::with_latency(
+                format!("ds_{i}"),
+                LatencyModel::new(Duration::from_millis(5), Duration::ZERO),
+            );
+            e.execute_sql("CREATE TABLE t (id BIGINT PRIMARY KEY, v INT)", &[], None)
+                .unwrap();
+            let txn = e.begin();
+            e.execute_sql("INSERT INTO t VALUES (1, 1)", &[], Some(txn))
+                .unwrap();
+            branches.insert(format!("ds_{i}"), (e.clone(), txn));
+            engines.push(e);
+        }
+        let log = XaLog::new();
+        let start = std::time::Instant::now();
+        two_phase_commit("x7", &log, &branches).unwrap();
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed < Duration::from_millis(60),
+            "parallel 2PC took {elapsed:?}, expected well under the ~80ms serial cost"
+        );
+        assert_eq!(log.decision("x7"), Some(XaDecision::Done));
     }
 
     #[test]

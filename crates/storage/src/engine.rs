@@ -15,6 +15,7 @@ use crate::error::{Result, StorageError};
 use crate::eval::{eval, eval_predicate, EvalContext, Scope};
 use crate::exec_select::{execute_select, Catalog};
 use crate::fault::{FaultInjector, FaultKind, FaultOp, FaultPlan, FaultTrigger};
+use crate::group_commit::GroupCommitter;
 use crate::index::RowId;
 use crate::latency::LatencyModel;
 use crate::lock::{LockManager, TxnId};
@@ -26,7 +27,7 @@ use parking_lot::{Mutex, RwLock};
 use shard_sql::ast::*;
 use shard_sql::{format_statement, parse_statement, Dialect, Value};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -90,6 +91,13 @@ pub struct StorageEngine {
     /// real database's worker threads — this is what makes adding data
     /// servers increase cluster throughput (paper Fig 12).
     server_slots: Option<Arc<ServerSlots>>,
+    /// Coalesces the simulated durability flush of concurrent committers
+    /// (`SET group_commit_window_us`).
+    group_commit: GroupCommitter,
+    /// Multi-row INSERTs take the batched single-pass write path (locks,
+    /// WAL, indexes each touched once per statement). Off = the pre-batching
+    /// per-row path, kept for ablation benchmarks.
+    batch_writes: AtomicBool,
 }
 
 struct ServerSlots {
@@ -148,6 +156,8 @@ impl StorageEngine {
             rows_pulled: Arc::new(AtomicU64::new(0)),
             recovered_undo: Mutex::new(HashMap::new()),
             server_slots: None,
+            group_commit: GroupCommitter::new(),
+            batch_writes: AtomicBool::new(true),
         })
     }
 
@@ -167,6 +177,27 @@ impl StorageEngine {
 
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Coalescing window for the simulated durability flush at commit, in
+    /// microseconds. 0 (default) = one flush per explicit commit.
+    pub fn set_group_commit_window(&self, micros: u64) {
+        self.group_commit.set_window(micros);
+    }
+
+    /// The group committer (metrics: commits vs actual flushes).
+    pub fn group_committer(&self) -> &GroupCommitter {
+        &self.group_commit
+    }
+
+    /// Toggle the batched multi-row INSERT path (on by default; off restores
+    /// the per-row lock/WAL/index path for ablation).
+    pub fn set_batch_writes(&self, enabled: bool) {
+        self.batch_writes.store(enabled, Ordering::Relaxed);
+    }
+
+    pub fn batch_writes_enabled(&self) -> bool {
+        self.batch_writes.load(Ordering::Relaxed)
     }
 
     pub fn latency(&self) -> LatencyModel {
@@ -244,6 +275,13 @@ impl StorageEngine {
         // A commit fault leaves the transaction in place: the coordinator
         // decides what happens next (retry / recovery).
         self.faults.check(FaultOp::Commit)?;
+        // An explicit COMMIT is its own client round trip and must make the
+        // WAL durable before acknowledging: pay one flush, coalesced with
+        // concurrent committers when a group-commit window is armed.
+        self.finish_commit(txn, true)
+    }
+
+    fn finish_commit(&self, txn: TxnId, flush: bool) -> Result<()> {
         let state = self
             .txns
             .lock()
@@ -252,6 +290,9 @@ impl StorageEngine {
         // Commit is legal from Active (local/1PC) and Prepared (XA phase 2).
         drop(state);
         self.wal.append(LogRecord::Commit { txn });
+        if flush {
+            self.group_commit.sync(|| self.latency.charge(0));
+        }
         self.locks.release_all(txn);
         Ok(())
     }
@@ -330,12 +371,13 @@ impl StorageEngine {
         Ok(())
     }
 
-    /// XA phase 2 commit of a prepared transaction.
+    /// XA phase 2 commit of a prepared transaction. The phase-2 round trip
+    /// cost is the commit's durability flush (charged inside [`Self::commit`],
+    /// where the group committer can coalesce it).
     pub fn commit_prepared(&self, txn: TxnId) -> Result<()> {
         // Phase 2 waits for the resource manager's acknowledgement. A fault
         // here leaves the transaction in-doubt for the recovery manager.
         self.faults.check(FaultOp::CommitPrepared)?;
-        self.latency.charge(0);
         {
             let txns = self.txns.lock();
             let state = txns
@@ -560,7 +602,11 @@ impl StorageEngine {
                 let t = self.begin();
                 match f(t) {
                     Ok(r) => {
-                        self.commit(t)?;
+                        // Auto-commit rides the statement's own round trip:
+                        // no separate durability flush is charged (the
+                        // statement request already paid `per_request`).
+                        self.faults.check(FaultOp::Commit)?;
+                        self.finish_commit(t, false)?;
                         Ok(r)
                     }
                     Err(e) => {
@@ -581,6 +627,13 @@ impl StorageEngine {
     fn record_undo(&self, txn: TxnId, op: UndoOp) {
         if let Some(state) = self.txns.lock().get_mut(&txn) {
             state.undo.push(op);
+        }
+    }
+
+    /// Record a statement's worth of undo ops under one transaction-map lock.
+    fn record_undo_batch(&self, txn: TxnId, ops: impl IntoIterator<Item = UndoOp>) {
+        if let Some(state) = self.txns.lock().get_mut(&txn) {
+            state.undo.extend(ops);
         }
     }
 
@@ -627,6 +680,9 @@ impl StorageEngine {
         params: &[Value],
         txn: TxnId,
     ) -> Result<ExecuteResult> {
+        if stmt.rows.len() > 1 && self.batch_writes.load(Ordering::Relaxed) {
+            return self.insert_batched(stmt, params, txn);
+        }
         let table = self.table(stmt.table.as_str())?;
         let mut affected = 0u64;
         let scope = Scope::new();
@@ -655,6 +711,52 @@ impl StorageEngine {
             });
             affected += 1;
         }
+        Ok(ExecuteResult::Update { affected })
+    }
+
+    /// Batched multi-row INSERT: evaluate every row first, then mutate the
+    /// table under one write guard (single index pass), take all row locks in
+    /// one lock-table acquisition, record undo under one transaction-map
+    /// lock, and append the WAL records as one contiguous batch. Per-row the
+    /// path does the same work as [`Self::insert`], so recovery replay and
+    /// rollback are unchanged; only the synchronization round trips are
+    /// amortized across the statement.
+    fn insert_batched(
+        &self,
+        stmt: &InsertStatement,
+        params: &[Value],
+        txn: TxnId,
+    ) -> Result<ExecuteResult> {
+        let table = self.table(stmt.table.as_str())?;
+        let scope = Scope::new();
+        let full_rows = {
+            let guard = table.read();
+            let mut full_rows = Vec::with_capacity(stmt.rows.len());
+            for row_exprs in &stmt.rows {
+                let ctx = EvalContext::new(&scope, &[], params);
+                let values: Result<Vec<Value>> = row_exprs.iter().map(|e| eval(e, &ctx)).collect();
+                full_rows.push(build_full_row(&guard.schema, &stmt.columns, values?)?);
+            }
+            full_rows
+        };
+        let inserted = table.write().insert_many(full_rows)?;
+        let row_ids: Vec<RowId> = inserted.iter().map(|(id, _)| *id).collect();
+        self.locks.lock_rows(txn, stmt.table.as_str(), &row_ids)?;
+        self.record_undo_batch(
+            txn,
+            row_ids.iter().map(|&row_id| UndoOp::Insert {
+                table: stmt.table.0.clone(),
+                row_id,
+            }),
+        );
+        let affected = inserted.len() as u64;
+        self.wal
+            .append_batch(inserted.into_iter().map(|(row_id, row)| LogRecord::Insert {
+                txn,
+                table: stmt.table.0.clone(),
+                row_id,
+                row,
+            }));
         Ok(ExecuteResult::Update { affected })
     }
 

@@ -1,0 +1,147 @@
+//! Group commit: coalesce concurrent durability flushes.
+//!
+//! Every committing transaction must make its WAL records durable before
+//! acknowledging the client. A naive engine pays one flush (here: one
+//! simulated fsync/network round trip from the [`crate::latency`] model) per
+//! commit; a real write-heavy server amortizes that by letting one *leader*
+//! hold the flush open for a short window so every transaction that reaches
+//! the commit point meanwhile rides the same flush ("Transparent Concurrency
+//! Control", arXiv 1902.00609, motivates decoupling the durability step from
+//! per-row work exactly this way).
+//!
+//! With `window == 0` (the default) the committer degenerates to one flush
+//! per commit — the pre-group-commit behaviour. With a window armed (the
+//! kernel's `SET group_commit_window_us` knob), the first committer becomes
+//! the leader: it waits out the window, performs the flush once, and wakes
+//! the followers that queued behind it. Followers pay only the wait, not a
+//! flush of their own.
+
+use crate::latency::spin_or_sleep;
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+#[derive(Default)]
+struct Inner {
+    /// A leader is currently holding the window open / flushing.
+    leader_active: bool,
+    /// Bumped once per completed group flush; followers wait for the bump
+    /// that covers their enqueue.
+    epoch: u64,
+}
+
+#[derive(Default)]
+pub struct GroupCommitter {
+    window_us: AtomicU64,
+    inner: Mutex<Inner>,
+    flushed: Condvar,
+    /// Commits synced through this committer (metrics).
+    commits: AtomicU64,
+    /// Actual flushes performed; `commits / flushes` is the amortization
+    /// factor group commit achieved.
+    flushes: AtomicU64,
+}
+
+impl GroupCommitter {
+    pub fn new() -> Self {
+        GroupCommitter::default()
+    }
+
+    /// Coalescing window in microseconds (0 = flush per commit).
+    pub fn set_window(&self, micros: u64) {
+        self.window_us.store(micros, Ordering::Relaxed);
+    }
+
+    pub fn window_micros(&self) -> u64 {
+        self.window_us.load(Ordering::Relaxed)
+    }
+
+    pub fn commits(&self) -> u64 {
+        self.commits.load(Ordering::Relaxed)
+    }
+
+    pub fn flushes(&self) -> u64 {
+        self.flushes.load(Ordering::Relaxed)
+    }
+
+    /// Make one commit durable. `flush` performs the durability work; it runs
+    /// exactly once per group, on the leader's thread, with no lock held.
+    /// Returns once a flush covering this commit has completed.
+    pub fn sync(&self, flush: impl FnOnce()) {
+        self.commits.fetch_add(1, Ordering::Relaxed);
+        let window = self.window_us.load(Ordering::Relaxed);
+        if window == 0 {
+            self.flushes.fetch_add(1, Ordering::Relaxed);
+            flush();
+            return;
+        }
+        let mut inner = self.inner.lock();
+        if inner.leader_active {
+            // Follower: a leader is already holding the flush open — wait for
+            // its epoch bump and ride the same flush.
+            let epoch = inner.epoch;
+            while inner.epoch == epoch {
+                self.flushed.wait(&mut inner);
+            }
+            return;
+        }
+        inner.leader_active = true;
+        drop(inner);
+        // Leader: hold the window open so concurrent committers can join,
+        // then flush once for the whole group.
+        spin_or_sleep(Duration::from_micros(window));
+        self.flushes.fetch_add(1, Ordering::Relaxed);
+        flush();
+        let mut inner = self.inner.lock();
+        inner.leader_active = false;
+        inner.epoch = inner.epoch.wrapping_add(1);
+        drop(inner);
+        self.flushed.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn zero_window_flushes_per_commit() {
+        let gc = GroupCommitter::new();
+        for _ in 0..5 {
+            gc.sync(|| {});
+        }
+        assert_eq!(gc.commits(), 5);
+        assert_eq!(gc.flushes(), 5);
+    }
+
+    #[test]
+    fn window_coalesces_concurrent_commits() {
+        let gc = Arc::new(GroupCommitter::new());
+        gc.set_window(2_000);
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let gc = Arc::clone(&gc);
+                std::thread::spawn(move || gc.sync(|| {}))
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(gc.commits(), 8);
+        assert!(
+            gc.flushes() < 8,
+            "8 concurrent commits should share flushes, got {}",
+            gc.flushes()
+        );
+    }
+
+    #[test]
+    fn serial_commits_still_each_flush() {
+        let gc = GroupCommitter::new();
+        gc.set_window(100);
+        gc.sync(|| {});
+        gc.sync(|| {});
+        assert_eq!(gc.flushes(), 2);
+    }
+}

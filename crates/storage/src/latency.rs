@@ -104,7 +104,7 @@ impl LatencyModel {
 /// cores. Everything beyond a token threshold sleeps; the OS sleep overhead
 /// (~60-90µs) is uniform across systems and simply becomes part of the
 /// modelled round-trip.
-fn spin_or_sleep(cost: Duration) {
+pub(crate) fn spin_or_sleep(cost: Duration) {
     if cost < Duration::from_micros(20) {
         let start = std::time::Instant::now();
         while start.elapsed() < cost {

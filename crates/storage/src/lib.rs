@@ -24,6 +24,7 @@ pub mod error;
 pub mod eval;
 pub mod exec_select;
 pub mod fault;
+pub mod group_commit;
 pub mod index;
 pub mod latency;
 pub mod lock;
@@ -36,6 +37,7 @@ pub use cursor::QueryCursor;
 pub use engine::StorageEngine;
 pub use error::{Result, StorageError};
 pub use fault::{FaultInjector, FaultKind, FaultOp, FaultPlan, FaultTrigger};
+pub use group_commit::GroupCommitter;
 pub use latency::LatencyModel;
 pub use lock::TxnId;
 pub use result::{ExecuteResult, ResultCursor, ResultSet};

@@ -68,6 +68,39 @@ impl LockManager {
         }
     }
 
+    /// Acquire exclusive locks on a batch of rows of one table under a
+    /// single lock-table acquisition (one mutex round trip instead of one
+    /// per row — the batched-INSERT fast path). Locks acquired before a
+    /// timeout stay held by `txn` and are released with the transaction,
+    /// exactly as if they had been taken one at a time.
+    pub fn lock_rows(&self, txn: TxnId, table: &str, rows: &[RowId]) -> Result<()> {
+        let deadline = Instant::now() + self.timeout;
+        let mut state = self.state.lock();
+        for &row in rows {
+            let key = (table.to_string(), row);
+            loop {
+                match state.owners.get(&key) {
+                    None => {
+                        state.owners.insert(key.clone(), txn);
+                        state.owned.entry(txn).or_default().insert(key);
+                        break;
+                    }
+                    Some(owner) if *owner == txn => break,
+                    Some(_) => {
+                        if Instant::now() >= deadline
+                            || self.released.wait_until(&mut state, deadline).timed_out()
+                        {
+                            return Err(StorageError::LockTimeout {
+                                table: table.to_string(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Release every lock held by `txn` (commit or rollback).
     pub fn release_all(&self, txn: TxnId) {
         let mut state = self.state.lock();

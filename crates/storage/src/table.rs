@@ -4,7 +4,7 @@ use crate::error::{Result, StorageError};
 use crate::index::{Index, RowId};
 use crate::schema::TableSchema;
 use shard_sql::Value;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::ops::Bound;
 
 pub struct Table {
@@ -153,6 +153,72 @@ impl Table {
         self.rows.insert(row_id, row.clone());
         self.next_row_id += 1;
         Ok((row_id, row))
+    }
+
+    /// Insert a batch of validated rows in one pass: all rows are admitted
+    /// and checked for uniqueness (against the table *and* against each
+    /// other) before any index is mutated, so a failed batch leaves the
+    /// table untouched. Returns `(row_id, stored_row)` per input row in
+    /// order. This is the batched-INSERT write path: one schema pass, one
+    /// index walk per row, no per-row re-entry through the engine.
+    pub fn insert_many(&mut self, rows: Vec<Vec<Value>>) -> Result<Vec<(RowId, Vec<Value>)>> {
+        // Phase 1: admit, fill auto-increment, validate uniqueness.
+        let mut admitted = Vec::with_capacity(rows.len());
+        let mut batch_pk: BTreeSet<Vec<Value>> = BTreeSet::new();
+        let mut batch_unique: Vec<BTreeSet<Vec<Value>>> =
+            self.secondary.iter().map(|_| BTreeSet::new()).collect();
+        for row in rows {
+            let mut row = self.schema.admit_row(row)?;
+            for (i, col) in self.schema.columns.iter().enumerate() {
+                if col.auto_increment && row[i].is_null() {
+                    row[i] = Value::Int(self.next_auto_increment);
+                    self.next_auto_increment += 1;
+                } else if col.auto_increment {
+                    if let Some(v) = row[i].as_int() {
+                        self.next_auto_increment = self.next_auto_increment.max(v + 1);
+                    }
+                }
+            }
+            if let Some(pk) = &self.primary {
+                let key = pk.key_of(&row);
+                if pk.contains(&key) || !batch_pk.insert(key.clone()) {
+                    return Err(StorageError::DuplicateKey {
+                        table: self.name().to_string(),
+                        key: format!("{key:?}"),
+                    });
+                }
+            }
+            for (idx, seen) in self.secondary.iter().zip(batch_unique.iter_mut()) {
+                if idx.unique {
+                    let key = idx.key_of(&row);
+                    if idx.contains(&key) || !seen.insert(key.clone()) {
+                        return Err(StorageError::DuplicateKey {
+                            table: self.name().to_string(),
+                            key: format!("{key:?}"),
+                        });
+                    }
+                }
+            }
+            admitted.push(row);
+        }
+        // Phase 2: apply — nothing below can fail on a validated batch.
+        let name = self.schema.name.clone();
+        let mut out = Vec::with_capacity(admitted.len());
+        for row in admitted {
+            let row_id = self.next_row_id;
+            if let Some(pk) = &mut self.primary {
+                let key = pk.key_of(&row);
+                pk.insert(&name, key, row_id)?;
+            }
+            for idx in &mut self.secondary {
+                let key = idx.key_of(&row);
+                idx.insert(&name, key, row_id)?;
+            }
+            self.rows.insert(row_id, row.clone());
+            self.next_row_id += 1;
+            out.push((row_id, row));
+        }
+        Ok(out)
     }
 
     /// Re-insert a row under a known id (undo of delete / recovery replay).

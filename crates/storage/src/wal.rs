@@ -95,6 +95,13 @@ impl SharedLog {
         self.records.lock().push(rec);
     }
 
+    /// Append a batch of records under one lock acquisition. The batch is
+    /// contiguous in the log, so recovery replay sees the same record
+    /// sequence a per-record append loop would have produced.
+    pub fn append_batch(&self, recs: impl IntoIterator<Item = LogRecord>) {
+        self.records.lock().extend(recs);
+    }
+
     pub fn len(&self) -> usize {
         self.records.lock().len()
     }

@@ -13,6 +13,13 @@ cargo fmt --all -- --check
 echo "==> cargo bench --workspace --no-run"
 cargo bench --workspace --no-run
 
+# Write-path smoke: the writes bench doubles as an integration test of the
+# batched/parallel write path and its ablation knobs (real criterion runs
+# each bench once under --test; the offline shim ignores the flag and runs
+# the full — still fast — sample loop).
+echo "==> cargo bench -p shard-bench --bench writes -- --test"
+timeout 600 cargo bench -p shard-bench --bench writes -- --test
+
 # Chaos gate: the deterministic fault-matrix run (fixed seed baked into the
 # tests). The scenario has its own in-test watchdog, so a hung thread fails
 # the step instead of wedging CI; `timeout` is a second line of defence.
