@@ -1,0 +1,121 @@
+//! Observability overhead microbenchmarks: the same kernel hot path with
+//! the metrics registry instrumented (the default), ablated with
+//! `SET metrics = off`, and fully traced with `SET trace = on`, plus the
+//! raw instrument costs in isolation.
+//!
+//! The instrumented-vs-disabled pair is the number DESIGN.md §8 budgets:
+//! per-statement metrics are two relaxed atomic adds per instrument, so the
+//! two arms should be within noise of each other. `scripts/check.sh` runs
+//! the same comparison as a pass/fail gate (`obs_gate`, p50 within 5%).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shard_core::obs::MetricsRegistry;
+use shard_core::{Session, ShardingRuntime};
+use shard_sql::Value;
+use shard_storage::StorageEngine;
+use std::sync::Arc;
+
+const SHARDS: usize = 4;
+
+/// Two data sources, four `t_user` shards, a handful of rows — the smallest
+/// workload where every pipeline stage (and its instrument) does real work.
+fn sharded_runtime() -> Arc<ShardingRuntime> {
+    let runtime = ShardingRuntime::builder()
+        .datasource("ds_0", StorageEngine::new("ds_0"))
+        .datasource("ds_1", StorageEngine::new("ds_1"))
+        .build();
+    let mut s = runtime.session();
+    s.execute_sql(
+        &format!(
+            "CREATE SHARDING TABLE RULE t_user (RESOURCES(ds_0, ds_1), \
+             SHARDING_COLUMN=uid, TYPE=mod, PROPERTIES(\"sharding-count\"={SHARDS}))"
+        ),
+        &[],
+    )
+    .unwrap();
+    s.execute_sql(
+        "CREATE TABLE t_user (uid BIGINT PRIMARY KEY, name VARCHAR(32), age INT)",
+        &[],
+    )
+    .unwrap();
+    for uid in 0..32i64 {
+        s.execute_sql(
+            "INSERT INTO t_user (uid, name, age) VALUES (?, ?, ?)",
+            &[
+                Value::Int(uid),
+                Value::Str(format!("user{uid}")),
+                Value::Int(20),
+            ],
+        )
+        .unwrap();
+    }
+    runtime
+}
+
+fn point_select(s: &mut Session) {
+    s.execute_sql("SELECT name FROM t_user WHERE uid = 7", &[])
+        .unwrap();
+}
+
+fn bench_statement_arms(c: &mut Criterion) {
+    let mut g = c.benchmark_group("obs");
+
+    // Metrics are on by default: this is the shipping configuration.
+    let instrumented = sharded_runtime();
+    let mut s_on = instrumented.session();
+    g.bench_function("point_select_instrumented", |b| {
+        b.iter(|| point_select(&mut s_on))
+    });
+
+    // Ablated arm on its own runtime — `SET metrics = off` is runtime-wide.
+    let disabled = sharded_runtime();
+    let mut s_off = disabled.session();
+    s_off
+        .execute_sql("SET VARIABLE metrics = off", &[])
+        .unwrap();
+    g.bench_function("point_select_disabled", |b| {
+        b.iter(|| point_select(&mut s_off))
+    });
+
+    // Full trace capture (span vector + SQL string per statement) — the
+    // expensive tier, which is why it is opt-in per session.
+    let traced = sharded_runtime();
+    let mut s_trace = traced.session();
+    s_trace.execute_sql("SET VARIABLE trace = on", &[]).unwrap();
+    g.bench_function("point_select_traced", |b| {
+        b.iter(|| point_select(&mut s_trace))
+    });
+
+    let analyzed = sharded_runtime();
+    let mut s_explain = analyzed.session();
+    g.bench_function("explain_analyze", |b| {
+        b.iter(|| {
+            s_explain
+                .execute_sql("EXPLAIN ANALYZE SELECT name FROM t_user WHERE uid = 7", &[])
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_instruments(c: &mut Criterion) {
+    let mut g = c.benchmark_group("obs_instruments");
+    let registry = MetricsRegistry::new();
+    let hist = registry.histogram("bench_us", "isolated record cost");
+    let ctr = registry.counter("bench_total", "isolated inc cost");
+    g.bench_function("histogram_record", |b| {
+        let mut us = 0u64;
+        b.iter(|| {
+            us = (us + 1) & 0xFFFF;
+            hist.record_us(us + 1);
+        })
+    });
+    g.bench_function("counter_inc", |b| b.iter(|| ctr.inc()));
+    g.bench_function("registry_scrape", |b| {
+        b.iter(|| registry.render_prometheus())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_statement_arms, bench_instruments);
+criterion_main!(benches);

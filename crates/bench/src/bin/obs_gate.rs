@@ -1,0 +1,119 @@
+//! Metrics-overhead smoke gate, run from `scripts/check.sh`.
+//!
+//! Measures the p50 of a single-statement point SELECT with the metrics
+//! registry instrumented (the default configuration) and ablated with
+//! `SET metrics = off`, best-of-3 trials per arm, and fails if the
+//! instrumented p50 regresses by more than 5% (plus a 300ns absolute slack
+//! so scheduler jitter on a single-digit-µs operation cannot flake the
+//! ratio). Samples are taken in nanoseconds: at ~5µs per op, integer-µs
+//! percentiles would quantize by 20% and drown the signal.
+//!
+//! The arms run on separate runtimes because `SET metrics` is runtime-wide;
+//! trials interleave off/on so thermal drift hits both arms equally.
+
+use shard_bench::metrics::LatencyRecorder;
+use shard_core::{Session, ShardingRuntime};
+use shard_sql::Value;
+use shard_storage::StorageEngine;
+use std::sync::Arc;
+use std::time::Instant;
+
+const WARMUP_OPS: usize = 500;
+const MEASURED_OPS: usize = 2_000;
+const TRIALS: usize = 3;
+const MAX_REGRESSION: f64 = 0.05;
+const ABS_SLACK_NS: u64 = 300;
+
+fn sharded_runtime() -> Arc<ShardingRuntime> {
+    let runtime = ShardingRuntime::builder()
+        .datasource("ds_0", StorageEngine::new("ds_0"))
+        .datasource("ds_1", StorageEngine::new("ds_1"))
+        .build();
+    let mut s = runtime.session();
+    s.execute_sql(
+        "CREATE SHARDING TABLE RULE t_user (RESOURCES(ds_0, ds_1), \
+         SHARDING_COLUMN=uid, TYPE=mod, PROPERTIES(\"sharding-count\"=4))",
+        &[],
+    )
+    .unwrap();
+    s.execute_sql(
+        "CREATE TABLE t_user (uid BIGINT PRIMARY KEY, name VARCHAR(32), age INT)",
+        &[],
+    )
+    .unwrap();
+    for uid in 0..32i64 {
+        s.execute_sql(
+            "INSERT INTO t_user (uid, name, age) VALUES (?, ?, ?)",
+            &[
+                Value::Int(uid),
+                Value::Str(format!("user{uid}")),
+                Value::Int(20),
+            ],
+        )
+        .unwrap();
+    }
+    runtime
+}
+
+fn point_select(s: &mut Session) {
+    s.execute_sql("SELECT name FROM t_user WHERE uid = 7", &[])
+        .unwrap();
+}
+
+/// One trial: warm the caches, then p50 (in nanoseconds) over
+/// `MEASURED_OPS` operations.
+fn trial_p50_ns(s: &mut Session) -> u64 {
+    for _ in 0..WARMUP_OPS {
+        point_select(s);
+    }
+    let mut samples = Vec::with_capacity(MEASURED_OPS);
+    for _ in 0..MEASURED_OPS {
+        let t = Instant::now();
+        point_select(s);
+        samples.push(t.elapsed().as_nanos() as u64);
+    }
+    samples.sort_unstable();
+    LatencyRecorder::percentile_us(&samples, 50.0)
+}
+
+fn main() {
+    let instrumented = sharded_runtime();
+    let mut s_on = instrumented.session();
+    let disabled = sharded_runtime();
+    let mut s_off = disabled.session();
+    s_off
+        .execute_sql("SET VARIABLE metrics = off", &[])
+        .unwrap();
+
+    let mut best_on = u64::MAX;
+    let mut best_off = u64::MAX;
+    for trial in 0..TRIALS {
+        let off = trial_p50_ns(&mut s_off);
+        let on = trial_p50_ns(&mut s_on);
+        best_off = best_off.min(off);
+        best_on = best_on.min(on);
+        eprintln!("trial {trial}: disabled p50 {off}ns, instrumented p50 {on}ns");
+    }
+
+    let budget_ns = (best_off as f64 * (1.0 + MAX_REGRESSION)) as u64 + ABS_SLACK_NS;
+    let overhead_pct = if best_off > 0 {
+        (best_on as f64 - best_off as f64) / best_off as f64 * 100.0
+    } else {
+        0.0
+    };
+    println!(
+        "obs_gate: point-SELECT p50 instrumented {best_on}ns vs disabled {best_off}ns \
+         ({overhead_pct:+.1}% overhead, budget {budget_ns}ns)"
+    );
+    if best_on > budget_ns {
+        eprintln!(
+            "FAIL: metrics overhead exceeds {:.0}% + {ABS_SLACK_NS}ns slack",
+            MAX_REGRESSION * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "PASS: metrics overhead within the {:.0}% p50 budget",
+        MAX_REGRESSION * 100.0
+    );
+}

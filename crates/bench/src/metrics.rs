@@ -1,7 +1,14 @@
 //! Benchmark metrics: throughput and latency percentiles, matching the
 //! paper's reporting (TPS, AvgT, 99T for Sysbench, 90T for TPC-C; latencies
 //! in milliseconds).
+//!
+//! Exact percentiles come from sorting the raw samples; for comparison
+//! against the kernel's own instruments the recorder can also bucket its
+//! samples over the kernel's shared log-scale bounds
+//! ([`shard_core::obs::LATENCY_BUCKET_BOUNDS_US`]), so a bench p99 and a
+//! `SHOW METRICS` p99 are estimates over identical buckets.
 
+use shard_core::obs::Histogram;
 use std::time::Duration;
 
 /// Latency samples for one benchmark cell.
@@ -27,18 +34,38 @@ impl LatencyRecorder {
         self.samples_us.len()
     }
 
+    /// The `p`-th percentile of the recorded samples, in microseconds.
+    /// Safe on empty (returns 0) and single-sample recorders, and for any
+    /// `p` in [0, 100]: the nearest-rank index is clamped into range
+    /// instead of trusting float arithmetic at the boundaries.
+    pub fn percentile_us(sorted_samples_us: &[u64], p: f64) -> u64 {
+        let count = sorted_samples_us.len();
+        if count == 0 {
+            return 0;
+        }
+        // Nearest-rank: rank ∈ [1, count]. `ceil` can produce 0 (p = 0) or
+        // count+1 (float rounding at p = 100); the clamp is safe only
+        // because count ≥ 1 is established above (clamp(1, 0) panics).
+        let rank = ((p / 100.0) * count as f64).ceil() as usize;
+        sorted_samples_us[rank.clamp(1, count) - 1]
+    }
+
+    /// Bucket the samples into a kernel histogram (shared log-scale
+    /// bounds), for apples-to-apples comparison with `SHOW METRICS`.
+    pub fn to_kernel_histogram(&self) -> Histogram {
+        let h = Histogram::new();
+        for &us in &self.samples_us {
+            h.record_us(us);
+        }
+        h
+    }
+
     /// Finalize into a report.
     pub fn finish(mut self, elapsed: Duration) -> Metrics {
         self.samples_us.sort_unstable();
         let count = self.samples_us.len();
         let sum: u64 = self.samples_us.iter().sum();
-        let pct = |p: f64| -> f64 {
-            if count == 0 {
-                return 0.0;
-            }
-            let rank = ((p / 100.0) * count as f64).ceil() as usize;
-            self.samples_us[rank.clamp(1, count) - 1] as f64 / 1000.0
-        };
+        let pct = |p: f64| -> f64 { Self::percentile_us(&self.samples_us, p) as f64 / 1000.0 };
         Metrics {
             transactions: count as u64,
             elapsed,
@@ -145,6 +172,39 @@ mod tests {
         assert_eq!(m.transactions, 0);
         assert_eq!(m.tps, 0.0);
         assert_eq!(m.p99_ms, 0.0);
+    }
+
+    #[test]
+    fn single_sample_percentiles_do_not_misindex() {
+        let mut r = LatencyRecorder::new();
+        r.record(Duration::from_millis(7));
+        let m = r.finish(Duration::from_secs(1));
+        assert_eq!(m.transactions, 1);
+        assert!((m.p90_ms - 7.0).abs() < 1e-9);
+        assert!((m.p99_ms - 7.0).abs() < 1e-9);
+        assert!((m.max_ms - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_us_boundary_ranks() {
+        assert_eq!(LatencyRecorder::percentile_us(&[], 99.0), 0);
+        let samples = [10, 20, 30];
+        // p = 0 would rank 0 without the lower clamp.
+        assert_eq!(LatencyRecorder::percentile_us(&samples, 0.0), 10);
+        assert_eq!(LatencyRecorder::percentile_us(&samples, 100.0), 30);
+        assert_eq!(LatencyRecorder::percentile_us(&samples, 50.0), 20);
+    }
+
+    #[test]
+    fn kernel_histogram_uses_shared_buckets() {
+        let mut r = LatencyRecorder::new();
+        r.record(Duration::from_micros(100));
+        let h = r.to_kernel_histogram();
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 1);
+        assert_eq!(snap.sum, 100);
+        // Same bucket upper bound the kernel's registry would report.
+        assert_eq!(snap.p99(), 128);
     }
 
     #[test]

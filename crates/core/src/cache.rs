@@ -23,6 +23,7 @@
 
 use crate::config::ShardingRule;
 use crate::error::{KernelError, Result};
+use crate::obs::{Counter, MetricsRegistry};
 use crate::route::{
     nodes_for_condition, ConditionTemplate, RouteEngine, RouteHint, RouteKind, RouteResult,
     RouteUnit,
@@ -201,33 +202,61 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLru<K, V> {
 // ---------------------------------------------------------------------------
 
 /// Hit/miss/eviction counters for one cache level.
-#[derive(Default)]
+///
+/// The counters are [`obs::Counter`] handles so a cache built with
+/// [`SqlPlanCache::with_registry`] shares them with the central metrics
+/// registry — `SHOW SQL_PLAN_CACHE STATUS` and `SHOW METRICS` read the very
+/// same atomics rather than two parallel sets of plumbing.
+///
+/// [`obs::Counter`]: crate::obs::Counter
 pub struct CacheStats {
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    evictions: Arc<Counter>,
+}
+
+impl Default for CacheStats {
+    /// Stand-alone counters, not attached to any registry (unit tests,
+    /// caches built outside a runtime).
+    fn default() -> Self {
+        CacheStats {
+            hits: Arc::new(Counter::new()),
+            misses: Arc::new(Counter::new()),
+            evictions: Arc::new(Counter::new()),
+        }
+    }
 }
 
 impl CacheStats {
-    fn hit(&self) {
-        self.hits.fetch_add(1, Ordering::Relaxed);
-    }
-    fn miss(&self) {
-        self.misses.fetch_add(1, Ordering::Relaxed);
-    }
-    fn evicted(&self, n: u64) {
-        if n > 0 {
-            self.evictions.fetch_add(n, Ordering::Relaxed);
+    /// Counters registered as `plan_cache_<level>_{hits,misses,evictions}_total`.
+    pub fn registered(registry: &MetricsRegistry, level: &str) -> Self {
+        let counter = |event: &str, help: &str| {
+            registry.counter(&format!("plan_cache_{level}_{event}_total"), help)
+        };
+        CacheStats {
+            hits: counter("hits", "plan cache hits"),
+            misses: counter("misses", "plan cache misses"),
+            evictions: counter("evictions", "plan cache LRU evictions"),
         }
     }
+
+    fn hit(&self) {
+        self.hits.inc();
+    }
+    fn miss(&self) {
+        self.misses.inc();
+    }
+    fn evicted(&self, n: u64) {
+        self.evictions.add(n);
+    }
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.hits.get()
     }
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.misses.get()
     }
     pub fn evictions(&self) -> u64 {
-        self.evictions.load(Ordering::Relaxed)
+        self.evictions.get()
     }
 }
 
@@ -408,6 +437,19 @@ impl SqlPlanCache {
             generation: AtomicU64::new(0),
             parse_stats: CacheStats::default(),
             plan_stats: CacheStats::default(),
+        }
+    }
+
+    /// Build a cache whose hit/miss/eviction counters live in `registry`,
+    /// so `SHOW METRICS` and `SHOW SQL_PLAN_CACHE STATUS` share one set of
+    /// atomics.
+    pub fn with_registry(capacity: usize, registry: &MetricsRegistry) -> Self {
+        SqlPlanCache {
+            parse: ShardedLru::new(capacity),
+            plans: ShardedLru::new(capacity),
+            generation: AtomicU64::new(0),
+            parse_stats: CacheStats::registered(registry, "parse"),
+            plan_stats: CacheStats::registered(registry, "plan"),
         }
     }
 

@@ -331,7 +331,72 @@ pub fn execute(session: &mut Session, stmt: &DistSqlStatement) -> Result<Execute
             Ok(ExecuteResult::Update { affected: cleared })
         }
         DistSqlStatement::Preview { sql } => preview(session, sql),
+        DistSqlStatement::ExplainAnalyze { sql } => explain_analyze(session, sql),
+        DistSqlStatement::ShowMetrics { like } => {
+            let samples = session
+                .runtime()
+                .metrics_registry()
+                .samples(like.as_deref());
+            let rows = samples
+                .into_iter()
+                .map(|s| vec![Value::Str(s.name), Value::Int(s.value as i64)])
+                .collect();
+            Ok(ExecuteResult::Query(ResultSet::new(
+                vec!["metric".into(), "value".into()],
+                rows,
+            )))
+        }
+        DistSqlStatement::ShowSlowQueries => {
+            let rows = session
+                .runtime()
+                .slow_query_log()
+                .entries()
+                .into_iter()
+                .map(|e| {
+                    let stages = e
+                        .stages
+                        .iter()
+                        .map(|(s, us)| format!("{}={}us", s.as_str(), us))
+                        .collect::<Vec<_>>()
+                        .join(" ");
+                    vec![
+                        Value::Int(e.seq as i64),
+                        Value::Str(e.sql),
+                        Value::Int(e.total_us as i64),
+                        Value::Str(stages),
+                        Value::Int(e.units as i64),
+                        Value::Int(e.rows as i64),
+                    ]
+                })
+                .collect();
+            Ok(ExecuteResult::Query(ResultSet::new(
+                vec![
+                    "seq".into(),
+                    "sql".into(),
+                    "total_us".into(),
+                    "stages".into(),
+                    "units".into(),
+                    "rows".into(),
+                ],
+                rows,
+            )))
+        }
     }
+}
+
+/// `EXPLAIN ANALYZE <sql>`: execute the statement with tracing forced on and
+/// return the stage/unit timing tree, one tree line per result row.
+fn explain_analyze(session: &mut Session, sql: &str) -> Result<ExecuteResult> {
+    let (_, trace) = session.execute_traced(sql, &[])?;
+    let rows = trace
+        .render()
+        .into_iter()
+        .map(|line| vec![Value::Str(line)])
+        .collect();
+    Ok(ExecuteResult::Query(ResultSet::new(
+        vec!["step".into()],
+        rows,
+    )))
 }
 
 /// Interpret a parsed `INJECT FAULT` body against the storage fault model.

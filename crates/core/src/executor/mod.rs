@@ -20,6 +20,7 @@ pub use stream::{CancelToken, RowStream, StreamedQuery};
 
 use crate::datasource::DataSource;
 use crate::error::{KernelError, Result};
+use crate::obs::UnitSpan;
 use crate::route::RouteUnit;
 use shard_sql::{Statement, Value};
 use shard_storage::{ExecuteResult, TxnId};
@@ -60,6 +61,9 @@ pub struct ExecutionInput {
 pub struct ExecutionReport {
     /// (datasource, chosen mode, number of SQLs, connections used)
     pub groups: Vec<(String, ConnectionMode, usize, usize)>,
+    /// Per execution unit: where it ran, how long it took, how many rows it
+    /// produced. Feeds `EXPLAIN ANALYZE` and the trace span model.
+    pub units: Vec<UnitSpan>,
 }
 
 impl ExecutionReport {
@@ -121,13 +125,18 @@ impl ExecutorEngine {
         params: Arc<[Value]>,
         txns: Option<&HashMap<String, TxnId>>,
     ) -> Result<(Vec<ExecuteResult>, ExecutionReport)> {
-        self.execute_with_deadline(datasources, inputs, params, txns, None)
+        self.execute_with_deadline(datasources, inputs, params, txns, None, true)
     }
 
     /// [`ExecutorEngine::execute`] with a per-statement deadline: when the
     /// deadline elapses before every unit reports back, siblings are
     /// cancelled and the statement fails fast with [`KernelError::Timeout`]
     /// instead of hanging on a stuck shard.
+    ///
+    /// `want_units` controls whether the report carries per-unit
+    /// [`UnitSpan`]s. Building them costs per-unit label strings on the
+    /// statement's critical path, so callers pass `false` unless a trace
+    /// (EXPLAIN ANALYZE, the slow-query log) will actually render them.
     pub fn execute_with_deadline(
         &self,
         datasources: &HashMap<String, Arc<DataSource>>,
@@ -135,6 +144,7 @@ impl ExecutorEngine {
         params: Arc<[Value]>,
         txns: Option<&HashMap<String, TxnId>>,
         deadline: Option<Instant>,
+        want_units: bool,
     ) -> Result<(Vec<ExecuteResult>, ExecutionReport)> {
         if inputs.is_empty() {
             return Ok((Vec::new(), ExecutionReport::default()));
@@ -148,6 +158,32 @@ impl ExecutorEngine {
             sqls: Vec<(usize, Statement)>,
         }
         let total = inputs.len();
+        // Capture per-unit identity before grouping consumes the inputs:
+        // (datasource, actual tables) label each UnitSpan in the report.
+        // With `want_units` off the labels stay empty and `unit_spans`
+        // zips down to an empty list for free.
+        let labels: Vec<(String, String)> = if want_units {
+            inputs
+                .iter()
+                .map(|input| {
+                    let mut tables: Vec<&str> = input
+                        .unit
+                        .table_mappings
+                        .values()
+                        .map(|s| s.as_str())
+                        .collect();
+                    tables.sort_unstable();
+                    let tables = if tables.is_empty() {
+                        "-".to_string()
+                    } else {
+                        tables.join(",")
+                    };
+                    (input.unit.datasource.clone(), tables)
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
         let mut order: Vec<String> = Vec::new();
         let mut groups: HashMap<String, Group> = HashMap::new();
         for (i, input) in inputs.into_iter().enumerate() {
@@ -240,6 +276,7 @@ impl ExecutorEngine {
         }
 
         let mut results: Vec<Option<ExecuteResult>> = (0..total).map(|_| None).collect();
+        let mut unit_elapsed_us: Vec<u64> = vec![0; total];
 
         // ---- Execution ----
         // Fast path: a single execution unit runs inline — no pool hop (the
@@ -249,15 +286,23 @@ impl ExecutorEngine {
         if planned.len() == 1 && deadline.is_none() {
             let unit = planned.pop().expect("len checked");
             for (idx, stmt) in &unit.chunk {
+                let started = Instant::now();
                 match exec_one(&unit.ds, stmt, &params, unit.txn) {
-                    Ok(r) => results[*idx] = Some(r),
+                    Ok(r) => {
+                        unit_elapsed_us[*idx] = (started.elapsed().as_micros() as u64).max(1);
+                        results[*idx] = Some(r);
+                    }
                     Err(e) => return Err(e),
                 }
             }
             drop(unit);
-            let collected: Option<Vec<ExecuteResult>> = results.into_iter().collect();
+            let collected: Option<Vec<ExecuteResult>> =
+                results.into_iter().collect::<Option<Vec<_>>>();
             return collected
-                .map(|r| (r, report))
+                .map(|r| {
+                    report.units = unit_spans(labels, &unit_elapsed_us, &r);
+                    (r, report)
+                })
                 .ok_or_else(|| KernelError::Execute("missing execution result".into()));
         }
 
@@ -265,7 +310,7 @@ impl ExecutorEngine {
         // cancels sibling units as soon as any unit errors, instead of
         // letting them run their chunks to completion.
         enum Outcome {
-            Row(usize, ExecuteResult),
+            Row(usize, u64, ExecuteResult),
             Err(KernelError),
             Done,
         }
@@ -281,9 +326,11 @@ impl ExecutorEngine {
                     if cancel.is_cancelled() {
                         break;
                     }
+                    let started = Instant::now();
                     match exec_one(&unit.ds, stmt, &params, unit.txn) {
                         Ok(r) => {
-                            let _ = tx.send(Outcome::Row(*idx, r));
+                            let elapsed = (started.elapsed().as_micros() as u64).max(1);
+                            let _ = tx.send(Outcome::Row(*idx, elapsed, r));
                         }
                         Err(e) => {
                             cancel.cancel();
@@ -310,7 +357,10 @@ impl ExecutorEngine {
                 }
             };
             match received {
-                Ok(Outcome::Row(idx, r)) => results[idx] = Some(r),
+                Ok(Outcome::Row(idx, elapsed, r)) => {
+                    unit_elapsed_us[idx] = elapsed;
+                    results[idx] = Some(r);
+                }
                 Ok(Outcome::Err(e)) => {
                     if first_error.is_none() {
                         first_error = Some(e);
@@ -334,9 +384,30 @@ impl ExecutorEngine {
         }
         let collected: Option<Vec<ExecuteResult>> = results.into_iter().collect();
         collected
-            .map(|r| (r, report))
+            .map(|r| {
+                report.units = unit_spans(labels, &unit_elapsed_us, &r);
+                (r, report)
+            })
             .ok_or_else(|| KernelError::Execute("missing execution result".into()))
     }
+}
+
+/// Zip unit labels, timings, and results into the report's span list.
+fn unit_spans(
+    labels: Vec<(String, String)>,
+    elapsed_us: &[u64],
+    results: &[ExecuteResult],
+) -> Vec<UnitSpan> {
+    labels
+        .into_iter()
+        .zip(elapsed_us.iter().zip(results.iter()))
+        .map(|((datasource, tables), (&elapsed_us, result))| UnitSpan {
+            datasource,
+            tables,
+            elapsed_us,
+            rows: result.affected(),
+        })
+        .collect()
 }
 
 /// Execute one statement on a data source, honouring its circuit breaker

@@ -9,6 +9,7 @@
 //! table, duplicate key) proves the source is alive.
 
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// Breaker state machine position.
@@ -49,6 +50,9 @@ struct Inner {
 #[derive(Debug)]
 pub struct CircuitBreaker {
     inner: Mutex<Inner>,
+    /// State-machine transitions (closed→open, open→half-open, …), fed to
+    /// the metrics registry; chaos tests assert it against injected faults.
+    transitions: AtomicU64,
 }
 
 impl Default for CircuitBreaker {
@@ -68,6 +72,15 @@ impl CircuitBreaker {
                 opened_at: None,
                 last_probe: None,
             }),
+            transitions: AtomicU64::new(0),
+        }
+    }
+
+    /// Move the state machine, counting only genuine changes.
+    fn transition(&self, inner: &mut Inner, to: BreakerState) {
+        if inner.state != to {
+            inner.state = to;
+            self.transitions.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -90,7 +103,7 @@ impl CircuitBreaker {
                     .map(|t| t.elapsed() >= inner.cooldown)
                     .unwrap_or(true);
                 if elapsed {
-                    inner.state = BreakerState::HalfOpen;
+                    self.transition(&mut inner, BreakerState::HalfOpen);
                     true
                 } else {
                     false
@@ -104,7 +117,7 @@ impl CircuitBreaker {
         let mut inner = self.inner.lock();
         inner.last_probe = Some(Instant::now());
         inner.consecutive_failures = 0;
-        inner.state = BreakerState::Closed;
+        self.transition(&mut inner, BreakerState::Closed);
         inner.opened_at = None;
     }
 
@@ -118,7 +131,7 @@ impl CircuitBreaker {
         let tripped = inner.state == BreakerState::HalfOpen
             || inner.consecutive_failures >= inner.failure_threshold;
         if tripped {
-            inner.state = BreakerState::Open;
+            self.transition(&mut inner, BreakerState::Open);
             inner.opened_at = Some(Instant::now());
         }
     }
@@ -128,7 +141,7 @@ impl CircuitBreaker {
         let mut inner = self.inner.lock();
         inner.last_probe = Some(Instant::now());
         inner.consecutive_failures = inner.consecutive_failures.max(inner.failure_threshold);
-        inner.state = BreakerState::Open;
+        self.transition(&mut inner, BreakerState::Open);
         inner.opened_at = Some(Instant::now());
     }
 
@@ -137,7 +150,7 @@ impl CircuitBreaker {
         let mut inner = self.inner.lock();
         inner.last_probe = Some(Instant::now());
         inner.consecutive_failures = 0;
-        inner.state = BreakerState::Closed;
+        self.transition(&mut inner, BreakerState::Closed);
         inner.opened_at = None;
     }
 
@@ -148,6 +161,11 @@ impl CircuitBreaker {
 
     pub fn consecutive_failures(&self) -> u32 {
         self.inner.lock().consecutive_failures
+    }
+
+    /// Total state-machine transitions since construction.
+    pub fn transitions(&self) -> u64 {
+        self.transitions.load(Ordering::Relaxed)
     }
 
     /// Milliseconds since the last recorded outcome, if any.

@@ -16,6 +16,7 @@ pub mod feature;
 pub mod governor;
 pub mod merge;
 pub mod metadata;
+pub mod obs;
 pub mod rewrite;
 pub mod route;
 
@@ -23,5 +24,6 @@ pub mod runtime;
 pub mod transaction;
 
 pub use error::{ErrorClass, KernelError, Result};
+pub use obs::{KernelMetrics, MetricsRegistry, SlowQueryLog, StatementTrace, TraceContext};
 pub use runtime::{QueryStream, RuntimeBuilder, Session, ShardingRuntime, StreamOutcome};
 pub use transaction::{TransactionType, XaFanOut};

@@ -1,0 +1,498 @@
+//! Lock-free metrics registry: atomic counters, polled gauges, and
+//! fixed-bucket latency histograms.
+//!
+//! Hot-path discipline (the whole point of this module):
+//!
+//! * recording an event is a handful of `Relaxed` atomic adds — no locks,
+//!   no allocation, no syscalls;
+//! * histograms use **fixed log-scale buckets** (powers of two, 1µs..~16.8s)
+//!   so percentiles come from a bucket walk at *read* time, never from
+//!   sorting samples on the write path;
+//! * histograms are **striped** eight ways by thread so concurrent writers
+//!   land on different cache lines instead of bouncing one counter.
+//!
+//! Reads (`SHOW METRICS`, the proxy `/metrics` endpoint) merge stripes and
+//! walk buckets — linear in the number of instruments, and exact for counts
+//! and sums. Percentiles are bucket upper bounds, the standard fixed-bucket
+//! estimate: comparable across runs because every histogram (kernel and
+//! bench) shares [`LATENCY_BUCKET_BOUNDS_US`].
+
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Shared log-scale bucket upper bounds, in microseconds: 2^0 .. 2^24
+/// (1µs .. ~16.8s). One extra overflow bucket catches everything slower.
+/// `shard-bench` reuses these bounds so bench and kernel percentiles are
+/// directly comparable.
+pub const LATENCY_BUCKET_BOUNDS_US: [u64; 25] = [
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536, 131072,
+    262144, 524288, 1048576, 2097152, 4194304, 8388608, 16777216,
+];
+
+/// Bucket count including the overflow bucket.
+pub const NUM_BUCKETS: usize = LATENCY_BUCKET_BOUNDS_US.len() + 1;
+
+/// Index of the first bucket whose upper bound is ≥ `value_us`.
+#[inline]
+pub fn bucket_index(value_us: u64) -> usize {
+    if value_us <= 1 {
+        return 0;
+    }
+    // Bounds are powers of two: ceil(log2(v)) via leading_zeros.
+    let k = 64 - (value_us - 1).leading_zeros() as usize;
+    k.min(NUM_BUCKETS - 1)
+}
+
+// ---------------------------------------------------------------------------
+// Counter
+// ---------------------------------------------------------------------------
+
+/// A monotonically increasing atomic counter.
+#[derive(Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if n > 0 {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+const STRIPES: usize = 8;
+
+#[derive(Default)]
+struct Stripe {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    sum: AtomicU64,
+}
+
+/// Pick a stable stripe for the calling thread. Threads round-robin over
+/// stripes on first use, so a fixed worker pool spreads evenly.
+fn stripe_index() -> usize {
+    use std::cell::Cell;
+    thread_local! {
+        static STRIPE: Cell<usize> = const { Cell::new(usize::MAX) };
+    }
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    STRIPE.with(|s| {
+        let mut v = s.get();
+        if v == usize::MAX {
+            v = NEXT.fetch_add(1, Ordering::Relaxed) % STRIPES;
+            s.set(v);
+        }
+        v
+    })
+}
+
+/// A fixed-bucket, thread-striped latency histogram. Recording is two
+/// relaxed atomic adds on the caller's stripe; no allocation, no locks.
+#[derive(Default)]
+pub struct Histogram {
+    stripes: [Stripe; STRIPES],
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Record one observation, in microseconds.
+    #[inline]
+    pub fn record_us(&self, value_us: u64) {
+        let stripe = &self.stripes[stripe_index()];
+        stripe.buckets[bucket_index(value_us)].fetch_add(1, Ordering::Relaxed);
+        stripe.sum.fetch_add(value_us, Ordering::Relaxed);
+    }
+
+    /// Merge all stripes into a point-in-time snapshot.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; NUM_BUCKETS];
+        let mut sum = 0u64;
+        for stripe in &self.stripes {
+            for (acc, b) in buckets.iter_mut().zip(stripe.buckets.iter()) {
+                *acc += b.load(Ordering::Relaxed);
+            }
+            sum += stripe.sum.load(Ordering::Relaxed);
+        }
+        let count = buckets.iter().sum();
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum,
+        }
+    }
+
+    pub fn count(&self) -> u64 {
+        self.snapshot().count
+    }
+
+    pub fn sum_us(&self) -> u64 {
+        self.snapshot().sum
+    }
+}
+
+/// Merged view of a [`Histogram`] at one instant. Counts and sums are exact;
+/// percentiles are the upper bound of the bucket containing the rank.
+#[derive(Debug, Clone, Copy)]
+pub struct HistogramSnapshot {
+    pub buckets: [u64; NUM_BUCKETS],
+    pub count: u64,
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// The `p`-th percentile (0 < p ≤ 100) as a bucket upper bound, or 0
+    /// when the histogram is empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil() as u64;
+        let rank = rank.clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (i, n) in self.buckets.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= rank {
+                return bucket_upper_bound(i);
+            }
+        }
+        bucket_upper_bound(NUM_BUCKETS - 1)
+    }
+
+    pub fn p50(&self) -> u64 {
+        self.percentile(50.0)
+    }
+
+    pub fn p95(&self) -> u64 {
+        self.percentile(95.0)
+    }
+
+    pub fn p99(&self) -> u64 {
+        self.percentile(99.0)
+    }
+}
+
+/// Upper bound of bucket `i`; the overflow bucket reports the largest
+/// finite bound (we cannot know how far past it an observation landed).
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    let last = LATENCY_BUCKET_BOUNDS_US.len() - 1;
+    LATENCY_BUCKET_BOUNDS_US[i.min(last)]
+}
+
+// ---------------------------------------------------------------------------
+// SQL LIKE matching (for SHOW METRICS LIKE '...')
+// ---------------------------------------------------------------------------
+
+/// Case-insensitive SQL `LIKE` match: `%` = any run, `_` = any one char.
+pub fn like_match(pattern: &str, text: &str) -> bool {
+    fn rec(p: &[char], t: &[char]) -> bool {
+        match p.first() {
+            None => t.is_empty(),
+            Some('%') => {
+                // Collapse consecutive %s, then try every suffix.
+                let rest = &p[1..];
+                (0..=t.len()).any(|i| rec(rest, &t[i..]))
+            }
+            Some('_') => !t.is_empty() && rec(&p[1..], &t[1..]),
+            Some(c) => t.first() == Some(c) && rec(&p[1..], &t[1..]),
+        }
+    }
+    let p: Vec<char> = pattern.to_ascii_lowercase().chars().collect();
+    let t: Vec<char> = text.to_ascii_lowercase().chars().collect();
+    rec(&p, &t)
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+type GaugeFn = Box<dyn Fn() -> u64 + Send + Sync>;
+
+enum Instrument {
+    Counter(Arc<Counter>),
+    Gauge(GaugeFn),
+    Histogram(Arc<Histogram>),
+}
+
+struct Metric {
+    name: String,
+    help: String,
+    instrument: Instrument,
+}
+
+/// One flattened name/value pair, as shown by `SHOW METRICS`. Histograms
+/// expand to `<name>_count`, `<name>_sum`, `<name>_p50/p95/p99`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sample {
+    pub name: String,
+    pub value: u64,
+}
+
+/// The process-wide instrument registry. Registration is idempotent by
+/// name (re-registering returns the existing instrument), so components
+/// that restart — the proxy, rebuilt runtimes sharing a registry — do not
+/// double-count.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    metrics: RwLock<Vec<Metric>>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Register (or fetch) a counter by name.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        let mut metrics = self.metrics.write();
+        if let Some(m) = metrics.iter().find(|m| m.name == name) {
+            if let Instrument::Counter(c) = &m.instrument {
+                return Arc::clone(c);
+            }
+        }
+        let c = Arc::new(Counter::new());
+        metrics.push(Metric {
+            name: name.to_string(),
+            help: help.to_string(),
+            instrument: Instrument::Counter(Arc::clone(&c)),
+        });
+        c
+    }
+
+    /// Register (or fetch) a histogram by name.
+    pub fn histogram(&self, name: &str, help: &str) -> Arc<Histogram> {
+        let mut metrics = self.metrics.write();
+        if let Some(m) = metrics.iter().find(|m| m.name == name) {
+            if let Instrument::Histogram(h) = &m.instrument {
+                return Arc::clone(h);
+            }
+        }
+        let h = Arc::new(Histogram::new());
+        metrics.push(Metric {
+            name: name.to_string(),
+            help: help.to_string(),
+            instrument: Instrument::Histogram(Arc::clone(&h)),
+        });
+        h
+    }
+
+    /// Register a polled gauge: `f` is evaluated at read time. Re-registering
+    /// the same name replaces the closure (the previous owner may be gone).
+    pub fn gauge<F>(&self, name: &str, help: &str, f: F)
+    where
+        F: Fn() -> u64 + Send + Sync + 'static,
+    {
+        let mut metrics = self.metrics.write();
+        if let Some(m) = metrics.iter_mut().find(|m| m.name == name) {
+            m.instrument = Instrument::Gauge(Box::new(f));
+            return;
+        }
+        metrics.push(Metric {
+            name: name.to_string(),
+            help: help.to_string(),
+            instrument: Instrument::Gauge(Box::new(f)),
+        });
+    }
+
+    /// Flattened samples, name-sorted, optionally filtered with SQL `LIKE`
+    /// semantics against the flattened name.
+    pub fn samples(&self, like: Option<&str>) -> Vec<Sample> {
+        let mut out = Vec::new();
+        let push = |out: &mut Vec<Sample>, name: String, value: u64| {
+            if like.is_none_or(|p| like_match(p, &name)) {
+                out.push(Sample { name, value });
+            }
+        };
+        for m in self.metrics.read().iter() {
+            match &m.instrument {
+                Instrument::Counter(c) => push(&mut out, m.name.clone(), c.get()),
+                Instrument::Gauge(f) => push(&mut out, m.name.clone(), f()),
+                Instrument::Histogram(h) => {
+                    let snap = h.snapshot();
+                    push(&mut out, format!("{}_count", m.name), snap.count);
+                    push(&mut out, format!("{}_sum", m.name), snap.sum);
+                    push(&mut out, format!("{}_p50", m.name), snap.p50());
+                    push(&mut out, format!("{}_p95", m.name), snap.p95());
+                    push(&mut out, format!("{}_p99", m.name), snap.p99());
+                }
+            }
+        }
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+
+    /// Render every instrument in Prometheus text exposition format.
+    /// Histograms render as summaries with quantile labels.
+    pub fn render_prometheus(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for m in self.metrics.read().iter() {
+            match &m.instrument {
+                Instrument::Counter(c) => {
+                    let _ = writeln!(out, "# HELP {} {}", m.name, m.help);
+                    let _ = writeln!(out, "# TYPE {} counter", m.name);
+                    let _ = writeln!(out, "{} {}", m.name, c.get());
+                }
+                Instrument::Gauge(f) => {
+                    let _ = writeln!(out, "# HELP {} {}", m.name, m.help);
+                    let _ = writeln!(out, "# TYPE {} gauge", m.name);
+                    let _ = writeln!(out, "{} {}", m.name, f());
+                }
+                Instrument::Histogram(h) => {
+                    let snap = h.snapshot();
+                    let _ = writeln!(out, "# HELP {} {}", m.name, m.help);
+                    let _ = writeln!(out, "# TYPE {} summary", m.name);
+                    let _ = writeln!(out, "{}{{quantile=\"0.5\"}} {}", m.name, snap.p50());
+                    let _ = writeln!(out, "{}{{quantile=\"0.95\"}} {}", m.name, snap.p95());
+                    let _ = writeln!(out, "{}{{quantile=\"0.99\"}} {}", m.name, snap.p99());
+                    let _ = writeln!(out, "{}_sum {}", m.name, snap.sum);
+                    let _ = writeln!(out, "{}_count {}", m.name, snap.count);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_matches_bounds() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(5), 3);
+        assert_eq!(bucket_index(16_777_216), 24);
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+        // Every bound lands in its own bucket.
+        for (i, &b) in LATENCY_BUCKET_BOUNDS_US.iter().enumerate() {
+            assert_eq!(bucket_index(b), i, "bound {b}");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = Histogram::new();
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.sum, 0);
+        assert_eq!(snap.p50(), 0);
+        assert_eq!(snap.p99(), 0);
+    }
+
+    #[test]
+    fn single_sample_percentiles() {
+        let h = Histogram::new();
+        h.record_us(100);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 1);
+        assert_eq!(snap.sum, 100);
+        // 100µs falls in the (64, 128] bucket.
+        assert_eq!(snap.p50(), 128);
+        assert_eq!(snap.p99(), 128);
+    }
+
+    #[test]
+    fn percentiles_walk_buckets() {
+        let h = Histogram::new();
+        for _ in 0..90 {
+            h.record_us(10); // bucket bound 16
+        }
+        for _ in 0..10 {
+            h.record_us(5000); // bucket bound 8192
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 100);
+        assert_eq!(snap.p50(), 16);
+        assert_eq!(snap.p99(), 8192);
+    }
+
+    #[test]
+    fn like_match_semantics() {
+        assert!(like_match("%", "anything"));
+        assert!(like_match("stage_%", "stage_parse_us"));
+        assert!(!like_match("stage_%", "proxy_frames_total"));
+        assert!(like_match("%_total", "proxy_frames_total"));
+        assert!(like_match("a_c", "abc")); // _ matches one char
+        assert!(!like_match("a_c", "abbc"));
+        assert!(like_match("Plan_Cache%", "plan_cache_parse_hits_total"));
+    }
+
+    #[test]
+    fn registry_is_idempotent_by_name() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("x_total", "x");
+        let b = reg.counter("x_total", "x");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        let samples = reg.samples(None);
+        assert_eq!(samples.len(), 1);
+        assert_eq!(samples[0].value, 3);
+    }
+
+    #[test]
+    fn samples_flatten_and_filter() {
+        let reg = MetricsRegistry::new();
+        reg.counter("c_total", "c").add(7);
+        reg.gauge("g_now", "g", || 42);
+        reg.histogram("h_us", "h").record_us(100);
+        let all = reg.samples(None);
+        let names: Vec<&str> = all.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "c_total",
+                "g_now",
+                "h_us_count",
+                "h_us_p50",
+                "h_us_p95",
+                "h_us_p99",
+                "h_us_sum"
+            ]
+        );
+        let filtered = reg.samples(Some("h_us_p%"));
+        assert_eq!(filtered.len(), 3);
+        assert!(filtered.iter().all(|s| s.value == 128));
+    }
+
+    #[test]
+    fn prometheus_rendering_shape() {
+        let reg = MetricsRegistry::new();
+        reg.counter("c_total", "help c").add(1);
+        reg.histogram("h_us", "help h").record_us(3);
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE c_total counter"));
+        assert!(text.contains("c_total 1"));
+        assert!(text.contains("# TYPE h_us summary"));
+        assert!(text.contains("h_us{quantile=\"0.5\"} 4"));
+        assert!(text.contains("h_us_count 1"));
+        assert!(text.contains("h_us_sum 3"));
+    }
+}

@@ -20,9 +20,12 @@ use crate::governor::{
 };
 use crate::merge::{merge_explain, merge_stream, MergedStream, MergerKind};
 use crate::metadata::LogicalSchemas;
+use crate::obs::{
+    KernelMetrics, MetricsRegistry, SlowQueryLog, Stage, StatementTrace, TraceContext,
+};
 use crate::rewrite::{rewrite_for_unit, rewrite_insert_per_unit, rewrite_statement, DerivedInfo};
 use crate::route::{RouteEngine, RouteResult};
-use crate::transaction::xa::{commit_all, two_phase_commit_with};
+use crate::transaction::xa::{commit_all, two_phase_commit_observed, XaPhaseObserver};
 use crate::transaction::{
     base, TransactionCoordinator, TransactionType, XaFanOut, XaLog, XaRecoveryManager,
 };
@@ -66,6 +69,12 @@ pub struct ShardingRuntime {
     /// Desired group-commit window (µs), applied to every engine
     /// (`SET group_commit_window_us`).
     group_commit_window_us: AtomicU64,
+    /// Central instrument registry (`SHOW METRICS`, proxy `/metrics`).
+    pub(crate) metrics_registry: Arc<MetricsRegistry>,
+    /// The kernel's named instruments (hot-path handles into the registry).
+    pub(crate) metrics: KernelMetrics,
+    /// Ring buffer behind `SHOW SLOW_QUERIES`.
+    pub(crate) slow_log: SlowQueryLog,
 }
 
 impl ShardingRuntime {
@@ -88,6 +97,21 @@ impl ShardingRuntime {
     /// The two-level SQL plan cache (stats, sizing, invalidation).
     pub fn plan_cache(&self) -> &SqlPlanCache {
         &self.plan_cache
+    }
+
+    /// The central metrics registry every layer reports into.
+    pub fn metrics_registry(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics_registry
+    }
+
+    /// The kernel's named instruments.
+    pub fn metrics(&self) -> &KernelMetrics {
+        &self.metrics
+    }
+
+    /// The slow-query ring buffer (`SHOW SLOW_QUERIES`).
+    pub fn slow_query_log(&self) -> &SlowQueryLog {
+        &self.slow_log
     }
 
     pub fn datasource(&self, name: &str) -> Result<Arc<DataSource>> {
@@ -337,14 +361,120 @@ impl ShardingRuntime {
             xa_fanout: XaFanOut::default(),
             last_report: None,
             last_merger: None,
+            trace_enabled: false,
+            active_trace: None,
+            last_trace: None,
+            pending_parse_us: None,
+            trace_sql: None,
+            stage_sample_tick: 0,
         }
     }
+}
+
+/// Register the polled gauges that mirror storage- and governor-side
+/// counters into the runtime's registry. Closures hold a `Weak` reference —
+/// the registry must not keep a dropped runtime alive.
+fn register_runtime_gauges(runtime: &Arc<ShardingRuntime>) {
+    let registry = Arc::clone(&runtime.metrics_registry);
+    // Sum a per-engine counter over the current topology snapshot.
+    fn engine_sum(
+        registry: &MetricsRegistry,
+        runtime: &Arc<ShardingRuntime>,
+        name: &str,
+        help: &str,
+        f: impl Fn(&StorageEngine) -> u64 + Send + Sync + 'static,
+    ) {
+        let weak = Arc::downgrade(runtime);
+        registry.gauge(name, help, move || {
+            weak.upgrade()
+                .map(|rt| {
+                    rt.datasource_snapshot()
+                        .values()
+                        .map(|ds| f(ds.engine()))
+                        .sum()
+                })
+                .unwrap_or(0)
+        });
+    }
+    engine_sum(
+        &registry,
+        runtime,
+        "storage_statements_total",
+        "statements executed by storage engines",
+        |e| e.statements_executed(),
+    );
+    engine_sum(
+        &registry,
+        runtime,
+        "storage_rows_pulled_total",
+        "rows pulled through streaming scan cursors",
+        |e| e.rows_pulled(),
+    );
+    engine_sum(
+        &registry,
+        runtime,
+        "storage_group_commits_total",
+        "explicit commits that joined a group-commit epoch",
+        |e| e.group_committer().commits(),
+    );
+    engine_sum(
+        &registry,
+        runtime,
+        "storage_wal_flushes_total",
+        "WAL durability flushes (group commit amortizes commits over these)",
+        |e| e.group_committer().flushes(),
+    );
+    engine_sum(
+        &registry,
+        runtime,
+        "storage_lock_waits_total",
+        "row-lock acquisitions that blocked behind another transaction",
+        |e| e.lock_waits(),
+    );
+    engine_sum(
+        &registry,
+        runtime,
+        "storage_wal_records",
+        "records currently in the write-ahead logs",
+        |e| e.wal().len() as u64,
+    );
+    let weak = Arc::downgrade(runtime);
+    registry.gauge(
+        "breaker_transitions_total",
+        "circuit-breaker state transitions across all data sources",
+        move || {
+            weak.upgrade()
+                .map(|rt| {
+                    rt.datasource_snapshot()
+                        .values()
+                        .map(|ds| ds.breaker().transitions())
+                        .sum()
+                })
+                .unwrap_or(0)
+        },
+    );
+    let weak = Arc::downgrade(runtime);
+    registry.gauge(
+        "breaker_not_closed",
+        "data sources whose circuit breaker is currently open or half-open",
+        move || {
+            weak.upgrade()
+                .map(|rt| {
+                    rt.datasource_snapshot()
+                        .values()
+                        .filter(|ds| ds.breaker().state() != crate::governor::BreakerState::Closed)
+                        .count() as u64
+                })
+                .unwrap_or(0)
+        },
+    );
 }
 
 #[derive(Default)]
 pub struct RuntimeBuilder {
     datasources: Vec<(String, Arc<StorageEngine>, usize)>,
     max_connections_per_query: Option<u64>,
+    metrics_registry: Option<Arc<MetricsRegistry>>,
 }
 
 impl RuntimeBuilder {
@@ -369,6 +499,13 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Share a pre-existing metrics registry (an embedding adaptor — the
+    /// proxy, tests — can aggregate several runtimes into one exposition).
+    pub fn metrics_registry(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.metrics_registry = Some(registry);
+        self
+    }
+
     pub fn build(self) -> Arc<ShardingRuntime> {
         let names: Vec<String> = self.datasources.iter().map(|(n, _, _)| n.clone()).collect();
         let mut map = HashMap::new();
@@ -379,7 +516,13 @@ impl RuntimeBuilder {
         for n in &names {
             registry.set(&format!("resources/{n}"), "registered");
         }
-        Arc::new(ShardingRuntime {
+        let metrics_registry = self
+            .metrics_registry
+            .unwrap_or_else(|| Arc::new(MetricsRegistry::new()));
+        let metrics = KernelMetrics::new(&metrics_registry);
+        let plan_cache =
+            SqlPlanCache::with_registry(crate::cache::DEFAULT_CAPACITY, &metrics_registry);
+        let runtime = Arc::new(ShardingRuntime {
             rule: RwLock::new(ShardingRule::new(names)),
             datasources: RwLock::new(Arc::new(map)),
             schemas: LogicalSchemas::new(),
@@ -393,11 +536,17 @@ impl RuntimeBuilder {
             tc: TransactionCoordinator::new(),
             keygen: Arc::new(SnowflakeGenerator::new(1)),
             next_xid: AtomicU64::new(1),
-            plan_cache: SqlPlanCache::default(),
+            plan_cache,
             executor: ExecutorEngine::new(self.max_connections_per_query.unwrap_or(8) as usize),
             batch_writes: std::sync::atomic::AtomicBool::new(true),
             group_commit_window_us: AtomicU64::new(0),
-        })
+            metrics_registry,
+            metrics,
+            slow_log: SlowQueryLog::new(),
+        });
+        // Polled gauges need the finished Arc (they capture a Weak).
+        register_runtime_gauges(&runtime);
+        runtime
     }
 }
 
@@ -525,13 +674,43 @@ pub struct Session {
     /// Diagnostics from the last statement (tests, Fig 15 bench).
     last_report: Option<ExecutionReport>,
     last_merger: Option<MergerKind>,
+    /// `SET trace = on`: keep the full trace of every data statement.
+    trace_enabled: bool,
+    /// Stage timer for the statement currently in the pipeline.
+    active_trace: Option<TraceContext>,
+    /// Finished trace of the last traced data statement.
+    last_trace: Option<StatementTrace>,
+    /// Parse time measured by `execute_sql`, claimed by the data-statement
+    /// wrapper (parsing happens before dispatch, outside the wrapper).
+    pending_parse_us: Option<u64>,
+    /// Original SQL text for the trace being captured, if any.
+    trace_sql: Option<String>,
+    /// Rolling tick for sampled stage tracing in metrics-only mode; 0 means
+    /// the next data statement runs with the full stage timer.
+    stage_sample_tick: u8,
 }
 
 /// Maximum transparent retries of a read-only statement on transient errors.
 const READ_RETRY_LIMIT: u32 = 3;
 
+/// In metrics-only mode one data statement in this many runs the per-stage
+/// timer (see [`Session::stage_sample_due`]); statement counters and the
+/// end-to-end latency histogram stay exact on every statement.
+const STAGE_SAMPLE_PERIOD: u8 = 16;
+
 /// Base backoff doubled per attempt (plus deterministic jitter).
 const RETRY_BACKOFF_BASE_MS: u64 = 5;
+
+/// Parse an on/off style boolean RAL value.
+fn parse_on_off(value: &str, name: &str) -> Result<bool> {
+    match value.to_lowercase().as_str() {
+        "1" | "on" | "true" => Ok(true),
+        "0" | "off" | "false" => Ok(false),
+        _ => Err(KernelError::Config(format!(
+            "{name} must be 0/1, on/off or true/false"
+        ))),
+    }
+}
 
 /// Bounded exponential backoff with jitter. The jitter is seeded from a
 /// process-wide counter (not wall clock / OS randomness) so chaos runs are
@@ -575,6 +754,50 @@ impl Session {
         self.last_merger
     }
 
+    /// Trace of the most recent data statement (`SET trace = on`).
+    pub fn last_trace(&self) -> Option<&StatementTrace> {
+        self.last_trace.as_ref()
+    }
+
+    pub fn trace_enabled(&self) -> bool {
+        self.trace_enabled
+    }
+
+    pub fn set_trace_enabled(&mut self, enabled: bool) {
+        self.trace_enabled = enabled;
+    }
+
+    /// Should the next data statement run with a stage timer? True whenever
+    /// any consumer exists: per-stage metrics, `SET trace = on`, or an armed
+    /// slow-query threshold.
+    fn should_trace(&self) -> bool {
+        self.runtime.metrics.on() || self.trace_enabled || self.runtime.slow_log.threshold_us() > 0
+    }
+
+    /// Should the full [`StatementTrace`] (with the SQL text) be built?
+    fn capture_trace(&self) -> bool {
+        self.trace_enabled || self.runtime.slow_log.threshold_us() > 0
+    }
+
+    /// Metrics-only stage tracing is sampled: a clock read per pipeline
+    /// stage is real money on a microsecond point query, so only one data
+    /// statement in [`STAGE_SAMPLE_PERIOD`] pays for the per-stage laps.
+    /// The first statement of every session always samples, so stage
+    /// histograms populate immediately.
+    fn stage_sample_due(&mut self) -> bool {
+        let due = self.stage_sample_tick == 0;
+        self.stage_sample_tick = (self.stage_sample_tick + 1) % STAGE_SAMPLE_PERIOD;
+        due
+    }
+
+    /// Close the current span on the active trace, if any.
+    #[inline]
+    fn lap_trace(&mut self, stage: Stage) {
+        if let Some(t) = self.active_trace.as_mut() {
+            t.lap(stage);
+        }
+    }
+
     pub fn runtime(&self) -> &Arc<ShardingRuntime> {
         &self.runtime
     }
@@ -582,8 +805,29 @@ impl Session {
     /// Parse and execute one SQL statement. Parsing goes through the
     /// runtime's level-1 cache: repeat SQL text skips the parser entirely.
     pub fn execute_sql(&mut self, sql: &str, params: &[Value]) -> Result<ExecuteResult> {
-        let stmt = self.runtime.plan_cache.parse(sql)?;
-        self.execute(&stmt, params)
+        if !self.should_trace() {
+            let stmt = self.runtime.plan_cache.parse(sql)?;
+            return self.execute(&stmt, params);
+        }
+        // Time the parse only when a stage timer will claim it (tick peek:
+        // the wrapper advances the tick, so tick 0 here means the next data
+        // statement samples); otherwise parsing costs zero clock reads.
+        let timed = self.capture_trace() || self.stage_sample_tick == 0;
+        let stmt = if timed {
+            let started = Instant::now();
+            let stmt = self.runtime.plan_cache.parse(sql)?;
+            self.pending_parse_us = Some((started.elapsed().as_micros() as u64).max(1));
+            stmt
+        } else {
+            self.runtime.plan_cache.parse(sql)?
+        };
+        if self.capture_trace() {
+            self.trace_sql = Some(sql.to_string());
+        }
+        let result = self.execute(&stmt, params);
+        self.pending_parse_us = None;
+        self.trace_sql = None;
+        result
     }
 
     /// Execute a parsed statement.
@@ -686,6 +930,26 @@ impl Session {
         }
     }
 
+    /// Run one statement with tracing forced on and hand back its finished
+    /// trace (the `EXPLAIN ANALYZE` entry point).
+    pub fn execute_traced(
+        &mut self,
+        sql: &str,
+        params: &[Value],
+    ) -> Result<(ExecuteResult, StatementTrace)> {
+        let saved = self.trace_enabled;
+        self.trace_enabled = true;
+        let result = self.execute_sql(sql, params);
+        self.trace_enabled = saved;
+        let result = result?;
+        let trace = self.last_trace.take().ok_or_else(|| {
+            KernelError::Execute(
+                "statement produced no trace (only data statements can be analyzed)".into(),
+            )
+        })?;
+        Ok((result, trace))
+    }
+
     pub(crate) fn set_variable(&mut self, name: &str, value: &str) -> Result<()> {
         match name.to_lowercase().as_str() {
             "transaction_type" => {
@@ -754,6 +1018,31 @@ impl Session {
                 };
                 Ok(())
             }
+            "trace" => {
+                self.trace_enabled = parse_on_off(value, "trace")?;
+                Ok(())
+            }
+            "metrics" => {
+                let enabled = parse_on_off(value, "metrics")?;
+                self.runtime.metrics.set_enabled(enabled);
+                Ok(())
+            }
+            "slow_query_threshold_ms" => {
+                let n: u64 = value.parse().map_err(|_| {
+                    KernelError::Config("slow_query_threshold_ms must be an integer".into())
+                })?;
+                self.runtime
+                    .slow_log
+                    .set_threshold_us(n.saturating_mul(1000));
+                Ok(())
+            }
+            "slow_query_log_size" => {
+                let n: usize = value.parse().map_err(|_| {
+                    KernelError::Config("slow_query_log_size must be an integer".into())
+                })?;
+                self.runtime.slow_log.set_capacity(n);
+                Ok(())
+            }
             // autocommit & friends accepted for driver compatibility.
             "autocommit" | "sql_mode" | "time_zone" | "character_set_results" => Ok(()),
             other => Err(KernelError::Config(format!("unknown variable '{other}'"))),
@@ -789,6 +1078,17 @@ impl Session {
                 XaFanOut::Serial => "serial".into(),
                 XaFanOut::Parallel => "parallel".into(),
             }),
+            "trace" => Ok(if self.trace_enabled { "on" } else { "off" }.into()),
+            "metrics" => Ok(if self.runtime.metrics.on() {
+                "on"
+            } else {
+                "off"
+            }
+            .into()),
+            "slow_query_threshold_ms" => {
+                Ok((self.runtime.slow_log.threshold_us() / 1000).to_string())
+            }
+            "slow_query_log_size" => Ok(self.runtime.slow_log.capacity().to_string()),
             other => Err(KernelError::Config(format!("unknown variable '{other}'"))),
         }
     }
@@ -825,12 +1125,20 @@ impl Session {
                 commit_all(&txn.branches);
                 Ok(())
             }
-            TransactionType::Xa => two_phase_commit_with(
-                &txn.xid,
-                &self.runtime.xa_log,
-                &txn.branches,
-                self.xa_fanout,
-            ),
+            TransactionType::Xa => {
+                let m = &self.runtime.metrics;
+                let observer = XaPhaseObserver {
+                    prepare_us: &m.xa_prepare_us,
+                    commit_us: &m.xa_commit_us,
+                };
+                two_phase_commit_observed(
+                    &txn.xid,
+                    &self.runtime.xa_log,
+                    &txn.branches,
+                    self.xa_fanout,
+                    m.on().then_some(&observer),
+                )
+            }
             TransactionType::Base => {
                 tc_rpc(); // phase 2: check status with the TC
                 self.runtime.tc.commit(&txn.xid)
@@ -870,6 +1178,83 @@ impl Session {
         stmt: &Statement,
         params: &[Value],
     ) -> Result<ExecuteResult> {
+        if !self.should_trace() {
+            return self.execute_data_statement_inner(stmt, params);
+        }
+        // Metrics-only light path (no trace consumer, off-sample tick):
+        // two clock reads bracket the statement for the exact counters and
+        // end-to-end histogram; the per-stage laps wait for the next sample.
+        if !self.capture_trace() && !self.stage_sample_due() {
+            let runtime = Arc::clone(&self.runtime);
+            let start = Instant::now();
+            self.pending_parse_us = None;
+            let result = self.execute_data_statement_inner(stmt, params);
+            let metrics = runtime.metrics();
+            if metrics.on() {
+                metrics.statements.inc();
+                if result.is_err() {
+                    metrics.statement_errors.inc();
+                }
+                metrics
+                    .statement_us
+                    .record_us((start.elapsed().as_micros() as u64).max(1));
+            }
+            return result;
+        }
+        // Observed path: a stage timer rides on the session while the
+        // statement moves through the pipeline; at the end it feeds the
+        // per-stage histograms and, when wanted, the full statement trace.
+        let mut ctx = TraceContext::new();
+        if let Some(us) = self.pending_parse_us.take() {
+            ctx.add_span(Stage::Parse, us);
+        }
+        self.active_trace = Some(ctx);
+        let result = self.execute_data_statement_inner(stmt, params);
+        let runtime = Arc::clone(&self.runtime);
+        let Some(mut ctx) = self.active_trace.take() else {
+            return result;
+        };
+        if let Ok(r) = &result {
+            ctx.set_rows(r.affected());
+        }
+        let metrics = runtime.metrics();
+        let record_metrics = metrics.on();
+        if record_metrics {
+            metrics.statements.inc();
+            if result.is_err() {
+                metrics.statement_errors.inc();
+            }
+            for (stage, us) in ctx.stages() {
+                metrics.stage_us[stage.index()].record_us(*us);
+            }
+        }
+        if self.capture_trace() {
+            // The merger label allocates; only materialize it on the
+            // trace-capture path where it is actually rendered.
+            ctx.set_merger(self.last_merger.map(|k| format!("{k:?}")));
+            let sql = self
+                .trace_sql
+                .take()
+                .unwrap_or_else(|| "<prepared statement>".to_string());
+            let trace = ctx.finish(sql);
+            if record_metrics {
+                metrics.statement_us.record_us(trace.total_us);
+            }
+            runtime.slow_log.record(&trace);
+            if self.trace_enabled {
+                self.last_trace = Some(trace);
+            }
+        } else if record_metrics {
+            metrics.statement_us.record_us(ctx.total_us());
+        }
+        result
+    }
+
+    fn execute_data_statement_inner(
+        &mut self,
+        stmt: &Statement,
+        params: &[Value],
+    ) -> Result<ExecuteResult> {
         let deadline = self.statement_timeout.map(|t| Instant::now() + t);
         // Only read-only statements outside transactions retry: a write (or
         // any in-transaction statement) may have partially applied, so it is
@@ -901,6 +1286,9 @@ impl Session {
                                 attempt + 1
                             )));
                         }
+                    }
+                    if self.runtime.metrics.on() {
+                        self.runtime.metrics.read_retries.inc();
                     }
                     std::thread::sleep(backoff);
                     attempt += 1;
@@ -1033,6 +1421,16 @@ impl Session {
         // replicas; reads route around open circuit breakers).
         self.apply_rw_split(&mut route, is_query)?;
 
+        // The routing stage ends here (features that pick the target are
+        // part of deciding *where* the statement goes).
+        self.lap_trace(Stage::Route);
+        if self.runtime.metrics.on() {
+            self.runtime
+                .metrics
+                .route_fanout
+                .record_us(route.units.len() as u64);
+        }
+
         if route.units.is_empty() {
             // Contradictory conditions: empty result without touching shards.
             self.last_merger = Some(MergerKind::PassThrough);
@@ -1067,6 +1465,7 @@ impl Session {
 
         // 7. Transactions: bind branches / capture BASE compensation.
         let txn_bindings = self.prepare_transaction_branches(&route, &inputs, params)?;
+        self.lap_trace(Stage::Rewrite);
 
         Ok(DataPlan::Execute(Box::new(PlannedExecution {
             inputs,
@@ -1088,13 +1487,23 @@ impl Session {
         // 8. Execute on the runtime's long-lived engine against an Arc
         // snapshot of the topology (no per-statement map clone).
         let datasources = self.runtime.datasource_snapshot();
+        // Per-unit spans cost label strings per shard; only pay for them
+        // when a trace will be rendered (EXPLAIN ANALYZE, slow-query log).
+        let want_units = self.capture_trace();
         let (results, report) = self.runtime.executor.execute_with_deadline(
             &datasources,
             plan.inputs,
             plan.params,
             plan.txn_bindings.as_ref(),
             deadline,
+            want_units,
         )?;
+        self.lap_trace(Stage::Execute);
+        if want_units {
+            if let Some(t) = self.active_trace.as_mut() {
+                t.set_units(report.units.clone());
+            }
+        }
         self.last_report = Some(report);
 
         // 9. Merge.
@@ -1108,10 +1517,15 @@ impl Session {
                 .encrypt
                 .read()
                 .decrypt_result(&mut merged, &plan.tables);
+            self.lap_trace(Stage::Merge);
+            if self.runtime.metrics.on() {
+                self.runtime.metrics.merge_rows.add(merged.len() as u64);
+            }
             Ok(ExecuteResult::Query(merged))
         } else {
             self.last_merger = Some(MergerKind::Iteration);
             let affected = results.iter().map(ExecuteResult::affected).sum();
+            self.lap_trace(Stage::Merge);
             Ok(ExecuteResult::Update { affected })
         }
     }

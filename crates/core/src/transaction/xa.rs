@@ -9,6 +9,7 @@
 
 use crate::error::{KernelError, Result};
 use crate::executor::pool::WorkerPool;
+use crate::obs::Histogram;
 use parking_lot::Mutex;
 use shard_storage::{StorageEngine, TxnId};
 use std::collections::{HashMap, HashSet};
@@ -121,7 +122,26 @@ pub fn two_phase_commit_with(
     branches: &HashMap<String, (Arc<StorageEngine>, TxnId)>,
     fanout: XaFanOut,
 ) -> Result<()> {
+    two_phase_commit_observed(xid, log, branches, fanout, None)
+}
+
+/// Histogram handles for the two 2PC phases (the kernel metrics registry's
+/// `xa_prepare_us` / `xa_commit_us` instruments).
+pub struct XaPhaseObserver<'a> {
+    pub prepare_us: &'a Histogram,
+    pub commit_us: &'a Histogram,
+}
+
+/// Run 2PC, optionally timing each phase into the observer's histograms.
+pub fn two_phase_commit_observed(
+    xid: &str,
+    log: &XaLog,
+    branches: &HashMap<String, (Arc<StorageEngine>, TxnId)>,
+    fanout: XaFanOut,
+    obs: Option<&XaPhaseObserver<'_>>,
+) -> Result<()> {
     log.record(xid, XaDecision::Preparing);
+    let phase_start = std::time::Instant::now();
     let parallel = fanout == XaFanOut::Parallel;
     // Branches in name order: "first error" selection is deterministic no
     // matter which branch answers first.
@@ -158,6 +178,10 @@ pub fn two_phase_commit_with(
         }
         votes
     };
+    if let Some(obs) = obs {
+        obs.prepare_us
+            .record_us(phase_start.elapsed().as_micros() as u64);
+    }
 
     let prepared: HashSet<usize> = votes
         .iter()
@@ -207,6 +231,7 @@ pub fn two_phase_commit_with(
 
     // Phase 2: commit every branch. Failures here do NOT abort the global
     // transaction — the decision is committed; recovery re-drives stragglers.
+    let phase_start = std::time::Instant::now();
     let jobs: Vec<FanJob> = ordered
         .iter()
         .map(|(_, engine, txn)| {
@@ -216,6 +241,10 @@ pub fn two_phase_commit_with(
         })
         .collect();
     let results = fan_out(jobs, parallel);
+    if let Some(obs) = obs {
+        obs.commit_us
+            .record_us(phase_start.elapsed().as_micros() as u64);
+    }
     let lagging: Vec<String> = results
         .iter()
         .enumerate()

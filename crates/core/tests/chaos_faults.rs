@@ -271,3 +271,39 @@ fn reads_inside_transactions_are_not_retried() {
     assert!(err.to_string().contains("scan_open fault"), "{err}");
     s.rollback().unwrap();
 }
+
+/// Observability satellite: the retry and breaker counters in the central
+/// metrics registry match the scripted fault and transition counts exactly —
+/// chaos runs can assert their blast radius from `SHOW METRICS` alone.
+#[test]
+fn chaos_counters_match_injected_fault_counts() {
+    let runtime = sharded_runtime();
+    let mut s = runtime.session();
+    load_users(&mut s, 8);
+    let sample = |name: &str| runtime.metrics_registry().samples(Some(name))[0].value;
+
+    // Three separate one-shot transient scan faults: each read absorbs its
+    // blip with exactly one retry, so the counter advances by three.
+    let retries_before = sample("read_retries_total");
+    for _ in 0..3 {
+        inject(
+            &runtime,
+            "ds_0",
+            FaultPlan::new(
+                FaultOp::ScanOpen,
+                FaultKind::Error("transient blip".into()),
+                FaultTrigger::Once,
+            ),
+        );
+        assert_eq!(count_users(&mut s), 8);
+    }
+    assert_eq!(sample("read_retries_total") - retries_before, 3);
+
+    // Scripted breaker transitions: trip + reset on one source is exactly
+    // two state changes, and the registry gauge sums them live.
+    let transitions_before = sample("breaker_transitions_total");
+    let ds = runtime.datasource("ds_0").unwrap();
+    ds.breaker().trip();
+    ds.breaker().reset();
+    assert_eq!(sample("breaker_transitions_total") - transitions_before, 2);
+}

@@ -26,7 +26,7 @@
 //! ```
 
 use shard_core::{KernelError, Result, Session, ShardingRuntime, TransactionType};
-pub use shard_core::{QueryStream, StreamOutcome};
+pub use shard_core::{QueryStream, StatementTrace, StreamOutcome};
 use shard_sql::{Statement, Value};
 use shard_storage::{ExecuteResult, ResultSet, StorageEngine};
 use std::sync::Arc;
@@ -204,6 +204,23 @@ impl Connection {
         self.session.set_transaction_type(t)
     }
 
+    /// Execute a statement with stage tracing forced on and return the
+    /// finished trace alongside the result — the programmatic equivalent of
+    /// `EXPLAIN ANALYZE` for applications embedding the kernel.
+    pub fn explain_analyze(
+        &mut self,
+        sql: &str,
+        params: &[Value],
+    ) -> Result<(ExecuteResult, StatementTrace)> {
+        self.session.execute_traced(sql, params)
+    }
+
+    /// The stage/unit trace of the most recent traced statement on this
+    /// connection (populated while `SET VARIABLE trace = on`).
+    pub fn last_trace(&self) -> Option<&StatementTrace> {
+        self.session.last_trace()
+    }
+
     /// The underlying kernel session (diagnostics).
     pub fn session(&self) -> &Session {
         &self.session
@@ -254,6 +271,24 @@ mod tests {
         c.execute("CREATE TABLE t (id BIGINT PRIMARY KEY, v INT)", &[])
             .unwrap();
         ds
+    }
+
+    #[test]
+    fn explain_analyze_returns_trace() {
+        let ds = data_source();
+        let mut c = ds.connection();
+        c.update("INSERT INTO t (id, v) VALUES (1, 10), (2, 20)", &[])
+            .unwrap();
+        let (result, trace) = c
+            .explain_analyze("SELECT v FROM t ORDER BY id", &[])
+            .unwrap();
+        assert_eq!(result.affected(), 2);
+        assert_eq!(trace.rows, 2);
+        assert_eq!(trace.units.len(), 2); // both shards scanned
+        assert!(trace.total_us >= 1);
+        // Tracing is per-call: the connection did not stay in trace mode.
+        c.query("SELECT v FROM t WHERE id = 1", &[]).unwrap();
+        assert!(c.last_trace().is_none());
     }
 
     #[test]

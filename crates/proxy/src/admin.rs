@@ -1,0 +1,144 @@
+//! Proxy admin endpoint: a minimal HTTP/1.1 server exposing the kernel's
+//! metrics registry in Prometheus text exposition format at `GET /metrics`.
+//!
+//! Deliberately tiny — it parses only the request line, answers `/metrics`
+//! and `/healthz`, and closes the connection after each response. That is
+//! all a scrape loop needs, and it keeps the proxy free of HTTP framework
+//! dependencies.
+
+use shard_core::MetricsRegistry;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A running metrics exposition server.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Serve `GET /metrics` on `127.0.0.1:port` (`port = 0` picks a free
+    /// port). Each scrape renders the registry at that instant.
+    pub fn start(registry: Arc<MetricsRegistry>, port: u16) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let stop2 = Arc::clone(&stop);
+        let accept_thread = std::thread::spawn(move || {
+            listener
+                .set_nonblocking(true)
+                .expect("set_nonblocking on metrics listener");
+            while !stop2.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _)) => serve_scrape(stream, &registry),
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(std::time::Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+
+        Ok(MetricsServer {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Answer one scrape request and close. Scrapes are serial and rare (one
+/// per collection interval), so blocking the accept loop is fine.
+fn serve_scrape(mut stream: TcpStream, registry: &MetricsRegistry) {
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(2)))
+        .ok();
+    let mut buf = [0u8; 4096];
+    let mut filled = 0usize;
+    // Read until the header terminator; the request line is all we use.
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => {
+                filled += n;
+                if buf[..filled].windows(4).any(|w| w == b"\r\n\r\n") {
+                    break;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+    let request = String::from_utf8_lossy(&buf[..filled]);
+    let path = request
+        .lines()
+        .next()
+        .and_then(|line| line.split_whitespace().nth(1))
+        .unwrap_or("");
+    let (status, content_type, body) = match path {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            registry.render_prometheus(),
+        ),
+        "/healthz" => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found\n".to_string(),
+        ),
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scrape(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn serves_prometheus_text_and_health() {
+        let registry = Arc::new(MetricsRegistry::new());
+        registry.counter("scrapes_total", "test counter").add(3);
+        let server = MetricsServer::start(Arc::clone(&registry), 0).unwrap();
+        let body = scrape(server.addr(), "/metrics");
+        assert!(body.starts_with("HTTP/1.1 200 OK"));
+        assert!(body.contains("# TYPE scrapes_total counter"));
+        assert!(body.contains("scrapes_total 3"));
+        assert!(scrape(server.addr(), "/healthz").contains("ok"));
+        assert!(scrape(server.addr(), "/nope").starts_with("HTTP/1.1 404"));
+    }
+}

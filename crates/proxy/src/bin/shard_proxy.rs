@@ -1,7 +1,7 @@
 //! Standalone ShardingSphere-RS proxy daemon.
 //!
 //! ```text
-//! shard_proxy [--port 3307] [--sources N] [--init path/to/init.sql]
+//! shard_proxy [--port 3307] [--sources N] [--init path/to/init.sql] [--metrics-port P]
 //! ```
 //!
 //! Boots `N` embedded data sources, applies an optional DistSQL/SQL init
@@ -11,7 +11,7 @@
 
 use shard_core::governor::HealthDetector;
 use shard_core::ShardingRuntime;
-use shard_proxy::ProxyServer;
+use shard_proxy::{MetricsServer, ProxyServer};
 use shard_storage::StorageEngine;
 use std::sync::Arc;
 use std::time::Duration;
@@ -20,6 +20,7 @@ fn main() {
     let mut port: u16 = 3307;
     let mut sources: usize = 2;
     let mut init: Option<String> = None;
+    let mut metrics_port: Option<u16> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -45,6 +46,14 @@ fn main() {
                     args.get(i)
                         .cloned()
                         .unwrap_or_else(|| usage("--init needs a path")),
+                );
+            }
+            "--metrics-port" => {
+                i += 1;
+                metrics_port = Some(
+                    args.get(i)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--metrics-port needs a number")),
                 );
             }
             "--help" | "-h" => usage(""),
@@ -99,6 +108,14 @@ fn main() {
         server.addr(),
         sources
     );
+    let _metrics_server = metrics_port.map(|p| {
+        let ms = MetricsServer::start(runtime.metrics_registry().clone(), p).unwrap_or_else(|e| {
+            eprintln!("cannot bind metrics port {p}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("metrics exposition on http://{}/metrics", ms.addr());
+        ms
+    });
     loop {
         std::thread::sleep(Duration::from_secs(60));
     }
@@ -109,11 +126,12 @@ fn usage(error: &str) -> ! {
         eprintln!("error: {error}\n");
     }
     eprintln!(
-        "usage: shard_proxy [--port PORT] [--sources N] [--init SCRIPT.sql]\n\
+        "usage: shard_proxy [--port PORT] [--sources N] [--init SCRIPT.sql] [--metrics-port PORT]\n\
          \n\
          Boots N embedded data sources behind a ShardingSphere-RS proxy.\n\
          The init script may contain DistSQL (CREATE SHARDING TABLE RULE ...)\n\
-         and regular SQL, separated by semicolons."
+         and regular SQL, separated by semicolons. With --metrics-port the\n\
+         proxy also serves Prometheus text metrics at GET /metrics."
     );
     std::process::exit(if error.is_empty() { 0 } else { 2 });
 }

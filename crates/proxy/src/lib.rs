@@ -6,10 +6,12 @@
 //! forwarding hop per request — exactly the trade-off the paper's
 //! evaluation quantifies (SSJ vs SSP).
 
+pub mod admin;
 pub mod client;
 pub mod protocol;
 pub mod server;
 
+pub use admin::MetricsServer;
 pub use client::{ClientError, ProxyClient};
 pub use protocol::{Request, Response};
 pub use server::ProxyServer;
@@ -176,6 +178,48 @@ mod tests {
             .query("PREVIEW SELECT * FROM t WHERE id = 1", &[])
             .unwrap();
         assert!(rs.rows[0][1].to_string().contains("t_1"));
+    }
+
+    /// The admin endpoint and `SHOW METRICS` read the same registry: a
+    /// statement served over the wire shows up in both.
+    #[test]
+    fn metrics_endpoint_shares_the_kernel_registry() {
+        let runtime = runtime();
+        let server = ProxyServer::start(Arc::clone(&runtime), 0).unwrap();
+        let mut metrics_server =
+            MetricsServer::start(runtime.metrics_registry().clone(), 0).unwrap();
+        let mut c = ProxyClient::connect(server.addr()).unwrap();
+        c.update("INSERT INTO t (id, v) VALUES (1, 1)", &[])
+            .unwrap();
+        c.query("SELECT v FROM t WHERE id = 1", &[]).unwrap();
+
+        // Scrape /metrics with a raw HTTP request.
+        use std::io::{Read, Write};
+        let mut stream = std::net::TcpStream::connect(metrics_server.addr()).unwrap();
+        write!(stream, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut body = String::new();
+        stream.read_to_string(&mut body).unwrap();
+        assert!(body.contains("proxy_connections_total 1"), "{body}");
+        assert!(body.contains("proxy_statement_us_count 2"), "{body}");
+        assert!(body.contains("# TYPE proxy_statement_us summary"), "{body}");
+
+        // The same instruments through the RAL surface.
+        let rs = c.query("SHOW METRICS LIKE 'proxy_%'", &[]).unwrap();
+        let find = |name: &str| {
+            rs.rows
+                .iter()
+                .find(|r| r[0] == Value::Str(name.into()))
+                .unwrap_or_else(|| panic!("missing {name} in {:?}", rs.rows))[1]
+                .clone()
+        };
+        assert_eq!(find("proxy_connections_total"), Value::Int(1));
+        // The SHOW METRICS statement itself is in flight, so the frame
+        // count is at least the two statements plus this one.
+        match find("proxy_frames_total") {
+            Value::Int(n) => assert!(n >= 3, "{n}"),
+            other => panic!("{other:?}"),
+        }
+        metrics_server.shutdown();
     }
 
     #[test]

@@ -5,11 +5,41 @@
 
 use crate::protocol::{decode_request, encode_response, write_frame, Request, Response};
 use bytes::Bytes;
+use shard_core::obs::{Counter, Histogram};
 use shard_core::ShardingRuntime;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Proxy-level instruments, registered on the runtime's shared metrics
+/// registry so `SHOW METRICS` and the `/metrics` endpoint see them too.
+struct ProxyMetrics {
+    connections: Arc<Counter>,
+    frames: Arc<Counter>,
+    statement_us: Arc<Histogram>,
+}
+
+impl ProxyMetrics {
+    fn register(runtime: &ShardingRuntime) -> Arc<ProxyMetrics> {
+        let registry = runtime.metrics_registry();
+        Arc::new(ProxyMetrics {
+            connections: registry.counter(
+                "proxy_connections_total",
+                "Client connections accepted by the proxy",
+            ),
+            frames: registry.counter(
+                "proxy_frames_total",
+                "Request frames received from proxy clients",
+            ),
+            statement_us: registry.histogram(
+                "proxy_statement_us",
+                "Per-statement wall time as observed at the proxy, in microseconds",
+            ),
+        })
+    }
+}
 
 /// A running proxy instance.
 pub struct ProxyServer {
@@ -26,6 +56,7 @@ impl ProxyServer {
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let connections_served = Arc::new(AtomicU64::new(0));
+        let metrics = ProxyMetrics::register(&runtime);
 
         let stop2 = Arc::clone(&stop);
         let served = Arc::clone(&connections_served);
@@ -39,10 +70,12 @@ impl ProxyServer {
                 match listener.accept() {
                     Ok((stream, _)) => {
                         served.fetch_add(1, Ordering::Relaxed);
+                        metrics.connections.inc();
                         let runtime = Arc::clone(&runtime);
                         let stop = Arc::clone(&stop2);
+                        let metrics = Arc::clone(&metrics);
                         workers.push(std::thread::spawn(move || {
-                            serve_connection(stream, runtime, stop);
+                            serve_connection(stream, runtime, stop, metrics);
                         }));
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -87,7 +120,12 @@ impl Drop for ProxyServer {
     }
 }
 
-fn serve_connection(mut stream: TcpStream, runtime: Arc<ShardingRuntime>, stop: Arc<AtomicBool>) {
+fn serve_connection(
+    mut stream: TcpStream,
+    runtime: Arc<ShardingRuntime>,
+    stop: Arc<AtomicBool>,
+    metrics: Arc<ProxyMetrics>,
+) {
     stream.set_nodelay(true).ok();
     // The timeout exists only so idle connections re-check the stop flag;
     // once a frame has started arriving we must keep its partial bytes.
@@ -100,6 +138,7 @@ fn serve_connection(mut stream: TcpStream, runtime: Arc<ShardingRuntime>, stop: 
             FrameRead::Frame(f) => f,
             FrameRead::Closed => return,
         };
+        metrics.frames.inc();
         let request = match decode_request(frame) {
             Ok(r) => r,
             Err(e) => {
@@ -114,7 +153,12 @@ fn serve_connection(mut stream: TcpStream, runtime: Arc<ShardingRuntime>, stop: 
         match request {
             Request::Quit => return,
             Request::Query { sql, params } => {
-                if !respond_query(&mut stream, &mut session, &sql, &params) {
+                let started = Instant::now();
+                let ok = respond_query(&mut stream, &mut session, &sql, &params);
+                metrics
+                    .statement_us
+                    .record_us((started.elapsed().as_micros() as u64).max(1));
+                if !ok {
                     return;
                 }
             }

@@ -819,6 +819,17 @@ pub enum DistSqlStatement {
     Preview {
         sql: String,
     },
+    /// `EXPLAIN ANALYZE <sql>` — execute the statement with tracing forced
+    /// on and return the stage/unit timing tree.
+    ExplainAnalyze {
+        sql: String,
+    },
+    /// `SHOW METRICS [LIKE '...']` — flattened registry samples.
+    ShowMetrics {
+        like: Option<String>,
+    },
+    /// `SHOW SLOW_QUERIES` — the slow-query ring buffer, newest first.
+    ShowSlowQueries,
 }
 
 /// Parsed body of an `INJECT FAULT` statement; interpreted by the kernel
@@ -870,7 +881,10 @@ impl DistSqlStatement {
             | ShowDataSourceHealth
             | InjectFault { .. }
             | ClearFaults { .. }
-            | Preview { .. } => DistSqlLanguage::Ral,
+            | Preview { .. }
+            | ExplainAnalyze { .. }
+            | ShowMetrics { .. }
+            | ShowSlowQueries => DistSqlLanguage::Ral,
         }
     }
 }

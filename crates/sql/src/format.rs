@@ -533,6 +533,12 @@ impl Formatter {
                 datasource: Some(ds),
             } => format!("CLEAR FAULTS ON {ds}"),
             DistSqlStatement::Preview { sql } => format!("PREVIEW {sql}"),
+            DistSqlStatement::ExplainAnalyze { sql } => format!("EXPLAIN ANALYZE {sql}"),
+            DistSqlStatement::ShowMetrics { like: None } => "SHOW METRICS".into(),
+            DistSqlStatement::ShowMetrics { like: Some(p) } => {
+                format!("SHOW METRICS LIKE '{p}'")
+            }
+            DistSqlStatement::ShowSlowQueries => "SHOW SLOW_QUERIES".into(),
         };
         self.push(&text);
     }

@@ -229,6 +229,26 @@ impl Parser {
                 self.expect_kw("HEALTH")?;
                 return Ok(Statement::DistSql(DistSqlStatement::ShowDataSourceHealth));
             }
+            if self.at_kw("METRICS") {
+                self.advance();
+                let like = if self.eat_kw("LIKE") {
+                    match self.advance() {
+                        TokenKind::String(s) => Some(s),
+                        other => {
+                            return Err(
+                                self.err(format!("expected LIKE pattern string, found '{other}'"))
+                            )
+                        }
+                    }
+                } else {
+                    None
+                };
+                return Ok(Statement::DistSql(DistSqlStatement::ShowMetrics { like }));
+            }
+            if self.at_kw("SLOW_QUERIES") {
+                self.advance();
+                return Ok(Statement::DistSql(DistSqlStatement::ShowSlowQueries));
+            }
             return Err(self.err("unsupported SHOW target"));
         }
 
@@ -255,6 +275,23 @@ impl Parser {
             return Ok(Statement::DistSql(DistSqlStatement::ClearFaults {
                 datasource,
             }));
+        }
+
+        if self.at_kw("EXPLAIN") {
+            self.advance();
+            self.expect_kw("ANALYZE")?;
+            // Capture the analyzed statement verbatim, like PREVIEW.
+            let start = self.offset();
+            let mut end = start;
+            while !self.at_eof() && !self.check(&TokenKind::Semicolon) {
+                end = self.current_end();
+                self.advance();
+            }
+            let sql = self.source_slice(start, end);
+            if sql.trim().is_empty() {
+                return Err(self.err("EXPLAIN ANALYZE requires a statement"));
+            }
+            return Ok(Statement::DistSql(DistSqlStatement::ExplainAnalyze { sql }));
         }
 
         if self.at_kw("PREVIEW") {
@@ -632,6 +669,41 @@ mod tests {
             DistSqlStatement::ClearFaults {
                 datasource: Some("ds_0".into())
             }
+        );
+    }
+
+    #[test]
+    fn explain_analyze_captures_inner_sql() {
+        let d = distsql("EXPLAIN ANALYZE SELECT * FROM t_user ORDER BY uid LIMIT 3");
+        match d {
+            DistSqlStatement::ExplainAnalyze { sql } => {
+                assert_eq!(sql, "SELECT * FROM t_user ORDER BY uid LIMIT 3");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_statement("EXPLAIN ANALYZE").is_err());
+    }
+
+    #[test]
+    fn show_metrics_forms() {
+        assert_eq!(
+            distsql("SHOW METRICS"),
+            DistSqlStatement::ShowMetrics { like: None }
+        );
+        assert_eq!(
+            distsql("SHOW METRICS LIKE 'plan_cache%'"),
+            DistSqlStatement::ShowMetrics {
+                like: Some("plan_cache%".into())
+            }
+        );
+        assert!(parse_statement("SHOW METRICS LIKE plan_cache").is_err());
+    }
+
+    #[test]
+    fn show_slow_queries() {
+        assert_eq!(
+            distsql("SHOW SLOW_QUERIES"),
+            DistSqlStatement::ShowSlowQueries
         );
     }
 

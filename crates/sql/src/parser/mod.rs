@@ -226,7 +226,11 @@ impl Parser {
         if self.at_kw("SHOW") {
             return self.parse_show();
         }
-        if self.at_kw("ADD") || self.at_kw("PREVIEW") || self.at_kw("INJECT") || self.at_kw("CLEAR")
+        if self.at_kw("ADD")
+            || self.at_kw("PREVIEW")
+            || self.at_kw("INJECT")
+            || self.at_kw("CLEAR")
+            || self.at_kw("EXPLAIN")
         {
             return self.parse_distsql();
         }
@@ -276,6 +280,8 @@ impl Parser {
             || self.at_kw_n(1, "READWRITE_SPLITTING")
             || self.at_kw_n(1, "SQL_PLAN_CACHE")
             || self.at_kw_n(1, "DATA_SOURCE")
+            || self.at_kw_n(1, "METRICS")
+            || self.at_kw_n(1, "SLOW_QUERIES")
         {
             return self.parse_distsql();
         }

@@ -217,6 +217,11 @@ impl StorageEngine {
         self.rows_pulled.load(Ordering::Relaxed)
     }
 
+    /// Row-lock acquisitions that had to block behind another transaction.
+    pub fn lock_waits(&self) -> u64 {
+        self.locks.waits()
+    }
+
     /// This source's fault injector (chaos tests, `INJECT FAULT` RAL).
     pub fn fault_injector(&self) -> &Arc<FaultInjector> {
         &self.faults

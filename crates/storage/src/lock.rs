@@ -10,6 +10,7 @@ use crate::error::{Result, StorageError};
 use crate::index::RowId;
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 pub type TxnId = u64;
@@ -26,6 +27,9 @@ pub struct LockManager {
     state: Mutex<LockTable>,
     released: Condvar,
     timeout: Duration,
+    /// Times an acquisition had to block on another owner (per blocking
+    /// episode, not per condvar wakeup) — exported as a kernel metric.
+    waits: AtomicU64,
 }
 
 impl LockManager {
@@ -34,7 +38,13 @@ impl LockManager {
             state: Mutex::new(LockTable::default()),
             released: Condvar::new(),
             timeout,
+            waits: AtomicU64::new(0),
         }
+    }
+
+    /// How many row acquisitions blocked behind another transaction.
+    pub fn waits(&self) -> u64 {
+        self.waits.load(Ordering::Relaxed)
     }
 
     /// Acquire an exclusive lock on a row for `txn`. Re-entrant: a
@@ -43,6 +53,7 @@ impl LockManager {
         let key = (table.to_string(), row);
         let deadline = Instant::now() + self.timeout;
         let mut state = self.state.lock();
+        let mut waited = false;
         loop {
             match state.owners.get(&key) {
                 None => {
@@ -52,6 +63,10 @@ impl LockManager {
                 }
                 Some(owner) if *owner == txn => return Ok(()),
                 Some(_) => {
+                    if !waited {
+                        waited = true;
+                        self.waits.fetch_add(1, Ordering::Relaxed);
+                    }
                     let now = Instant::now();
                     if now >= deadline {
                         return Err(StorageError::LockTimeout {
@@ -78,6 +93,7 @@ impl LockManager {
         let mut state = self.state.lock();
         for &row in rows {
             let key = (table.to_string(), row);
+            let mut waited = false;
             loop {
                 match state.owners.get(&key) {
                     None => {
@@ -87,6 +103,10 @@ impl LockManager {
                     }
                     Some(owner) if *owner == txn => break,
                     Some(_) => {
+                        if !waited {
+                            waited = true;
+                            self.waits.fetch_add(1, Ordering::Relaxed);
+                        }
                         if Instant::now() >= deadline
                             || self.released.wait_until(&mut state, deadline).timed_out()
                         {
@@ -139,6 +159,7 @@ mod tests {
         lm.lock_row(1, "t", 10).unwrap();
         lm.lock_row(1, "t", 10).unwrap();
         assert_eq!(lm.locked_rows(), 1);
+        assert_eq!(lm.waits(), 0);
     }
 
     #[test]
@@ -159,6 +180,7 @@ mod tests {
         lm.release_all(1);
         handle.join().unwrap().unwrap();
         assert!(lm.holds(2, "t", 10));
+        assert_eq!(lm.waits(), 1);
     }
 
     #[test]

@@ -27,4 +27,10 @@ echo "==> chaos: seeded fault-matrix integration tests"
 timeout 600 cargo test --test chaos -q
 timeout 600 cargo test -p shard-core --test chaos_faults -q
 
+# Observability gate: metrics are on by default, so their cost is a tax on
+# every statement. The gate compares point-SELECT p50 instrumented vs
+# `SET metrics = off` (best-of-3) and fails above 5% + 300ns slack.
+echo "==> obs: metrics-overhead smoke gate"
+timeout 600 cargo run --release -p shard-bench --bin obs_gate
+
 echo "OK"
