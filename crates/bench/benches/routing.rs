@@ -1,0 +1,123 @@
+//! Routing-intelligence microbenchmarks: the two scatter-killers against
+//! their ablated baselines on the same data.
+//!
+//! * Point lookup on a non-shard-key column: a global secondary index
+//!   routes to the owning shard (≤ 2 units) vs the `SET gsi = off` scatter
+//!   to all shards.
+//! * Scatter GROUP BY: per-shard partial aggregates (the merger receives
+//!   ≤ shards × groups rows) vs the `SET agg_pushdown = off` row-streaming
+//!   baseline that ships every source row.
+//!
+//! `scripts/check.sh` runs this bench with `--test` as a smoke gate;
+//! BENCH_routing.json records the calibrated medians.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shard_core::{Session, ShardingRuntime};
+use shard_sql::Value;
+use shard_storage::StorageEngine;
+use std::sync::Arc;
+
+const SHARDS: usize = 4;
+const ROWS: i64 = 256;
+
+/// Two data sources, four `t_order` shards, a GSI on `email`, ROWS rows
+/// spread over 8 statuses — enough rows that routing choices dominate.
+fn sharded_runtime() -> Arc<ShardingRuntime> {
+    let runtime = ShardingRuntime::builder()
+        .datasource("ds_0", StorageEngine::new("ds_0"))
+        .datasource("ds_1", StorageEngine::new("ds_1"))
+        .build();
+    let mut s = runtime.session();
+    s.execute_sql(
+        &format!(
+            "CREATE SHARDING TABLE RULE t_order (RESOURCES(ds_0, ds_1), \
+             SHARDING_COLUMN=uid, TYPE=mod, PROPERTIES(\"sharding-count\"={SHARDS}))"
+        ),
+        &[],
+    )
+    .unwrap();
+    s.execute_sql(
+        "CREATE TABLE t_order (uid BIGINT PRIMARY KEY, email VARCHAR(64), \
+         amount INT, status VARCHAR(16))",
+        &[],
+    )
+    .unwrap();
+    s.execute_sql("CREATE GLOBAL INDEX ON t_order (email)", &[])
+        .unwrap();
+    for uid in 0..ROWS {
+        s.execute_sql(
+            "INSERT INTO t_order (uid, email, amount, status) VALUES (?, ?, ?, ?)",
+            &[
+                Value::Int(uid),
+                Value::Str(format!("user{uid}@example.com")),
+                Value::Int(uid % 100),
+                Value::Str(format!("s{}", uid % 8)),
+            ],
+        )
+        .unwrap();
+    }
+    runtime
+}
+
+fn point_lookup(s: &mut Session) {
+    let rs = s
+        .execute_sql(
+            "SELECT uid, amount FROM t_order WHERE email = 'user97@example.com'",
+            &[],
+        )
+        .unwrap()
+        .query();
+    assert_eq!(rs.rows.len(), 1);
+}
+
+fn group_by(s: &mut Session) {
+    let rs = s
+        .execute_sql(
+            "SELECT status, SUM(amount), COUNT(*), AVG(amount) FROM t_order GROUP BY status",
+            &[],
+        )
+        .unwrap()
+        .query();
+    assert_eq!(rs.rows.len(), 8);
+}
+
+fn bench_point_lookup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("routing");
+
+    let indexed = sharded_runtime();
+    let mut s_idx = indexed.session();
+    g.bench_function("point_lookup_indexed", |b| {
+        b.iter(|| point_lookup(&mut s_idx))
+    });
+
+    let scatter = sharded_runtime();
+    let mut s_scatter = scatter.session();
+    s_scatter
+        .execute_sql("SET VARIABLE gsi = off", &[])
+        .unwrap();
+    g.bench_function("point_lookup_scatter", |b| {
+        b.iter(|| point_lookup(&mut s_scatter))
+    });
+    g.finish();
+}
+
+fn bench_group_by(c: &mut Criterion) {
+    let mut g = c.benchmark_group("routing_aggregates");
+
+    let pushdown = sharded_runtime();
+    let mut s_push = pushdown.session();
+    g.bench_function("group_by_pushdown", |b| b.iter(|| group_by(&mut s_push)));
+
+    let streaming = sharded_runtime();
+    let mut s_stream = streaming.session();
+    s_stream
+        .execute_sql("SET VARIABLE agg_pushdown = off", &[])
+        .unwrap();
+    g.bench_function("group_by_row_streaming", |b| {
+        b.iter(|| group_by(&mut s_stream))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_point_lookup, bench_group_by);
+criterion_main!(benches);

@@ -7,9 +7,9 @@ use crate::algorithm::Props;
 use crate::config::{AutoTablePlanner, TableRule};
 use crate::error::{KernelError, Result};
 use crate::rewrite::{rewrite_for_unit, rewrite_statement};
-use crate::route::{RouteEngine, RouteHint};
+use crate::route::{GlobalIndex, RouteEngine, RouteHint};
 use crate::runtime::Session;
-use shard_sql::ast::{DistSqlStatement, ShardingRuleSpec};
+use shard_sql::ast::{DataType, DistSqlStatement, ShardingRuleSpec, Statement};
 use shard_sql::{format_statement, parse_statement, Dialect, Value};
 use shard_storage::{
     ExecuteResult, FaultKind, FaultOp, FaultPlan, FaultTrigger, ResultSet, StorageEngine,
@@ -129,6 +129,12 @@ pub fn execute(session: &mut Session, stmt: &DistSqlStatement) -> Result<Execute
             session.runtime().drop_datasource(name)?;
             Ok(ExecuteResult::Update { affected: 0 })
         }
+        DistSqlStatement::CreateGlobalIndex { table, column } => {
+            create_global_index(session, table, column)
+        }
+        DistSqlStatement::DropGlobalIndex { table, column } => {
+            drop_global_index(session, table, column)
+        }
 
         // --- RQL ------------------------------------------------------------
         DistSqlStatement::ShowShardingTableRules { table } => {
@@ -226,6 +232,31 @@ pub fn execute(session: &mut Session, stmt: &DistSqlStatement) -> Result<Execute
                 .collect();
             Ok(ExecuteResult::Query(ResultSet::new(
                 vec!["algorithm_type".into()],
+                rows,
+            )))
+        }
+        DistSqlStatement::ShowGlobalIndexes => {
+            let rows = session
+                .runtime()
+                .gsi()
+                .list()
+                .into_iter()
+                .map(|i| {
+                    vec![
+                        Value::Str(i.logic_table.clone()),
+                        Value::Str(i.column.clone()),
+                        Value::Str(i.hidden_table.clone()),
+                        Value::Str(i.datasources.join(", ")),
+                    ]
+                })
+                .collect();
+            Ok(ExecuteResult::Query(ResultSet::new(
+                vec![
+                    "table".into(),
+                    "column".into(),
+                    "hidden_table".into(),
+                    "datasources".into(),
+                ],
                 rows,
             )))
         }
@@ -382,6 +413,140 @@ pub fn execute(session: &mut Session, stmt: &DistSqlStatement) -> Result<Execute
             )))
         }
     }
+}
+
+/// `CREATE GLOBAL INDEX ON <table> (<column>)`: create the hidden mapping
+/// table on every rule data source, backfill it from the existing base rows,
+/// and register the index so routing and maintenance pick it up.
+fn create_global_index(session: &mut Session, table: &str, column: &str) -> Result<ExecuteResult> {
+    let runtime = session.runtime().clone();
+    let column = column.to_lowercase();
+    let (sharding_column, datasources, data_nodes) = {
+        let rule = runtime.rule.read();
+        let tr = rule.table_rule(table).ok_or_else(|| {
+            KernelError::Config(format!(
+                "global indexes require a sharded table; '{table}' has no sharding rule"
+            ))
+        })?;
+        if tr.sharding_column.eq_ignore_ascii_case(&column) {
+            return Err(KernelError::Config(format!(
+                "'{column}' is the sharding column of '{table}'; equality on it already routes exactly"
+            )));
+        }
+        (
+            tr.sharding_column.clone(),
+            tr.datasources(),
+            tr.data_nodes.clone(),
+        )
+    };
+    let index = GlobalIndex::new(table, &column, datasources);
+    if runtime
+        .gsi()
+        .get(&index.logic_table, &index.column)
+        .is_some()
+    {
+        return Err(KernelError::Config(format!(
+            "global index on {table}({column}) already exists"
+        )));
+    }
+
+    // Hidden-table column types come from the logical schema when the
+    // application registered one; Text otherwise (values coerce on compare).
+    let col_type = |name: &str| -> DataType {
+        runtime
+            .schemas()
+            .get(table)
+            .and_then(|s| {
+                s.columns
+                    .iter()
+                    .find(|c| c.name.eq_ignore_ascii_case(name))
+                    .map(|c| c.data_type)
+            })
+            .unwrap_or(DataType::Text)
+    };
+    let create = Statement::CreateTable(
+        index.create_table_stmt(col_type(&index.column), col_type(&sharding_column)),
+    );
+    for ds_name in &index.datasources {
+        runtime
+            .datasource(ds_name)?
+            .engine()
+            .execute(&create, &[], None)
+            .map_err(KernelError::Storage)?;
+    }
+
+    // Backfill: reference-count every existing (index value, shard-key
+    // value) pair into its entry data source.
+    let mut backfilled = 0u64;
+    let (upd, ins) = index.add_ref_sqls();
+    for node in &data_nodes {
+        let scan = format!(
+            "SELECT {}, {} FROM {}",
+            index.column, sharding_column, node.table
+        );
+        let rows = runtime
+            .datasource(&node.datasource)?
+            .engine()
+            .execute_sql(&scan, &[], None)
+            .map_err(KernelError::Storage)?
+            .query()
+            .rows;
+        for mut row in rows {
+            if row.len() < 2 {
+                continue;
+            }
+            let shard_val = row.pop().unwrap();
+            let idx_val = row.pop().unwrap();
+            if idx_val == Value::Null {
+                continue;
+            }
+            let entry = runtime.datasource(index.entry_datasource(&idx_val))?;
+            let params = vec![idx_val, shard_val];
+            let bumped = entry
+                .engine()
+                .execute_sql(&upd, &params, None)
+                .map_err(KernelError::Storage)?;
+            if bumped.affected() == 0 {
+                entry
+                    .engine()
+                    .execute_sql(&ins, &params, None)
+                    .map_err(KernelError::Storage)?;
+            }
+            backfilled += 1;
+        }
+    }
+
+    runtime.registry().set(
+        &format!("rules/global_index/{}.{}", index.logic_table, index.column),
+        index.hidden_table.clone(),
+    );
+    runtime.gsi().add(index);
+    runtime.plan_cache().bump_generation();
+    Ok(ExecuteResult::Update {
+        affected: backfilled,
+    })
+}
+
+/// `DROP GLOBAL INDEX ON <table> (<column>)`: unregister the index and drop
+/// its hidden mapping table everywhere.
+fn drop_global_index(session: &mut Session, table: &str, column: &str) -> Result<ExecuteResult> {
+    let runtime = session.runtime().clone();
+    let index = runtime
+        .gsi()
+        .remove(table, column)
+        .ok_or_else(|| KernelError::Config(format!("no global index on {table}({column})")))?;
+    let drop = Statement::DropTable(index.drop_table_stmt());
+    for ds_name in &index.datasources {
+        if let Ok(ds) = runtime.datasource(ds_name) {
+            let _ = ds.engine().execute(&drop, &[], None);
+        }
+    }
+    runtime.registry().delete(&format!(
+        "rules/global_index/{}.{}",
+        index.logic_table, index.column
+    ));
+    runtime.plan_cache().bump_generation();
+    Ok(ExecuteResult::Update { affected: 0 })
 }
 
 /// `EXPLAIN ANALYZE <sql>`: execute the statement with tracing forced on and
@@ -554,7 +719,7 @@ fn preview(session: &mut Session, sql: &str) -> Result<ExecuteResult> {
     let rule = runtime.rule.read();
     let route = RouteEngine::new(&rule, &hint).route(&stmt, &[])?;
     drop(rule);
-    let rewrite = rewrite_statement(&stmt, &route, &[])?;
+    let rewrite = rewrite_statement(&stmt, &route, &[], runtime.agg_pushdown())?;
     let mut rows = Vec::new();
     for unit in &route.units {
         let actual = rewrite_for_unit(&rewrite, unit, &route, &[])?;

@@ -25,5 +25,6 @@ pub mod transaction;
 
 pub use error::{ErrorClass, KernelError, Result};
 pub use obs::{KernelMetrics, MetricsRegistry, SlowQueryLog, StatementTrace, TraceContext};
+pub use route::RouteStrategy;
 pub use runtime::{QueryStream, RuntimeBuilder, Session, ShardingRuntime, StreamOutcome};
 pub use transaction::{TransactionType, XaFanOut};

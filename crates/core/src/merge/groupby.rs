@@ -149,6 +149,94 @@ pub fn group_memory_merge(
     out
 }
 
+/// Raw-row aggregate merge: the ablated (`SET agg_pushdown = off`) baseline
+/// where shards ship raw argument rows and the kernel aggregates them
+/// itself. Reuses the storage engine's [`Accumulator`] so the result is
+/// byte-identical to what the shards would have computed: COUNT(*) counts a
+/// never-NULL literal `1` column, COUNT(col) skips NULLs, SUM stays integer
+/// when every input was, AVG/MIN/MAX of no rows are NULL.
+///
+/// `width` is the shard result shape's column count, needed to synthesize
+/// the one all-NULL-keyed row an ungrouped aggregate yields on empty input
+/// (the pushdown path gets that row from each shard).
+///
+/// [`Accumulator`]: shard_storage::exec_select::Accumulator
+pub fn raw_aggregate_merge(
+    results: Vec<ResultSet>,
+    sort_keys: &[SortKey],
+    group_positions: &[usize],
+    aggs: &[AggPositions],
+    width: usize,
+) -> Vec<Vec<Value>> {
+    use shard_storage::exec_select::Accumulator;
+
+    struct RawGroup {
+        first_row: Vec<Value>,
+        accs: Vec<Accumulator>,
+    }
+    fn fresh(aggs: &[AggPositions]) -> Vec<Accumulator> {
+        aggs.iter()
+            .map(|a| match a.kind {
+                AggKind::Count => Accumulator::Count(0),
+                AggKind::Sum => Accumulator::Sum {
+                    total: 0.0,
+                    any: false,
+                    all_int: true,
+                },
+                AggKind::Avg => Accumulator::Avg { total: 0.0, n: 0 },
+                AggKind::Min => Accumulator::Min(None),
+                AggKind::Max => Accumulator::Max(None),
+            })
+            .collect()
+    }
+
+    let mut groups: Vec<RawGroup> = Vec::new();
+    let mut group_of: HashMap<Vec<Value>, usize> = HashMap::new();
+    for rs in results {
+        for row in rs.rows {
+            let key: Vec<Value> = group_positions.iter().map(|&p| row[p].clone()).collect();
+            let gidx = match group_of.get(&key) {
+                Some(&i) => i,
+                None => {
+                    groups.push(RawGroup {
+                        first_row: row.clone(),
+                        accs: fresh(aggs),
+                    });
+                    group_of.insert(key, groups.len() - 1);
+                    groups.len() - 1
+                }
+            };
+            let g = &mut groups[gidx];
+            for (acc, a) in g.accs.iter_mut().zip(aggs) {
+                acc.update(Some(row[a.position].clone()));
+            }
+        }
+    }
+    // Ungrouped aggregates over zero raw rows still yield one row, exactly
+    // as every shard does on the pushdown path.
+    if groups.is_empty() && group_positions.is_empty() && !aggs.is_empty() {
+        groups.push(RawGroup {
+            first_row: vec![Value::Null; width],
+            accs: fresh(aggs),
+        });
+    }
+
+    let mut out: Vec<Vec<Value>> = groups
+        .into_iter()
+        .map(|g| {
+            let mut row = g.first_row;
+            for (acc, a) in g.accs.into_iter().zip(aggs) {
+                row[a.position] = acc.finish();
+            }
+            row
+        })
+        .collect();
+    if !sort_keys.is_empty() {
+        out.sort_by(|a, b| compare_rows(a, b, sort_keys));
+    }
+    out
+}
+
 /// No GROUP BY but aggregates present: all rows collapse into one group.
 pub fn single_group_merge(results: Vec<ResultSet>, aggs: &[AggPositions]) -> Vec<Vec<Value>> {
     let mut current: Option<Vec<Value>> = None;

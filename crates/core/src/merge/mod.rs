@@ -31,6 +31,9 @@ pub enum MergerKind {
     GroupByStream,
     GroupByMemory,
     SingleGroup,
+    /// Aggregate pushdown ablated: shards shipped raw rows and the merger
+    /// ran the accumulators itself (`SET agg_pushdown = off`).
+    RawAggregate,
 }
 
 /// Merge shard results according to the rewrite guidance.
@@ -67,7 +70,32 @@ pub fn merge_explain(
 
     let shape = ResultSet::new(columns.clone(), Vec::new());
 
-    let (mut rows, kind) = if info.is_grouped() {
+    let (mut rows, kind) = if info.raw_rows {
+        // Ablated pushdown: every shard row is a raw source row; aggregate
+        // kernel-side with the storage accumulators.
+        let aggs = AggPositions::resolve(&info.aggregates, &shape).ok_or_else(|| {
+            KernelError::Merge("aggregate columns missing from shard results".into())
+        })?;
+        let group_positions: Option<Vec<usize>> = info
+            .group_by
+            .iter()
+            .map(|c| shape.column_index(c))
+            .collect();
+        let group_positions = group_positions.ok_or_else(|| {
+            KernelError::Merge("group-by columns missing from shard results".into())
+        })?;
+        let sort_keys = resolve_sort_keys(info, &shape)?;
+        (
+            groupby::raw_aggregate_merge(
+                results,
+                &sort_keys,
+                &group_positions,
+                &aggs,
+                columns.len(),
+            ),
+            MergerKind::RawAggregate,
+        )
+    } else if info.is_grouped() {
         let aggs = AggPositions::resolve(&info.aggregates, &shape).ok_or_else(|| {
             KernelError::Merge("aggregate columns missing from shard results".into())
         })?;

@@ -293,55 +293,80 @@ pub fn merge_stream(
         });
     }
 
-    let (inner, kind): (Box<dyn Iterator<Item = Vec<Value>> + Send>, MergerKind) =
-        if info.is_grouped() {
-            let aggs = AggPositions::resolve(&info.aggregates, &shape).ok_or_else(|| {
-                KernelError::Merge("aggregate columns missing from shard results".into())
-            })?;
-            if info.group_by.is_empty() {
-                let results = drain_adapters(adapters, &error)?;
-                let rows = groupby::single_group_merge(results, &aggs);
-                (Box::new(rows.into_iter()), MergerKind::SingleGroup)
-            } else {
-                let group_positions: Option<Vec<usize>> = info
-                    .group_by
-                    .iter()
-                    .map(|c| shape.column_index(c))
-                    .collect();
-                let group_positions = group_positions.ok_or_else(|| {
-                    KernelError::Merge("group-by columns missing from shard results".into())
-                })?;
-                let sort_keys = resolve_sort_keys(info, &shape)?;
-                if info.group_streamable {
-                    let merger = OrderByStreamMerger::from_cursors(adapters, sort_keys);
-                    (
-                        Box::new(GroupStreamIter {
-                            merger,
-                            group_positions,
-                            aggs,
-                            current: None,
-                        }),
-                        MergerKind::GroupByStream,
-                    )
-                } else {
-                    let results = drain_adapters(adapters, &error)?;
-                    let rows =
-                        groupby::group_memory_merge(results, &sort_keys, &group_positions, &aggs);
-                    (Box::new(rows.into_iter()), MergerKind::GroupByMemory)
-                }
-            }
-        } else if !info.order_by.is_empty() {
-            let sort_keys = resolve_sort_keys(info, &shape)?;
-            (
-                Box::new(OrderByStreamMerger::from_cursors(adapters, sort_keys)),
-                MergerKind::OrderByStream,
-            )
+    let (inner, kind): (Box<dyn Iterator<Item = Vec<Value>> + Send>, MergerKind) = if info.raw_rows
+    {
+        // Ablated pushdown: shards ship raw rows; aggregate kernel-side.
+        // Memory-bound by nature — nothing can be emitted until every
+        // raw row has been folded into its group.
+        let aggs = AggPositions::resolve(&info.aggregates, &shape).ok_or_else(|| {
+            KernelError::Merge("aggregate columns missing from shard results".into())
+        })?;
+        let group_positions: Option<Vec<usize>> = info
+            .group_by
+            .iter()
+            .map(|c| shape.column_index(c))
+            .collect();
+        let group_positions = group_positions.ok_or_else(|| {
+            KernelError::Merge("group-by columns missing from shard results".into())
+        })?;
+        let sort_keys = resolve_sort_keys(info, &shape)?;
+        let results = drain_adapters(adapters, &error)?;
+        let rows = groupby::raw_aggregate_merge(
+            results,
+            &sort_keys,
+            &group_positions,
+            &aggs,
+            columns.len(),
+        );
+        (Box::new(rows.into_iter()), MergerKind::RawAggregate)
+    } else if info.is_grouped() {
+        let aggs = AggPositions::resolve(&info.aggregates, &shape).ok_or_else(|| {
+            KernelError::Merge("aggregate columns missing from shard results".into())
+        })?;
+        if info.group_by.is_empty() {
+            let results = drain_adapters(adapters, &error)?;
+            let rows = groupby::single_group_merge(results, &aggs);
+            (Box::new(rows.into_iter()), MergerKind::SingleGroup)
         } else {
-            (
-                Box::new(adapters.into_iter().flatten()),
-                MergerKind::Iteration,
-            )
-        };
+            let group_positions: Option<Vec<usize>> = info
+                .group_by
+                .iter()
+                .map(|c| shape.column_index(c))
+                .collect();
+            let group_positions = group_positions.ok_or_else(|| {
+                KernelError::Merge("group-by columns missing from shard results".into())
+            })?;
+            let sort_keys = resolve_sort_keys(info, &shape)?;
+            if info.group_streamable {
+                let merger = OrderByStreamMerger::from_cursors(adapters, sort_keys);
+                (
+                    Box::new(GroupStreamIter {
+                        merger,
+                        group_positions,
+                        aggs,
+                        current: None,
+                    }),
+                    MergerKind::GroupByStream,
+                )
+            } else {
+                let results = drain_adapters(adapters, &error)?;
+                let rows =
+                    groupby::group_memory_merge(results, &sort_keys, &group_positions, &aggs);
+                (Box::new(rows.into_iter()), MergerKind::GroupByMemory)
+            }
+        }
+    } else if !info.order_by.is_empty() {
+        let sort_keys = resolve_sort_keys(info, &shape)?;
+        (
+            Box::new(OrderByStreamMerger::from_cursors(adapters, sort_keys)),
+            MergerKind::OrderByStream,
+        )
+    } else {
+        (
+            Box::new(adapters.into_iter().flatten()),
+            MergerKind::Iteration,
+        )
+    };
 
     // HAVING evaluates over the full (pre-strip) column shape, like the
     // materialized decorator which filters before `strip_derived`.

@@ -40,6 +40,13 @@ pub struct KernelMetrics {
     pub route_fanout: Arc<Histogram>,
     /// Rows produced by the merge stage.
     pub merge_rows: Arc<Counter>,
+    /// Rows the merge stage received from the shards (pushdown shrinks this
+    /// to ≤ shards × groups for scatter aggregates).
+    pub merge_input_rows: Arc<Counter>,
+    /// Global-secondary-index lookups attempted by the router.
+    pub gsi_lookups: Arc<Counter>,
+    /// GSI lookups that narrowed the route below full fan-out.
+    pub gsi_hits: Arc<Counter>,
     /// Transparent read-retry attempts (transient shard errors absorbed).
     pub read_retries: Arc<Counter>,
     /// XA phase latencies (prepare = vote collection, commit = phase 2).
@@ -73,6 +80,18 @@ impl KernelMetrics {
             route_fanout: registry
                 .histogram("route_fanout_units", "execution units per routed statement"),
             merge_rows: registry.counter("merge_rows_total", "rows produced by the merge stage"),
+            merge_input_rows: registry.counter(
+                "merge_input_rows_total",
+                "rows received by the merge stage from the shards",
+            ),
+            gsi_lookups: registry.counter(
+                "gsi_lookups_total",
+                "global secondary index lookups attempted by the router",
+            ),
+            gsi_hits: registry.counter(
+                "gsi_hits_total",
+                "global secondary index lookups that narrowed the route",
+            ),
             read_retries: registry.counter(
                 "read_retries_total",
                 "transparent read retries after transient shard errors",

@@ -139,6 +139,7 @@ mod tests {
             ],
             units: Vec::new(),
             merger: None,
+            route_strategy: None,
             rows: 0,
         }
     }

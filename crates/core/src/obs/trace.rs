@@ -72,6 +72,9 @@ pub struct StatementTrace {
     pub units: Vec<UnitSpan>,
     /// Merge strategy that combined the shard results, when any.
     pub merger: Option<String>,
+    /// Routing-intelligence verdict (index-route / aggregate-pushdown /
+    /// colocated / scatter), when the statement was routed.
+    pub route_strategy: Option<String>,
     /// Rows in the final (merged, decrypted) result.
     pub rows: u64,
 }
@@ -97,8 +100,21 @@ impl StatementTrace {
             let elbow = if last_stage { "└─" } else { "├─" };
             let mut line = format!("{elbow} {:<8} {us}us", stage.as_str());
             match stage {
-                Stage::Route if !self.units.is_empty() => {
-                    line.push_str(&format!(" [units={}]", self.units.len()));
+                Stage::Route if !self.units.is_empty() || self.route_strategy.is_some() => {
+                    line.push(' ');
+                    line.push('[');
+                    let mut first = true;
+                    if !self.units.is_empty() {
+                        line.push_str(&format!("units={}", self.units.len()));
+                        first = false;
+                    }
+                    if let Some(s) = &self.route_strategy {
+                        if !first {
+                            line.push(' ');
+                        }
+                        line.push_str(&format!("route_strategy={s}"));
+                    }
+                    line.push(']');
                 }
                 Stage::Merge => {
                     line.push_str(&format!(" [rows={}", self.rows));
@@ -133,6 +149,7 @@ pub struct TraceContext {
     stages: Vec<(Stage, u64)>,
     units: Vec<UnitSpan>,
     merger: Option<String>,
+    route_strategy: Option<String>,
     rows: u64,
 }
 
@@ -151,6 +168,7 @@ impl TraceContext {
             stages: Vec::with_capacity(Stage::ALL.len()),
             units: Vec::new(),
             merger: None,
+            route_strategy: None,
             rows: 0,
         }
     }
@@ -200,6 +218,10 @@ impl TraceContext {
         self.merger = merger;
     }
 
+    pub fn set_route_strategy(&mut self, strategy: Option<String>) {
+        self.route_strategy = strategy;
+    }
+
     pub fn set_rows(&mut self, rows: u64) {
         self.rows = rows;
     }
@@ -212,6 +234,7 @@ impl TraceContext {
             stages: self.stages,
             units: self.units,
             merger: self.merger,
+            route_strategy: self.route_strategy,
             rows: self.rows,
         }
     }
@@ -261,6 +284,7 @@ mod tests {
                 },
             ],
             merger: Some("OrderBy".into()),
+            route_strategy: Some("scatter".into()),
             rows: 3,
         };
         let lines = trace.render();
@@ -268,7 +292,7 @@ mod tests {
         assert!(lines[0].contains("total=120us"));
         assert!(lines
             .iter()
-            .any(|l| l.contains("route") && l.contains("[units=2]")));
+            .any(|l| l.contains("route") && l.contains("[units=2 route_strategy=scatter]")));
         assert!(lines.iter().any(|l| l.contains("ds_0.t_0 40us rows=3")));
         assert!(lines.iter().any(|l| l.contains("ds_1.t_1 38us rows=3")));
         let merge_line = lines.last().unwrap();

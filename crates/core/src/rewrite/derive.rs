@@ -63,6 +63,12 @@ pub struct DerivedInfo {
     /// True when each shard's stream is sorted by the GROUP BY keys, so the
     /// group merger can stream (paper §VI-E case 3 vs 4).
     pub group_streamable: bool,
+    /// True when aggregate pushdown is ablated (`SET agg_pushdown = off`):
+    /// shards ship raw rows and the kernel merger runs the accumulators
+    /// itself. The aggregate/group metadata still describes the *logical*
+    /// result; the shard statements carry raw argument columns instead of
+    /// partial aggregates.
+    pub raw_rows: bool,
 }
 
 impl DerivedInfo {
@@ -267,6 +273,53 @@ pub fn derive_select(
     }
 
     info.derived_columns = derived_idx;
+    Ok((stmt, info))
+}
+
+/// Derive a multi-shard SELECT with aggregate pushdown ablated: the shard
+/// statements return the aggregates' *raw argument columns* (one row per
+/// source row) and the kernel merger aggregates them itself. This is the
+/// row-streaming baseline that `SET agg_pushdown = off` restores — the
+/// final result must be byte-identical to the pushdown path.
+///
+/// Each aggregate projection item is substituted in place, keeping its
+/// result column name: `COUNT(*)` → the literal `1` (never NULL, so the
+/// merge-side COUNT counts every row), any other `AGG(x)` → `x`. GROUP BY
+/// and ORDER BY are cleared from the shard statement (grouping and sorting
+/// happen on merged raw rows), and pagination already stays merge-side for
+/// grouped statements.
+pub fn derive_select_raw(
+    select: &SelectStatement,
+    params: &[Value],
+) -> Result<(SelectStatement, DerivedInfo)> {
+    let (mut stmt, mut info) = derive_select(select, params)?;
+    if !info.is_grouped() {
+        return Ok((stmt, info));
+    }
+    for item in &mut stmt.projection {
+        if let SelectItem::Expr { expr, alias } = item {
+            if !matches!(&*expr, Expr::Function(f) if f.is_aggregate()) {
+                continue;
+            }
+            let name = alias
+                .clone()
+                .unwrap_or_else(|| format_expr(expr, Dialect::Standard));
+            let Expr::Function(f) = expr else {
+                unreachable!()
+            };
+            let substitute = if f.star {
+                Expr::Literal(Value::Int(1))
+            } else {
+                f.args[0].clone()
+            };
+            *expr = substitute;
+            *alias = Some(name);
+        }
+    }
+    stmt.group_by.clear();
+    stmt.order_by.clear();
+    info.group_streamable = false;
+    info.raw_rows = true;
     Ok((stmt, info))
 }
 

@@ -13,7 +13,7 @@
 mod derive;
 mod identifier;
 
-pub use derive::{derive_select, AggKind, AggSpec, DerivedInfo};
+pub use derive::{derive_select, derive_select_raw, AggKind, AggSpec, DerivedInfo};
 pub use identifier::rewrite_identifiers;
 
 use crate::error::{KernelError, Result};
@@ -34,15 +34,24 @@ pub struct RewriteOutput<'a> {
 }
 
 /// Run the route-independent rewrites once per logical statement.
+///
+/// `agg_pushdown` selects how multi-shard aggregates are decomposed: `true`
+/// (the default) sends per-shard partial aggregates to the merger; `false`
+/// (`SET agg_pushdown = off`) ships raw rows and aggregates merge-side.
 pub fn rewrite_statement<'a>(
     stmt: &'a Statement,
     route: &RouteResult,
     params: &[Value],
+    agg_pushdown: bool,
 ) -> Result<RewriteOutput<'a>> {
     let multi_unit = route.units.len() > 1;
     match stmt {
         Statement::Select(select) if multi_unit => {
-            let (derived, info) = derive_select(select, params)?;
+            let (derived, info) = if agg_pushdown {
+                derive_select(select, params)?
+            } else {
+                derive_select_raw(select, params)?
+            };
             Ok(RewriteOutput {
                 derived: Cow::Owned(Statement::Select(derived)),
                 info,

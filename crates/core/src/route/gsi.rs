@@ -1,0 +1,365 @@
+//! Global secondary indexes: routing non-shard-key equality predicates to
+//! the shards that actually hold the rows, instead of scattering to all N.
+//!
+//! Per indexed column the kernel maintains a hidden mapping table
+//! `__gsi_<table>_<column>` with rows `(idx_val, shard_val, refs)`: every
+//! distinct (index value, shard-key value) pair that exists in the base
+//! table, reference-counted so duplicate base rows and partial deletes keep
+//! the entry alive exactly as long as at least one base row needs it. The
+//! mapping is itself sharded — each entry lives on one *entry data source*
+//! chosen by a stable hash of the index value — so index lookups and
+//! maintenance touch one data source, not all of them.
+//!
+//! Maintenance runs inside the same transactional scope as the base-table
+//! write (the session's XA branches, or an internal one for autocommit), so
+//! a chaos fault between the two writes aborts both. Lookup failure or an
+//! unreadable entry source degrades to the scatter route — the index is an
+//! optimization, never a correctness dependency.
+//!
+//! This module is pure metadata + statement building; the runtime owns
+//! engine handles and executes what is built here.
+
+use parking_lot::RwLock;
+use shard_sql::ast::{
+    BinaryOp, ColumnDef, CreateTableStatement, DataType, DropTableStatement, Expr, ObjectName,
+};
+use shard_sql::Value;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// One global secondary index: `column` of `logic_table` → shard-key values.
+#[derive(Debug, Clone)]
+pub struct GlobalIndex {
+    /// Indexed logic table (lower-cased).
+    pub logic_table: String,
+    /// Indexed column (lower-cased), not the sharding column.
+    pub column: String,
+    /// Hidden mapping table name, `__gsi_<table>_<column>`.
+    pub hidden_table: String,
+    /// Data sources the mapping is bucketed over, frozen at creation so
+    /// entry placement stays stable.
+    pub datasources: Vec<String>,
+}
+
+impl GlobalIndex {
+    pub fn new(
+        logic_table: impl Into<String>,
+        column: impl Into<String>,
+        datasources: Vec<String>,
+    ) -> Self {
+        let logic_table = logic_table.into().to_lowercase();
+        let column = column.into().to_lowercase();
+        let hidden_table = Self::hidden_table_name(&logic_table, &column);
+        GlobalIndex {
+            logic_table,
+            column,
+            hidden_table,
+            datasources,
+        }
+    }
+
+    pub fn hidden_table_name(logic_table: &str, column: &str) -> String {
+        format!(
+            "__gsi_{}_{}",
+            logic_table.to_lowercase(),
+            column.to_lowercase()
+        )
+    }
+
+    /// The data source holding the mapping entries for this index value.
+    /// `DefaultHasher::new()` hashes with fixed keys, so placement is stable
+    /// across sessions and restarts.
+    pub fn entry_datasource(&self, idx_val: &Value) -> &str {
+        let mut h = DefaultHasher::new();
+        idx_val.hash(&mut h);
+        let i = (h.finish() % self.datasources.len() as u64) as usize;
+        &self.datasources[i]
+    }
+
+    /// DDL for the hidden mapping table (one per data source).
+    pub fn create_table_stmt(
+        &self,
+        idx_type: DataType,
+        shard_type: DataType,
+    ) -> CreateTableStatement {
+        CreateTableStatement {
+            name: ObjectName::new(self.hidden_table.clone()),
+            if_not_exists: true,
+            columns: vec![
+                ColumnDef::new("idx_val", idx_type).not_null(),
+                ColumnDef::new("shard_val", shard_type).not_null(),
+                ColumnDef::new("refs", DataType::BigInt).not_null(),
+            ],
+            primary_key: vec!["idx_val".into(), "shard_val".into()],
+        }
+    }
+
+    pub fn drop_table_stmt(&self) -> DropTableStatement {
+        DropTableStatement {
+            names: vec![ObjectName::new(self.hidden_table.clone())],
+            if_exists: true,
+        }
+    }
+
+    /// Shard-key values for one index value (params: `[idx_val]`).
+    pub fn lookup_sql(&self) -> String {
+        format!(
+            "SELECT shard_val FROM {} WHERE idx_val = ?",
+            self.hidden_table
+        )
+    }
+
+    /// Reference-count an entry in (params: `[idx_val, shard_val]` each).
+    /// Run the UPDATE first; when it affects zero rows the entry does not
+    /// exist yet and the INSERT creates it with `refs = 1`.
+    pub fn add_ref_sqls(&self) -> (String, String) {
+        (
+            format!(
+                "UPDATE {} SET refs = refs + 1 WHERE idx_val = ? AND shard_val = ?",
+                self.hidden_table
+            ),
+            format!(
+                "INSERT INTO {} (idx_val, shard_val, refs) VALUES (?, ?, 1)",
+                self.hidden_table
+            ),
+        )
+    }
+
+    /// Reference-count an entry out (params: `[idx_val, shard_val]` each).
+    /// Run the UPDATE then the DELETE; the DELETE only removes the entry
+    /// once its count reaches zero.
+    pub fn remove_ref_sqls(&self) -> (String, String) {
+        (
+            format!(
+                "UPDATE {} SET refs = refs - 1 WHERE idx_val = ? AND shard_val = ?",
+                self.hidden_table
+            ),
+            format!(
+                "DELETE FROM {} WHERE idx_val = ? AND shard_val = ? AND refs <= 0",
+                self.hidden_table
+            ),
+        )
+    }
+}
+
+/// One pending reference-count mutation against an index's hidden table,
+/// computed at plan time and applied around the base write.
+#[derive(Debug, Clone)]
+pub struct GsiMaintOp {
+    pub index: Arc<GlobalIndex>,
+    /// `true` adds a reference, `false` removes one.
+    pub add: bool,
+    pub idx_val: Value,
+    pub shard_val: Value,
+}
+
+/// Extract the values an equality or `IN` predicate pins `column` to, from
+/// the top-level `AND` conjunction of a WHERE clause. Returns `None` when
+/// the column is not pinned (OR branches, ranges, functions — anything the
+/// index cannot answer exactly).
+pub fn equality_values(where_clause: &Expr, column: &str, params: &[Value]) -> Option<Vec<Value>> {
+    let resolve = |e: &Expr| -> Option<Value> {
+        match e {
+            Expr::Literal(v) => Some(v.clone()),
+            Expr::Param(i) => params.get(*i).cloned(),
+            _ => None,
+        }
+    };
+    let is_col = |e: &Expr| -> bool {
+        matches!(e, Expr::Column(c) if c.column.eq_ignore_ascii_case(column))
+    };
+    match where_clause {
+        Expr::Binary {
+            left,
+            op: BinaryOp::And,
+            right,
+        } => {
+            equality_values(left, column, params).or_else(|| equality_values(right, column, params))
+        }
+        Expr::Binary {
+            left,
+            op: BinaryOp::Eq,
+            right,
+        } => {
+            let value = if is_col(left) {
+                resolve(right)?
+            } else if is_col(right) {
+                resolve(left)?
+            } else {
+                return None;
+            };
+            Some(vec![value])
+        }
+        Expr::InList {
+            expr,
+            negated: false,
+            list,
+        } if is_col(expr) => {
+            let mut out = Vec::with_capacity(list.len());
+            for e in list {
+                let v = resolve(e)?;
+                if !out.contains(&v) {
+                    out.push(v);
+                }
+            }
+            Some(out)
+        }
+        Expr::Nested(inner) => equality_values(inner, column, params),
+        _ => None,
+    }
+}
+
+/// Registry of the runtime's global secondary indexes, keyed by
+/// (logic table, column), both lower-cased.
+#[derive(Default)]
+pub struct GsiRegistry {
+    indexes: RwLock<HashMap<(String, String), Arc<GlobalIndex>>>,
+}
+
+impl GsiRegistry {
+    pub fn new() -> Self {
+        GsiRegistry::default()
+    }
+
+    /// Register an index. Returns `false` (and leaves the registry
+    /// unchanged) when one already exists for this table + column.
+    pub fn add(&self, index: GlobalIndex) -> bool {
+        let key = (index.logic_table.clone(), index.column.clone());
+        let mut map = self.indexes.write();
+        if map.contains_key(&key) {
+            return false;
+        }
+        map.insert(key, Arc::new(index));
+        true
+    }
+
+    pub fn remove(&self, logic_table: &str, column: &str) -> Option<Arc<GlobalIndex>> {
+        self.indexes
+            .write()
+            .remove(&(logic_table.to_lowercase(), column.to_lowercase()))
+    }
+
+    pub fn get(&self, logic_table: &str, column: &str) -> Option<Arc<GlobalIndex>> {
+        self.indexes
+            .read()
+            .get(&(logic_table.to_lowercase(), column.to_lowercase()))
+            .cloned()
+    }
+
+    /// All indexes on one logic table, sorted by column name.
+    pub fn for_table(&self, logic_table: &str) -> Vec<Arc<GlobalIndex>> {
+        let key = logic_table.to_lowercase();
+        let mut v: Vec<Arc<GlobalIndex>> = self
+            .indexes
+            .read()
+            .values()
+            .filter(|i| i.logic_table == key)
+            .cloned()
+            .collect();
+        v.sort_by(|a, b| a.column.cmp(&b.column));
+        v
+    }
+
+    /// Every index, sorted by (table, column) for stable display.
+    pub fn list(&self) -> Vec<Arc<GlobalIndex>> {
+        let mut v: Vec<Arc<GlobalIndex>> = self.indexes.read().values().cloned().collect();
+        v.sort_by(|a, b| (&a.logic_table, &a.column).cmp(&(&b.logic_table, &b.column)));
+        v
+    }
+
+    /// Fast empty check for the write hot path: no indexes, no maintenance.
+    pub fn is_empty(&self) -> bool {
+        self.indexes.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn index() -> GlobalIndex {
+        GlobalIndex::new("T_Order", "Email", vec!["ds_0".into(), "ds_1".into()])
+    }
+
+    #[test]
+    fn names_lowercased_and_hidden_table_derived() {
+        let i = index();
+        assert_eq!(i.logic_table, "t_order");
+        assert_eq!(i.column, "email");
+        assert_eq!(i.hidden_table, "__gsi_t_order_email");
+    }
+
+    #[test]
+    fn entry_datasource_is_stable() {
+        let i = index();
+        let v = Value::Str("a@example.com".into());
+        let first = i.entry_datasource(&v).to_string();
+        for _ in 0..10 {
+            assert_eq!(i.entry_datasource(&v), first);
+        }
+        assert!(i.datasources.iter().any(|d| d == &first));
+    }
+
+    #[test]
+    fn registry_add_get_remove() {
+        let r = GsiRegistry::new();
+        assert!(r.is_empty());
+        assert!(r.add(index()));
+        assert!(!r.add(index()), "duplicate registration must be rejected");
+        assert!(r.get("t_order", "EMAIL").is_some());
+        assert_eq!(r.for_table("t_order").len(), 1);
+        assert_eq!(r.list().len(), 1);
+        assert!(r.remove("T_ORDER", "email").is_some());
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn equality_extraction() {
+        let w = Expr::and(
+            Expr::eq(Expr::col("status"), Expr::lit(Value::Str("open".into()))),
+            Expr::eq(Expr::col("email"), Expr::Param(0)),
+        );
+        let params = [Value::Str("a@x.com".into())];
+        assert_eq!(
+            equality_values(&w, "email", &params),
+            Some(vec![Value::Str("a@x.com".into())])
+        );
+        assert_eq!(
+            equality_values(&w, "status", &params),
+            Some(vec![Value::Str("open".into())])
+        );
+        assert_eq!(equality_values(&w, "uid", &params), None);
+
+        let inlist = Expr::InList {
+            expr: Box::new(Expr::col("email")),
+            negated: false,
+            list: vec![Expr::lit(Value::Int(1)), Expr::lit(Value::Int(1))],
+        };
+        assert_eq!(
+            equality_values(&inlist, "email", &[]),
+            Some(vec![Value::Int(1)])
+        );
+
+        // OR branches cannot be answered by the index.
+        let or = Expr::binary(
+            Expr::eq(Expr::col("email"), Expr::lit(Value::Int(1))),
+            BinaryOp::Or,
+            Expr::eq(Expr::col("status"), Expr::lit(Value::Int(2))),
+        );
+        assert_eq!(equality_values(&or, "email", &[]), None);
+    }
+
+    #[test]
+    fn maintenance_sql_targets_hidden_table() {
+        let i = index();
+        assert!(i.lookup_sql().contains("__gsi_t_order_email"));
+        let (upd, ins) = i.add_ref_sqls();
+        assert!(upd.contains("refs = refs + 1"));
+        assert!(ins.contains("VALUES (?, ?, 1)"));
+        let (dec, del) = i.remove_ref_sqls();
+        assert!(dec.contains("refs = refs - 1"));
+        assert!(del.contains("refs <= 0"));
+    }
+}

@@ -6,6 +6,7 @@
 
 mod condition;
 mod engine;
+pub mod gsi;
 
 pub use condition::{
     extract_condition_template, extract_conditions, ConditionTemplate, ShardingCondition,
@@ -13,6 +14,7 @@ pub use condition::{
 };
 pub(crate) use engine::nodes_for_condition;
 pub use engine::{RouteEngine, RouteHint};
+pub use gsi::{GlobalIndex, GsiMaintOp, GsiRegistry};
 
 use std::collections::HashMap;
 
@@ -58,6 +60,33 @@ pub enum RouteKind {
     Cartesian,
     /// Broadcast to every relevant node (DDL, no sharding key, …).
     Broadcast,
+}
+
+/// How the kernel arrived at the final unit set for one statement — the
+/// routing-intelligence verdict surfaced by `EXPLAIN ANALYZE` and asserted
+/// by the fan-out tests. Orthogonal to [`RouteKind`]: a Standard route can
+/// end up scatter (no usable condition) or index-route (GSI override).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteStrategy {
+    /// A global secondary index narrowed the route below full fan-out.
+    IndexRoute,
+    /// Scatter, but aggregates were decomposed into per-shard partials.
+    AggPushdown,
+    /// The statement landed on a single execution unit.
+    Colocated,
+    /// Full multi-unit fan-out with row streaming to the merger.
+    Scatter,
+}
+
+impl RouteStrategy {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            RouteStrategy::IndexRoute => "index-route",
+            RouteStrategy::AggPushdown => "aggregate-pushdown",
+            RouteStrategy::Colocated => "colocated",
+            RouteStrategy::Scatter => "scatter",
+        }
+    }
 }
 
 /// The complete route result for one logical statement.

@@ -24,7 +24,10 @@ use crate::obs::{
     KernelMetrics, MetricsRegistry, SlowQueryLog, Stage, StatementTrace, TraceContext,
 };
 use crate::rewrite::{rewrite_for_unit, rewrite_insert_per_unit, rewrite_statement, DerivedInfo};
-use crate::route::{RouteEngine, RouteResult};
+use crate::route::{
+    gsi, GlobalIndex, GsiMaintOp, GsiRegistry, RouteEngine, RouteKind, RouteResult, RouteStrategy,
+    RouteUnit,
+};
 use crate::transaction::xa::{commit_all, two_phase_commit_observed, XaPhaseObserver};
 use crate::transaction::{
     base, TransactionCoordinator, TransactionType, XaFanOut, XaLog, XaRecoveryManager,
@@ -69,6 +72,14 @@ pub struct ShardingRuntime {
     /// Desired group-commit window (µs), applied to every engine
     /// (`SET group_commit_window_us`).
     group_commit_window_us: AtomicU64,
+    /// Global secondary indexes (route narrowing for non-shard-key lookups).
+    pub(crate) gsi: GsiRegistry,
+    /// `SET gsi = off`: disable index-assisted routing for ablation.
+    /// Maintenance keeps running so the mapping stays correct.
+    gsi_enabled: std::sync::atomic::AtomicBool,
+    /// `SET agg_pushdown = off`: ship raw rows to the merger instead of
+    /// per-shard partial aggregates (the ablation baseline).
+    agg_pushdown: std::sync::atomic::AtomicBool,
     /// Central instrument registry (`SHOW METRICS`, proxy `/metrics`).
     pub(crate) metrics_registry: Arc<MetricsRegistry>,
     /// The kernel's named instruments (hot-path handles into the registry).
@@ -252,6 +263,32 @@ impl ShardingRuntime {
         self.group_commit_window_us.load(Ordering::Relaxed)
     }
 
+    /// The runtime's global secondary indexes.
+    pub fn gsi(&self) -> &GsiRegistry {
+        &self.gsi
+    }
+
+    /// Toggle index-assisted routing (`SET gsi`; on by default). Off only
+    /// disables lookups — maintenance continues so the mapping stays
+    /// correct for when the knob comes back on.
+    pub fn set_gsi_enabled(&self, enabled: bool) {
+        self.gsi_enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    pub fn gsi_enabled(&self) -> bool {
+        self.gsi_enabled.load(Ordering::Relaxed)
+    }
+
+    /// Toggle partial-aggregate pushdown (`SET agg_pushdown`; on by
+    /// default, off = merge-side row-streaming ablation arm).
+    pub fn set_agg_pushdown(&self, enabled: bool) {
+        self.agg_pushdown.store(enabled, Ordering::Relaxed);
+    }
+
+    pub fn agg_pushdown(&self) -> bool {
+        self.agg_pushdown.load(Ordering::Relaxed)
+    }
+
     /// Snapshot of a table rule (scaling, diagnostics).
     pub fn table_rule_snapshot(&self, logic_table: &str) -> Option<crate::config::TableRule> {
         self.rule.read().table_rule(logic_table).cloned()
@@ -361,6 +398,7 @@ impl ShardingRuntime {
             xa_fanout: XaFanOut::default(),
             last_report: None,
             last_merger: None,
+            last_route_strategy: None,
             trace_enabled: false,
             active_trace: None,
             last_trace: None,
@@ -540,6 +578,9 @@ impl RuntimeBuilder {
             executor: ExecutorEngine::new(self.max_connections_per_query.unwrap_or(8) as usize),
             batch_writes: std::sync::atomic::AtomicBool::new(true),
             group_commit_window_us: AtomicU64::new(0),
+            gsi: GsiRegistry::new(),
+            gsi_enabled: std::sync::atomic::AtomicBool::new(true),
+            agg_pushdown: std::sync::atomic::AtomicBool::new(true),
             metrics_registry,
             metrics,
             slow_log: SlowQueryLog::new(),
@@ -574,6 +615,12 @@ struct PlannedExecution {
     params: Arc<[Value]>,
     is_query: bool,
     tables: Vec<String>,
+    /// GSI reference-count ops applied before the base write (additions:
+    /// a fault mid-write leaves at worst a stale entry, which over-routes
+    /// but never hides a live row).
+    gsi_pre: Vec<GsiMaintOp>,
+    /// GSI ops applied after the base write succeeds (removals).
+    gsi_post: Vec<GsiMaintOp>,
 }
 
 /// Incremental row cursor over a query's merged output.
@@ -674,6 +721,8 @@ pub struct Session {
     /// Diagnostics from the last statement (tests, Fig 15 bench).
     last_report: Option<ExecutionReport>,
     last_merger: Option<MergerKind>,
+    /// Routing-intelligence verdict of the last planned data statement.
+    last_route_strategy: Option<RouteStrategy>,
     /// `SET trace = on`: keep the full trace of every data statement.
     trace_enabled: bool,
     /// Stage timer for the statement currently in the pipeline.
@@ -752,6 +801,12 @@ impl Session {
 
     pub fn last_merger_kind(&self) -> Option<MergerKind> {
         self.last_merger
+    }
+
+    /// How the last data statement's final unit set was chosen
+    /// (index-route / aggregate-pushdown / colocated / scatter).
+    pub fn last_route_strategy(&self) -> Option<RouteStrategy> {
+        self.last_route_strategy
     }
 
     /// Trace of the most recent data statement (`SET trace = on`).
@@ -1043,6 +1098,16 @@ impl Session {
                 self.runtime.slow_log.set_capacity(n);
                 Ok(())
             }
+            "gsi" => {
+                let enabled = parse_on_off(value, "gsi")?;
+                self.runtime.set_gsi_enabled(enabled);
+                Ok(())
+            }
+            "agg_pushdown" => {
+                let enabled = parse_on_off(value, "agg_pushdown")?;
+                self.runtime.set_agg_pushdown(enabled);
+                Ok(())
+            }
             // autocommit & friends accepted for driver compatibility.
             "autocommit" | "sql_mode" | "time_zone" | "character_set_results" => Ok(()),
             other => Err(KernelError::Config(format!("unknown variable '{other}'"))),
@@ -1089,6 +1154,18 @@ impl Session {
                 Ok((self.runtime.slow_log.threshold_us() / 1000).to_string())
             }
             "slow_query_log_size" => Ok(self.runtime.slow_log.capacity().to_string()),
+            "gsi" => Ok(if self.runtime.gsi_enabled() {
+                "on"
+            } else {
+                "off"
+            }
+            .into()),
+            "agg_pushdown" => Ok(if self.runtime.agg_pushdown() {
+                "on"
+            } else {
+                "off"
+            }
+            .into()),
             other => Err(KernelError::Config(format!("unknown variable '{other}'"))),
         }
     }
@@ -1409,6 +1486,23 @@ impl Session {
             }
         };
 
+        // 3.5 Feature: global secondary index. An equality/IN predicate on
+        // an indexed non-shard-key column resolves to owning shard keys via
+        // the hidden mapping, replacing the scatter with a route to the few
+        // shards that hold the rows (`SET gsi = off` disables lookups only).
+        let mut index_routed = false;
+        if route.units.len() > 1 && self.runtime.gsi_enabled() && !self.runtime.gsi.is_empty() {
+            if let Some(units) = self.gsi_narrow_route(stmt, params) {
+                route.kind = if units.len() <= 1 {
+                    RouteKind::Single
+                } else {
+                    RouteKind::Standard
+                };
+                route.units = units;
+                index_routed = true;
+            }
+        }
+
         // 4. Feature: shadow re-targeting (applied per execution, on the
         // cloned route, so cached plans stay shadow-correct).
         if let Some(shadow) = &*self.runtime.shadow.read() {
@@ -1422,17 +1516,40 @@ impl Session {
         self.apply_rw_split(&mut route, is_query)?;
 
         // The routing stage ends here (features that pick the target are
-        // part of deciding *where* the statement goes).
+        // part of deciding *where* the statement goes). Fan-out is sampled
+        // for routed DML/queries only — DDL broadcasts would drown the
+        // distribution the optimizer work is judged by.
         self.lap_trace(Stage::Route);
-        if self.runtime.metrics.on() {
+        if self.runtime.metrics.on()
+            && matches!(category, StatementCategory::Dql | StatementCategory::Dml)
+        {
             self.runtime
                 .metrics
                 .route_fanout
                 .record_us(route.units.len() as u64);
         }
 
+        // The routing-intelligence verdict `EXPLAIN ANALYZE` reports.
+        let agg_pushdown = self.runtime.agg_pushdown();
+        let strategy = if index_routed {
+            RouteStrategy::IndexRoute
+        } else if route.units.len() <= 1 {
+            RouteStrategy::Colocated
+        } else if agg_pushdown
+            && matches!(stmt, Statement::Select(s) if s.has_aggregates() || !s.group_by.is_empty())
+        {
+            RouteStrategy::AggPushdown
+        } else {
+            RouteStrategy::Scatter
+        };
+        self.last_route_strategy = Some(strategy);
+        if let Some(t) = self.active_trace.as_mut() {
+            t.set_route_strategy(Some(strategy.as_str().to_string()));
+        }
+
         if route.units.is_empty() {
-            // Contradictory conditions: empty result without touching shards.
+            // Contradictory conditions (or a GSI lookup proving no shard
+            // holds the value): empty result without touching shards.
             self.last_merger = Some(MergerKind::PassThrough);
             return Ok(DataPlan::Immediate(if is_query {
                 ExecuteResult::Query(ResultSet::empty())
@@ -1441,11 +1558,20 @@ impl Session {
             }));
         }
 
+        // 5.5 Feature: GSI maintenance. Writes against indexed tables
+        // compute their reference-count deltas now — pre-images must be
+        // read before the base write mutates them.
+        let (gsi_pre, gsi_post) = if self.runtime.gsi.is_empty() {
+            (Vec::new(), Vec::new())
+        } else {
+            self.gsi_maintenance_ops(stmt, &route, params)?
+        };
+
         // 6. Rewrite: derive once, then per unit. A row-split batched INSERT
         // partitions its rows across units in one pass (each row cloned
         // once, into its own unit's statement) instead of cloning the full
         // statement per unit and filtering.
-        let rewrite = rewrite_statement(stmt, &route, params)?;
+        let rewrite = rewrite_statement(stmt, &route, params, agg_pushdown)?;
         let mut inputs = Vec::with_capacity(route.units.len());
         if let Some(per_unit) = rewrite_insert_per_unit(&rewrite, &route) {
             for (unit, stmt) in route.units.iter().zip(per_unit) {
@@ -1474,6 +1600,8 @@ impl Session {
             params: shared_params(params),
             is_query,
             tables,
+            gsi_pre,
+            gsi_post,
         })))
     }
 
@@ -1484,20 +1612,33 @@ impl Session {
         plan: PlannedExecution,
         deadline: Option<Instant>,
     ) -> Result<ExecuteResult> {
+        // Additive GSI maintenance lands before the base write: if the
+        // write faults, the entry is undone (or left stale, which
+        // over-routes but stays correct).
+        if !plan.gsi_pre.is_empty() {
+            self.apply_gsi_ops(&plan.gsi_pre)?;
+        }
         // 8. Execute on the runtime's long-lived engine against an Arc
         // snapshot of the topology (no per-statement map clone).
         let datasources = self.runtime.datasource_snapshot();
         // Per-unit spans cost label strings per shard; only pay for them
         // when a trace will be rendered (EXPLAIN ANALYZE, slow-query log).
         let want_units = self.capture_trace();
-        let (results, report) = self.runtime.executor.execute_with_deadline(
+        let executed = self.runtime.executor.execute_with_deadline(
             &datasources,
             plan.inputs,
             plan.params,
             plan.txn_bindings.as_ref(),
             deadline,
             want_units,
-        )?;
+        );
+        let (results, report) = match executed {
+            Ok(r) => r,
+            Err(e) => {
+                self.undo_gsi_ops(&plan.gsi_pre);
+                return Err(e);
+            }
+        };
         self.lap_trace(Stage::Execute);
         if want_units {
             if let Some(t) = self.active_trace.as_mut() {
@@ -1510,6 +1651,12 @@ impl Session {
         if plan.is_query {
             let shard_results: Vec<ResultSet> =
                 results.into_iter().map(ExecuteResult::query).collect();
+            if self.runtime.metrics.on() {
+                self.runtime
+                    .metrics
+                    .merge_input_rows
+                    .add(shard_results.iter().map(|r| r.rows.len() as u64).sum());
+            }
             let (mut merged, kind) = merge_explain(shard_results, &plan.info)?;
             self.last_merger = Some(kind);
             // 10. Feature: decrypt result columns.
@@ -1525,6 +1672,10 @@ impl Session {
         } else {
             self.last_merger = Some(MergerKind::Iteration);
             let affected = results.iter().map(ExecuteResult::affected).sum();
+            // Removals land only once the base write has succeeded.
+            if !plan.gsi_post.is_empty() {
+                self.apply_gsi_ops(&plan.gsi_post)?;
+            }
             self.lap_trace(Stage::Merge);
             Ok(ExecuteResult::Update { affected })
         }
@@ -1641,6 +1792,384 @@ impl Session {
                 Ok(None)
             }
         }
+    }
+
+    // -- global secondary indexes --------------------------------------------
+
+    /// Try to narrow a multi-unit route through a global secondary index:
+    /// an equality/IN predicate on an indexed column resolves to shard-key
+    /// values via the hidden mapping, and the statement re-routes to the
+    /// owning shards only. Every failure path returns `None` — the index is
+    /// an optimization, the scatter route stays correct without it.
+    fn gsi_narrow_route(&self, stmt: &Statement, params: &[Value]) -> Option<Vec<RouteUnit>> {
+        let (table, where_clause) = match stmt {
+            Statement::Select(s) if s.joins.is_empty() => {
+                (s.from.as_ref()?.name.as_str(), s.where_clause.as_ref()?)
+            }
+            Statement::Update(u) => (u.table.as_str(), u.where_clause.as_ref()?),
+            Statement::Delete(d) => (d.table.as_str(), d.where_clause.as_ref()?),
+            _ => return None,
+        };
+        let metrics = &self.runtime.metrics;
+        for index in self.runtime.gsi.for_table(table) {
+            let Some(values) = gsi::equality_values(where_clause, &index.column, params) else {
+                continue;
+            };
+            if metrics.on() {
+                metrics.gsi_lookups.inc();
+            }
+            let Some(units) = self.gsi_lookup_units(table, &index, &values) else {
+                return None; // lookup failed: degrade to the scatter route
+            };
+            if metrics.on() {
+                metrics.gsi_hits.inc();
+            }
+            return Some(units);
+        }
+        None
+    }
+
+    /// Resolve index values to route units via the hidden mapping table.
+    fn gsi_lookup_units(
+        &self,
+        table: &str,
+        index: &GlobalIndex,
+        values: &[Value],
+    ) -> Option<Vec<RouteUnit>> {
+        let rule_guard = self.runtime.rule.read();
+        let rule = rule_guard.table_rule(table)?;
+        let mut shard_vals: Vec<Value> = Vec::new();
+        for v in values {
+            let ds_name = index.entry_datasource(v);
+            let engine = Arc::clone(self.runtime.datasource(ds_name).ok()?.engine());
+            // Read through the session's branch when one exists, so a
+            // transaction sees its own uncommitted maintenance writes.
+            let txn = self
+                .txn
+                .as_ref()
+                .and_then(|t| t.branches.get(ds_name))
+                .map(|(_, id)| *id);
+            let result = engine
+                .execute_sql(&index.lookup_sql(), std::slice::from_ref(v), txn)
+                .ok()?;
+            let ExecuteResult::Query(rs) = result else {
+                return None;
+            };
+            for row in rs.rows {
+                let sv = row.into_iter().next()?;
+                if !shard_vals.contains(&sv) {
+                    shard_vals.push(sv);
+                }
+            }
+        }
+        let mut units: Vec<RouteUnit> = Vec::new();
+        for sv in &shard_vals {
+            let node = rule.route_exact(sv).ok()?;
+            let unit = RouteUnit::new(&node.datasource).with_mapping(table, &node.table);
+            if !units.contains(&unit) {
+                units.push(unit);
+            }
+        }
+        Some(units)
+    }
+
+    /// Reference-count deltas a write statement owes the hidden mapping
+    /// tables, split into (before base write, after base write) batches.
+    fn gsi_maintenance_ops(
+        &self,
+        stmt: &Statement,
+        route: &RouteResult,
+        params: &[Value],
+    ) -> Result<(Vec<GsiMaintOp>, Vec<GsiMaintOp>)> {
+        let mut pre = Vec::new();
+        let mut post = Vec::new();
+        match stmt {
+            Statement::Insert(ins) => {
+                let indexes = self.runtime.gsi.for_table(ins.table.as_str());
+                if indexes.is_empty() {
+                    return Ok((pre, post));
+                }
+                let shard_col = {
+                    let rule_guard = self.runtime.rule.read();
+                    match rule_guard.table_rule(ins.table.as_str()) {
+                        Some(r) => r.sharding_column.clone(),
+                        None => return Ok((pre, post)),
+                    }
+                };
+                // Positional INSERTs take the registered schema's order.
+                let columns: Vec<String> = if ins.columns.is_empty() {
+                    self.runtime
+                        .schemas
+                        .columns(ins.table.as_str())
+                        .unwrap_or_default()
+                } else {
+                    ins.columns.clone()
+                };
+                let pos = |name: &str| columns.iter().position(|c| c.eq_ignore_ascii_case(name));
+                let Some(shard_pos) = pos(&shard_col) else {
+                    return Ok((pre, post));
+                };
+                for row in &ins.rows {
+                    let Some(shard_expr) = row.get(shard_pos) else {
+                        continue;
+                    };
+                    let shard_val = crate::rewrite::eval_const(shard_expr, params)?;
+                    for index in &indexes {
+                        let Some(ip) = pos(&index.column) else {
+                            continue; // column omitted: NULL, not indexed
+                        };
+                        let Some(idx_expr) = row.get(ip) else {
+                            continue;
+                        };
+                        let idx_val = crate::rewrite::eval_const(idx_expr, params)?;
+                        if idx_val == Value::Null {
+                            continue;
+                        }
+                        pre.push(GsiMaintOp {
+                            index: Arc::clone(index),
+                            add: true,
+                            idx_val,
+                            shard_val: shard_val.clone(),
+                        });
+                    }
+                }
+            }
+            Statement::Delete(del) => {
+                let indexes = self.runtime.gsi.for_table(del.table.as_str());
+                if indexes.is_empty() {
+                    return Ok((pre, post));
+                }
+                let shard_col = {
+                    let rule_guard = self.runtime.rule.read();
+                    match rule_guard.table_rule(del.table.as_str()) {
+                        Some(r) => r.sharding_column.clone(),
+                        None => return Ok((pre, post)),
+                    }
+                };
+                for index in &indexes {
+                    let rows = self.gsi_preimage(
+                        route,
+                        del.table.as_str(),
+                        del.alias.as_deref(),
+                        &index.column,
+                        &shard_col,
+                        del.where_clause.as_ref(),
+                        params,
+                    )?;
+                    for (idx_val, shard_val) in rows {
+                        if idx_val == Value::Null {
+                            continue;
+                        }
+                        post.push(GsiMaintOp {
+                            index: Arc::clone(index),
+                            add: false,
+                            idx_val,
+                            shard_val,
+                        });
+                    }
+                }
+            }
+            Statement::Update(up) => {
+                let indexes = self.runtime.gsi.for_table(up.table.as_str());
+                if indexes.is_empty() {
+                    return Ok((pre, post));
+                }
+                let shard_col = {
+                    let rule_guard = self.runtime.rule.read();
+                    match rule_guard.table_rule(up.table.as_str()) {
+                        Some(r) => r.sharding_column.clone(),
+                        None => return Ok((pre, post)),
+                    }
+                };
+                if up
+                    .assignments
+                    .iter()
+                    .any(|a| a.column.eq_ignore_ascii_case(&shard_col))
+                {
+                    return Err(KernelError::Config(format!(
+                        "cannot update sharding column '{shard_col}' on '{}': \
+                         the table has a global secondary index",
+                        up.table.as_str()
+                    )));
+                }
+                for index in &indexes {
+                    let Some(assign) = up
+                        .assignments
+                        .iter()
+                        .find(|a| a.column.eq_ignore_ascii_case(&index.column))
+                    else {
+                        continue; // indexed column untouched
+                    };
+                    let new_val =
+                        crate::rewrite::eval_const(&assign.value, params).map_err(|_| {
+                            KernelError::Config(format!(
+                                "updating indexed column '{}' requires a constant value \
+                                 (drop the global index to use expressions)",
+                                index.column
+                            ))
+                        })?;
+                    let rows = self.gsi_preimage(
+                        route,
+                        up.table.as_str(),
+                        up.alias.as_deref(),
+                        &index.column,
+                        &shard_col,
+                        up.where_clause.as_ref(),
+                        params,
+                    )?;
+                    for (old_val, shard_val) in rows {
+                        if old_val == new_val {
+                            continue;
+                        }
+                        if new_val != Value::Null {
+                            pre.push(GsiMaintOp {
+                                index: Arc::clone(index),
+                                add: true,
+                                idx_val: new_val.clone(),
+                                shard_val: shard_val.clone(),
+                            });
+                        }
+                        if old_val != Value::Null {
+                            post.push(GsiMaintOp {
+                                index: Arc::clone(index),
+                                add: false,
+                                idx_val: old_val,
+                                shard_val,
+                            });
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+        Ok((pre, post))
+    }
+
+    /// Pre-image `(indexed value, shard-key value)` pairs of the rows a
+    /// write is about to touch, read through the statement's own route.
+    #[allow(clippy::too_many_arguments)]
+    fn gsi_preimage(
+        &self,
+        route: &RouteResult,
+        table: &str,
+        alias: Option<&str>,
+        idx_col: &str,
+        shard_col: &str,
+        where_clause: Option<&Expr>,
+        params: &[Value],
+    ) -> Result<Vec<(Value, Value)>> {
+        use shard_sql::ast::{ObjectName, SelectItem, SelectStatement, TableRef};
+        let select = SelectStatement {
+            distinct: false,
+            projection: vec![
+                SelectItem::Expr {
+                    expr: Expr::col(idx_col),
+                    alias: None,
+                },
+                SelectItem::Expr {
+                    expr: Expr::col(shard_col),
+                    alias: None,
+                },
+            ],
+            from: Some(TableRef {
+                name: ObjectName::new(table),
+                alias: alias.map(str::to_string),
+            }),
+            joins: Vec::new(),
+            where_clause: where_clause.cloned(),
+            group_by: Vec::new(),
+            having: None,
+            order_by: Vec::new(),
+            limit: None,
+            for_update: false,
+        };
+        let mut out = Vec::new();
+        for unit in &route.units {
+            let mut stmt = Statement::Select(select.clone());
+            crate::rewrite::rewrite_identifiers(&mut stmt, unit);
+            let ds = self.runtime.datasource(&unit.datasource)?;
+            let txn = self
+                .txn
+                .as_ref()
+                .and_then(|t| t.branches.get(&unit.datasource))
+                .map(|(_, id)| *id);
+            let result = ds
+                .engine()
+                .execute(&stmt, params, txn)
+                .map_err(KernelError::Storage)?;
+            if let ExecuteResult::Query(rs) = result {
+                for row in rs.rows {
+                    let mut it = row.into_iter();
+                    let idx_val = it.next().unwrap_or(Value::Null);
+                    let shard_val = it.next().unwrap_or(Value::Null);
+                    out.push((idx_val, shard_val));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Apply reference-count ops against the hidden mapping tables, inside
+    /// the session's branch transactions when one is open.
+    fn apply_gsi_ops(&mut self, ops: &[GsiMaintOp]) -> Result<()> {
+        for op in ops {
+            let ds_name = op.index.entry_datasource(&op.idx_val).to_string();
+            let engine = Arc::clone(self.runtime.datasource(&ds_name)?.engine());
+            let txn = self.gsi_branch(&ds_name, &engine);
+            let p = [op.idx_val.clone(), op.shard_val.clone()];
+            if op.add {
+                let (upd, ins) = op.index.add_ref_sqls();
+                let r = engine
+                    .execute_sql(&upd, &p, txn)
+                    .map_err(KernelError::Storage)?;
+                if r.affected() == 0 {
+                    engine
+                        .execute_sql(&ins, &p, txn)
+                        .map_err(KernelError::Storage)?;
+                }
+            } else {
+                let (dec, del) = op.index.remove_ref_sqls();
+                engine
+                    .execute_sql(&dec, &p, txn)
+                    .map_err(KernelError::Storage)?;
+                engine
+                    .execute_sql(&del, &p, txn)
+                    .map_err(KernelError::Storage)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Best-effort inverse of [`Session::apply_gsi_ops`] after a failed base
+    /// write. A failure here leaves a stale (over-routing) entry, never a
+    /// missing one.
+    fn undo_gsi_ops(&mut self, ops: &[GsiMaintOp]) {
+        let inverted: Vec<GsiMaintOp> = ops
+            .iter()
+            .map(|op| GsiMaintOp {
+                index: Arc::clone(&op.index),
+                add: !op.add,
+                idx_val: op.idx_val.clone(),
+                shard_val: op.shard_val.clone(),
+            })
+            .collect();
+        let _ = self.apply_gsi_ops(&inverted);
+    }
+
+    /// The branch transaction GSI maintenance joins on `ds_name`: inside a
+    /// Local/XA transaction the op enlists in the session's branches (so
+    /// commit/rollback covers base write and index together); otherwise ops
+    /// auto-commit around the base write.
+    fn gsi_branch(&mut self, ds_name: &str, engine: &Arc<StorageEngine>) -> Option<TxnId> {
+        let txn = self.txn.as_mut()?;
+        if !matches!(txn.txn_type, TransactionType::Local | TransactionType::Xa) {
+            return None;
+        }
+        let (_, id) = txn
+            .branches
+            .entry(ds_name.to_string())
+            .or_insert_with(|| (Arc::clone(engine), engine.begin()));
+        Some(*id)
     }
 }
 

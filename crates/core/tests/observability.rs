@@ -126,8 +126,9 @@ fn explain_analyze_renders_full_stage_tree() {
             .unwrap_or_else(|| panic!("stage {stage} missing from:\n{tree}"));
         assert!(!line.contains(" 0us"), "zero timing for {stage}: {line}");
     }
-    // Fan-out width annotated on the route line; 4 shards over 2 sources.
-    assert!(tree.contains("[units=4]"), "{tree}");
+    // Fan-out width and routing verdict annotated on the route line;
+    // 4 shards over 2 sources, full scatter (ORDER BY, no aggregates).
+    assert!(tree.contains("[units=4 route_strategy=scatter]"), "{tree}");
     // One child line per shard execution unit, under the execute stage.
     for shard in ["t_user_0", "t_user_1", "t_user_2", "t_user_3"] {
         assert!(

@@ -781,6 +781,16 @@ pub enum DistSqlStatement {
     DropResource {
         name: String,
     },
+    /// `CREATE GLOBAL INDEX ON t_order (email)` — build and register a
+    /// global secondary index over a non-shard-key column.
+    CreateGlobalIndex {
+        table: String,
+        column: String,
+    },
+    DropGlobalIndex {
+        table: String,
+        column: String,
+    },
     // --- RQL -------------------------------------------------------------
     ShowShardingTableRules {
         table: Option<String>,
@@ -789,6 +799,8 @@ pub enum DistSqlStatement {
     ShowBroadcastTableRules,
     ShowResources,
     ShowShardingAlgorithms,
+    /// `SHOW GLOBAL INDEXES` — every registered global secondary index.
+    ShowGlobalIndexes,
     // --- RAL -------------------------------------------------------------
     /// `SET VARIABLE transaction_type = XA`
     SetVariable {
@@ -868,13 +880,16 @@ impl DistSqlStatement {
             | DropBroadcastTableRule { .. }
             | CreateReadwriteSplittingRule { .. }
             | AddResource { .. }
-            | DropResource { .. } => DistSqlLanguage::Rdl,
+            | DropResource { .. }
+            | CreateGlobalIndex { .. }
+            | DropGlobalIndex { .. } => DistSqlLanguage::Rdl,
             ShowShardingTableRules { .. }
             | ShowBindingTableRules
             | ShowBroadcastTableRules
             | ShowReadwriteSplittingRules
             | ShowResources
-            | ShowShardingAlgorithms => DistSqlLanguage::Rql,
+            | ShowShardingAlgorithms
+            | ShowGlobalIndexes => DistSqlLanguage::Rql,
             SetVariable { .. }
             | ShowVariable { .. }
             | ShowSqlPlanCacheStatus

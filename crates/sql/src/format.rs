@@ -499,6 +499,13 @@ impl Formatter {
             DistSqlStatement::ShowBroadcastTableRules => "SHOW BROADCAST TABLE RULES".into(),
             DistSqlStatement::ShowResources => "SHOW RESOURCES".into(),
             DistSqlStatement::ShowShardingAlgorithms => "SHOW SHARDING ALGORITHMS".into(),
+            DistSqlStatement::CreateGlobalIndex { table, column } => {
+                format!("CREATE GLOBAL INDEX ON {table} ({column})")
+            }
+            DistSqlStatement::DropGlobalIndex { table, column } => {
+                format!("DROP GLOBAL INDEX ON {table} ({column})")
+            }
+            DistSqlStatement::ShowGlobalIndexes => "SHOW GLOBAL INDEXES".into(),
             DistSqlStatement::SetVariable { name, value } => {
                 format!("SET VARIABLE {name} = {value}")
             }

@@ -93,7 +93,20 @@ impl Parser {
                     },
                 ));
             }
-            return Err(self.err("expected SHARDING, BROADCAST or READWRITE_SPLITTING"));
+            if self.at_kw("GLOBAL") {
+                self.advance();
+                self.expect_kw("INDEX")?;
+                self.expect_kw("ON")?;
+                let table = self.expect_ident()?;
+                let (table, column) = self.finish_global_index_target(table)?;
+                return Ok(Statement::DistSql(DistSqlStatement::CreateGlobalIndex {
+                    table,
+                    column,
+                }));
+            }
+            return Err(
+                self.err("expected SHARDING, BROADCAST, READWRITE_SPLITTING or GLOBAL INDEX")
+            );
         }
 
         if self.at_kw("DROP") {
@@ -136,7 +149,20 @@ impl Parser {
                 let name = self.expect_ident()?;
                 return Ok(Statement::DistSql(DistSqlStatement::DropResource { name }));
             }
-            return Err(self.err("expected SHARDING, BROADCAST or RESOURCE after DROP"));
+            if self.at_kw("GLOBAL") {
+                self.advance();
+                self.expect_kw("INDEX")?;
+                self.expect_kw("ON")?;
+                let table = self.expect_ident()?;
+                let (table, column) = self.finish_global_index_target(table)?;
+                return Ok(Statement::DistSql(DistSqlStatement::DropGlobalIndex {
+                    table,
+                    column,
+                }));
+            }
+            return Err(
+                self.err("expected SHARDING, BROADCAST, RESOURCE or GLOBAL INDEX after DROP")
+            );
         }
 
         if self.at_kw("ADD") {
@@ -248,6 +274,11 @@ impl Parser {
             if self.at_kw("SLOW_QUERIES") {
                 self.advance();
                 return Ok(Statement::DistSql(DistSqlStatement::ShowSlowQueries));
+            }
+            if self.at_kw("GLOBAL") {
+                self.advance();
+                self.expect_kw("INDEXES")?;
+                return Ok(Statement::DistSql(DistSqlStatement::ShowGlobalIndexes));
             }
             return Err(self.err("unsupported SHOW target"));
         }
@@ -462,6 +493,16 @@ impl Parser {
         Ok(spec)
     }
 
+    /// `ON <table> (<column>)` tail of CREATE/DROP GLOBAL INDEX (the table
+    /// name was already consumed).
+    fn finish_global_index_target(&mut self, table: String) -> Result<(String, String), SqlError> {
+        let columns = self.parse_paren_name_list()?;
+        if columns.len() != 1 {
+            return Err(self.err("a global index covers exactly one column"));
+        }
+        Ok((table, columns.into_iter().next().unwrap()))
+    }
+
     fn parse_paren_name_list(&mut self) -> Result<Vec<String>, SqlError> {
         self.expect(&TokenKind::LParen)?;
         let mut names = vec![self.expect_ident()?];
@@ -553,6 +594,31 @@ mod tests {
             distsql("SHOW SHARDING ALGORITHMS"),
             DistSqlStatement::ShowShardingAlgorithms
         );
+    }
+
+    #[test]
+    fn global_index_statements() {
+        assert_eq!(
+            distsql("CREATE GLOBAL INDEX ON t_order (email)"),
+            DistSqlStatement::CreateGlobalIndex {
+                table: "t_order".into(),
+                column: "email".into()
+            }
+        );
+        assert_eq!(
+            distsql("DROP GLOBAL INDEX ON t_order (email)"),
+            DistSqlStatement::DropGlobalIndex {
+                table: "t_order".into(),
+                column: "email".into()
+            }
+        );
+        assert_eq!(
+            distsql("SHOW GLOBAL INDEXES"),
+            DistSqlStatement::ShowGlobalIndexes
+        );
+        // A global index covers exactly one column.
+        assert!(parse_statement("CREATE GLOBAL INDEX ON t_order (a, b)").is_err());
+        assert!(parse_statement("CREATE GLOBAL INDEX ON t_order ()").is_err());
     }
 
     #[test]

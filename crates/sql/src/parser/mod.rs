@@ -282,6 +282,7 @@ impl Parser {
             || self.at_kw_n(1, "DATA_SOURCE")
             || self.at_kw_n(1, "METRICS")
             || self.at_kw_n(1, "SLOW_QUERIES")
+            || self.at_kw_n(1, "GLOBAL")
         {
             return self.parse_distsql();
         }
@@ -295,6 +296,7 @@ impl Parser {
         if self.at_kw_n(1, "SHARDING")
             || self.at_kw_n(1, "BROADCAST")
             || self.at_kw_n(1, "READWRITE_SPLITTING")
+            || self.at_kw_n(1, "GLOBAL")
         {
             return self.parse_distsql();
         }
@@ -315,6 +317,7 @@ impl Parser {
         if self.at_kw_n(1, "SHARDING")
             || self.at_kw_n(1, "RESOURCE")
             || self.at_kw_n(1, "BROADCAST")
+            || self.at_kw_n(1, "GLOBAL")
         {
             return self.parse_distsql();
         }

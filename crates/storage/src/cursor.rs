@@ -9,9 +9,14 @@
 //!   ORDER BY, otherwise in access-path order); each pull fetches, filters,
 //!   and projects exactly one row. The table lock is taken per pull and
 //!   never held across pulls, so a slow consumer cannot block writers.
+//! - **Grouped** — an incremental aggregate cursor: source rows are drained
+//!   through [`GroupedState`] accumulators on the first pull (per-row fault
+//!   points and lock-per-fetch like Scan), then the finished per-group rows
+//!   stream out. This is what partial-aggregate pushdown rides on — each
+//!   shard returns one row per group instead of its raw rows.
 //! - **Materialized** — a fallback wrapping the classic `execute_select`
 //!   output for statement shapes the incremental path cannot stream (joins,
-//!   grouping, aggregates, DISTINCT, un-indexed ORDER BY).
+//!   DISTINCT, un-indexed ORDER BY).
 //!
 //! The per-engine `rows_pulled` counter only counts rows fetched by the Scan
 //! shape, so tests asserting early LIMIT termination cannot pass by accident
@@ -19,7 +24,9 @@
 
 use crate::error::{Result, StorageError};
 use crate::eval::{eval_predicate, EvalContext, Scope};
-use crate::exec_select::{access_path, column_of, project_row, projection_columns, Catalog};
+use crate::exec_select::{
+    access_path, column_of, needs_grouping, project_row, projection_columns, Catalog, GroupedState,
+};
 use crate::fault::{FaultInjector, FaultOp};
 use crate::index::RowId;
 use crate::latency::LatencyModel;
@@ -40,6 +47,7 @@ pub struct QueryCursor {
 enum CursorInner {
     Materialized(std::vec::IntoIter<Vec<Value>>),
     Scan(Box<ScanCursor>),
+    Grouped(Box<GroupedScanCursor>),
 }
 
 impl QueryCursor {
@@ -58,7 +66,7 @@ impl QueryCursor {
     /// True when rows are produced incrementally from the table (not from a
     /// pre-materialized result set).
     pub fn is_streaming(&self) -> bool {
-        matches!(self.inner, CursorInner::Scan(_))
+        matches!(self.inner, CursorInner::Scan(_) | CursorInner::Grouped(_))
     }
 
     /// Pull the next row, or `None` when the cursor is exhausted.
@@ -66,6 +74,7 @@ impl QueryCursor {
         match &mut self.inner {
             CursorInner::Materialized(it) => Ok(it.next()),
             CursorInner::Scan(scan) => scan.next_row(),
+            CursorInner::Grouped(grouped) => grouped.next_row(),
         }
     }
 }
@@ -133,6 +142,64 @@ impl ScanCursor {
     }
 }
 
+/// Incremental grouped/aggregate cursor. The first pull drains the source
+/// rows through [`GroupedState`] (per-row fault point, lock-per-fetch, pull
+/// accounting — same discipline as [`ScanCursor`]), finishes the groups
+/// (HAVING / ORDER BY / projection / LIMIT), then streams the group rows.
+struct GroupedScanCursor {
+    table: Arc<RwLock<Table>>,
+    ids: std::vec::IntoIter<RowId>,
+    scope: Scope,
+    stmt: SelectStatement,
+    params: Vec<Value>,
+    state: Option<GroupedState>,
+    offset: u64,
+    limit: Option<u64>,
+    out: Option<std::vec::IntoIter<Vec<Value>>>,
+    pulled: Arc<AtomicU64>,
+    latency: LatencyModel,
+    faults: Arc<FaultInjector>,
+}
+
+impl GroupedScanCursor {
+    fn next_row(&mut self) -> Result<Option<Vec<Value>>> {
+        if self.out.is_none() {
+            // A prior pull errored mid-drain (the state is gone): stay done.
+            let Some(mut state) = self.state.take() else {
+                return Ok(None);
+            };
+            for id in self.ids.by_ref() {
+                // Mid-stream fault point, once per source-row pull — chaos
+                // tests inject here to kill a shard mid-aggregation.
+                self.faults.check(FaultOp::RowPull)?;
+                // Lock scope is one fetch, as in ScanCursor.
+                let row = { self.table.read().get(id).cloned() };
+                let Some(row) = row else { continue };
+                self.pulled.fetch_add(1, Ordering::Relaxed);
+                self.latency.charge_rows(1);
+                if let Some(pred) = &self.stmt.where_clause {
+                    let ctx = EvalContext::new(&self.scope, &row, &self.params);
+                    if !eval_predicate(pred, &ctx)? {
+                        continue;
+                    }
+                }
+                state.push(&self.stmt, &self.scope, &row, &self.params)?;
+            }
+            let rs = state.finish(&self.stmt, &self.scope, &self.params)?;
+            let mut rows = rs.rows;
+            if self.offset > 0 {
+                let skip = (self.offset as usize).min(rows.len());
+                rows.drain(..skip);
+            }
+            if let Some(lim) = self.limit {
+                rows.truncate(lim as usize);
+            }
+            self.out = Some(rows.into_iter());
+        }
+        Ok(self.out.as_mut().unwrap().next())
+    }
+}
+
 fn resolve_limit_value(
     v: Option<&LimitValue>,
     params: &[Value],
@@ -146,8 +213,9 @@ fn resolve_limit_value(
 }
 
 /// Try to open a true streaming cursor for `stmt`. Returns `Ok(None)` when
-/// the statement shape needs the materialized path (joins, grouping,
-/// aggregates, DISTINCT, or an ORDER BY no index can satisfy).
+/// the statement shape needs the materialized path (joins, DISTINCT, or an
+/// ORDER BY no index can satisfy). Grouped/aggregate statements stream via
+/// [`GroupedScanCursor`].
 pub(crate) fn try_open_streaming(
     catalog: &dyn Catalog,
     stmt: &SelectStatement,
@@ -159,12 +227,15 @@ pub(crate) fn try_open_streaming(
     let Some(from) = &stmt.from else {
         return Ok(None);
     };
-    if !stmt.joins.is_empty()
-        || !stmt.group_by.is_empty()
-        || stmt.distinct
-        || stmt.has_aggregates()
-        || stmt.having.is_some()
-    {
+    if !stmt.joins.is_empty() || stmt.distinct {
+        return Ok(None);
+    }
+    if needs_grouping(stmt) {
+        return open_grouped(catalog, stmt, params, pulled, latency, faults);
+    }
+    if stmt.having.is_some() {
+        // HAVING without aggregates or GROUP BY: the materialized path has
+        // its own quirky handling; keep both paths identical by falling back.
         return Ok(None);
     }
 
@@ -236,6 +307,62 @@ pub(crate) fn try_open_streaming(
             params: params.to_vec(),
             to_skip: offset,
             remaining: limit,
+            pulled,
+            latency,
+            faults,
+        })),
+    }))
+}
+
+/// Open a [`GroupedScanCursor`]. ORDER BY is evaluated over the finished
+/// groups inside [`GroupedState::finish`], so ids need no index order — the
+/// access path (or full scan) matches the materialized path's source order,
+/// keeping first-seen group order identical.
+fn open_grouped(
+    catalog: &dyn Catalog,
+    stmt: &SelectStatement,
+    params: &[Value],
+    pulled: Arc<AtomicU64>,
+    latency: LatencyModel,
+    faults: Arc<FaultInjector>,
+) -> Result<Option<QueryCursor>> {
+    let Some(from) = &stmt.from else {
+        return Ok(None);
+    };
+    let (offset, limit) = match &stmt.limit {
+        Some(lim) => (
+            resolve_limit_value(lim.offset.as_ref(), params, "OFFSET")?.unwrap_or(0),
+            resolve_limit_value(lim.limit.as_ref(), params, "LIMIT")?,
+        ),
+        None => (0, None),
+    };
+    let table = catalog.table(from.name.as_str())?;
+    let guard = table.read();
+    let scope = Scope::from_table(from.binding_name(), &guard.schema.column_names());
+    let columns = projection_columns(&stmt.projection, &scope)?;
+    let ids: Vec<RowId> = match access_path(
+        &guard,
+        from.binding_name(),
+        stmt.where_clause.as_ref(),
+        params,
+    ) {
+        Some(ids) => ids,
+        None => guard.scan().map(|(id, _)| id).collect(),
+    };
+    drop(guard);
+
+    Ok(Some(QueryCursor {
+        columns,
+        inner: CursorInner::Grouped(Box::new(GroupedScanCursor {
+            table,
+            ids: ids.into_iter(),
+            scope,
+            stmt: stmt.clone(),
+            params: params.to_vec(),
+            state: Some(GroupedState::new(stmt)),
+            offset,
+            limit,
+            out: None,
             pulled,
             latency,
             faults,
@@ -316,13 +443,52 @@ mod tests {
     }
 
     #[test]
-    fn aggregates_fall_back_to_materialized() {
+    fn aggregates_stream_via_grouped_cursor() {
         let e = engine_with_rows(10);
         let stmt = select("SELECT COUNT(*) FROM t");
         let cursor = e.open_cursor(&stmt, &[], None).unwrap();
-        assert!(!cursor.is_streaming());
+        assert!(cursor.is_streaming());
         let rows: Vec<_> = cursor.map(|r| r.unwrap()).collect();
         assert_eq!(rows, vec![vec![Value::Int(10)]]);
+    }
+
+    #[test]
+    fn group_by_streams_and_matches_materialized() {
+        let e = engine_with_rows(50);
+        let stmt = select(
+            "SELECT v, COUNT(*), SUM(id) FROM t WHERE id < 40 \
+             GROUP BY v HAVING COUNT(*) > 2 ORDER BY v",
+        );
+        let cursor = e.open_cursor(&stmt, &[], None).unwrap();
+        assert!(cursor.is_streaming());
+        let rows: Vec<_> = cursor.map(|r| r.unwrap()).collect();
+        let materialized = e
+            .execute(&Statement::Select(stmt), &[], None)
+            .unwrap()
+            .query();
+        assert_eq!(rows, materialized.rows);
+        assert!(!rows.is_empty());
+    }
+
+    #[test]
+    fn grouped_cursor_empty_input_yields_one_row() {
+        let e = engine_with_rows(5);
+        let stmt = select("SELECT COUNT(*), SUM(v), AVG(v), MIN(v) FROM t WHERE id > 100");
+        let cursor = e.open_cursor(&stmt, &[], None).unwrap();
+        assert!(cursor.is_streaming());
+        let rows: Vec<_> = cursor.map(|r| r.unwrap()).collect();
+        assert_eq!(
+            rows,
+            vec![vec![Value::Int(0), Value::Null, Value::Null, Value::Null]]
+        );
+    }
+
+    #[test]
+    fn joins_and_distinct_fall_back_to_materialized() {
+        let e = engine_with_rows(10);
+        let stmt = select("SELECT DISTINCT v FROM t");
+        let cursor = e.open_cursor(&stmt, &[], None).unwrap();
+        assert!(!cursor.is_streaming());
     }
 
     #[test]

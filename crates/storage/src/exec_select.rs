@@ -150,6 +150,12 @@ pub fn execute_select(
     Ok(out)
 }
 
+/// Whether the statement needs the grouped pipeline (mirrors the dispatch in
+/// [`execute_select`]); the grouped cursor uses the same test.
+pub(crate) fn needs_grouping(stmt: &SelectStatement) -> bool {
+    !stmt.group_by.is_empty() || stmt.has_aggregates() || having_has_aggregates(stmt)
+}
+
 fn having_has_aggregates(stmt: &SelectStatement) -> bool {
     stmt.having.as_ref().is_some_and(Expr::contains_aggregate)
 }
@@ -718,8 +724,11 @@ pub(crate) fn project_row(
 // Grouped execution
 // ---------------------------------------------------------------------------
 
-/// Aggregate accumulator for one (function-call, group) pair.
-enum Accumulator {
+/// Aggregate accumulator for one (function-call, group) pair. Public so the
+/// sharding kernel's raw-row merge path (the `agg_pushdown = off` ablation)
+/// reproduces these exact NULL/Int/Float semantics when it aggregates
+/// streamed raw rows itself.
+pub enum Accumulator {
     CountStar(i64),
     Count(i64),
     CountDistinct(std::collections::HashSet<Value>),
@@ -738,7 +747,7 @@ enum Accumulator {
 }
 
 impl Accumulator {
-    fn for_call(call: &FunctionCall) -> Accumulator {
+    pub fn for_call(call: &FunctionCall) -> Accumulator {
         match (call.name.as_str(), call.star, call.distinct) {
             ("COUNT", true, _) => Accumulator::CountStar(0),
             ("COUNT", false, true) => Accumulator::CountDistinct(Default::default()),
@@ -756,7 +765,7 @@ impl Accumulator {
         }
     }
 
-    fn update(&mut self, v: Option<Value>) {
+    pub fn update(&mut self, v: Option<Value>) {
         match self {
             Accumulator::CountStar(n) => *n += 1,
             Accumulator::Count(n) => {
@@ -830,7 +839,7 @@ impl Accumulator {
         }
     }
 
-    fn finish(self) -> Value {
+    pub fn finish(self) -> Value {
         match self {
             Accumulator::CountStar(n) | Accumulator::Count(n) => Value::Int(n),
             Accumulator::CountDistinct(set) => Value::Int(set.len() as i64),
@@ -872,62 +881,77 @@ impl Accumulator {
     }
 }
 
-fn execute_grouped(
-    stmt: &SelectStatement,
-    scope: &Scope,
-    rows: Vec<Vec<Value>>,
-    params: &[Value],
-) -> Result<ResultSet> {
-    // Collect every aggregate call appearing anywhere in the statement.
-    let mut agg_calls: Vec<FunctionCall> = Vec::new();
-    let mut push_aggs = |e: &Expr| {
-        e.walk(&mut |x| {
-            if let Expr::Function(f) = x {
-                if f.is_aggregate() {
-                    let key = format_expr(&Expr::Function(f.clone()), Dialect::Standard);
-                    if !agg_calls
-                        .iter()
-                        .any(|c| format_expr(&Expr::Function(c.clone()), Dialect::Standard) == key)
-                    {
-                        agg_calls.push(f.clone());
+struct Group {
+    first_row: Vec<Value>,
+    accs: Vec<Accumulator>,
+}
+
+/// Incremental grouped-execution state: rows are pushed one at a time (the
+/// grouped streaming cursor feeds it per pull), then [`GroupedState::finish`]
+/// applies HAVING / ORDER BY / projection. [`execute_grouped`] is the
+/// materialized wrapper that pushes a pre-collected row set.
+pub(crate) struct GroupedState {
+    agg_calls: Vec<FunctionCall>,
+    groups: Vec<Group>,
+    group_of: HashMap<Vec<Value>, usize>,
+}
+
+impl GroupedState {
+    pub(crate) fn new(stmt: &SelectStatement) -> Self {
+        // Collect every aggregate call appearing anywhere in the statement.
+        let mut agg_calls: Vec<FunctionCall> = Vec::new();
+        let mut push_aggs = |e: &Expr| {
+            e.walk(&mut |x| {
+                if let Expr::Function(f) = x {
+                    if f.is_aggregate() {
+                        let key = format_expr(&Expr::Function(f.clone()), Dialect::Standard);
+                        if !agg_calls.iter().any(|c| {
+                            format_expr(&Expr::Function(c.clone()), Dialect::Standard) == key
+                        }) {
+                            agg_calls.push(f.clone());
+                        }
                     }
                 }
+            });
+        };
+        for item in &stmt.projection {
+            if let SelectItem::Expr { expr, .. } = item {
+                push_aggs(expr);
             }
-        });
-    };
-    for item in &stmt.projection {
-        if let SelectItem::Expr { expr, .. } = item {
-            push_aggs(expr);
+        }
+        if let Some(h) = &stmt.having {
+            push_aggs(h);
+        }
+        for o in &stmt.order_by {
+            push_aggs(&o.expr);
+        }
+        GroupedState {
+            agg_calls,
+            groups: Vec::new(),
+            group_of: HashMap::new(),
         }
     }
-    if let Some(h) = &stmt.having {
-        push_aggs(h);
-    }
-    for o in &stmt.order_by {
-        push_aggs(&o.expr);
-    }
 
-    // Group rows.
-    struct Group {
-        first_row: Vec<Value>,
-        accs: Vec<Accumulator>,
-    }
-    let mut groups: Vec<Group> = Vec::new();
-    let mut group_of: HashMap<Vec<Value>, usize> = HashMap::new();
-
-    for row in &rows {
+    /// Fold one (WHERE-filtered) source row into its group's accumulators.
+    pub(crate) fn push(
+        &mut self,
+        stmt: &SelectStatement,
+        scope: &Scope,
+        row: &[Value],
+        params: &[Value],
+    ) -> Result<()> {
         let ctx = EvalContext::new(scope, row, params);
         let key: Result<Vec<Value>> = stmt.group_by.iter().map(|e| eval(e, &ctx)).collect();
         let key = key?;
-        let gidx = *group_of.entry(key).or_insert_with(|| {
-            groups.push(Group {
-                first_row: row.clone(),
-                accs: agg_calls.iter().map(Accumulator::for_call).collect(),
+        let gidx = *self.group_of.entry(key).or_insert_with(|| {
+            self.groups.push(Group {
+                first_row: row.to_vec(),
+                accs: self.agg_calls.iter().map(Accumulator::for_call).collect(),
             });
-            groups.len() - 1
+            self.groups.len() - 1
         });
-        let g = &mut groups[gidx];
-        for (acc, call) in g.accs.iter_mut().zip(&agg_calls) {
+        let g = &mut self.groups[gidx];
+        for (acc, call) in g.accs.iter_mut().zip(&self.agg_calls) {
             let v = if call.star {
                 None
             } else {
@@ -936,87 +960,115 @@ fn execute_grouped(
             };
             acc.update(v);
         }
+        Ok(())
     }
 
-    // Aggregates over an empty input with no GROUP BY yield one row.
-    if groups.is_empty() && stmt.group_by.is_empty() {
-        groups.push(Group {
-            first_row: vec![Value::Null; scope.len()],
-            accs: agg_calls.iter().map(Accumulator::for_call).collect(),
-        });
-    }
+    /// Finish the accumulators and run HAVING, ORDER BY and projection.
+    pub(crate) fn finish(
+        self,
+        stmt: &SelectStatement,
+        scope: &Scope,
+        params: &[Value],
+    ) -> Result<ResultSet> {
+        let GroupedState {
+            agg_calls,
+            mut groups,
+            ..
+        } = self;
 
-    // Finish accumulators into per-group aggregate maps.
-    let mut group_rows: Vec<Vec<Value>> = Vec::with_capacity(groups.len());
-    let mut group_aggs: Vec<HashMap<String, Value>> = Vec::with_capacity(groups.len());
-    for g in groups {
-        let mut map = HashMap::new();
-        for (acc, call) in g.accs.into_iter().zip(&agg_calls) {
-            let key = format_expr(&Expr::Function(call.clone()), Dialect::Standard);
-            map.insert(key, acc.finish());
+        // Aggregates over an empty input with no GROUP BY yield one row.
+        if groups.is_empty() && stmt.group_by.is_empty() {
+            groups.push(Group {
+                first_row: vec![Value::Null; scope.len()],
+                accs: agg_calls.iter().map(Accumulator::for_call).collect(),
+            });
         }
-        group_rows.push(g.first_row);
-        group_aggs.push(map);
-    }
 
-    // HAVING filter.
-    if let Some(h) = &stmt.having {
-        let mut kept_rows = Vec::new();
-        let mut kept_aggs = Vec::new();
-        for (row, aggs) in group_rows.into_iter().zip(group_aggs) {
-            let mut ctx = EvalContext::new(scope, &row, params);
-            ctx.aggregates = Some(&aggs);
-            if eval_predicate(h, &ctx)? {
-                kept_rows.push(row);
-                kept_aggs.push(aggs);
+        // Finish accumulators into per-group aggregate maps.
+        let mut group_rows: Vec<Vec<Value>> = Vec::with_capacity(groups.len());
+        let mut group_aggs: Vec<HashMap<String, Value>> = Vec::with_capacity(groups.len());
+        for g in groups {
+            let mut map = HashMap::new();
+            for (acc, call) in g.accs.into_iter().zip(&agg_calls) {
+                let key = format_expr(&Expr::Function(call.clone()), Dialect::Standard);
+                map.insert(key, acc.finish());
             }
+            group_rows.push(g.first_row);
+            group_aggs.push(map);
         }
-        group_rows = kept_rows;
-        group_aggs = kept_aggs;
-    }
 
-    // ORDER BY over groups (may reference aggregates).
-    if !stmt.order_by.is_empty() {
-        type KeyedGroup = (Vec<Value>, Vec<Value>, HashMap<String, Value>);
-        let mut keyed: Vec<KeyedGroup> = Vec::new();
-        for (row, aggs) in group_rows.into_iter().zip(group_aggs) {
-            let mut key = Vec::with_capacity(stmt.order_by.len());
-            for item in &stmt.order_by {
+        // HAVING filter.
+        if let Some(h) = &stmt.having {
+            let mut kept_rows = Vec::new();
+            let mut kept_aggs = Vec::new();
+            for (row, aggs) in group_rows.into_iter().zip(group_aggs) {
                 let mut ctx = EvalContext::new(scope, &row, params);
                 ctx.aggregates = Some(&aggs);
-                key.push(eval(&item.expr, &ctx)?);
-            }
-            keyed.push((key, row, aggs));
-        }
-        keyed.sort_by(|(ka, _, _), (kb, _, _)| {
-            for (i, item) in stmt.order_by.iter().enumerate() {
-                let ord = ka[i].total_cmp(&kb[i]);
-                let ord = if item.desc { ord.reverse() } else { ord };
-                if ord != std::cmp::Ordering::Equal {
-                    return ord;
+                if eval_predicate(h, &ctx)? {
+                    kept_rows.push(row);
+                    kept_aggs.push(aggs);
                 }
             }
-            std::cmp::Ordering::Equal
-        });
-        group_rows = Vec::with_capacity(keyed.len());
-        group_aggs = Vec::with_capacity(keyed.len());
-        for (_, row, aggs) in keyed {
-            group_rows.push(row);
-            group_aggs.push(aggs);
+            group_rows = kept_rows;
+            group_aggs = kept_aggs;
         }
-    }
 
-    // Project each group.
-    let columns = projection_columns(&stmt.projection, scope)?;
-    let mut out_rows = Vec::with_capacity(group_rows.len());
-    for (row, aggs) in group_rows.iter().zip(&group_aggs) {
-        out_rows.push(project_row(
-            &stmt.projection,
-            scope,
-            row,
-            params,
-            Some(aggs),
-        )?);
+        // ORDER BY over groups (may reference aggregates).
+        if !stmt.order_by.is_empty() {
+            type KeyedGroup = (Vec<Value>, Vec<Value>, HashMap<String, Value>);
+            let mut keyed: Vec<KeyedGroup> = Vec::new();
+            for (row, aggs) in group_rows.into_iter().zip(group_aggs) {
+                let mut key = Vec::with_capacity(stmt.order_by.len());
+                for item in &stmt.order_by {
+                    let mut ctx = EvalContext::new(scope, &row, params);
+                    ctx.aggregates = Some(&aggs);
+                    key.push(eval(&item.expr, &ctx)?);
+                }
+                keyed.push((key, row, aggs));
+            }
+            keyed.sort_by(|(ka, _, _), (kb, _, _)| {
+                for (i, item) in stmt.order_by.iter().enumerate() {
+                    let ord = ka[i].total_cmp(&kb[i]);
+                    let ord = if item.desc { ord.reverse() } else { ord };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            group_rows = Vec::with_capacity(keyed.len());
+            group_aggs = Vec::with_capacity(keyed.len());
+            for (_, row, aggs) in keyed {
+                group_rows.push(row);
+                group_aggs.push(aggs);
+            }
+        }
+
+        // Project each group.
+        let columns = projection_columns(&stmt.projection, scope)?;
+        let mut out_rows = Vec::with_capacity(group_rows.len());
+        for (row, aggs) in group_rows.iter().zip(&group_aggs) {
+            out_rows.push(project_row(
+                &stmt.projection,
+                scope,
+                row,
+                params,
+                Some(aggs),
+            )?);
+        }
+        Ok(ResultSet::new(columns, out_rows))
     }
-    Ok(ResultSet::new(columns, out_rows))
+}
+
+fn execute_grouped(
+    stmt: &SelectStatement,
+    scope: &Scope,
+    rows: Vec<Vec<Value>>,
+    params: &[Value],
+) -> Result<ResultSet> {
+    let mut state = GroupedState::new(stmt);
+    for row in &rows {
+        state.push(stmt, scope, row, params)?;
+    }
+    state.finish(stmt, scope, params)
 }

@@ -20,6 +20,12 @@ cargo bench --workspace --no-run
 echo "==> cargo bench -p shard-bench --bench writes -- --test"
 timeout 600 cargo bench -p shard-bench --bench writes -- --test
 
+# Routing smoke: the routing bench doubles as an integration test of the
+# GSI-narrowed point lookup and the partial-aggregate pushdown path against
+# their ablation knobs (each bench arm asserts its result rows).
+echo "==> cargo bench -p shard-bench --bench routing -- --test"
+timeout 600 cargo bench -p shard-bench --bench routing -- --test
+
 # Chaos gate: the deterministic fault-matrix run (fixed seed baked into the
 # tests). The scenario has its own in-test watchdog, so a hung thread fails
 # the step instead of wedging CI; `timeout` is a second line of defence.
