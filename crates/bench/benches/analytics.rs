@@ -1,0 +1,193 @@
+//! ClickBench-style analytics microbenchmarks: the vectorized batch-scan
+//! path against its `SET batch_scan = off` row-cursor ablation on the same
+//! wide event table.
+//!
+//! * Full-table GROUP BY with a five-aggregate projection: per-shard
+//!   partials computed over columnar batches (projection pushdown reads 4
+//!   of 12 columns, aggregates run in tight per-column loops) vs the
+//!   row-at-a-time grouped cursor.
+//! * Full-table multi-aggregate without GROUP BY: the ungrouped columnar
+//!   fast paths (`COUNT(*)` adds batch lengths, `COUNT(col)` subtracts
+//!   null counts from the bitmap).
+//! * Zipfian / hotspot point reads (keydist generators): skewed key
+//!   traffic routes per-shard and stays on the row path — the bench pins
+//!   the baseline that batch admission must not regress.
+//!
+//! Setup asserts byte-identical results between the two modes before any
+//! timing. `scripts/check.sh` runs this bench with `--test` as a smoke
+//! gate; BENCH_analytics.json records the calibrated medians.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shard_bench::keydist::{Hotspot, KeyDist, Zipfian};
+use shard_core::{Session, ShardingRuntime};
+use shard_storage::StorageEngine;
+use std::sync::Arc;
+
+const SHARDS: usize = 4;
+const ROWS: i64 = 20_000;
+const REGIONS: i64 = 6;
+
+/// Two data sources, four `t_hits` shards, a 12-column ClickBench-flavoured
+/// event table: wide enough that projection pushdown matters, NULL-bearing
+/// so the bitmap paths are exercised under timing.
+fn sharded_runtime() -> Arc<ShardingRuntime> {
+    let runtime = ShardingRuntime::builder()
+        .datasource("ds_0", StorageEngine::new("ds_0"))
+        .datasource("ds_1", StorageEngine::new("ds_1"))
+        .build();
+    let mut s = runtime.session();
+    s.execute_sql(
+        &format!(
+            "CREATE SHARDING TABLE RULE t_hits (RESOURCES(ds_0, ds_1), \
+             SHARDING_COLUMN=event_id, TYPE=mod, PROPERTIES(\"sharding-count\"={SHARDS}))"
+        ),
+        &[],
+    )
+    .unwrap();
+    s.execute_sql(
+        "CREATE TABLE t_hits (event_id BIGINT PRIMARY KEY, user_id BIGINT, \
+         url VARCHAR(128), referer VARCHAR(128), title VARCHAR(128), \
+         search_phrase VARCHAR(128), os VARCHAR(16), browser VARCHAR(16), \
+         lang VARCHAR(8), region VARCHAR(16), city VARCHAR(32), \
+         ip VARCHAR(16), duration_ms INT, bytes_sent BIGINT, clicks INT, \
+         scroll_depth INT, width INT, height INT, price DOUBLE, is_mobile INT)",
+        &[],
+    )
+    .unwrap();
+    // Multi-row literal INSERTs keep setup off the per-statement floor.
+    let mut batch = Vec::with_capacity(250);
+    for id in 0..ROWS {
+        let referer = if id % 4 == 0 {
+            "NULL".to_string()
+        } else {
+            format!("'https://ref{}.example.com'", id % 97)
+        };
+        let duration = if id % 5 == 0 {
+            "NULL".to_string()
+        } else {
+            format!("{}", (id * 37) % 30_000)
+        };
+        batch.push(format!(
+            "({id}, {user}, '/page/{path}', {referer}, 'Article {title} about sharding', \
+             'how to shard query {phrase}', 'os{os}', 'b{browser}', 'l{lang}', \
+             'r{region}', 'city{city}', '10.0.{ipa}.{ipb}', {duration}, {bytes}, \
+             {clicks}, {scroll}, {width}, {height}, {price:.2}, {mobile})",
+            user = id % 5_000,
+            path = id % 513,
+            title = id % 701,
+            phrase = id % 293,
+            os = id % 5,
+            browser = id % 7,
+            lang = id % 11,
+            region = id % REGIONS,
+            city = id % 127,
+            ipa = id % 256,
+            ipb = (id * 7) % 256,
+            bytes = (id * 211) % 1_000_000,
+            clicks = id % 13,
+            scroll = id % 101,
+            width = 320 + (id % 17) * 100,
+            height = 240 + (id % 13) * 100,
+            price = ((id * 31) % 10_000) as f64 / 100.0,
+            mobile = id % 2,
+        ));
+        if batch.len() == 250 {
+            s.execute_sql(
+                &format!(
+                    "INSERT INTO t_hits (event_id, user_id, url, referer, title, \
+                     search_phrase, os, browser, lang, region, city, ip, duration_ms, \
+                     bytes_sent, clicks, scroll_depth, width, height, price, is_mobile) \
+                     VALUES {}",
+                    batch.join(", ")
+                ),
+                &[],
+            )
+            .unwrap();
+            batch.clear();
+        }
+    }
+    runtime
+}
+
+const GROUP_BY_SQL: &str = "SELECT region, COUNT(*), SUM(bytes_sent), AVG(duration_ms), \
+     MIN(price), MAX(price) FROM t_hits GROUP BY region ORDER BY region";
+const FULL_AGG_SQL: &str =
+    "SELECT COUNT(*), COUNT(referer), SUM(clicks), AVG(price), MAX(bytes_sent) FROM t_hits";
+
+fn group_by(s: &mut Session) {
+    let rs = s.execute_sql(GROUP_BY_SQL, &[]).unwrap().query();
+    assert_eq!(rs.rows.len(), REGIONS as usize);
+}
+
+fn full_agg(s: &mut Session) {
+    let rs = s.execute_sql(FULL_AGG_SQL, &[]).unwrap().query();
+    assert_eq!(rs.rows.len(), 1);
+}
+
+fn point_read(s: &mut Session, key: i64) {
+    let rs = s
+        .execute_sql(
+            &format!("SELECT event_id, duration_ms, price FROM t_hits WHERE event_id = {key}"),
+            &[],
+        )
+        .unwrap()
+        .query();
+    assert_eq!(rs.rows.len(), 1);
+}
+
+/// Both modes must produce byte-identical result sets before timing means
+/// anything — the same guarantee the equivalence-matrix tests enforce.
+fn assert_modes_agree(batch: &Arc<ShardingRuntime>, row: &Arc<ShardingRuntime>) {
+    let mut sb = batch.session();
+    let mut sr = row.session();
+    for sql in [GROUP_BY_SQL, FULL_AGG_SQL] {
+        let b = sb.execute_sql(sql, &[]).unwrap().query();
+        let r = sr.execute_sql(sql, &[]).unwrap().query();
+        assert_eq!(b.columns, r.columns, "column mismatch for {sql}");
+        assert_eq!(b.rows, r.rows, "row mismatch for {sql}");
+    }
+}
+
+fn bench_analytics(c: &mut Criterion) {
+    let batch = sharded_runtime();
+    let row = sharded_runtime();
+    row.session()
+        .execute_sql("SET VARIABLE batch_scan = off", &[])
+        .unwrap();
+    assert_modes_agree(&batch, &row);
+
+    let mut g = c.benchmark_group("analytics");
+    g.sample_size(20);
+
+    let mut s_batch = batch.session();
+    g.bench_function("groupby_batch", |b| b.iter(|| group_by(&mut s_batch)));
+    let mut s_row = row.session();
+    s_row
+        .execute_sql("SET VARIABLE batch_scan = off", &[])
+        .unwrap();
+    g.bench_function("groupby_row", |b| b.iter(|| group_by(&mut s_row)));
+
+    g.bench_function("full_agg_batch", |b| b.iter(|| full_agg(&mut s_batch)));
+    g.bench_function("full_agg_row", |b| b.iter(|| full_agg(&mut s_row)));
+    g.finish();
+
+    // Skewed point-read traffic (keydist generators): stays on the row
+    // path by admission — batch scan must not tax the OLTP baseline.
+    let mut g = c.benchmark_group("analytics_reads");
+    g.sample_size(30);
+    let mut s_reads = batch.session();
+
+    let mut zipf = Zipfian::new(ROWS as u64, 0x5eed);
+    g.bench_function("point_read_zipfian", |b| {
+        b.iter(|| point_read(&mut s_reads, zipf.next_key() as i64))
+    });
+
+    let mut hot = Hotspot::new(ROWS as u64, 0.1, 0.9, 0x5eed);
+    g.bench_function("point_read_hotspot", |b| {
+        b.iter(|| point_read(&mut s_reads, hot.next_key() as i64))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_analytics);
+criterion_main!(benches);

@@ -1,0 +1,230 @@
+//! YCSB-style key-distribution generators for workload diversity.
+//!
+//! The Sysbench/TPC-C generators in this crate pick keys uniformly; real
+//! workloads skew. The two classic YCSB skews are reproduced here so bench
+//! scenarios can model them:
+//!
+//! - [`Zipfian`] — the YCSB `ZipfianGenerator` (Gray et al.'s method):
+//!   item *i* is drawn with probability proportional to `1 / i^theta`.
+//!   The default `theta = 0.99` matches YCSB's constant.
+//! - [`Hotspot`] — a fraction of the keyspace (the hot set) receives a
+//!   fixed fraction of the operations; the rest are uniform over the cold
+//!   set. YCSB's `HotspotIntegerGenerator`.
+//! - [`Uniform`] — the plain baseline, for symmetry in arm tables.
+//!
+//! All generators are deterministic given the RNG passed in, so benches can
+//! replay identical key sequences across ablation arms.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A key-picking distribution over `0..n`.
+pub trait KeyDist {
+    /// Draw the next key in `0..n`.
+    fn next_key(&mut self) -> u64;
+    /// Number of distinct keys this generator draws from.
+    fn key_count(&self) -> u64;
+}
+
+/// Uniform over `0..n` — the no-skew baseline.
+pub struct Uniform {
+    n: u64,
+    rng: SmallRng,
+}
+
+impl Uniform {
+    pub fn new(n: u64, seed: u64) -> Self {
+        Uniform {
+            n: n.max(1),
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl KeyDist for Uniform {
+    fn next_key(&mut self) -> u64 {
+        self.rng.gen_range(0..self.n)
+    }
+
+    fn key_count(&self) -> u64 {
+        self.n
+    }
+}
+
+/// YCSB zipfian: rank-r item drawn with probability ∝ `1 / r^theta`.
+///
+/// Uses the closed-form inverse-CDF approximation from Gray et al.
+/// ("Quickly generating billion-record synthetic databases"), the same
+/// method YCSB implements: one `zeta(n, theta)` precomputation at
+/// construction, O(1) per draw afterwards.
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zeta_n: f64,
+    eta: f64,
+    rng: SmallRng,
+}
+
+impl Zipfian {
+    /// YCSB's default skew constant.
+    pub const YCSB_THETA: f64 = 0.99;
+
+    pub fn new(n: u64, seed: u64) -> Self {
+        Self::with_theta(n, Self::YCSB_THETA, seed)
+    }
+
+    pub fn with_theta(n: u64, theta: f64, seed: u64) -> Self {
+        let n = n.max(1);
+        let zeta_n = Self::zeta(n, theta);
+        let zeta_2 = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta_2 / zeta_n);
+        Zipfian {
+            n,
+            theta,
+            alpha,
+            zeta_n,
+            eta,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Generalized harmonic number `H_{n,theta}`.
+    fn zeta(n: u64, theta: f64) -> f64 {
+        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    }
+
+    /// The probability mass of the most popular key (diagnostics: how hot
+    /// is the hottest shard going to be).
+    pub fn hottest_key_probability(&self) -> f64 {
+        1.0 / self.zeta_n
+    }
+
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+}
+
+impl KeyDist for Zipfian {
+    fn next_key(&mut self) -> u64 {
+        let u: f64 = self.rng.gen_range(0.0..1.0);
+        let uz = u * self.zeta_n;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
+
+    fn key_count(&self) -> u64 {
+        self.n
+    }
+}
+
+/// YCSB hotspot: `hot_fraction` of the keyspace receives `hot_op_fraction`
+/// of the draws; the cold remainder is uniform.
+pub struct Hotspot {
+    n: u64,
+    hot_keys: u64,
+    hot_op_fraction: f64,
+    rng: SmallRng,
+}
+
+impl Hotspot {
+    pub fn new(n: u64, hot_fraction: f64, hot_op_fraction: f64, seed: u64) -> Self {
+        let n = n.max(1);
+        let hot_keys = ((n as f64 * hot_fraction) as u64).clamp(1, n);
+        Hotspot {
+            n,
+            hot_keys,
+            hot_op_fraction: hot_op_fraction.clamp(0.0, 1.0),
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    pub fn hot_keys(&self) -> u64 {
+        self.hot_keys
+    }
+}
+
+impl KeyDist for Hotspot {
+    fn next_key(&mut self) -> u64 {
+        if self.rng.gen_range(0.0..1.0) < self.hot_op_fraction {
+            self.rng.gen_range(0..self.hot_keys)
+        } else if self.hot_keys < self.n {
+            self.rng.gen_range(self.hot_keys..self.n)
+        } else {
+            self.rng.gen_range(0..self.n)
+        }
+    }
+
+    fn key_count(&self) -> u64 {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn histogram(dist: &mut dyn KeyDist, draws: usize) -> Vec<u64> {
+        let mut h = vec![0u64; dist.key_count() as usize];
+        for _ in 0..draws {
+            h[dist.next_key() as usize] += 1;
+        }
+        h
+    }
+
+    #[test]
+    fn zipfian_skews_toward_low_ranks() {
+        let mut z = Zipfian::new(1000, 42);
+        let h = histogram(&mut z, 50_000);
+        let head: u64 = h[..10].iter().sum();
+        let tail: u64 = h[990..].iter().sum();
+        // With theta=0.99 the top-10 keys dwarf the bottom-10.
+        assert!(
+            head > tail * 20,
+            "zipfian not skewed: head={head} tail={tail}"
+        );
+        // Every key remains reachable in principle; bounds hold.
+        assert!(h.iter().sum::<u64>() == 50_000);
+    }
+
+    #[test]
+    fn zipfian_is_deterministic_per_seed() {
+        let mut a = Zipfian::new(500, 7);
+        let mut b = Zipfian::new(500, 7);
+        let seq_a: Vec<u64> = (0..100).map(|_| a.next_key()).collect();
+        let seq_b: Vec<u64> = (0..100).map(|_| b.next_key()).collect();
+        assert_eq!(seq_a, seq_b);
+        let mut c = Zipfian::new(500, 8);
+        let seq_c: Vec<u64> = (0..100).map(|_| c.next_key()).collect();
+        assert_ne!(seq_a, seq_c, "different seeds should diverge");
+    }
+
+    #[test]
+    fn hotspot_concentrates_on_the_hot_set() {
+        // 10% of keys get 90% of operations.
+        let mut hs = Hotspot::new(1000, 0.1, 0.9, 42);
+        let h = histogram(&mut hs, 50_000);
+        let hot: u64 = h[..100].iter().sum();
+        let frac = hot as f64 / 50_000.0;
+        assert!(
+            (0.85..=0.95).contains(&frac),
+            "hot fraction {frac} out of band"
+        );
+    }
+
+    #[test]
+    fn uniform_covers_the_keyspace_evenly() {
+        let mut u = Uniform::new(100, 42);
+        let h = histogram(&mut u, 100_000);
+        let (min, max) = (h.iter().min().unwrap(), h.iter().max().unwrap());
+        assert!(*min > 0, "some key never drawn");
+        assert!(*max < 2 * *min, "uniform too lumpy: min={min} max={max}");
+    }
+}

@@ -319,6 +319,33 @@ impl ExecutorEngine {
                 if tx.send(RowMsg::Columns(cursor.columns().to_vec())).is_err() {
                     return;
                 }
+                // Vectorized cursors produce in columnar batches already, so
+                // rows go over the channel in chunks from the first pull —
+                // the single-row warmup only helps row-at-a-time cursors
+                // deliver an early LIMIT before a chunk fills, and batch
+                // admission excludes plain LIMIT scans.
+                if cursor.is_batch() {
+                    loop {
+                        if cancel.is_cancelled() {
+                            break;
+                        }
+                        match cursor.next_rows(ROW_BATCH) {
+                            Ok(rows) if rows.is_empty() => break,
+                            Ok(rows) => {
+                                if tx.send(RowMsg::Batch(rows)).is_err() {
+                                    return;
+                                }
+                            }
+                            Err(e) => {
+                                cancel.cancel();
+                                let _ = tx.send(RowMsg::Err(KernelError::Storage(e)));
+                                return;
+                            }
+                        }
+                    }
+                    let _ = tx.send(RowMsg::End);
+                    return;
+                }
                 let mut sent = 0usize;
                 let mut batch: Vec<Vec<Value>> = Vec::new();
                 loop {

@@ -140,6 +140,7 @@ mod tests {
             units: Vec::new(),
             merger: None,
             route_strategy: None,
+            scan_mode: None,
             rows: 0,
         }
     }

@@ -75,6 +75,9 @@ pub struct StatementTrace {
     /// Routing-intelligence verdict (index-route / aggregate-pushdown /
     /// colocated / scatter), when the statement was routed.
     pub route_strategy: Option<String>,
+    /// Storage scan path the per-shard statements take (`batch` = vectorized
+    /// columnar, `row` = row-at-a-time), when the statement scans.
+    pub scan_mode: Option<String>,
     /// Rows in the final (merged, decrypted) result.
     pub rows: u64,
 }
@@ -100,7 +103,11 @@ impl StatementTrace {
             let elbow = if last_stage { "└─" } else { "├─" };
             let mut line = format!("{elbow} {:<8} {us}us", stage.as_str());
             match stage {
-                Stage::Route if !self.units.is_empty() || self.route_strategy.is_some() => {
+                Stage::Route
+                    if !self.units.is_empty()
+                        || self.route_strategy.is_some()
+                        || self.scan_mode.is_some() =>
+                {
                     line.push(' ');
                     line.push('[');
                     let mut first = true;
@@ -113,6 +120,13 @@ impl StatementTrace {
                             line.push(' ');
                         }
                         line.push_str(&format!("route_strategy={s}"));
+                        first = false;
+                    }
+                    if let Some(m) = &self.scan_mode {
+                        if !first {
+                            line.push(' ');
+                        }
+                        line.push_str(&format!("scan_mode={m}"));
                     }
                     line.push(']');
                 }
@@ -150,6 +164,7 @@ pub struct TraceContext {
     units: Vec<UnitSpan>,
     merger: Option<String>,
     route_strategy: Option<String>,
+    scan_mode: Option<String>,
     rows: u64,
 }
 
@@ -169,6 +184,7 @@ impl TraceContext {
             units: Vec::new(),
             merger: None,
             route_strategy: None,
+            scan_mode: None,
             rows: 0,
         }
     }
@@ -222,6 +238,10 @@ impl TraceContext {
         self.route_strategy = strategy;
     }
 
+    pub fn set_scan_mode(&mut self, mode: Option<String>) {
+        self.scan_mode = mode;
+    }
+
     pub fn set_rows(&mut self, rows: u64) {
         self.rows = rows;
     }
@@ -235,6 +255,7 @@ impl TraceContext {
             units: self.units,
             merger: self.merger,
             route_strategy: self.route_strategy,
+            scan_mode: self.scan_mode,
             rows: self.rows,
         }
     }
@@ -285,6 +306,7 @@ mod tests {
             ],
             merger: Some("OrderBy".into()),
             route_strategy: Some("scatter".into()),
+            scan_mode: Some("row".into()),
             rows: 3,
         };
         let lines = trace.render();
@@ -292,7 +314,8 @@ mod tests {
         assert!(lines[0].contains("total=120us"));
         assert!(lines
             .iter()
-            .any(|l| l.contains("route") && l.contains("[units=2 route_strategy=scatter]")));
+            .any(|l| l.contains("route")
+                && l.contains("[units=2 route_strategy=scatter scan_mode=row]")));
         assert!(lines.iter().any(|l| l.contains("ds_0.t_0 40us rows=3")));
         assert!(lines.iter().any(|l| l.contains("ds_1.t_1 38us rows=3")));
         let merge_line = lines.last().unwrap();

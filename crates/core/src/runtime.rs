@@ -35,7 +35,7 @@ use crate::transaction::{
 use parking_lot::RwLock;
 use shard_sql::ast::{Expr, Statement, StatementCategory};
 use shard_sql::Value;
-use shard_storage::{ExecuteResult, ResultSet, StorageEngine, TxnId};
+use shard_storage::{batch_admissible, ExecuteResult, ResultSet, StorageEngine, TxnId};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -80,6 +80,9 @@ pub struct ShardingRuntime {
     /// `SET agg_pushdown = off`: ship raw rows to the merger instead of
     /// per-shard partial aggregates (the ablation baseline).
     agg_pushdown: std::sync::atomic::AtomicBool,
+    /// `SET batch_scan = off`: restore the row-at-a-time scan cursors in
+    /// every storage engine (the vectorized path's ablation baseline).
+    batch_scan: std::sync::atomic::AtomicBool,
     /// Central instrument registry (`SHOW METRICS`, proxy `/metrics`).
     pub(crate) metrics_registry: Arc<MetricsRegistry>,
     /// The kernel's named instruments (hot-path handles into the registry).
@@ -144,9 +147,10 @@ impl ShardingRuntime {
     }
 
     pub fn add_datasource(&self, name: &str, engine: Arc<StorageEngine>, pool: usize) {
-        // Late-joining sources inherit the runtime's write-path settings.
+        // Late-joining sources inherit the runtime's write/scan settings.
         engine.set_batch_writes(self.batch_writes.load(Ordering::Relaxed));
         engine.set_group_commit_window(self.group_commit_window_us.load(Ordering::Relaxed));
+        engine.set_batch_scan(self.batch_scan.load(Ordering::Relaxed));
         let ds = Arc::new(DataSource::new(name, engine, pool));
         {
             // Copy-on-write: topology changes are rare, reads are per
@@ -287,6 +291,19 @@ impl ShardingRuntime {
 
     pub fn agg_pushdown(&self) -> bool {
         self.agg_pushdown.load(Ordering::Relaxed)
+    }
+
+    /// Toggle the vectorized batch-scan path on every registered engine
+    /// (`SET batch_scan`; on by default, off = row-cursor ablation arm).
+    pub fn set_batch_scan(&self, enabled: bool) {
+        self.batch_scan.store(enabled, Ordering::Relaxed);
+        for ds in self.datasource_snapshot().values() {
+            ds.engine().set_batch_scan(enabled);
+        }
+    }
+
+    pub fn batch_scan(&self) -> bool {
+        self.batch_scan.load(Ordering::Relaxed)
     }
 
     /// Snapshot of a table rule (scaling, diagnostics).
@@ -451,6 +468,20 @@ fn register_runtime_gauges(runtime: &Arc<ShardingRuntime>) {
     engine_sum(
         &registry,
         runtime,
+        "scan_batches_total",
+        "columnar batches fetched by the vectorized scan path",
+        |e| e.scan_batches(),
+    );
+    engine_sum(
+        &registry,
+        runtime,
+        "scan_batch_rows_total",
+        "rows delivered inside columnar scan batches",
+        |e| e.scan_batch_rows(),
+    );
+    engine_sum(
+        &registry,
+        runtime,
         "storage_group_commits_total",
         "explicit commits that joined a group-commit epoch",
         |e| e.group_committer().commits(),
@@ -581,6 +612,7 @@ impl RuntimeBuilder {
             gsi: GsiRegistry::new(),
             gsi_enabled: std::sync::atomic::AtomicBool::new(true),
             agg_pushdown: std::sync::atomic::AtomicBool::new(true),
+            batch_scan: std::sync::atomic::AtomicBool::new(true),
             metrics_registry,
             metrics,
             slow_log: SlowQueryLog::new(),
@@ -1108,6 +1140,11 @@ impl Session {
                 self.runtime.set_agg_pushdown(enabled);
                 Ok(())
             }
+            "batch_scan" => {
+                let enabled = parse_on_off(value, "batch_scan")?;
+                self.runtime.set_batch_scan(enabled);
+                Ok(())
+            }
             // autocommit & friends accepted for driver compatibility.
             "autocommit" | "sql_mode" | "time_zone" | "character_set_results" => Ok(()),
             other => Err(KernelError::Config(format!("unknown variable '{other}'"))),
@@ -1161,6 +1198,12 @@ impl Session {
             }
             .into()),
             "agg_pushdown" => Ok(if self.runtime.agg_pushdown() {
+                "on"
+            } else {
+                "off"
+            }
+            .into()),
+            "batch_scan" => Ok(if self.runtime.batch_scan() {
                 "on"
             } else {
                 "off"
@@ -1586,6 +1629,25 @@ impl Session {
                     unit: unit.clone(),
                     stmt: rewrite_for_unit(&rewrite, unit, &route, params)?,
                 });
+            }
+        }
+
+        // Scan-mode verdict for `EXPLAIN ANALYZE`: judged on the rewritten
+        // per-shard statement (what storage actually sees) with the same
+        // admission predicate the engines use, so the tag cannot drift from
+        // the path taken.
+        if self.active_trace.is_some() {
+            let batch_on = self.runtime.batch_scan();
+            let mode = inputs.first().and_then(|i| match &i.stmt {
+                Statement::Select(s) => Some(if batch_on && batch_admissible(s) {
+                    "batch".to_string()
+                } else {
+                    "row".to_string()
+                }),
+                _ => None,
+            });
+            if let Some(t) = self.active_trace.as_mut() {
+                t.set_scan_mode(mode);
             }
         }
 

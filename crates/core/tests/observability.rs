@@ -128,7 +128,10 @@ fn explain_analyze_renders_full_stage_tree() {
     }
     // Fan-out width and routing verdict annotated on the route line;
     // 4 shards over 2 sources, full scatter (ORDER BY, no aggregates).
-    assert!(tree.contains("[units=4 route_strategy=scatter]"), "{tree}");
+    assert!(
+        tree.contains("[units=4 route_strategy=scatter scan_mode=row]"),
+        "{tree}"
+    );
     // One child line per shard execution unit, under the execute stage.
     for shard in ["t_user_0", "t_user_1", "t_user_2", "t_user_3"] {
         assert!(

@@ -22,6 +22,9 @@
 //! shape, so tests asserting early LIMIT termination cannot pass by accident
 //! through the materialized fallback.
 
+use crate::batch::{
+    batch_admissible, open_source, BatchCounters, BatchGroupedCursor, BatchHooks, BatchScanCursor,
+};
 use crate::error::{Result, StorageError};
 use crate::eval::{eval_predicate, EvalContext, Scope};
 use crate::exec_select::{
@@ -48,6 +51,8 @@ enum CursorInner {
     Materialized(std::vec::IntoIter<Vec<Value>>),
     Scan(Box<ScanCursor>),
     Grouped(Box<GroupedScanCursor>),
+    BatchScan(Box<BatchScanCursor>),
+    BatchGrouped(Box<BatchGroupedCursor>),
 }
 
 impl QueryCursor {
@@ -66,7 +71,23 @@ impl QueryCursor {
     /// True when rows are produced incrementally from the table (not from a
     /// pre-materialized result set).
     pub fn is_streaming(&self) -> bool {
-        matches!(self.inner, CursorInner::Scan(_) | CursorInner::Grouped(_))
+        matches!(
+            self.inner,
+            CursorInner::Scan(_)
+                | CursorInner::Grouped(_)
+                | CursorInner::BatchScan(_)
+                | CursorInner::BatchGrouped(_)
+        )
+    }
+
+    /// True when rows come from the vectorized batch-scan path, so consumers
+    /// (the streaming executor's producers) can drain in chunks instead of
+    /// row-at-a-time.
+    pub fn is_batch(&self) -> bool {
+        matches!(
+            self.inner,
+            CursorInner::BatchScan(_) | CursorInner::BatchGrouped(_)
+        )
     }
 
     /// Pull the next row, or `None` when the cursor is exhausted.
@@ -75,7 +96,23 @@ impl QueryCursor {
             CursorInner::Materialized(it) => Ok(it.next()),
             CursorInner::Scan(scan) => scan.next_row(),
             CursorInner::Grouped(grouped) => grouped.next_row(),
+            CursorInner::BatchScan(c) => c.next_row(),
+            CursorInner::BatchGrouped(c) => c.next_row(),
         }
+    }
+
+    /// Pull up to `max` rows. An error mid-drain discards nothing: rows
+    /// already pulled are returned by value only when the whole chunk is
+    /// clean, matching the executor's all-or-cancel error handling.
+    pub fn next_rows(&mut self, max: usize) -> Result<Vec<Vec<Value>>> {
+        let mut out = Vec::with_capacity(max);
+        while out.len() < max {
+            match self.next_row()? {
+                Some(r) => out.push(r),
+                None => break,
+            }
+        }
+        Ok(out)
     }
 }
 
@@ -223,6 +260,7 @@ pub(crate) fn try_open_streaming(
     pulled: Arc<AtomicU64>,
     latency: LatencyModel,
     faults: Arc<FaultInjector>,
+    batch: Option<BatchCounters>,
 ) -> Result<Option<QueryCursor>> {
     let Some(from) = &stmt.from else {
         return Ok(None);
@@ -231,12 +269,46 @@ pub(crate) fn try_open_streaming(
         return Ok(None);
     }
     if needs_grouping(stmt) {
-        return open_grouped(catalog, stmt, params, pulled, latency, faults);
+        return open_grouped(catalog, stmt, params, pulled, latency, faults, batch);
     }
     if stmt.having.is_some() {
         // HAVING without aggregates or GROUP BY: the materialized path has
         // its own quirky handling; keep both paths identical by falling back.
         return Ok(None);
+    }
+
+    // Plain admissible scans (no LIMIT / ORDER BY) take the vectorized path
+    // when batch scanning is enabled: same id snapshot, columnar fetches.
+    if let Some(counters) = batch.filter(|_| batch_admissible(stmt)) {
+        let table = catalog.table(from.name.as_str())?;
+        let guard = table.read();
+        let schema_cols = guard.schema.column_names();
+        let ids: Vec<RowId> = match access_path(
+            &guard,
+            from.binding_name(),
+            stmt.where_clause.as_ref(),
+            params,
+        ) {
+            Some(ids) => ids,
+            None => guard.scan().map(|(id, _)| id).collect(),
+        };
+        drop(guard);
+        let hooks = BatchHooks {
+            pulled: Some(pulled),
+            latency: Some(latency),
+            faults: Some(faults),
+            counters,
+        };
+        let open = open_source(table, stmt, from.binding_name(), ids, &schema_cols, hooks)?;
+        return Ok(Some(QueryCursor {
+            columns: open.columns,
+            inner: CursorInner::BatchScan(Box::new(BatchScanCursor::new(
+                open.source,
+                open.scope,
+                stmt,
+                params.to_vec(),
+            ))),
+        }));
     }
 
     let (offset, limit) = match &stmt.limit {
@@ -325,6 +397,7 @@ fn open_grouped(
     pulled: Arc<AtomicU64>,
     latency: LatencyModel,
     faults: Arc<FaultInjector>,
+    batch: Option<BatchCounters>,
 ) -> Result<Option<QueryCursor>> {
     let Some(from) = &stmt.from else {
         return Ok(None);
@@ -349,6 +422,31 @@ fn open_grouped(
         Some(ids) => ids,
         None => guard.scan().map(|(id, _)| id).collect(),
     };
+
+    // Vectorized grouped path: same id snapshot and source order, aggregates
+    // fed column vectors, one shared finish with the row path.
+    if let Some(counters) = batch.filter(|_| batch_admissible(stmt)) {
+        let schema_cols = guard.schema.column_names();
+        drop(guard);
+        let hooks = BatchHooks {
+            pulled: Some(pulled),
+            latency: Some(latency),
+            faults: Some(faults),
+            counters,
+        };
+        let open = open_source(table, stmt, from.binding_name(), ids, &schema_cols, hooks)?;
+        return Ok(Some(QueryCursor {
+            columns: open.columns,
+            inner: CursorInner::BatchGrouped(Box::new(BatchGroupedCursor::new(
+                open.source,
+                open.scope,
+                stmt,
+                params.to_vec(),
+                offset,
+                limit,
+            ))),
+        }));
+    }
     drop(guard);
 
     Ok(Some(QueryCursor {

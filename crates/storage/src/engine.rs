@@ -10,6 +10,7 @@
 //! - a [`LatencyModel`] charging simulated network cost per request,
 //! - fault injection hooks for failure testing.
 
+use crate::batch::{execute_select_batch, BatchCounters};
 use crate::cursor::{self, QueryCursor};
 use crate::error::{Result, StorageError};
 use crate::eval::{eval, eval_predicate, EvalContext, Scope};
@@ -98,6 +99,14 @@ pub struct StorageEngine {
     /// WAL, indexes each touched once per statement). Off = the pre-batching
     /// per-row path, kept for ablation benchmarks.
     batch_writes: AtomicBool,
+    /// Admissible SELECTs take the vectorized columnar batch-scan path.
+    /// Off = the row-at-a-time path, kept for ablation benchmarks
+    /// (`SET batch_scan = off`).
+    batch_scan: AtomicBool,
+    /// Columnar batches fetched / rows delivered in them (metrics; shared
+    /// with batch sources so both streaming and materialized paths count).
+    scan_batches: Arc<AtomicU64>,
+    scan_batch_rows: Arc<AtomicU64>,
 }
 
 struct ServerSlots {
@@ -158,6 +167,9 @@ impl StorageEngine {
             server_slots: None,
             group_commit: GroupCommitter::new(),
             batch_writes: AtomicBool::new(true),
+            batch_scan: AtomicBool::new(true),
+            scan_batches: Arc::new(AtomicU64::new(0)),
+            scan_batch_rows: Arc::new(AtomicU64::new(0)),
         })
     }
 
@@ -198,6 +210,33 @@ impl StorageEngine {
 
     pub fn batch_writes_enabled(&self) -> bool {
         self.batch_writes.load(Ordering::Relaxed)
+    }
+
+    /// Toggle the vectorized batch-scan path (on by default; off restores
+    /// the row-at-a-time cursor and `execute_select` for ablation).
+    pub fn set_batch_scan(&self, enabled: bool) {
+        self.batch_scan.store(enabled, Ordering::Relaxed);
+    }
+
+    pub fn batch_scan_enabled(&self) -> bool {
+        self.batch_scan.load(Ordering::Relaxed)
+    }
+
+    /// Columnar batches fetched by the batch-scan path so far.
+    pub fn scan_batches(&self) -> u64 {
+        self.scan_batches.load(Ordering::Relaxed)
+    }
+
+    /// Rows delivered inside columnar batches so far.
+    pub fn scan_batch_rows(&self) -> u64 {
+        self.scan_batch_rows.load(Ordering::Relaxed)
+    }
+
+    fn batch_counters(&self) -> BatchCounters {
+        BatchCounters {
+            batches: Arc::clone(&self.scan_batches),
+            rows: Arc::clone(&self.scan_batch_rows),
+        }
     }
 
     pub fn latency(&self) -> LatencyModel {
@@ -506,6 +545,7 @@ impl StorageEngine {
                 self.rows_pulled.clone(),
                 self.latency,
                 Arc::clone(&self.faults),
+                self.batch_scan_enabled().then(|| self.batch_counters()),
             )? {
                 self.latency.charge(0);
                 return Ok(cursor);
@@ -648,7 +688,18 @@ impl StorageEngine {
         params: &[Value],
         txn: Option<TxnId>,
     ) -> Result<ResultSet> {
-        let rs = execute_select(self, stmt, params)?;
+        // Vectorized takeover of the buffered path for admissible shapes
+        // (FOR UPDATE is never admissible, so the locking below keeps its
+        // materialized rows).
+        let batched = if self.batch_scan_enabled() {
+            execute_select_batch(self, stmt, params, self.batch_counters())?
+        } else {
+            None
+        };
+        let rs = match batched {
+            Some(rs) => rs,
+            None => execute_select(self, stmt, params)?,
+        };
         // SELECT ... FOR UPDATE takes write locks on the matched rows of the
         // base table when run inside an explicit transaction.
         if stmt.for_update {

@@ -767,16 +767,40 @@ impl Accumulator {
 
     pub fn update(&mut self, v: Option<Value>) {
         match self {
+            // Distinct sets take ownership directly — no clone on insert.
+            Accumulator::CountDistinct(set) => {
+                if let Some(v) = v {
+                    if !v.is_null() {
+                        set.insert(v);
+                    }
+                }
+            }
+            Accumulator::SumDistinct(set) => {
+                if let Some(v) = v {
+                    if !v.is_null() {
+                        set.insert(v);
+                    }
+                }
+            }
+            _ => self.update_ref(v.as_ref()),
+        }
+    }
+
+    /// Borrowing update for the vectorized batch path: column vectors feed
+    /// values by reference, so per-row clones happen only where ownership is
+    /// genuinely needed (a new MIN/MAX extreme, a first-seen DISTINCT value).
+    pub fn update_ref(&mut self, v: Option<&Value>) {
+        match self {
             Accumulator::CountStar(n) => *n += 1,
             Accumulator::Count(n) => {
-                if v.as_ref().is_some_and(|v| !v.is_null()) {
+                if v.is_some_and(|v| !v.is_null()) {
                     *n += 1;
                 }
             }
             Accumulator::CountDistinct(set) => {
                 if let Some(v) = v {
-                    if !v.is_null() {
-                        set.insert(v);
+                    if !v.is_null() && !set.contains(v) {
+                        set.insert(v.clone());
                     }
                 }
             }
@@ -797,8 +821,8 @@ impl Accumulator {
             }
             Accumulator::SumDistinct(set) => {
                 if let Some(v) = v {
-                    if !v.is_null() {
-                        set.insert(v);
+                    if !v.is_null() && !set.contains(v) {
+                        set.insert(v.clone());
                     }
                 }
             }
@@ -818,7 +842,7 @@ impl Accumulator {
                             .map(|b| v.total_cmp(b) == std::cmp::Ordering::Less)
                             .unwrap_or(true);
                         if better {
-                            *best = Some(v);
+                            *best = Some(v.clone());
                         }
                     }
                 }
@@ -831,7 +855,7 @@ impl Accumulator {
                             .map(|b| v.total_cmp(b) == std::cmp::Ordering::Greater)
                             .unwrap_or(true);
                         if better {
-                            *best = Some(v);
+                            *best = Some(v.clone());
                         }
                     }
                 }
@@ -881,9 +905,43 @@ impl Accumulator {
     }
 }
 
-struct Group {
-    first_row: Vec<Value>,
-    accs: Vec<Accumulator>,
+pub(crate) struct Group {
+    pub(crate) first_row: Vec<Value>,
+    pub(crate) accs: Vec<Accumulator>,
+}
+
+/// Every aggregate call appearing anywhere in the statement, deduplicated by
+/// formatted shape. Shared between the row-path [`GroupedState`] and the
+/// batch path so both build identical accumulator sets in identical order.
+pub(crate) fn collect_agg_calls(stmt: &SelectStatement) -> Vec<FunctionCall> {
+    let mut agg_calls: Vec<FunctionCall> = Vec::new();
+    let mut push_aggs = |e: &Expr| {
+        e.walk(&mut |x| {
+            if let Expr::Function(f) = x {
+                if f.is_aggregate() {
+                    let key = format_expr(&Expr::Function(f.clone()), Dialect::Standard);
+                    if !agg_calls
+                        .iter()
+                        .any(|c| format_expr(&Expr::Function(c.clone()), Dialect::Standard) == key)
+                    {
+                        agg_calls.push(f.clone());
+                    }
+                }
+            }
+        });
+    };
+    for item in &stmt.projection {
+        if let SelectItem::Expr { expr, .. } = item {
+            push_aggs(expr);
+        }
+    }
+    if let Some(h) = &stmt.having {
+        push_aggs(h);
+    }
+    for o in &stmt.order_by {
+        push_aggs(&o.expr);
+    }
+    agg_calls
 }
 
 /// Incremental grouped-execution state: rows are pushed one at a time (the
@@ -898,36 +956,20 @@ pub(crate) struct GroupedState {
 
 impl GroupedState {
     pub(crate) fn new(stmt: &SelectStatement) -> Self {
-        // Collect every aggregate call appearing anywhere in the statement.
-        let mut agg_calls: Vec<FunctionCall> = Vec::new();
-        let mut push_aggs = |e: &Expr| {
-            e.walk(&mut |x| {
-                if let Expr::Function(f) = x {
-                    if f.is_aggregate() {
-                        let key = format_expr(&Expr::Function(f.clone()), Dialect::Standard);
-                        if !agg_calls.iter().any(|c| {
-                            format_expr(&Expr::Function(c.clone()), Dialect::Standard) == key
-                        }) {
-                            agg_calls.push(f.clone());
-                        }
-                    }
-                }
-            });
-        };
-        for item in &stmt.projection {
-            if let SelectItem::Expr { expr, .. } = item {
-                push_aggs(expr);
-            }
+        GroupedState {
+            agg_calls: collect_agg_calls(stmt),
+            groups: Vec::new(),
+            group_of: HashMap::new(),
         }
-        if let Some(h) = &stmt.having {
-            push_aggs(h);
-        }
-        for o in &stmt.order_by {
-            push_aggs(&o.expr);
-        }
+    }
+
+    /// Rebuild a state from externally accumulated groups (the batch path
+    /// builds its groups from column vectors, then borrows [`Self::finish`]
+    /// so HAVING / ORDER BY / projection run through one code path).
+    pub(crate) fn from_parts(agg_calls: Vec<FunctionCall>, groups: Vec<Group>) -> Self {
         GroupedState {
             agg_calls,
-            groups: Vec::new(),
+            groups,
             group_of: HashMap::new(),
         }
     }

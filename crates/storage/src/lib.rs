@@ -18,6 +18,7 @@
 //! assert_eq!(rs.rows[0][0], Value::Str("ann".into()));
 //! ```
 
+pub mod batch;
 pub mod cursor;
 pub mod engine;
 pub mod error;
@@ -33,6 +34,7 @@ pub mod schema;
 pub mod table;
 pub mod wal;
 
+pub use batch::{batch_admissible, BATCH_SIZE};
 pub use cursor::QueryCursor;
 pub use engine::StorageEngine;
 pub use error::{Result, StorageError};

@@ -316,6 +316,40 @@ impl Table {
         self.rows.iter().map(|(id, row)| (*id, row))
     }
 
+    /// Visit the rows for a batch of ids in the given order, skipping ids
+    /// whose rows were deleted. When the ids are strictly ascending (the
+    /// common case: scan snapshots and forward index scans), the batch is
+    /// served by one merge-walk over the row tree's range instead of one
+    /// B-tree probe per id.
+    pub fn fetch_rows(&self, ids: &[RowId], mut f: impl FnMut(&[Value])) {
+        let ascending = ids.windows(2).all(|w| w[0] < w[1]);
+        match (ascending, ids.first(), ids.last()) {
+            (true, Some(&first), Some(&last)) => {
+                let mut want = ids.iter().peekable();
+                for (&id, row) in self.rows.range(first..=last) {
+                    while let Some(&&w) = want.peek() {
+                        if w < id {
+                            want.next(); // deleted since snapshot
+                        } else {
+                            break;
+                        }
+                    }
+                    if want.peek() == Some(&&id) {
+                        want.next();
+                        f(row);
+                    }
+                }
+            }
+            _ => {
+                for id in ids {
+                    if let Some(row) = self.rows.get(id) {
+                        f(row);
+                    }
+                }
+            }
+        }
+    }
+
     /// Point lookup via the primary index.
     pub fn lookup_pk(&self, key: &[Value]) -> Vec<RowId> {
         self.primary

@@ -26,6 +26,13 @@ timeout 600 cargo bench -p shard-bench --bench writes -- --test
 echo "==> cargo bench -p shard-bench --bench routing -- --test"
 timeout 600 cargo bench -p shard-bench --bench routing -- --test
 
+# Analytics smoke: the analytics bench doubles as an integration test of the
+# vectorized batch-scan path against its `SET batch_scan = off` ablation —
+# setup asserts byte-identical results between the two modes and every bench
+# arm asserts its result rows.
+echo "==> cargo bench -p shard-bench --bench analytics -- --test"
+timeout 600 cargo bench -p shard-bench --bench analytics -- --test
+
 # Chaos gate: the deterministic fault-matrix run (fixed seed baked into the
 # tests). The scenario has its own in-test watchdog, so a hung thread fails
 # the step instead of wedging CI; `timeout` is a second line of defence.
