@@ -1,0 +1,152 @@
+//! Reshard-under-load baseline: read latency during a live throttled
+//! backfill vs an idle runtime, plus the measured fence window.
+//!
+//! Prints one JSON object to stdout (recorded in BENCH_reshard.json). Two
+//! arms on identical topologies:
+//!
+//! - **idle**: point-read p50/p99 with no migration running.
+//! - **during_backfill**: the same reads while `RESHARD TABLE … THROTTLE n`
+//!   streams the table into a new 8-shard layout on two fresh sources.
+//!
+//! The throttle stretches the backfill so every measured read genuinely
+//! overlaps the migration; the reshard's own report supplies the fence
+//! duration (the only window writes are paused).
+
+use shard_bench::metrics::LatencyRecorder;
+use shard_core::feature::{reshard_with, ReshardOptions};
+use shard_core::{Session, ShardingRuntime};
+use shard_sql::ast::ShardingRuleSpec;
+use shard_sql::Value;
+use shard_storage::StorageEngine;
+use std::sync::Arc;
+use std::time::Instant;
+
+const SEED_ROWS: i64 = 2_000;
+const WARMUP_OPS: usize = 200;
+const MEASURED_OPS: usize = 2_000;
+const THROTTLE_ROWS_PER_SEC: u64 = 600;
+
+fn runtime_with_table() -> Arc<ShardingRuntime> {
+    let runtime = ShardingRuntime::builder()
+        .datasource("ds_a", StorageEngine::new("ds_a"))
+        .build();
+    runtime.add_datasource("ds_b", StorageEngine::new("ds_b"), 64);
+    runtime.add_datasource("ds_c", StorageEngine::new("ds_c"), 64);
+    let mut s = runtime.session();
+    s.execute_sql(
+        "CREATE SHARDING TABLE RULE t (RESOURCES(ds_a), SHARDING_COLUMN=id, \
+         TYPE=mod, PROPERTIES(\"sharding-count\"=2))",
+        &[],
+    )
+    .unwrap();
+    s.execute_sql("CREATE TABLE t (id BIGINT PRIMARY KEY, v BIGINT)", &[])
+        .unwrap();
+    for id in 0..SEED_ROWS {
+        s.execute_sql(
+            "INSERT INTO t (id, v) VALUES (?, ?)",
+            &[Value::Int(id), Value::Int(id * 3)],
+        )
+        .unwrap();
+    }
+    runtime
+}
+
+/// (p50_us, p99_us) of a point read, sampled in nanoseconds.
+fn read_percentiles(s: &mut Session, ops: usize) -> (f64, f64) {
+    for i in 0..WARMUP_OPS {
+        point_read(s, i as i64);
+    }
+    let mut samples = Vec::with_capacity(ops);
+    for i in 0..ops {
+        let t = Instant::now();
+        point_read(s, i as i64);
+        samples.push(t.elapsed().as_nanos() as u64);
+    }
+    samples.sort_unstable();
+    let p50 = LatencyRecorder::percentile_us(&samples, 50.0) as f64 / 1000.0;
+    let p99 = LatencyRecorder::percentile_us(&samples, 99.0) as f64 / 1000.0;
+    (p50, p99)
+}
+
+fn point_read(s: &mut Session, i: i64) {
+    let id = (i * 7) % SEED_ROWS;
+    let rs = s
+        .execute_sql("SELECT v FROM t WHERE id = ?", &[Value::Int(id)])
+        .expect("reads must never fail during reshard")
+        .query();
+    assert_eq!(rs.rows[0][0], Value::Int(id * 3));
+}
+
+fn new_layout_spec() -> ShardingRuleSpec {
+    ShardingRuleSpec {
+        table: "t".into(),
+        resources: vec!["ds_b".into(), "ds_c".into()],
+        sharding_column: "id".into(),
+        algorithm_type: "mod".into(),
+        props: vec![("sharding-count".into(), "8".into())],
+    }
+}
+
+fn main() {
+    // Arm 1: idle baseline.
+    let idle_rt = runtime_with_table();
+    let mut idle_s = idle_rt.session();
+    let (idle_p50, idle_p99) = read_percentiles(&mut idle_s, MEASURED_OPS);
+
+    // Arm 2: the same reads while a throttled reshard runs. The coordinator
+    // blocks its own thread; reads run here until it finishes.
+    let rt = runtime_with_table();
+    let coordinator = {
+        let rt = Arc::clone(&rt);
+        std::thread::spawn(move || {
+            reshard_with(
+                &rt,
+                &new_layout_spec(),
+                ReshardOptions {
+                    throttle_rows_per_sec: Some(THROTTLE_ROWS_PER_SEC),
+                },
+            )
+        })
+    };
+    let mut s = rt.session();
+    let mut samples = Vec::new();
+    for i in 0..WARMUP_OPS {
+        point_read(&mut s, i as i64);
+    }
+    let mut i = 0i64;
+    while !coordinator.is_finished() {
+        let t = Instant::now();
+        point_read(&mut s, i);
+        samples.push(t.elapsed().as_nanos() as u64);
+        i += 1;
+    }
+    let report = coordinator.join().unwrap().expect("reshard must succeed");
+    let reads_during = samples.len();
+    samples.sort_unstable();
+    let busy_p50 = LatencyRecorder::percentile_us(&samples, 50.0) as f64 / 1000.0;
+    let busy_p99 = LatencyRecorder::percentile_us(&samples, 99.0) as f64 / 1000.0;
+
+    assert_eq!(report.rows_migrated, SEED_ROWS as u64);
+    assert!(reads_during > 100, "reads must overlap the backfill");
+
+    println!("{{");
+    println!("  \"bench\": \"reshard\",");
+    println!("  \"command\": \"cargo run -p shard-bench --release --bin reshard_bench\",");
+    println!("  \"conditions\": {{");
+    println!("    \"seed_rows\": {SEED_ROWS},");
+    println!("    \"old_layout\": \"2 shards on ds_a\",");
+    println!("    \"new_layout\": \"8 shards on ds_b/ds_c\",");
+    println!("    \"throttle_rows_per_sec\": {THROTTLE_ROWS_PER_SEC},");
+    println!("    \"reads\": \"point SELECT by shard key, single session\"");
+    println!("  }},");
+    println!("  \"results\": {{");
+    println!("    \"idle_read_p50_us\": {idle_p50:.1},");
+    println!("    \"idle_read_p99_us\": {idle_p99:.1},");
+    println!("    \"backfill_read_p50_us\": {busy_p50:.1},");
+    println!("    \"backfill_read_p99_us\": {busy_p99:.1},");
+    println!("    \"reads_during_backfill\": {reads_during},");
+    println!("    \"rows_migrated\": {},", report.rows_migrated);
+    println!("    \"fence_us\": {}", report.fence_us);
+    println!("  }}");
+    println!("}}");
+}

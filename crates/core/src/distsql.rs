@@ -412,6 +412,79 @@ pub fn execute(session: &mut Session, stmt: &DistSqlStatement) -> Result<Execute
                 rows,
             )))
         }
+        DistSqlStatement::ReshardTable { rule, throttle } => {
+            let runtime = session.runtime().clone();
+            let report = crate::feature::reshard_with(
+                &runtime,
+                rule,
+                crate::feature::ReshardOptions {
+                    throttle_rows_per_sec: *throttle,
+                },
+            )?;
+            Ok(ExecuteResult::Query(ResultSet::new(
+                vec![
+                    "table".into(),
+                    "rows_migrated".into(),
+                    "mirrored_writes".into(),
+                    "old_nodes".into(),
+                    "new_nodes".into(),
+                    "fence_us".into(),
+                    "warnings".into(),
+                ],
+                vec![vec![
+                    Value::Str(report.table.clone()),
+                    Value::Int(report.rows_migrated as i64),
+                    Value::Int(report.mirrored_writes as i64),
+                    Value::Int(report.old_nodes as i64),
+                    Value::Int(report.new_nodes as i64),
+                    Value::Int(report.fence_us as i64),
+                    Value::Str(report.warnings.join("; ")),
+                ]],
+            )))
+        }
+        DistSqlStatement::ShowReshardStatus => {
+            let rows = session
+                .runtime()
+                .reshard_manager()
+                .statuses()
+                .into_iter()
+                .map(|s| {
+                    vec![
+                        Value::Str(s.table),
+                        Value::Str(s.phase.as_str().to_string()),
+                        Value::Int(s.rows_copied as i64),
+                        Value::Int(s.mirrored_writes as i64),
+                        Value::Int(s.lag_rows as i64),
+                        Value::Int(s.fence_us as i64),
+                        s.throttle_rows_per_sec
+                            .map(|n| Value::Int(n as i64))
+                            .unwrap_or(Value::Null),
+                        Value::Str(s.transitions.join(" -> ")),
+                        s.error.map(Value::Str).unwrap_or(Value::Null),
+                    ]
+                })
+                .collect();
+            Ok(ExecuteResult::Query(ResultSet::new(
+                vec![
+                    "table".into(),
+                    "phase".into(),
+                    "rows_copied".into(),
+                    "mirrored_writes".into(),
+                    "lag_rows".into(),
+                    "fence_us".into(),
+                    "throttle".into(),
+                    "transitions".into(),
+                    "error".into(),
+                ],
+                rows,
+            )))
+        }
+        DistSqlStatement::CancelReshard { table } => {
+            let flagged = session.runtime().reshard_manager().cancel(table.as_deref());
+            Ok(ExecuteResult::Update {
+                affected: flagged as u64,
+            })
+        }
     }
 }
 

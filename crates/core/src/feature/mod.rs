@@ -14,6 +14,9 @@ pub use encrypt::{EncryptRule, Encryptor};
 pub use hint::HintManager;
 pub use keygen::{KeyGenerator, SnowflakeGenerator};
 pub use rw_split::ReadWriteSplitRule;
-pub use scaling::{reshard, ScalingReport};
+pub use scaling::{
+    reshard, reshard_with, ReshardManager, ReshardOptions, ReshardPhase, ReshardStatus,
+    ScalingReport,
+};
 pub use shadow::ShadowRule;
 pub use throttle::Throttle;

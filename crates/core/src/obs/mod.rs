@@ -52,6 +52,14 @@ pub struct KernelMetrics {
     /// XA phase latencies (prepare = vote collection, commit = phase 2).
     pub xa_prepare_us: Arc<Histogram>,
     pub xa_commit_us: Arc<Histogram>,
+    /// Rows copied into the new layout by reshard backfill.
+    pub reshard_rows_copied: Arc<Counter>,
+    /// DML statements mirrored into the new layout during reshard.
+    pub reshard_mirrored_writes: Arc<Counter>,
+    /// Physical tables that could not be dropped during reshard cleanup.
+    pub reshard_cleanup_failures: Arc<Counter>,
+    /// Length of the reshard cutover write fence.
+    pub reshard_fence_us: Arc<Histogram>,
 }
 
 impl KernelMetrics {
@@ -98,6 +106,22 @@ impl KernelMetrics {
             ),
             xa_prepare_us: registry.histogram("xa_prepare_us", "XA phase-1 (prepare) latency"),
             xa_commit_us: registry.histogram("xa_commit_us", "XA phase-2 (commit) latency"),
+            reshard_rows_copied: registry.counter(
+                "reshard_rows_copied_total",
+                "rows copied into the new layout by reshard backfill",
+            ),
+            reshard_mirrored_writes: registry.counter(
+                "reshard_mirrored_writes_total",
+                "DML statements mirrored into the new layout during reshard",
+            ),
+            reshard_cleanup_failures: registry.counter(
+                "reshard_cleanup_failures_total",
+                "physical tables that could not be dropped during reshard cleanup",
+            ),
+            reshard_fence_us: registry.histogram(
+                "reshard_fence_us",
+                "length of the reshard cutover write fence",
+            ),
         }
     }
 

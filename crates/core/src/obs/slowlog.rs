@@ -141,6 +141,7 @@ mod tests {
             merger: None,
             route_strategy: None,
             scan_mode: None,
+            reshard_state: None,
             rows: 0,
         }
     }

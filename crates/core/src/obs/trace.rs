@@ -78,6 +78,9 @@ pub struct StatementTrace {
     /// Storage scan path the per-shard statements take (`batch` = vectorized
     /// columnar, `row` = row-at-a-time), when the statement scans.
     pub scan_mode: Option<String>,
+    /// Online-resharding phase of a touched table (`backfill`, `catch_up`,
+    /// …), when one of the statement's tables is mid-migration.
+    pub reshard_state: Option<String>,
     /// Rows in the final (merged, decrypted) result.
     pub rows: u64,
 }
@@ -106,7 +109,8 @@ impl StatementTrace {
                 Stage::Route
                     if !self.units.is_empty()
                         || self.route_strategy.is_some()
-                        || self.scan_mode.is_some() =>
+                        || self.scan_mode.is_some()
+                        || self.reshard_state.is_some() =>
                 {
                     line.push(' ');
                     line.push('[');
@@ -127,6 +131,13 @@ impl StatementTrace {
                             line.push(' ');
                         }
                         line.push_str(&format!("scan_mode={m}"));
+                        first = false;
+                    }
+                    if let Some(r) = &self.reshard_state {
+                        if !first {
+                            line.push(' ');
+                        }
+                        line.push_str(&format!("reshard_state={r}"));
                     }
                     line.push(']');
                 }
@@ -165,6 +176,7 @@ pub struct TraceContext {
     merger: Option<String>,
     route_strategy: Option<String>,
     scan_mode: Option<String>,
+    reshard_state: Option<String>,
     rows: u64,
 }
 
@@ -185,6 +197,7 @@ impl TraceContext {
             merger: None,
             route_strategy: None,
             scan_mode: None,
+            reshard_state: None,
             rows: 0,
         }
     }
@@ -242,6 +255,10 @@ impl TraceContext {
         self.scan_mode = mode;
     }
 
+    pub fn set_reshard_state(&mut self, state: Option<String>) {
+        self.reshard_state = state;
+    }
+
     pub fn set_rows(&mut self, rows: u64) {
         self.rows = rows;
     }
@@ -256,6 +273,7 @@ impl TraceContext {
             merger: self.merger,
             route_strategy: self.route_strategy,
             scan_mode: self.scan_mode,
+            reshard_state: self.reshard_state,
             rows: self.rows,
         }
     }
@@ -307,15 +325,16 @@ mod tests {
             merger: Some("OrderBy".into()),
             route_strategy: Some("scatter".into()),
             scan_mode: Some("row".into()),
+            reshard_state: Some("backfill".into()),
             rows: 3,
         };
         let lines = trace.render();
         assert!(lines[0].starts_with("statement: SELECT"));
         assert!(lines[0].contains("total=120us"));
-        assert!(lines
-            .iter()
-            .any(|l| l.contains("route")
-                && l.contains("[units=2 route_strategy=scatter scan_mode=row]")));
+        assert!(lines.iter().any(|l| l.contains("route")
+            && l.contains(
+                "[units=2 route_strategy=scatter scan_mode=row reshard_state=backfill]"
+            )));
         assert!(lines.iter().any(|l| l.contains("ds_0.t_0 40us rows=3")));
         assert!(lines.iter().any(|l| l.contains("ds_1.t_1 38us rows=3")));
         let merge_line = lines.last().unwrap();

@@ -12,8 +12,10 @@ use crate::config::ShardingRule;
 use crate::datasource::DataSource;
 use crate::error::{ErrorClass, KernelError, Result};
 use crate::executor::{shared_params, ExecutionInput, ExecutionReport, ExecutorEngine};
+use crate::feature::scaling::{DmlWriteGuard, ReshardMirror};
 use crate::feature::{
-    EncryptRule, HintManager, KeyGenerator, ReadWriteSplitRule, ShadowRule, SnowflakeGenerator,
+    EncryptRule, HintManager, KeyGenerator, ReadWriteSplitRule, ReshardManager, ShadowRule,
+    SnowflakeGenerator,
 };
 use crate::governor::{
     ConfigRegistry, FailoverCoordinator, HealthDetector, HealthLoopGuard, SharedGroups,
@@ -83,6 +85,15 @@ pub struct ShardingRuntime {
     /// `SET batch_scan = off`: restore the row-at-a-time scan cursors in
     /// every storage engine (the vectorized path's ablation baseline).
     batch_scan: std::sync::atomic::AtomicBool,
+    /// Online-resharding jobs (state machines, generation claims).
+    pub(crate) reshard: ReshardManager,
+    /// DML statements currently in flight (plan through execution,
+    /// including any dual-write mirror apply). The reshard fence drains
+    /// this to zero before swapping the rule.
+    pub(crate) dml_in_flight: Arc<AtomicU64>,
+    /// `SET reshard_fence_timeout_ms`: bound on the cutover write fence
+    /// (and the initial snapshot barrier).
+    reshard_fence_timeout_ms: AtomicU64,
     /// Central instrument registry (`SHOW METRICS`, proxy `/metrics`).
     pub(crate) metrics_registry: Arc<MetricsRegistry>,
     /// The kernel's named instruments (hot-path handles into the registry).
@@ -354,6 +365,22 @@ impl ShardingRuntime {
         Ok(())
     }
 
+    /// The online-resharding coordinator state (`SHOW RESHARD STATUS`,
+    /// `CANCEL RESHARD`).
+    pub fn reshard_manager(&self) -> &ReshardManager {
+        &self.reshard
+    }
+
+    /// Bound on the reshard write fence, in milliseconds.
+    pub fn reshard_fence_timeout_ms(&self) -> u64 {
+        self.reshard_fence_timeout_ms.load(Ordering::Relaxed)
+    }
+
+    pub fn set_reshard_fence_timeout_ms(&self, ms: u64) {
+        self.reshard_fence_timeout_ms
+            .store(ms.max(1), Ordering::Relaxed);
+    }
+
     pub fn next_xid(&self) -> String {
         format!("xid-{}", self.next_xid.fetch_add(1, Ordering::SeqCst))
     }
@@ -509,6 +536,16 @@ fn register_runtime_gauges(runtime: &Arc<ShardingRuntime>) {
     );
     let weak = Arc::downgrade(runtime);
     registry.gauge(
+        "reshard_lag_rows",
+        "rows the new layout trails the old across live resharding jobs",
+        move || {
+            weak.upgrade()
+                .map(|rt| rt.reshard.lag_rows_total())
+                .unwrap_or(0)
+        },
+    );
+    let weak = Arc::downgrade(runtime);
+    registry.gauge(
         "breaker_transitions_total",
         "circuit-breaker state transitions across all data sources",
         move || {
@@ -613,6 +650,9 @@ impl RuntimeBuilder {
             gsi_enabled: std::sync::atomic::AtomicBool::new(true),
             agg_pushdown: std::sync::atomic::AtomicBool::new(true),
             batch_scan: std::sync::atomic::AtomicBool::new(true),
+            reshard: ReshardManager::new(),
+            dml_in_flight: Arc::new(AtomicU64::new(0)),
+            reshard_fence_timeout_ms: AtomicU64::new(1000),
             metrics_registry,
             metrics,
             slow_log: SlowQueryLog::new(),
@@ -653,6 +693,12 @@ struct PlannedExecution {
     gsi_pre: Vec<GsiMaintOp>,
     /// GSI ops applied after the base write succeeds (removals).
     gsi_post: Vec<GsiMaintOp>,
+    /// Dual-write mirror into a mid-reshard table's new layout, applied
+    /// after the base write succeeds.
+    mirror: Option<ReshardMirror>,
+    /// Holds the statement in the reshard fence's in-flight count from
+    /// planning until the plan (and its mirror apply) completes.
+    _dml_guard: Option<DmlWriteGuard>,
 }
 
 /// Incremental row cursor over a query's merged output.
@@ -1145,6 +1191,13 @@ impl Session {
                 self.runtime.set_batch_scan(enabled);
                 Ok(())
             }
+            "reshard_fence_timeout_ms" => {
+                let n: u64 = value.parse().map_err(|_| {
+                    KernelError::Config("reshard_fence_timeout_ms must be an integer".into())
+                })?;
+                self.runtime.set_reshard_fence_timeout_ms(n);
+                Ok(())
+            }
             // autocommit & friends accepted for driver compatibility.
             "autocommit" | "sql_mode" | "time_zone" | "character_set_results" => Ok(()),
             other => Err(KernelError::Config(format!("unknown variable '{other}'"))),
@@ -1209,6 +1262,7 @@ impl Session {
                 "off"
             }
             .into()),
+            "reshard_fence_timeout_ms" => Ok(self.runtime.reshard_fence_timeout_ms().to_string()),
             other => Err(KernelError::Config(format!("unknown variable '{other}'"))),
         }
     }
@@ -1442,6 +1496,39 @@ impl Session {
             }
         }
 
+        // Online resharding: every DML holds an in-flight guard (the fence
+        // drains the counter to zero before cutover, so no statement can
+        // straddle the rule swap). A write against a fenced table blocks
+        // here until the fence resolves, then re-checks; one admitted
+        // during backfill/catch-up carries the job for dual-write
+        // mirroring. Ordering: the SeqCst guard increment happens before
+        // the phase read, while the coordinator publishes the phase before
+        // reading the counter — one side always sees the other.
+        let mut dml_guard: Option<DmlWriteGuard> = None;
+        let mut reshard_job = None;
+        if category == StatementCategory::Dml {
+            loop {
+                let guard = DmlWriteGuard::enter(&self.runtime.dml_in_flight);
+                let job = if self.runtime.reshard.is_active() {
+                    self.runtime.reshard.live_job_for(&tables)
+                } else {
+                    None
+                };
+                match job {
+                    Some(job) if job.is_fenced() => {
+                        drop(guard);
+                        let wait = self.runtime.reshard_fence_timeout_ms() * 2 + 2000;
+                        job.wait_fence_release(Duration::from_millis(wait))?;
+                    }
+                    job => {
+                        dml_guard = Some(guard);
+                        reshard_job = job;
+                        break;
+                    }
+                }
+            }
+        }
+
         // 1. Feature: encryption. Only clones the statement when an encrypt
         // rule is actually configured — the hot path executes the parsed AST
         // as-is.
@@ -1589,6 +1676,20 @@ impl Session {
         if let Some(t) = self.active_trace.as_mut() {
             t.set_route_strategy(Some(strategy.as_str().to_string()));
         }
+        // EXPLAIN-visible migration state: tag statements that touch a
+        // mid-reshard table with the job's current phase.
+        if self.active_trace.is_some() && self.runtime.reshard.is_active() {
+            let state = self
+                .runtime
+                .reshard
+                .live_job_for(&tables)
+                .map(|job| job.phase().as_str().to_string());
+            if state.is_some() {
+                if let Some(t) = self.active_trace.as_mut() {
+                    t.set_reshard_state(state);
+                }
+            }
+        }
 
         if route.units.is_empty() {
             // Contradictory conditions (or a GSI lookup proving no shard
@@ -1651,6 +1752,23 @@ impl Session {
             }
         }
 
+        // 6.5 Feature: online resharding. A write admitted while the table
+        // backfills or catches up plans a dual-write mirror from the same
+        // feature-patched statement, routed by the *new* rule. Planning
+        // errors poison the job (verification then rolls the reshard back)
+        // — they never fail the base statement.
+        let mirror = match reshard_job.take() {
+            Some(job) if job.mirrors_writes() => match job.plan_mirror(stmt, params) {
+                Ok(inputs) if !inputs.is_empty() => Some(ReshardMirror { job, inputs }),
+                Ok(_) => None,
+                Err(e) => {
+                    job.poison(format!("mirror planning failed: {e}"));
+                    None
+                }
+            },
+            _ => None,
+        };
+
         // 7. Transactions: bind branches / capture BASE compensation.
         let txn_bindings = self.prepare_transaction_branches(&route, &inputs, params)?;
         self.lap_trace(Stage::Rewrite);
@@ -1664,6 +1782,8 @@ impl Session {
             tables,
             gsi_pre,
             gsi_post,
+            mirror,
+            _dml_guard: dml_guard,
         })))
     }
 
@@ -1671,9 +1791,13 @@ impl Session {
     /// result, merge, decrypt.
     fn run_materialized(
         &mut self,
-        plan: PlannedExecution,
+        mut plan: PlannedExecution,
         deadline: Option<Instant>,
     ) -> Result<ExecuteResult> {
+        // The mirror (and a params handle for it) outlives the executor
+        // call, which consumes the plan's inputs/params.
+        let mirror = plan.mirror.take();
+        let mirror_params = mirror.as_ref().map(|_| Arc::clone(&plan.params));
         // Additive GSI maintenance lands before the base write: if the
         // write faults, the entry is undone (or left stale, which
         // over-routes but stays correct).
@@ -1737,6 +1861,23 @@ impl Session {
             // Removals land only once the base write has succeeded.
             if !plan.gsi_post.is_empty() {
                 self.apply_gsi_ops(&plan.gsi_post)?;
+            }
+            // Online resharding: the base write succeeded, so land its
+            // mirror in the new layout, enlisted in the same transaction
+            // branches as the base statement. Mirror failures poison the
+            // reshard job (verification rolls it back) — the base
+            // statement's outcome is already decided.
+            if let Some(m) = mirror {
+                let params = mirror_params.expect("mirror_params set with mirror");
+                let runtime = Arc::clone(&self.runtime);
+                let applied = m
+                    .job
+                    .apply_mirror(&runtime, &m.inputs, &params, |ds, engine| {
+                        self.gsi_branch(ds, engine)
+                    });
+                if applied > 0 && runtime.metrics.on() {
+                    runtime.metrics.reshard_mirrored_writes.add(applied);
+                }
             }
             self.lap_trace(Stage::Merge);
             Ok(ExecuteResult::Update { affected })

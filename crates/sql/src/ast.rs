@@ -842,6 +842,21 @@ pub enum DistSqlStatement {
     },
     /// `SHOW SLOW_QUERIES` — the slow-query ring buffer, newest first.
     ShowSlowQueries,
+    /// `RESHARD TABLE t (RESOURCES(..), SHARDING_COLUMN=.., TYPE=..,
+    /// PROPERTIES(..)) [THROTTLE n]` — online migration of a sharded table
+    /// to a new layout with an optional rows/sec backfill throttle.
+    ReshardTable {
+        rule: ShardingRuleSpec,
+        throttle: Option<u64>,
+    },
+    /// `SHOW RESHARD STATUS` — phase, progress and transition history of
+    /// every reshard job the runtime has seen.
+    ShowReshardStatus,
+    /// `CANCEL RESHARD [TABLE t]` — request cancellation of the live
+    /// reshard job(s); the coordinator rolls back the new generation.
+    CancelReshard {
+        table: Option<String>,
+    },
 }
 
 /// Parsed body of an `INJECT FAULT` statement; interpreted by the kernel
@@ -899,7 +914,10 @@ impl DistSqlStatement {
             | Preview { .. }
             | ExplainAnalyze { .. }
             | ShowMetrics { .. }
-            | ShowSlowQueries => DistSqlLanguage::Ral,
+            | ShowSlowQueries
+            | ReshardTable { .. }
+            | ShowReshardStatus
+            | CancelReshard { .. } => DistSqlLanguage::Ral,
         }
     }
 }

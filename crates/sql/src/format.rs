@@ -546,6 +546,31 @@ impl Formatter {
                 format!("SHOW METRICS LIKE '{p}'")
             }
             DistSqlStatement::ShowSlowQueries => "SHOW SLOW_QUERIES".into(),
+            DistSqlStatement::ReshardTable { rule, throttle } => {
+                let props = rule
+                    .props
+                    .iter()
+                    .map(|(k, v)| format!("\"{k}\"={v}"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                let mut text = format!(
+                    "RESHARD TABLE {} (RESOURCES({}), SHARDING_COLUMN={}, TYPE={}, PROPERTIES({}))",
+                    rule.table,
+                    rule.resources.join(", "),
+                    rule.sharding_column,
+                    rule.algorithm_type,
+                    props
+                );
+                if let Some(n) = throttle {
+                    text.push_str(&format!(" THROTTLE {n}"));
+                }
+                text
+            }
+            DistSqlStatement::ShowReshardStatus => "SHOW RESHARD STATUS".into(),
+            DistSqlStatement::CancelReshard { table: None } => "CANCEL RESHARD".into(),
+            DistSqlStatement::CancelReshard { table: Some(t) } => {
+                format!("CANCEL RESHARD TABLE {t}")
+            }
         };
         self.push(&text);
     }

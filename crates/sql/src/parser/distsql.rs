@@ -280,7 +280,47 @@ impl Parser {
                 self.expect_kw("INDEXES")?;
                 return Ok(Statement::DistSql(DistSqlStatement::ShowGlobalIndexes));
             }
+            if self.at_kw("RESHARD") {
+                self.advance();
+                self.expect_kw("STATUS")?;
+                return Ok(Statement::DistSql(DistSqlStatement::ShowReshardStatus));
+            }
             return Err(self.err("unsupported SHOW target"));
+        }
+
+        if self.at_kw("RESHARD") {
+            self.advance();
+            self.expect_kw("TABLE")?;
+            let rule = self.parse_sharding_rule_spec()?;
+            let throttle = if self.eat_kw("THROTTLE") {
+                let n: u64 = self
+                    .parse_variable_value()?
+                    .parse()
+                    .map_err(|_| self.err("THROTTLE must be an integer (rows per second)"))?;
+                if n == 0 {
+                    return Err(self.err("THROTTLE must be at least 1 row per second"));
+                }
+                Some(n)
+            } else {
+                None
+            };
+            return Ok(Statement::DistSql(DistSqlStatement::ReshardTable {
+                rule,
+                throttle,
+            }));
+        }
+
+        if self.at_kw("CANCEL") {
+            self.advance();
+            self.expect_kw("RESHARD")?;
+            let table = if self.eat_kw("TABLE") {
+                Some(self.expect_ident()?)
+            } else {
+                None
+            };
+            return Ok(Statement::DistSql(DistSqlStatement::CancelReshard {
+                table,
+            }));
         }
 
         if self.at_kw("INJECT") {
@@ -770,6 +810,55 @@ mod tests {
         assert_eq!(
             distsql("SHOW SLOW_QUERIES"),
             DistSqlStatement::ShowSlowQueries
+        );
+    }
+
+    #[test]
+    fn reshard_table_with_throttle() {
+        let d = distsql(
+            "RESHARD TABLE t_user (RESOURCES(ds0, ds1, ds2), SHARDING_COLUMN=uid, \
+             TYPE=hash_mod, PROPERTIES(\"sharding-count\"=8)) THROTTLE 500",
+        );
+        match d {
+            DistSqlStatement::ReshardTable { rule, throttle } => {
+                assert_eq!(rule.table, "t_user");
+                assert_eq!(rule.resources, vec!["ds0", "ds1", "ds2"]);
+                assert_eq!(rule.algorithm_type, "hash_mod");
+                assert_eq!(throttle, Some(500));
+            }
+            other => panic!("{other:?}"),
+        }
+        let d = distsql("RESHARD TABLE t (RESOURCES(a), SHARDING_COLUMN=x, TYPE=mod)");
+        assert!(matches!(
+            d,
+            DistSqlStatement::ReshardTable { throttle: None, .. }
+        ));
+        assert!(parse_statement(
+            "RESHARD TABLE t (RESOURCES(a), SHARDING_COLUMN=x, TYPE=mod) THROTTLE 0"
+        )
+        .is_err());
+        assert!(parse_statement("RESHARD t (RESOURCES(a), SHARDING_COLUMN=x, TYPE=mod)").is_err());
+    }
+
+    #[test]
+    fn show_reshard_status() {
+        assert_eq!(
+            distsql("SHOW RESHARD STATUS"),
+            DistSqlStatement::ShowReshardStatus
+        );
+    }
+
+    #[test]
+    fn cancel_reshard_forms() {
+        assert_eq!(
+            distsql("CANCEL RESHARD"),
+            DistSqlStatement::CancelReshard { table: None }
+        );
+        assert_eq!(
+            distsql("CANCEL RESHARD TABLE t_user"),
+            DistSqlStatement::CancelReshard {
+                table: Some("t_user".into())
+            }
         );
     }
 

@@ -231,6 +231,8 @@ impl Parser {
             || self.at_kw("INJECT")
             || self.at_kw("CLEAR")
             || self.at_kw("EXPLAIN")
+            || self.at_kw("RESHARD")
+            || self.at_kw("CANCEL")
         {
             return self.parse_distsql();
         }
@@ -283,6 +285,7 @@ impl Parser {
             || self.at_kw_n(1, "METRICS")
             || self.at_kw_n(1, "SLOW_QUERIES")
             || self.at_kw_n(1, "GLOBAL")
+            || self.at_kw_n(1, "RESHARD")
         {
             return self.parse_distsql();
         }

@@ -40,6 +40,13 @@ echo "==> chaos: seeded fault-matrix integration tests"
 timeout 600 cargo test --test chaos -q
 timeout 600 cargo test -p shard-core --test chaos_faults -q
 
+# Reshard gate: live online resharding under seeded chaos (replica loss,
+# write faults, fence-timeout rollback, mid-backfill cancel). Like the chaos
+# gate, every scenario carries its own in-test watchdog; `timeout` is a
+# second line of defence.
+echo "==> reshard: seeded chaos-during-reshard integration tests"
+timeout 600 cargo test --test reshard -q
+
 # Observability gate: metrics are on by default, so their cost is a tax on
 # every statement. The gate compares point-SELECT p50 instrumented vs
 # `SET metrics = off` (best-of-3) and fails above 5% + 300ns slack.
