@@ -85,6 +85,9 @@ pub struct ShardingRuntime {
     /// `SET batch_scan = off`: restore the row-at-a-time scan cursors in
     /// every storage engine (the vectorized path's ablation baseline).
     batch_scan: std::sync::atomic::AtomicBool,
+    /// `SET mvcc = off`: read latest committed state without snapshots in
+    /// every storage engine (the MVCC read path's ablation baseline).
+    mvcc: std::sync::atomic::AtomicBool,
     /// Online-resharding jobs (state machines, generation claims).
     pub(crate) reshard: ReshardManager,
     /// DML statements currently in flight (plan through execution,
@@ -162,6 +165,7 @@ impl ShardingRuntime {
         engine.set_batch_writes(self.batch_writes.load(Ordering::Relaxed));
         engine.set_group_commit_window(self.group_commit_window_us.load(Ordering::Relaxed));
         engine.set_batch_scan(self.batch_scan.load(Ordering::Relaxed));
+        engine.set_mvcc(self.mvcc.load(Ordering::Relaxed));
         let ds = Arc::new(DataSource::new(name, engine, pool));
         {
             // Copy-on-write: topology changes are rare, reads are per
@@ -315,6 +319,21 @@ impl ShardingRuntime {
 
     pub fn batch_scan(&self) -> bool {
         self.batch_scan.load(Ordering::Relaxed)
+    }
+
+    /// Toggle MVCC snapshot reads on every registered engine (`SET mvcc`;
+    /// on by default, off = latest-state read ablation arm). Version chains
+    /// keep being maintained either way — the knob only switches what reads
+    /// resolve against, so flipping it mid-flight is safe.
+    pub fn set_mvcc(&self, enabled: bool) {
+        self.mvcc.store(enabled, Ordering::Relaxed);
+        for ds in self.datasource_snapshot().values() {
+            ds.engine().set_mvcc(enabled);
+        }
+    }
+
+    pub fn mvcc(&self) -> bool {
+        self.mvcc.load(Ordering::Relaxed)
     }
 
     /// Snapshot of a table rule (scaling, diagnostics).
@@ -530,6 +549,27 @@ fn register_runtime_gauges(runtime: &Arc<ShardingRuntime>) {
     engine_sum(
         &registry,
         runtime,
+        "lock_wait_write_total",
+        "write-write lock conflicts that blocked (reads never wait under MVCC)",
+        |e| e.lock_waits_write(),
+    );
+    engine_sum(
+        &registry,
+        runtime,
+        "mvcc_versions_live",
+        "row versions currently held in MVCC version chains",
+        |e| e.mvcc_versions_live(),
+    );
+    engine_sum(
+        &registry,
+        runtime,
+        "mvcc_gc_reclaimed_total",
+        "row versions reclaimed by MVCC garbage collection",
+        |e| e.mvcc_gc_reclaimed(),
+    );
+    engine_sum(
+        &registry,
+        runtime,
         "storage_wal_records",
         "records currently in the write-ahead logs",
         |e| e.wal().len() as u64,
@@ -650,6 +690,7 @@ impl RuntimeBuilder {
             gsi_enabled: std::sync::atomic::AtomicBool::new(true),
             agg_pushdown: std::sync::atomic::AtomicBool::new(true),
             batch_scan: std::sync::atomic::AtomicBool::new(true),
+            mvcc: std::sync::atomic::AtomicBool::new(true),
             reshard: ReshardManager::new(),
             dml_in_flight: Arc::new(AtomicU64::new(0)),
             reshard_fence_timeout_ms: AtomicU64::new(1000),
@@ -1191,6 +1232,11 @@ impl Session {
                 self.runtime.set_batch_scan(enabled);
                 Ok(())
             }
+            "mvcc" => {
+                let enabled = parse_on_off(value, "mvcc")?;
+                self.runtime.set_mvcc(enabled);
+                Ok(())
+            }
             "reshard_fence_timeout_ms" => {
                 let n: u64 = value.parse().map_err(|_| {
                     KernelError::Config("reshard_fence_timeout_ms must be an integer".into())
@@ -1262,6 +1308,7 @@ impl Session {
                 "off"
             }
             .into()),
+            "mvcc" => Ok(if self.runtime.mvcc() { "on" } else { "off" }.into()),
             "reshard_fence_timeout_ms" => Ok(self.runtime.reshard_fence_timeout_ms().to_string()),
             other => Err(KernelError::Config(format!("unknown variable '{other}'"))),
         }

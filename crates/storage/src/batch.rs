@@ -41,6 +41,7 @@ use crate::exec_select::{
 use crate::fault::{FaultInjector, FaultOp};
 use crate::index::RowId;
 use crate::latency::LatencyModel;
+use crate::mvcc::ReadView;
 use crate::result::ResultSet;
 use crate::table::Table;
 use parking_lot::RwLock;
@@ -154,6 +155,9 @@ pub(crate) struct BatchSource {
     pos: usize,
     /// Schema positions of the referenced columns, ascending.
     proj: Vec<usize>,
+    /// Visibility of every fetched row — the statement snapshot taken at
+    /// open, so batch scans read the same version set as the row cursors.
+    view: ReadView,
     hooks: BatchHooks,
 }
 
@@ -162,6 +166,7 @@ impl BatchSource {
         table: Arc<RwLock<Table>>,
         ids: Vec<RowId>,
         proj: Vec<usize>,
+        view: ReadView,
         hooks: BatchHooks,
     ) -> Self {
         BatchSource {
@@ -169,6 +174,7 @@ impl BatchSource {
             ids,
             pos: 0,
             proj,
+            view,
             hooks,
         }
     }
@@ -199,7 +205,7 @@ impl BatchSource {
             let mut fetched = 0usize;
             {
                 let guard = self.table.read();
-                guard.fetch_rows(chunk, |row| {
+                guard.fetch_rows(chunk, &self.view, |row| {
                     fetched += 1;
                     for (out, &ci) in cols.iter_mut().zip(&self.proj) {
                         out.push(row[ci].clone());
@@ -914,6 +920,7 @@ pub(crate) fn open_source(
     ids: Vec<RowId>,
     schema_cols: &[String],
     hooks: BatchHooks,
+    view: ReadView,
 ) -> Result<BatchOpen> {
     let full_scope = Scope::from_table(binding, schema_cols);
     let columns = projection_columns(&stmt.projection, &full_scope)?;
@@ -921,7 +928,7 @@ pub(crate) fn open_source(
     let reduced: Vec<String> = proj.iter().map(|&i| schema_cols[i].clone()).collect();
     let scope = Scope::from_table(binding, &reduced);
     Ok(BatchOpen {
-        source: BatchSource::new(table, ids, proj, hooks),
+        source: BatchSource::new(table, ids, proj, view, hooks),
         scope,
         columns,
     })
@@ -1069,6 +1076,7 @@ pub(crate) fn execute_select_batch(
     stmt: &SelectStatement,
     params: &[Value],
     counters: BatchCounters,
+    view: &ReadView,
 ) -> Result<Option<ResultSet>> {
     if !batch_admissible(stmt) {
         return Ok(None);
@@ -1086,7 +1094,7 @@ pub(crate) fn execute_select_batch(
         params,
     ) {
         Some(ids) => ids,
-        None => guard.scan().map(|(id, _)| id).collect(),
+        None => guard.all_ids().collect(),
     };
     drop(guard);
 
@@ -1096,7 +1104,15 @@ pub(crate) fn execute_select_batch(
         faults: None,
         counters,
     };
-    let mut open = open_source(table, stmt, from.binding_name(), ids, &schema_cols, hooks)?;
+    let mut open = open_source(
+        table,
+        stmt,
+        from.binding_name(),
+        ids,
+        &schema_cols,
+        hooks,
+        view.clone(),
+    )?;
 
     if needs_grouping(stmt) {
         let mut state = BatchGroupedState::new(stmt, &open.scope);

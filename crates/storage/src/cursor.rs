@@ -33,6 +33,7 @@ use crate::exec_select::{
 use crate::fault::{FaultInjector, FaultOp};
 use crate::index::RowId;
 use crate::latency::LatencyModel;
+use crate::mvcc::ReadView;
 use crate::result::ResultSet;
 use crate::table::Table;
 use parking_lot::RwLock;
@@ -137,6 +138,9 @@ struct ScanCursor {
     to_skip: u64,
     /// Rows still to emit for LIMIT (`None` = unlimited).
     remaining: Option<u64>,
+    /// Visibility of each fetched row: the statement snapshot taken at open,
+    /// so rows deleted or updated mid-scan keep their as-of-open image.
+    view: ReadView,
     pulled: Arc<AtomicU64>,
     latency: LatencyModel,
     faults: Arc<FaultInjector>,
@@ -156,7 +160,7 @@ impl ScanCursor {
             };
             // Lock scope is one fetch: the guard must never live across
             // pulls (the consumer paces us and may hold a row for long).
-            let row = { self.table.read().get(id).cloned() };
+            let row = { self.table.read().get_visible(id, &self.view).cloned() };
             let Some(row) = row else { continue };
             self.pulled.fetch_add(1, Ordering::Relaxed);
             self.latency.charge_rows(1);
@@ -189,6 +193,7 @@ struct GroupedScanCursor {
     scope: Scope,
     stmt: SelectStatement,
     params: Vec<Value>,
+    view: ReadView,
     state: Option<GroupedState>,
     offset: u64,
     limit: Option<u64>,
@@ -210,7 +215,7 @@ impl GroupedScanCursor {
                 // tests inject here to kill a shard mid-aggregation.
                 self.faults.check(FaultOp::RowPull)?;
                 // Lock scope is one fetch, as in ScanCursor.
-                let row = { self.table.read().get(id).cloned() };
+                let row = { self.table.read().get_visible(id, &self.view).cloned() };
                 let Some(row) = row else { continue };
                 self.pulled.fetch_add(1, Ordering::Relaxed);
                 self.latency.charge_rows(1);
@@ -253,6 +258,7 @@ fn resolve_limit_value(
 /// the statement shape needs the materialized path (joins, DISTINCT, or an
 /// ORDER BY no index can satisfy). Grouped/aggregate statements stream via
 /// [`GroupedScanCursor`].
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn try_open_streaming(
     catalog: &dyn Catalog,
     stmt: &SelectStatement,
@@ -261,6 +267,7 @@ pub(crate) fn try_open_streaming(
     latency: LatencyModel,
     faults: Arc<FaultInjector>,
     batch: Option<BatchCounters>,
+    view: ReadView,
 ) -> Result<Option<QueryCursor>> {
     let Some(from) = &stmt.from else {
         return Ok(None);
@@ -269,7 +276,7 @@ pub(crate) fn try_open_streaming(
         return Ok(None);
     }
     if needs_grouping(stmt) {
-        return open_grouped(catalog, stmt, params, pulled, latency, faults, batch);
+        return open_grouped(catalog, stmt, params, pulled, latency, faults, batch, view);
     }
     if stmt.having.is_some() {
         // HAVING without aggregates or GROUP BY: the materialized path has
@@ -290,7 +297,7 @@ pub(crate) fn try_open_streaming(
             params,
         ) {
             Some(ids) => ids,
-            None => guard.scan().map(|(id, _)| id).collect(),
+            None => guard.all_ids().collect(),
         };
         drop(guard);
         let hooks = BatchHooks {
@@ -299,7 +306,15 @@ pub(crate) fn try_open_streaming(
             faults: Some(faults),
             counters,
         };
-        let open = open_source(table, stmt, from.binding_name(), ids, &schema_cols, hooks)?;
+        let open = open_source(
+            table,
+            stmt,
+            from.binding_name(),
+            ids,
+            &schema_cols,
+            hooks,
+            view,
+        )?;
         return Ok(Some(QueryCursor {
             columns: open.columns,
             inner: CursorInner::BatchScan(Box::new(BatchScanCursor::new(
@@ -332,7 +347,7 @@ pub(crate) fn try_open_streaming(
             params,
         ) {
             Some(ids) => ids,
-            None => guard.scan().map(|(id, _)| id).collect(),
+            None => guard.all_ids().collect(),
         }
     } else {
         // An index can satisfy the ORDER BY when every key is a bare column
@@ -379,6 +394,7 @@ pub(crate) fn try_open_streaming(
             params: params.to_vec(),
             to_skip: offset,
             remaining: limit,
+            view,
             pulled,
             latency,
             faults,
@@ -390,6 +406,7 @@ pub(crate) fn try_open_streaming(
 /// groups inside [`GroupedState::finish`], so ids need no index order — the
 /// access path (or full scan) matches the materialized path's source order,
 /// keeping first-seen group order identical.
+#[allow(clippy::too_many_arguments)]
 fn open_grouped(
     catalog: &dyn Catalog,
     stmt: &SelectStatement,
@@ -398,6 +415,7 @@ fn open_grouped(
     latency: LatencyModel,
     faults: Arc<FaultInjector>,
     batch: Option<BatchCounters>,
+    view: ReadView,
 ) -> Result<Option<QueryCursor>> {
     let Some(from) = &stmt.from else {
         return Ok(None);
@@ -420,7 +438,7 @@ fn open_grouped(
         params,
     ) {
         Some(ids) => ids,
-        None => guard.scan().map(|(id, _)| id).collect(),
+        None => guard.all_ids().collect(),
     };
 
     // Vectorized grouped path: same id snapshot and source order, aggregates
@@ -434,7 +452,15 @@ fn open_grouped(
             faults: Some(faults),
             counters,
         };
-        let open = open_source(table, stmt, from.binding_name(), ids, &schema_cols, hooks)?;
+        let open = open_source(
+            table,
+            stmt,
+            from.binding_name(),
+            ids,
+            &schema_cols,
+            hooks,
+            view,
+        )?;
         return Ok(Some(QueryCursor {
             columns: open.columns,
             inner: CursorInner::BatchGrouped(Box::new(BatchGroupedCursor::new(
@@ -457,6 +483,7 @@ fn open_grouped(
             scope,
             stmt: stmt.clone(),
             params: params.to_vec(),
+            view,
             state: Some(GroupedState::new(stmt)),
             offset,
             limit,
@@ -598,13 +625,28 @@ mod tests {
     }
 
     #[test]
-    fn deleted_rows_are_skipped_mid_scan() {
+    fn snapshot_scan_still_sees_rows_deleted_mid_scan() {
         let e = engine_with_rows(10);
         let stmt = select("SELECT id FROM t ORDER BY id");
         let mut cursor = e.open_cursor(&stmt, &[], None).unwrap();
         assert_eq!(cursor.next_row().unwrap(), Some(vec![Value::Int(0)]));
         e.execute_sql("DELETE FROM t WHERE id = 1", &[], None)
             .unwrap();
+        // The cursor's snapshot predates the delete, so id = 1 is still
+        // visible to it even though the current state has lost the row.
+        assert_eq!(cursor.next_row().unwrap(), Some(vec![Value::Int(1)]));
+    }
+
+    #[test]
+    fn deleted_rows_are_skipped_mid_scan_with_mvcc_off() {
+        let e = engine_with_rows(10);
+        e.set_mvcc(false);
+        let stmt = select("SELECT id FROM t ORDER BY id");
+        let mut cursor = e.open_cursor(&stmt, &[], None).unwrap();
+        assert_eq!(cursor.next_row().unwrap(), Some(vec![Value::Int(0)]));
+        e.execute_sql("DELETE FROM t WHERE id = 1", &[], None)
+            .unwrap();
+        // Latest-state reads (the pre-MVCC behavior) skip the deleted row.
         assert_eq!(cursor.next_row().unwrap(), Some(vec![Value::Int(2)]));
     }
 }

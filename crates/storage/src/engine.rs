@@ -19,7 +19,8 @@ use crate::fault::{FaultInjector, FaultKind, FaultOp, FaultPlan, FaultTrigger};
 use crate::group_commit::GroupCommitter;
 use crate::index::RowId;
 use crate::latency::LatencyModel;
-use crate::lock::{LockManager, TxnId};
+use crate::lock::{LockIntent, LockManager, TxnId};
+use crate::mvcc::{ReadView, SnapshotRegistry};
 use crate::result::{ExecuteResult, ResultSet};
 use crate::schema::TableSchema;
 use crate::table::Table;
@@ -27,28 +28,31 @@ use crate::wal::{LogRecord, SharedLog};
 use parking_lot::{Mutex, RwLock};
 use shard_sql::ast::*;
 use shard_sql::{format_statement, parse_statement, Dialect, Value};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-/// Undo-log entry: how to reverse one applied operation.
+/// Undo-log entry: how to reverse one applied operation. Under MVCC the
+/// undo is structural — rollback pops the pending version the op created
+/// (or clears the pending end stamp it set) — so no before images are kept
+/// here; they live in the superseded versions themselves. Commit reuses the
+/// same list as the set of rows to stamp.
 #[derive(Debug, Clone)]
 enum UndoOp {
-    Insert {
-        table: String,
-        row_id: RowId,
-    },
-    Update {
-        table: String,
-        row_id: RowId,
-        before: Vec<Value>,
-    },
-    Delete {
-        table: String,
-        row_id: RowId,
-        before: Vec<Value>,
-    },
+    Insert { table: String, row_id: RowId },
+    Update { table: String, row_id: RowId },
+    Delete { table: String, row_id: RowId },
+}
+
+impl UndoOp {
+    fn touched(&self) -> (&str, RowId) {
+        match self {
+            UndoOp::Insert { table, row_id }
+            | UndoOp::Update { table, row_id }
+            | UndoOp::Delete { table, row_id } => (table, *row_id),
+        }
+    }
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -107,7 +111,27 @@ pub struct StorageEngine {
     /// with batch sources so both streaming and materialized paths count).
     scan_batches: Arc<AtomicU64>,
     scan_batch_rows: Arc<AtomicU64>,
+    /// Snapshot-isolation reads (on by default). Off = reads resolve
+    /// [`ReadView::Latest`], the pre-MVCC read-latest behaviour, kept for
+    /// ablation (`SET mvcc = off`). Writers stamp versions either way so the
+    /// knob can be flipped at runtime.
+    mvcc: AtomicBool,
+    /// Last published commit timestamp; readers snapshot this.
+    commit_clock: AtomicU64,
+    /// Serializes version stamping + clock publication at commit, so a
+    /// half-stamped transaction is never visible. The group-commit flush
+    /// happens outside this lock.
+    commit_seal: Mutex<()>,
+    /// Live snapshots, bounding the vacuum horizon.
+    snapshots: SnapshotRegistry,
+    /// Versions reclaimed by vacuum so far (`mvcc_gc_reclaimed_total`).
+    gc_reclaimed: AtomicU64,
+    /// Commits since the last auto-vacuum (epoch trigger).
+    commits_since_gc: AtomicU64,
 }
+
+/// Auto-vacuum every this many commits.
+const GC_COMMIT_INTERVAL: u64 = 64;
 
 struct ServerSlots {
     available: Mutex<usize>,
@@ -170,6 +194,12 @@ impl StorageEngine {
             batch_scan: AtomicBool::new(true),
             scan_batches: Arc::new(AtomicU64::new(0)),
             scan_batch_rows: Arc::new(AtomicU64::new(0)),
+            mvcc: AtomicBool::new(true),
+            commit_clock: AtomicU64::new(0),
+            commit_seal: Mutex::new(()),
+            snapshots: SnapshotRegistry::default(),
+            gc_reclaimed: AtomicU64::new(0),
+            commits_since_gc: AtomicU64::new(0),
         })
     }
 
@@ -222,6 +252,61 @@ impl StorageEngine {
         self.batch_scan.load(Ordering::Relaxed)
     }
 
+    /// Toggle snapshot-isolation reads (on by default; off restores the
+    /// lock-era read-latest path for ablation, `SET mvcc = off`).
+    pub fn set_mvcc(&self, enabled: bool) {
+        self.mvcc.store(enabled, Ordering::Relaxed);
+    }
+
+    pub fn mvcc_enabled(&self) -> bool {
+        self.mvcc.load(Ordering::Relaxed)
+    }
+
+    /// The read view for one statement (or one cursor open): a registered
+    /// snapshot of the commit clock when MVCC is on, [`ReadView::Latest`]
+    /// otherwise. `txn` makes the transaction's own pending writes visible
+    /// (read-your-writes).
+    pub fn read_view(&self, txn: Option<TxnId>) -> ReadView {
+        if !self.mvcc_enabled() {
+            return ReadView::Latest;
+        }
+        let (ts, guard) = self.snapshots.acquire(&self.commit_clock);
+        ReadView::snapshot(ts, txn, Some(guard))
+    }
+
+    /// Total stored row versions across all tables (`mvcc_versions_live`).
+    pub fn mvcc_versions_live(&self) -> u64 {
+        let tables: Vec<_> = self.tables.read().values().cloned().collect();
+        tables.iter().map(|t| t.read().version_count() as u64).sum()
+    }
+
+    /// Versions reclaimed by vacuum so far (`mvcc_gc_reclaimed_total`).
+    pub fn mvcc_gc_reclaimed(&self) -> u64 {
+        self.gc_reclaimed.load(Ordering::Relaxed)
+    }
+
+    /// Reclaim versions no live (or future) snapshot can see. Runs
+    /// automatically every [`GC_COMMIT_INTERVAL`] commits; callable directly
+    /// for tests and maintenance.
+    pub fn vacuum(&self) -> u64 {
+        let oldest = self.snapshots.oldest_live(&self.commit_clock);
+        let tables: Vec<_> = self.tables.read().values().cloned().collect();
+        let mut reclaimed = 0u64;
+        for t in tables {
+            reclaimed += t.write().vacuum(oldest);
+        }
+        self.gc_reclaimed.fetch_add(reclaimed, Ordering::Relaxed);
+        reclaimed
+    }
+
+    fn maybe_vacuum(&self) {
+        if self.commits_since_gc.fetch_add(1, Ordering::Relaxed) % GC_COMMIT_INTERVAL
+            == GC_COMMIT_INTERVAL - 1
+        {
+            self.vacuum();
+        }
+    }
+
     /// Columnar batches fetched by the batch-scan path so far.
     pub fn scan_batches(&self) -> u64 {
         self.scan_batches.load(Ordering::Relaxed)
@@ -256,9 +341,21 @@ impl StorageEngine {
         self.rows_pulled.load(Ordering::Relaxed)
     }
 
-    /// Row-lock acquisitions that had to block behind another transaction.
+    /// Row-lock acquisitions that had to block behind another transaction
+    /// (both intents combined).
     pub fn lock_waits(&self) -> u64 {
         self.locks.waits()
+    }
+
+    /// Write-write blocking episodes (`lock_wait_write_total`).
+    pub fn lock_waits_write(&self) -> u64 {
+        self.locks.waits_write()
+    }
+
+    /// Blocking episodes attributable to locking reads (FOR UPDATE). Plain
+    /// reads resolve MVCC snapshots and never appear here.
+    pub fn lock_waits_read(&self) -> u64 {
+        self.locks.waits_read()
     }
 
     /// This source's fault injector (chaos tests, `INJECT FAULT` RAL).
@@ -326,18 +423,43 @@ impl StorageEngine {
     }
 
     fn finish_commit(&self, txn: TxnId, flush: bool) -> Result<()> {
+        // Commit is legal from Active (local/1PC) and Prepared (XA phase 2).
         let state = self
             .txns
             .lock()
             .remove(&txn)
             .ok_or(StorageError::UnknownTransaction(txn))?;
-        // Commit is legal from Active (local/1PC) and Prepared (XA phase 2).
-        drop(state);
-        self.wal.append(LogRecord::Commit { txn });
+        if state.undo.is_empty() {
+            // Read-only: nothing to stamp, don't burn a timestamp.
+            self.wal.append(LogRecord::Commit { txn });
+        } else {
+            // Stamp every touched row's pending versions with the next
+            // commit timestamp, then publish the clock. Readers snapshot the
+            // published clock, so a half-stamped transaction is invisible:
+            // its versions become visible all at once with the store below.
+            // Only stamping and the WAL commit record sit inside the seal —
+            // the durability flush stays outside so group commit can keep
+            // coalescing concurrent committers.
+            let seal = self.commit_seal.lock();
+            let ts = self.commit_clock.load(Ordering::Relaxed) + 1;
+            let mut seen: HashSet<(&str, RowId)> = HashSet::new();
+            for op in &state.undo {
+                let (table, row_id) = op.touched();
+                if seen.insert((table, row_id)) {
+                    if let Ok(t) = self.table(table) {
+                        t.write().stamp_commit(row_id, txn, ts);
+                    }
+                }
+            }
+            self.wal.append(LogRecord::Commit { txn });
+            self.commit_clock.store(ts, Ordering::Release);
+            drop(seal);
+        }
         if flush {
             self.group_commit.sync(|| self.latency.charge(0));
         }
         self.locks.release_all(txn);
+        self.maybe_vacuum();
         Ok(())
     }
 
@@ -347,34 +469,28 @@ impl StorageEngine {
             .lock()
             .remove(&txn)
             .ok_or(StorageError::UnknownTransaction(txn))?;
-        self.apply_undo(&state.undo)?;
+        self.apply_undo(txn, &state.undo)?;
         self.wal.append(LogRecord::Abort { txn });
         self.locks.release_all(txn);
         Ok(())
     }
 
-    fn apply_undo(&self, undo: &[UndoOp]) -> Result<()> {
+    /// Structural rollback: pop the pending versions the transaction
+    /// created and clear the pending end stamps it set, newest-first.
+    fn apply_undo(&self, txn: TxnId, undo: &[UndoOp]) -> Result<()> {
         for op in undo.iter().rev() {
             match op {
                 UndoOp::Insert { table, row_id } => {
                     let t = self.table(table)?;
-                    t.write().delete(*row_id)?;
+                    t.write().abort_insert(*row_id);
                 }
-                UndoOp::Update {
-                    table,
-                    row_id,
-                    before,
-                } => {
+                UndoOp::Update { table, row_id } => {
                     let t = self.table(table)?;
-                    t.write().update(*row_id, before.clone())?;
+                    t.write().abort_update(*row_id, txn)?;
                 }
-                UndoOp::Delete {
-                    table,
-                    row_id,
-                    before,
-                } => {
+                UndoOp::Delete { table, row_id } => {
                     let t = self.table(table)?;
-                    t.write().reinsert(*row_id, before.clone())?;
+                    t.write().abort_delete(*row_id, txn)?;
                 }
             }
         }
@@ -546,6 +662,7 @@ impl StorageEngine {
                 self.latency,
                 Arc::clone(&self.faults),
                 self.batch_scan_enabled().then(|| self.batch_counters()),
+                self.read_view(txn),
             )? {
                 self.latency.charge(0);
                 return Ok(cursor);
@@ -688,17 +805,24 @@ impl StorageEngine {
         params: &[Value],
         txn: Option<TxnId>,
     ) -> Result<ResultSet> {
+        // FOR UPDATE is a locking read: it wants the current rows it is
+        // about to lock, not a snapshot.
+        let view = if stmt.for_update {
+            ReadView::Latest
+        } else {
+            self.read_view(txn)
+        };
         // Vectorized takeover of the buffered path for admissible shapes
         // (FOR UPDATE is never admissible, so the locking below keeps its
         // materialized rows).
         let batched = if self.batch_scan_enabled() {
-            execute_select_batch(self, stmt, params, self.batch_counters())?
+            execute_select_batch(self, stmt, params, self.batch_counters(), &view)?
         } else {
             None
         };
         let rs = match batched {
             Some(rs) => rs,
-            None => execute_select(self, stmt, params)?,
+            None => execute_select(self, stmt, params, &view)?,
         };
         // SELECT ... FOR UPDATE takes write locks on the matched rows of the
         // base table when run inside an explicit transaction.
@@ -720,7 +844,8 @@ impl StorageEngine {
                         for row in &rs.rows {
                             let key: Vec<Value> = pos.iter().map(|&i| row[i].clone()).collect();
                             for rid in guard.lookup_pk(&key) {
-                                self.locks.lock_row(t, guard.name(), rid)?;
+                                self.locks
+                                    .lock_row(t, guard.name(), rid, LockIntent::Read)?;
                             }
                         }
                     }
@@ -750,8 +875,9 @@ impl StorageEngine {
                 let guard = table.read();
                 build_full_row(&guard.schema, &stmt.columns, values)?
             };
-            let (row_id, stored) = table.write().insert(full_row)?;
-            self.locks.lock_row(txn, stmt.table.as_str(), row_id)?;
+            let (row_id, stored) = table.write().insert(full_row, txn)?;
+            self.locks
+                .lock_row(txn, stmt.table.as_str(), row_id, LockIntent::Write)?;
             self.record_undo(
                 txn,
                 UndoOp::Insert {
@@ -795,9 +921,10 @@ impl StorageEngine {
             }
             full_rows
         };
-        let inserted = table.write().insert_many(full_rows)?;
+        let inserted = table.write().insert_many(full_rows, txn)?;
         let row_ids: Vec<RowId> = inserted.iter().map(|(id, _)| *id).collect();
-        self.locks.lock_rows(txn, stmt.table.as_str(), &row_ids)?;
+        self.locks
+            .lock_rows(txn, stmt.table.as_str(), &row_ids, LockIntent::Write)?;
         self.record_undo_batch(
             txn,
             row_ids.iter().map(|&row_id| UndoOp::Insert {
@@ -834,7 +961,8 @@ impl StorageEngine {
         };
         let mut affected = 0u64;
         for row_id in targets {
-            self.locks.lock_row(txn, stmt.table.as_str(), row_id)?;
+            self.locks
+                .lock_row(txn, stmt.table.as_str(), row_id, LockIntent::Write)?;
             let mut guard = table.write();
             // Re-check the row still matches (it may have changed while we
             // waited for the lock).
@@ -856,14 +984,13 @@ impl StorageEngine {
                 let ctx = EvalContext::new(&scope, &current, params);
                 new_row[col] = eval(&assign.value, &ctx)?;
             }
-            let before = guard.update(row_id, new_row.clone())?;
+            let before = guard.update(row_id, new_row.clone(), txn)?;
             drop(guard);
             self.record_undo(
                 txn,
                 UndoOp::Update {
                     table: stmt.table.0.clone(),
                     row_id,
-                    before: before.clone(),
                 },
             );
             self.wal.append(LogRecord::Update {
@@ -895,7 +1022,8 @@ impl StorageEngine {
         };
         let mut affected = 0u64;
         for row_id in targets {
-            self.locks.lock_row(txn, stmt.table.as_str(), row_id)?;
+            self.locks
+                .lock_row(txn, stmt.table.as_str(), row_id, LockIntent::Write)?;
             let mut guard = table.write();
             let Some(current) = guard.get(row_id).cloned() else {
                 continue;
@@ -906,14 +1034,13 @@ impl StorageEngine {
                     continue;
                 }
             }
-            let before = guard.delete(row_id)?;
+            let before = guard.delete(row_id, txn)?;
             drop(guard);
             self.record_undo(
                 txn,
                 UndoOp::Delete {
                     table: stmt.table.0.clone(),
                     row_id,
-                    before: before.clone(),
                 },
             );
             self.wal.append(LogRecord::Delete {
@@ -1052,7 +1179,12 @@ impl StorageEngine {
             }
         }
 
+        // Replay committed and prepared transactions' operations in log
+        // order as pending versions of their original txn ids, tracking the
+        // rows each touched. Active/aborted transactions are never replayed:
+        // recovery discards uncommitted versions by construction.
         let mut max_txn = 0u64;
+        let mut touched: HashMap<u64, Vec<(String, RowId)>> = HashMap::new();
         for rec in &records {
             if let Some(t) = rec.txn() {
                 max_txn = max_txn.max(t);
@@ -1080,7 +1212,11 @@ impl StorageEngine {
                     let replay = committed.contains(txn) || prepared.contains_key(txn);
                     if replay && !aborted.contains(txn) {
                         let t = engine.table(table)?;
-                        t.write().reinsert(*row_id, row.clone())?;
+                        t.write().replay_insert(*row_id, row.clone(), *txn);
+                        touched
+                            .entry(*txn)
+                            .or_default()
+                            .push((table.clone(), *row_id));
                         if prepared.contains_key(txn) && !committed.contains(txn) {
                             engine.record_undo_recovered(
                                 *txn,
@@ -1096,42 +1232,45 @@ impl StorageEngine {
                     txn,
                     table,
                     row_id,
-                    before,
                     after,
+                    ..
                 } => {
                     let replay = committed.contains(txn) || prepared.contains_key(txn);
                     if replay && !aborted.contains(txn) {
                         let t = engine.table(table)?;
-                        t.write().update(*row_id, after.clone())?;
+                        t.write().replay_update(*row_id, after.clone(), *txn)?;
+                        touched
+                            .entry(*txn)
+                            .or_default()
+                            .push((table.clone(), *row_id));
                         if prepared.contains_key(txn) && !committed.contains(txn) {
                             engine.record_undo_recovered(
                                 *txn,
                                 UndoOp::Update {
                                     table: table.clone(),
                                     row_id: *row_id,
-                                    before: before.clone(),
                                 },
                             );
                         }
                     }
                 }
                 LogRecord::Delete {
-                    txn,
-                    table,
-                    row_id,
-                    before,
+                    txn, table, row_id, ..
                 } => {
                     let replay = committed.contains(txn) || prepared.contains_key(txn);
                     if replay && !aborted.contains(txn) {
                         let t = engine.table(table)?;
-                        let _ = t.write().delete(*row_id);
+                        let _ = t.write().delete(*row_id, *txn);
+                        touched
+                            .entry(*txn)
+                            .or_default()
+                            .push((table.clone(), *row_id));
                         if prepared.contains_key(txn) && !committed.contains(txn) {
                             engine.record_undo_recovered(
                                 *txn,
                                 UndoOp::Delete {
                                     table: table.clone(),
                                     row_id: *row_id,
-                                    before: before.clone(),
                                 },
                             );
                         }
@@ -1139,6 +1278,24 @@ impl StorageEngine {
                 }
                 _ => {}
             }
+        }
+
+        // Stamp the committed transactions' versions at timestamp 1 and
+        // publish the clock; prepared-but-undecided versions stay pending
+        // (in-doubt) until the coordinator's recovery pass decides them.
+        let mut any_committed = false;
+        for (txn, rows) in &touched {
+            if committed.contains(txn) && !aborted.contains(txn) {
+                any_committed = true;
+                for (table, row_id) in rows {
+                    if let Ok(t) = engine.table(table) {
+                        t.write().stamp_commit(*row_id, *txn, 1);
+                    }
+                }
+            }
+        }
+        if any_committed {
+            engine.commit_clock.store(1, Ordering::Release);
         }
 
         // Register in-doubt transactions.

@@ -9,6 +9,7 @@
 use crate::error::{Result, StorageError};
 use crate::eval::{eval, eval_predicate, EvalContext, Scope};
 use crate::index::RowId;
+use crate::mvcc::ReadView;
 use crate::result::ResultSet;
 use crate::table::Table;
 use parking_lot::RwLock;
@@ -27,6 +28,7 @@ pub fn execute_select(
     catalog: &dyn Catalog,
     stmt: &SelectStatement,
     params: &[Value],
+    view: &ReadView,
 ) -> Result<ResultSet> {
     // SELECT without FROM: evaluate the projection once over an empty row.
     let Some(from) = &stmt.from else {
@@ -64,9 +66,12 @@ pub fn execute_select(
         match candidates {
             Some(ids) => ids
                 .into_iter()
-                .filter_map(|id| base_guard.get(id).cloned())
+                .filter_map(|id| base_guard.get_visible(id, view).cloned())
                 .collect(),
-            None => base_guard.scan().map(|(_, r)| r.clone()).collect(),
+            None => base_guard
+                .scan_visible(view)
+                .map(|(_, r)| r.clone())
+                .collect(),
         }
     };
     drop(base_guard);
@@ -89,6 +94,7 @@ pub fn execute_select(
             &right_binding,
             join,
             params,
+            view,
         )?;
         scope = next_scope;
     }
@@ -422,6 +428,7 @@ fn unwrap_nested(e: &Expr) -> &Expr {
 // Joins
 // ---------------------------------------------------------------------------
 
+#[allow(clippy::too_many_arguments)]
 fn execute_join(
     left_rows: Vec<Vec<Value>>,
     left_scope: &Scope,
@@ -430,6 +437,7 @@ fn execute_join(
     right_binding: &str,
     join: &Join,
     params: &[Value],
+    view: &ReadView,
 ) -> Result<Vec<Vec<Value>>> {
     let right_arity = right.schema.arity();
 
@@ -499,7 +507,11 @@ fn execute_join(
                 let idx = right.index_on(r_col).expect("checked above");
                 let mut matched = false;
                 for rid in idx.lookup(&[lv]) {
-                    let r_row = right.get(rid).expect("index points to live row");
+                    // Entries can point at versions outside the view (deleted
+                    // but unvacuumed rows, other txns' pending writes) — skip.
+                    let Some(r_row) = right.get_visible(rid, view) else {
+                        continue;
+                    };
                     let mut candidate = l_row.clone();
                     candidate.extend_from_slice(r_row);
                     if residual_ok(join, combined_scope, &candidate, params)? {
@@ -518,7 +530,7 @@ fn execute_join(
     // Hash join: at least one equi key.
     if !eq_keys.is_empty() {
         let mut build: HashMap<Vec<Value>, Vec<RowId>> = HashMap::new();
-        for (rid, r_row) in right.scan() {
+        for (rid, r_row) in right.scan_visible(view) {
             let key: Vec<Value> = eq_keys
                 .iter()
                 .map(|(_, r_col)| {
@@ -542,7 +554,9 @@ fn execute_join(
             if !key.iter().any(Value::is_null) {
                 if let Some(rids) = build.get(&key) {
                     for rid in rids {
-                        let r_row = right.get(*rid).expect("live row");
+                        let r_row = right
+                            .get_visible(*rid, view)
+                            .expect("built from visible scan");
                         let mut candidate = l_row.clone();
                         candidate.extend_from_slice(r_row);
                         if residual_ok(join, combined_scope, &candidate, params)? {
@@ -560,7 +574,7 @@ fn execute_join(
     }
 
     // Nested loop (cross join or opaque ON condition).
-    let right_rows: Vec<Vec<Value>> = right.scan().map(|(_, r)| r.clone()).collect();
+    let right_rows: Vec<Vec<Value>> = right.scan_visible(view).map(|(_, r)| r.clone()).collect();
     for l_row in &left_rows {
         let mut matched = false;
         for r_row in &right_rows {

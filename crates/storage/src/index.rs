@@ -50,6 +50,14 @@ impl Index {
         Ok(())
     }
 
+    /// Insert an entry without the unique-duplicate check. Under MVCC a
+    /// unique slot may legitimately hold the id of a deleted-but-not-yet-
+    /// vacuumed row that old snapshots still reach, so the table layer
+    /// validates uniqueness against *live* versions before calling this.
+    pub(crate) fn insert_entry(&mut self, key: Vec<Value>, row_id: RowId) {
+        self.entries.entry(key).or_default().push(row_id);
+    }
+
     pub fn remove(&mut self, key: &[Value], row_id: RowId) {
         if let Some(slot) = self.entries.get_mut(key) {
             slot.retain(|id| *id != row_id);

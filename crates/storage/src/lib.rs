@@ -29,6 +29,7 @@ pub mod group_commit;
 pub mod index;
 pub mod latency;
 pub mod lock;
+pub mod mvcc;
 pub mod result;
 pub mod schema;
 pub mod table;
@@ -41,7 +42,8 @@ pub use error::{Result, StorageError};
 pub use fault::{FaultInjector, FaultKind, FaultOp, FaultPlan, FaultTrigger};
 pub use group_commit::GroupCommitter;
 pub use latency::LatencyModel;
-pub use lock::TxnId;
+pub use lock::{LockIntent, TxnId};
+pub use mvcc::ReadView;
 pub use result::{ExecuteResult, ResultCursor, ResultSet};
 pub use schema::TableSchema;
 pub use table::Table;

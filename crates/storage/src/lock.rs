@@ -5,6 +5,11 @@
 //! Acquisition blocks with a bounded wait; timing out surfaces the engine's
 //! `LockTimeout` error, which matches how MySQL reports `innodb_lock_wait_
 //! timeout` instead of deadlocking forever.
+//!
+//! Plain reads never come here at all — they resolve MVCC snapshots
+//! (`crate::mvcc`). The only read-side caller left is `SELECT ... FOR
+//! UPDATE`, which declares [`LockIntent::Read`] so the wait counters can
+//! attribute blocking to the side that regressed.
 
 use crate::error::{Result, StorageError};
 use crate::index::RowId;
@@ -14,6 +19,15 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 pub type TxnId = u64;
+
+/// Why a lock is being taken: a locking read (`SELECT ... FOR UPDATE`) or a
+/// write (INSERT/UPDATE/DELETE). Both acquire the same exclusive lock; the
+/// intent only routes the wait accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockIntent {
+    Read,
+    Write,
+}
 
 #[derive(Default)]
 struct LockTable {
@@ -27,9 +41,11 @@ pub struct LockManager {
     state: Mutex<LockTable>,
     released: Condvar,
     timeout: Duration,
-    /// Times an acquisition had to block on another owner (per blocking
-    /// episode, not per condvar wakeup) — exported as a kernel metric.
-    waits: AtomicU64,
+    /// Times a read-intent acquisition had to block on another owner (per
+    /// blocking episode, not per condvar wakeup).
+    waits_read: AtomicU64,
+    /// Times a write acquisition had to block on another owner.
+    waits_write: AtomicU64,
 }
 
 impl LockManager {
@@ -38,18 +54,38 @@ impl LockManager {
             state: Mutex::new(LockTable::default()),
             released: Condvar::new(),
             timeout,
-            waits: AtomicU64::new(0),
+            waits_read: AtomicU64::new(0),
+            waits_write: AtomicU64::new(0),
         }
     }
 
-    /// How many row acquisitions blocked behind another transaction.
+    /// How many row acquisitions blocked behind another transaction, both
+    /// intents combined — the `storage_lock_waits_total` instrument.
     pub fn waits(&self) -> u64 {
-        self.waits.load(Ordering::Relaxed)
+        self.waits_read.load(Ordering::Relaxed) + self.waits_write.load(Ordering::Relaxed)
+    }
+
+    /// Blocking episodes attributable to locking reads (FOR UPDATE).
+    pub fn waits_read(&self) -> u64 {
+        self.waits_read.load(Ordering::Relaxed)
+    }
+
+    /// Blocking episodes attributable to write-write conflicts — the
+    /// `lock_wait_write_total` instrument.
+    pub fn waits_write(&self) -> u64 {
+        self.waits_write.load(Ordering::Relaxed)
+    }
+
+    fn count_wait(&self, intent: LockIntent) {
+        match intent {
+            LockIntent::Read => self.waits_read.fetch_add(1, Ordering::Relaxed),
+            LockIntent::Write => self.waits_write.fetch_add(1, Ordering::Relaxed),
+        };
     }
 
     /// Acquire an exclusive lock on a row for `txn`. Re-entrant: a
     /// transaction that already owns the lock acquires it for free.
-    pub fn lock_row(&self, txn: TxnId, table: &str, row: RowId) -> Result<()> {
+    pub fn lock_row(&self, txn: TxnId, table: &str, row: RowId, intent: LockIntent) -> Result<()> {
         let key = (table.to_string(), row);
         let deadline = Instant::now() + self.timeout;
         let mut state = self.state.lock();
@@ -65,7 +101,7 @@ impl LockManager {
                 Some(_) => {
                     if !waited {
                         waited = true;
-                        self.waits.fetch_add(1, Ordering::Relaxed);
+                        self.count_wait(intent);
                     }
                     let now = Instant::now();
                     if now >= deadline {
@@ -88,7 +124,13 @@ impl LockManager {
     /// per row — the batched-INSERT fast path). Locks acquired before a
     /// timeout stay held by `txn` and are released with the transaction,
     /// exactly as if they had been taken one at a time.
-    pub fn lock_rows(&self, txn: TxnId, table: &str, rows: &[RowId]) -> Result<()> {
+    pub fn lock_rows(
+        &self,
+        txn: TxnId,
+        table: &str,
+        rows: &[RowId],
+        intent: LockIntent,
+    ) -> Result<()> {
         let deadline = Instant::now() + self.timeout;
         let mut state = self.state.lock();
         for &row in rows {
@@ -105,7 +147,7 @@ impl LockManager {
                     Some(_) => {
                         if !waited {
                             waited = true;
-                            self.waits.fetch_add(1, Ordering::Relaxed);
+                            self.count_wait(intent);
                         }
                         if Instant::now() >= deadline
                             || self.released.wait_until(&mut state, deadline).timed_out()
@@ -156,8 +198,8 @@ mod tests {
     #[test]
     fn reentrant_acquisition() {
         let lm = LockManager::new(Duration::from_millis(50));
-        lm.lock_row(1, "t", 10).unwrap();
-        lm.lock_row(1, "t", 10).unwrap();
+        lm.lock_row(1, "t", 10, LockIntent::Write).unwrap();
+        lm.lock_row(1, "t", 10, LockIntent::Write).unwrap();
         assert_eq!(lm.locked_rows(), 1);
         assert_eq!(lm.waits(), 0);
     }
@@ -165,41 +207,54 @@ mod tests {
     #[test]
     fn conflicting_lock_times_out() {
         let lm = LockManager::new(Duration::from_millis(30));
-        lm.lock_row(1, "t", 10).unwrap();
-        let err = lm.lock_row(2, "t", 10).unwrap_err();
+        lm.lock_row(1, "t", 10, LockIntent::Write).unwrap();
+        let err = lm.lock_row(2, "t", 10, LockIntent::Write).unwrap_err();
         assert!(matches!(err, StorageError::LockTimeout { .. }));
     }
 
     #[test]
     fn release_unblocks_waiter() {
         let lm = Arc::new(LockManager::new(Duration::from_secs(2)));
-        lm.lock_row(1, "t", 10).unwrap();
+        lm.lock_row(1, "t", 10, LockIntent::Write).unwrap();
         let lm2 = Arc::clone(&lm);
-        let handle = std::thread::spawn(move || lm2.lock_row(2, "t", 10));
+        let handle = std::thread::spawn(move || lm2.lock_row(2, "t", 10, LockIntent::Write));
         std::thread::sleep(Duration::from_millis(20));
         lm.release_all(1);
         handle.join().unwrap().unwrap();
         assert!(lm.holds(2, "t", 10));
         assert_eq!(lm.waits(), 1);
+        assert_eq!(lm.waits_write(), 1);
+        assert_eq!(lm.waits_read(), 0);
     }
 
     #[test]
     fn distinct_rows_do_not_conflict() {
         let lm = LockManager::new(Duration::from_millis(20));
-        lm.lock_row(1, "t", 10).unwrap();
-        lm.lock_row(2, "t", 11).unwrap();
-        lm.lock_row(3, "u", 10).unwrap();
+        lm.lock_row(1, "t", 10, LockIntent::Write).unwrap();
+        lm.lock_row(2, "t", 11, LockIntent::Write).unwrap();
+        lm.lock_row(3, "u", 10, LockIntent::Read).unwrap();
         assert_eq!(lm.locked_rows(), 3);
     }
 
     #[test]
     fn release_all_clears_only_own_locks() {
         let lm = LockManager::new(Duration::from_millis(20));
-        lm.lock_row(1, "t", 1).unwrap();
-        lm.lock_row(2, "t", 2).unwrap();
+        lm.lock_row(1, "t", 1, LockIntent::Write).unwrap();
+        lm.lock_row(2, "t", 2, LockIntent::Write).unwrap();
         lm.release_all(1);
         assert!(!lm.holds(1, "t", 1));
         assert!(lm.holds(2, "t", 2));
         assert_eq!(lm.locked_rows(), 1);
+    }
+
+    #[test]
+    fn wait_counters_split_by_intent() {
+        let lm = LockManager::new(Duration::from_millis(10));
+        lm.lock_row(1, "t", 10, LockIntent::Write).unwrap();
+        let _ = lm.lock_row(2, "t", 10, LockIntent::Read);
+        let _ = lm.lock_row(3, "t", 10, LockIntent::Write);
+        assert_eq!(lm.waits_read(), 1);
+        assert_eq!(lm.waits_write(), 1);
+        assert_eq!(lm.waits(), 2);
     }
 }

@@ -33,6 +33,20 @@ timeout 600 cargo bench -p shard-bench --bench routing -- --test
 echo "==> cargo bench -p shard-bench --bench analytics -- --test"
 timeout 600 cargo bench -p shard-bench --bench analytics -- --test
 
+# MVCC smoke: the mvcc bench doubles as an integration test of the
+# snapshot-read path against its `SET mvcc = off` ablation — setup asserts
+# byte-identical results between modes, and the under-load phase asserts
+# zero reader-attributable lock waits with 8 concurrent writers.
+echo "==> cargo bench -p shard-bench --bench mvcc -- --test"
+timeout 600 cargo bench -p shard-bench --bench mvcc -- --test
+
+# MVCC gate: seeded snapshot-isolation integration tests (snapshot scan
+# stability, read-your-writes, reader/writer stress with a balanced-SUM
+# invariant, the on/off equivalence matrix, recovery discarding
+# uncommitted versions, snapshot-pinned vacuum).
+echo "==> mvcc: snapshot-isolation integration tests"
+timeout 600 cargo test --test mvcc -q
+
 # Chaos gate: the deterministic fault-matrix run (fixed seed baked into the
 # tests). The scenario has its own in-test watchdog, so a hung thread fails
 # the step instead of wedging CI; `timeout` is a second line of defence.
