@@ -1,12 +1,14 @@
 //! Observability overhead microbenchmarks: the same kernel hot path with
 //! the metrics registry instrumented (the default), ablated with
-//! `SET metrics = off`, and fully traced with `SET trace = on`, plus the
-//! raw instrument costs in isolation.
+//! `SET metrics = off`, with head-sampled span tracing ablated
+//! (`SET trace_sample = off`) and forced (`= 1`), and fully traced with
+//! `SET trace = on`, plus the raw instrument costs in isolation.
 //!
-//! The instrumented-vs-disabled pair is the number DESIGN.md §8 budgets:
-//! per-statement metrics are two relaxed atomic adds per instrument, so the
-//! two arms should be within noise of each other. `scripts/check.sh` runs
-//! the same comparison as a pass/fail gate (`obs_gate`, p50 within 5%).
+//! The instrumented-vs-disabled pair is the number DESIGN.md §8 budgets;
+//! the default-vs-untraced pair is the number §13 budgets (sampled tracing
+//! ships on at 1/16, so its amortized cost is a tax on every statement).
+//! `scripts/check.sh` runs both comparisons as pass/fail gates
+//! (`obs_gate`, p50 within 5%).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use shard_core::obs::MetricsRegistry;
@@ -75,6 +77,29 @@ fn bench_statement_arms(c: &mut Criterion) {
         .unwrap();
     g.bench_function("point_select_disabled", |b| {
         b.iter(|| point_select(&mut s_off))
+    });
+
+    // Span-sampling ablation: the default arm above already head-samples
+    // 1 in 16 statements; this one turns the trace collector off entirely,
+    // isolating the amortized per-statement cost of sampled tracing.
+    let untraced = sharded_runtime();
+    let mut s_untraced = untraced.session();
+    s_untraced
+        .execute_sql("SET VARIABLE trace_sample = off", &[])
+        .unwrap();
+    g.bench_function("point_select_untraced", |b| {
+        b.iter(|| point_select(&mut s_untraced))
+    });
+
+    // Worst case: every statement records a full cross-layer span tree
+    // (`SET trace_sample = 1`) — the cost head sampling amortizes away.
+    let sampled = sharded_runtime();
+    let mut s_sampled = sampled.session();
+    s_sampled
+        .execute_sql("SET VARIABLE trace_sample = 1", &[])
+        .unwrap();
+    g.bench_function("point_select_span_every", |b| {
+        b.iter(|| point_select(&mut s_sampled))
     });
 
     // Full trace capture (span vector + SQL string per statement) — the

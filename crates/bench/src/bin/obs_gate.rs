@@ -1,15 +1,21 @@
-//! Metrics-overhead smoke gate, run from `scripts/check.sh`.
+//! Observability-overhead smoke gate, run from `scripts/check.sh`.
 //!
-//! Measures the p50 of a single-statement point SELECT with the metrics
-//! registry instrumented (the default configuration) and ablated with
-//! `SET metrics = off`, best-of-3 trials per arm, and fails if the
-//! instrumented p50 regresses by more than 5% (plus a 300ns absolute slack
-//! so scheduler jitter on a single-digit-µs operation cannot flake the
-//! ratio). Samples are taken in nanoseconds: at ~5µs per op, integer-µs
+//! Two comparisons over the p50 of a single-statement point SELECT,
+//! best-of-3 trials per arm, each failing above 5% regression (plus a
+//! 300ns absolute slack so scheduler jitter on a single-digit-µs operation
+//! cannot flake the ratio):
+//!
+//! 1. metrics instrumented (the default) vs `SET metrics = off`;
+//! 2. head-sampled tracing at the default 1/16 rate vs
+//!    `SET trace_sample = off` — sampled tracing ships on, so its
+//!    amortized cost is budgeted exactly like the metrics tax.
+//!
+//! Samples are taken in nanoseconds: at ~5µs per op, integer-µs
 //! percentiles would quantize by 20% and drown the signal.
 //!
-//! The arms run on separate runtimes because `SET metrics` is runtime-wide;
-//! trials interleave off/on so thermal drift hits both arms equally.
+//! The arms run on separate runtimes because `SET metrics` and
+//! `SET trace_sample` are runtime-wide; trials interleave the arms so
+//! thermal drift hits them all equally.
 
 use shard_bench::metrics::LatencyRecorder;
 use shard_core::{Session, ShardingRuntime};
@@ -76,7 +82,35 @@ fn trial_p50_ns(s: &mut Session) -> u64 {
     LatencyRecorder::percentile_us(&samples, 50.0)
 }
 
+/// Compare one arm against its baseline under the shared budget; returns
+/// `false` (after reporting) when the arm blows it.
+fn gate(label: &str, arm_ns: u64, baseline_ns: u64) -> bool {
+    let budget_ns = (baseline_ns as f64 * (1.0 + MAX_REGRESSION)) as u64 + ABS_SLACK_NS;
+    let overhead_pct = if baseline_ns > 0 {
+        (arm_ns as f64 - baseline_ns as f64) / baseline_ns as f64 * 100.0
+    } else {
+        0.0
+    };
+    println!(
+        "obs_gate: point-SELECT p50 {label}: {arm_ns}ns vs baseline {baseline_ns}ns \
+         ({overhead_pct:+.1}% overhead, budget {budget_ns}ns)"
+    );
+    if arm_ns > budget_ns {
+        eprintln!(
+            "FAIL: {label} overhead exceeds {:.0}% + {ABS_SLACK_NS}ns slack",
+            MAX_REGRESSION * 100.0
+        );
+        return false;
+    }
+    println!(
+        "PASS: {label} overhead within the {:.0}% p50 budget",
+        MAX_REGRESSION * 100.0
+    );
+    true
+}
+
 fn main() {
+    // Default configuration: metrics on, head-sampled tracing at 1/16.
     let instrumented = sharded_runtime();
     let mut s_on = instrumented.session();
     let disabled = sharded_runtime();
@@ -84,36 +118,36 @@ fn main() {
     s_off
         .execute_sql("SET VARIABLE metrics = off", &[])
         .unwrap();
+    // Tracing ablation: same metrics default, span sampling off.
+    let untraced = sharded_runtime();
+    let mut s_untraced = untraced.session();
+    s_untraced
+        .execute_sql("SET VARIABLE trace_sample = off", &[])
+        .unwrap();
 
     let mut best_on = u64::MAX;
     let mut best_off = u64::MAX;
+    let mut best_untraced = u64::MAX;
     for trial in 0..TRIALS {
         let off = trial_p50_ns(&mut s_off);
+        let untraced = trial_p50_ns(&mut s_untraced);
         let on = trial_p50_ns(&mut s_on);
         best_off = best_off.min(off);
+        best_untraced = best_untraced.min(untraced);
         best_on = best_on.min(on);
-        eprintln!("trial {trial}: disabled p50 {off}ns, instrumented p50 {on}ns");
+        eprintln!(
+            "trial {trial}: metrics-off p50 {off}ns, trace-off p50 {untraced}ns, \
+             default p50 {on}ns"
+        );
     }
 
-    let budget_ns = (best_off as f64 * (1.0 + MAX_REGRESSION)) as u64 + ABS_SLACK_NS;
-    let overhead_pct = if best_off > 0 {
-        (best_on as f64 - best_off as f64) / best_off as f64 * 100.0
-    } else {
-        0.0
-    };
-    println!(
-        "obs_gate: point-SELECT p50 instrumented {best_on}ns vs disabled {best_off}ns \
-         ({overhead_pct:+.1}% overhead, budget {budget_ns}ns)"
+    let metrics_ok = gate("metrics (default vs SET metrics = off)", best_on, best_off);
+    let trace_ok = gate(
+        "sampled tracing (default 1/16 vs SET trace_sample = off)",
+        best_on,
+        best_untraced,
     );
-    if best_on > budget_ns {
-        eprintln!(
-            "FAIL: metrics overhead exceeds {:.0}% + {ABS_SLACK_NS}ns slack",
-            MAX_REGRESSION * 100.0
-        );
+    if !(metrics_ok && trace_ok) {
         std::process::exit(1);
     }
-    println!(
-        "PASS: metrics overhead within the {:.0}% p50 budget",
-        MAX_REGRESSION * 100.0
-    );
 }

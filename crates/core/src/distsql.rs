@@ -397,6 +397,12 @@ pub fn execute(session: &mut Session, stmt: &DistSqlStatement) -> Result<Execute
                         Value::Str(stages),
                         Value::Int(e.units as i64),
                         Value::Int(e.rows as i64),
+                        e.route_strategy.map(Value::Str).unwrap_or(Value::Null),
+                        e.scan_mode.map(Value::Str).unwrap_or(Value::Null),
+                        e.reshard_state.map(Value::Str).unwrap_or(Value::Null),
+                        e.mvcc
+                            .map(|m| Value::Str(if m { "on" } else { "off" }.into()))
+                            .unwrap_or(Value::Null),
                     ]
                 })
                 .collect();
@@ -408,6 +414,88 @@ pub fn execute(session: &mut Session, stmt: &DistSqlStatement) -> Result<Execute
                     "stages".into(),
                     "units".into(),
                     "rows".into(),
+                    "route_strategy".into(),
+                    "scan_mode".into(),
+                    "reshard_state".into(),
+                    "mvcc".into(),
+                ],
+                rows,
+            )))
+        }
+        DistSqlStatement::ShowTrace { id: Some(id) } => {
+            let trace = session
+                .runtime()
+                .trace_collector()
+                .trace(*id)
+                .ok_or_else(|| {
+                    KernelError::Config(format!(
+                        "trace {id} is not in the collector ring (evicted or never sampled)"
+                    ))
+                })?;
+            let rows = trace
+                .render()
+                .into_iter()
+                .map(|line| vec![Value::Str(line)])
+                .collect();
+            Ok(ExecuteResult::Query(ResultSet::new(
+                vec!["span".into()],
+                rows,
+            )))
+        }
+        DistSqlStatement::ShowTrace { id: None } => {
+            let rows = session
+                .runtime()
+                .trace_collector()
+                .traces()
+                .into_iter()
+                .map(|t| {
+                    vec![
+                        Value::Int(t.trace_id as i64),
+                        Value::Str(t.origin.clone()),
+                        Value::Str(t.sql.clone()),
+                        Value::Int(t.total_us as i64),
+                        Value::Int(t.spans.len() as i64),
+                        t.error.clone().map(Value::Str).unwrap_or(Value::Null),
+                    ]
+                })
+                .collect();
+            Ok(ExecuteResult::Query(ResultSet::new(
+                vec![
+                    "trace_id".into(),
+                    "origin".into(),
+                    "sql".into(),
+                    "total_us".into(),
+                    "spans".into(),
+                    "error".into(),
+                ],
+                rows,
+            )))
+        }
+        DistSqlStatement::ShowIncidents => {
+            let rows = session
+                .runtime()
+                .trace_collector()
+                .incidents()
+                .into_iter()
+                .map(|i| {
+                    vec![
+                        Value::Int(i.seq as i64),
+                        Value::Str(i.kind.as_str().into()),
+                        Value::Str(i.detail.clone()),
+                        i.trace_id
+                            .map(|t| Value::Int(t as i64))
+                            .unwrap_or(Value::Null),
+                        Value::Int(i.frozen.len() as i64),
+                    ]
+                })
+                .collect();
+            Ok(ExecuteResult::Query(ResultSet::new(
+                vec![
+                    "seq".into(),
+                    "kind".into(),
+                    "detail".into(),
+                    "trace_id".into(),
+                    "frozen_traces".into(),
                 ],
                 rows,
             )))

@@ -20,9 +20,10 @@ pub use stream::{CancelToken, RowStream, StreamedQuery};
 
 use crate::datasource::DataSource;
 use crate::error::{KernelError, Result};
-use crate::obs::UnitSpan;
+use crate::obs::{IncidentKind, SpanRecorder, SpanScope, TraceCollector, UnitSpan};
 use crate::route::RouteUnit;
 use shard_sql::{Statement, Value};
+use shard_storage::probe::{self, Probe, SpanSink};
 use shard_storage::{ExecuteResult, TxnId};
 use std::collections::HashMap;
 use std::sync::{Arc, OnceLock};
@@ -81,6 +82,9 @@ pub struct ExecutorEngine {
     max_connections_per_query: std::sync::atomic::AtomicUsize,
     /// Pool acquisition timeout.
     pub acquire_timeout: Duration,
+    /// Flight recorder hook: breaker state transitions observed while
+    /// executing record an incident here. Set once at runtime build.
+    trace_collector: OnceLock<Arc<TraceCollector>>,
 }
 
 impl Default for ExecutorEngine {
@@ -88,6 +92,7 @@ impl Default for ExecutorEngine {
         ExecutorEngine {
             max_connections_per_query: std::sync::atomic::AtomicUsize::new(8),
             acquire_timeout: Duration::from_secs(5),
+            trace_collector: OnceLock::new(),
         }
     }
 }
@@ -112,6 +117,12 @@ impl ExecutorEngine {
             .load(std::sync::atomic::Ordering::SeqCst)
     }
 
+    /// Wire the flight recorder in (once, at runtime build). Subsequent
+    /// calls are ignored.
+    pub fn set_trace_collector(&self, collector: Arc<TraceCollector>) {
+        let _ = self.trace_collector.set(collector);
+    }
+
     /// Execute all inputs; results return in input order.
     ///
     /// `txns` binds data sources to open local transactions: statements for
@@ -125,7 +136,7 @@ impl ExecutorEngine {
         params: Arc<[Value]>,
         txns: Option<&HashMap<String, TxnId>>,
     ) -> Result<(Vec<ExecuteResult>, ExecutionReport)> {
-        self.execute_with_deadline(datasources, inputs, params, txns, None, true)
+        self.execute_with_deadline(datasources, inputs, params, txns, None, true, None)
     }
 
     /// [`ExecutorEngine::execute`] with a per-statement deadline: when the
@@ -137,6 +148,12 @@ impl ExecutorEngine {
     /// [`UnitSpan`]s. Building them costs per-unit label strings on the
     /// statement's critical path, so callers pass `false` unless a trace
     /// (EXPLAIN ANALYZE, the slow-query log) will actually render them.
+    ///
+    /// `spans` carries the live trace of a head-sampled statement: each
+    /// execution unit opens a child span under it, with the storage probe
+    /// installed so engine internals (lock waits, WAL flushes, …) parent to
+    /// the unit that caused them.
+    #[allow(clippy::too_many_arguments)]
     pub fn execute_with_deadline(
         &self,
         datasources: &HashMap<String, Arc<DataSource>>,
@@ -145,10 +162,12 @@ impl ExecutorEngine {
         txns: Option<&HashMap<String, TxnId>>,
         deadline: Option<Instant>,
         want_units: bool,
+        spans: Option<&SpanScope>,
     ) -> Result<(Vec<ExecuteResult>, ExecutionReport)> {
         if inputs.is_empty() {
             return Ok((Vec::new(), ExecutionReport::default()));
         }
+        let collector = self.trace_collector.get().cloned();
 
         // ---- Preparation: group by data source (owned statements, so the
         // work can move onto pool workers). ----
@@ -285,16 +304,24 @@ impl ExecutorEngine {
         // abandoned, so the fast path only applies without one.
         if planned.len() == 1 && deadline.is_none() {
             let unit = planned.pop().expect("len checked");
+            let span = open_unit_span(spans, &unit.ds.name, unit.chunk.len());
+            let probe_guard = install_probe(&span);
             for (idx, stmt) in &unit.chunk {
                 let started = Instant::now();
-                match exec_one(&unit.ds, stmt, &params, unit.txn) {
+                match exec_one(&unit.ds, stmt, &params, unit.txn, collector.as_deref()) {
                     Ok(r) => {
                         unit_elapsed_us[*idx] = (started.elapsed().as_micros() as u64).max(1);
                         results[*idx] = Some(r);
                     }
-                    Err(e) => return Err(e),
+                    Err(e) => {
+                        drop(probe_guard);
+                        close_unit_span(span, Some(e.to_string()));
+                        return Err(e);
+                    }
                 }
             }
+            drop(probe_guard);
+            close_unit_span(span, None);
             drop(unit);
             let collected: Option<Vec<ExecuteResult>> =
                 results.into_iter().collect::<Option<Vec<_>>>();
@@ -321,24 +348,32 @@ impl ExecutorEngine {
             let tx = tx.clone();
             let params = Arc::clone(&params);
             let cancel = cancel.clone();
+            let spans = spans.cloned();
+            let collector = collector.clone();
             WorkerPool::global().submit(move || {
+                let span = open_unit_span(spans.as_ref(), &unit.ds.name, unit.chunk.len());
+                let probe_guard = install_probe(&span);
+                let mut unit_err: Option<String> = None;
                 for (idx, stmt) in &unit.chunk {
                     if cancel.is_cancelled() {
                         break;
                     }
                     let started = Instant::now();
-                    match exec_one(&unit.ds, stmt, &params, unit.txn) {
+                    match exec_one(&unit.ds, stmt, &params, unit.txn, collector.as_deref()) {
                         Ok(r) => {
                             let elapsed = (started.elapsed().as_micros() as u64).max(1);
                             let _ = tx.send(Outcome::Row(*idx, elapsed, r));
                         }
                         Err(e) => {
+                            unit_err = Some(e.to_string());
                             cancel.cancel();
                             let _ = tx.send(Outcome::Err(e));
                             break;
                         }
                     }
                 }
+                drop(probe_guard);
+                close_unit_span(span, unit_err);
                 drop(unit.permits);
                 let _ = tx.send(Outcome::Done);
             });
@@ -410,14 +445,45 @@ fn unit_spans(
         .collect()
 }
 
+/// A unit span riding on a head-sampled statement's trace.
+type UnitSpanHandle = Option<(Arc<SpanRecorder>, u32)>;
+
+/// Open the per-execution-unit span, when a trace rides along.
+fn open_unit_span(spans: Option<&SpanScope>, ds: &str, chunk: usize) -> UnitSpanHandle {
+    spans.map(|s| {
+        let detail = if chunk == 1 {
+            ds.to_string()
+        } else {
+            format!("{ds} ({chunk} stmts)")
+        };
+        let id = s.recorder.begin(Some(s.parent), "unit", detail);
+        (Arc::clone(&s.recorder), id)
+    })
+}
+
+/// Install the storage probe under the unit span so engine internals
+/// (cursor opens, lock waits, WAL flushes) report into the same trace.
+fn install_probe(span: &UnitSpanHandle) -> Option<probe::ProbeGuard> {
+    span.as_ref()
+        .map(|(rec, id)| probe::install(Probe::new(Arc::clone(rec) as Arc<dyn SpanSink>, *id)))
+}
+
+fn close_unit_span(span: UnitSpanHandle, error: Option<String>) {
+    if let Some((rec, id)) = span {
+        rec.finish(id, error);
+    }
+}
+
 /// Execute one statement on a data source, honouring its circuit breaker
 /// (sources marked down by health detection fail fast) and feeding real
-/// execution outcomes back into the breaker.
+/// execution outcomes back into the breaker. Breaker state transitions
+/// freeze the flight recorder when one is wired in.
 fn exec_one(
     ds: &DataSource,
     stmt: &Statement,
     params: &[Value],
     txn: Option<TxnId>,
+    collector: Option<&TraceCollector>,
 ) -> Result<ExecuteResult> {
     if !ds.is_enabled() {
         return Err(KernelError::Unavailable(format!("{} is disabled", ds.name)));
@@ -439,7 +505,23 @@ fn exec_one(
             // semantic errors (missing table, bad SQL) say nothing about
             // the data source's health.
             if e.is_infrastructure() {
+                let before = ds.breaker().state();
                 ds.breaker().record_failure();
+                let after = ds.breaker().state();
+                if before != after {
+                    if let Some(c) = collector {
+                        c.record_incident(
+                            IncidentKind::BreakerTransition,
+                            format!(
+                                "{}: breaker {} -> {} ({e})",
+                                ds.name,
+                                before.as_str(),
+                                after.as_str()
+                            ),
+                            None,
+                        );
+                    }
+                }
             }
             Err(e)
         }

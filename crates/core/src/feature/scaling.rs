@@ -39,6 +39,7 @@ use crate::error::{KernelError, Result};
 use crate::executor::ExecutionInput;
 use crate::feature::Throttle;
 use crate::governor::ConfigRegistry;
+use crate::obs::{IncidentKind, SpanRecorder};
 use crate::rewrite::{rewrite_for_unit, rewrite_insert_per_unit, rewrite_statement};
 use crate::route::{RouteEngine, RouteHint};
 use crate::runtime::ShardingRuntime;
@@ -48,6 +49,7 @@ use shard_sql::ast::{
     SelectStatement, ShardingRuleSpec, Statement, TableRef,
 };
 use shard_sql::Value;
+use shard_storage::probe::{self, Probe, SpanSink};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -506,12 +508,86 @@ pub fn reshard(runtime: &Arc<ShardingRuntime>, spec: &ShardingRuleSpec) -> Resul
     reshard_with(runtime, spec, ReshardOptions::default())
 }
 
+/// Live trace of one reshard job: a root span for the whole migration plus
+/// one child span per coordinator phase, so `SHOW TRACE` renders where a
+/// migration spent its time — and where it died.
+struct ReshardTrace {
+    rec: Arc<SpanRecorder>,
+    root: u32,
+    current: Option<u32>,
+}
+
+impl ReshardTrace {
+    /// Close the running phase span (if any) and open the next one.
+    fn phase(&mut self, name: &'static str) {
+        self.close_current(None);
+        self.current = Some(self.rec.begin(Some(self.root), name, String::new()));
+    }
+
+    fn close_current(&mut self, error: Option<String>) {
+        if let Some(id) = self.current.take() {
+            self.rec.finish(id, error);
+        }
+    }
+}
+
 /// Re-shard `spec.table` onto the layout described by `spec`: the phased
-/// online coordinator (see module docs).
+/// online coordinator (see module docs). When tracing is enabled the whole
+/// job becomes one trace (origin `reshard:<table>`) with a span per phase;
+/// a failed job additionally freezes the span ring into an incident —
+/// fence/barrier drain timeouts as [`IncidentKind::ReshardFenceTimeout`].
 pub fn reshard_with(
     runtime: &Arc<ShardingRuntime>,
     spec: &ShardingRuleSpec,
     opts: ReshardOptions,
+) -> Result<ScalingReport> {
+    let collector = runtime.trace_collector();
+    let mut tr = if collector.enabled() {
+        let rec = SpanRecorder::new(collector.mint_trace_id(), format!("reshard:{}", spec.table));
+        let root = rec.begin(None, "reshard", spec.table.clone());
+        Some(ReshardTrace {
+            rec,
+            root,
+            current: None,
+        })
+    } else {
+        None
+    };
+    // Storage internals touched on this thread (backfill cursor opens, the
+    // WAL flushes behind the batched inserts) report through the probe and
+    // hang under the job's root span.
+    let _probe = tr
+        .as_ref()
+        .map(|t| probe::install(Probe::new(Arc::clone(&t.rec) as Arc<dyn SpanSink>, t.root)));
+    let result = reshard_inner(runtime, spec, opts, &mut tr);
+    if let Some(mut t) = tr {
+        let err = result.as_ref().err().map(|e| e.to_string());
+        t.close_current(err.clone());
+        t.rec.finish(t.root, err.clone());
+        let record = Arc::new(
+            t.rec
+                .seal(format!("<reshard of '{}'>", spec.table), err.clone()),
+        );
+        let trace_id = record.trace_id;
+        let collector = runtime.trace_collector();
+        collector.keep(record);
+        if let Some(msg) = err {
+            let kind = if msg.contains("timed out") {
+                IncidentKind::ReshardFenceTimeout
+            } else {
+                IncidentKind::StatementError
+            };
+            collector.record_incident(kind, msg, Some(trace_id));
+        }
+    }
+    result
+}
+
+fn reshard_inner(
+    runtime: &Arc<ShardingRuntime>,
+    spec: &ShardingRuleSpec,
+    opts: ReshardOptions,
+    tr: &mut Option<ReshardTrace>,
 ) -> Result<ScalingReport> {
     let logic = spec.table.clone();
     let old_rule = runtime
@@ -590,6 +666,9 @@ pub fn reshard_with(
     // the Backfill phase and mirror; rows from before it are in a cursor's
     // snapshot. No row is missed or double-applied.
     job.set_phase(ReshardPhase::Fenced, &registry);
+    if let Some(t) = tr.as_mut() {
+        t.phase("snapshot_barrier");
+    }
     if !drain_dml(runtime, fence_timeout) {
         return Err(abort(
             runtime,
@@ -628,6 +707,9 @@ pub fn reshard_with(
 
     // Backfill: stream the snapshot into the new layout, batch by batch.
     job.set_phase(ReshardPhase::Backfill, &registry);
+    if let Some(t) = tr.as_mut() {
+        t.phase("backfill");
+    }
     let throttle = opts.throttle_rows_per_sec.map(Throttle::new);
     for mut cursor in cursors {
         loop {
@@ -688,6 +770,9 @@ pub fn reshard_with(
     // lag until the layouts converge (bounded — verification is the
     // authoritative check).
     job.set_phase(ReshardPhase::CatchUp, &registry);
+    if let Some(t) = tr.as_mut() {
+        t.phase("catch_up");
+    }
     for _ in 0..CATCHUP_ROUNDS {
         if job.cancelled() {
             return Err(abort(
@@ -715,6 +800,9 @@ pub fn reshard_with(
     // Fence: bounded drain, verify, swap.
     let fence_start = Instant::now();
     job.set_phase(ReshardPhase::Fenced, &registry);
+    if let Some(t) = tr.as_mut() {
+        t.phase("fence");
+    }
     if !drain_dml(runtime, fence_timeout) {
         return Err(abort(
             runtime,
@@ -768,6 +856,9 @@ pub fn reshard_with(
         runtime.metrics.reshard_fence_us.record_us(fence_us);
     }
     job.set_phase(ReshardPhase::CutOver, &registry);
+    if let Some(t) = tr.as_mut() {
+        t.phase("cutover");
+    }
 
     // Grace before dropping the old layout: a read planned against the old
     // rule just before the swap may still be executing — statements run for

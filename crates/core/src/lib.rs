@@ -24,7 +24,10 @@ pub mod runtime;
 pub mod transaction;
 
 pub use error::{ErrorClass, KernelError, Result};
-pub use obs::{KernelMetrics, MetricsRegistry, SlowQueryLog, StatementTrace, TraceContext};
+pub use obs::{
+    Incident, IncidentKind, KernelMetrics, MetricsRegistry, SloMonitor, SlowQueryLog,
+    StatementTrace, TraceCollector, TraceContext, TraceRecord,
+};
 pub use route::RouteStrategy;
 pub use runtime::{QueryStream, RuntimeBuilder, Session, ShardingRuntime, StreamOutcome};
 pub use transaction::{TransactionType, XaFanOut};

@@ -9,15 +9,21 @@
 //! gate): recording is lock-free atomic adds, no allocation on the hot path,
 //! and everything can be ablated with `SET metrics = off`.
 
+pub mod collector;
 pub mod registry;
 pub mod slowlog;
+pub mod span;
 pub mod trace;
 
+pub use collector::{
+    Incident, IncidentKind, SloMonitor, TraceCollector, DEFAULT_TRACE_SAMPLE_PERIOD,
+};
 pub use registry::{
     bucket_index, bucket_upper_bound, like_match, Counter, Histogram, HistogramSnapshot,
     MetricsRegistry, Sample, LATENCY_BUCKET_BOUNDS_US, NUM_BUCKETS,
 };
 pub use slowlog::{SlowQueryEntry, SlowQueryLog, DEFAULT_SLOW_LOG_CAPACITY};
+pub use span::{json_escape, Span, SpanRecorder, SpanScope, TraceRecord};
 pub use trace::{Stage, StatementTrace, TraceContext, UnitSpan};
 
 use std::sync::atomic::{AtomicBool, Ordering};

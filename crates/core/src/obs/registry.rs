@@ -141,6 +141,7 @@ impl Histogram {
             buckets,
             count,
             sum,
+            overflow: buckets[NUM_BUCKETS - 1],
         }
     }
 
@@ -160,14 +161,28 @@ pub struct HistogramSnapshot {
     pub buckets: [u64; NUM_BUCKETS],
     pub count: u64,
     pub sum: u64,
+    /// Observations past the largest finite bucket bound (~16.8s). These
+    /// have no upper bound of their own, so any percentile landing here is
+    /// a clamp, not a measurement — see [`percentile_clamped`](Self::percentile_clamped).
+    pub overflow: u64,
 }
 
 impl HistogramSnapshot {
     /// The `p`-th percentile (0 < p ≤ 100) as a bucket upper bound, or 0
-    /// when the histogram is empty.
+    /// when the histogram is empty. When the rank falls in the overflow
+    /// bucket the result is a lower bound (clamped to the largest finite
+    /// bound); callers that must distinguish use
+    /// [`percentile_clamped`](Self::percentile_clamped).
     pub fn percentile(&self, p: f64) -> u64 {
+        self.percentile_clamped(p).0
+    }
+
+    /// Like [`percentile`](Self::percentile), plus an honest flag: `true`
+    /// means the rank landed in the overflow bucket, so the returned value
+    /// understates the real percentile.
+    pub fn percentile_clamped(&self, p: f64) -> (u64, bool) {
         if self.count == 0 {
-            return 0;
+            return (0, false);
         }
         let rank = ((p / 100.0) * self.count as f64).ceil() as u64;
         let rank = rank.clamp(1, self.count);
@@ -175,10 +190,10 @@ impl HistogramSnapshot {
         for (i, n) in self.buckets.iter().enumerate() {
             cumulative += n;
             if cumulative >= rank {
-                return bucket_upper_bound(i);
+                return (bucket_upper_bound(i), i == NUM_BUCKETS - 1);
             }
         }
-        bucket_upper_bound(NUM_BUCKETS - 1)
+        (bucket_upper_bound(NUM_BUCKETS - 1), true)
     }
 
     pub fn p50(&self) -> u64 {
@@ -332,6 +347,7 @@ impl MetricsRegistry {
                 Instrument::Histogram(h) => {
                     let snap = h.snapshot();
                     push(&mut out, format!("{}_count", m.name), snap.count);
+                    push(&mut out, format!("{}_overflow", m.name), snap.overflow);
                     push(&mut out, format!("{}_sum", m.name), snap.sum);
                     push(&mut out, format!("{}_p50", m.name), snap.p50());
                     push(&mut out, format!("{}_p95", m.name), snap.p95());
@@ -344,29 +360,36 @@ impl MetricsRegistry {
     }
 
     /// Render every instrument in Prometheus text exposition format.
-    /// Histograms render as summaries with quantile labels.
+    /// Histograms render natively: cumulative `_bucket{le="..."}` series
+    /// ending in `+Inf`, so overflow observations are visible instead of
+    /// folding silently into the top finite bucket.
     pub fn render_prometheus(&self) -> String {
         use std::fmt::Write;
         let mut out = String::new();
         for m in self.metrics.read().iter() {
+            let help = escape_help(&m.help);
             match &m.instrument {
                 Instrument::Counter(c) => {
-                    let _ = writeln!(out, "# HELP {} {}", m.name, m.help);
+                    let _ = writeln!(out, "# HELP {} {}", m.name, help);
                     let _ = writeln!(out, "# TYPE {} counter", m.name);
                     let _ = writeln!(out, "{} {}", m.name, c.get());
                 }
                 Instrument::Gauge(f) => {
-                    let _ = writeln!(out, "# HELP {} {}", m.name, m.help);
+                    let _ = writeln!(out, "# HELP {} {}", m.name, help);
                     let _ = writeln!(out, "# TYPE {} gauge", m.name);
                     let _ = writeln!(out, "{} {}", m.name, f());
                 }
                 Instrument::Histogram(h) => {
                     let snap = h.snapshot();
-                    let _ = writeln!(out, "# HELP {} {}", m.name, m.help);
-                    let _ = writeln!(out, "# TYPE {} summary", m.name);
-                    let _ = writeln!(out, "{}{{quantile=\"0.5\"}} {}", m.name, snap.p50());
-                    let _ = writeln!(out, "{}{{quantile=\"0.95\"}} {}", m.name, snap.p95());
-                    let _ = writeln!(out, "{}{{quantile=\"0.99\"}} {}", m.name, snap.p99());
+                    let _ = writeln!(out, "# HELP {} {}", m.name, help);
+                    let _ = writeln!(out, "# TYPE {} histogram", m.name);
+                    let mut cumulative = 0u64;
+                    for (i, &bound) in LATENCY_BUCKET_BOUNDS_US.iter().enumerate() {
+                        cumulative += snap.buckets[i];
+                        let _ =
+                            writeln!(out, "{}_bucket{{le=\"{}\"}} {}", m.name, bound, cumulative);
+                    }
+                    let _ = writeln!(out, "{}_bucket{{le=\"+Inf\"}} {}", m.name, snap.count);
                     let _ = writeln!(out, "{}_sum {}", m.name, snap.sum);
                     let _ = writeln!(out, "{}_count {}", m.name, snap.count);
                 }
@@ -374,6 +397,20 @@ impl MetricsRegistry {
         }
         out
     }
+}
+
+/// Escape a HELP string per the Prometheus text exposition format:
+/// backslashes and newlines must be escaped or they corrupt the scrape.
+fn escape_help(help: &str) -> String {
+    let mut out = String::with_capacity(help.len());
+    for c in help.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -471,6 +508,7 @@ mod tests {
                 "c_total",
                 "g_now",
                 "h_us_count",
+                "h_us_overflow",
                 "h_us_p50",
                 "h_us_p95",
                 "h_us_p99",
@@ -490,9 +528,53 @@ mod tests {
         let text = reg.render_prometheus();
         assert!(text.contains("# TYPE c_total counter"));
         assert!(text.contains("c_total 1"));
-        assert!(text.contains("# TYPE h_us summary"));
-        assert!(text.contains("h_us{quantile=\"0.5\"} 4"));
+        assert!(text.contains("# TYPE h_us histogram"));
+        // 3µs lands in the (2, 4] bucket; cumulative counts from there up.
+        assert!(!text.contains("h_us_bucket{le=\"2\"} 1"));
+        assert!(text.contains("h_us_bucket{le=\"4\"} 1"));
+        assert!(text.contains("h_us_bucket{le=\"+Inf\"} 1"));
         assert!(text.contains("h_us_count 1"));
         assert!(text.contains("h_us_sum 3"));
+    }
+
+    #[test]
+    fn overflow_observations_are_counted_not_hidden() {
+        let h = Histogram::new();
+        for _ in 0..3 {
+            h.record_us(100);
+        }
+        // Two observations past the largest finite bound (~16.8s).
+        h.record_us(60_000_000);
+        h.record_us(120_000_000);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 5);
+        assert_eq!(snap.overflow, 2);
+        // p50 is a real measurement; p99's rank lands in the overflow
+        // bucket, and the snapshot says so instead of pretending 16.8s.
+        assert_eq!(snap.percentile_clamped(50.0), (128, false));
+        let (p99, clamped) = snap.percentile_clamped(99.0);
+        assert_eq!(p99, *LATENCY_BUCKET_BOUNDS_US.last().unwrap());
+        assert!(clamped);
+    }
+
+    #[test]
+    fn prometheus_overflow_lands_in_inf_bucket_only() {
+        let reg = MetricsRegistry::new();
+        reg.histogram("h_us", "help h").record_us(60_000_000);
+        let text = reg.render_prometheus();
+        assert!(text.contains("h_us_bucket{le=\"16777216\"} 0"));
+        assert!(text.contains("h_us_bucket{le=\"+Inf\"} 1"));
+    }
+
+    #[test]
+    fn prometheus_help_strings_are_escaped() {
+        let reg = MetricsRegistry::new();
+        reg.counter("c_total", "first line\nsecond \\ line").add(1);
+        let text = reg.render_prometheus();
+        assert!(text.contains("# HELP c_total first line\\nsecond \\\\ line"));
+        // The exposition stays line-oriented: no raw newline mid-comment.
+        for line in text.lines() {
+            assert!(!line.is_empty());
+        }
     }
 }

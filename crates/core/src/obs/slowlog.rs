@@ -25,6 +25,13 @@ pub struct SlowQueryEntry {
     pub stages: Vec<(Stage, u64)>,
     pub units: usize,
     pub rows: u64,
+    /// Kernel verdicts copied from the trace so `SHOW SLOW_QUERIES` can
+    /// explain *why* a statement was slow (full scatter? row-at-a-time
+    /// scan? table mid-reshard? MVCC off and blocking on locks?).
+    pub route_strategy: Option<String>,
+    pub scan_mode: Option<String>,
+    pub reshard_state: Option<String>,
+    pub mvcc: Option<bool>,
 }
 
 /// Bounded ring buffer of the most recent slow statements.
@@ -101,6 +108,10 @@ impl SlowQueryLog {
             stages: trace.stages.clone(),
             units: trace.units.len(),
             rows: trace.rows,
+            route_strategy: trace.route_strategy.clone(),
+            scan_mode: trace.scan_mode.clone(),
+            reshard_state: trace.reshard_state.clone(),
+            mvcc: trace.mvcc,
         };
         let mut entries = self.entries.lock();
         while entries.len() >= capacity {
@@ -139,11 +150,23 @@ mod tests {
             ],
             units: Vec::new(),
             merger: None,
-            route_strategy: None,
+            route_strategy: Some("scatter".into()),
             scan_mode: None,
             reshard_state: None,
+            mvcc: Some(true),
             rows: 0,
         }
+    }
+
+    #[test]
+    fn entries_carry_verdict_tags() {
+        let log = SlowQueryLog::new();
+        log.set_threshold_us(1);
+        log.record(&trace("SELECT 1", 10));
+        let entry = &log.entries()[0];
+        assert_eq!(entry.route_strategy.as_deref(), Some("scatter"));
+        assert_eq!(entry.mvcc, Some(true));
+        assert_eq!(entry.scan_mode, None);
     }
 
     #[test]

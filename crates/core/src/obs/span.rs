@@ -1,0 +1,389 @@
+//! Cross-layer span model: one statement (or background job) as a tree.
+//!
+//! Where [`super::trace::TraceContext`] times the five kernel stages for one
+//! session, a [`SpanRecorder`] collects *parent-linked* spans from every
+//! layer a statement touches — the proxy frame, kernel stages, per-branch
+//! executor units, XA prepare/commit branches, and storage internals (lock
+//! waits, WAL flushes, MVCC snapshots, cursor opens) reported through
+//! [`shard_storage::probe`]. The finished [`TraceRecord`] renders as a true
+//! cross-layer tree and lands in the
+//! [`TraceCollector`](super::collector::TraceCollector) ring.
+//!
+//! Cost discipline: a recorder only exists for head-sampled statements
+//! (default 1-in-16, `SET trace_sample`), so the mutex inside is
+//! uncontended and off the common path entirely. Span ids are indexes into
+//! the recorder's vector; parent links are ids, which makes the tree cheap
+//! to build and serialize.
+
+use parking_lot::Mutex;
+use shard_storage::probe::SpanSink;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One node of a trace tree.
+#[derive(Debug, Clone)]
+pub struct Span {
+    /// Id within the trace (also the index into [`TraceRecord::spans`]).
+    pub id: u32,
+    /// Parent span id; `None` marks the root.
+    pub parent: Option<u32>,
+    pub name: &'static str,
+    /// Free-form context: datasource, table, branch name, phase, …
+    pub detail: String,
+    /// Start offset from the trace origin, µs.
+    pub start_us: u64,
+    pub elapsed_us: u64,
+    /// Failure message when the spanned operation errored.
+    pub error: Option<String>,
+}
+
+/// A finished, immutable trace — what the collector ring stores and
+/// `SHOW TRACE` / `/traces` serve.
+#[derive(Debug, Clone)]
+pub struct TraceRecord {
+    pub trace_id: u64,
+    /// Where the trace was minted: `session`, `proxy:conn-N`,
+    /// `reshard:<table>`, `failover:<group>`.
+    pub origin: String,
+    pub sql: String,
+    pub total_us: u64,
+    pub spans: Vec<Span>,
+    /// The statement-level error, when the traced work failed.
+    pub error: Option<String>,
+}
+
+impl TraceRecord {
+    /// First span with this name, if any (tests and incident queries).
+    pub fn span(&self, name: &str) -> Option<&Span> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+
+    /// Render the trace as an indented tree, one line per span.
+    pub fn render(&self) -> Vec<String> {
+        let mut lines = vec![format!(
+            "trace {} origin={} total={}us{}: {}",
+            self.trace_id,
+            self.origin,
+            self.total_us,
+            self.error.as_deref().map(|_| " ERROR").unwrap_or(""),
+            self.sql
+        )];
+        let mut children: Vec<Vec<u32>> = vec![Vec::new(); self.spans.len()];
+        let mut roots = Vec::new();
+        for s in &self.spans {
+            match s.parent {
+                Some(p) if (p as usize) < self.spans.len() => children[p as usize].push(s.id),
+                _ => roots.push(s.id),
+            }
+        }
+        fn walk(
+            rec: &TraceRecord,
+            children: &[Vec<u32>],
+            id: u32,
+            depth: usize,
+            lines: &mut Vec<String>,
+        ) {
+            let s = &rec.spans[id as usize];
+            let mut line = format!(
+                "{}{} {}us [{}]",
+                "  ".repeat(depth + 1),
+                s.name,
+                s.elapsed_us,
+                s.detail
+            );
+            if let Some(e) = &s.error {
+                line.push_str(&format!(" ERROR: {e}"));
+            }
+            lines.push(line);
+            for &c in &children[id as usize] {
+                walk(rec, children, c, depth + 1, lines);
+            }
+        }
+        for r in roots {
+            walk(self, &children, r, 0, &mut lines);
+        }
+        lines
+    }
+
+    /// Append this record as one JSON object (hand-rolled — the workspace
+    /// deliberately has no JSON dependency).
+    pub fn write_json(&self, out: &mut String) {
+        out.push_str(&format!(
+            "{{\"trace_id\":{},\"origin\":\"{}\",\"sql\":\"{}\",\"total_us\":{},\"error\":",
+            self.trace_id,
+            json_escape(&self.origin),
+            json_escape(&self.sql),
+            self.total_us
+        ));
+        match &self.error {
+            Some(e) => out.push_str(&format!("\"{}\"", json_escape(e))),
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"spans\":[");
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"id\":{},\"parent\":{},\"name\":\"{}\",\"detail\":\"{}\",\"start_us\":{},\"elapsed_us\":{},\"error\":{}}}",
+                s.id,
+                s.parent.map(|p| p.to_string()).unwrap_or_else(|| "null".into()),
+                json_escape(s.name),
+                json_escape(&s.detail),
+                s.start_us,
+                s.elapsed_us,
+                s.error
+                    .as_deref()
+                    .map(|e| format!("\"{}\"", json_escape(e)))
+                    .unwrap_or_else(|| "null".into()),
+            ));
+        }
+        out.push_str("]}");
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Live span collection for one sampled statement or background job.
+/// Shared (`Arc`) with executor workers and installed into the storage
+/// probe, so spans can arrive from any thread.
+pub struct SpanRecorder {
+    trace_id: u64,
+    origin: String,
+    epoch: Instant,
+    spans: Mutex<Vec<Span>>,
+}
+
+/// Hard cap on spans per trace. Long background jobs (a backfill streaming
+/// thousands of batches) must not grow one record without bound; spans past
+/// the cap are dropped and their ids are inert.
+const MAX_SPANS: usize = 512;
+
+impl SpanRecorder {
+    pub fn new(trace_id: u64, origin: impl Into<String>) -> Arc<Self> {
+        Arc::new(SpanRecorder {
+            trace_id,
+            origin: origin.into(),
+            epoch: Instant::now(),
+            spans: Mutex::new(Vec::new()),
+        })
+    }
+
+    pub fn trace_id(&self) -> u64 {
+        self.trace_id
+    }
+
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Open a span; it stays live until [`finish`](Self::finish) closes it
+    /// by id. Children recorded meanwhile parent to it.
+    pub fn begin(&self, parent: Option<u32>, name: &'static str, detail: String) -> u32 {
+        let start_us = self.now_us();
+        let mut spans = self.spans.lock();
+        if spans.len() >= MAX_SPANS {
+            return u32::MAX; // inert id: finish() on it is a no-op
+        }
+        let id = spans.len() as u32;
+        spans.push(Span {
+            id,
+            parent,
+            name,
+            detail,
+            start_us,
+            elapsed_us: 0,
+            error: None,
+        });
+        id
+    }
+
+    /// Close a span opened with [`begin`](Self::begin).
+    pub fn finish(&self, id: u32, error: Option<String>) {
+        let now = self.now_us();
+        let mut spans = self.spans.lock();
+        if let Some(s) = spans.get_mut(id as usize) {
+            s.elapsed_us = now.saturating_sub(s.start_us).max(1);
+            s.error = error;
+        }
+    }
+
+    /// Record a span whose duration was measured externally; `start_us` is
+    /// back-computed from now.
+    pub fn add_complete(
+        &self,
+        parent: Option<u32>,
+        name: &'static str,
+        detail: String,
+        elapsed_us: u64,
+        error: Option<String>,
+    ) -> u32 {
+        let now = self.now_us();
+        let mut spans = self.spans.lock();
+        if spans.len() >= MAX_SPANS {
+            return u32::MAX;
+        }
+        let id = spans.len() as u32;
+        spans.push(Span {
+            id,
+            parent,
+            name,
+            detail,
+            start_us: now.saturating_sub(elapsed_us),
+            elapsed_us: elapsed_us.max(1),
+            error,
+        });
+        id
+    }
+
+    /// Record a span at an explicit start offset (stage spans synthesized
+    /// from the session's lap timers).
+    pub fn add_at(
+        &self,
+        parent: Option<u32>,
+        name: &'static str,
+        detail: String,
+        start_us: u64,
+        elapsed_us: u64,
+    ) -> u32 {
+        let mut spans = self.spans.lock();
+        if spans.len() >= MAX_SPANS {
+            return u32::MAX;
+        }
+        let id = spans.len() as u32;
+        spans.push(Span {
+            id,
+            parent,
+            name,
+            detail,
+            start_us,
+            elapsed_us: elapsed_us.max(1),
+            error: None,
+        });
+        id
+    }
+
+    /// Seal the recorder into an immutable record for the collector ring.
+    pub fn seal(&self, sql: String, error: Option<String>) -> TraceRecord {
+        TraceRecord {
+            trace_id: self.trace_id,
+            origin: self.origin.clone(),
+            sql,
+            total_us: self.now_us().max(1),
+            spans: self.spans.lock().clone(),
+            error,
+        }
+    }
+}
+
+/// Storage internals report through the thread-local probe; their spans
+/// land here, parented to whatever span the kernel installed the probe
+/// under (a unit span, an XA branch span, …).
+impl SpanSink for SpanRecorder {
+    fn storage_span(
+        &self,
+        parent: u32,
+        name: &'static str,
+        detail: String,
+        elapsed_us: u64,
+        error: Option<String>,
+    ) {
+        self.add_complete(Some(parent), name, detail, elapsed_us, error);
+    }
+}
+
+/// A recorder plus the span new work should hang under — what the session
+/// threads down into the executor and the XA coordinator.
+#[derive(Clone)]
+pub struct SpanScope {
+    pub recorder: Arc<SpanRecorder>,
+    pub parent: u32,
+}
+
+impl SpanScope {
+    pub fn new(recorder: Arc<SpanRecorder>, parent: u32) -> Self {
+        SpanScope { recorder, parent }
+    }
+
+    /// A scope for children of `span`.
+    pub fn child(&self, span: u32) -> Self {
+        SpanScope {
+            recorder: Arc::clone(&self.recorder),
+            parent: span,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_render_as_a_tree() {
+        let rec = SpanRecorder::new(7, "session");
+        let root = rec.begin(None, "statement", "UPDATE t".into());
+        let exec = rec.begin(Some(root), "execute", String::new());
+        let unit = rec.begin(Some(exec), "unit", "ds_0.t_0".into());
+        rec.storage_span(unit, "lock_wait", "t_0 row 3".into(), 17, None);
+        rec.finish(unit, None);
+        rec.finish(exec, None);
+        rec.finish(root, None);
+        let record = rec.seal("UPDATE t SET v = 1".into(), None);
+        assert_eq!(record.trace_id, 7);
+        assert_eq!(record.spans.len(), 4);
+        assert_eq!(record.span("lock_wait").unwrap().parent, Some(unit));
+        assert!(record.span("lock_wait").unwrap().elapsed_us == 17);
+        let lines = record.render();
+        assert!(lines[0].contains("trace 7"));
+        // lock_wait is nested three levels under the root line.
+        let lock_line = lines.iter().find(|l| l.contains("lock_wait")).unwrap();
+        assert!(lock_line.starts_with("        "), "{lock_line:?}");
+    }
+
+    #[test]
+    fn errors_and_json_escaping_survive_serialization() {
+        let rec = SpanRecorder::new(1, "proxy:conn-1");
+        let root = rec.begin(None, "statement", String::new());
+        rec.add_complete(
+            Some(root),
+            "xa_prepare",
+            "ds_\"quoted\"".into(),
+            5,
+            Some("boom\nline2".into()),
+        );
+        rec.finish(root, Some("statement failed".into()));
+        let record = rec.seal("SELECT 1".into(), Some("statement failed".into()));
+        let mut json = String::new();
+        record.write_json(&mut json);
+        assert!(json.contains("\"trace_id\":1"));
+        assert!(json.contains("ds_\\\"quoted\\\""));
+        assert!(json.contains("boom\\nline2"));
+        assert!(json.contains("\"error\":\"statement failed\""));
+        assert!(!json.contains('\n'));
+    }
+
+    #[test]
+    fn unfinished_spans_get_clamped_durations() {
+        let rec = SpanRecorder::new(2, "session");
+        let root = rec.begin(None, "statement", String::new());
+        rec.finish(root, None);
+        let record = rec.seal("SELECT 1".into(), None);
+        assert!(record.spans[0].elapsed_us >= 1);
+        assert!(record.total_us >= 1);
+    }
+}

@@ -81,6 +81,9 @@ pub struct StatementTrace {
     /// Online-resharding phase of a touched table (`backfill`, `catch_up`,
     /// …), when one of the statement's tables is mid-migration.
     pub reshard_state: Option<String>,
+    /// Whether MVCC snapshot reads were enabled when the statement ran
+    /// (`SET mvcc = on|off`); `None` for non-reads.
+    pub mvcc: Option<bool>,
     /// Rows in the final (merged, decrypted) result.
     pub rows: u64,
 }
@@ -110,7 +113,8 @@ impl StatementTrace {
                     if !self.units.is_empty()
                         || self.route_strategy.is_some()
                         || self.scan_mode.is_some()
-                        || self.reshard_state.is_some() =>
+                        || self.reshard_state.is_some()
+                        || self.mvcc.is_some() =>
                 {
                     line.push(' ');
                     line.push('[');
@@ -138,6 +142,13 @@ impl StatementTrace {
                             line.push(' ');
                         }
                         line.push_str(&format!("reshard_state={r}"));
+                        first = false;
+                    }
+                    if let Some(m) = self.mvcc {
+                        if !first {
+                            line.push(' ');
+                        }
+                        line.push_str(&format!("mvcc={}", if m { "on" } else { "off" }));
                     }
                     line.push(']');
                 }
@@ -177,6 +188,7 @@ pub struct TraceContext {
     route_strategy: Option<String>,
     scan_mode: Option<String>,
     reshard_state: Option<String>,
+    mvcc: Option<bool>,
     rows: u64,
 }
 
@@ -198,6 +210,7 @@ impl TraceContext {
             route_strategy: None,
             scan_mode: None,
             reshard_state: None,
+            mvcc: None,
             rows: 0,
         }
     }
@@ -259,6 +272,10 @@ impl TraceContext {
         self.reshard_state = state;
     }
 
+    pub fn set_mvcc(&mut self, mvcc: Option<bool>) {
+        self.mvcc = mvcc;
+    }
+
     pub fn set_rows(&mut self, rows: u64) {
         self.rows = rows;
     }
@@ -274,6 +291,7 @@ impl TraceContext {
             route_strategy: self.route_strategy,
             scan_mode: self.scan_mode,
             reshard_state: self.reshard_state,
+            mvcc: self.mvcc,
             rows: self.rows,
         }
     }
@@ -326,6 +344,7 @@ mod tests {
             route_strategy: Some("scatter".into()),
             scan_mode: Some("row".into()),
             reshard_state: Some("backfill".into()),
+            mvcc: Some(true),
             rows: 3,
         };
         let lines = trace.render();
@@ -333,7 +352,7 @@ mod tests {
         assert!(lines[0].contains("total=120us"));
         assert!(lines.iter().any(|l| l.contains("route")
             && l.contains(
-                "[units=2 route_strategy=scatter scan_mode=row reshard_state=backfill]"
+                "[units=2 route_strategy=scatter scan_mode=row reshard_state=backfill mvcc=on]"
             )));
         assert!(lines.iter().any(|l| l.contains("ds_0.t_0 40us rows=3")));
         assert!(lines.iter().any(|l| l.contains("ds_1.t_1 38us rows=3")));

@@ -23,7 +23,8 @@ use crate::governor::{
 use crate::merge::{merge_explain, merge_stream, MergedStream, MergerKind};
 use crate::metadata::LogicalSchemas;
 use crate::obs::{
-    KernelMetrics, MetricsRegistry, SlowQueryLog, Stage, StatementTrace, TraceContext,
+    IncidentKind, KernelMetrics, MetricsRegistry, SloMonitor, SlowQueryLog, SpanRecorder,
+    SpanScope, Stage, StatementTrace, TraceCollector, TraceContext,
 };
 use crate::rewrite::{rewrite_for_unit, rewrite_insert_per_unit, rewrite_statement, DerivedInfo};
 use crate::route::{
@@ -103,6 +104,11 @@ pub struct ShardingRuntime {
     pub(crate) metrics: KernelMetrics,
     /// Ring buffer behind `SHOW SLOW_QUERIES`.
     pub(crate) slow_log: SlowQueryLog,
+    /// Cross-layer span collector ring + flight recorder
+    /// (`SHOW TRACE`, `SHOW INCIDENTS`, proxy `/traces`).
+    pub(crate) collector: Arc<TraceCollector>,
+    /// SLO burn-rate monitor (`SET slo_read_p99_ms`, `SET slo_error_pct`).
+    pub(crate) slo: Arc<SloMonitor>,
 }
 
 impl ShardingRuntime {
@@ -140,6 +146,16 @@ impl ShardingRuntime {
     /// The slow-query ring buffer (`SHOW SLOW_QUERIES`).
     pub fn slow_query_log(&self) -> &SlowQueryLog {
         &self.slow_log
+    }
+
+    /// The trace collector ring + flight recorder.
+    pub fn trace_collector(&self) -> &Arc<TraceCollector> {
+        &self.collector
+    }
+
+    /// The SLO burn-rate monitor.
+    pub fn slo_monitor(&self) -> &Arc<SloMonitor> {
+        &self.slo
     }
 
     pub fn datasource(&self, name: &str) -> Result<Arc<DataSource>> {
@@ -423,13 +439,34 @@ impl ShardingRuntime {
             Arc::clone(&self.registry),
             Arc::clone(&self.rw_split),
         );
+        let collector = Arc::clone(&self.collector);
         HealthDetector::new(Arc::clone(&self.registry), datasources).on_event(move |event| {
             if event.healthy {
                 coordinator.on_source_up(&event.datasource);
             } else {
-                coordinator.on_source_down(&event.datasource, &|name| {
+                let promotions = coordinator.on_source_down(&event.datasource, &|name| {
                     snapshot.get(name).is_some_and(|ds| ds.ping())
                 });
+                // Each promotion leaves a trace in the collector ring so
+                // `SHOW TRACE` can answer "why did reads move?" after the
+                // fact; failovers are rare, so always keep them.
+                if collector.enabled() {
+                    for p in promotions {
+                        let rec = SpanRecorder::new(
+                            collector.mint_trace_id(),
+                            format!("failover:{}", p.group),
+                        );
+                        let span = rec.begin(
+                            None,
+                            "failover_promote",
+                            format!("{} -> {}", p.old_primary, p.new_primary),
+                        );
+                        rec.finish(span, None);
+                        collector.keep(Arc::new(
+                            rec.seal(format!("<failover of '{}'>", event.datasource), None),
+                        ));
+                    }
+                }
             }
         })
     }
@@ -468,6 +505,9 @@ impl ShardingRuntime {
             pending_parse_us: None,
             trace_sql: None,
             stage_sample_tick: 0,
+            span_tick: 0,
+            active_spans: None,
+            trace_origin: None,
         }
     }
 }
@@ -614,6 +654,33 @@ fn register_runtime_gauges(runtime: &Arc<ShardingRuntime>) {
                 .unwrap_or(0)
         },
     );
+    // Collector and SLO gauges capture their own Arcs: both structs are
+    // owned by the runtime but carry no reference back to it, so this
+    // creates no cycle.
+    let collector = Arc::clone(&runtime.collector);
+    registry.gauge(
+        "traces_kept_total",
+        "traces kept in the collector ring (including overwritten ones)",
+        move || collector.kept_total(),
+    );
+    let collector = Arc::clone(&runtime.collector);
+    registry.gauge(
+        "trace_incidents_total",
+        "flight-recorder incidents captured (including evicted ones)",
+        move || collector.incidents_total(),
+    );
+    let slo = Arc::clone(&runtime.slo);
+    registry.gauge(
+        "slo_fast_burn_x100",
+        "fast-window (10s) SLO burn rate x100 (100 = burning budget at 1x)",
+        move || slo.burn_rates_x100().0,
+    );
+    let slo = Arc::clone(&runtime.slo);
+    registry.gauge(
+        "slo_slow_burn_x100",
+        "slow-window (60s) SLO burn rate x100 (100 = burning budget at 1x)",
+        move || slo.burn_rates_x100().1,
+    );
 }
 
 #[derive(Default)]
@@ -668,6 +735,13 @@ impl RuntimeBuilder {
         let metrics = KernelMetrics::new(&metrics_registry);
         let plan_cache =
             SqlPlanCache::with_registry(crate::cache::DEFAULT_CAPACITY, &metrics_registry);
+        let collector = Arc::new(TraceCollector::new());
+        let slo = Arc::new(SloMonitor::new(metrics_registry.counter(
+            "slo_breaches_total",
+            "SLO burn-rate breach episodes (multi-window alert firings)",
+        )));
+        let executor = ExecutorEngine::new(self.max_connections_per_query.unwrap_or(8) as usize);
+        executor.set_trace_collector(Arc::clone(&collector));
         let runtime = Arc::new(ShardingRuntime {
             rule: RwLock::new(ShardingRule::new(names)),
             datasources: RwLock::new(Arc::new(map)),
@@ -683,7 +757,7 @@ impl RuntimeBuilder {
             keygen: Arc::new(SnowflakeGenerator::new(1)),
             next_xid: AtomicU64::new(1),
             plan_cache,
-            executor: ExecutorEngine::new(self.max_connections_per_query.unwrap_or(8) as usize),
+            executor,
             batch_writes: std::sync::atomic::AtomicBool::new(true),
             group_commit_window_us: AtomicU64::new(0),
             gsi: GsiRegistry::new(),
@@ -697,6 +771,8 @@ impl RuntimeBuilder {
             metrics_registry,
             metrics,
             slow_log: SlowQueryLog::new(),
+            collector,
+            slo,
         });
         // Polled gauges need the finished Arc (they capture a Weak).
         register_runtime_gauges(&runtime);
@@ -856,6 +932,15 @@ pub struct Session {
     /// Rolling tick for sampled stage tracing in metrics-only mode; 0 means
     /// the next data statement runs with the full stage timer.
     stage_sample_tick: u8,
+    /// Rolling tick for head-sampled span collection (`SET trace_sample`);
+    /// 0 means the next data statement records a full cross-layer trace.
+    span_tick: u32,
+    /// Span recorder + root span for the statement currently executing,
+    /// when this statement was head-sampled.
+    active_spans: Option<SpanScope>,
+    /// Where traces minted on this session say they came from
+    /// (`proxy:conn-N` when set by the proxy adaptor; `session` otherwise).
+    trace_origin: Option<String>,
 }
 
 /// Maximum transparent retries of a read-only statement on transient errors.
@@ -945,7 +1030,11 @@ impl Session {
     /// any consumer exists: per-stage metrics, `SET trace = on`, or an armed
     /// slow-query threshold.
     fn should_trace(&self) -> bool {
-        self.runtime.metrics.on() || self.trace_enabled || self.runtime.slow_log.threshold_us() > 0
+        self.runtime.metrics.on()
+            || self.trace_enabled
+            || self.runtime.slow_log.threshold_us() > 0
+            || self.runtime.collector.enabled()
+            || self.runtime.slo.armed()
     }
 
     /// Should the full [`StatementTrace`] (with the SQL text) be built?
@@ -972,6 +1061,89 @@ impl Session {
         }
     }
 
+    /// Head sampling for cross-layer span collection: one data statement in
+    /// `trace_sample` runs with a live [`SpanRecorder`]. The first statement
+    /// of every session samples, so `SHOW TRACE` has something immediately.
+    fn span_sample_due(&mut self) -> bool {
+        let period = self.runtime.collector.sample_period();
+        if period == 0 {
+            return false;
+        }
+        // Modulo (not `== 0`) so tightening the rate mid-session takes
+        // effect immediately even when the tick sits past the new period.
+        let due = self.span_tick.is_multiple_of(period);
+        self.span_tick = (self.span_tick + 1) % period;
+        due
+    }
+
+    /// Label traces minted on this session (`proxy:conn-N`); adaptors call
+    /// this once per connection. Unset sessions mint `session` traces.
+    pub fn set_trace_origin(&mut self, origin: impl Into<String>) {
+        self.trace_origin = Some(origin.into());
+    }
+
+    /// Classify a statement failure for the flight recorder.
+    fn incident_kind(err: &KernelError) -> IncidentKind {
+        match err {
+            KernelError::Storage(shard_storage::StorageError::Injected(_)) => {
+                IncidentKind::InjectedFault
+            }
+            _ => Self::incident_kind_msg(&err.to_string()),
+        }
+    }
+
+    /// Classify a failure already reduced to its message (branch span
+    /// errors that did not abort the statement, e.g. XA phase-2 laggards).
+    fn incident_kind_msg(msg: &str) -> IncidentKind {
+        if msg.contains("injected fault") || msg.contains("fault on '") {
+            IncidentKind::InjectedFault
+        } else if msg.contains("fence") {
+            IncidentKind::ReshardFenceTimeout
+        } else {
+            IncidentKind::StatementError
+        }
+    }
+
+    /// Tail-based keep: a statement that errored without a live span
+    /// recorder still leaves a minimal trace plus a flight-recorder
+    /// incident, so failures are always reconstructible.
+    fn tail_keep_error(&self, total_us: u64, err: &KernelError) {
+        let collector = &self.runtime.collector;
+        if !collector.enabled() {
+            return;
+        }
+        let origin = self.trace_origin.as_deref().unwrap_or("session");
+        let rec = SpanRecorder::new(collector.mint_trace_id(), origin);
+        rec.add_complete(
+            None,
+            "statement",
+            String::new(),
+            total_us,
+            Some(err.to_string()),
+        );
+        let sql = self
+            .trace_sql
+            .clone()
+            .unwrap_or_else(|| "<statement>".to_string());
+        let record = Arc::new(rec.seal(sql, Some(err.to_string())));
+        let trace_id = record.trace_id;
+        collector.keep(record);
+        collector.record_incident(Self::incident_kind(err), err.to_string(), Some(trace_id));
+    }
+
+    /// Feed the SLO monitor and freeze the flight recorder on a fresh
+    /// breach.
+    fn observe_slo(&self, is_read: bool, total_us: u64, is_err: bool) {
+        if !self.runtime.slo.armed() {
+            return;
+        }
+        if let Some(detail) = self.runtime.slo.observe(is_read, total_us, is_err) {
+            self.runtime
+                .collector
+                .record_incident(IncidentKind::SloBreach, detail, None);
+        }
+    }
+
     pub fn runtime(&self) -> &Arc<ShardingRuntime> {
         &self.runtime
     }
@@ -984,9 +1156,11 @@ impl Session {
             return self.execute(&stmt, params);
         }
         // Time the parse only when a stage timer will claim it (tick peek:
-        // the wrapper advances the tick, so tick 0 here means the next data
-        // statement samples); otherwise parsing costs zero clock reads.
-        let timed = self.capture_trace() || self.stage_sample_tick == 0;
+        // the wrapper advances the tick, so an on-period tick here means the
+        // next data statement samples); otherwise parsing costs zero clocks.
+        let span_period = self.runtime.collector.sample_period();
+        let span_peek = span_period != 0 && self.span_tick.is_multiple_of(span_period);
+        let timed = self.capture_trace() || self.stage_sample_tick == 0 || span_peek;
         let stmt = if timed {
             let started = Instant::now();
             let stmt = self.runtime.plan_cache.parse(sql)?;
@@ -995,7 +1169,7 @@ impl Session {
         } else {
             self.runtime.plan_cache.parse(sql)?
         };
-        if self.capture_trace() {
+        if self.capture_trace() || span_peek {
             self.trace_sql = Some(sql.to_string());
         }
         let result = self.execute(&stmt, params);
@@ -1244,6 +1418,40 @@ impl Session {
                 self.runtime.set_reshard_fence_timeout_ms(n);
                 Ok(())
             }
+            "trace_sample" => {
+                // Accepts `off`/`0`, a plain period `N`, or the ratio form
+                // `1/N` (keep spans for one statement in N).
+                let v = value.to_lowercase();
+                let period: u32 = if v == "off" || v == "0" {
+                    0
+                } else {
+                    let n = v.strip_prefix("1/").unwrap_or(&v);
+                    n.parse().map_err(|_| {
+                        KernelError::Config("trace_sample must be off, N or 1/N".into())
+                    })?
+                };
+                self.runtime.collector.set_sample_period(period);
+                Ok(())
+            }
+            "slo_read_p99_ms" => {
+                let n: u64 = value.parse().map_err(|_| {
+                    KernelError::Config("slo_read_p99_ms must be an integer (0 unsets)".into())
+                })?;
+                self.runtime.slo.set_read_p99_ms(n);
+                Ok(())
+            }
+            "slo_error_pct" => {
+                let pct: f64 = value.parse().map_err(|_| {
+                    KernelError::Config("slo_error_pct must be a percentage (0 unsets)".into())
+                })?;
+                if !(0.0..=100.0).contains(&pct) {
+                    return Err(KernelError::Config(
+                        "slo_error_pct must be between 0 and 100".into(),
+                    ));
+                }
+                self.runtime.slo.set_error_pct_x100((pct * 100.0) as u64);
+                Ok(())
+            }
             // autocommit & friends accepted for driver compatibility.
             "autocommit" | "sql_mode" | "time_zone" | "character_set_results" => Ok(()),
             other => Err(KernelError::Config(format!("unknown variable '{other}'"))),
@@ -1310,6 +1518,15 @@ impl Session {
             .into()),
             "mvcc" => Ok(if self.runtime.mvcc() { "on" } else { "off" }.into()),
             "reshard_fence_timeout_ms" => Ok(self.runtime.reshard_fence_timeout_ms().to_string()),
+            "trace_sample" => Ok(match self.runtime.collector.sample_period() {
+                0 => "off".into(),
+                n => format!("1/{n}"),
+            }),
+            "slo_read_p99_ms" => Ok(self.runtime.slo.read_p99_ms().to_string()),
+            "slo_error_pct" => Ok(format!(
+                "{}",
+                self.runtime.slo.error_pct_x100() as f64 / 100.0
+            )),
             other => Err(KernelError::Config(format!("unknown variable '{other}'"))),
         }
     }
@@ -1347,18 +1564,66 @@ impl Session {
                 Ok(())
             }
             TransactionType::Xa => {
+                // Head-sampled COMMITs trace each 2PC phase and branch;
+                // branch spans carry storage probe children (WAL flushes).
+                let span_due = self.span_sample_due();
                 let m = &self.runtime.metrics;
                 let observer = XaPhaseObserver {
                     prepare_us: &m.xa_prepare_us,
                     commit_us: &m.xa_commit_us,
                 };
-                two_phase_commit_observed(
+                let scope = if span_due {
+                    let collector = &self.runtime.collector;
+                    let origin = self
+                        .trace_origin
+                        .clone()
+                        .unwrap_or_else(|| "session".into());
+                    let root_name: &'static str = if self.trace_origin.is_some() {
+                        "proxy_frame"
+                    } else {
+                        "statement"
+                    };
+                    let rec = SpanRecorder::new(collector.mint_trace_id(), origin);
+                    let root = rec.begin(None, root_name, format!("xa commit {}", txn.xid));
+                    Some(SpanScope::new(rec, root))
+                } else {
+                    None
+                };
+                let result = two_phase_commit_observed(
                     &txn.xid,
                     &self.runtime.xa_log,
                     &txn.branches,
                     self.xa_fanout,
                     m.on().then_some(&observer),
-                )
+                    scope.as_ref(),
+                );
+                let err = result.as_ref().err().map(|e| e.to_string());
+                if let Some(scope) = scope {
+                    scope.recorder.finish(scope.parent, err.clone());
+                    let record = Arc::new(scope.recorder.seal("COMMIT".to_string(), err));
+                    let trace_id = record.trace_id;
+                    // A phase-2 branch failure does not abort the global
+                    // transaction (recovery re-drives it) but is still an
+                    // anomaly worth freezing.
+                    let branch_err = record.spans.iter().find_map(|s| s.error.clone());
+                    self.runtime.collector.keep(record);
+                    if let Err(e) = &result {
+                        self.runtime.collector.record_incident(
+                            Self::incident_kind(e),
+                            e.to_string(),
+                            Some(trace_id),
+                        );
+                    } else if let Some(msg) = branch_err {
+                        self.runtime.collector.record_incident(
+                            Self::incident_kind_msg(&msg),
+                            msg,
+                            Some(trace_id),
+                        );
+                    }
+                } else if let Err(e) = &result {
+                    self.tail_keep_error(1, e);
+                }
+                result
             }
             TransactionType::Base => {
                 tc_rpc(); // phase 2: check status with the TC
@@ -1402,42 +1667,68 @@ impl Session {
         if !self.should_trace() {
             return self.execute_data_statement_inner(stmt, params);
         }
+        let is_read = stmt.category() == StatementCategory::Dql;
+        let span_due = self.span_sample_due();
         // Metrics-only light path (no trace consumer, off-sample tick):
         // two clock reads bracket the statement for the exact counters and
         // end-to-end histogram; the per-stage laps wait for the next sample.
-        if !self.capture_trace() && !self.stage_sample_due() {
+        if !self.capture_trace() && !span_due && !self.stage_sample_due() {
             let runtime = Arc::clone(&self.runtime);
             let start = Instant::now();
             self.pending_parse_us = None;
             let result = self.execute_data_statement_inner(stmt, params);
+            let total_us = (start.elapsed().as_micros() as u64).max(1);
             let metrics = runtime.metrics();
             if metrics.on() {
                 metrics.statements.inc();
                 if result.is_err() {
                     metrics.statement_errors.inc();
                 }
-                metrics
-                    .statement_us
-                    .record_us((start.elapsed().as_micros() as u64).max(1));
+                metrics.statement_us.record_us(total_us);
             }
+            if let Err(e) = &result {
+                self.tail_keep_error(total_us, e);
+            }
+            self.observe_slo(is_read, total_us, result.is_err());
             return result;
         }
         // Observed path: a stage timer rides on the session while the
         // statement moves through the pipeline; at the end it feeds the
         // per-stage histograms and, when wanted, the full statement trace.
         let mut ctx = TraceContext::new();
-        if let Some(us) = self.pending_parse_us.take() {
+        let parse_us = self.pending_parse_us.take();
+        if let Some(us) = parse_us {
             ctx.add_span(Stage::Parse, us);
         }
         self.active_trace = Some(ctx);
+        if span_due {
+            // Head-sampled: a live span recorder rides along too, collecting
+            // parent-linked spans from the executor, XA branches and storage
+            // probes; the sealed tree lands in the collector ring.
+            let collector = &self.runtime.collector;
+            let origin = self
+                .trace_origin
+                .clone()
+                .unwrap_or_else(|| "session".into());
+            let root_name: &'static str = if self.trace_origin.is_some() {
+                "proxy_frame"
+            } else {
+                "statement"
+            };
+            let rec = SpanRecorder::new(collector.mint_trace_id(), origin);
+            let root = rec.begin(None, root_name, format!("{:?}", stmt.category()));
+            self.active_spans = Some(SpanScope::new(rec, root));
+        }
         let result = self.execute_data_statement_inner(stmt, params);
         let runtime = Arc::clone(&self.runtime);
         let Some(mut ctx) = self.active_trace.take() else {
+            self.active_spans = None;
             return result;
         };
         if let Ok(r) = &result {
             ctx.set_rows(r.affected());
         }
+        let total_us = ctx.total_us();
         let metrics = runtime.metrics();
         let record_metrics = metrics.on();
         if record_metrics {
@@ -1448,6 +1739,43 @@ impl Session {
             for (stage, us) in ctx.stages() {
                 metrics.stage_us[stage.index()].record_us(*us);
             }
+        }
+        if let Some(scope) = self.active_spans.take() {
+            // Synthesize kernel stage spans under the root from the lap
+            // timers (execute already has a live span from the executor),
+            // close the root, seal, and land the tree in the ring.
+            let rec = &scope.recorder;
+            let mut offset = 0u64;
+            for (stage, us) in ctx.stages() {
+                if *stage != Stage::Execute {
+                    rec.add_at(
+                        Some(scope.parent),
+                        stage.as_str(),
+                        String::new(),
+                        offset,
+                        *us,
+                    );
+                }
+                offset += us;
+            }
+            let err = result.as_ref().err().map(|e| e.to_string());
+            rec.finish(scope.parent, err.clone());
+            let sql = self
+                .trace_sql
+                .clone()
+                .unwrap_or_else(|| "<prepared statement>".to_string());
+            let record = Arc::new(rec.seal(sql, err));
+            let trace_id = record.trace_id;
+            runtime.collector.keep(record);
+            if let Err(e) = &result {
+                runtime.collector.record_incident(
+                    Self::incident_kind(e),
+                    e.to_string(),
+                    Some(trace_id),
+                );
+            }
+        } else if let Err(e) = &result {
+            self.tail_keep_error(total_us, e);
         }
         if self.capture_trace() {
             // The merger label allocates; only materialize it on the
@@ -1466,8 +1794,9 @@ impl Session {
                 self.last_trace = Some(trace);
             }
         } else if record_metrics {
-            metrics.statement_us.record_us(ctx.total_us());
+            metrics.statement_us.record_us(total_us);
         }
+        self.observe_slo(is_read, total_us, result.is_err());
         result
     }
 
@@ -1794,8 +2123,10 @@ impl Session {
                 }),
                 _ => None,
             });
+            let mvcc = is_query.then(|| self.runtime.mvcc());
             if let Some(t) = self.active_trace.as_mut() {
                 t.set_scan_mode(mode);
+                t.set_mvcc(mvcc);
             }
         }
 
@@ -1857,6 +2188,14 @@ impl Session {
         // Per-unit spans cost label strings per shard; only pay for them
         // when a trace will be rendered (EXPLAIN ANALYZE, slow-query log).
         let want_units = self.capture_trace();
+        // Head-sampled statements open a live "execute" span the executor
+        // hangs per-unit (and, via the storage probe, per-engine) spans off.
+        let exec_scope = self.active_spans.as_ref().map(|scope| {
+            let id = scope
+                .recorder
+                .begin(Some(scope.parent), "execute", String::new());
+            scope.child(id)
+        });
         let executed = self.runtime.executor.execute_with_deadline(
             &datasources,
             plan.inputs,
@@ -1864,7 +2203,13 @@ impl Session {
             plan.txn_bindings.as_ref(),
             deadline,
             want_units,
+            exec_scope.as_ref(),
         );
+        if let Some(scope) = &exec_scope {
+            scope
+                .recorder
+                .finish(scope.parent, executed.as_ref().err().map(|e| e.to_string()));
+        }
         let (results, report) = match executed {
             Ok(r) => r,
             Err(e) => {

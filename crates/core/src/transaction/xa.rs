@@ -9,8 +9,9 @@
 
 use crate::error::{KernelError, Result};
 use crate::executor::pool::WorkerPool;
-use crate::obs::Histogram;
+use crate::obs::{Histogram, SpanScope};
 use parking_lot::Mutex;
+use shard_storage::probe::{self, Probe, SpanSink};
 use shard_storage::{StorageEngine, TxnId};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -122,7 +123,32 @@ pub fn two_phase_commit_with(
     branches: &HashMap<String, (Arc<StorageEngine>, TxnId)>,
     fanout: XaFanOut,
 ) -> Result<()> {
-    two_phase_commit_observed(xid, log, branches, fanout, None)
+    two_phase_commit_observed(xid, log, branches, fanout, None, None)
+}
+
+/// Wrap one branch operation in a span (when a trace rides along) with the
+/// storage probe installed, so WAL flushes and lock waits inside the branch
+/// parent to its `xa_prepare` / `xa_commit` span.
+fn branch_job(
+    spans: Option<&SpanScope>,
+    name: &'static str,
+    branch: &str,
+    f: impl FnOnce() -> shard_storage::Result<()> + Send + 'static,
+) -> FanJob {
+    let span = spans.map(|s| {
+        let id = s.recorder.begin(Some(s.parent), name, branch.to_string());
+        (Arc::clone(&s.recorder), id)
+    });
+    Box::new(move || {
+        let _probe = span
+            .as_ref()
+            .map(|(rec, id)| probe::install(Probe::new(Arc::clone(rec) as Arc<dyn SpanSink>, *id)));
+        let r = f();
+        if let Some((rec, id)) = &span {
+            rec.finish(*id, r.as_ref().err().map(|e| e.to_string()));
+        }
+        r
+    })
 }
 
 /// Histogram handles for the two 2PC phases (the kernel metrics registry's
@@ -132,13 +158,15 @@ pub struct XaPhaseObserver<'a> {
     pub commit_us: &'a Histogram,
 }
 
-/// Run 2PC, optionally timing each phase into the observer's histograms.
+/// Run 2PC, optionally timing each phase into the observer's histograms
+/// and/or recording per-branch spans into a trace that rides along.
 pub fn two_phase_commit_observed(
     xid: &str,
     log: &XaLog,
     branches: &HashMap<String, (Arc<StorageEngine>, TxnId)>,
     fanout: XaFanOut,
     obs: Option<&XaPhaseObserver<'_>>,
+    spans: Option<&SpanScope>,
 ) -> Result<()> {
     log.record(xid, XaDecision::Preparing);
     let phase_start = std::time::Instant::now();
@@ -157,19 +185,25 @@ pub fn two_phase_commit_observed(
     let votes: Vec<Option<shard_storage::Result<()>>> = if parallel && ordered.len() > 1 {
         let jobs: Vec<FanJob> = ordered
             .iter()
-            .map(|(_, engine, txn)| {
+            .map(|(name, engine, txn)| {
                 let engine = Arc::clone(engine);
                 let txn = *txn;
                 let xid = xid.to_string();
-                Box::new(move || engine.prepare(txn, &xid)) as FanJob
+                branch_job(spans, "xa_prepare", name, move || engine.prepare(txn, &xid))
             })
             .collect();
         fan_out(jobs, true).into_iter().map(Some).collect()
     } else {
         let mut votes: Vec<Option<shard_storage::Result<()>>> =
             (0..ordered.len()).map(|_| None).collect();
-        for (i, (_, engine, txn)) in ordered.iter().enumerate() {
-            let vote = engine.prepare(*txn, xid);
+        for (i, (name, engine, txn)) in ordered.iter().enumerate() {
+            let engine = Arc::clone(engine);
+            let txn = *txn;
+            let xid_owned = xid.to_string();
+            let job = branch_job(spans, "xa_prepare", name, move || {
+                engine.prepare(txn, &xid_owned)
+            });
+            let vote = job();
             let no = vote.is_err();
             votes[i] = Some(vote);
             if no {
@@ -234,10 +268,12 @@ pub fn two_phase_commit_observed(
     let phase_start = std::time::Instant::now();
     let jobs: Vec<FanJob> = ordered
         .iter()
-        .map(|(_, engine, txn)| {
+        .map(|(name, engine, txn)| {
             let engine = Arc::clone(engine);
             let txn = *txn;
-            Box::new(move || engine.commit_prepared(txn)) as FanJob
+            branch_job(spans, "xa_commit", name, move || {
+                engine.commit_prepared(txn)
+            })
         })
         .collect();
     let results = fan_out(jobs, parallel);

@@ -129,7 +129,7 @@ fn explain_analyze_renders_full_stage_tree() {
     // Fan-out width and routing verdict annotated on the route line;
     // 4 shards over 2 sources, full scatter (ORDER BY, no aggregates).
     assert!(
-        tree.contains("[units=4 route_strategy=scatter scan_mode=row]"),
+        tree.contains("[units=4 route_strategy=scatter scan_mode=row mvcc=on]"),
         "{tree}"
     );
     // One child line per shard execution unit, under the execute stage.
@@ -186,7 +186,18 @@ fn slow_query_log_via_ral() {
     let rs = query(&mut s, "SHOW SLOW_QUERIES");
     assert_eq!(
         rs.columns,
-        vec!["seq", "sql", "total_us", "stages", "units", "rows"]
+        vec![
+            "seq",
+            "sql",
+            "total_us",
+            "stages",
+            "units",
+            "rows",
+            "route_strategy",
+            "scan_mode",
+            "reshard_state",
+            "mvcc"
+        ]
     );
     // Capacity 2: the first slow query was evicted, newest first.
     assert_eq!(rs.rows.len(), 2, "{:?}", rs.rows);

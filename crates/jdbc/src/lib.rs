@@ -25,8 +25,10 @@
 //! assert_eq!(rows.rows[0][0], Value::Str("ann".into()));
 //! ```
 
+pub use shard_core::{
+    Incident, IncidentKind, QueryStream, StatementTrace, StreamOutcome, TraceRecord,
+};
 use shard_core::{KernelError, Result, Session, ShardingRuntime, TransactionType};
-pub use shard_core::{QueryStream, StatementTrace, StreamOutcome};
 use shard_sql::{Statement, Value};
 use shard_storage::{ExecuteResult, ResultSet, StorageEngine};
 use std::sync::Arc;
@@ -219,6 +221,26 @@ impl Connection {
     /// connection (populated while `SET VARIABLE trace = on`).
     pub fn last_trace(&self) -> Option<&StatementTrace> {
         self.session.last_trace()
+    }
+
+    // -- distributed tracing (programmatic `SHOW TRACE` / `SHOW INCIDENTS`) --
+
+    /// Cross-layer traces currently in the runtime's collector ring,
+    /// newest-first (head-sampled per `SET trace_sample` plus tail-kept
+    /// errors).
+    pub fn traces(&self) -> Vec<Arc<TraceRecord>> {
+        self.session.runtime().trace_collector().traces()
+    }
+
+    /// Look one trace up by id — the programmatic `SHOW TRACE <id>`.
+    pub fn trace(&self, id: u64) -> Option<Arc<TraceRecord>> {
+        self.session.runtime().trace_collector().trace(id)
+    }
+
+    /// The flight recorder's incident store, newest-first: anomalies with
+    /// the trace ring frozen at the moment each one fired.
+    pub fn incidents(&self) -> Vec<Incident> {
+        self.session.runtime().trace_collector().incidents()
     }
 
     /// The underlying kernel session (diagnostics).

@@ -1,12 +1,14 @@
 //! Proxy admin endpoint: a minimal HTTP/1.1 server exposing the kernel's
-//! metrics registry in Prometheus text exposition format at `GET /metrics`.
+//! metrics registry in Prometheus text exposition format at `GET /metrics`,
+//! plus the trace collector ring as JSON at `GET /traces` when the server
+//! was started with one.
 //!
-//! Deliberately tiny — it parses only the request line, answers `/metrics`
-//! and `/healthz`, and closes the connection after each response. That is
-//! all a scrape loop needs, and it keeps the proxy free of HTTP framework
-//! dependencies.
+//! Deliberately tiny — it parses only the request line, answers `/metrics`,
+//! `/traces` and `/healthz`, and closes the connection after each response.
+//! That is all a scrape loop needs, and it keeps the proxy free of HTTP
+//! framework dependencies.
 
-use shard_core::MetricsRegistry;
+use shard_core::{MetricsRegistry, TraceCollector};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -24,6 +26,16 @@ impl MetricsServer {
     /// Serve `GET /metrics` on `127.0.0.1:port` (`port = 0` picks a free
     /// port). Each scrape renders the registry at that instant.
     pub fn start(registry: Arc<MetricsRegistry>, port: u16) -> std::io::Result<MetricsServer> {
+        MetricsServer::start_with_traces(registry, None, port)
+    }
+
+    /// Like [`start`](MetricsServer::start), additionally serving the trace
+    /// collector ring as a JSON array at `GET /traces`.
+    pub fn start_with_traces(
+        registry: Arc<MetricsRegistry>,
+        collector: Option<Arc<TraceCollector>>,
+        port: u16,
+    ) -> std::io::Result<MetricsServer> {
         let listener = TcpListener::bind(("127.0.0.1", port))?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -35,7 +47,7 @@ impl MetricsServer {
                 .expect("set_nonblocking on metrics listener");
             while !stop2.load(Ordering::SeqCst) {
                 match listener.accept() {
-                    Ok((stream, _)) => serve_scrape(stream, &registry),
+                    Ok((stream, _)) => serve_scrape(stream, &registry, collector.as_deref()),
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                         std::thread::sleep(std::time::Duration::from_millis(5));
                     }
@@ -71,7 +83,11 @@ impl Drop for MetricsServer {
 
 /// Answer one scrape request and close. Scrapes are serial and rare (one
 /// per collection interval), so blocking the accept loop is fine.
-fn serve_scrape(mut stream: TcpStream, registry: &MetricsRegistry) {
+fn serve_scrape(
+    mut stream: TcpStream,
+    registry: &MetricsRegistry,
+    collector: Option<&TraceCollector>,
+) {
     stream
         .set_read_timeout(Some(std::time::Duration::from_secs(2)))
         .ok();
@@ -102,6 +118,11 @@ fn serve_scrape(mut stream: TcpStream, registry: &MetricsRegistry) {
             "text/plain; version=0.0.4; charset=utf-8",
             registry.render_prometheus(),
         ),
+        "/traces" if collector.is_some() => (
+            "200 OK",
+            "application/json; charset=utf-8",
+            collector.map(|c| c.traces_json()).unwrap_or_default(),
+        ),
         "/healthz" => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
         _ => (
             "404 Not Found",
@@ -127,6 +148,111 @@ mod tests {
         let mut out = String::new();
         stream.read_to_string(&mut out).unwrap();
         out
+    }
+
+    /// Golden strict-format check: every line of a real `/metrics` scrape
+    /// must be a well-formed Prometheus text-exposition line — `# HELP` with
+    /// escaped payload, `# TYPE` with a known type, or `name[{labels}]
+    /// value` — and histogram families must be internally consistent
+    /// (cumulative buckets, `+Inf` == `_count`).
+    #[test]
+    fn scrape_is_strict_prometheus_text_format() {
+        let registry = Arc::new(MetricsRegistry::new());
+        registry
+            .counter("golden_total", "line one\nline two \\ backslash")
+            .add(7);
+        registry
+            .histogram("golden_us", "golden histogram")
+            .record_us(3);
+        let server = MetricsServer::start(Arc::clone(&registry), 0).unwrap();
+        let response = scrape(server.addr(), "/metrics");
+        let body = response.split("\r\n\r\n").nth(1).unwrap();
+
+        // HELP escaping: the newline and backslash from the help string
+        // arrive escaped, never raw (a raw newline corrupts the scrape).
+        assert!(
+            body.contains("# HELP golden_total line one\\nline two \\\\ backslash"),
+            "{body}"
+        );
+        assert!(body.contains("# TYPE golden_total counter"), "{body}");
+        assert!(body.contains("golden_total 7\n"), "{body}");
+
+        let name_ok = |n: &str| {
+            !n.is_empty()
+                && n.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+                && !n.starts_with(|c: char| c.is_ascii_digit())
+        };
+        for line in body.lines() {
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let name = rest.split_whitespace().next().unwrap_or("");
+                assert!(name_ok(name), "bad HELP name in {line:?}");
+            } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut parts = rest.split_whitespace();
+                assert!(name_ok(parts.next().unwrap_or("")), "bad TYPE in {line:?}");
+                let ty = parts.next().unwrap_or("");
+                assert!(
+                    ["counter", "gauge", "histogram", "summary", "untyped"].contains(&ty),
+                    "unknown TYPE '{ty}' in {line:?}"
+                );
+            } else {
+                // Sample line: `<name>[{labels}] <value>`.
+                let (name_part, value) = line.rsplit_once(' ').unwrap_or(("", ""));
+                let bare = name_part.split('{').next().unwrap_or("");
+                assert!(name_ok(bare), "bad sample name in {line:?}");
+                assert!(value.parse::<f64>().is_ok(), "bad value in {line:?}");
+            }
+        }
+
+        // Histogram consistency: buckets are cumulative and +Inf == count.
+        let bucket_counts: Vec<u64> = body
+            .lines()
+            .filter(|l| l.starts_with("golden_us_bucket"))
+            .map(|l| l.rsplit_once(' ').unwrap().1.parse().unwrap())
+            .collect();
+        assert!(!bucket_counts.is_empty());
+        assert!(bucket_counts.windows(2).all(|w| w[0] <= w[1]), "{body}");
+        let count: u64 = body
+            .lines()
+            .find(|l| l.starts_with("golden_us_count"))
+            .and_then(|l| l.rsplit_once(' '))
+            .unwrap()
+            .1
+            .parse()
+            .unwrap();
+        assert_eq!(*bucket_counts.last().unwrap(), count);
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn traces_endpoint_serves_collector_json() {
+        use shard_core::obs::SpanRecorder;
+        let registry = Arc::new(MetricsRegistry::new());
+        let collector = Arc::new(TraceCollector::new());
+        let rec = SpanRecorder::new(collector.mint_trace_id(), "proxy:conn-1");
+        let root = rec.begin(None, "proxy_frame", String::new());
+        rec.finish(root, None);
+        collector.keep(Arc::new(rec.seal("SELECT 1".into(), None)));
+        let server = MetricsServer::start_with_traces(
+            Arc::clone(&registry),
+            Some(Arc::clone(&collector)),
+            0,
+        )
+        .unwrap();
+        let response = scrape(server.addr(), "/traces");
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        assert!(
+            response.contains("Content-Type: application/json"),
+            "{response}"
+        );
+        let body = response.split("\r\n\r\n").nth(1).unwrap();
+        assert!(body.starts_with("[{\"trace_id\":"), "{body}");
+        assert!(body.contains("\"origin\":\"proxy:conn-1\""), "{body}");
+        assert!(body.contains("\"name\":\"proxy_frame\""), "{body}");
+
+        // Without a collector, /traces is not served.
+        let bare = MetricsServer::start(registry, 0).unwrap();
+        assert!(scrape(bare.addr(), "/traces").starts_with("HTTP/1.1 404"));
     }
 
     #[test]

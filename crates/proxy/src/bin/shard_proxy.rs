@@ -109,11 +109,19 @@ fn main() {
         sources
     );
     let _metrics_server = metrics_port.map(|p| {
-        let ms = MetricsServer::start(runtime.metrics_registry().clone(), p).unwrap_or_else(|e| {
+        let ms = MetricsServer::start_with_traces(
+            runtime.metrics_registry().clone(),
+            Some(runtime.trace_collector().clone()),
+            p,
+        )
+        .unwrap_or_else(|e| {
             eprintln!("cannot bind metrics port {p}: {e}");
             std::process::exit(1);
         });
-        eprintln!("metrics exposition on http://{}/metrics", ms.addr());
+        eprintln!(
+            "metrics exposition on http://{addr}/metrics, traces on http://{addr}/traces",
+            addr = ms.addr()
+        );
         ms
     });
     loop {

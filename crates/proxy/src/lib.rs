@@ -186,8 +186,12 @@ mod tests {
     fn metrics_endpoint_shares_the_kernel_registry() {
         let runtime = runtime();
         let server = ProxyServer::start(Arc::clone(&runtime), 0).unwrap();
-        let mut metrics_server =
-            MetricsServer::start(runtime.metrics_registry().clone(), 0).unwrap();
+        let mut metrics_server = MetricsServer::start_with_traces(
+            runtime.metrics_registry().clone(),
+            Some(runtime.trace_collector().clone()),
+            0,
+        )
+        .unwrap();
         let mut c = ProxyClient::connect(server.addr()).unwrap();
         c.update("INSERT INTO t (id, v) VALUES (1, 1)", &[])
             .unwrap();
@@ -201,7 +205,10 @@ mod tests {
         stream.read_to_string(&mut body).unwrap();
         assert!(body.contains("proxy_connections_total 1"), "{body}");
         assert!(body.contains("proxy_statement_us_count 2"), "{body}");
-        assert!(body.contains("# TYPE proxy_statement_us summary"), "{body}");
+        assert!(
+            body.contains("# TYPE proxy_statement_us histogram"),
+            "{body}"
+        );
 
         // The same instruments through the RAL surface.
         let rs = c.query("SHOW METRICS LIKE 'proxy_%'", &[]).unwrap();

@@ -69,13 +69,13 @@ impl ProxyServer {
             while !stop2.load(Ordering::SeqCst) {
                 match listener.accept() {
                     Ok((stream, _)) => {
-                        served.fetch_add(1, Ordering::Relaxed);
+                        let conn = served.fetch_add(1, Ordering::Relaxed) + 1;
                         metrics.connections.inc();
                         let runtime = Arc::clone(&runtime);
                         let stop = Arc::clone(&stop2);
                         let metrics = Arc::clone(&metrics);
                         workers.push(std::thread::spawn(move || {
-                            serve_connection(stream, runtime, stop, metrics);
+                            serve_connection(stream, runtime, stop, metrics, conn);
                         }));
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -125,6 +125,7 @@ fn serve_connection(
     runtime: Arc<ShardingRuntime>,
     stop: Arc<AtomicBool>,
     metrics: Arc<ProxyMetrics>,
+    conn: u64,
 ) {
     stream.set_nodelay(true).ok();
     // The timeout exists only so idle connections re-check the stop flag;
@@ -133,6 +134,9 @@ fn serve_connection(
         .set_read_timeout(Some(std::time::Duration::from_millis(200)))
         .ok();
     let mut session = runtime.session();
+    // Traces minted for this connection's statements carry the proxy frame
+    // as their origin, so `SHOW TRACE` tells connections apart.
+    session.set_trace_origin(format!("proxy:conn-{conn}"));
     loop {
         let frame = match read_frame_patient(&mut stream, &stop) {
             FrameRead::Frame(f) => f,

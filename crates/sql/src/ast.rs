@@ -842,6 +842,15 @@ pub enum DistSqlStatement {
     },
     /// `SHOW SLOW_QUERIES` — the slow-query ring buffer, newest first.
     ShowSlowQueries,
+    /// `SHOW TRACE [<id>]` — sampled cross-layer traces from the collector
+    /// ring (newest first); with an id, the full span tree of that trace.
+    ShowTrace {
+        id: Option<u64>,
+    },
+    /// `SHOW INCIDENTS` — the flight recorder's bounded incident store:
+    /// anomalies (statement errors, breaker transitions, reshard fence
+    /// timeouts, SLO breaches) with their frozen trace rings.
+    ShowIncidents,
     /// `RESHARD TABLE t (RESOURCES(..), SHARDING_COLUMN=.., TYPE=..,
     /// PROPERTIES(..)) [THROTTLE n]` — online migration of a sharded table
     /// to a new layout with an optional rows/sec backfill throttle.
@@ -915,6 +924,8 @@ impl DistSqlStatement {
             | ExplainAnalyze { .. }
             | ShowMetrics { .. }
             | ShowSlowQueries
+            | ShowTrace { .. }
+            | ShowIncidents
             | ReshardTable { .. }
             | ShowReshardStatus
             | CancelReshard { .. } => DistSqlLanguage::Ral,

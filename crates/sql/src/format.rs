@@ -546,6 +546,9 @@ impl Formatter {
                 format!("SHOW METRICS LIKE '{p}'")
             }
             DistSqlStatement::ShowSlowQueries => "SHOW SLOW_QUERIES".into(),
+            DistSqlStatement::ShowTrace { id: None } => "SHOW TRACE".into(),
+            DistSqlStatement::ShowTrace { id: Some(id) } => format!("SHOW TRACE {id}"),
+            DistSqlStatement::ShowIncidents => "SHOW INCIDENTS".into(),
             DistSqlStatement::ReshardTable { rule, throttle } => {
                 let props = rule
                     .props

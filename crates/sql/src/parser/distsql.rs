@@ -275,6 +275,24 @@ impl Parser {
                 self.advance();
                 return Ok(Statement::DistSql(DistSqlStatement::ShowSlowQueries));
             }
+            if self.at_kw("TRACE") || self.at_kw("TRACES") {
+                self.advance();
+                let id = if let TokenKind::Number(_) = self.peek() {
+                    match self.advance() {
+                        TokenKind::Number(n) => Some(n.parse::<u64>().map_err(|_| {
+                            self.err(format!("trace id '{n}' is not a valid integer"))
+                        })?),
+                        _ => unreachable!(),
+                    }
+                } else {
+                    None
+                };
+                return Ok(Statement::DistSql(DistSqlStatement::ShowTrace { id }));
+            }
+            if self.at_kw("INCIDENTS") {
+                self.advance();
+                return Ok(Statement::DistSql(DistSqlStatement::ShowIncidents));
+            }
             if self.at_kw("GLOBAL") {
                 self.advance();
                 self.expect_kw("INDEXES")?;

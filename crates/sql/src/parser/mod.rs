@@ -254,7 +254,17 @@ impl Parser {
         let name = self.expect_ident()?;
         self.expect(&TokenKind::Eq)?;
         let value = match self.advance() {
-            TokenKind::Number(n) => parse_number(&n),
+            // `1/16` (trace sampling ratios) is three tokens; rejoin them.
+            TokenKind::Number(n) => {
+                if self.eat(&TokenKind::Slash) {
+                    match self.advance() {
+                        TokenKind::Number(d) => Value::Str(format!("{n}/{d}")),
+                        other => return Err(self.err(format!("bad ratio denominator '{other}'"))),
+                    }
+                } else {
+                    parse_number(&n)
+                }
+            }
             TokenKind::String(s) => Value::Str(s),
             TokenKind::Ident(s) => Value::Str(s),
             other => return Err(self.err(format!("bad SET value '{other}'"))),
@@ -268,7 +278,17 @@ impl Parser {
     pub(crate) fn parse_variable_value(&mut self) -> Result<String, SqlError> {
         match self.advance() {
             TokenKind::Ident(s) | TokenKind::QuotedIdent(s) | TokenKind::String(s) => Ok(s),
-            TokenKind::Number(n) => Ok(n),
+            // `1/16` (trace sampling ratios) is three tokens; rejoin them.
+            TokenKind::Number(n) => {
+                if self.eat(&TokenKind::Slash) {
+                    match self.advance() {
+                        TokenKind::Number(d) => Ok(format!("{n}/{d}")),
+                        other => Err(self.err(format!("bad ratio denominator '{other}'"))),
+                    }
+                } else {
+                    Ok(n)
+                }
+            }
             other => Err(self.err(format!("bad variable value '{other}'"))),
         }
     }
@@ -284,6 +304,9 @@ impl Parser {
             || self.at_kw_n(1, "DATA_SOURCE")
             || self.at_kw_n(1, "METRICS")
             || self.at_kw_n(1, "SLOW_QUERIES")
+            || self.at_kw_n(1, "TRACE")
+            || self.at_kw_n(1, "TRACES")
+            || self.at_kw_n(1, "INCIDENTS")
             || self.at_kw_n(1, "GLOBAL")
             || self.at_kw_n(1, "RESHARD")
         {

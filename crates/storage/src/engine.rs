@@ -270,7 +270,9 @@ impl StorageEngine {
         if !self.mvcc_enabled() {
             return ReadView::Latest;
         }
+        let span = crate::probe::begin();
         let (ts, guard) = self.snapshots.acquire(&self.commit_clock);
+        crate::probe::end(span, "mvcc_snapshot", || format!("{} ts={ts}", self.name));
         ReadView::snapshot(ts, txn, Some(guard))
     }
 
@@ -289,6 +291,7 @@ impl StorageEngine {
     /// automatically every [`GC_COMMIT_INTERVAL`] commits; callable directly
     /// for tests and maintenance.
     pub fn vacuum(&self) -> u64 {
+        let span = crate::probe::begin();
         let oldest = self.snapshots.oldest_live(&self.commit_clock);
         let tables: Vec<_> = self.tables.read().values().cloned().collect();
         let mut reclaimed = 0u64;
@@ -296,6 +299,9 @@ impl StorageEngine {
             reclaimed += t.write().vacuum(oldest);
         }
         self.gc_reclaimed.fetch_add(reclaimed, Ordering::Relaxed);
+        crate::probe::end(span, "vacuum", || {
+            format!("{} reclaimed={reclaimed}", self.name)
+        });
         reclaimed
     }
 
@@ -456,7 +462,9 @@ impl StorageEngine {
             drop(seal);
         }
         if flush {
+            let span = crate::probe::begin();
             self.group_commit.sync(|| self.latency.charge(0));
+            crate::probe::end(span, "wal_flush", || self.name.clone());
         }
         self.locks.release_all(txn);
         self.maybe_vacuum();
@@ -626,6 +634,26 @@ impl StorageEngine {
     /// over the materialized result. The per-request latency is charged at
     /// open; streaming pulls charge the per-row cost incrementally.
     pub fn open_cursor(
+        &self,
+        stmt: &SelectStatement,
+        params: &[Value],
+        txn: Option<TxnId>,
+    ) -> Result<QueryCursor> {
+        let span = crate::probe::begin();
+        let result = self.open_cursor_inner(stmt, params, txn);
+        crate::probe::end_with(
+            span,
+            "cursor_open",
+            || {
+                let table = stmt.from.as_ref().map(|f| f.name.as_str()).unwrap_or("?");
+                format!("{}:{table}", self.name)
+            },
+            result.as_ref().err().map(|e| e.to_string()),
+        );
+        result
+    }
+
+    fn open_cursor_inner(
         &self,
         stmt: &SelectStatement,
         params: &[Value],

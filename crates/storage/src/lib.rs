@@ -30,6 +30,7 @@ pub mod index;
 pub mod latency;
 pub mod lock;
 pub mod mvcc;
+pub mod probe;
 pub mod result;
 pub mod schema;
 pub mod table;

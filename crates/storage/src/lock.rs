@@ -13,6 +13,7 @@
 
 use crate::error::{Result, StorageError};
 use crate::index::RowId;
+use crate::probe;
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -90,33 +91,43 @@ impl LockManager {
         let deadline = Instant::now() + self.timeout;
         let mut state = self.state.lock();
         let mut waited = false;
-        loop {
+        // Armed only when an installed tracing probe observes the first
+        // blocking episode; uncontended acquisitions report nothing.
+        let mut wait_span: Option<Instant> = None;
+        let result = loop {
             match state.owners.get(&key) {
                 None => {
                     state.owners.insert(key.clone(), txn);
                     state.owned.entry(txn).or_default().insert(key);
-                    return Ok(());
+                    break Ok(());
                 }
-                Some(owner) if *owner == txn => return Ok(()),
+                Some(owner) if *owner == txn => break Ok(()),
                 Some(_) => {
                     if !waited {
                         waited = true;
                         self.count_wait(intent);
+                        wait_span = probe::begin();
                     }
                     let now = Instant::now();
-                    if now >= deadline {
-                        return Err(StorageError::LockTimeout {
-                            table: table.to_string(),
-                        });
-                    }
-                    if self.released.wait_until(&mut state, deadline).timed_out() {
-                        return Err(StorageError::LockTimeout {
+                    if now >= deadline || self.released.wait_until(&mut state, deadline).timed_out()
+                    {
+                        break Err(StorageError::LockTimeout {
                             table: table.to_string(),
                         });
                     }
                 }
             }
+        };
+        drop(state);
+        if waited {
+            probe::end_with(
+                wait_span,
+                "lock_wait",
+                || format!("{table} row {row}"),
+                result.as_ref().err().map(|e| e.to_string()),
+            );
         }
+        result
     }
 
     /// Acquire exclusive locks on a batch of rows of one table under a
@@ -133,34 +144,52 @@ impl LockManager {
     ) -> Result<()> {
         let deadline = Instant::now() + self.timeout;
         let mut state = self.state.lock();
-        for &row in rows {
-            let key = (table.to_string(), row);
-            let mut waited = false;
-            loop {
-                match state.owners.get(&key) {
-                    None => {
-                        state.owners.insert(key.clone(), txn);
-                        state.owned.entry(txn).or_default().insert(key);
-                        break;
-                    }
-                    Some(owner) if *owner == txn => break,
-                    Some(_) => {
-                        if !waited {
-                            waited = true;
-                            self.count_wait(intent);
+        let mut blocked_rows = 0u64;
+        let mut wait_span: Option<Instant> = None;
+        let result = 'outer: {
+            for &row in rows {
+                let key = (table.to_string(), row);
+                let mut waited = false;
+                loop {
+                    match state.owners.get(&key) {
+                        None => {
+                            state.owners.insert(key.clone(), txn);
+                            state.owned.entry(txn).or_default().insert(key);
+                            break;
                         }
-                        if Instant::now() >= deadline
-                            || self.released.wait_until(&mut state, deadline).timed_out()
-                        {
-                            return Err(StorageError::LockTimeout {
-                                table: table.to_string(),
-                            });
+                        Some(owner) if *owner == txn => break,
+                        Some(_) => {
+                            if !waited {
+                                waited = true;
+                                self.count_wait(intent);
+                                blocked_rows += 1;
+                                if wait_span.is_none() {
+                                    wait_span = probe::begin();
+                                }
+                            }
+                            if Instant::now() >= deadline
+                                || self.released.wait_until(&mut state, deadline).timed_out()
+                            {
+                                break 'outer Err(StorageError::LockTimeout {
+                                    table: table.to_string(),
+                                });
+                            }
                         }
                     }
                 }
             }
+            Ok(())
+        };
+        drop(state);
+        if blocked_rows > 0 {
+            probe::end_with(
+                wait_span,
+                "lock_wait",
+                || format!("{table} ({blocked_rows} blocked of {} rows)", rows.len()),
+                result.as_ref().err().map(|e| e.to_string()),
+            );
         }
-        Ok(())
+        result
     }
 
     /// Release every lock held by `txn` (commit or rollback).

@@ -1,0 +1,180 @@
+//! Thread-local storage probe: how engine internals report spans to a
+//! tracer they cannot see.
+//!
+//! The sharding kernel sits *above* this crate, so the storage engine can't
+//! name the kernel's span recorder directly. Instead the kernel installs a
+//! [`Probe`] — a span sink plus the parent span id — into a thread-local
+//! slot for the duration of one storage call, and instrumented internals
+//! (cursor open, lock waits, WAL/group-commit flush, MVCC snapshot acquire,
+//! vacuum) report through it when one is present.
+//!
+//! Cost discipline: when no probe is installed (the overwhelmingly common
+//! case — tracing samples 1-in-N statements), [`begin`] is a single
+//! thread-local read returning `None` and every `end*` call is a no-op.
+//! Instrumented code never allocates or formats unless a probe is active:
+//! span details are built by closures that only run on the probed path.
+
+use std::cell::RefCell;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Receiver for spans reported by storage internals. Implemented by the
+/// kernel's span recorder; `parent` is the span id the kernel asked this
+/// storage call's work to hang under.
+pub trait SpanSink: Send + Sync {
+    /// Record one completed storage-level span. `elapsed_us` is wall time
+    /// (≥ 1); `error` carries the failure message when the operation failed
+    /// (e.g. a lock-wait that timed out).
+    fn storage_span(
+        &self,
+        parent: u32,
+        name: &'static str,
+        detail: String,
+        elapsed_us: u64,
+        error: Option<String>,
+    );
+}
+
+/// An installed probe: where spans go and which span they hang under.
+#[derive(Clone)]
+pub struct Probe {
+    pub sink: Arc<dyn SpanSink>,
+    pub parent: u32,
+}
+
+impl Probe {
+    pub fn new(sink: Arc<dyn SpanSink>, parent: u32) -> Self {
+        Probe { sink, parent }
+    }
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<Probe>> = const { RefCell::new(None) };
+}
+
+/// Guard restoring the previously installed probe (if any) on drop, so
+/// nested installs (statement span → XA branch span) unwind correctly.
+pub struct ProbeGuard {
+    prev: Option<Probe>,
+}
+
+/// Install `probe` on this thread until the returned guard drops.
+pub fn install(probe: Probe) -> ProbeGuard {
+    let prev = ACTIVE.with(|p| p.borrow_mut().replace(probe));
+    ProbeGuard { prev }
+}
+
+impl Drop for ProbeGuard {
+    fn drop(&mut self) {
+        let prev = self.prev.take();
+        ACTIVE.with(|p| *p.borrow_mut() = prev);
+    }
+}
+
+/// Is a probe installed on this thread?
+pub fn active() -> bool {
+    ACTIVE.with(|p| p.borrow().is_some())
+}
+
+fn current() -> Option<Probe> {
+    ACTIVE.with(|p| p.borrow().clone())
+}
+
+/// Start timing a probe-observed operation. Returns `None` (one
+/// thread-local read, no clock read) when no probe is installed.
+#[inline]
+pub fn begin() -> Option<Instant> {
+    if active() {
+        Some(Instant::now())
+    } else {
+        None
+    }
+}
+
+/// Finish a successful span begun with [`begin`]. The detail closure only
+/// runs when a probe observed the operation.
+pub fn end(start: Option<Instant>, name: &'static str, detail: impl FnOnce() -> String) {
+    end_with(start, name, detail, None)
+}
+
+/// Finish a span begun with [`begin`], attaching an error message when the
+/// operation failed.
+pub fn end_with(
+    start: Option<Instant>,
+    name: &'static str,
+    detail: impl FnOnce() -> String,
+    error: Option<String>,
+) {
+    if let Some(t) = start {
+        if let Some(probe) = current() {
+            let elapsed = (t.elapsed().as_micros() as u64).max(1);
+            probe
+                .sink
+                .storage_span(probe.parent, name, detail(), elapsed, error);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+
+    type CapturedSpan = (u32, &'static str, String, Option<String>);
+
+    #[derive(Default)]
+    struct CaptureSink {
+        spans: Mutex<Vec<CapturedSpan>>,
+    }
+
+    impl SpanSink for CaptureSink {
+        fn storage_span(
+            &self,
+            parent: u32,
+            name: &'static str,
+            detail: String,
+            _elapsed_us: u64,
+            error: Option<String>,
+        ) {
+            self.spans.lock().push((parent, name, detail, error));
+        }
+    }
+
+    #[test]
+    fn inactive_probe_is_a_noop() {
+        assert!(!active());
+        let t = begin();
+        assert!(t.is_none());
+        end(t, "never", || panic!("detail closure must not run"));
+    }
+
+    #[test]
+    fn installed_probe_captures_spans_and_restores_previous() {
+        let outer = Arc::new(CaptureSink::default());
+        let inner = Arc::new(CaptureSink::default());
+        let _g1 = install(Probe::new(outer.clone(), 7));
+        {
+            let _g2 = install(Probe::new(inner.clone(), 42));
+            let t = begin();
+            end_with(
+                t,
+                "lock_wait",
+                || "t_user row 3".into(),
+                Some("boom".into()),
+            );
+        }
+        // Outer probe restored after the inner guard dropped.
+        let t = begin();
+        end(t, "wal_flush", || "ds_0".into());
+
+        let inner_spans = inner.spans.lock();
+        assert_eq!(inner_spans.len(), 1);
+        assert_eq!(inner_spans[0].0, 42);
+        assert_eq!(inner_spans[0].1, "lock_wait");
+        assert_eq!(inner_spans[0].3.as_deref(), Some("boom"));
+        let outer_spans = outer.spans.lock();
+        assert_eq!(outer_spans.len(), 1);
+        assert_eq!(outer_spans[0].0, 7);
+        assert_eq!(outer_spans[0].1, "wal_flush");
+    }
+}

@@ -61,10 +61,18 @@ timeout 600 cargo test -p shard-core --test chaos_faults -q
 echo "==> reshard: seeded chaos-during-reshard integration tests"
 timeout 600 cargo test --test reshard -q
 
-# Observability gate: metrics are on by default, so their cost is a tax on
-# every statement. The gate compares point-SELECT p50 instrumented vs
-# `SET metrics = off` (best-of-3) and fails above 5% + 300ns slack.
-echo "==> obs: metrics-overhead smoke gate"
+# Trace gate: end-to-end distributed tracing (cross-layer span trees, head
+# sampling + tail keep, the flight recorder, the SLO burn-rate monitor,
+# background-job traces) — including the seeded chaos scenario that drives
+# an injected commit fault into a recorded incident.
+echo "==> trace: distributed-tracing integration tests"
+timeout 600 cargo test -p shard-core --test tracing -q
+
+# Observability gate: metrics and 1/16-sampled tracing are on by default,
+# so their cost is a tax on every statement. The gate compares point-SELECT
+# p50 for the default configuration vs `SET metrics = off` and vs
+# `SET trace_sample = off` (best-of-3) and fails above 5% + 300ns slack.
+echo "==> obs: observability-overhead smoke gate"
 timeout 600 cargo run --release -p shard-bench --bin obs_gate
 
 echo "OK"
